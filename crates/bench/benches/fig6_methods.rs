@@ -1,0 +1,51 @@
+//! Figure 6 micro-view: one Offering-Table computation per method on the
+//! Oldenburg preset — the per-query cost whose mean the `repro fig6`
+//! series reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecocharge_bench::ExperimentEnv;
+use ecocharge_core::{
+    BruteForce, EcoCharge, EcoChargeConfig, IndexQuadtree, RandomPick, RankingMethod,
+};
+use std::hint::black_box;
+use trajgen::{DatasetKind, DatasetScale};
+
+fn bench_methods(c: &mut Criterion) {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 42);
+    let ctx = env.ctx(EcoChargeConfig::default());
+    let trip = env.dataset.trips[0].clone();
+    let now = trip.depart;
+
+    let mut g = c.benchmark_group("fig6_one_table_oldenburg");
+    g.sample_size(10);
+
+    g.bench_function("brute_force", |b| {
+        let mut m = BruteForce::new();
+        b.iter(|| black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap()))
+    });
+    g.bench_function("index_quadtree", |b| {
+        let mut m = IndexQuadtree::new();
+        b.iter(|| black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap()))
+    });
+    g.bench_function("random", |b| {
+        let mut m = RandomPick::new(1);
+        b.iter(|| black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap()))
+    });
+    g.bench_function("ecocharge_cold", |b| {
+        let mut m = EcoCharge::new();
+        b.iter(|| {
+            m.reset_trip(); // force the full filtering path
+            black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap())
+        })
+    });
+    g.bench_function("ecocharge_adapted", |b| {
+        let mut m = EcoCharge::new();
+        // Warm the cache once; every measured call is an adaptation.
+        let _ = m.offering_table(&ctx, &trip, 0.0, now).unwrap();
+        b.iter(|| black_box(m.offering_table(&ctx, &trip, 2_000.0, now).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

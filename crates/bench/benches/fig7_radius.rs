@@ -1,0 +1,31 @@
+//! Figure 7 micro-view: how the radius `R` scales the full (cache-miss)
+//! ranking cost — more candidates within `R` mean a bigger filtering pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecocharge_bench::ExperimentEnv;
+use ecocharge_core::{EcoCharge, EcoChargeConfig, RankingMethod};
+use std::hint::black_box;
+use trajgen::{DatasetKind, DatasetScale};
+
+fn bench_radius(c: &mut Criterion) {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 42);
+    let trip = env.dataset.trips[0].clone();
+    let now = trip.depart;
+
+    let mut g = c.benchmark_group("fig7_full_solve_by_radius");
+    g.sample_size(20);
+    for radius_km in [25.0, 50.0, 75.0] {
+        let ctx = env.ctx(EcoChargeConfig { radius_km, ..EcoChargeConfig::default() });
+        g.bench_function(format!("R_{radius_km:.0}km"), |b| {
+            let mut m = EcoCharge::new();
+            b.iter(|| {
+                m.reset_trip();
+                black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_radius);
+criterion_main!(benches);

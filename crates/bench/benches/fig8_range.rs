@@ -1,0 +1,37 @@
+//! Figure 8 micro-view: how the range distance `Q` trades recomputation
+//! for adaptation across a whole trip — the Dynamic-Caching dial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecocharge_bench::ExperimentEnv;
+use ecocharge_core::{CknnQuery, EcoCharge, EcoChargeConfig};
+use std::hint::black_box;
+use trajgen::{DatasetKind, DatasetScale};
+
+fn bench_range(c: &mut Criterion) {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 42);
+    // The longest available trip maximises the number of split points.
+    let trip = env
+        .dataset
+        .trips
+        .iter()
+        .max_by(|a, b| a.length_m().partial_cmp(&b.length_m()).unwrap())
+        .unwrap()
+        .clone();
+
+    let mut g = c.benchmark_group("fig8_whole_trip_by_range");
+    g.sample_size(20);
+    for range_km in [0.0, 5.0, 10.0, 15.0] {
+        let ctx = env.ctx(EcoChargeConfig { range_km, ..EcoChargeConfig::default() });
+        let query = CknnQuery::new(&ctx, &trip).unwrap();
+        g.bench_function(format!("Q_{range_km:.0}km"), |b| {
+            b.iter(|| {
+                let mut m = EcoCharge::new();
+                black_box(query.run(&ctx, &trip, &mut m).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 9 micro-view: the refinement phase under the four weight
+//! configurations. The cost is weight-independent (the ablation's `SC`
+//! differences come from *what* gets ranked, not from ranking cost) — this
+//! bench documents that fact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecocharge_bench::ExperimentEnv;
+use ecocharge_core::{EcoCharge, EcoChargeConfig, RankingMethod, Weights};
+use std::hint::black_box;
+use trajgen::{DatasetKind, DatasetScale};
+
+fn bench_weights(c: &mut Criterion) {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 42);
+    let trip = env.dataset.trips[0].clone();
+    let now = trip.depart;
+
+    let configs: [(&str, Weights); 4] = [
+        ("AWE", Weights::awe()),
+        ("OSC", Weights::osc()),
+        ("OA", Weights::oa()),
+        ("ODC", Weights::odc()),
+    ];
+    let mut g = c.benchmark_group("fig9_full_solve_by_weights");
+    g.sample_size(20);
+    for (label, weights) in configs {
+        let ctx = env.ctx(EcoChargeConfig { weights, ..EcoChargeConfig::default() });
+        g.bench_function(label, |b| {
+            let mut m = EcoCharge::new();
+            b.iter(|| {
+                m.reset_trip();
+                black_box(m.offering_table(&ctx, &trip, 0.0, now).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weights);
+criterion_main!(benches);

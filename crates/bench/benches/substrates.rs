@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the substrate operations every figure exercises:
+//! spatial index queries (the Index-Quadtree access path), shortest-path
+//! searches (the derouting computation), interval scoring (the refinement
+//! phase) and trip segmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec_types::{GeoPoint, Interval, SplitMix64};
+use ecocharge_core::Weights;
+use roadnet::{metric_cost, urban_grid, CostMetric, SearchEngine, UrbanGridParams};
+use spatial_index::{brute, GridIndex, KdTree, QuadTree};
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<(GeoPoint, u32)> {
+    let mut rng = SplitMix64::new(seed);
+    let origin = GeoPoint::new(8.0, 53.0);
+    (0..n)
+        .map(|i| {
+            let p = origin.offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+            (p, u32::try_from(i).unwrap())
+        })
+        .collect()
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    g.sample_size(30);
+    let items = points(1_000, 7);
+    let tree = QuadTree::bulk(items.clone());
+    let grid = GridIndex::build(items.clone(), 2_000.0);
+    let q = GeoPoint::new(8.0, 53.0).offset_m(20_000.0, 18_000.0);
+
+    g.bench_function("quadtree_knn_k10_n1000", |b| {
+        b.iter(|| black_box(tree.knn(black_box(&q), 10)))
+    });
+    let kd = KdTree::bulk(items.clone());
+    g.bench_function("kdtree_knn_k10_n1000", |b| {
+        b.iter(|| black_box(kd.knn(black_box(&q), 10)))
+    });
+    g.bench_function("grid_knn_k10_n1000", |b| {
+        b.iter(|| black_box(grid.knn(black_box(&q), 10)))
+    });
+    g.bench_function("brute_knn_k10_n1000", |b| {
+        b.iter(|| black_box(brute::knn_scan(black_box(&items), &q, 10)))
+    });
+    g.bench_function("quadtree_range_50km_n1000", |b| {
+        b.iter(|| black_box(tree.range(black_box(&q), 50_000.0)))
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(20);
+    let graph = urban_grid(&UrbanGridParams::default());
+    let mut engine = SearchEngine::new();
+    let from = ec_types::NodeId(0);
+    let to = ec_types::NodeId(u32::try_from(graph.num_nodes() - 1).unwrap());
+    let targets: Vec<ec_types::NodeId> =
+        (0..200).map(|i| ec_types::NodeId(i * 5)).collect();
+
+    g.bench_function("dijkstra_one_to_one", |b| {
+        b.iter(|| {
+            black_box(engine.one_to_one(&graph, from, to, metric_cost(CostMetric::Time)))
+        })
+    });
+    g.bench_function("astar_one_to_one", |b| {
+        b.iter(|| black_box(engine.astar(&graph, from, to, CostMetric::Time)))
+    });
+    g.bench_function("one_to_many_200_targets", |b| {
+        b.iter(|| {
+            black_box(engine.one_to_many(&graph, from, &targets, metric_cost(CostMetric::Energy)))
+        })
+    });
+    g.bench_function("bounded_10km", |b| {
+        b.iter(|| {
+            black_box(engine.bounded_from(&graph, from, 10_000.0, metric_cost(CostMetric::Distance)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scoring");
+    let mut rng = SplitMix64::new(3);
+    let comps: Vec<(Interval, Interval, Interval)> = (0..1_000)
+        .map(|_| {
+            let mk = |r: &mut SplitMix64| {
+                let a = r.range_f64(0.0, 0.9);
+                Interval::new(a, a + r.range_f64(0.0, 0.1))
+            };
+            (mk(&mut rng), mk(&mut rng), mk(&mut rng))
+        })
+        .collect();
+    let w = Weights::awe();
+    g.bench_function("interval_score_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(l, a, d) in &comps {
+                acc += w.interval_score(l, a, d).mid();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spatial, bench_search, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `inspect` — side-by-side diagnostic of one query point: EcoCharge's
+//! forecast-based picks vs the oracle's ground-truth optimum, with the
+//! per-component values that produced each rank. A debugging lens for the
+//! evaluation, not part of the reproduction figures.
+//!
+//! ```text
+//! cargo run -p ecocharge-bench --bin inspect --release -- tdrive 0
+//! ```
+
+use ecocharge_bench::ExperimentEnv;
+use ecocharge_core::{CknnQuery, EcoCharge, EcoChargeConfig, Oracle, RankingMethod, Weights};
+use trajgen::{DatasetKind, DatasetScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(String::as_str) {
+        Some("oldenburg") | None => DatasetKind::Oldenburg,
+        Some("california") => DatasetKind::California,
+        Some("tdrive") => DatasetKind::TDrive,
+        Some("geolife") => DatasetKind::Geolife,
+        Some(other) => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    let trip_idx: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let env = ExperimentEnv::build(kind, DatasetScale::bench(), 42);
+    let ctx = env.ctx(EcoChargeConfig::default());
+    let trip = &env.dataset.trips[trip_idx];
+    let query = CknnQuery::new(&ctx, trip).unwrap();
+    let mut eco = EcoCharge::new();
+    let mut oracle = Oracle::new(Weights::awe());
+
+    println!(
+        "{} trip {trip_idx}: {:.1} km, {} segments, fleet {}",
+        env.dataset.name(),
+        trip.length_m() / 1_000.0,
+        query.len(),
+        env.fleet.len()
+    );
+
+    for sp in query.split_points() {
+        let table = match eco.offering_table(&ctx, trip, sp.offset_m, sp.eta) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("segment {}: {e}", sp.segment);
+                continue;
+            }
+        };
+        let set = table.charger_ids();
+        let (best, best_mean) = oracle.best_k(&ctx, sp.node, sp.rejoin_node, sp.eta, ctx.config.k);
+        let mean = oracle
+            .true_sc_of_set(&ctx, &set, sp.node, sp.rejoin_node, sp.eta)
+            .unwrap_or(0.0);
+        println!(
+            "\nsegment {} ({}): SC {:.1}% [{}]",
+            sp.segment,
+            if table.adapted { "adapted" } else { "full" },
+            mean / best_mean * 100.0,
+            sp.eta
+        );
+        println!("  EcoCharge picks (forecast SC | true l,a,d):");
+        let truth = oracle.true_components(&ctx, sp.node, sp.rejoin_node, sp.eta, &set);
+        for (e, t) in table.entries.iter().zip(&truth) {
+            match t {
+                Some(t) => println!(
+                    "    {} sc{} | true l={:.3} a={:.3} d={:.3} -> {:.3}",
+                    e.charger,
+                    e.sc,
+                    t.l,
+                    t.a,
+                    t.d,
+                    Weights::awe().point_score(t.l, t.a, t.d)
+                ),
+                None => println!("    {} unreachable?!", e.charger),
+            }
+        }
+        println!("  Oracle best-k (true l,a,d):");
+        let btruth = oracle.true_components(&ctx, sp.node, sp.rejoin_node, sp.eta, &best);
+        for (c, t) in best.iter().zip(btruth.iter().flatten()) {
+            println!(
+                "    {} true l={:.3} a={:.3} d={:.3} -> {:.3}{}",
+                c,
+                t.l,
+                t.a,
+                t.d,
+                Weights::awe().point_score(t.l, t.a, t.d),
+                if set.contains(c) { "  (picked)" } else { "" }
+            );
+        }
+    }
+}

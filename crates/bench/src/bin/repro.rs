@@ -1,0 +1,227 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p ecocharge-bench --bin repro --release -- all
+//! cargo run -p ecocharge-bench --bin repro --release -- fig6 --reps 5 --trips 8
+//! cargo run -p ecocharge-bench --bin repro --release -- fig9 --scale 0.1 --seed 7
+//! ```
+//!
+//! Flags: `--reps N` repetitions, `--trips N` trips per repetition,
+//! `--scale F` fraction of the paper's trajectory cardinality, `--seed N`.
+
+use ecocharge_bench::{
+    print_rows, run_balance, run_cache, run_dayrun, run_fig6, run_fig7, run_fig8, run_fig9,
+    run_modes, run_regret, run_throughput, run_validation, write_csv, HarnessConfig,
+};
+use std::path::PathBuf;
+use trajgen::DatasetScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext> \
+        [--reps N] [--trips N] [--scale F] [--seed N] [--csv DIR]\n\
+  fig6..fig9  the paper's evaluation figures\n\
+  all         all four paper figures\n\
+  regret      extension: forecast-vs-ground-truth referee\n\
+  cache       extension: Dynamic Caching on/off + API-call economy\n\
+  modes       extension: Mode 1/2/3 end-to-end refresh latency\n\
+  balance     extension: recommendation-traffic balancing burst\n\
+  throughput  extension: Mode-2 server throughput under client load\n\
+  dayrun      extension: closed-loop fleet day (clean vs grid energy)\n\
+  validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
+  ext         all four extensions"
+    );
+    std::process::exit(2);
+}
+
+fn print_regret(harness: &HarnessConfig) {
+    let rows = run_regret(harness);
+    println!("\n=== Extension: forecast-driven regret ===");
+    println!("{:<12} {:>14} {:>14} {:>9}", "dataset", "SC% (paper)", "SC% (truth)", "regret");
+    for r in rows {
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>9.2}",
+            r.dataset,
+            r.forecast_sc_pct,
+            r.actual_sc_pct,
+            r.forecast_sc_pct - r.actual_sc_pct
+        );
+    }
+}
+
+fn print_cache(harness: &HarnessConfig) {
+    let rows = run_cache(harness);
+    println!("\n=== Extension: Dynamic Caching ablation ===");
+    println!(
+        "{:<12} {:<12} {:>8} {:>9} {:>10} {:>10} {:>8}",
+        "dataset", "config", "SC%", "Ft(ms)", "api calls", "hits", "adapts"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<12} {:>8.2} {:>9.3} {:>10} {:>10} {:>8}",
+            r.dataset, r.label, r.sc_pct, r.ft_ms, r.upstream_calls, r.cache_hits, r.adaptations
+        );
+    }
+}
+
+fn print_modes(harness: &HarnessConfig) {
+    let (compute_ms, rows) = run_modes(harness);
+    println!("\n=== Extension: operating-mode latency (ranking {compute_ms:.3} ms) ===");
+    println!("{:<12} {:>12} {:>12}", "mode", "cold (ms)", "warm (ms)");
+    for r in rows {
+        println!("{:<12} {:>12.2} {:>12.2}", format!("{:?}", r.mode), r.cold_ms, r.warm_ms);
+    }
+}
+
+fn print_throughput(harness: &HarnessConfig) {
+    let rows = run_throughput(harness, &[1, 2, 4, 8], 16);
+    println!("\n=== Extension: Mode-2 server throughput (full solves, Oldenburg) ===");
+    println!("{:<9} {:>10} {:>14} {:>16}", "clients", "requests", "tables/sec", "mean latency ms");
+    for r in rows {
+        println!(
+            "{:<9} {:>10} {:>14.0} {:>16.3}",
+            r.clients, r.requests, r.tables_per_s, r.mean_latency_ms
+        );
+    }
+}
+
+fn print_dayrun(harness: &HarnessConfig) {
+    let rows = run_dayrun(harness, 40);
+    println!("\n=== Extension: closed-loop fleet day (40 vehicles, Oldenburg Tuesday) ===");
+    println!(
+        "{:<11} {:>7} {:>10} {:>10} {:>11} {:>10} {:>11} {:>8}",
+        "policy", "stops", "conflicts", "clean kWh", "grid kWh", "clean %", "detour kWh", "skipped"
+    );
+    for r in rows {
+        println!(
+            "{:<11} {:>7} {:>10} {:>10.1} {:>11.1} {:>9.1}% {:>11.1} {:>8}",
+            r.policy,
+            r.charge_stops,
+            r.conflicts,
+            r.clean_kwh,
+            r.grid_kwh,
+            r.clean_fraction() * 100.0,
+            r.detour_kwh,
+            r.skipped
+        );
+    }
+}
+
+fn print_balance(harness: &HarnessConfig) {
+    let rows = run_balance(harness, 40);
+    println!("\n=== Extension: recommendation-traffic balancing (40 vehicles) ===");
+    println!(
+        "{:<14} {:>9} {:>9} {:>14} {:>8}",
+        "method", "vehicles", "max load", "distinct tops", "SC%"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>9} {:>9} {:>14} {:>8.2}",
+            r.label, r.vehicles, r.max_load, r.distinct_tops, r.sc_pct
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let which = args[0].as_str();
+    let mut harness = HarnessConfig::default();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| usage());
+        match flag {
+            "--reps" => harness.reps = val.parse().unwrap_or_else(|_| usage()),
+            "--trips" => harness.trips_per_rep = val.parse().unwrap_or_else(|_| usage()),
+            "--scale" => {
+                harness.scale = DatasetScale::fraction(val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => harness.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--csv" => csv_dir = Some(PathBuf::from(val)),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let emit = |name: &str, rows: &[ecocharge_bench::Row]| {
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            match write_csv(&path, rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("csv write failed for {name}: {e}"),
+            }
+        }
+    };
+
+    let started = std::time::Instant::now();
+    match which {
+        "fig6" => {
+            let rows = run_fig6(&harness);
+            print_rows("Figure 6: Performance Evaluation", &rows, false);
+            emit("fig6", &rows);
+        }
+        "fig7" => {
+            let rows = run_fig7(&harness);
+            print_rows("Figure 7: R-opt Evaluation", &rows, false);
+            emit("fig7", &rows);
+        }
+        "fig8" => {
+            let rows = run_fig8(&harness);
+            print_rows("Figure 8: Q-opt Evaluation", &rows, false);
+            emit("fig8", &rows);
+        }
+        "fig9" => {
+            let rows = run_fig9(&harness);
+            print_rows("Figure 9: Weight Ablation", &rows, true);
+            emit("fig9", &rows);
+        }
+        "all" => {
+            let rows = run_fig6(&harness);
+            print_rows("Figure 6: Performance Evaluation", &rows, false);
+            emit("fig6", &rows);
+            let rows = run_fig7(&harness);
+            print_rows("Figure 7: R-opt Evaluation", &rows, false);
+            emit("fig7", &rows);
+            let rows = run_fig8(&harness);
+            print_rows("Figure 8: Q-opt Evaluation", &rows, false);
+            emit("fig8", &rows);
+            let rows = run_fig9(&harness);
+            print_rows("Figure 9: Weight Ablation", &rows, true);
+            emit("fig9", &rows);
+        }
+        "regret" => print_regret(&harness),
+        "cache" => print_cache(&harness),
+        "modes" => print_modes(&harness),
+        "balance" => print_balance(&harness),
+        "throughput" => print_throughput(&harness),
+        "dayrun" => print_dayrun(&harness),
+        "validate" => {
+            let checks = run_validation(&harness);
+            println!("\n=== Reproduction self-validation ===");
+            let mut failed = 0;
+            for c in &checks {
+                println!("[{}] {} — {}", if c.pass { "PASS" } else { "FAIL" }, c.claim, c.evidence);
+                if !c.pass {
+                    failed += 1;
+                }
+            }
+            println!("\n{} checks, {} failed", checks.len(), failed);
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        "ext" => {
+            print_regret(&harness);
+            print_cache(&harness);
+            print_modes(&harness);
+            print_balance(&harness);
+            print_throughput(&harness);
+            print_dayrun(&harness);
+        }
+        _ => usage(),
+    }
+    eprintln!("\n[{}] completed in {:.1}s", which, started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,79 @@
+//! Experiment environments: one fully-built world per dataset preset.
+
+use chargers::{synth_fleet, ChargerFleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use eis::{InfoServer, SimProviders};
+use trajgen::{Dataset, DatasetKind, DatasetScale, Trip};
+
+/// A materialised world: network, trips, charger fleet, providers and the
+/// information server — everything a [`QueryCtx`] borrows.
+pub struct ExperimentEnv {
+    /// The dataset (network + trips).
+    pub dataset: Dataset,
+    /// The charger fleet sized per the preset.
+    pub fleet: ChargerFleet,
+    /// Ground-truth simulators.
+    pub sims: SimProviders,
+    /// The cached information server over those simulators.
+    pub server: InfoServer,
+}
+
+impl ExperimentEnv {
+    /// Build the world for `kind` at `scale`, deterministic in `seed`.
+    #[must_use]
+    pub fn build(kind: DatasetKind, scale: DatasetScale, seed: u64) -> Self {
+        let dataset = Dataset::build(kind, scale, seed);
+        let fleet = synth_fleet(
+            &dataset.graph,
+            &FleetParams {
+                count: kind.charger_count().min(dataset.graph.num_nodes()),
+                seed,
+                ..Default::default()
+            },
+        );
+        let sims = SimProviders::new(seed);
+        let server = InfoServer::from_sims(sims.clone());
+        Self { dataset, fleet, sims, server }
+    }
+
+    /// A query context over this world with `config`.
+    #[must_use]
+    pub fn ctx(&self, config: EcoChargeConfig) -> QueryCtx<'_> {
+        QueryCtx::new(&self.dataset.graph, &self.fleet, &self.server, &self.sims, config)
+    }
+
+    /// The trip slice for repetition `rep` of size `per_rep` (wraps around
+    /// the trip pool so any rep count works).
+    #[must_use]
+    pub fn trips_for_rep(&self, rep: usize, per_rep: usize) -> Vec<Trip> {
+        let pool = &self.dataset.trips;
+        (0..per_rep).map(|i| pool[(rep * per_rep + i) % pool.len()].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_world() {
+        let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 1);
+        assert!(!env.fleet.is_empty());
+        assert!(!env.dataset.trips.is_empty());
+        let ctx = env.ctx(EcoChargeConfig::default());
+        assert_eq!(ctx.fleet.len(), env.fleet.len());
+    }
+
+    #[test]
+    fn rep_slices_differ_then_wrap() {
+        let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 1);
+        let n = env.dataset.trips.len(); // 8 at smoke scale
+        let a = env.trips_for_rep(0, 4);
+        let b = env.trips_for_rep(1, 4);
+        assert_eq!(a.len(), 4);
+        assert_ne!(a[0].id, b[0].id);
+        // A rep beyond the pool wraps rather than panicking.
+        let c = env.trips_for_rep(n, 4);
+        assert_eq!(c.len(), 4);
+    }
+}

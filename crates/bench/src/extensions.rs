@@ -1,0 +1,424 @@
+//! Beyond-the-paper experiment series (see DESIGN.md §4 and
+//! EXPERIMENTS.md "Extensions"):
+//!
+//! * [`run_regret`] — re-referee the Figure-6 methods under the
+//!   ground-truth ([`ScoringBasis::Actual`]) oracle: how much real-world
+//!   quality does forecast-driven ranking give up? (The paper's protocol
+//!   cannot ask this; our simulators can.)
+//! * [`run_cache`] — the Dynamic-Caching ablation the paper describes
+//!   qualitatively in §IV-C: caching on vs off, with the EIS upstream
+//!   API-call counts that motivate the design.
+//! * [`run_modes`] — the three operating modes' end-to-end refresh
+//!   latency, combining the measured ranking time with the §IV cost
+//!   model.
+//! * [`run_balance`] — the §VII future-work item: a burst of vehicles
+//!   querying the same region, with and without recommendation-traffic
+//!   balancing;
+//! * [`run_throughput`] — Mode-2 server throughput under concurrent
+//!   client load;
+//! * [`run_dayrun`] — the closed-loop fleet day (see the `fleetsim`
+//!   crate): policies compared on physically harvested clean energy.
+
+use crate::env::ExperimentEnv;
+use crate::figures::HarnessConfig;
+use ecocharge_core::{
+    evaluate_method, BalancedEcoCharge, EcoCharge, EcoChargeConfig, LoadTracker, Oracle,
+    RankingMethod, ScoringBasis, Weights,
+};
+use eis::Mode;
+use trajgen::DatasetKind;
+
+/// One row of the regret table.
+#[derive(Debug, Clone)]
+pub struct RegretRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// `SC %` under the paper's forecast-basis referee.
+    pub forecast_sc_pct: f64,
+    /// `SC %` under the ground-truth referee (vs the clairvoyant optimum).
+    pub actual_sc_pct: f64,
+}
+
+/// Extension: ground-truth regret of forecast-driven ranking.
+#[must_use]
+pub fn run_regret(harness: &HarnessConfig) -> Vec<RegretRow> {
+    DatasetKind::ALL
+        .iter()
+        .map(|&kind| {
+            let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
+            let ctx = env.ctx(EcoChargeConfig::default());
+            let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
+            let mut forecast_ref = Oracle::with_basis(Weights::awe(), ScoringBasis::Forecast);
+            let mut actual_ref = Oracle::with_basis(Weights::awe(), ScoringBasis::Actual);
+            let mut eco = EcoCharge::new();
+            let f = evaluate_method(&ctx, &trips, &mut eco, &mut forecast_ref)
+                .expect("evaluation runs");
+            let mut eco2 = EcoCharge::new();
+            let a = evaluate_method(&ctx, &trips, &mut eco2, &mut actual_ref)
+                .expect("evaluation runs");
+            RegretRow {
+                dataset: kind.name(),
+                forecast_sc_pct: f.mean_sc_pct,
+                actual_sc_pct: a.mean_sc_pct,
+            }
+        })
+        .collect()
+}
+
+/// One row of the caching-ablation table.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Configuration label.
+    pub label: &'static str,
+    /// Mean `SC %`.
+    pub sc_pct: f64,
+    /// Mean `F_t`, ms.
+    pub ft_ms: f64,
+    /// Upstream provider calls made during the run.
+    pub upstream_calls: u64,
+    /// EIS cache hits during the run.
+    pub cache_hits: u64,
+    /// Dynamic-cache adaptations (EcoCharge-side).
+    pub adaptations: u64,
+}
+
+/// Extension: Dynamic Caching on/off, with API-call accounting.
+///
+/// Two passes per cell: the first referees quality and cost
+/// (`evaluate_method`, whose oracle also talks to the information server),
+/// the second re-drives the same trips on a **fresh** environment with no
+/// referee at all, so the upstream-call and cache-hit counters reflect the
+/// method's own traffic only.
+#[must_use]
+pub fn run_cache(harness: &HarnessConfig) -> Vec<CacheRow> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::ALL {
+        for (label, range_km) in [("Q=0 (off)", 0.0), ("Q=5km (on)", 5.0)] {
+            let config = EcoChargeConfig { range_km, ..EcoChargeConfig::default() };
+
+            // Pass 1: refereed quality/cost.
+            let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
+            let ctx = env.ctx(config);
+            let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
+            let mut oracle = Oracle::new(Weights::awe());
+            let mut eco = EcoCharge::new();
+            let out =
+                evaluate_method(&ctx, &trips, &mut eco, &mut oracle).expect("evaluation runs");
+
+            // Pass 2: clean API accounting on an untouched server.
+            let env2 = ExperimentEnv::build(kind, harness.scale, harness.seed);
+            let ctx2 = env2.ctx(config);
+            let mut eco2 = EcoCharge::new();
+            for trip in &trips {
+                let query = ecocharge_core::CknnQuery::new(&ctx2, trip).expect("valid trip");
+                let _ = query.run(&ctx2, trip, &mut eco2);
+            }
+            let (w, a, t, wind) = env2.server.stats().snapshot();
+            let (hits, _) = env2.server.cache_stats();
+
+            rows.push(CacheRow {
+                dataset: kind.name(),
+                label,
+                sc_pct: out.mean_sc_pct,
+                ft_ms: out.mean_ft_ms,
+                upstream_calls: w + a + t + wind,
+                cache_hits: hits,
+                adaptations: eco2.cache_stats().0,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the mode-latency table.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Operating mode.
+    pub mode: Mode,
+    /// End-to-end refresh latency with cold provider data, ms.
+    pub cold_ms: f64,
+    /// End-to-end refresh latency with warm provider data, ms.
+    pub warm_ms: f64,
+}
+
+/// Extension: the §IV mode cost model fed with the measured ranking time.
+///
+/// Returns the measured mean ranking time and the per-mode latencies.
+#[must_use]
+pub fn run_modes(harness: &HarnessConfig) -> (f64, Vec<ModeRow>) {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+    let ctx = env.ctx(EcoChargeConfig::default());
+    let trips = env.trips_for_rep(0, harness.trips_per_rep);
+    let mut oracle = Oracle::new(Weights::awe());
+    let mut eco = EcoCharge::new();
+    let out = evaluate_method(&ctx, &trips, &mut eco, &mut oracle).expect("evaluation runs");
+    let compute_ms = out.mean_ft_ms;
+    let rows = Mode::ALL
+        .iter()
+        .map(|&mode| ModeRow {
+            mode,
+            cold_ms: mode.costs().refresh_latency_ms(compute_ms, false),
+            warm_ms: mode.costs().refresh_latency_ms(compute_ms, true),
+        })
+        .collect();
+    (compute_ms, rows)
+}
+
+/// One row of the balance experiment.
+#[derive(Debug, Clone)]
+pub struct BalanceRow {
+    /// Method label.
+    pub label: &'static str,
+    /// Vehicles served.
+    pub vehicles: usize,
+    /// Largest number of vehicles steered to one charger.
+    pub max_load: u32,
+    /// Number of distinct chargers recommended as the top offer.
+    pub distinct_tops: usize,
+    /// Mean `SC %` of the produced tables (forecast-basis referee).
+    pub sc_pct: f64,
+}
+
+/// Extension: a burst of `vehicles` concurrent drivers in one city, with
+/// and without recommendation-traffic balancing.
+#[must_use]
+pub fn run_balance(harness: &HarnessConfig, vehicles: usize) -> Vec<BalanceRow> {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+    let ctx = env.ctx(EcoChargeConfig::default());
+    let trips = env.trips_for_rep(0, vehicles);
+    let mut oracle = Oracle::new(Weights::awe());
+
+    let mut run = |method: &mut dyn RankingMethod,
+                   loads: Option<&LoadTracker>,
+                   label: &'static str| {
+        if let Some(l) = loads {
+            l.clear();
+        }
+        let mut tops = Vec::new();
+        let mut sc_pcts = Vec::new();
+        for trip in &trips {
+            method.reset_trip();
+            // Every vehicle asks once, at its own departure point.
+            let Ok(table) = method.offering_table(&ctx, trip, 0.0, trip.depart) else {
+                continue;
+            };
+            let node = trip.route.nearest_node_at(0.0);
+            let rejoin = trip
+                .route
+                .nearest_node_at((ctx.config.segment_km * 1_000.0).min(trip.length_m()));
+            if let Some(best) = table.best() {
+                tops.push(best.charger);
+            }
+            let (_, best_mean) = oracle.best_k(&ctx, node, rejoin, trip.depart, ctx.config.k);
+            if let Some(mean) =
+                oracle.true_sc_of_set(&ctx, &table.charger_ids(), node, rejoin, trip.depart)
+            {
+                if best_mean > 1e-12 {
+                    sc_pcts.push((mean / best_mean * 100.0).min(100.0));
+                }
+            }
+        }
+        let mut counts: std::collections::HashMap<_, u32> = std::collections::HashMap::new();
+        for t in &tops {
+            *counts.entry(*t).or_insert(0) += 1;
+        }
+        BalanceRow {
+            label,
+            vehicles: tops.len(),
+            max_load: counts.values().copied().max().unwrap_or(0),
+            distinct_tops: counts.len(),
+            sc_pct: sc_pcts.iter().sum::<f64>() / sc_pcts.len().max(1) as f64,
+        }
+    };
+
+    let mut plain = EcoCharge::new();
+    let plain_row = run(&mut plain, None, "EcoCharge");
+    let loads = LoadTracker::new();
+    let mut balanced = BalancedEcoCharge::new(loads.clone());
+    balanced.auto_claim = true;
+    let balanced_row = run(&mut balanced, Some(&loads), "EcoCharge+LB");
+    vec![plain_row, balanced_row]
+}
+
+/// One row of the Mode-2 throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests served.
+    pub requests: usize,
+    /// Offering Tables per second (server-side, single ranking thread).
+    pub tables_per_s: f64,
+    /// Mean client-observed latency, ms.
+    pub mean_latency_ms: f64,
+}
+
+/// Extension: Mode-2 server throughput — many vehicle clients hammering
+/// one central ranking thread over the request bus.
+#[must_use]
+pub fn run_throughput(
+    harness: &HarnessConfig,
+    client_counts: &[usize],
+    per_client: usize,
+) -> Vec<ThroughputRow> {
+    use eis::rpc::ServiceBus;
+    use std::sync::Arc;
+
+    client_counts
+        .iter()
+        .map(|&clients| {
+            // Fresh world per cell, owned by the server thread.
+            let seed = harness.seed;
+            let scale = harness.scale;
+            let (client, _bus) = ServiceBus::spawn({
+                let env = ExperimentEnv::build(DatasetKind::Oldenburg, scale, seed);
+                let mut method = EcoCharge::new();
+                move |(trip_idx, offset_m): (usize, f64)| {
+                    let ctx = env.ctx(EcoChargeConfig::default());
+                    let trip = &env.dataset.trips[trip_idx % env.dataset.trips.len()];
+                    let now = trip.eta_at_offset(&env.dataset.graph, offset_m);
+                    // Interleaved vehicles defeat the per-trip cache;
+                    // serve each request as a full solve.
+                    method.reset_trip();
+                    method.offering_table(&ctx, trip, offset_m, now).map(|t| t.len()).unwrap_or(0)
+                }
+            });
+
+            let started = std::time::Instant::now();
+            let latency_ns = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let client = client.clone();
+                    let latency_ns = latency_ns.clone();
+                    std::thread::spawn(move || {
+                        for r in 0..per_client {
+                            let t0 = std::time::Instant::now();
+                            let _ = client.call((c * 31 + r, (r % 4) as f64 * 4_000.0));
+                            latency_ns.fetch_add(
+                                t0.elapsed().as_nanos() as u64,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+            let wall_s = started.elapsed().as_secs_f64();
+            let requests = clients * per_client;
+            ThroughputRow {
+                clients,
+                requests,
+                tables_per_s: requests as f64 / wall_s,
+                mean_latency_ms: latency_ns.load(std::sync::atomic::Ordering::Relaxed) as f64
+                    / 1.0e6
+                    / requests as f64,
+            }
+        })
+        .collect()
+}
+
+/// Extension: the closed-loop fleet day (see the `fleetsim` crate) — one
+/// simulated Tuesday per policy on the identical world.
+#[must_use]
+pub fn run_dayrun(harness: &HarnessConfig, vehicles: usize) -> Vec<fleetsim::DayOutcome> {
+    use fleetsim::{simulate_day, FleetSimConfig, Policy, ScheduleParams};
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+    let config = FleetSimConfig {
+        schedule: ScheduleParams { vehicles, seed: harness.seed, ..Default::default() },
+        charger_count: 300,
+        seed: harness.seed,
+        ..Default::default()
+    };
+    let mut policies =
+        [Policy::ecocharge(), Policy::Nearest, Policy::random(harness.seed ^ 0xDA7)];
+    policies
+        .iter_mut()
+        .map(|p| simulate_day(&env.dataset.graph, p, &config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgen::DatasetScale;
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig { scale: DatasetScale::smoke(), reps: 1, trips_per_rep: 2, seed: 7 }
+    }
+
+    #[test]
+    fn regret_shows_nonnegative_gap() {
+        let rows = run_regret(&tiny());
+        assert_eq!(rows.len(), 4);
+        for r in rows {
+            // Under the clairvoyant referee the method cannot look better
+            // than under the aligned forecast referee (modulo small
+            // sampling noise on tiny runs).
+            assert!(r.actual_sc_pct <= r.forecast_sc_pct + 5.0, "{r:?}");
+            assert!(r.forecast_sc_pct > 80.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cache_ablation_accounts_calls() {
+        let rows = run_cache(&tiny());
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert_eq!(off.dataset, on.dataset);
+            assert_eq!(off.adaptations, 0, "Q=0 must never adapt");
+            assert!(on.adaptations > 0, "Q=5 must adapt on multi-segment trips");
+        }
+    }
+
+    #[test]
+    fn mode_table_has_three_rows() {
+        let (compute_ms, rows) = run_modes(&tiny());
+        assert!(compute_ms > 0.0);
+        assert_eq!(rows.len(), 3);
+        for r in rows {
+            assert!(r.cold_ms >= r.warm_ms);
+        }
+    }
+
+    #[test]
+    fn dayrun_compares_three_policies() {
+        let rows = run_dayrun(&tiny(), 10);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].policy, "EcoCharge");
+        assert_eq!(rows[1].policy, "Nearest");
+        for r in &rows {
+            assert_eq!(r.vehicles, 10);
+        }
+        assert!(
+            rows[0].clean_fraction() >= rows[1].clean_fraction(),
+            "EcoCharge must not lose to Nearest on solar fraction: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn throughput_serves_all_requests() {
+        let rows = run_throughput(&tiny(), &[1, 2], 3);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.requests, r.clients * 3);
+            assert!(r.tables_per_s > 0.0);
+            assert!(r.mean_latency_ms > 0.0);
+        }
+        // More clients cannot reduce the request count served.
+        assert!(rows[1].requests > rows[0].requests);
+    }
+
+    #[test]
+    fn balance_reduces_concentration() {
+        let rows = run_balance(&tiny(), 8);
+        assert_eq!(rows.len(), 2);
+        let (plain, balanced) = (&rows[0], &rows[1]);
+        assert!(balanced.max_load <= plain.max_load, "{rows:?}");
+        assert!(balanced.distinct_tops >= plain.distinct_tops, "{rows:?}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # `ecocharge-bench` — the evaluation harness
+//!
+//! Regenerates every figure of the paper's §V on the synthetic-substitute
+//! datasets (DESIGN.md §3–4). The `repro` binary drives the four
+//! experiment series; the Criterion benches micro-measure the substrate
+//! operations each figure exercises.
+//!
+//! Absolute milliseconds differ from the paper (a Rust library on
+//! different hardware vs. a Python prototype on a VMware node); the
+//! *shapes* — method ordering, parameter trends, ablation ranking — are
+//! the reproduction target. EXPERIMENTS.md records paper-vs-measured for
+//! every series.
+
+pub mod env;
+pub mod extensions;
+pub mod figures;
+pub mod table;
+pub mod validate;
+
+pub use env::ExperimentEnv;
+pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
+pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
+pub use validate::{run_validation, Check};
+pub use table::{print_rows, write_csv};

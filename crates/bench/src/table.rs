@@ -1,0 +1,78 @@
+//! Plain-text and CSV rendering of experiment tables.
+
+use crate::figures::Row;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Write rows as CSV (for plotting), one file per figure.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, rows: &[Row]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "dataset,config,sc_pct,sc_std,ft_ms,ft_std,attained_l,attained_a,attained_dc,tables")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{:.4},{:.4},{:.6},{:.6},{:.4},{:.4},{:.4},{}",
+            r.dataset,
+            r.label,
+            r.sc_pct,
+            r.sc_std,
+            r.ft_ms,
+            r.ft_std,
+            r.attained.0,
+            r.attained.1,
+            r.attained.2,
+            r.tables
+        )?;
+    }
+    Ok(())
+}
+
+/// Print rows grouped by dataset, in the column layout used by
+/// EXPERIMENTS.md.
+pub fn print_rows(title: &str, rows: &[Row], show_attained: bool) {
+    println!("\n=== {title} ===");
+    if show_attained {
+        println!(
+            "{:<12} {:<16} {:>8} {:>7} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7}",
+            "dataset", "config", "SC%", "±", "Ft(ms)", "±", "L*", "A*", "1-D*", "tables"
+        );
+    } else {
+        println!(
+            "{:<12} {:<16} {:>8} {:>7} {:>9} {:>8} {:>7}",
+            "dataset", "method", "SC%", "±", "Ft(ms)", "±", "tables"
+        );
+    }
+    let mut last_ds = "";
+    for r in rows {
+        if r.dataset != last_ds && !last_ds.is_empty() {
+            println!();
+        }
+        last_ds = r.dataset;
+        if show_attained {
+            println!(
+                "{:<12} {:<16} {:>8.2} {:>7.2} {:>9.3} {:>8.3} {:>7.3} {:>7.3} {:>7.3} {:>7}",
+                r.dataset,
+                r.label,
+                r.sc_pct,
+                r.sc_std,
+                r.ft_ms,
+                r.ft_std,
+                r.attained.0,
+                r.attained.1,
+                r.attained.2,
+                r.tables
+            );
+        } else {
+            println!(
+                "{:<12} {:<16} {:>8.2} {:>7.2} {:>9.3} {:>8.3} {:>7}",
+                r.dataset, r.label, r.sc_pct, r.sc_std, r.ft_ms, r.ft_std, r.tables
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Self-validation: assert the reproduction's headline claims
+//! programmatically.
+//!
+//! `repro validate` runs a compact version of every series and checks the
+//! *shape* assertions EXPERIMENTS.md makes — the reproduction's CI. Each
+//! check prints PASS/FAIL; the process exits non-zero when any fails.
+
+use crate::extensions::{run_balance, run_cache, run_regret};
+use crate::figures::{run_fig6, run_fig8, run_fig9, HarnessConfig};
+
+/// One validated claim.
+#[derive(Debug)]
+pub struct Check {
+    /// What is being asserted.
+    pub claim: &'static str,
+    /// Did the measurement satisfy it?
+    pub pass: bool,
+    /// The measured evidence.
+    pub evidence: String,
+}
+
+fn check(claim: &'static str, pass: bool, evidence: String) -> Check {
+    Check { claim, pass, evidence }
+}
+
+/// Run all shape checks at `harness` scale. Returns every check with its
+/// outcome (callers decide how to report).
+#[must_use]
+pub fn run_validation(harness: &HarnessConfig) -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    // --- Figure 6 shapes ---
+    let fig6 = run_fig6(harness);
+    let cell = |ds: &str, m: &str| {
+        fig6.iter().find(|r| r.dataset == ds && r.label == m).expect("cell exists").clone()
+    };
+    let datasets = ["Oldenburg", "California", "T-drive", "Geolife"];
+    for ds in datasets {
+        let bf = cell(ds, "Brute-Force");
+        let qt = cell(ds, "Index-Quadtree");
+        let rnd = cell(ds, "Random");
+        let eco = cell(ds, "EcoCharge");
+        checks.push(check(
+            "Brute-Force defines the 100% line",
+            (bf.sc_pct - 100.0).abs() < 1e-6,
+            format!("{ds}: BF SC {:.3}%", bf.sc_pct),
+        ));
+        checks.push(check(
+            "EcoCharge is near-optimal (SC > 95%)",
+            eco.sc_pct > 95.0,
+            format!("{ds}: EcoCharge SC {:.2}%", eco.sc_pct),
+        ));
+        checks.push(check(
+            "quality order BF > EcoCharge > Quadtree > Random",
+            eco.sc_pct > qt.sc_pct && qt.sc_pct > rnd.sc_pct,
+            format!("{ds}: {:.1} > {:.1} > {:.1}", eco.sc_pct, qt.sc_pct, rnd.sc_pct),
+        ));
+        checks.push(check(
+            "Brute-Force is the slowest method by a wide margin",
+            bf.ft_ms > 10.0 * qt.ft_ms.max(eco.ft_ms),
+            format!("{ds}: BF {:.1} ms vs max(other) {:.2} ms", bf.ft_ms, qt.ft_ms.max(eco.ft_ms)),
+        ));
+    }
+    // BF F_t grows with dataset size.
+    let bf_fts: Vec<f64> = datasets.iter().map(|ds| cell(ds, "Brute-Force").ft_ms).collect();
+    checks.push(check(
+        "Brute-Force F_t grows with dataset size",
+        bf_fts.windows(2).all(|w| w[1] > w[0]),
+        format!("{bf_fts:.1?} ms across datasets"),
+    ));
+
+    // --- Figure 8 trend: SC(Q=5) ≥ SC(Q=15) on average ---
+    let fig8 = run_fig8(harness);
+    let mean_q = |label: &str| {
+        let rows: Vec<f64> =
+            fig8.iter().filter(|r| r.label == label).map(|r| r.sc_pct).collect();
+        rows.iter().sum::<f64>() / rows.len().max(1) as f64
+    };
+    checks.push(check(
+        "larger Q trades SC for speed (mean SC(Q=5) ≥ SC(Q=15))",
+        mean_q("Q=5km") >= mean_q("Q=15km") - 0.2,
+        format!("Q=5: {:.2}% vs Q=15: {:.2}%", mean_q("Q=5km"), mean_q("Q=15km")),
+    ));
+
+    // --- Figure 9: AWE dominates every single-objective config ---
+    let fig9 = run_fig9(harness);
+    for ds in datasets {
+        let sc = |label: &str| {
+            fig9.iter().find(|r| r.dataset == ds && r.label == label).expect("cell").sc_pct
+        };
+        checks.push(check(
+            "equal weights dominate single-objective configs",
+            sc("AWE") > sc("OSC") && sc("AWE") > sc("OA") && sc("AWE") > sc("ODC"),
+            format!(
+                "{ds}: AWE {:.1} vs OSC {:.1} / OA {:.1} / ODC {:.1}",
+                sc("AWE"),
+                sc("OSC"),
+                sc("OA"),
+                sc("ODC")
+            ),
+        ));
+    }
+
+    // --- Extensions ---
+    let regret = run_regret(harness);
+    checks.push(check(
+        "ground-truth regret is non-negative on every dataset",
+        regret.iter().all(|r| r.actual_sc_pct <= r.forecast_sc_pct + 1.0),
+        regret
+            .iter()
+            .map(|r| format!("{}: {:.1}", r.dataset, r.forecast_sc_pct - r.actual_sc_pct))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+
+    let cache = run_cache(harness);
+    let caching_not_slower = cache.chunks(2).all(|pair| pair[1].ft_ms <= pair[0].ft_ms * 1.15);
+    checks.push(check(
+        "Dynamic Caching does not slow the ranking down",
+        caching_not_slower,
+        cache
+            .chunks(2)
+            .map(|p| format!("{}: {:.2}->{:.2} ms", p[0].dataset, p[0].ft_ms, p[1].ft_ms))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+
+    let balance = run_balance(harness, 24);
+    checks.push(check(
+        "load balancing reduces recommendation concentration",
+        balance[1].max_load <= balance[0].max_load
+            && balance[1].distinct_tops >= balance[0].distinct_tops,
+        format!(
+            "max load {} -> {}, distinct tops {} -> {}",
+            balance[0].max_load, balance[1].max_load, balance[0].distinct_tops, balance[1].distinct_tops
+        ),
+    ));
+
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgen::DatasetScale;
+
+    #[test]
+    fn validation_passes_at_smoke_scale() {
+        let harness = HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 1,
+            trips_per_rep: 2,
+            seed: 42,
+        };
+        let checks = run_validation(&harness);
+        let failures: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();
+        // Smoke scale is noisy; the structural checks (BF=100, ordering,
+        // AWE dominance) must still hold. Allow at most one trend check to
+        // wobble.
+        assert!(
+            failures.len() <= 1,
+            "too many failed checks at smoke scale: {failures:#?}"
+        );
+    }
+}

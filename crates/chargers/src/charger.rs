@@ -1,0 +1,297 @@
+//! A single charging station `b ∈ B`.
+
+use ec_models::{SiteArchetype, WeatherSim};
+use ec_types::{ChargerId, GeoPoint, Interval, KilowattHours, Kilowatts, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Connector/power class of a charging point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChargerKind {
+    /// 11 kW AC wallbox (the example scenario's "11kW AC charger car").
+    Ac11,
+    /// 22 kW AC.
+    Ac22,
+    /// 50 kW DC fast charger.
+    Dc50,
+    /// 150 kW DC high-power charger.
+    Dc150,
+}
+
+impl ChargerKind {
+    /// All kinds, slowest first.
+    pub const ALL: [ChargerKind; 4] = [Self::Ac11, Self::Ac22, Self::Dc50, Self::Dc150];
+
+    /// Maximum delivery rate.
+    #[must_use]
+    pub const fn rate(self) -> Kilowatts {
+        match self {
+            Self::Ac11 => Kilowatts(11.0),
+            Self::Ac22 => Kilowatts(22.0),
+            Self::Dc50 => Kilowatts(50.0),
+            Self::Dc150 => Kilowatts(150.0),
+        }
+    }
+}
+
+/// One public charging station linked to a renewable source (locally
+/// attached panels or net-metered from a nearby farm — §II-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Charger {
+    /// Dense fleet index.
+    pub id: ChargerId,
+    /// Geographic position.
+    pub loc: GeoPoint,
+    /// Nearest road-network node (where derouting searches land).
+    pub node: NodeId,
+    /// Power class.
+    pub kind: ChargerKind,
+    /// Nameplate rating of the attached solar capacity.
+    pub panel: Kilowatts,
+    /// Nameplate rating of net-metered wind capacity (zero for the
+    /// common solar-carport station; §II-A allows clean energy
+    /// "virtually net-metered... from a remote renewable energy
+    /// production farm").
+    pub wind: Kilowatts,
+    /// What kind of site the charger sits at (drives its busy timetable).
+    pub archetype: SiteArchetype,
+}
+
+impl Charger {
+    /// The stable per-charger seed used by all stochastic models.
+    #[must_use]
+    pub fn entity_seed(&self) -> u64 {
+        // Mix the id so consecutive chargers decorrelate.
+        ec_types::rng::mix(0xC4A6_0E55, u64::from(self.id.0))
+    }
+
+    /// **Ground truth**: clean power deliverable right now — the panel
+    /// output capped by the charger's own rate ("we do not consider energy
+    /// imported from the grid, but only solar excess produced", §III-B).
+    /// Solar-only; for the wind/mixed stations use
+    /// [`clean_power_from_fractions`](Self::clean_power_from_fractions).
+    #[must_use]
+    pub fn actual_clean_power(&self, weather: &WeatherSim, t: SimTime) -> Kilowatts {
+        let produced = self.panel.value() * weather.actual_sun_fraction(&self.loc, t);
+        Kilowatts(produced.min(self.kind.rate().value()))
+    }
+
+    /// Clean power from already-fetched production fractions: solar
+    /// fraction × panel + wind capacity factor × wind rating, capped by
+    /// the charger's delivery rate. The pure kernel the scoring pipeline
+    /// applies to both forecast endpoints and ground truth.
+    #[must_use]
+    pub fn clean_power_from_fractions(&self, sun_frac: f64, wind_cf: f64) -> Kilowatts {
+        let produced = self.panel.value() * sun_frac.clamp(0.0, 1.0)
+            + self.wind.value() * wind_cf.clamp(0.0, 1.0);
+        Kilowatts(produced.min(self.kind.rate().value()))
+    }
+
+    /// True when any wind capacity is attached.
+    #[must_use]
+    pub fn has_wind(&self) -> bool {
+        self.wind.value() > 0.0
+    }
+
+    /// **Ground truth**: clean energy deliverable over a charging window
+    /// starting at `eta` and lasting `window_hours` (coarse: assumes the
+    /// sun fraction at `eta` holds for the window; for exact integration
+    /// use a recorded [`ec_models::ProductionSeries`]).
+    #[must_use]
+    pub fn actual_clean_energy(
+        &self,
+        weather: &WeatherSim,
+        eta: SimTime,
+        window_hours: f64,
+    ) -> KilowattHours {
+        self.actual_clean_power(weather, eta).over_hours(window_hours.max(0.0))
+    }
+
+    /// **Forecast**: the interval of clean power available at `eta`, as
+    /// estimated at `now` — the raw material for `L_min`/`L_max`
+    /// (Algorithm 1, lines 5–6). Units: kW, in `[0, rate]`.
+    #[must_use]
+    pub fn forecast_clean_power(
+        &self,
+        weather: &WeatherSim,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Interval {
+        let frac = weather.forecast_sun_fraction(&self.loc, now, eta);
+        let rate = self.kind.rate().value();
+        Interval::new(
+            (frac.lo() * self.panel.value()).min(rate),
+            (frac.hi() * self.panel.value()).min(rate),
+        )
+    }
+
+    /// Record this station's CDGS-style 15-minute production series for
+    /// `week` — the dataset shape the paper's §V-A charger data ships in.
+    #[must_use]
+    pub fn record_production(
+        &self,
+        weather: &WeatherSim,
+        week: u64,
+    ) -> ec_models::ProductionSeries {
+        ec_models::ProductionSeries::record(weather, &self.loc, self.panel, week)
+    }
+
+    /// **Ground truth, exact**: clean energy deliverable over
+    /// `[eta, eta + window_hours)` by *integrating* the 15-minute
+    /// production series (sun moves during a long idle window; the coarse
+    /// [`actual_clean_energy`](Self::actual_clean_energy) freezes it at
+    /// arrival). Rate-capped per slot.
+    #[must_use]
+    pub fn exact_clean_energy(
+        &self,
+        series: &ec_models::ProductionSeries,
+        eta: SimTime,
+        window_hours: f64,
+    ) -> KilowattHours {
+        if window_hours <= 0.0 {
+            return KilowattHours(0.0);
+        }
+        let rate = self.kind.rate().value();
+        let end = eta + ec_types::SimDuration::from_secs_f64(window_hours * 3_600.0);
+        // Integrate slot by slot so the per-slot rate cap applies.
+        let mut total = 0.0;
+        let mut at = eta;
+        while at < end {
+            let slot_end_s = (at.as_secs() / 900 + 1) * 900;
+            let until = SimTime::from_secs(slot_end_s.min(end.as_secs()));
+            let span_h = (until.as_secs() - at.as_secs()) as f64 / 3_600.0;
+            total += series.at(at).value().min(rate) * span_h;
+            at = until;
+        }
+        KilowattHours(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn charger(kind: ChargerKind, panel_kw: f64) -> Charger {
+        Charger {
+            id: ChargerId(3),
+            loc: GeoPoint::new(8.2, 53.14),
+            node: NodeId(17),
+            kind,
+            panel: Kilowatts(panel_kw),
+            wind: Kilowatts(0.0),
+            archetype: SiteArchetype::Downtown,
+        }
+    }
+
+    #[test]
+    fn rates_are_ordered() {
+        let rates: Vec<f64> = ChargerKind::ALL.iter().map(|k| k.rate().value()).collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clean_power_capped_by_rate() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Ac11, 100.0); // huge panel, small charger
+        let noon = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let p = b.actual_clean_power(&w, noon);
+        assert!(p.value() <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn clean_power_capped_by_panel_output() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Dc150, 20.0); // big charger, small panel
+        let noon = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let p = b.actual_clean_power(&w, noon);
+        assert!(p.value() <= 20.0);
+    }
+
+    #[test]
+    fn clean_power_zero_at_night() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Ac22, 30.0);
+        let night = SimTime::at(0, DayOfWeek::Tue, 2, 0);
+        assert_eq!(b.actual_clean_power(&w, night).value(), 0.0);
+    }
+
+    #[test]
+    fn clean_energy_scales_with_window() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Ac22, 30.0);
+        let noon = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let e1 = b.actual_clean_energy(&w, noon, 1.0);
+        let e2 = b.actual_clean_energy(&w, noon, 2.0);
+        assert!((e2.value() - 2.0 * e1.value()).abs() < 1e-9);
+        // Negative windows clamp to zero.
+        assert_eq!(b.actual_clean_energy(&w, noon, -1.0).value(), 0.0);
+    }
+
+    #[test]
+    fn forecast_power_within_rate_bounds() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Ac11, 40.0);
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        let eta = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let f = b.forecast_clean_power(&w, now, eta);
+        assert!(f.lo() >= 0.0);
+        assert!(f.hi() <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn exact_energy_integrates_and_caps() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Ac11, 100.0); // rate cap binds at noon
+        let series = b.record_production(&w, 0);
+        let noon = SimTime::at(0, DayOfWeek::Tue, 12, 0);
+        let e = b.exact_clean_energy(&series, noon, 2.0);
+        // With a huge panel, production saturates the 11 kW rate for the
+        // sunny midday window: energy ≈ 11 kW × 2 h.
+        assert!(e.value() <= 22.0 + 1e-9);
+        assert!(e.value() > 15.0, "midday 2h window should be nearly rate-limited: {e}");
+        // Zero/negative windows yield zero.
+        assert_eq!(b.exact_clean_energy(&series, noon, 0.0).value(), 0.0);
+        assert_eq!(b.exact_clean_energy(&series, noon, -1.0).value(), 0.0);
+    }
+
+    #[test]
+    fn exact_energy_tracks_sunset_where_coarse_does_not() {
+        let w = WeatherSim::new(1);
+        let b = charger(ChargerKind::Dc50, 40.0);
+        let series = b.record_production(&w, 0);
+        // Start 1 h before dark: the exact integral sees the sun die, the
+        // coarse estimate extrapolates the arrival-time power.
+        let mut t = SimTime::at(0, DayOfWeek::Tue, 12, 0);
+        while w.actual_sun_fraction(&GeoPoint::new(8.2, 53.14), t) > 0.0 {
+            t = t + ec_types::SimDuration::from_mins(15);
+        }
+        let near_sunset = t - ec_types::SimDuration::from_mins(60);
+        let exact = b.exact_clean_energy(&series, near_sunset, 4.0);
+        let coarse = b.actual_clean_energy(&w, near_sunset, 4.0);
+        assert!(
+            exact.value() < coarse.value(),
+            "exact {exact} must fall below the frozen-at-arrival estimate {coarse}"
+        );
+    }
+
+    #[test]
+    fn exact_energy_additive() {
+        let w = WeatherSim::new(2);
+        let b = charger(ChargerKind::Ac22, 30.0);
+        let series = b.record_production(&w, 0);
+        let t = SimTime::at(0, DayOfWeek::Wed, 10, 0);
+        let whole = b.exact_clean_energy(&series, t, 3.0).value();
+        let parts = b.exact_clean_energy(&series, t, 1.5).value()
+            + b.exact_clean_energy(&series, t + ec_types::SimDuration::from_mins(90), 1.5).value();
+        assert!((whole - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entity_seed_stable_and_distinct() {
+        let a = charger(ChargerKind::Ac11, 10.0);
+        let mut b = charger(ChargerKind::Ac11, 10.0);
+        b.id = ChargerId(4);
+        assert_eq!(a.entity_seed(), a.entity_seed());
+        assert_ne!(a.entity_seed(), b.entity_seed());
+    }
+}

@@ -1,0 +1,167 @@
+//! A spatially-indexed set of charging stations.
+
+use crate::charger::Charger;
+use ec_types::{ChargerId, EcError, GeoPoint};
+use spatial_index::QuadTree;
+
+/// The charger dataset `B`, indexed by a quadtree for the radius and kNN
+/// lookups every access path (Brute-Force aside) relies on.
+#[derive(Debug)]
+pub struct ChargerFleet {
+    chargers: Vec<Charger>,
+    tree: QuadTree<ChargerId>,
+}
+
+impl ChargerFleet {
+    /// Build a fleet, reassigning dense ids in input order.
+    #[must_use]
+    pub fn new(mut chargers: Vec<Charger>) -> Self {
+        for (i, c) in chargers.iter_mut().enumerate() {
+            c.id = ChargerId::from_index(i);
+        }
+        let tree = QuadTree::bulk(chargers.iter().map(|c| (c.loc, c.id)).collect());
+        Self { chargers, tree }
+    }
+
+    /// Number of stations `|B|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chargers.len()
+    }
+
+    /// True when the fleet has no stations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chargers.is_empty()
+    }
+
+    /// Station by id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn get(&self, id: ChargerId) -> &Charger {
+        &self.chargers[id.index()]
+    }
+
+    /// Checked station lookup.
+    pub fn try_get(&self, id: ChargerId) -> Result<&Charger, EcError> {
+        self.chargers.get(id.index()).ok_or(EcError::UnknownCharger(id.0))
+    }
+
+    /// All stations, id order.
+    #[must_use]
+    pub fn all(&self) -> &[Charger] {
+        &self.chargers
+    }
+
+    /// Iterate over all stations.
+    pub fn iter(&self) -> impl Iterator<Item = &Charger> {
+        self.chargers.iter()
+    }
+
+    /// Stations within `radius_m` of `p`, nearest first — the filtering
+    /// phase's radius-`R` candidate pull.
+    #[must_use]
+    pub fn within_radius(&self, p: &GeoPoint, radius_m: f64) -> Vec<(ChargerId, f64)> {
+        self.tree.range(p, radius_m).into_iter().map(|h| (*h.item, h.dist_m)).collect()
+    }
+
+    /// The `k` stations nearest to `p`.
+    #[must_use]
+    pub fn knn(&self, p: &GeoPoint, k: usize) -> Vec<(ChargerId, f64)> {
+        self.tree.knn(p, k).into_iter().map(|h| (*h.item, h.dist_m)).collect()
+    }
+
+    /// The largest panel rating in the fleet, kW — the normalisation
+    /// divisor for `L` ("dividing them with the environment's maximum
+    /// charging level value", §III-B). Zero for an empty fleet.
+    #[must_use]
+    pub fn max_panel_kw(&self) -> f64 {
+        self.chargers.iter().map(|c| c.panel.value()).fold(0.0, f64::max)
+    }
+
+    /// The largest deliverable clean-power level in the fleet, kW
+    /// (`min(rate, panel + wind)` per station, maximised over stations).
+    #[must_use]
+    pub fn max_clean_power_kw(&self) -> f64 {
+        self.chargers
+            .iter()
+            .map(|c| c.kind.rate().value().min(c.panel.value() + c.wind.value()))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charger::ChargerKind;
+    use ec_models::SiteArchetype;
+    use ec_types::{Kilowatts, NodeId};
+
+    fn fleet() -> ChargerFleet {
+        let origin = GeoPoint::new(8.0, 53.0);
+        let chargers = (0..10u32)
+            .map(|i| Charger {
+                id: ChargerId(999), // overwritten by the fleet
+                loc: origin.offset_m(f64::from(i) * 2_000.0, 500.0),
+                node: NodeId(i),
+                kind: ChargerKind::ALL[(i % 4) as usize],
+                panel: Kilowatts(10.0 + f64::from(i) * 5.0),
+                wind: Kilowatts(0.0),
+                archetype: SiteArchetype::ALL[(i % 5) as usize],
+            })
+            .collect();
+        ChargerFleet::new(chargers)
+    }
+
+    #[test]
+    fn ids_are_densified() {
+        let f = fleet();
+        for (i, c) in f.iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+        assert_eq!(f.get(ChargerId(4)).id, ChargerId(4));
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let f = fleet();
+        assert!(f.try_get(ChargerId(9)).is_ok());
+        assert!(matches!(f.try_get(ChargerId(10)), Err(EcError::UnknownCharger(10))));
+    }
+
+    #[test]
+    fn within_radius_sorted_and_filtered() {
+        let f = fleet();
+        let q = GeoPoint::new(8.0, 53.0);
+        let hits = f.within_radius(&q, 4_500.0);
+        assert_eq!(hits.len(), 3); // at ~0.5, ~2.06, ~4.03 km
+        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn knn_returns_k() {
+        let f = fleet();
+        let q = GeoPoint::new(8.0, 53.0);
+        let hits = f.knn(&q, 4);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].0, ChargerId(0));
+    }
+
+    #[test]
+    fn max_values() {
+        let f = fleet();
+        assert_eq!(f.max_panel_kw(), 55.0);
+        // Station 9: Ac22 rate=22, panel=55 → 22; station 7: Dc150, panel 45 → 45.
+        assert_eq!(f.max_clean_power_kw(), 45.0);
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let f = ChargerFleet::new(Vec::new());
+        assert!(f.is_empty());
+        assert_eq!(f.max_panel_kw(), 0.0);
+        assert!(f.knn(&GeoPoint::new(0.0, 0.0), 3).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # `chargers` — the EV charger dataset `B`
+//!
+//! The paper draws its charger set from PlugShare plus CDGS production
+//! records: "more than 1,000 chargers along with various information about
+//! their charging rates, timestamps, and solar generation in a 15-minute
+//! time-interval" (§V-A). This crate models a charging station
+//! ([`Charger`]) with its AC/DC rate, attached solar capacity and site
+//! archetype; groups stations into a spatially-indexed [`ChargerFleet`];
+//! and synthesises PlugShare-scale fleets on any road network
+//! ([`synth_fleet`]).
+
+pub mod charger;
+pub mod fleet;
+pub mod synth;
+
+pub use charger::{Charger, ChargerKind};
+pub use fleet::ChargerFleet;
+pub use synth::{synth_fleet, FleetParams};

@@ -1,0 +1,223 @@
+//! PlugShare-style fleet synthesis.
+//!
+//! Places charging stations on a road network with realistic siting:
+//! stations sit at network nodes; nodes on motorways host
+//! [`SiteArchetype::Highway`] plazas, well-connected nodes near the region
+//! centre host downtown garages, and the rest split between malls,
+//! workplaces and suburban street chargers. Rates follow the public-
+//! charging mix (AC-heavy with a DC fast-charge minority); attached solar
+//! capacity scales with the charger rate.
+
+use crate::charger::{Charger, ChargerKind};
+use crate::fleet::ChargerFleet;
+use ec_models::SiteArchetype;
+use ec_types::{ChargerId, Kilowatts, NodeId, SplitMix64};
+use roadnet::{RoadClass, RoadGraph};
+
+/// Parameters for [`synth_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Number of stations to place.
+    pub count: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of stations backed by net-metered wind instead of local
+    /// solar (the paper's §II-A remote-farm case). Zero — the default and
+    /// the evaluation setting — keeps the fleet purely solar.
+    pub wind_fraction: f64,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        Self { count: 1_000, seed: 1, wind_fraction: 0.0 }
+    }
+}
+
+/// Synthesise a charger fleet on `graph`. Deterministic in
+/// `params.seed`; stations never share a node.
+///
+/// # Panics
+/// Panics when `count` is zero or exceeds the number of graph nodes.
+#[must_use]
+pub fn synth_fleet(graph: &RoadGraph, params: &FleetParams) -> ChargerFleet {
+    assert!(params.count > 0, "fleet must have at least one charger");
+    assert!(
+        params.count <= graph.num_nodes(),
+        "cannot place {} chargers on {} nodes",
+        params.count,
+        graph.num_nodes()
+    );
+    let mut rng = SplitMix64::new(ec_types::rng::subseed(params.seed, 2));
+    let center = graph.bounds().center();
+    let half_diag = graph
+        .bounds()
+        .min
+        .fast_dist_m(&graph.bounds().max)
+        .max(1.0)
+        / 2.0;
+
+    // Sample distinct nodes.
+    let mut taken = std::collections::HashSet::with_capacity(params.count);
+    let mut nodes = Vec::with_capacity(params.count);
+    while nodes.len() < params.count {
+        let v = NodeId(u32::try_from(rng.below(graph.num_nodes() as u64)).expect("fits u32"));
+        if taken.insert(v) {
+            nodes.push(v);
+        }
+    }
+
+    let chargers = nodes
+        .into_iter()
+        .map(|node| {
+            let loc = graph.point(node);
+            let on_motorway = graph
+                .out_edges(node)
+                .any(|(e, _)| graph.edge_class(e) == RoadClass::Motorway);
+            let centrality = 1.0 - (loc.fast_dist_m(&center) / half_diag).min(1.0);
+            let archetype = if on_motorway {
+                SiteArchetype::Highway
+            } else if centrality > 0.7 && rng.next_f64() < 0.6 {
+                SiteArchetype::Downtown
+            } else {
+                match rng.below(3) {
+                    0 => SiteArchetype::Mall,
+                    1 => SiteArchetype::Workplace,
+                    _ => SiteArchetype::Suburban,
+                }
+            };
+            // Public-charging rate mix: highway sites skew DC.
+            let kind = if archetype == SiteArchetype::Highway {
+                if rng.next_f64() < 0.6 {
+                    ChargerKind::Dc150
+                } else {
+                    ChargerKind::Dc50
+                }
+            } else {
+                let r = rng.next_f64();
+                if r < 0.45 {
+                    ChargerKind::Ac11
+                } else if r < 0.8 {
+                    ChargerKind::Ac22
+                } else if r < 0.95 {
+                    ChargerKind::Dc50
+                } else {
+                    ChargerKind::Dc150
+                }
+            };
+            // Carport / roof solar sized 0.8–2.5× the charger rate; a
+            // wind-backed station swaps its solar for net-metered wind
+            // capacity at the same scale.
+            let capacity = Kilowatts(kind.rate().value() * rng.range_f64(0.8, 2.5));
+            let (panel, wind) = if rng.next_f64() < params.wind_fraction {
+                (Kilowatts(0.0), capacity)
+            } else {
+                (capacity, Kilowatts(0.0))
+            };
+            Charger { id: ChargerId(0), loc, node, kind, panel, wind, archetype }
+        })
+        .collect();
+    ChargerFleet::new(chargers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{metro_regions, urban_grid, MetroRegionsParams, UrbanGridParams};
+
+    fn grid() -> RoadGraph {
+        urban_grid(&UrbanGridParams::default())
+    }
+
+    #[test]
+    fn places_requested_count() {
+        let g = grid();
+        let f = synth_fleet(&g, &FleetParams { count: 300, seed: 7, ..Default::default() });
+        assert_eq!(f.len(), 300);
+    }
+
+    #[test]
+    fn nodes_are_distinct_and_valid() {
+        let g = grid();
+        let f = synth_fleet(&g, &FleetParams { count: 200, seed: 7, ..Default::default() });
+        let mut seen = std::collections::HashSet::new();
+        for c in f.iter() {
+            assert!(c.node.index() < g.num_nodes());
+            assert!(seen.insert(c.node), "duplicate node {:?}", c.node);
+            assert_eq!(c.loc, g.point(c.node));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = grid();
+        let a = synth_fleet(&g, &FleetParams { count: 100, seed: 3, ..Default::default() });
+        let b = synth_fleet(&g, &FleetParams { count: 100, seed: 3, ..Default::default() });
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        let c = synth_fleet(&g, &FleetParams { count: 100, seed: 4, ..Default::default() });
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn res_capacity_scales_with_rate() {
+        let g = grid();
+        let f = synth_fleet(&g, &FleetParams { count: 150, seed: 1, ..Default::default() });
+        for c in f.iter() {
+            let ratio = (c.panel.value() + c.wind.value()) / c.kind.rate().value();
+            assert!((0.8..=2.5).contains(&ratio), "RES/rate ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn wind_fraction_mixes_the_fleet() {
+        let g = grid();
+        let f = synth_fleet(&g, &FleetParams { count: 300, seed: 1, wind_fraction: 0.3 });
+        let windy = f.iter().filter(|c| c.has_wind()).count();
+        assert!((50..=130).contains(&windy), "expected ~30% wind stations, got {windy}/300");
+        for c in f.iter() {
+            // A station is solar- or wind-backed, never both in the synth.
+            assert!(c.panel.value() == 0.0 || c.wind.value() == 0.0);
+        }
+        // Default remains purely solar.
+        let solar = synth_fleet(&g, &FleetParams { count: 100, seed: 1, ..Default::default() });
+        assert!(solar.iter().all(|c| !c.has_wind()));
+    }
+
+    #[test]
+    fn motorway_nodes_become_highway_plazas() {
+        let g = metro_regions(&MetroRegionsParams {
+            cities: 3,
+            ..MetroRegionsParams::default()
+        });
+        let f = synth_fleet(&g, &FleetParams { count: 400, seed: 5, ..Default::default() });
+        let highway_count = f.iter().filter(|c| c.archetype == SiteArchetype::Highway).count();
+        assert!(highway_count > 0, "metro network must yield highway plazas");
+        for c in f.iter().filter(|c| c.archetype == SiteArchetype::Highway) {
+            assert!(matches!(c.kind, ChargerKind::Dc50 | ChargerKind::Dc150));
+        }
+    }
+
+    #[test]
+    fn archetype_diversity() {
+        let g = grid();
+        let f = synth_fleet(&g, &FleetParams { count: 500, seed: 2, ..Default::default() });
+        let kinds: std::collections::HashSet<_> =
+            f.iter().map(|c| c.archetype).collect();
+        assert!(kinds.len() >= 3, "only {kinds:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_count_panics() {
+        let g = grid();
+        let _ = synth_fleet(&g, &FleetParams { count: 0, seed: 1, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn overfull_panics() {
+        let g = grid();
+        let _ = synth_fleet(&g, &FleetParams { count: g.num_nodes() + 1, seed: 1, ..Default::default() });
+    }
+}

@@ -1,0 +1,312 @@
+//! The EcoCharge algorithm (Algorithm 1) with Dynamic Caching.
+//!
+//! Per query point the algorithm runs the two phases of §III-C:
+//!
+//! * **Filtering** — pull the candidate pool: on a cache miss, every
+//!   charger within radius `R` of the vehicle (a quadtree range query);
+//!   on a hit (moved less than `Q` since the last full solve), reuse the
+//!   cached candidates and their `L`/`A` forecasts, refreshing only the
+//!   derouting component from the new position;
+//! * **Refinement** — score each candidate's interval Sustainability
+//!   Score, intersect the top-k sets under `SC_min` and `SC_max` (Eq. 6)
+//!   and sort into the Offering Table.
+
+use crate::cache::{CachedSolution, DynamicCache};
+use crate::context::{QueryCtx, RankingMethod};
+use crate::objectives::{compute_components, refresh_derouting};
+use crate::offering::OfferingTable;
+use crate::score::{prune_dominated, refine_topk};
+use ec_types::{ChargerId, EcError, Interval, SimTime};
+use roadnet::SearchEngine;
+use trajgen::Trip;
+
+/// The paper's method: CkNN-EC ranking with Dynamic Caching.
+#[derive(Debug, Default)]
+pub struct EcoCharge {
+    engine: SearchEngine,
+    cache: DynamicCache,
+}
+
+impl EcoCharge {
+    /// A fresh instance (empty cache).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dynamic-cache `(hits, misses)` counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+impl RankingMethod for EcoCharge {
+    fn name(&self) -> &'static str {
+        "EcoCharge"
+    }
+
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        ctx.config.validate()?;
+        let pos = trip.position_at_offset(ctx.graph, offset_m);
+        let node = trip.route.nearest_node_at(offset_m);
+        let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());
+        let rejoin = trip.route.nearest_node_at(rejoin_offset);
+
+        let (comps, adapted) = if let Some(cached) =
+            self.cache.lookup(&pos, now, ctx.config.range_km, ctx.config.radius_km)
+        {
+            // Adaptation: reuse candidates and their L/A, refresh D only.
+            let comps =
+                refresh_derouting(ctx, &mut self.engine, node, rejoin, now, &cached.components)?;
+            (comps, true)
+        } else {
+            // Full recomputation (filtering phase).
+            let candidates: Vec<ChargerId> = ctx
+                .fleet
+                .within_radius(&pos, ctx.config.radius_km * 1_000.0)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            if candidates.is_empty() {
+                return Err(EcError::NoCandidates);
+            }
+            let comps =
+                compute_components(ctx, &mut self.engine, node, rejoin, now, &candidates)?;
+            if comps.is_empty() {
+                // Everything in range was unreachable or infeasible for
+                // the vehicle — the filtering phase emptied the pool.
+                return Err(EcError::NoCandidates);
+            }
+            self.cache.store(CachedSolution {
+                origin: pos,
+                computed_at: now,
+                components: comps.clone(),
+                radius_km: ctx.config.radius_km,
+            });
+            (comps, false)
+        };
+
+        if comps.is_empty() {
+            return Err(EcError::NoCandidates);
+        }
+        // Refinement phase (Eq. 4–6), preceded by the filtering phase's
+        // dominance pruning: candidates that cannot reach the top-k under
+        // any realisation of the estimates are discarded first.
+        let sc: Vec<Interval> =
+            comps.iter().map(|c| ctx.config.weights.interval_score(c.l, c.a, c.d)).collect();
+        let scored: Vec<(usize, Interval)> = sc.iter().copied().enumerate().collect();
+        let survivors = prune_dominated(&scored, ctx.config.k);
+        let pruned: Vec<(usize, Interval)> = survivors.iter().map(|&i| scored[i]).collect();
+        let ranked = refine_topk(&pruned, ctx.config.k);
+        Ok(OfferingTable::from_ranked(
+            offset_m,
+            pos,
+            now,
+            &comps,
+            &sc,
+            &ranked,
+            ctx.config.charge_window_h,
+            adapted,
+        ))
+    }
+
+    fn reset_trip(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams::default());
+            let fleet = synth_fleet(&graph, &FleetParams { count: 80, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams {
+                    trips: 2,
+                    min_trip_m: 15_000.0,
+                    max_trip_m: 30_000.0,
+                    ..Default::default()
+                },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx_with(&self, config: EcoChargeConfig) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, config)
+        }
+    }
+
+    #[test]
+    fn produces_k_ranked_offers() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig::default());
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let table = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(table.len(), 5);
+        assert!(!table.adapted, "first table is a full solve");
+        // Ranked descending by SC midpoint.
+        for w in table.entries.windows(2) {
+            assert!(w[0].sc.mid() >= w[1].sc.mid());
+        }
+    }
+
+    #[test]
+    fn second_nearby_query_adapts() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig::default());
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let t1 = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        // 3 km further: inside Q = 5 km.
+        let t2 = m
+            .offering_table(&ctx, trip, 3_000.0, trip.eta_at_offset(&f.graph, 3_000.0))
+            .unwrap();
+        assert!(!t1.adapted && t2.adapted);
+        assert_eq!(m.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn q_zero_never_adapts() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig { range_km: 0.0, ..Default::default() });
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        for off in [0.0, 2_000.0, 4_000.0] {
+            let t = m.offering_table(&ctx, trip, off, trip.eta_at_offset(&f.graph, off)).unwrap();
+            assert!(!t.adapted);
+        }
+        assert_eq!(m.cache_stats().0, 0);
+    }
+
+    #[test]
+    fn reset_trip_clears_cache() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig::default());
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let _ = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        m.reset_trip();
+        let t = m.offering_table(&ctx, trip, 1_000.0, trip.depart).unwrap();
+        assert!(!t.adapted, "cache was cleared between trips");
+    }
+
+    #[test]
+    fn offers_stay_within_radius() {
+        let f = Fixture::new();
+        let cfg = EcoChargeConfig { radius_km: 8.0, range_km: 0.0, ..Default::default() };
+        let ctx = f.ctx_with(cfg);
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[1];
+        let table = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        let pos = trip.position_at_offset(&f.graph, 0.0);
+        for e in &table.entries {
+            let d = pos.fast_dist_m(&f.fleet.get(e.charger).loc);
+            assert!(d <= 8_000.0 + 1.0, "offer {} at {d} m exceeds R", e.charger);
+        }
+    }
+
+    #[test]
+    fn tiny_radius_yields_no_candidates() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig { radius_km: 0.001, ..Default::default() });
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let r = m.offering_table(&ctx, trip, 0.0, trip.depart);
+        assert!(matches!(r, Err(EcError::NoCandidates)));
+    }
+
+    #[test]
+    fn low_soc_vehicle_only_gets_nearby_offers() {
+        let f = Fixture::new();
+        // 45 kWh pack at 14 % SoC, 10 % reserve → ~1.8 kWh usable: only
+        // chargers a few km off-route remain feasible.
+        let vehicle = crate::vehicle::Vehicle::city_ev(ec_types::VehicleId(0), 0.14);
+        let ctx = f.ctx_with(EcoChargeConfig { vehicle: Some(vehicle), ..Default::default() });
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let pos = trip.position_at_offset(&f.graph, 0.0);
+        match m.offering_table(&ctx, trip, 0.0, trip.depart) {
+            Ok(table) => {
+                assert!(!table.is_empty());
+                // 1.8 usable kWh at worst-case 0.21 kWh/km covers an
+                // out-and-back of ≤ ~4.3 km each way; allow curvature
+                // slack and assert offers are well inside the city, far
+                // tighter than the 50 km radius.
+                for e in &table.entries {
+                    let d = pos.fast_dist_m(&f.fleet.get(e.charger).loc);
+                    assert!(d < 8_000.0, "{} offered at {d} m on ~1.8 kWh usable", e.charger);
+                }
+            }
+            Err(EcError::NoCandidates) => {} // nothing affordable at all — legal
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // At the reserve floor nothing is affordable.
+        let stranded = crate::vehicle::Vehicle::city_ev(ec_types::VehicleId(0), 0.1);
+        let ctx2 = f.ctx_with(EcoChargeConfig { vehicle: Some(stranded), ..Default::default() });
+        let mut m2 = EcoCharge::new();
+        assert!(matches!(
+            m2.offering_table(&ctx2, trip, 0.0, trip.depart),
+            Err(EcError::NoCandidates)
+        ));
+    }
+
+    #[test]
+    fn ac_limited_vehicle_caps_clean_energy_estimates() {
+        let f = Fixture::new();
+        let vehicle = crate::vehicle::Vehicle::city_ev(ec_types::VehicleId(0), 0.8); // 11 kW AC
+        let ctx = f.ctx_with(EcoChargeConfig { vehicle: Some(vehicle), ..Default::default() });
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        let table = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        for e in &table.entries {
+            let kind = f.fleet.get(e.charger).kind;
+            let cap = vehicle.accept_rate(kind).value() * ctx.config.charge_window_h;
+            assert!(
+                e.est_clean_kwh.value() <= cap + 1e-9,
+                "{}: {} kWh exceeds the vehicle cap {}",
+                e.charger,
+                e.est_clean_kwh.value(),
+                cap
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig { k: 0, ..Default::default() });
+        let mut m = EcoCharge::new();
+        let trip = &f.trips[0];
+        assert!(matches!(
+            m.offering_table(&ctx, trip, 0.0, trip.depart),
+            Err(EcError::InvalidConfig(_))
+        ));
+    }
+}

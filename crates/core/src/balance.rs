@@ -1,0 +1,296 @@
+//! Recommendation-traffic balancing — the paper's future-work item
+//! (§VII): "we plan to investigate the balance of the produced traffic to
+//! chargers by the suggested Offering Tables, and monitor the congestion
+//! to redirect drivers to alternative EV charging stations."
+//!
+//! When many vehicles ask the same region at the same time, unbalanced
+//! Offering Tables funnel everyone to the same top charger, creating the
+//! very queue the availability component tried to avoid. [`LoadTracker`]
+//! counts outstanding recommendations per charger (server-side, shared by
+//! all Mode-2 clients or gossiped between edge clients), and
+//! [`BalancedEcoCharge`] discounts a candidate's availability by its
+//! expected contention before refinement:
+//!
+//! ```text
+//! A'(b) = A(b) · capacity(b) / (capacity(b) + outstanding(b))
+//! ```
+//!
+//! With no outstanding recommendations the ranking is untouched; each
+//! outstanding claim on a single-plug charger halves its effective
+//! availability, steering the next vehicle to an alternative.
+
+use crate::algorithm::EcoCharge;
+use crate::context::{QueryCtx, RankingMethod};
+use crate::offering::OfferingTable;
+use ec_types::{ChargerId, EcError, Interval, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use trajgen::Trip;
+
+/// Shared, thread-safe count of outstanding recommendations per charger.
+#[derive(Debug, Default, Clone)]
+pub struct LoadTracker {
+    inner: Arc<Mutex<HashMap<ChargerId, u32>>>,
+}
+
+impl LoadTracker {
+    /// A tracker with no outstanding recommendations.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a vehicle was steered to `charger`.
+    pub fn claim(&self, charger: ChargerId) {
+        *self.inner.lock().entry(charger).or_insert(0) += 1;
+    }
+
+    /// Record that a vehicle finished (or abandoned) its visit.
+    pub fn release(&self, charger: ChargerId) {
+        let mut map = self.inner.lock();
+        if let Some(n) = map.get_mut(&charger) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&charger);
+            }
+        }
+    }
+
+    /// Outstanding recommendations for `charger`.
+    #[must_use]
+    pub fn outstanding(&self, charger: ChargerId) -> u32 {
+        self.inner.lock().get(&charger).copied().unwrap_or(0)
+    }
+
+    /// Total outstanding recommendations.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.inner.lock().values().sum()
+    }
+
+    /// The largest per-charger load — the congestion-concentration metric
+    /// the balance experiment reports.
+    #[must_use]
+    pub fn max_load(&self) -> u32 {
+        self.inner.lock().values().copied().max().unwrap_or(0)
+    }
+
+    /// Forget everything.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+/// How many simultaneous vehicles a charger absorbs before its effective
+/// availability halves. DC plazas park several cars; a street AC post
+/// serves one.
+#[must_use]
+pub fn assumed_capacity(kind: chargers::ChargerKind) -> f64 {
+    match kind {
+        chargers::ChargerKind::Ac11 => 1.0,
+        chargers::ChargerKind::Ac22 => 2.0,
+        chargers::ChargerKind::Dc50 => 3.0,
+        chargers::ChargerKind::Dc150 => 4.0,
+    }
+}
+
+/// EcoCharge with contention-aware availability discounting.
+#[derive(Debug)]
+pub struct BalancedEcoCharge {
+    inner: EcoCharge,
+    loads: LoadTracker,
+    /// Automatically claim the top offer of every produced table (the
+    /// behaviour of an app that tentatively books the best slot).
+    pub auto_claim: bool,
+}
+
+impl BalancedEcoCharge {
+    /// Wrap EcoCharge with a (possibly shared) load tracker.
+    #[must_use]
+    pub fn new(loads: LoadTracker) -> Self {
+        Self { inner: EcoCharge::new(), loads, auto_claim: false }
+    }
+
+    /// The shared load tracker.
+    #[must_use]
+    pub fn loads(&self) -> &LoadTracker {
+        &self.loads
+    }
+
+    /// The contention discount for one charger: `cap / (cap + load)`.
+    fn discount(&self, ctx: &QueryCtx<'_>, charger: ChargerId) -> f64 {
+        let cap = assumed_capacity(ctx.fleet.get(charger).kind);
+        let load = f64::from(self.loads.outstanding(charger));
+        cap / (cap + load)
+    }
+}
+
+impl RankingMethod for BalancedEcoCharge {
+    fn name(&self) -> &'static str {
+        "EcoCharge+LB"
+    }
+
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        // Rank with the plain algorithm over a widened table, then
+        // re-score availability under contention and cut to k. Asking the
+        // inner method for more than k keeps genuine alternatives in view
+        // when the top offers are contended.
+        let widened = QueryCtx {
+            graph: ctx.graph,
+            fleet: ctx.fleet,
+            server: ctx.server,
+            sims: ctx.sims,
+            norm: ctx.norm,
+            config: crate::context::EcoChargeConfig { k: ctx.config.k * 3, ..ctx.config },
+        };
+        let mut table = self.inner.offering_table(&widened, trip, offset_m, now)?;
+        for entry in &mut table.entries {
+            let disc = self.discount(ctx, entry.charger);
+            entry.a = Interval::new(entry.a.lo() * disc, entry.a.hi() * disc);
+            entry.sc = ctx.config.weights.interval_score(entry.l, entry.a, entry.d);
+        }
+        table
+            .entries
+            .sort_by(|x, y| y.sc.rank_cmp(&x.sc).then(x.charger.cmp(&y.charger)));
+        table.entries.truncate(ctx.config.k);
+        if self.auto_claim {
+            if let Some(best) = table.best() {
+                self.loads.claim(best.charger);
+            }
+        }
+        Ok(table)
+    }
+
+    fn reset_trip(&mut self) {
+        self.inner.reset_trip();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
+            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, ..Default::default() },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn tracker_claims_and_releases() {
+        let t = LoadTracker::new();
+        let b = ChargerId(3);
+        assert_eq!(t.outstanding(b), 0);
+        t.claim(b);
+        t.claim(b);
+        assert_eq!(t.outstanding(b), 2);
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.max_load(), 2);
+        t.release(b);
+        assert_eq!(t.outstanding(b), 1);
+        t.release(b);
+        t.release(b); // extra release is a no-op
+        assert_eq!(t.outstanding(b), 0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn tracker_is_shared_across_clones() {
+        let t = LoadTracker::new();
+        let t2 = t.clone();
+        t.claim(ChargerId(1));
+        assert_eq!(t2.outstanding(ChargerId(1)), 1);
+    }
+
+    #[test]
+    fn unloaded_tracker_matches_plain_ecocharge() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut plain = EcoCharge::new();
+        let plain_ids = plain.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids();
+        let mut balanced = BalancedEcoCharge::new(LoadTracker::new());
+        let bal_ids = balanced.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids();
+        assert_eq!(plain_ids, bal_ids, "no load, no change");
+    }
+
+    #[test]
+    fn heavy_load_demotes_the_top_offer() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut balanced = BalancedEcoCharge::new(LoadTracker::new());
+        let first = balanced.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        let top = first.best().unwrap().charger;
+        // Pile claims on the current winner.
+        for _ in 0..12 {
+            balanced.loads().claim(top);
+        }
+        balanced.reset_trip();
+        let second = balanced.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert_ne!(second.best().unwrap().charger, top, "contended charger must be demoted");
+    }
+
+    #[test]
+    fn auto_claim_accumulates_load() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut balanced = BalancedEcoCharge::new(LoadTracker::new());
+        balanced.auto_claim = true;
+        for _ in 0..4 {
+            balanced.reset_trip();
+            let _ = balanced.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        }
+        assert_eq!(balanced.loads().total(), 4);
+        // With balancing the four claims cannot all pile on one charger
+        // unless its lead is overwhelming; allow at most 3 on the max.
+        assert!(balanced.loads().max_load() <= 3, "load {:?}", balanced.loads().max_load());
+    }
+
+    #[test]
+    fn table_still_k_entries_and_sorted() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut balanced = BalancedEcoCharge::new(LoadTracker::new());
+        balanced.loads().claim(ChargerId(0));
+        let table = balanced.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(table.len(), ctx.config.k);
+        for w in table.entries.windows(2) {
+            assert!(w[0].sc.mid() >= w[1].sc.mid());
+        }
+    }
+}

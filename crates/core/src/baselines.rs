@@ -1,0 +1,384 @@
+//! The evaluation baselines (§V-A).
+//!
+//! * [`BruteForce`] — "performs an exhaustive search over the entire pool
+//!   of chargers to find the ones maximizing the SC": the naive loop,
+//!   paying per-charger point-to-point searches (an A* out, an A* back,
+//!   and an A* for the ETA) — the `O(n)` access path;
+//! * [`IndexQuadtree`] — the same scoring restricted to the spatially
+//!   nearest fraction of the fleet, retrieved through the quadtree —
+//!   faster, but blind to good-but-farther chargers;
+//! * [`RandomPick`] — "generates an Offering Table with random EV chargers
+//!   within the configured input radius R, while completely ignoring the
+//!   objectives".
+//!
+//! Brute-Force and Index-Quadtree score with the forecast midpoints —
+//! the best point estimates the evaluation's data sources offer (the
+//! paper's Brute-Force maximises SC over the same feeds every method
+//! consumes; no privileged future knowledge exists). Brute-Force defines
+//! the 100 % line of the default [`ScoringBasis::Forecast`] referee,
+//! while EcoCharge works from the full forecast intervals like a deployed
+//! client would.
+//!
+//! [`ScoringBasis::Forecast`]: crate::oracle::ScoringBasis
+
+use crate::context::{QueryCtx, RankingMethod};
+use crate::offering::{OfferingEntry, OfferingTable};
+use crate::oracle::TrueComponents;
+use ec_types::{
+    ChargerId, EcError, GeoPoint, Interval, KilowattHours, NodeId, SimDuration, SimTime,
+    SplitMix64,
+};
+use roadnet::{CostMetric, RoadClass, SearchEngine};
+use trajgen::Trip;
+
+/// Exactly-measured raw values for one charger: true clean power (kW),
+/// true `A`, raw detour energy (kWh) and ETA.
+struct ExactRaw {
+    charger: ChargerId,
+    clean_kw: f64,
+    a: f64,
+    detour_kwh: f64,
+    eta: SimTime,
+}
+
+/// Score one charger exactly, the naive way: three A* searches plus the
+/// ground-truth component lookups. Shared by Brute-Force and
+/// Index-Quadtree (the latter merely shrinks the loop).
+fn exact_score_one(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+    cid: ChargerId,
+) -> Option<ExactRaw> {
+    let charger = ctx.fleet.get(cid);
+    let (secs, _) = engine.astar(ctx.graph, at_node, charger.node, CostMetric::Time)?;
+    let (e_fwd, _) = engine.astar(ctx.graph, at_node, charger.node, CostMetric::Energy)?;
+    let (e_ret, _) = engine.astar(ctx.graph, charger.node, rejoin_node, CostMetric::Energy)?;
+    let eta = now + SimDuration::from_secs_f64(secs);
+    let sun = ctx.server.sun_forecast(&charger.loc, now, eta).ok()?.mid();
+    let wind_cf = if charger.has_wind() {
+        ctx.server.wind_forecast(&charger.loc, now, eta).ok()?.mid()
+    } else {
+        0.0
+    };
+    let rate = match &ctx.config.vehicle {
+        Some(v) => v.accept_rate(charger.kind).value(),
+        None => charger.kind.rate().value(),
+    };
+    let clean_kw = (sun * charger.panel.value() + wind_cf * charger.wind.value()).min(rate);
+    let a = ctx.server.availability_forecast(charger, now, eta).ok()?.mid();
+    let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta).ok()?.mid();
+    let detour_kwh = (e_fwd + e_ret) * factor;
+    if ctx.config.vehicle.as_ref().is_some_and(|v| !v.can_afford(detour_kwh)) {
+        return None;
+    }
+    Some(ExactRaw { charger: cid, clean_kw, a, detour_kwh, eta })
+}
+
+/// Normalise `L` and `D` by the pool's environment maxima (§III-B),
+/// score, sort, truncate to `k` and build the table.
+fn table_from_exact(
+    ctx: &QueryCtx<'_>,
+    offset_m: f64,
+    origin: GeoPoint,
+    now: SimTime,
+    raw: Vec<ExactRaw>,
+) -> OfferingTable {
+    let w = &ctx.config.weights;
+    let max_detour = raw
+        .iter()
+        .map(|r| r.detour_kwh)
+        .fold(0.0f64, f64::max)
+        .min(ctx.norm.max_derouting_kwh)
+        .max(f64::EPSILON);
+    let max_clean = raw.iter().map(|r| r.clean_kw).fold(0.0f64, f64::max).max(f64::EPSILON);
+    let mut scored: Vec<(TrueComponents, &ExactRaw)> = raw
+        .iter()
+        .map(|r| {
+            (
+                TrueComponents {
+                    l: (r.clean_kw / max_clean).clamp(0.0, 1.0),
+                    a: r.a,
+                    d: (r.detour_kwh / max_detour).clamp(0.0, 1.0),
+                },
+                r,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        w.point_score(b.0.l, b.0.a, b.0.d)
+            .partial_cmp(&w.point_score(a.0.l, a.0.a, a.0.d))
+            .expect("finite scores")
+            .then(a.1.charger.cmp(&b.1.charger))
+    });
+    scored.truncate(ctx.config.k);
+    let entries = scored
+        .into_iter()
+        .map(|(c, r)| OfferingEntry {
+            charger: r.charger,
+            sc: Interval::point(w.point_score(c.l, c.a, c.d)),
+            l: Interval::point(c.l),
+            a: Interval::point(c.a),
+            d: Interval::point(c.d),
+            eta: r.eta,
+            est_clean_kwh: KilowattHours(
+                (r.clean_kw * ctx.config.charge_window_h).max(0.0),
+            ),
+        })
+        .collect();
+    OfferingTable { at_offset_m: offset_m, origin, generated_at: now, entries, adapted: false }
+}
+
+/// The exhaustive baseline: every charger, naive per-charger searches.
+#[derive(Debug, Default)]
+pub struct BruteForce {
+    engine: SearchEngine,
+}
+
+impl BruteForce {
+    /// A fresh instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RankingMethod for BruteForce {
+    fn name(&self) -> &'static str {
+        "Brute-Force"
+    }
+
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        let pos = trip.position_at_offset(ctx.graph, offset_m);
+        let node = trip.route.nearest_node_at(offset_m);
+        let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());
+        let rejoin = trip.route.nearest_node_at(rejoin_offset);
+        let raw: Vec<ExactRaw> = ctx
+            .fleet
+            .iter()
+            .filter_map(|c| exact_score_one(ctx, &mut self.engine, node, rejoin, now, c.id))
+            .collect();
+        if raw.is_empty() {
+            return Err(EcError::NoCandidates);
+        }
+        Ok(table_from_exact(ctx, offset_m, pos, now, raw))
+    }
+}
+
+/// The quadtree-indexed baseline: Brute-Force scoring over the spatially
+/// nearest `⌈quadtree_fraction · |B|⌉` stations.
+#[derive(Debug, Default)]
+pub struct IndexQuadtree {
+    engine: SearchEngine,
+}
+
+impl IndexQuadtree {
+    /// A fresh instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RankingMethod for IndexQuadtree {
+    fn name(&self) -> &'static str {
+        "Index-Quadtree"
+    }
+
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        let pos = trip.position_at_offset(ctx.graph, offset_m);
+        let node = trip.route.nearest_node_at(offset_m);
+        let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());
+        let rejoin = trip.route.nearest_node_at(rejoin_offset);
+        let pool = ((ctx.fleet.len() as f64 * ctx.config.quadtree_fraction).ceil() as usize)
+            .clamp(ctx.config.k.min(ctx.fleet.len()), ctx.fleet.len().max(1));
+        let candidates = ctx.fleet.knn(&pos, pool);
+        let raw: Vec<ExactRaw> = candidates
+            .into_iter()
+            .filter_map(|(cid, _)| exact_score_one(ctx, &mut self.engine, node, rejoin, now, cid))
+            .collect();
+        if raw.is_empty() {
+            return Err(EcError::NoCandidates);
+        }
+        Ok(table_from_exact(ctx, offset_m, pos, now, raw))
+    }
+}
+
+/// The objective-blind baseline: `k` random chargers inside radius `R`.
+#[derive(Debug)]
+pub struct RandomPick {
+    rng: SplitMix64,
+}
+
+impl RandomPick {
+    /// A random picker seeded for reproducibility.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl RankingMethod for RandomPick {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        let pos = trip.position_at_offset(ctx.graph, offset_m);
+        let mut in_radius = ctx.fleet.within_radius(&pos, ctx.config.radius_km * 1_000.0);
+        if in_radius.is_empty() {
+            return Err(EcError::NoCandidates);
+        }
+        // Partial Fisher-Yates for k distinct picks.
+        let k = ctx.config.k.min(in_radius.len());
+        for i in 0..k {
+            let j = i + self.rng.below((in_radius.len() - i) as u64) as usize;
+            in_radius.swap(i, j);
+        }
+        let entries = in_radius[..k]
+            .iter()
+            .map(|&(cid, _)| OfferingEntry {
+                charger: cid,
+                // The objectives are deliberately not evaluated.
+                sc: Interval::zero(),
+                l: Interval::zero(),
+                a: Interval::zero(),
+                d: Interval::zero(),
+                eta: now,
+                est_clean_kwh: KilowattHours(0.0),
+            })
+            .collect();
+        Ok(OfferingTable { at_offset_m: offset_m, origin: pos, generated_at: now, entries, adapted: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
+            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams { trips: 2, min_trip_m: 8_000.0, max_trip_m: 14_000.0, ..Default::default() },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_oracle_best_k() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut bf = BruteForce::new();
+        let table = bf.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        let mut oracle = crate::oracle::Oracle::new(crate::score::Weights::awe());
+        let node = trip.route.nearest_node_at(0.0);
+        let rejoin = trip.route.nearest_node_at(4_000.0_f64.min(trip.length_m()));
+        let (best, best_mean) = oracle.best_k(&ctx, node, rejoin, trip.depart, ctx.config.k);
+        let got: std::collections::HashSet<_> = table.charger_ids().into_iter().collect();
+        let want: std::collections::HashSet<_> = best.into_iter().collect();
+        assert_eq!(got, want, "Brute-Force must find the oracle optimum");
+        let mean = oracle
+            .true_sc_of_set(&ctx, &table.charger_ids(), node, rejoin, trip.depart)
+            .unwrap();
+        assert!((mean - best_mean).abs() < 1e-9, "BF defines the 100% line");
+    }
+
+    #[test]
+    fn quadtree_is_subset_of_near_pool() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut qt = IndexQuadtree::new();
+        let table = qt.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(table.len(), ctx.config.k);
+        let pos = trip.position_at_offset(&f.graph, 0.0);
+        let pool = (((f.fleet.len() as f64 * ctx.config.quadtree_fraction).ceil()) as usize)
+            .max(ctx.config.k);
+        let near: std::collections::HashSet<ChargerId> =
+            f.fleet.knn(&pos, pool).into_iter().map(|(c, _)| c).collect();
+        for id in table.charger_ids() {
+            assert!(near.contains(&id), "{id} outside the quadtree pool");
+        }
+    }
+
+    #[test]
+    fn random_entries_within_radius_and_distinct() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[1];
+        let mut r = RandomPick::new(42);
+        let table = r.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(table.len(), ctx.config.k);
+        let ids = table.charger_ids();
+        let uniq: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(uniq.len(), ids.len(), "duplicates in random table");
+        let pos = trip.position_at_offset(&f.graph, 0.0);
+        for id in &ids {
+            assert!(pos.fast_dist_m(&f.fleet.get(*id).loc) <= ctx.config.radius_km * 1_000.0);
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut a = RandomPick::new(7);
+        let mut b = RandomPick::new(7);
+        assert_eq!(
+            a.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids(),
+            b.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids()
+        );
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(BruteForce::new().name(), "Brute-Force");
+        assert_eq!(IndexQuadtree::new().name(), "Index-Quadtree");
+        assert_eq!(RandomPick::new(1).name(), "Random");
+    }
+}

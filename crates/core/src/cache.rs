@@ -1,0 +1,177 @@
+//! Dynamic Caching (§IV-C).
+//!
+//! "Before a new Offering Table is generated and provided to the user,
+//! EcoCharge examines the previous and current location in order to decide
+//! whether it needs to re-generate a new solution or the previously
+//! generated one can be applied." The decision is gated by two user
+//! parameters: the search radius `R` (the cached candidate pool covers a
+//! disc of radius `R` around the *old* position) and the range distance
+//! `Q` (how far the vehicle may move before a full recomputation).
+//!
+//! [`DynamicCache`] holds the last full solution — the candidate
+//! components and the table built from them — plus hit/miss accounting.
+//! The *adaptation* itself (recomputing only `D` from the new position)
+//! lives in [`crate::objectives::refresh_derouting`]; this module decides
+//! *when* adaptation is allowed.
+
+use crate::objectives::Components;
+use ec_types::{GeoPoint, SimDuration, SimTime};
+
+/// A cached full solution.
+#[derive(Debug, Clone)]
+pub struct CachedSolution {
+    /// Vehicle position the candidates were pulled for.
+    pub origin: GeoPoint,
+    /// When the full computation ran.
+    pub computed_at: SimTime,
+    /// The candidate components (the expensive part to rebuild).
+    pub components: Vec<Components>,
+    /// The radius (km) the candidate pull used — a cache built with a
+    /// smaller radius cannot serve a larger-radius query.
+    pub radius_km: f64,
+}
+
+/// The Dynamic Caching policy and storage.
+#[derive(Debug, Default)]
+pub struct DynamicCache {
+    slot: Option<CachedSolution>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Forecasts older than this are considered invalid regardless of
+/// distance — "a solution will naturally be invalidated after a certain
+/// time point" (§IV-C).
+pub const CACHE_MAX_AGE: SimDuration = SimDuration::from_mins(30);
+
+impl DynamicCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide whether the cached solution may be *adapted* for a query at
+    /// `pos`/`now` under range parameter `range_km` (`Q`) and radius
+    /// `radius_km` (`R`). On a hit, returns the cached solution.
+    pub fn lookup(
+        &mut self,
+        pos: &GeoPoint,
+        now: SimTime,
+        range_km: f64,
+        radius_km: f64,
+    ) -> Option<&CachedSolution> {
+        let ok = self.slot.as_ref().is_some_and(|c| {
+            let moved_m = c.origin.fast_dist_m(pos);
+            moved_m < range_km * 1_000.0
+                && c.radius_km >= radius_km
+                && now.saturating_since(c.computed_at) < CACHE_MAX_AGE
+        });
+        if ok {
+            self.hits += 1;
+            self.slot.as_ref()
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Store a freshly computed solution.
+    pub fn store(&mut self, solution: CachedSolution) {
+        self.slot = Some(solution);
+    }
+
+    /// Drop any cached solution (new trip, settings change).
+    pub fn clear(&mut self) {
+        self.slot = None;
+    }
+
+    /// `(hits, misses)` since construction.
+    #[must_use]
+    pub const fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// True when a solution is stored (regardless of validity).
+    #[must_use]
+    pub const fn is_populated(&self) -> bool {
+        self.slot.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn solution(origin: GeoPoint, at: SimTime, radius_km: f64) -> CachedSolution {
+        CachedSolution { origin, computed_at: at, components: Vec::new(), radius_km }
+    }
+
+    fn t0() -> SimTime {
+        SimTime::at(0, DayOfWeek::Tue, 10, 0)
+    }
+
+    #[test]
+    fn empty_cache_misses() {
+        let mut c = DynamicCache::new();
+        assert!(c.lookup(&GeoPoint::new(8.0, 53.0), t0(), 5.0, 50.0).is_none());
+        assert_eq!(c.stats(), (0, 1));
+        assert!(!c.is_populated());
+    }
+
+    #[test]
+    fn hit_within_q() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 50.0));
+        let near = origin.offset_m(3_000.0, 0.0);
+        assert!(c.lookup(&near, t0() + SimDuration::from_mins(4), 5.0, 50.0).is_some());
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn miss_beyond_q() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 50.0));
+        let far = origin.offset_m(6_000.0, 0.0);
+        assert!(c.lookup(&far, t0(), 5.0, 50.0).is_none());
+    }
+
+    #[test]
+    fn q_zero_always_misses() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 50.0));
+        // Even at the exact origin, Q=0 forces recomputation.
+        assert!(c.lookup(&origin, t0(), 0.0, 50.0).is_none());
+    }
+
+    #[test]
+    fn miss_when_cache_radius_smaller_than_query() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 25.0));
+        assert!(c.lookup(&origin, t0(), 5.0, 50.0).is_none(), "R grew beyond cached pool");
+        assert!(c.lookup(&origin, t0(), 5.0, 25.0).is_some());
+    }
+
+    #[test]
+    fn miss_after_max_age() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 50.0));
+        let later = t0() + CACHE_MAX_AGE + SimDuration::from_mins(1);
+        assert!(c.lookup(&origin, later, 5.0, 50.0).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = DynamicCache::new();
+        c.store(solution(GeoPoint::new(8.0, 53.0), t0(), 50.0));
+        assert!(c.is_populated());
+        c.clear();
+        assert!(!c.is_populated());
+    }
+}

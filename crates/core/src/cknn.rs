@@ -1,0 +1,269 @@
+//! The continuous query: trip segmentation and the split list `SL`.
+//!
+//! A CkNN-EC query "retrieves the k nearest neighbors of every point on a
+//! path segment"; "the points within the path segment at which a
+//! transition in neighborhood occurs are referred to as split points SL"
+//! (§I). [`CknnQuery`] materialises the split list for a scheduled trip —
+//! one [`SplitPoint`] per ~`segment_km` of route — and drives any
+//! [`RankingMethod`] over it, producing the full `⟨bᵢ, pᵢ⟩` result the
+//! paper's Figure 1 illustrates.
+
+use crate::context::{QueryCtx, RankingMethod};
+use crate::offering::OfferingTable;
+use ec_types::{EcError, GeoPoint, NodeId, SegmentId, SimTime};
+use trajgen::Trip;
+
+/// One entry of the split list: the start of a path segment `pᵢ`, with
+/// everything a ranking method needs to answer for that segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPoint {
+    /// Segment index `pᵢ`.
+    pub segment: SegmentId,
+    /// Offset of the segment start along the trip, metres.
+    pub offset_m: f64,
+    /// Vehicle position at the segment start.
+    pub position: GeoPoint,
+    /// Nearest route node to the segment start (derouting origin).
+    pub node: NodeId,
+    /// Route node where a detour would rejoin the trip (the segment end —
+    /// "going back to the same segment pᵢ or going to the next one",
+    /// §III-C; we rejoin ahead, never backtrack).
+    pub rejoin_node: NodeId,
+    /// Wall-clock time the vehicle reaches the segment start (free-flow).
+    pub eta: SimTime,
+}
+
+/// The split list of a scheduled trip plus the machinery to run a method
+/// over it.
+#[derive(Debug)]
+pub struct CknnQuery {
+    points: Vec<SplitPoint>,
+}
+
+impl CknnQuery {
+    /// Segment `trip` into the split list (Algorithm 1, line 2 /
+    /// §III-A Step 1).
+    ///
+    /// # Errors
+    /// [`EcError::DegenerateTrip`] for a zero-length trip.
+    pub fn new(ctx: &QueryCtx<'_>, trip: &Trip) -> Result<Self, EcError> {
+        if trip.length_m() <= 0.0 {
+            return Err(EcError::DegenerateTrip("zero-length trip".into()));
+        }
+        let offs = trip.route.segment_offsets(ctx.config.segment_km * 1_000.0);
+        // The last offset is the destination — a point, not a segment.
+        let points = offs
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let start = w[0];
+                // One nominal segment step ahead (clamped) — the same
+                // formula every ranking method uses internally, so the
+                // referee and the methods agree on the rejoin point even
+                // on sliver-merged final segments.
+                let rejoin_off = (start + ctx.config.segment_km * 1_000.0).min(trip.length_m());
+                SplitPoint {
+                    segment: SegmentId::from_index(i),
+                    offset_m: start,
+                    position: trip.position_at_offset(ctx.graph, start),
+                    node: trip.route.nearest_node_at(start),
+                    rejoin_node: trip.route.nearest_node_at(rejoin_off),
+                    eta: trip.eta_at_offset(ctx.graph, start),
+                }
+            })
+            .collect();
+        Ok(Self { points })
+    }
+
+    /// The split points, trip order.
+    #[must_use]
+    pub fn split_points(&self) -> &[SplitPoint] {
+        &self.points
+    }
+
+    /// Number of path segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True for the degenerate empty query.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `⟨bᵢ, pᵢ⟩` sequence of the paper's Figure 1: the single best
+    /// charger per path segment (`k = 1`), in trip order. Consecutive
+    /// equal chargers mean the neighbourhood did not change between
+    /// segments — the split list's "no transition" case.
+    ///
+    /// # Errors
+    /// Propagates the first method failure; segments with no candidates
+    /// are skipped.
+    pub fn nn_sequence(
+        &self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        method: &mut dyn RankingMethod,
+    ) -> Result<Vec<(SegmentId, ec_types::ChargerId)>, EcError> {
+        let one = QueryCtx {
+            graph: ctx.graph,
+            fleet: ctx.fleet,
+            server: ctx.server,
+            sims: ctx.sims,
+            norm: ctx.norm,
+            config: crate::context::EcoChargeConfig { k: 1, ..ctx.config },
+        };
+        method.reset_trip();
+        let mut out = Vec::with_capacity(self.points.len());
+        for sp in &self.points {
+            match method.offering_table(&one, trip, sp.offset_m, sp.eta) {
+                Ok(table) => {
+                    if let Some(best) = table.best() {
+                        out.push((sp.segment, best.charger));
+                    }
+                }
+                Err(EcError::NoCandidates) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run `method` over every split point: the full CkNN-EC result
+    /// `{⟨O_{p₀}⟩, ⟨O_{p₁}⟩, …}`. The method's per-trip caches are reset
+    /// first, then warm across segments — exactly how a vehicle consumes
+    /// the query.
+    ///
+    /// # Errors
+    /// Propagates the first method failure.
+    pub fn run(
+        &self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        method: &mut dyn RankingMethod,
+    ) -> Result<Vec<(SplitPoint, OfferingTable)>, EcError> {
+        method.reset_trip();
+        self.points
+            .iter()
+            .map(|sp| {
+                method
+                    .offering_table(ctx, trip, sp.offset_m, sp.eta)
+                    .map(|table| (sp.clone(), table))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams::default());
+            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams { trips: 3, min_trip_m: 12_000.0, max_trip_m: 25_000.0, ..Default::default() },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn split_points_cover_trip_in_order() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let q = CknnQuery::new(&ctx, trip).unwrap();
+        assert!(!q.is_empty());
+        // ~4 km segments on a ≥12 km trip → at least 3 segments.
+        assert!(q.len() >= 3, "{} segments", q.len());
+        let pts = q.split_points();
+        assert_eq!(pts[0].offset_m, 0.0);
+        for w in pts.windows(2) {
+            assert!(w[1].offset_m > w[0].offset_m);
+            assert!(w[1].eta >= w[0].eta);
+        }
+        for (i, sp) in pts.iter().enumerate() {
+            assert_eq!(sp.segment.index(), i);
+            assert!(sp.node.index() < f.graph.num_nodes());
+            assert!(sp.rejoin_node.index() < f.graph.num_nodes());
+        }
+    }
+
+    #[test]
+    fn rejoin_is_ahead_of_node() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[1];
+        let q = CknnQuery::new(&ctx, trip).unwrap();
+        for sp in q.split_points() {
+            // The rejoin node corresponds to a later (or equal) offset.
+            let node_pos = f.graph.point(sp.node);
+            let rejoin_pos = f.graph.point(sp.rejoin_node);
+            // Same trip: both nodes must lie on the route.
+            assert!(trip.route.nodes().contains(&sp.node));
+            assert!(trip.route.nodes().contains(&sp.rejoin_node));
+            let _ = (node_pos, rejoin_pos);
+        }
+    }
+
+    #[test]
+    fn nn_sequence_gives_one_best_per_segment() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let q = CknnQuery::new(&ctx, trip).unwrap();
+        let mut method = crate::algorithm::EcoCharge::new();
+        let seq = q.nn_sequence(&ctx, trip, &mut method).unwrap();
+        assert_eq!(seq.len(), q.len(), "connected city: every segment answers");
+        // Segments appear in order.
+        for w in seq.windows(2) {
+            assert!(w[1].0.index() > w[0].0.index());
+        }
+        // The 1NN must match the top of the full table at the same point.
+        let mut method2 = crate::algorithm::EcoCharge::new();
+        let full = q.run(&ctx, trip, &mut method2).unwrap();
+        for ((seg, best), (_, table)) in seq.iter().zip(&full) {
+            assert_eq!(
+                Some(*best),
+                table.best().map(|e| e.charger),
+                "segment {seg}: k=1 disagrees with top of k=5 table"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_length_respects_config() {
+        let f = Fixture::new();
+        let cfg = EcoChargeConfig { segment_km: 2.0, ..EcoChargeConfig::default() };
+        let ctx = QueryCtx::new(&f.graph, &f.fleet, &f.server, &f.sims, cfg);
+        let trip = &f.trips[0];
+        let fine = CknnQuery::new(&ctx, trip).unwrap().len();
+        let coarse_ctx = f.ctx(); // 4 km
+        let coarse = CknnQuery::new(&coarse_ctx, trip).unwrap().len();
+        assert!(fine > coarse, "2 km segmentation must yield more segments ({fine} vs {coarse})");
+    }
+}

@@ -1,0 +1,241 @@
+//! The query context: everything a ranking method needs to answer one
+//! Offering-Table request, plus the shared normalisation environment and
+//! the [`RankingMethod`] trait all four access paths implement.
+
+use crate::offering::OfferingTable;
+use crate::score::Weights;
+use crate::vehicle::Vehicle;
+use chargers::ChargerFleet;
+use ec_types::{EcError, SimTime};
+use eis::InfoServer;
+use eis::SimProviders;
+use roadnet::RoadGraph;
+use serde::{Deserialize, Serialize};
+use trajgen::Trip;
+
+/// User-facing configuration of the EcoCharge framework.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EcoChargeConfig {
+    /// Offering-Table size `k`.
+    pub k: usize,
+    /// Search radius `R`, km ("allows users to receive EV chargers within
+    /// their desired geographic radius", §IV-C). Paper default: 50.
+    pub radius_km: f64,
+    /// Range distance `Q`, km ("users' preferred distance from previous to
+    /// current location for getting server updates and calculating new
+    /// solutions"). Paper default: 5.
+    pub range_km: f64,
+    /// Trip segmentation step, km ("segments of p ≈ 3-5 km", §III-A).
+    pub segment_km: f64,
+    /// Objective weights.
+    pub weights: Weights,
+    /// Assumed idle charging window, hours (how long the driver will sit
+    /// at the charger — scales the kWh shown in the table).
+    pub charge_window_h: f64,
+    /// Fraction of the fleet (spatially nearest) the Index-Quadtree
+    /// baseline examines — its candidate pool is `⌈fraction · |B|⌉`
+    /// nearest stations.
+    pub quadtree_fraction: f64,
+    /// The querying vehicle's energy model, when known. `None` (the
+    /// paper's evaluation setting) ranks charger-side supply without
+    /// vehicle-side caps or battery-feasibility gating.
+    pub vehicle: Option<Vehicle>,
+}
+
+impl Default for EcoChargeConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            radius_km: 50.0,
+            range_km: 5.0,
+            segment_km: 4.0,
+            weights: Weights::awe(),
+            charge_window_h: 1.0,
+            quadtree_fraction: 0.03,
+            vehicle: None,
+        }
+    }
+}
+
+impl EcoChargeConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// [`EcError::InvalidConfig`] for non-positive `k`, radius, range or
+    /// segment step.
+    pub fn validate(&self) -> Result<(), EcError> {
+        if self.k == 0 {
+            return Err(EcError::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.radius_km <= 0.0 {
+            return Err(EcError::InvalidConfig(format!("radius R must be positive, got {}", self.radius_km)));
+        }
+        if self.range_km < 0.0 {
+            return Err(EcError::InvalidConfig(format!("range Q must be non-negative, got {}", self.range_km)));
+        }
+        if self.segment_km <= 0.0 {
+            return Err(EcError::InvalidConfig(format!(
+                "segment step must be positive, got {}",
+                self.segment_km
+            )));
+        }
+        if self.charge_window_h <= 0.0 {
+            return Err(EcError::InvalidConfig(format!(
+                "charge window must be positive, got {}",
+                self.charge_window_h
+            )));
+        }
+        if let Some(v) = &self.vehicle {
+            if !(0.0..=1.0).contains(&v.soc) || v.battery_kwh <= 0.0 {
+                return Err(EcError::InvalidConfig(format!(
+                    "vehicle model invalid: soc {} capacity {}",
+                    v.soc, v.battery_kwh
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The normalisation environment (§III-B: `L` and `D` are normalised "by
+/// dividing them with the environment's maximum"). Fixed per
+/// (fleet, config) so every method — and the oracle — divides by the same
+/// constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormEnv {
+    /// Largest deliverable clean power in the fleet, kW.
+    pub max_clean_power_kw: f64,
+    /// Largest derouting energy considered reasonable, kWh: an
+    /// out-and-back at the radius `R` on the thirstiest road class, with
+    /// congestion headroom. Deroutings at or beyond this normalise to 1.
+    pub max_derouting_kwh: f64,
+}
+
+impl NormEnv {
+    /// Derive the environment from the fleet and the configured radius.
+    #[must_use]
+    pub fn derive(fleet: &ChargerFleet, config: &EcoChargeConfig) -> Self {
+        let max_kwh_per_km = roadnet::RoadClass::ALL
+            .iter()
+            .map(|c| c.kwh_per_km())
+            .fold(0.0f64, f64::max);
+        Self {
+            max_clean_power_kw: fleet.max_clean_power_kw().max(1e-9),
+            max_derouting_kwh: (2.0 * config.radius_km * max_kwh_per_km * 1.5).max(1e-9),
+        }
+    }
+
+    /// Normalise a clean-power value (kW) into `[0,1]`.
+    #[must_use]
+    pub fn norm_power(&self, kw: f64) -> f64 {
+        (kw / self.max_clean_power_kw).clamp(0.0, 1.0)
+    }
+
+    /// Normalise a derouting energy (kWh) into `[0,1]`.
+    #[must_use]
+    pub fn norm_derouting(&self, kwh: f64) -> f64 {
+        (kwh / self.max_derouting_kwh).clamp(0.0, 1.0)
+    }
+}
+
+/// Everything a ranking method may consult to answer one request. The
+/// simulators are exposed **only** for the oracle and the Brute-Force
+/// baseline (which the paper defines as scoring "the optimal solution");
+/// honest methods go through the [`InfoServer`] forecasts.
+pub struct QueryCtx<'a> {
+    /// The road network `G`.
+    pub graph: &'a RoadGraph,
+    /// The charger set `B`.
+    pub fleet: &'a ChargerFleet,
+    /// Forecast access (cached).
+    pub server: &'a InfoServer,
+    /// Ground-truth simulators (oracle/Brute-Force only).
+    pub sims: &'a SimProviders,
+    /// Shared normalisation constants.
+    pub norm: NormEnv,
+    /// The framework configuration.
+    pub config: EcoChargeConfig,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Assemble a context, deriving the normalisation environment.
+    #[must_use]
+    pub fn new(
+        graph: &'a RoadGraph,
+        fleet: &'a ChargerFleet,
+        server: &'a InfoServer,
+        sims: &'a SimProviders,
+        config: EcoChargeConfig,
+    ) -> Self {
+        let norm = NormEnv::derive(fleet, &config);
+        Self { graph, fleet, server, sims, norm, config }
+    }
+}
+
+/// One access path over the charger pool: given the vehicle's progress
+/// along a scheduled trip, produce an Offering Table.
+pub trait RankingMethod {
+    /// Method name as used in the evaluation figures.
+    fn name(&self) -> &'static str;
+
+    /// Produce the Offering Table for the vehicle at `offset_m` metres
+    /// into `trip`, at wall-clock `now`.
+    ///
+    /// # Errors
+    /// [`EcError::NoCandidates`] when no charger lies within the search
+    /// radius; provider errors propagate.
+    fn offering_table(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError>;
+
+    /// Forget any per-trip state (dynamic caches) before a new trip.
+    fn reset_trip(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_default() {
+        let c = EcoChargeConfig::default();
+        assert_eq!(c.radius_km, 50.0);
+        assert_eq!(c.range_km, 5.0);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.weights, Weights::awe());
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let base = EcoChargeConfig::default();
+        assert!(EcoChargeConfig { k: 0, ..base }.validate().is_err());
+        assert!(EcoChargeConfig { radius_km: 0.0, ..base }.validate().is_err());
+        assert!(EcoChargeConfig { range_km: -1.0, ..base }.validate().is_err());
+        assert!(EcoChargeConfig { segment_km: 0.0, ..base }.validate().is_err());
+        assert!(EcoChargeConfig { charge_window_h: 0.0, ..base }.validate().is_err());
+        // Q = 0 (always recompute) is legal.
+        assert!(EcoChargeConfig { range_km: 0.0, ..base }.validate().is_ok());
+    }
+
+    #[test]
+    fn norm_env_clamps() {
+        let env = NormEnv { max_clean_power_kw: 50.0, max_derouting_kwh: 30.0 };
+        assert_eq!(env.norm_power(25.0), 0.5);
+        assert_eq!(env.norm_power(500.0), 1.0);
+        assert_eq!(env.norm_power(-1.0), 0.0);
+        assert_eq!(env.norm_derouting(15.0), 0.5);
+        assert_eq!(env.norm_derouting(100.0), 1.0);
+    }
+
+    #[test]
+    fn derouting_cap_scales_with_radius() {
+        let fleet = ChargerFleet::new(Vec::new());
+        let small = NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 25.0, ..Default::default() });
+        let large = NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 75.0, ..Default::default() });
+        assert!((large.max_derouting_kwh / small.max_derouting_kwh - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! The measurement loop behind every evaluation figure.
+//!
+//! For each scheduled trip, walk the split list; at every split point, time
+//! the method's Offering-Table call (`F_t`) and referee the returned set
+//! against the oracle optimum (`SC` as a percentage of the Brute-Force
+//! solution, §V-A). Means and standard deviations aggregate over all
+//! query points of all trips.
+
+use crate::cknn::CknnQuery;
+use crate::context::{QueryCtx, RankingMethod};
+use crate::oracle::Oracle;
+use ec_types::EcError;
+use std::time::Instant;
+use trajgen::Trip;
+
+/// Aggregated measurements for one (method, dataset, config) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// Method name.
+    pub method: &'static str,
+    /// Mean `SC` as % of the Brute-Force optimum.
+    pub mean_sc_pct: f64,
+    /// Standard deviation of the `SC` percentage.
+    pub std_sc_pct: f64,
+    /// Mean CPU time per Offering Table, milliseconds.
+    pub mean_ft_ms: f64,
+    /// Standard deviation of the per-table CPU time.
+    pub std_ft_ms: f64,
+    /// Mean attained true objective values `(L̄, Ā, 1−D̄)` of the offered
+    /// sets — the Fig. 9 decomposition.
+    pub attained: (f64, f64, f64),
+    /// Number of Offering Tables measured.
+    pub tables: usize,
+    /// Query points skipped (no candidates / unreachable).
+    pub skipped: usize,
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Run `method` over every split point of every trip, refereed by
+/// `oracle`.
+///
+/// # Errors
+/// Propagates trip segmentation failures; per-point
+/// [`EcError::NoCandidates`] outcomes are counted as skips, not errors.
+pub fn evaluate_method(
+    ctx: &QueryCtx<'_>,
+    trips: &[Trip],
+    method: &mut dyn RankingMethod,
+    oracle: &mut Oracle,
+) -> Result<EvalOutcome, EcError> {
+    let mut sc_pcts = Vec::new();
+    let mut fts = Vec::new();
+    let mut attained_sum = (0.0, 0.0, 0.0);
+    let mut attained_n = 0usize;
+    let mut skipped = 0usize;
+
+    for trip in trips {
+        let query = CknnQuery::new(ctx, trip)?;
+        method.reset_trip();
+        for sp in query.split_points() {
+            let started = Instant::now();
+            let table = method.offering_table(ctx, trip, sp.offset_m, sp.eta);
+            let ft_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let table = match table {
+                Ok(t) if !t.is_empty() => t,
+                Ok(_) | Err(EcError::NoCandidates) => {
+                    skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            fts.push(ft_ms);
+
+            let (_, best_mean) = oracle.best_k(ctx, sp.node, sp.rejoin_node, sp.eta, ctx.config.k);
+            let set = table.charger_ids();
+            let Some(mean) = oracle.true_sc_of_set(ctx, &set, sp.node, sp.rejoin_node, sp.eta)
+            else {
+                skipped += 1;
+                continue;
+            };
+            if best_mean > 1e-12 {
+                sc_pcts.push((mean / best_mean * 100.0).min(100.0));
+            }
+            if let Some((l, a, dc)) =
+                oracle.attained_objectives(ctx, &set, sp.node, sp.rejoin_node, sp.eta)
+            {
+                attained_sum.0 += l;
+                attained_sum.1 += a;
+                attained_sum.2 += dc;
+                attained_n += 1;
+            }
+        }
+    }
+
+    let (mean_sc, std_sc) = mean_std(&sc_pcts);
+    let (mean_ft, std_ft) = mean_std(&fts);
+    let attained = if attained_n > 0 {
+        let n = attained_n as f64;
+        (attained_sum.0 / n, attained_sum.1 / n, attained_sum.2 / n)
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    Ok(EvalOutcome {
+        method: method.name(),
+        mean_sc_pct: mean_sc,
+        std_sc_pct: std_sc,
+        mean_ft_ms: mean_ft,
+        std_ft_ms: std_ft,
+        attained,
+        tables: fts.len(),
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::EcoCharge;
+    use crate::baselines::{BruteForce, RandomPick};
+    use crate::context::EcoChargeConfig;
+    use crate::score::Weights;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
+            let fleet = synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams { trips: 3, min_trip_m: 8_000.0, max_trip_m: 14_000.0, ..Default::default() },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn brute_force_scores_one_hundred() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let mut bf = BruteForce::new();
+        let out = evaluate_method(&ctx, &f.trips, &mut bf, &mut oracle).unwrap();
+        assert!(out.tables > 0);
+        assert!(
+            (out.mean_sc_pct - 100.0).abs() < 1e-6,
+            "Brute-Force defines the 100% line, got {}",
+            out.mean_sc_pct
+        );
+        assert!(out.std_sc_pct < 1e-6);
+    }
+
+    #[test]
+    fn ecocharge_close_to_optimal_and_beats_random() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let mut eco = EcoCharge::new();
+        let eco_out = evaluate_method(&ctx, &f.trips, &mut eco, &mut oracle).unwrap();
+        let mut rnd = RandomPick::new(11);
+        let rnd_out = evaluate_method(&ctx, &f.trips, &mut rnd, &mut oracle).unwrap();
+        assert!(eco_out.mean_sc_pct > 90.0, "EcoCharge SC% {}", eco_out.mean_sc_pct);
+        assert!(
+            eco_out.mean_sc_pct > rnd_out.mean_sc_pct + 10.0,
+            "EcoCharge {} vs Random {}",
+            eco_out.mean_sc_pct,
+            rnd_out.mean_sc_pct
+        );
+    }
+
+    #[test]
+    fn ft_is_positive_and_measured_per_table() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let mut eco = EcoCharge::new();
+        let out = evaluate_method(&ctx, &f.trips, &mut eco, &mut oracle).unwrap();
+        assert!(out.mean_ft_ms > 0.0);
+        assert!(out.tables >= f.trips.len(), "at least one table per trip");
+    }
+
+    #[test]
+    fn mean_std_edge_cases() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m, s) = mean_std(&[5.0]);
+        assert_eq!((m, s), (5.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # `ecocharge-core` — the paper's contribution
+//!
+//! The *Continuous k-Nearest-Neighbor query with Estimated Components
+//! (CkNN-EC)* and the EcoCharge renewable-hoarding algorithm built on it:
+//!
+//! * [`score`] — the Sustainability Score: weights, Eq. 4–6 interval
+//!   scoring, and the min/max result-set intersection;
+//! * [`context`] — the query context (network, fleet, information server)
+//!   and the shared normalisation environment;
+//! * [`objectives`] — computing the `L`, `A`, `D` estimated components for
+//!   a candidate set (Algorithm 1, lines 4–10);
+//! * [`offering`] — the Offering Table the driver sees;
+//! * [`cknn`] — the continuous query: trip segmentation, split list, and
+//!   per-segment ranking;
+//! * [`cache`] — Dynamic Caching (§IV-C): the `R`/`Q`-gated reuse of a
+//!   previous Offering Table;
+//! * [`algorithm`] — [`algorithm::EcoCharge`], Algorithm 1
+//!   end to end;
+//! * [`baselines`] — Brute-Force, Index-Quadtree and Random (§V-A);
+//! * [`oracle`] — the ground-truth Sustainability Score the evaluation
+//!   measures every method against;
+//! * [`eval`] — the measurement loop producing the paper's `SC %` and
+//!   `F_t` series;
+//! * [`balance`] — the paper's future-work extension: recommendation-
+//!   traffic balancing across chargers;
+//! * [`monitor`] — the app-facing continuous loop: feed GPS progress,
+//!   receive tables only when the ranking changes.
+
+pub mod algorithm;
+pub mod balance;
+pub mod baselines;
+pub mod cache;
+pub mod cknn;
+pub mod context;
+pub mod eval;
+pub mod objectives;
+pub mod monitor;
+pub mod offering;
+pub mod oracle;
+pub mod score;
+pub mod vehicle;
+
+pub use algorithm::EcoCharge;
+pub use balance::{BalancedEcoCharge, LoadTracker};
+pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
+pub use cache::DynamicCache;
+pub use cknn::{CknnQuery, SplitPoint};
+pub use context::{EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
+pub use eval::{evaluate_method, EvalOutcome};
+pub use monitor::{MonitorEvent, TripMonitor};
+pub use offering::{OfferingEntry, OfferingTable};
+pub use oracle::{Oracle, ScoringBasis};
+pub use score::Weights;
+pub use vehicle::Vehicle;

@@ -1,0 +1,215 @@
+//! The app-facing continuous monitor.
+//!
+//! "The EcoCharge app displays at all times while m is on the move, an
+//! Offering Table O (e.g., every few minutes)" (§II-A), and the client
+//! "continuously recomputes the path using a ≈3-5 minutes window"
+//! (§IV-A). [`TripMonitor`] is that loop's engine-side half: feed it the
+//! vehicle's progress (`advance`), and it answers with
+//! [`MonitorEvent`]s — a new table when the ranking *changed*, a
+//! heartbeat when the refreshed table still offers the same chargers (the
+//! CkNN "no transition between split points" case), and nothing at all
+//! between segment boundaries.
+
+use crate::cknn::CknnQuery;
+use crate::context::{QueryCtx, RankingMethod};
+use crate::offering::OfferingTable;
+use ec_types::{ChargerId, EcError, SimTime};
+use trajgen::Trip;
+
+/// What one `advance` call observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// Still within the current segment — nothing recomputed.
+    WithinSegment,
+    /// A segment boundary was crossed and the refreshed table ranks the
+    /// same chargers in the same order (split-list "no transition").
+    Unchanged,
+    /// The ranking changed; the new table is attached.
+    NewTable(OfferingTable),
+    /// No chargers are currently in range.
+    NoOffers,
+}
+
+/// Drives a [`RankingMethod`] along one trip, segment by segment.
+pub struct TripMonitor<M: RankingMethod> {
+    method: M,
+    /// Segment boundaries (offsets, metres) remaining ahead.
+    boundaries: Vec<f64>,
+    next_boundary: usize,
+    last_ranking: Option<Vec<ChargerId>>,
+    tables_emitted: usize,
+    heartbeats: usize,
+}
+
+impl<M: RankingMethod> TripMonitor<M> {
+    /// Start monitoring `trip` with `method` (its per-trip state is
+    /// reset).
+    ///
+    /// # Errors
+    /// Propagates trip segmentation failures.
+    pub fn start(ctx: &QueryCtx<'_>, trip: &Trip, mut method: M) -> Result<Self, EcError> {
+        let query = CknnQuery::new(ctx, trip)?;
+        method.reset_trip();
+        Ok(Self {
+            method,
+            boundaries: query.split_points().iter().map(|sp| sp.offset_m).collect(),
+            next_boundary: 0,
+            last_ranking: None,
+            tables_emitted: 0,
+            heartbeats: 0,
+        })
+    }
+
+    /// Report the vehicle at `offset_m` / `now`. Monotone offsets are
+    /// expected (a navigation fix stream); regressions are treated as
+    /// "within segment".
+    ///
+    /// # Errors
+    /// Propagates provider failures.
+    pub fn advance(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<MonitorEvent, EcError> {
+        // Cross at most one boundary per call answer; catch up if several
+        // were skipped.
+        let due = self.next_boundary < self.boundaries.len()
+            && offset_m >= self.boundaries[self.next_boundary];
+        if !due {
+            return Ok(MonitorEvent::WithinSegment);
+        }
+        while self.next_boundary < self.boundaries.len()
+            && offset_m >= self.boundaries[self.next_boundary]
+        {
+            self.next_boundary += 1;
+        }
+
+        match self.method.offering_table(ctx, trip, offset_m, now) {
+            Ok(table) => {
+                let ranking = table.charger_ids();
+                if self.last_ranking.as_deref() == Some(&ranking[..]) {
+                    self.heartbeats += 1;
+                    Ok(MonitorEvent::Unchanged)
+                } else {
+                    self.last_ranking = Some(ranking);
+                    self.tables_emitted += 1;
+                    Ok(MonitorEvent::NewTable(table))
+                }
+            }
+            Err(EcError::NoCandidates) => {
+                self.last_ranking = None;
+                Ok(MonitorEvent::NoOffers)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `(tables_emitted, unchanged_heartbeats)` since start.
+    #[must_use]
+    pub fn stats(&self) -> (usize, usize) {
+        (self.tables_emitted, self.heartbeats)
+    }
+
+    /// The most recent ranking shown to the driver.
+    #[must_use]
+    pub fn current_ranking(&self) -> Option<&[ChargerId]> {
+        self.last_ranking.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::EcoCharge;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams::default());
+            let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams { trips: 1, min_trip_m: 18_000.0, max_trip_m: 30_000.0, ..Default::default() },
+            );
+            Self { graph, fleet, server, sims, trips }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn emits_on_first_boundary_then_quiet_within_segment() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut mon = TripMonitor::start(&ctx, trip, EcoCharge::new()).unwrap();
+        // At offset 0 the first boundary (0.0) is due.
+        let e0 = mon.advance(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert!(matches!(e0, MonitorEvent::NewTable(_)), "{e0:?}");
+        // 500 m later: same segment, no recompute.
+        let e1 = mon
+            .advance(&ctx, trip, 500.0, trip.eta_at_offset(&f.graph, 500.0))
+            .unwrap();
+        assert_eq!(e1, MonitorEvent::WithinSegment);
+    }
+
+    #[test]
+    fn drives_whole_trip_with_gps_cadence() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut mon = TripMonitor::start(&ctx, trip, EcoCharge::new()).unwrap();
+        let mut events = Vec::new();
+        let mut offset = 0.0;
+        while offset <= trip.length_m() {
+            let now = trip.eta_at_offset(&f.graph, offset);
+            events.push(mon.advance(&ctx, trip, offset, now).unwrap());
+            offset += 250.0; // a fix every 250 m
+        }
+        let new_tables = events.iter().filter(|e| matches!(e, MonitorEvent::NewTable(_))).count();
+        let quiet = events.iter().filter(|e| matches!(e, MonitorEvent::WithinSegment)).count();
+        assert!(new_tables >= 1);
+        assert!(quiet > events.len() / 2, "most fixes must be quiet");
+        let (emitted, heartbeats) = mon.stats();
+        assert_eq!(emitted, new_tables);
+        // Every boundary produced either a table or a heartbeat.
+        let boundaries = CknnQuery::new(&ctx, trip).unwrap().len();
+        assert_eq!(emitted + heartbeats
+            + events.iter().filter(|e| matches!(e, MonitorEvent::NoOffers)).count(),
+            boundaries);
+        assert!(mon.current_ranking().is_some());
+    }
+
+    #[test]
+    fn skipped_boundaries_are_coalesced() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let mut mon = TripMonitor::start(&ctx, trip, EcoCharge::new()).unwrap();
+        // Jump straight to the end: all boundaries crossed at once → one
+        // recompute, not one per boundary.
+        let end = trip.length_m();
+        let e = mon.advance(&ctx, trip, end, trip.arrival(&f.graph)).unwrap();
+        assert!(matches!(e, MonitorEvent::NewTable(_)));
+        let e2 = mon.advance(&ctx, trip, end, trip.arrival(&f.graph)).unwrap();
+        assert_eq!(e2, MonitorEvent::WithinSegment, "no boundaries remain");
+    }
+}

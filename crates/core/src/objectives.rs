@@ -1,0 +1,342 @@
+//! Computing the estimated components `L`, `A`, `D` for a candidate set
+//! (Algorithm 1, lines 4–10).
+//!
+//! For one query point (the vehicle at a route node `v`, planning to
+//! rejoin the trip at node `r`), the components of every candidate charger
+//! `b` are:
+//!
+//! * **ETA** — free-flow fastest-path time `v → b` (line 4);
+//! * **L** — the clean-power forecast interval at the charger at ETA,
+//!   capped by the charger's own rate and normalised by the environment's
+//!   maximum clean power (lines 5–6);
+//! * **A** — the availability forecast interval at ETA (lines 7–8);
+//! * **D** — the out-and-back derouting energy `E(v→b) + E(b→r)`, scaled
+//!   by the traffic energy-factor interval and normalised by the
+//!   environment's maximum derouting energy (lines 9–10).
+//!
+//! Costs are batched: one forward time Dijkstra, one forward energy
+//! Dijkstra, one reverse energy Dijkstra — *independent of the candidate
+//! count* — where the Brute-Force baseline pays per-charger searches.
+//! Traffic is applied as a per-query-time interval factor for the
+//! representative urban arterial class (see DESIGN.md §3: per-edge live
+//! congestion is collapsed to a class-level factor, which preserves the
+//! estimated-component structure the ranking consumes).
+
+use crate::context::QueryCtx;
+use ec_types::{ChargerId, EcError, Interval, NodeId, SimDuration, SimTime};
+use roadnet::{metric_cost, CostMetric, RoadClass, SearchEngine};
+
+/// The estimated components of one candidate charger at one query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Components {
+    /// Which charger.
+    pub charger: ChargerId,
+    /// Normalised sustainable charging level `[L_min, L_max]` ∈ `[0,1]`.
+    pub l: Interval,
+    /// Raw clean-power interval at the charger at ETA, kW (rate-capped).
+    pub clean_kw: Interval,
+    /// Availability `[A_min, A_max]` ∈ `[0,1]`.
+    pub a: Interval,
+    /// Normalised derouting cost `[D_min, D_max]` ∈ `[0,1]`.
+    pub d: Interval,
+    /// Estimated arrival at the charger.
+    pub eta: SimTime,
+    /// Raw detour energy interval, kWh (for display in the table).
+    pub detour_kwh: Interval,
+}
+
+/// Compute components for every candidate; candidates unreachable from
+/// `at_node` (or that cannot rejoin at `rejoin_node`) are dropped.
+///
+/// # Errors
+/// Propagates provider failures from the information server.
+pub fn compute_components(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+    candidates: &[ChargerId],
+) -> Result<Vec<Components>, EcError> {
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+    let nodes: Vec<NodeId> = candidates.iter().map(|&c| ctx.fleet.get(c).node).collect();
+
+    // Three batched searches (lines 4, 9–10).
+    let secs_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time));
+    let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
+    let kwh_ret = engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+
+    let mut out = Vec::with_capacity(candidates.len());
+    for (i, &cid) in candidates.iter().enumerate() {
+        let (Some(secs), Some(e_fwd), Some(e_ret)) = (secs_fwd[i], kwh_fwd[i], kwh_ret[i]) else {
+            continue; // unreachable candidate
+        };
+        let charger = ctx.fleet.get(cid);
+        let eta = now + SimDuration::from_secs_f64(secs);
+
+        // L (lines 5–6): forecast clean power at ETA — solar plus any
+        // net-metered wind — capped by whichever is tighter: the charger's
+        // delivery rate or (when a vehicle model is attached) the
+        // vehicle's acceptance rate.
+        // Normalised below once the pool maximum is known.
+        let sun = ctx.server.sun_forecast(&charger.loc, now, eta)?;
+        let wind = if charger.has_wind() {
+            ctx.server.wind_forecast(&charger.loc, now, eta)?
+        } else {
+            Interval::zero()
+        };
+        let rate = match &ctx.config.vehicle {
+            Some(v) => v.accept_rate(charger.kind).value(),
+            None => charger.kind.rate().value(),
+        };
+        let clean_kw = Interval::new(
+            (sun.lo() * charger.panel.value() + wind.lo() * charger.wind.value()).min(rate),
+            (sun.hi() * charger.panel.value() + wind.hi() * charger.wind.value()).min(rate),
+        );
+
+        // A (lines 7–8).
+        let a = ctx.server.availability_forecast(charger, now, eta)?;
+
+        // D (lines 9–10): out-and-back energy under the traffic interval.
+        // Normalised below once the pool maximum is known.
+        let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta)?;
+        let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
+
+        // Battery feasibility: drop candidates the vehicle might not
+        // reach (and return from) with its reserve intact.
+        if let Some(v) = &ctx.config.vehicle {
+            if !v.can_afford(detour_kwh.hi()) {
+                continue;
+            }
+        }
+
+        out.push(Components {
+            charger: cid,
+            l: Interval::zero(),
+            clean_kw,
+            a,
+            d: Interval::zero(),
+            eta,
+            detour_kwh,
+        });
+    }
+    normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
+    normalize_clean_power(&mut out);
+    Ok(out)
+}
+
+/// Normalise each candidate's clean-power interval by "the environment's
+/// maximum charging level value" (§III-B) — the largest clean power in
+/// the current candidate pool. The scale uses the pool's largest
+/// *midpoint* estimate: scaling by the optimistic endpoint would deflate
+/// every `L` by the forecast uncertainty margin and systematically
+/// under-weight the objective relative to the ground-truth referee. A
+/// pool with no sun anywhere gets `L = 0` everywhere.
+pub fn normalize_clean_power(comps: &mut [Components]) {
+    let max = comps.iter().map(|c| c.clean_kw.mid()).fold(0.0f64, f64::max);
+    if max <= f64::EPSILON {
+        for c in comps {
+            c.l = Interval::zero();
+        }
+        return;
+    }
+    for c in comps {
+        c.l = Interval::new(
+            (c.clean_kw.lo() / max).clamp(0.0, 1.0),
+            (c.clean_kw.hi() / max).clamp(0.0, 1.0),
+        );
+    }
+}
+
+/// Normalise each candidate's derouting interval by "the environment's
+/// maximum derouting distance" (§III-B) — the largest detour in the
+/// current candidate pool, capped at the `R`-derived environment maximum
+/// so one absurd outlier (a charger across the region) cannot compress
+/// everyone else's `D` to zero. The farthest candidate gets `D = 1`; a
+/// charger directly on the route gets `D ≈ 0`.
+pub fn normalize_derouting(comps: &mut [Components], cap_kwh: f64) {
+    // Scale on the pool's largest *midpoint* detour (see
+    // `normalize_clean_power` for why the optimistic endpoint would bias
+    // the objective weighting); endpoints beyond the scale clamp to 1.
+    let max = comps
+        .iter()
+        .map(|c| c.detour_kwh.mid())
+        .fold(0.0f64, f64::max)
+        .min(cap_kwh.max(f64::EPSILON));
+    if max <= f64::EPSILON {
+        for c in comps {
+            c.d = Interval::zero();
+        }
+        return;
+    }
+    for c in comps {
+        c.d = Interval::new(
+            (c.detour_kwh.lo() / max).clamp(0.0, 1.0),
+            (c.detour_kwh.hi() / max).clamp(0.0, 1.0),
+        );
+    }
+}
+
+/// Recompute **only** the derouting component of previously computed
+/// components from a new query point, keeping `L`/`A` as cached — the
+/// adaptation step of Dynamic Caching (§IV-C: "an adaptation of a
+/// previously generated solution occurs").
+pub fn refresh_derouting(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+    cached: &[Components],
+) -> Result<Vec<Components>, EcError> {
+    if cached.is_empty() {
+        return Ok(Vec::new());
+    }
+    let nodes: Vec<NodeId> = cached.iter().map(|c| ctx.fleet.get(c.charger).node).collect();
+    let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
+    let kwh_ret = engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+
+    let mut out = Vec::with_capacity(cached.len());
+    for (i, comp) in cached.iter().enumerate() {
+        let (Some(e_fwd), Some(e_ret)) = (kwh_fwd[i], kwh_ret[i]) else {
+            continue;
+        };
+        let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, comp.eta)?;
+        let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
+        out.push(Components { detour_kwh, ..comp.clone() });
+    }
+    normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use ec_types::DayOfWeek;
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+        config: EcoChargeConfig,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+            let fleet = synth_fleet(&graph, &FleetParams { count: 40, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            Self { graph, fleet, server, sims, config: EcoChargeConfig::default() }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, self.config)
+        }
+    }
+
+    #[test]
+    fn components_cover_reachable_candidates() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).take(20).collect();
+        let comps =
+            compute_components(&ctx, &mut engine, NodeId(0), NodeId(5), now, &candidates).unwrap();
+        // The grid is connected: every candidate resolves.
+        assert_eq!(comps.len(), 20);
+        for c in &comps {
+            assert!(c.l.lo() >= 0.0 && c.l.hi() <= 1.0, "L out of range: {}", c.l);
+            assert!(c.a.lo() >= 0.0 && c.a.hi() <= 1.0, "A out of range: {}", c.a);
+            assert!(c.d.lo() >= 0.0 && c.d.hi() <= 1.0, "D out of range: {}", c.d);
+            assert!(c.eta >= now);
+            assert!(c.detour_kwh.lo() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_components() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        assert!(compute_components(&ctx, &mut engine, NodeId(0), NodeId(1), now, &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn nearer_chargers_deroute_less() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let at = NodeId(0);
+        let pos = f.graph.point(at);
+        // Nearest and farthest candidate by straight line.
+        let mut by_dist: Vec<&chargers::Charger> = f.fleet.iter().collect();
+        by_dist.sort_by(|a, b| {
+            pos.fast_dist_m(&a.loc).partial_cmp(&pos.fast_dist_m(&b.loc)).unwrap()
+        });
+        let near = by_dist.first().unwrap().id;
+        let far = by_dist.last().unwrap().id;
+        let comps =
+            compute_components(&ctx, &mut engine, at, at, now, &[near, far]).unwrap();
+        assert_eq!(comps.len(), 2);
+        assert!(
+            comps[0].detour_kwh.mid() < comps[1].detour_kwh.mid(),
+            "near {} vs far {}",
+            comps[0].detour_kwh,
+            comps[1].detour_kwh
+        );
+    }
+
+    #[test]
+    fn refresh_derouting_keeps_l_and_a() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).take(10).collect();
+        let comps =
+            compute_components(&ctx, &mut engine, NodeId(0), NodeId(3), now, &candidates).unwrap();
+        let later = now + SimDuration::from_mins(5);
+        let refreshed =
+            refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &comps).unwrap();
+        assert_eq!(refreshed.len(), comps.len());
+        for (old, new) in comps.iter().zip(&refreshed) {
+            assert_eq!(old.l, new.l, "L must be reused");
+            assert_eq!(old.a, new.a, "A must be reused");
+            assert_eq!(old.eta, new.eta, "cached ETA is kept");
+        }
+        // D generally changes from a different query point.
+        assert!(comps.iter().zip(&refreshed).any(|(o, n)| o.d != n.d));
+    }
+
+    #[test]
+    fn day_charger_has_higher_l_than_night() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).collect();
+        let noon = SimTime::at(0, DayOfWeek::Tue, 12, 30);
+        let night = SimTime::at(0, DayOfWeek::Tue, 1, 30);
+        let day_comps =
+            compute_components(&ctx, &mut engine, NodeId(0), NodeId(1), noon, &candidates).unwrap();
+        let night_comps =
+            compute_components(&ctx, &mut engine, NodeId(0), NodeId(1), night, &candidates)
+                .unwrap();
+        let day_l: f64 = day_comps.iter().map(|c| c.l.mid()).sum();
+        let night_l: f64 = night_comps.iter().map(|c| c.l.mid()).sum();
+        assert!(day_l > night_l, "day {day_l} vs night {night_l}");
+        assert!(night_l < 1e-6, "no clean energy at night");
+    }
+}

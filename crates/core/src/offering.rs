@@ -1,0 +1,231 @@
+//! The Offering Table `O` — what the driver sees (§II-A, Fig. 1).
+//!
+//! "The EcoCharge app displays at all times while m is on the move, an
+//! Offering Table O … that is computed either in the cloud or on the
+//! edge." A table is the ranked list of sustainable chargers for the
+//! vehicle's current position, each entry carrying the interval-valued
+//! components that justified its rank.
+
+use crate::objectives::Components;
+use ec_types::{ChargerId, GeoPoint, Interval, KilowattHours, SimTime};
+
+/// One ranked charger in an Offering Table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfferingEntry {
+    /// The offered charger.
+    pub charger: ChargerId,
+    /// Its Sustainability Score interval.
+    pub sc: Interval,
+    /// Normalised sustainable charging level interval.
+    pub l: Interval,
+    /// Availability interval.
+    pub a: Interval,
+    /// Normalised derouting cost interval.
+    pub d: Interval,
+    /// Estimated arrival time.
+    pub eta: SimTime,
+    /// Estimated clean energy gained over the configured idle window
+    /// (midpoint estimate) — the headline number in the app UI.
+    pub est_clean_kwh: KilowattHours,
+}
+
+/// A ranked Offering Table for one query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfferingTable {
+    /// Where along the trip this table was requested, metres.
+    pub at_offset_m: f64,
+    /// The vehicle position it was computed for.
+    pub origin: GeoPoint,
+    /// When it was generated.
+    pub generated_at: SimTime,
+    /// Ranked entries, best first.
+    pub entries: Vec<OfferingEntry>,
+    /// `true` when Dynamic Caching *adapted* a previous table instead of
+    /// recomputing from scratch.
+    pub adapted: bool,
+}
+
+impl OfferingTable {
+    /// Assemble a table from scored components in rank order.
+    ///
+    /// `ranked` lists indices into `comps`, best first; `sc` holds the
+    /// score interval per component (parallel to `comps`).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one call site per method; a builder would obscure the data flow
+    pub fn from_ranked(
+        at_offset_m: f64,
+        origin: GeoPoint,
+        generated_at: SimTime,
+        comps: &[Components],
+        sc: &[Interval],
+        ranked: &[usize],
+        charge_window_h: f64,
+        adapted: bool,
+    ) -> Self {
+        debug_assert_eq!(comps.len(), sc.len());
+        let entries = ranked
+            .iter()
+            .map(|&i| {
+                let c = &comps[i];
+                OfferingEntry {
+                    charger: c.charger,
+                    sc: sc[i],
+                    l: c.l,
+                    a: c.a,
+                    d: c.d,
+                    eta: c.eta,
+                    est_clean_kwh: KilowattHours(
+                        (c.clean_kw.mid() * charge_window_h).max(0.0),
+                    ),
+                }
+            })
+            .collect();
+        Self { at_offset_m, origin, generated_at, entries, adapted }
+    }
+
+    /// The top-ranked charger, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&OfferingEntry> {
+        self.entries.first()
+    }
+
+    /// The offered charger ids in rank order.
+    #[must_use]
+    pub fn charger_ids(&self) -> Vec<ChargerId> {
+        self.entries.iter().map(|e| e.charger).collect()
+    }
+
+    /// Number of offers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table carries no offers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the table as aligned text (the CLI/analog of the app's map
+    /// list view).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Offering Table @ {:.1} km ({}){}",
+            self.at_offset_m / 1_000.0,
+            self.generated_at,
+            if self.adapted { " [adapted]" } else { "" }
+        );
+        let _ = writeln!(s, "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10}", "rank", "charger", "SC", "L", "A~avail", "clean kWh");
+        for (rank, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10.2}",
+                rank + 1,
+                e.charger.to_string(),
+                e.sc.to_string(),
+                e.l.to_string(),
+                e.a.to_string(),
+                e.est_clean_kwh.value(),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn comp(id: u32, l: f64) -> Components {
+        Components {
+            charger: ChargerId(id),
+            l: Interval::point(l),
+            clean_kw: Interval::point(l * 40.0),
+            a: Interval::point(0.5),
+            d: Interval::point(0.2),
+            eta: SimTime::at(0, DayOfWeek::Tue, 11, 0),
+            detour_kwh: Interval::point(1.0),
+        }
+    }
+
+    #[test]
+    fn from_ranked_orders_entries() {
+        let comps = vec![comp(0, 0.2), comp(1, 0.9), comp(2, 0.5)];
+        let sc = vec![Interval::point(0.4), Interval::point(0.8), Interval::point(0.6)];
+        let t = OfferingTable::from_ranked(
+            2_000.0,
+            GeoPoint::new(8.0, 53.0),
+            SimTime::at(0, DayOfWeek::Tue, 10, 0),
+            &comps,
+            &sc,
+            &[1, 2, 0],
+            1.0,
+            false,
+        );
+        assert_eq!(t.charger_ids(), vec![ChargerId(1), ChargerId(2), ChargerId(0)]);
+        assert_eq!(t.best().unwrap().charger, ChargerId(1));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn clean_kwh_estimate_scales_with_l() {
+        let comps = vec![comp(0, 0.5)];
+        let sc = vec![Interval::point(0.5)];
+        let t = OfferingTable::from_ranked(
+            0.0,
+            GeoPoint::new(8.0, 53.0),
+            SimTime::at(0, DayOfWeek::Tue, 10, 0),
+            &comps,
+            &sc,
+            &[0],
+            2.0,
+            true,
+        );
+        // clean power 0.5 × 40 kW over 2 h = 40 kWh.
+        assert!((t.entries[0].est_clean_kwh.value() - 40.0).abs() < 1e-9);
+        assert!(t.adapted);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = OfferingTable::from_ranked(
+            0.0,
+            GeoPoint::new(8.0, 53.0),
+            SimTime::at(0, DayOfWeek::Tue, 10, 0),
+            &[],
+            &[],
+            &[],
+            1.0,
+            false,
+        );
+        assert!(t.is_empty());
+        assert!(t.best().is_none());
+    }
+
+    #[test]
+    fn render_contains_ranks_and_ids() {
+        let comps = vec![comp(7, 0.9)];
+        let sc = vec![Interval::point(0.7)];
+        let t = OfferingTable::from_ranked(
+            5_000.0,
+            GeoPoint::new(8.0, 53.0),
+            SimTime::at(0, DayOfWeek::Tue, 10, 0),
+            &comps,
+            &sc,
+            &[0],
+            1.0,
+            true,
+        );
+        let s = t.render();
+        assert!(s.contains("b7"));
+        assert!(s.contains("[adapted]"));
+        assert!(s.contains("5.0 km"));
+    }
+}

@@ -1,0 +1,401 @@
+//! The Sustainability Score referee.
+//!
+//! The evaluation reports every method's `SC` "as a percentage of the
+//! Brute Force solution (with it scoring the optimal solution 100%)"
+//! (§V-A). [`Oracle`] is that referee, and it can judge under two
+//! information bases:
+//!
+//! * [`ScoringBasis::Forecast`] — **the paper's protocol** (default): the
+//!   best point estimate available at query time, i.e. the forecast
+//!   midpoints. The paper's Brute-Force maximises SC over the same data
+//!   sources every method consumes — no privileged future knowledge
+//!   exists in that evaluation — so under this basis Brute-Force defines
+//!   100 % and the other methods lose only through candidate restriction
+//!   and cache staleness.
+//! * [`ScoringBasis::Actual`] — a **ground-truth extension** this
+//!   reproduction adds: the simulators' realised values at arrival
+//!   (actual sun, actual busyness, actual congestion). Scoring against it
+//!   measures the real-world *regret* of forecast-driven ranking — a
+//!   quantity the paper could not measure. See EXPERIMENTS.md.
+//!
+//! All referee searches are batched (their cost is measurement overhead,
+//! never counted into any method's `F_t`) and memoised per query point.
+
+use crate::context::QueryCtx;
+use crate::score::Weights;
+use ec_types::{ChargerId, NodeId, SimDuration, SimTime};
+use eis::provider::congestibility;
+use roadnet::{metric_cost, CostMetric, RoadClass, SearchEngine};
+
+/// Which information basis the referee scores on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringBasis {
+    /// Forecast midpoints at query time — the paper's evaluation protocol.
+    Forecast,
+    /// Simulator ground truth at arrival — the regret extension.
+    Actual,
+}
+
+/// Ground-truth component values for one charger at one query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrueComponents {
+    /// Normalised true clean-power level at arrival.
+    pub l: f64,
+    /// True availability at arrival.
+    pub a: f64,
+    /// Normalised true derouting cost.
+    pub d: f64,
+}
+
+/// The evaluation referee.
+#[derive(Debug)]
+pub struct Oracle {
+    engine: SearchEngine,
+    weights: Weights,
+    basis: ScoringBasis,
+    /// Memo of the last query point's full-fleet truth — every caller at
+    /// one split point (best-k plus one score per method) shares it.
+    memo_key: Option<(NodeId, NodeId, SimTime)>,
+    memo: Vec<Option<TrueComponents>>,
+}
+
+impl Oracle {
+    /// An oracle scoring with `weights` under the paper's protocol
+    /// ([`ScoringBasis::Forecast`]). The evaluation uses equal weights
+    /// even when the method under test ranks with a different config —
+    /// that is what makes the Fig. 9 ablation informative.
+    #[must_use]
+    pub fn new(weights: Weights) -> Self {
+        Self::with_basis(weights, ScoringBasis::Forecast)
+    }
+
+    /// An oracle with an explicit information basis.
+    #[must_use]
+    pub fn with_basis(weights: Weights, basis: ScoringBasis) -> Self {
+        Self { engine: SearchEngine::new(), weights, basis, memo_key: None, memo: Vec::new() }
+    }
+
+    /// The information basis this referee scores on.
+    #[must_use]
+    pub const fn basis(&self) -> ScoringBasis {
+        self.basis
+    }
+
+    /// The oracle's scoring weights.
+    #[must_use]
+    pub const fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Ground truth for the **whole fleet** at one query point, memoised.
+    /// `D` is normalised by the fleet-wide maximum true detour — "the
+    /// environment's maximum" — so the referee's scale is fixed per query
+    /// point regardless of which method's set it grades.
+    fn fleet_truth(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        at_node: NodeId,
+        rejoin_node: NodeId,
+        now: SimTime,
+    ) -> &[Option<TrueComponents>] {
+        let key = (at_node, rejoin_node, now);
+        if self.memo_key != Some(key) || self.memo.len() != ctx.fleet.len() {
+            let nodes: Vec<NodeId> = ctx.fleet.iter().map(|c| c.node).collect();
+            let secs_fwd =
+                self.engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time));
+            let kwh_fwd = self.engine.one_to_many(
+                ctx.graph,
+                at_node,
+                &nodes,
+                metric_cost(CostMetric::Energy),
+            );
+            let kwh_ret = self.engine.many_to_one(
+                ctx.graph,
+                rejoin_node,
+                &nodes,
+                metric_cost(CostMetric::Energy),
+            );
+            // First pass: raw values (clean kW, availability, detour kWh).
+            let mut raw: Vec<Option<(f64, f64, f64)>> = Vec::with_capacity(ctx.fleet.len());
+            for (i, charger) in ctx.fleet.iter().enumerate() {
+                let (Some(secs), Some(e_fwd), Some(e_ret)) = (secs_fwd[i], kwh_fwd[i], kwh_ret[i])
+                else {
+                    raw.push(None);
+                    continue;
+                };
+                let eta = now + SimDuration::from_secs_f64(secs);
+                let (sun, wind_cf, a, factor) = match self.basis {
+                    ScoringBasis::Actual => (
+                        ctx.sims.weather.actual_sun_fraction(&charger.loc, eta),
+                        if charger.has_wind() {
+                            ctx.sims.wind.actual_capacity_factor(&charger.loc, eta)
+                        } else {
+                            0.0
+                        },
+                        ctx.sims.availability.actual_availability(
+                            charger.entity_seed(),
+                            charger.archetype,
+                            eta,
+                        ),
+                        ctx.sims.traffic.energy_factor(congestibility(RoadClass::Primary), eta),
+                    ),
+                    // The forecast basis reads through the same cached
+                    // information service the methods use, so referee and
+                    // methods see byte-identical estimates.
+                    ScoringBasis::Forecast => (
+                        ctx.server
+                            .sun_forecast(&charger.loc, now, eta)
+                            .expect("simulated providers cannot fail")
+                            .mid(),
+                        if charger.has_wind() {
+                            ctx.server
+                                .wind_forecast(&charger.loc, now, eta)
+                                .expect("simulated providers cannot fail")
+                                .mid()
+                        } else {
+                            0.0
+                        },
+                        ctx.server
+                            .availability_forecast(charger, now, eta)
+                            .expect("simulated providers cannot fail")
+                            .mid(),
+                        ctx.server
+                            .traffic_energy_forecast(RoadClass::Primary, now, eta)
+                            .expect("simulated providers cannot fail")
+                            .mid(),
+                    ),
+                };
+                let rate = match &ctx.config.vehicle {
+                    Some(v) => v.accept_rate(charger.kind).value(),
+                    None => charger.kind.rate().value(),
+                };
+                let clean_kw =
+                    (sun * charger.panel.value() + wind_cf * charger.wind.value()).min(rate);
+                let detour = (e_fwd + e_ret) * factor;
+                if ctx.config.vehicle.as_ref().is_some_and(|v| !v.can_afford(detour)) {
+                    raw.push(None); // infeasible for this vehicle
+                    continue;
+                }
+                raw.push(Some((clean_kw, a, detour)));
+            }
+            // Second pass: normalise L and D by the environment maxima
+            // (fleet-wide; the detour scale is capped at the R-derived
+            // environment maximum, matching the methods' normalisation).
+            let max_detour = raw
+                .iter()
+                .flatten()
+                .map(|&(_, _, kwh)| kwh)
+                .fold(0.0f64, f64::max)
+                .min(ctx.norm.max_derouting_kwh)
+                .max(f64::EPSILON);
+            let max_clean = raw
+                .iter()
+                .flatten()
+                .map(|&(kw, _, _)| kw)
+                .fold(0.0f64, f64::max)
+                .max(f64::EPSILON);
+            self.memo = raw
+                .into_iter()
+                .map(|r| {
+                    r.map(|(kw, a, kwh)| TrueComponents {
+                        l: (kw / max_clean).clamp(0.0, 1.0),
+                        a,
+                        d: (kwh / max_detour).clamp(0.0, 1.0),
+                    })
+                })
+                .collect();
+            self.memo_key = Some(key);
+        }
+        &self.memo
+    }
+
+    /// True components for each listed charger (`None` when unreachable),
+    /// for a vehicle at `at_node` rejoining at `rejoin_node` at time
+    /// `now`.
+    pub fn true_components(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        at_node: NodeId,
+        rejoin_node: NodeId,
+        now: SimTime,
+        chargers: &[ChargerId],
+    ) -> Vec<Option<TrueComponents>> {
+        let truth = self.fleet_truth(ctx, at_node, rejoin_node, now);
+        chargers.iter().map(|c| truth[c.index()]).collect()
+    }
+
+    /// Mean true `SC` of a charger set (skipping unreachable members);
+    /// `None` when the set is empty or fully unreachable.
+    pub fn true_sc_of_set(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        set: &[ChargerId],
+        at_node: NodeId,
+        rejoin_node: NodeId,
+        now: SimTime,
+    ) -> Option<f64> {
+        let comps = self.true_components(ctx, at_node, rejoin_node, now, set);
+        let vals: Vec<f64> = comps
+            .iter()
+            .flatten()
+            .map(|c| self.weights.point_score(c.l, c.a, c.d))
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Mean attained objective values `(L̄, Ā, 1−D̄)` of a set — the
+    /// per-objective decomposition the Fig. 9 ablation reports.
+    pub fn attained_objectives(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        set: &[ChargerId],
+        at_node: NodeId,
+        rejoin_node: NodeId,
+        now: SimTime,
+    ) -> Option<(f64, f64, f64)> {
+        let comps: Vec<TrueComponents> = self
+            .true_components(ctx, at_node, rejoin_node, now, set)
+            .into_iter()
+            .flatten()
+            .collect();
+        if comps.is_empty() {
+            return None;
+        }
+        let n = comps.len() as f64;
+        Some((
+            comps.iter().map(|c| c.l).sum::<f64>() / n,
+            comps.iter().map(|c| c.a).sum::<f64>() / n,
+            comps.iter().map(|c| 1.0 - c.d).sum::<f64>() / n,
+        ))
+    }
+
+    /// The optimal `k`-set over the whole fleet (what Brute-Force finds)
+    /// and its mean true `SC`. Computed with batched searches — this is
+    /// the *referee's* fast path, not the baseline's measured loop.
+    pub fn best_k(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        at_node: NodeId,
+        rejoin_node: NodeId,
+        now: SimTime,
+        k: usize,
+    ) -> (Vec<ChargerId>, f64) {
+        let all: Vec<ChargerId> = ctx.fleet.iter().map(|c| c.id).collect();
+        let comps = self.true_components(ctx, at_node, rejoin_node, now, &all);
+        let mut scored: Vec<(ChargerId, f64)> = all
+            .iter()
+            .zip(&comps)
+            .filter_map(|(&cid, c)| {
+                c.map(|c| (cid, self.weights.point_score(c.l, c.a, c.d)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        let mean = if scored.is_empty() {
+            0.0
+        } else {
+            scored.iter().map(|(_, s)| s).sum::<f64>() / scored.len() as f64
+        };
+        (scored.into_iter().map(|(c, _)| c).collect(), mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EcoChargeConfig;
+    use chargers::{synth_fleet, FleetParams};
+    use ec_types::DayOfWeek;
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        server: InfoServer,
+        sims: SimProviders,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() });
+            let fleet = synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let server = InfoServer::from_sims(sims.clone());
+            Self { graph, fleet, server, sims }
+        }
+
+        fn ctx(&self) -> QueryCtx<'_> {
+            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    #[test]
+    fn best_k_is_an_upper_bound_for_any_set() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let now = SimTime::at(0, DayOfWeek::Tue, 11, 0);
+        let (best, best_mean) = oracle.best_k(&ctx, NodeId(0), NodeId(3), now, 5);
+        assert_eq!(best.len(), 5);
+        // Any other 5-set scores at most the optimum.
+        let arbitrary: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).take(5).collect();
+        let mean = oracle.true_sc_of_set(&ctx, &arbitrary, NodeId(0), NodeId(3), now).unwrap();
+        assert!(mean <= best_mean + 1e-12, "{mean} > {best_mean}");
+        // And the optimum scores itself exactly.
+        let self_mean = oracle.true_sc_of_set(&ctx, &best, NodeId(0), NodeId(3), now).unwrap();
+        assert!((self_mean - best_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_components_in_unit_ranges() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let now = SimTime::at(0, DayOfWeek::Sat, 14, 0);
+        let all: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).collect();
+        let comps = oracle.true_components(&ctx, NodeId(0), NodeId(5), now, &all);
+        let mut seen = 0;
+        for c in comps.into_iter().flatten() {
+            assert!((0.0..=1.0).contains(&c.l));
+            assert!((0.0..=1.0).contains(&c.a));
+            assert!((0.0..=1.0).contains(&c.d));
+            seen += 1;
+        }
+        assert_eq!(seen, f.fleet.len(), "connected grid reaches everything");
+    }
+
+    #[test]
+    fn empty_set_scores_none() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let now = SimTime::at(0, DayOfWeek::Tue, 11, 0);
+        assert!(oracle.true_sc_of_set(&ctx, &[], NodeId(0), NodeId(1), now).is_none());
+        assert!(oracle.attained_objectives(&ctx, &[], NodeId(0), NodeId(1), now).is_none());
+    }
+
+    #[test]
+    fn attained_objectives_decompose_score() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let now = SimTime::at(0, DayOfWeek::Tue, 12, 0);
+        let set: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).take(6).collect();
+        let (l, a, dc) = oracle.attained_objectives(&ctx, &set, NodeId(0), NodeId(2), now).unwrap();
+        let sc = oracle.true_sc_of_set(&ctx, &set, NodeId(0), NodeId(2), now).unwrap();
+        assert!((sc - (l + a + dc) / 3.0).abs() < 1e-12, "decomposition must reassemble");
+    }
+
+    #[test]
+    fn night_oracle_prefers_available_near_chargers() {
+        // At night L = 0 for everyone; the optimum is driven by A and D.
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let mut oracle = Oracle::new(Weights::awe());
+        let night = SimTime::at(0, DayOfWeek::Tue, 2, 0);
+        let (best, mean) = oracle.best_k(&ctx, NodeId(0), NodeId(1), night, 3);
+        assert_eq!(best.len(), 3);
+        assert!(mean > 0.0 && mean < 0.7, "night mean SC {mean} must drop below daytime band");
+    }
+}

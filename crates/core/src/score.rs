@@ -1,0 +1,364 @@
+//! The Sustainability Score `SC` (§III-B, Eq. 4–6).
+//!
+//! `SC` is a weighted sum of the three normalised estimated components:
+//! sustainable charging level `L`, availability `A`, and the *complement*
+//! of the derouting cost `D` (a small detour should score high):
+//!
+//! ```text
+//! SC_min = L_min·w1 + A_min·w2 + (1 − D)·w3   (pessimistic end)
+//! SC_max = L_max·w1 + A_max·w2 + (1 − D)·w3   (optimistic end)
+//! SC(B)  = sort( topk(SC_max) ∩ topk(SC_min) )
+//! ```
+//!
+//! One reading note: the paper's Eq. 4 writes the derouting term of
+//! `SC_min` as `(1 − D_min)`. Taken literally that mixes the pessimistic
+//! `L`/`A` bounds with the *optimistic* derouting bound. We implement the
+//! evident intent — a proper interval lower/upper bound, i.e. `SC_min`
+//! uses `(1 − D_max)` — so that `SC_min ≤ SC_max` always holds and the
+//! filtering phase's dominance pruning stays sound (documented as the one
+//! formula-level deviation in DESIGN.md).
+
+use ec_types::Interval;
+use serde::{Deserialize, Serialize};
+
+/// The user-configurable objective weights `(w1, w2, w3)` for `L`, `A`,
+/// `D` respectively. Always normalised to sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    w1: f64,
+    w2: f64,
+    w3: f64,
+}
+
+impl Weights {
+    /// *All Weights Equal* — the paper's default (`w1 = w2 = w3 = ⅓`).
+    #[must_use]
+    pub fn awe() -> Self {
+        Self { w1: 1.0 / 3.0, w2: 1.0 / 3.0, w3: 1.0 / 3.0 }
+    }
+
+    /// *Only Sustainable Charging* — all weight on `L`.
+    #[must_use]
+    pub fn osc() -> Self {
+        Self { w1: 1.0, w2: 0.0, w3: 0.0 }
+    }
+
+    /// *Only Availability* — all weight on `A`.
+    #[must_use]
+    pub fn oa() -> Self {
+        Self { w1: 0.0, w2: 1.0, w3: 0.0 }
+    }
+
+    /// *Only Derouting Cost* — all weight on `D`.
+    #[must_use]
+    pub fn odc() -> Self {
+        Self { w1: 0.0, w2: 0.0, w3: 1.0 }
+    }
+
+    /// Arbitrary weights, normalised to sum to one.
+    ///
+    /// # Panics
+    /// Panics when any weight is negative or all are zero.
+    #[must_use]
+    pub fn new(w1: f64, w2: f64, w3: f64) -> Self {
+        assert!(w1 >= 0.0 && w2 >= 0.0 && w3 >= 0.0, "weights must be non-negative");
+        let sum = w1 + w2 + w3;
+        assert!(sum > 0.0, "at least one weight must be positive");
+        Self { w1: w1 / sum, w2: w2 / sum, w3: w3 / sum }
+    }
+
+    /// Weight of the sustainable-charging-level objective.
+    #[must_use]
+    pub const fn w1(&self) -> f64 {
+        self.w1
+    }
+
+    /// Weight of the availability objective.
+    #[must_use]
+    pub const fn w2(&self) -> f64 {
+        self.w2
+    }
+
+    /// Weight of the derouting objective.
+    #[must_use]
+    pub const fn w3(&self) -> f64 {
+        self.w3
+    }
+
+    /// Point score for exact (non-interval) component values, all in
+    /// `[0,1]` with `d` the *cost* (not its complement).
+    #[must_use]
+    pub fn point_score(&self, l: f64, a: f64, d: f64) -> f64 {
+        self.w1 * l + self.w2 * a + self.w3 * (1.0 - d)
+    }
+
+    /// Interval score: `L·w1 + A·w2 + (1 − D)·w3` with proper interval
+    /// arithmetic (the `(1 − D)` complement swaps endpoints, keeping
+    /// `lo ≤ hi`).
+    #[must_use]
+    pub fn interval_score(&self, l: Interval, a: Interval, d: Interval) -> Interval {
+        l * self.w1 + a * self.w2 + d.complement() * self.w3
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self::awe()
+    }
+}
+
+/// Filtering-phase pruning: drop every candidate that is *necessarily
+/// dominated* by at least `k` others — its score interval lies entirely
+/// below `k` other candidates' intervals, so no realisation of the
+/// estimates can put it in the top-k (§III-C: the filtering phase
+/// "ensures that only the k most suitable chargers are considered, while
+/// pruning all the rest").
+///
+/// Returns the indices (into `scored`) of the survivors, in input order.
+/// Provably output-preserving for [`refine_topk`]: a candidate with `k`
+/// necessary dominators ranks below all of them in both the `SC_min` and
+/// the `SC_max` order, so it can appear in neither top-k set nor be
+/// reached by the top-up before they are.
+#[must_use]
+pub fn prune_dominated(scored: &[(usize, Interval)], k: usize) -> Vec<usize> {
+    if k == 0 || scored.len() <= k {
+        return (0..scored.len()).collect();
+    }
+    // Sort interval lower bounds descending; candidate i is necessarily
+    // dominated by k others iff the k-th largest lower bound exceeds
+    // hi_i. O(n log n) instead of the naive O(n²) pairwise check.
+    let mut los: Vec<f64> = scored.iter().map(|(_, s)| s.lo()).collect();
+    los.sort_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
+    let kth_lo = los[k - 1];
+    (0..scored.len()).filter(|&i| scored[i].1.hi() >= kth_lo).collect()
+}
+
+/// Rank candidates by the paper's refinement rule (Eq. 6): intersect the
+/// top-`k` under `SC_min` with the top-`k` under `SC_max`, then sort by
+/// midpoint (ties by upper bound), best first. When the intersection holds
+/// fewer than `k` chargers it is topped up with the best remaining
+/// candidates by `SC_max` order — the table the driver sees always offers
+/// `min(k, candidates)` choices.
+///
+/// Input: `(candidate_index, sc_interval)` pairs. Output: candidate
+/// indices, best first.
+#[must_use]
+pub fn refine_topk(scored: &[(usize, Interval)], k: usize) -> Vec<usize> {
+    if k == 0 || scored.is_empty() {
+        return Vec::new();
+    }
+    let order_by = |key: fn(&Interval) -> f64| {
+        let mut idx: Vec<usize> = (0..scored.len()).collect();
+        idx.sort_by(|&x, &y| {
+            key(&scored[y].1)
+                .partial_cmp(&key(&scored[x].1))
+                .expect("scores are finite")
+                .then_with(|| scored[x].0.cmp(&scored[y].0))
+        });
+        idx
+    };
+    let by_min = order_by(Interval::lo);
+    let by_max = order_by(Interval::hi);
+
+    let top_min: std::collections::HashSet<usize> = by_min.iter().take(k).copied().collect();
+    let mut picked: Vec<usize> = by_max.iter().take(k).copied().filter(|i| top_min.contains(i)).collect();
+
+    // Top-up from the SC_max order (best candidates not yet picked).
+    if picked.len() < k {
+        for &i in &by_max {
+            if picked.len() >= k.min(scored.len()) {
+                break;
+            }
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
+        }
+    }
+
+    // Final presentation order: midpoint rank, best first.
+    picked.sort_by(|&x, &y| scored[y].1.rank_cmp(&scored[x].1));
+    picked.into_iter().map(|i| scored[i].0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sum_to_one() {
+        for w in [Weights::awe(), Weights::osc(), Weights::oa(), Weights::odc()] {
+            assert!((w.w1() + w.w2() + w.w3() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(Weights::awe(), Weights::default());
+    }
+
+    #[test]
+    fn new_normalises() {
+        let w = Weights::new(2.0, 1.0, 1.0);
+        assert!((w.w1() - 0.5).abs() < 1e-12);
+        assert!((w.w2() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = Weights::new(-1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_panics() {
+        let _ = Weights::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn point_score_matches_formula() {
+        let w = Weights::awe();
+        let sc = w.point_score(0.9, 0.6, 0.3);
+        assert!((sc - (0.9 + 0.6 + 0.7) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_charger_scores_one() {
+        let w = Weights::awe();
+        assert!((w.point_score(1.0, 1.0, 0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(w.point_score(0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn interval_score_is_proper_interval() {
+        let w = Weights::awe();
+        let sc = w.interval_score(
+            Interval::new(0.5, 0.8),
+            Interval::new(0.2, 0.6),
+            Interval::new(0.1, 0.4),
+        );
+        assert!(sc.lo() <= sc.hi());
+        // Lower bound must be the all-pessimistic combination:
+        // (0.5 + 0.2 + (1-0.4)) / 3.
+        assert!((sc.lo() - (0.5 + 0.2 + 0.6) / 3.0).abs() < 1e-12);
+        assert!((sc.hi() - (0.8 + 0.6 + 0.9) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_score_point_inputs_match_point_score() {
+        let w = Weights::new(0.5, 0.3, 0.2);
+        let sc = w.interval_score(
+            Interval::point(0.7),
+            Interval::point(0.4),
+            Interval::point(0.2),
+        );
+        assert!(sc.is_point());
+        assert!((sc.lo() - w.point_score(0.7, 0.4, 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_objective_weights_isolate_components() {
+        let l = Interval::new(0.1, 0.2);
+        let a = Interval::new(0.8, 0.9);
+        let d = Interval::new(0.3, 0.5);
+        let osc = Weights::osc().interval_score(l, a, d);
+        assert_eq!((osc.lo(), osc.hi()), (0.1, 0.2));
+        let oa = Weights::oa().interval_score(l, a, d);
+        assert_eq!((oa.lo(), oa.hi()), (0.8, 0.9));
+        let odc = Weights::odc().interval_score(l, a, d);
+        assert!((odc.lo() - 0.5).abs() < 1e-12 && (odc.hi() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_keeps_everything_when_small() {
+        let scored = vec![(0, Interval::point(0.1)), (1, Interval::point(0.9))];
+        assert_eq!(prune_dominated(&scored, 3), vec![0, 1]);
+        assert_eq!(prune_dominated(&scored, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn prune_drops_necessarily_dominated() {
+        let scored = vec![
+            (0, Interval::new(0.8, 0.9)),
+            (1, Interval::new(0.7, 0.8)),
+            (2, Interval::new(0.6, 0.7)),
+            (3, Interval::new(0.0, 0.1)), // below two intervals' lower bounds
+            (4, Interval::new(0.0, 0.75)), // wide: overlaps the contenders
+        ];
+        let kept = prune_dominated(&scored, 2);
+        assert!(!kept.contains(&3), "fully dominated candidate must go");
+        assert!(kept.contains(&4), "overlapping candidate must survive");
+        assert!(kept.contains(&0) && kept.contains(&1));
+    }
+
+    #[test]
+    fn pruning_never_changes_refinement() {
+        // Randomised check (deterministic seed): refine(all) == refine(pruned).
+        let mut rng = ec_types::SplitMix64::new(17);
+        for _ in 0..200 {
+            let n = 3 + (rng.below(30) as usize);
+            let k = 1 + (rng.below(6) as usize);
+            let scored: Vec<(usize, Interval)> = (0..n)
+                .map(|i| {
+                    let a = rng.range_f64(0.0, 1.0);
+                    let b = (a + rng.range_f64(0.0, 0.3)).min(1.0);
+                    (i, Interval::new(a, b))
+                })
+                .collect();
+            let full = refine_topk(&scored, k);
+            let survivors = prune_dominated(&scored, k);
+            let pruned: Vec<(usize, Interval)> = survivors.iter().map(|&i| scored[i]).collect();
+            let fast = refine_topk(&pruned, k);
+            assert_eq!(full, fast, "pruning changed the table (n={n}, k={k})");
+        }
+    }
+
+    #[test]
+    fn refine_topk_intersects_and_sorts() {
+        // Three clear winners, two clear losers.
+        let scored = vec![
+            (10, Interval::new(0.80, 0.90)),
+            (11, Interval::new(0.70, 0.85)),
+            (12, Interval::new(0.75, 0.88)),
+            (13, Interval::new(0.10, 0.20)),
+            (14, Interval::new(0.05, 0.15)),
+        ];
+        let top = refine_topk(&scored, 3);
+        assert_eq!(top, vec![10, 12, 11]);
+    }
+
+    #[test]
+    fn refine_topk_tops_up_when_intersection_small() {
+        // One candidate great on SC_max but terrible on SC_min, and vice
+        // versa: intersection of top-1 sets may be empty; the table still
+        // returns k entries.
+        let scored = vec![
+            (0, Interval::new(0.0, 1.0)),
+            (1, Interval::new(0.45, 0.55)),
+        ];
+        let top = refine_topk(&scored, 1);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn refine_topk_k_zero_or_empty() {
+        assert!(refine_topk(&[], 3).is_empty());
+        assert!(refine_topk(&[(0, Interval::point(0.5))], 0).is_empty());
+    }
+
+    #[test]
+    fn refine_topk_k_exceeds_candidates() {
+        let scored = vec![(7, Interval::point(0.5)), (8, Interval::point(0.9))];
+        let top = refine_topk(&scored, 10);
+        assert_eq!(top, vec![8, 7]);
+    }
+
+    #[test]
+    fn refine_topk_deterministic_on_ties() {
+        let scored = vec![
+            (3, Interval::point(0.5)),
+            (1, Interval::point(0.5)),
+            (2, Interval::point(0.5)),
+        ];
+        let a = refine_topk(&scored, 2);
+        let b = refine_topk(&scored, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The electric vehicle `m`: battery, state of charge, and charging
+//! limits.
+//!
+//! The paper's hoarding premise is a vehicle that charges "even when the
+//! battery is not substantially depleted" (§I) — but never one that
+//! strands itself reaching a charger, and never one credited with more
+//! power than its on-board charger accepts (the worked example drives an
+//! "11kW AC charger car", §III-C). [`Vehicle`] carries those constraints;
+//! when a vehicle is attached to the [`EcoChargeConfig`], the filtering
+//! phase drops candidates whose worst-case detour exceeds the usable
+//! battery margin, and the `L` component is capped by the vehicle's
+//! acceptance rate, not just the charger's delivery rate.
+//!
+//! [`EcoChargeConfig`]: crate::context::EcoChargeConfig
+
+use chargers::ChargerKind;
+use ec_types::{Kilowatts, VehicleId};
+use serde::{Deserialize, Serialize};
+
+/// An EV's energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    /// Vehicle id.
+    pub id: VehicleId,
+    /// Battery capacity, kWh.
+    pub battery_kwh: f64,
+    /// Current state of charge, `0..=1`.
+    pub soc: f64,
+    /// On-board AC charger limit, kW.
+    pub max_ac_kw: f64,
+    /// DC fast-charge limit, kW.
+    pub max_dc_kw: f64,
+    /// SoC the planner must never dip below (range anxiety buffer).
+    pub reserve_soc: f64,
+}
+
+impl Vehicle {
+    /// A city EV: 45 kWh pack, 11 kW AC, 100 kW DC — the paper example's
+    /// class of car.
+    #[must_use]
+    pub fn city_ev(id: VehicleId, soc: f64) -> Self {
+        Self {
+            id,
+            battery_kwh: 45.0,
+            soc: soc.clamp(0.0, 1.0),
+            max_ac_kw: 11.0,
+            max_dc_kw: 100.0,
+            reserve_soc: 0.1,
+        }
+    }
+
+    /// A long-range EV: 90 kWh pack, 22 kW AC, 250 kW DC.
+    #[must_use]
+    pub fn long_range(id: VehicleId, soc: f64) -> Self {
+        Self {
+            id,
+            battery_kwh: 90.0,
+            soc: soc.clamp(0.0, 1.0),
+            max_ac_kw: 22.0,
+            max_dc_kw: 250.0,
+            reserve_soc: 0.1,
+        }
+    }
+
+    /// Usable energy above the reserve, kWh.
+    #[must_use]
+    pub fn usable_kwh(&self) -> f64 {
+        ((self.soc - self.reserve_soc).max(0.0)) * self.battery_kwh
+    }
+
+    /// Remaining hoarding room: energy the pack can still absorb, kWh.
+    #[must_use]
+    pub fn headroom_kwh(&self) -> f64 {
+        ((1.0 - self.soc).max(0.0)) * self.battery_kwh
+    }
+
+    /// The rate this vehicle actually draws from a charger of `kind` —
+    /// the minimum of what the plug delivers and what the car accepts.
+    #[must_use]
+    pub fn accept_rate(&self, kind: ChargerKind) -> Kilowatts {
+        let vehicle_limit = match kind {
+            ChargerKind::Ac11 | ChargerKind::Ac22 => self.max_ac_kw,
+            ChargerKind::Dc50 | ChargerKind::Dc150 => self.max_dc_kw,
+        };
+        Kilowatts(kind.rate().value().min(vehicle_limit))
+    }
+
+    /// Can the vehicle afford a detour of `detour_kwh` (worst case) and
+    /// still keep its reserve? The planner also keeps a small absolute
+    /// margin for model error.
+    #[must_use]
+    pub fn can_afford(&self, detour_kwh: f64) -> bool {
+        detour_kwh + 0.5 <= self.usable_kwh()
+    }
+
+    /// Apply `soc` drain for `kwh` consumed (clamped at empty).
+    #[must_use]
+    pub fn after_driving(mut self, kwh: f64) -> Self {
+        self.soc = (self.soc - kwh.max(0.0) / self.battery_kwh).max(0.0);
+        self
+    }
+
+    /// Apply `kwh` gained from charging (clamped at full).
+    #[must_use]
+    pub fn after_charging(mut self, kwh: f64) -> Self {
+        self.soc = (self.soc + kwh.max(0.0) / self.battery_kwh).min(1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car(soc: f64) -> Vehicle {
+        Vehicle::city_ev(VehicleId(0), soc)
+    }
+
+    #[test]
+    fn usable_respects_reserve() {
+        let v = car(0.5);
+        assert!((v.usable_kwh() - 0.4 * 45.0).abs() < 1e-9);
+        assert_eq!(car(0.05).usable_kwh(), 0.0, "below reserve means nothing usable");
+    }
+
+    #[test]
+    fn headroom_complements_soc() {
+        let v = car(0.7);
+        assert!((v.headroom_kwh() - 0.3 * 45.0).abs() < 1e-9);
+        assert_eq!(car(1.0).headroom_kwh(), 0.0);
+    }
+
+    #[test]
+    fn accept_rate_caps_by_connector_family() {
+        let v = car(0.5); // 11 kW AC, 100 kW DC
+        assert_eq!(v.accept_rate(ChargerKind::Ac22).value(), 11.0);
+        assert_eq!(v.accept_rate(ChargerKind::Ac11).value(), 11.0);
+        assert_eq!(v.accept_rate(ChargerKind::Dc50).value(), 50.0);
+        assert_eq!(v.accept_rate(ChargerKind::Dc150).value(), 100.0);
+    }
+
+    #[test]
+    fn affordability_gate() {
+        let v = car(0.2); // usable = 0.1 * 45 = 4.5 kWh
+        assert!(v.can_afford(3.0));
+        assert!(!v.can_afford(4.2), "margin must block near-limit detours");
+        assert!(!car(0.1).can_afford(0.1));
+    }
+
+    #[test]
+    fn drive_and_charge_roundtrip() {
+        let v = car(0.5).after_driving(9.0); // -0.2 SoC
+        assert!((v.soc - 0.3).abs() < 1e-9);
+        let v = v.after_charging(22.5); // +0.5 SoC
+        assert!((v.soc - 0.8).abs() < 1e-9);
+        // Clamps.
+        assert_eq!(car(0.1).after_driving(100.0).soc, 0.0);
+        assert_eq!(car(0.9).after_charging(100.0).soc, 1.0);
+    }
+
+    #[test]
+    fn presets_differ() {
+        let a = Vehicle::city_ev(VehicleId(1), 0.5);
+        let b = Vehicle::long_range(VehicleId(1), 0.5);
+        assert!(b.battery_kwh > a.battery_kwh);
+        assert!(b.max_ac_kw > a.max_ac_kw);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the scoring and refinement machinery.
+
+use ec_types::Interval;
+use ecocharge_core::score::refine_topk;
+use ecocharge_core::Weights;
+use proptest::prelude::*;
+
+fn unit_interval() -> impl Strategy<Value = Interval> {
+    (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| Interval::new(a, b))
+}
+
+proptest! {
+    /// The refined top-k is a subset of the candidates, has the right
+    /// size, and contains no duplicates.
+    #[test]
+    fn refine_topk_structure(
+        scores in prop::collection::vec(unit_interval(), 0..40),
+        k in 0usize..12,
+    ) {
+        let scored: Vec<(usize, Interval)> =
+            scores.iter().copied().enumerate().map(|(i, s)| (i + 100, s)).collect();
+        let top = refine_topk(&scored, k);
+        prop_assert_eq!(top.len(), k.min(scored.len()));
+        let ids: std::collections::HashSet<_> = top.iter().collect();
+        prop_assert_eq!(ids.len(), top.len(), "duplicates in top-k");
+        for id in &top {
+            prop_assert!(scored.iter().any(|(i, _)| i == id), "phantom candidate {id}");
+        }
+    }
+
+    /// Refinement output is sorted by midpoint, best first.
+    #[test]
+    fn refine_topk_sorted_by_midpoint(
+        scores in prop::collection::vec(unit_interval(), 1..30),
+        k in 1usize..10,
+    ) {
+        let scored: Vec<(usize, Interval)> = scores.iter().copied().enumerate().collect();
+        let top = refine_topk(&scored, k);
+        for w in top.windows(2) {
+            let a = scored[w[0]].1.mid();
+            let b = scored[w[1]].1.mid();
+            prop_assert!(a >= b - 1e-12, "order violated: {a} before {b}");
+        }
+    }
+
+    /// A candidate that necessarily dominates everything must be ranked
+    /// first.
+    #[test]
+    fn dominant_candidate_wins(
+        scores in prop::collection::vec(
+            (0.0..0.4f64, 0.0..0.4f64).prop_map(|(a, b)| Interval::new(a, b)),
+            1..20,
+        ),
+        k in 1usize..6,
+    ) {
+        let mut scored: Vec<(usize, Interval)> = scores.iter().copied().enumerate().collect();
+        scored.push((999, Interval::new(0.8, 0.9)));
+        let top = refine_topk(&scored, k);
+        prop_assert_eq!(top[0], 999);
+    }
+
+    /// Refinement is deterministic.
+    #[test]
+    fn refine_topk_deterministic(
+        scores in prop::collection::vec(unit_interval(), 0..30),
+        k in 0usize..8,
+    ) {
+        let scored: Vec<(usize, Interval)> = scores.iter().copied().enumerate().collect();
+        prop_assert_eq!(refine_topk(&scored, k), refine_topk(&scored, k));
+    }
+
+    /// The weighted interval score is monotone in each component: better
+    /// L, better A, or smaller D can only improve both endpoints.
+    #[test]
+    fn interval_score_monotone(
+        l in unit_interval(), a in unit_interval(), d in unit_interval(),
+        bump in 0.0..0.5f64,
+        w1 in 0.01..1.0f64, w2 in 0.01..1.0f64, w3 in 0.01..1.0f64,
+    ) {
+        let w = Weights::new(w1, w2, w3);
+        let base = w.interval_score(l, a, d);
+        let better_l = w.interval_score(
+            Interval::new((l.lo() + bump).min(1.0), (l.hi() + bump).min(1.0)), a, d);
+        prop_assert!(better_l.lo() >= base.lo() - 1e-12);
+        prop_assert!(better_l.hi() >= base.hi() - 1e-12);
+        let better_a = w.interval_score(
+            l, Interval::new((a.lo() + bump).min(1.0), (a.hi() + bump).min(1.0)), d);
+        prop_assert!(better_a.lo() >= base.lo() - 1e-12);
+        let smaller_d = w.interval_score(
+            l, a, Interval::new((d.lo() - bump).max(0.0), (d.hi() - bump).max(0.0)));
+        prop_assert!(smaller_d.lo() >= base.lo() - 1e-12);
+        prop_assert!(smaller_d.hi() >= base.hi() - 1e-12);
+    }
+
+    /// Point scores live in [0,1] for unit-range components, whatever the
+    /// (normalised) weights.
+    #[test]
+    fn point_score_bounded(
+        l in 0.0..1.0f64, a in 0.0..1.0f64, d in 0.0..1.0f64,
+        w1 in 0.0..1.0f64, w2 in 0.0..1.0f64, w3 in 0.01..1.0f64,
+    ) {
+        let w = Weights::new(w1, w2, w3);
+        let s = w.point_score(l, a, d);
+        prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+    }
+
+    /// Interval scores with point inputs collapse to the point score.
+    #[test]
+    fn interval_score_generalises_point_score(
+        l in 0.0..1.0f64, a in 0.0..1.0f64, d in 0.0..1.0f64,
+    ) {
+        let w = Weights::awe();
+        let i = w.interval_score(Interval::point(l), Interval::point(a), Interval::point(d));
+        prop_assert!(i.is_point());
+        prop_assert!((i.lo() - w.point_score(l, a, d)).abs() < 1e-12);
+    }
+}

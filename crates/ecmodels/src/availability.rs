@@ -1,0 +1,249 @@
+//! Charger availability from busy timetables.
+//!
+//! "Each EV charger's availability is estimated using some third-party
+//! service (e.g., Google Maps POI busy timetables) … an interval is
+//! produced A_min to A_max" (§III-B, Fig. 2). [`AvailabilityModel`]
+//! synthesises weekly popular-times histograms per charger from a site
+//! [`SiteArchetype`] (a downtown garage peaks at lunch, a workplace lot at
+//! 9-17, a highway plaza on weekend afternoons) plus per-charger phase and
+//! amplitude jitter, and serves interval forecasts at arbitrary ETAs.
+//!
+//! Convention: this module reports **availability** (1 = surely free,
+//! 0 = surely occupied), i.e. `1 − busyness`; the paper's Fig. 2 shows the
+//! busyness view.
+
+use ec_types::{Interval, SimTime, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// What kind of place a charger sits at — determines its weekly busy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteArchetype {
+    /// City-core public garage: lunch and after-work peaks, busy weekends.
+    Downtown,
+    /// Shopping mall: builds through the day, weekend-heavy.
+    Mall,
+    /// Residential street chargers: evening/overnight peak.
+    Suburban,
+    /// Motorway service plaza: travel-hour peaks, strong weekends.
+    Highway,
+    /// Office car park: 9–17 weekday plateau, dead weekends.
+    Workplace,
+}
+
+impl SiteArchetype {
+    /// All archetypes.
+    pub const ALL: [SiteArchetype; 5] =
+        [Self::Downtown, Self::Mall, Self::Suburban, Self::Highway, Self::Workplace];
+
+    /// Baseline busyness in `[0,1]` for `hour` (0–23) on a weekday or
+    /// weekend day.
+    #[must_use]
+    pub fn base_busy(self, hour: f64, weekend: bool) -> f64 {
+        // Each archetype is a mixture of smooth bumps.
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            let d = (hour - center) / width;
+            height * (-0.5 * d * d).exp()
+        };
+        let v = match self {
+            Self::Downtown => {
+                if weekend {
+                    bump(12.0, 3.0, 0.55) + bump(17.0, 2.5, 0.45) + 0.10
+                } else {
+                    bump(12.5, 1.8, 0.55) + bump(18.0, 2.0, 0.60) + 0.15
+                }
+            }
+            Self::Mall => {
+                if weekend {
+                    bump(14.0, 3.5, 0.85) + 0.10
+                } else {
+                    bump(17.5, 3.0, 0.55) + 0.08
+                }
+            }
+            Self::Suburban => {
+                let overnight = bump(22.0, 3.0, 0.55) + bump(2.0, 3.0, 0.50);
+                if weekend {
+                    overnight + bump(11.0, 3.0, 0.20) + 0.08
+                } else {
+                    overnight + 0.05
+                }
+            }
+            Self::Highway => {
+                if weekend {
+                    bump(11.0, 2.5, 0.70) + bump(16.5, 2.5, 0.75) + 0.08
+                } else {
+                    bump(8.0, 1.5, 0.45) + bump(17.5, 2.0, 0.50) + 0.10
+                }
+            }
+            Self::Workplace => {
+                if weekend {
+                    0.04
+                } else {
+                    bump(10.0, 2.2, 0.70) + bump(14.5, 2.5, 0.60) + 0.05
+                }
+            }
+        };
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// Deterministic availability service for a whole simulation.
+#[derive(Debug, Clone)]
+pub struct AvailabilityModel {
+    seed: u64,
+}
+
+impl AvailabilityModel {
+    /// An availability realisation keyed by `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Per-charger curve parameters derived from the charger's stable
+    /// identity hash: `(phase_shift_h, amplitude, floor)`.
+    fn charger_params(&self, charger_seed: u64) -> (f64, f64, f64) {
+        let mut rng = SplitMix64::new(ec_types::rng::mix(self.seed, charger_seed));
+        let phase = rng.range_f64(-1.5, 1.5);
+        let amplitude = rng.range_f64(0.7, 1.1);
+        let floor = rng.range_f64(0.0, 0.12);
+        (phase, amplitude, floor)
+    }
+
+    /// **Ground truth**: busyness of the charger at `t`, in `[0,1]` —
+    /// the weekly timetable plus day-specific stochastic deviation (a
+    /// timetable is an average; any given Tuesday differs).
+    #[must_use]
+    pub fn busy_fraction(&self, charger_seed: u64, arch: SiteArchetype, t: SimTime) -> f64 {
+        let (phase, amplitude, floor) = self.charger_params(charger_seed);
+        let base = arch.base_busy((t.hour_f64() - phase).rem_euclid(24.0), t.day().is_weekend());
+        let mut noise_rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0xBAD5EED,
+            charger_seed ^ (t.as_secs() / 1_800), // new draw each 30 min
+        ));
+        let noise = (noise_rng.next_f64() - 0.5) * 0.2;
+        (floor + amplitude * base + noise).clamp(0.0, 1.0)
+    }
+
+    /// **Ground truth** availability: `1 − busy`.
+    #[must_use]
+    pub fn actual_availability(&self, charger_seed: u64, arch: SiteArchetype, t: SimTime) -> f64 {
+        1.0 - self.busy_fraction(charger_seed, arch, t)
+    }
+
+    /// **Forecast API**: interval estimate, issued at `now`, of the
+    /// charger's availability at `eta` — `[A_min, A_max]` of the paper.
+    #[must_use]
+    pub fn forecast_availability(
+        &self,
+        charger_seed: u64,
+        arch: SiteArchetype,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Interval {
+        let truth = self.actual_availability(charger_seed, arch, eta);
+        let horizon_h = eta.saturating_since(now).as_hours_f64();
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0xA11A,
+            charger_seed ^ (eta.as_secs() / 3_600),
+        ));
+        let skew = rng.range_f64(-1.0, 1.0);
+        crate::forecast_interval(truth, horizon_h, skew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    #[test]
+    fn workplace_dead_on_weekends() {
+        let wk = SiteArchetype::Workplace;
+        assert!(wk.base_busy(11.0, true) < 0.1);
+        assert!(wk.base_busy(11.0, false) > 0.5);
+    }
+
+    #[test]
+    fn mall_peaks_weekend_afternoon() {
+        let m = SiteArchetype::Mall;
+        assert!(m.base_busy(14.0, true) > m.base_busy(14.0, false));
+        assert!(m.base_busy(14.0, true) > m.base_busy(4.0, true));
+    }
+
+    #[test]
+    fn suburban_peaks_overnight() {
+        let s = SiteArchetype::Suburban;
+        assert!(s.base_busy(22.0, false) > s.base_busy(13.0, false));
+    }
+
+    #[test]
+    fn base_busy_always_unit_range() {
+        for arch in SiteArchetype::ALL {
+            for h in 0..24 {
+                for weekend in [false, true] {
+                    let v = arch.base_busy(f64::from(h), weekend);
+                    assert!((0.0..=1.0).contains(&v), "{arch:?} h{h} -> {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn busy_fraction_deterministic_per_charger() {
+        let m = AvailabilityModel::new(5);
+        let t = SimTime::at(0, DayOfWeek::Thu, 12, 15);
+        assert_eq!(
+            m.busy_fraction(7, SiteArchetype::Downtown, t),
+            m.busy_fraction(7, SiteArchetype::Downtown, t)
+        );
+        // Different chargers of the same archetype differ (phase jitter).
+        let spread = (0..20)
+            .map(|c| m.busy_fraction(c, SiteArchetype::Downtown, t))
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        assert!(spread.1 - spread.0 > 0.05, "chargers are clones: {spread:?}");
+    }
+
+    #[test]
+    fn availability_is_complement_of_busy() {
+        let m = AvailabilityModel::new(5);
+        let t = SimTime::at(0, DayOfWeek::Thu, 18, 0);
+        let b = m.busy_fraction(3, SiteArchetype::Highway, t);
+        let a = m.actual_availability(3, SiteArchetype::Highway, t);
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_contains_truth_mostly_and_widens() {
+        let m = AvailabilityModel::new(8);
+        let now = SimTime::at(0, DayOfWeek::Mon, 9, 0);
+        let mut contained = 0;
+        for c in 0..50u64 {
+            let eta = now + SimDuration::from_mins(30);
+            let f = m.forecast_availability(c, SiteArchetype::Downtown, now, eta);
+            let truth = m.actual_availability(c, SiteArchetype::Downtown, eta);
+            if f.contains(truth) {
+                contained += 1;
+            }
+            let far = m.forecast_availability(
+                c,
+                SiteArchetype::Downtown,
+                now,
+                now + SimDuration::from_hours(48),
+            );
+            assert!(far.width() >= f.width() - 1e-9);
+        }
+        assert!(contained >= 40, "{contained}/50 contained");
+    }
+
+    #[test]
+    fn forecast_in_unit_range() {
+        let m = AvailabilityModel::new(8);
+        let now = SimTime::at(0, DayOfWeek::Sat, 13, 0);
+        for c in 0..30u64 {
+            for arch in SiteArchetype::ALL {
+                let f = m.forecast_availability(c, arch, now, now + SimDuration::from_hours(2));
+                assert!(f.lo() >= 0.0 && f.hi() <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! CDGS-style solar production series.
+//!
+//! The paper's charger dataset carries "solar generation in a 15-minute
+//! time-interval" from the *California Distributed Generation Statistics*
+//! program (§V-A). [`ProductionSeries`] is that record shape: one kW sample
+//! per 15-minute slot of a week, synthesised from the [`WeatherSim`]
+//! ground truth for a station's location and panel rating. The charger
+//! crate attaches one series per station; the sustainable-charging-level
+//! computation integrates it over the charging window.
+
+use crate::weather::WeatherSim;
+use ec_types::{GeoPoint, Kilowatts, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Number of 15-minute slots in one week.
+pub const QUARTERS_PER_WEEK: usize = 7 * 24 * 4;
+
+/// One station-week of 15-minute solar production samples, kW.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductionSeries {
+    /// kW produced in each 15-minute slot (`QUARTERS_PER_WEEK` entries).
+    samples_kw: Vec<f32>,
+    /// Panel nameplate rating.
+    rating_kw: f32,
+}
+
+impl ProductionSeries {
+    /// Record a station-week by sampling the weather ground truth at the
+    /// station's location for week `week`.
+    #[must_use]
+    pub fn record(weather: &WeatherSim, loc: &GeoPoint, rating: Kilowatts, week: u64) -> Self {
+        let samples_kw = (0..QUARTERS_PER_WEEK)
+            .map(|q| {
+                let t = SimTime::from_secs(week * 7 * 86_400 + q as u64 * 900);
+                (weather.actual_sun_fraction(loc, t) * rating.value()) as f32
+            })
+            .collect();
+        Self { samples_kw, rating_kw: rating.value() as f32 }
+    }
+
+    /// The panel's nameplate rating.
+    #[must_use]
+    pub fn rating(&self) -> Kilowatts {
+        Kilowatts(f64::from(self.rating_kw))
+    }
+
+    /// Production at the 15-minute slot containing `t` (week-wrapped).
+    #[must_use]
+    pub fn at(&self, t: SimTime) -> Kilowatts {
+        Kilowatts(f64::from(self.samples_kw[t.quarter_of_week()]))
+    }
+
+    /// Energy produced over `[from, to)`, integrating the 15-minute
+    /// samples (partial slots pro-rated). `from` and `to` may span week
+    /// boundaries; the series wraps.
+    ///
+    /// # Panics
+    /// Panics when `to < from`.
+    #[must_use]
+    pub fn energy_kwh(&self, from: SimTime, to: SimTime) -> ec_types::KilowattHours {
+        assert!(to >= from, "energy window must run forward");
+        let mut total = 0.0f64;
+        let mut at = from.as_secs();
+        let end = to.as_secs();
+        while at < end {
+            let slot_end = (at / 900 + 1) * 900;
+            let span_s = slot_end.min(end) - at;
+            let q = SimTime::from_secs(at).quarter_of_week();
+            total += f64::from(self.samples_kw[q]) * span_s as f64 / 3_600.0;
+            at += span_s;
+        }
+        ec_types::KilowattHours(total)
+    }
+
+    /// Peak sample of the week.
+    #[must_use]
+    pub fn peak(&self) -> Kilowatts {
+        Kilowatts(f64::from(
+            self.samples_kw.iter().copied().fold(0.0f32, f32::max),
+        ))
+    }
+
+    /// Mean production over daylight-capable slots (whole week), kW.
+    #[must_use]
+    pub fn mean(&self) -> Kilowatts {
+        let sum: f64 = self.samples_kw.iter().map(|&s| f64::from(s)).sum();
+        Kilowatts(sum / self.samples_kw.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    fn series() -> ProductionSeries {
+        let w = WeatherSim::new(2);
+        ProductionSeries::record(&w, &GeoPoint::new(8.2, 53.14), Kilowatts(20.0), 0)
+    }
+
+    #[test]
+    fn has_full_week_of_samples() {
+        let s = series();
+        assert_eq!(QUARTERS_PER_WEEK, 672);
+        assert!(s.peak().value() > 0.0, "a week of samples must see some sun");
+        assert!(s.peak().value() <= 20.0 + 1e-6, "production cannot exceed rating");
+    }
+
+    #[test]
+    fn night_slots_are_zero() {
+        let s = series();
+        let night = SimTime::at(0, DayOfWeek::Tue, 1, 30);
+        assert_eq!(s.at(night).value(), 0.0);
+    }
+
+    #[test]
+    fn energy_integration_matches_constant_slots() {
+        let s = series();
+        // Integrate exactly one slot: energy = kW * 0.25 h.
+        let t0 = SimTime::at(0, DayOfWeek::Wed, 12, 0);
+        let t1 = t0 + SimDuration::from_mins(15);
+        let e = s.energy_kwh(t0, t1);
+        let expect = s.at(t0).value() * 0.25;
+        assert!((e.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_pro_rates_partial_slots() {
+        let s = series();
+        let t0 = SimTime::at(0, DayOfWeek::Wed, 12, 5);
+        let t1 = t0 + SimDuration::from_mins(5);
+        let e = s.energy_kwh(t0, t1);
+        let expect = s.at(t0).value() * (5.0 / 60.0);
+        assert!((e.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_additive_over_adjacent_windows() {
+        let s = series();
+        let t0 = SimTime::at(0, DayOfWeek::Wed, 10, 0);
+        let t1 = t0 + SimDuration::from_mins(40);
+        let t2 = t1 + SimDuration::from_mins(50);
+        let whole = s.energy_kwh(t0, t2).value();
+        let parts = s.energy_kwh(t0, t1).value() + s.energy_kwh(t1, t2).value();
+        assert!((whole - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_zero_energy() {
+        let s = series();
+        let t = SimTime::at(0, DayOfWeek::Wed, 12, 0);
+        assert_eq!(s.energy_kwh(t, t).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backwards_window_panics() {
+        let s = series();
+        let t = SimTime::at(0, DayOfWeek::Wed, 12, 0);
+        let _ = s.energy_kwh(t + SimDuration::from_mins(10), t);
+    }
+
+    #[test]
+    fn mean_below_peak() {
+        let s = series();
+        assert!(s.mean().value() < s.peak().value());
+    }
+
+    #[test]
+    fn different_weeks_differ() {
+        let w = WeatherSim::new(2);
+        let loc = GeoPoint::new(8.2, 53.14);
+        let a = ProductionSeries::record(&w, &loc, Kilowatts(20.0), 0);
+        let b = ProductionSeries::record(&w, &loc, Kilowatts(20.0), 1);
+        assert_ne!(a, b, "weather should vary week to week");
+    }
+}

@@ -1,0 +1,115 @@
+//! # `ec-models` — the Estimated Component models
+//!
+//! An *Estimated Component (EC)* is "a function that can have a fuzzy value
+//! based on some estimates" (abstract). The paper uses three, each backed
+//! by an external service it cannot control; this crate replaces those
+//! services with deterministic simulators that expose both the **actual**
+//! value (ground truth, what the Brute-Force oracle scores against) and a
+//! **forecast interval** whose width grows with the forecast horizon — the
+//! behaviour the paper attributes to GFS/ECMWF ("accuracy of 95-96 % for up
+//! to 12 hours and 85-95 % for three days", §III-B):
+//!
+//! | paper source | module |
+//! |--------------|--------|
+//! | OpenWeather solar forecast | [`weather`] |
+//! | Google-Maps popular-times busy timetables (Fig. 2) | [`availability`] |
+//! | Google/Waze/HERE live traffic | [`traffic`] |
+//! | CDGS 15-minute solar production records | [`cdgs`] |
+//! | (§VII future work) utility rate cards & grid CO₂ | [`tariff`] |
+//! | wind-farm capacity factors (§I names wind turbines as RES) | [`wind`] |
+//!
+//! All models are pure functions of `(seed, location, time)` — no hidden
+//! state — so every experiment is reproducible bit-for-bit.
+
+pub mod availability;
+pub mod cdgs;
+pub mod tariff;
+pub mod traffic;
+pub mod weather;
+pub mod wind;
+
+pub use availability::{AvailabilityModel, SiteArchetype};
+pub use cdgs::{ProductionSeries, QUARTERS_PER_WEEK};
+pub use tariff::{TariffBand, TariffModel};
+pub use traffic::TrafficModel;
+pub use weather::WeatherSim;
+pub use wind::WindSim;
+
+use ec_types::Interval;
+
+/// Half-width of a forecast interval for a quantity in `[0,1]`, as a
+/// function of the forecast horizon in hours.
+///
+/// Calibrated to the paper's stated forecast accuracies: ±3 % now-casts,
+/// ≈ ±6 % at 12 h (95-96 % accurate), ≈ ±15 % at 72 h (85-95 %), capped at
+/// ±25 % beyond that.
+#[must_use]
+pub fn horizon_half_width(horizon_hours: f64) -> f64 {
+    (0.03 + 0.0028 * horizon_hours.max(0.0)).min(0.25)
+}
+
+/// Build a `[0,1]`-clamped forecast interval around a truth value.
+///
+/// `skew ∈ [-1, 1]` shifts the interval centre off the truth by up to half
+/// the half-width — forecasts are not centred oracles.
+#[must_use]
+pub fn forecast_interval(truth: f64, horizon_hours: f64, skew: f64) -> Interval {
+    let hw = horizon_half_width(horizon_hours);
+    let center = truth + skew.clamp(-1.0, 1.0) * hw * 0.5;
+    Interval::around(center, hw).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_width_grows_with_horizon() {
+        assert!(horizon_half_width(0.0) < horizon_half_width(12.0));
+        assert!(horizon_half_width(12.0) < horizon_half_width(72.0));
+    }
+
+    #[test]
+    fn half_width_matches_paper_accuracy_bands() {
+        // ≈95 % accurate at 12 h → half-width in the 5–8 % band.
+        let w12 = horizon_half_width(12.0);
+        assert!((0.05..=0.08).contains(&w12), "12 h half-width {w12}");
+        // ≈85–95 % at 72 h → half-width in the 10–25 % band.
+        let w72 = horizon_half_width(72.0);
+        assert!((0.10..=0.25).contains(&w72), "72 h half-width {w72}");
+    }
+
+    #[test]
+    fn half_width_caps() {
+        assert_eq!(horizon_half_width(10_000.0), 0.25);
+        // Negative horizons (clock skew) behave like zero.
+        assert_eq!(horizon_half_width(-5.0), horizon_half_width(0.0));
+    }
+
+    #[test]
+    fn forecast_interval_contains_truth_when_unskewed() {
+        for truth in [0.0, 0.3, 0.9, 1.0] {
+            let i = forecast_interval(truth, 6.0, 0.0);
+            assert!(i.contains(truth), "{i} should contain {truth}");
+        }
+    }
+
+    #[test]
+    fn forecast_interval_stays_in_unit_range() {
+        for truth in [0.0, 0.05, 0.5, 0.98] {
+            for h in [0.0, 12.0, 100.0] {
+                for skew in [-1.0, 0.0, 1.0] {
+                    let i = forecast_interval(truth, h, skew);
+                    assert!(i.lo() >= 0.0 && i.hi() <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_shifts_centre() {
+        let up = forecast_interval(0.5, 12.0, 1.0);
+        let down = forecast_interval(0.5, 12.0, -1.0);
+        assert!(up.mid() > down.mid());
+    }
+}

@@ -1,0 +1,180 @@
+//! Time-of-use electricity tariffs and grid carbon intensity.
+//!
+//! The paper's future work (§VII) plans to "extend our solution by
+//! integrating EcoCharge with smart grid technologies and taking
+//! advantage of off-peak electricity rates and grid stabilization
+//! services". This module supplies the substrate: a deterministic
+//! time-of-use tariff (the published rate card every utility exposes) and
+//! a grid carbon-intensity curve (low at solar noon, peaking in the
+//! evening ramp — the classic duck curve), with forecast intervals for
+//! the stochastic intensity.
+
+use ec_types::{Interval, SimTime, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Time-of-use price bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TariffBand {
+    /// Overnight valley (22:00–06:00).
+    OffPeak,
+    /// Daytime shoulder.
+    Shoulder,
+    /// Weekday evening peak (17:00–20:00).
+    Peak,
+}
+
+/// A published time-of-use rate card plus a stochastic grid-carbon model.
+#[derive(Debug, Clone)]
+pub struct TariffModel {
+    /// €/kWh in the off-peak band.
+    pub offpeak_eur: f64,
+    /// €/kWh in the shoulder band.
+    pub shoulder_eur: f64,
+    /// €/kWh in the peak band.
+    pub peak_eur: f64,
+    seed: u64,
+}
+
+impl TariffModel {
+    /// A central-European household rate card.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { offpeak_eur: 0.18, shoulder_eur: 0.28, peak_eur: 0.42, seed }
+    }
+
+    /// The band in force at `t`.
+    #[must_use]
+    pub fn band(t: SimTime) -> TariffBand {
+        let h = t.hour();
+        if !(6..22).contains(&h) {
+            TariffBand::OffPeak
+        } else if (17..20).contains(&h) && !t.day().is_weekend() {
+            TariffBand::Peak
+        } else {
+            TariffBand::Shoulder
+        }
+    }
+
+    /// Grid import price at `t`, €/kWh. Tariffs are published — this is
+    /// exact, not an estimated component.
+    #[must_use]
+    pub fn price_eur_per_kwh(&self, t: SimTime) -> f64 {
+        match Self::band(t) {
+            TariffBand::OffPeak => self.offpeak_eur,
+            TariffBand::Shoulder => self.shoulder_eur,
+            TariffBand::Peak => self.peak_eur,
+        }
+    }
+
+    /// **Ground truth** grid carbon intensity at `t`, gCO₂/kWh: the duck
+    /// curve — a ~480 g base, a midday solar valley, an evening ramp
+    /// peak, plus day-to-day variation in renewables share.
+    #[must_use]
+    pub fn actual_carbon_intensity(&self, t: SimTime) -> f64 {
+        let h = t.hour_f64();
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            let d = (h - center) / width;
+            height * (-0.5 * d * d).exp()
+        };
+        // Day-to-day renewables variation: ±80 g.
+        let mut rng = SplitMix64::new(ec_types::rng::mix(self.seed, t.day_number()));
+        let daily = (rng.next_f64() - 0.5) * 160.0;
+        (480.0 - bump(13.0, 3.0, 220.0) + bump(19.0, 2.0, 130.0) + daily).clamp(80.0, 800.0)
+    }
+
+    /// **Forecast**: interval estimate issued at `now` of the carbon
+    /// intensity at `eta` (gCO₂/kWh), widening with horizon like every
+    /// other estimated component.
+    #[must_use]
+    pub fn forecast_carbon_intensity(&self, now: SimTime, eta: SimTime) -> Interval {
+        let truth = self.actual_carbon_intensity(eta);
+        let horizon_h = eta.saturating_since(now).as_hours_f64();
+        let rel = crate::horizon_half_width(horizon_h);
+        let mut rng =
+            SplitMix64::new(ec_types::rng::mix(self.seed ^ 0x7A81FF, eta.as_secs() / 3_600));
+        let skew = rng.range_f64(-0.5, 0.5);
+        Interval::around(truth * (1.0 + skew * rel), truth * rel).clamp(0.0, 1_000.0)
+    }
+
+    /// Cost of importing `kwh` from the grid at `t`, euros.
+    #[must_use]
+    pub fn import_cost_eur(&self, kwh: f64, t: SimTime) -> f64 {
+        kwh.max(0.0) * self.price_eur_per_kwh(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    fn t(day: DayOfWeek, hour: u64) -> SimTime {
+        SimTime::at(0, day, hour, 0)
+    }
+
+    #[test]
+    fn bands_follow_the_clock() {
+        assert_eq!(TariffModel::band(t(DayOfWeek::Tue, 3)), TariffBand::OffPeak);
+        assert_eq!(TariffModel::band(t(DayOfWeek::Tue, 23)), TariffBand::OffPeak);
+        assert_eq!(TariffModel::band(t(DayOfWeek::Tue, 10)), TariffBand::Shoulder);
+        assert_eq!(TariffModel::band(t(DayOfWeek::Tue, 18)), TariffBand::Peak);
+        // No weekday-evening peak on Saturdays.
+        assert_eq!(TariffModel::band(t(DayOfWeek::Sat, 18)), TariffBand::Shoulder);
+    }
+
+    #[test]
+    fn prices_ordered_offpeak_lowest() {
+        let m = TariffModel::new(1);
+        assert!(m.price_eur_per_kwh(t(DayOfWeek::Tue, 3)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 10)));
+        assert!(m.price_eur_per_kwh(t(DayOfWeek::Tue, 10)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 18)));
+    }
+
+    #[test]
+    fn duck_curve_shape() {
+        let m = TariffModel::new(1);
+        let noon = m.actual_carbon_intensity(t(DayOfWeek::Wed, 13));
+        let evening = m.actual_carbon_intensity(t(DayOfWeek::Wed, 19));
+        let night = m.actual_carbon_intensity(t(DayOfWeek::Wed, 2));
+        assert!(noon < night, "solar valley: noon {noon} vs night {night}");
+        assert!(evening > noon, "evening ramp: {evening} vs {noon}");
+        for h in 0..24 {
+            let v = m.actual_carbon_intensity(t(DayOfWeek::Wed, h));
+            assert!((80.0..=800.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn carbon_forecast_widens_and_contains_mostly() {
+        let m = TariffModel::new(4);
+        let now = t(DayOfWeek::Thu, 8);
+        let near = m.forecast_carbon_intensity(now, now + SimDuration::from_mins(30));
+        let far = m.forecast_carbon_intensity(now, now + SimDuration::from_hours(48));
+        assert!(far.width() / far.mid() >= near.width() / near.mid() - 1e-9);
+        let mut contained = 0;
+        for dh in 0..24 {
+            let eta = now + SimDuration::from_hours(dh);
+            if m.forecast_carbon_intensity(now, eta).contains(m.actual_carbon_intensity(eta)) {
+                contained += 1;
+            }
+        }
+        assert!(contained >= 18, "{contained}/24");
+    }
+
+    #[test]
+    fn import_cost_scales() {
+        let m = TariffModel::new(1);
+        let at = t(DayOfWeek::Tue, 3);
+        assert!((m.import_cost_eur(10.0, at) - 1.8).abs() < 1e-9);
+        assert_eq!(m.import_cost_eur(-5.0, at), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = TariffModel::new(7);
+        let b = TariffModel::new(7);
+        let c = TariffModel::new(8);
+        let at = t(DayOfWeek::Fri, 12);
+        assert_eq!(a.actual_carbon_intensity(at), b.actual_carbon_intensity(at));
+        assert_ne!(a.actual_carbon_intensity(at), c.actual_carbon_intensity(at));
+    }
+}

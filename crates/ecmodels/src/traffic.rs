@@ -1,0 +1,222 @@
+//! The traffic / congestion simulator.
+//!
+//! The derouting cost `D` "accurately considers real-time traffic
+//! information (e.g., congestion) at a given time and location retrieved
+//! from a cloud GIS service (e.g., Google Maps, Waze, HERE Maps), thus D
+//! consists of a lower and upper estimation" (§III-B). [`TrafficModel`]
+//! plays that GIS service: congestion *multiplies* free-flow travel time
+//! (and, more mildly, energy — stop-and-go costs regeneration losses),
+//! following weekday rush-hour profiles per road class, with stochastic
+//! incident noise and horizon-widening forecasts.
+
+use ec_types::{Interval, SimTime, SplitMix64};
+use roadclass_shim::RoadClassLike;
+
+/// Minimal trait so this crate does not depend on `roadnet`: anything that
+/// can say how congestible it is works as a road class.
+pub mod roadclass_shim {
+    /// Abstraction over road classes for congestion purposes.
+    pub trait RoadClassLike: Copy {
+        /// Peak-hour congestion multiplier this class can reach (≥ 1).
+        fn peak_multiplier(self) -> f64;
+    }
+
+    /// A bare congestibility level when no real road class is at hand.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Congestibility(pub f64);
+
+    impl RoadClassLike for Congestibility {
+        fn peak_multiplier(self) -> f64 {
+            self.0.max(1.0)
+        }
+    }
+}
+
+/// Deterministic traffic service for a whole simulation.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    seed: u64,
+}
+
+impl TrafficModel {
+    /// A traffic realisation keyed by `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Baseline rush-hour shape in `[0,1]` (0 = free flow, 1 = worst
+    /// peak), before class scaling.
+    #[must_use]
+    pub fn rush_shape(hour: f64, weekend: bool) -> f64 {
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            let d = (hour - center) / width;
+            height * (-0.5 * d * d).exp()
+        };
+        let v = if weekend {
+            bump(12.0, 3.5, 0.35) + bump(17.0, 3.0, 0.30)
+        } else {
+            bump(8.0, 1.2, 0.95) + bump(17.5, 1.8, 1.0) + bump(12.5, 2.5, 0.25)
+        };
+        v.clamp(0.0, 1.0)
+    }
+
+    /// **Ground truth**: the congestion multiplier on travel time for a
+    /// road of class `class` at `t` — 1.0 at free flow, up to the class's
+    /// peak multiplier at the worst rush hour, plus incident noise.
+    #[must_use]
+    pub fn time_factor<C: RoadClassLike>(&self, class: C, t: SimTime) -> f64 {
+        let shape = Self::rush_shape(t.hour_f64(), t.day().is_weekend());
+        let peak = class.peak_multiplier();
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0x7EAF_F1C0,
+            t.as_secs() / 900, // fresh incident draw each 15 min
+        ));
+        // Rare incidents add up to +40 % on top of the profile.
+        let incident = if rng.next_f64() < 0.05 { rng.range_f64(0.1, 0.4) } else { 0.0 };
+        (1.0 + (peak - 1.0) * shape) * (1.0 + incident)
+    }
+
+    /// **Ground truth**: the multiplier on *energy* — congestion wastes
+    /// less energy than time (EVs recuperate), so the energy surcharge is
+    /// a damped version of the time surcharge.
+    #[must_use]
+    pub fn energy_factor<C: RoadClassLike>(&self, class: C, t: SimTime) -> f64 {
+        1.0 + 0.35 * (self.time_factor(class, t) - 1.0)
+    }
+
+    /// **Forecast API**: interval estimate, issued at `now`, of the time
+    /// factor at `eta`. Returned as a multiplier interval with lower bound
+    /// ≥ 1.
+    #[must_use]
+    pub fn forecast_time_factor<C: RoadClassLike>(
+        &self,
+        class: C,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Interval {
+        let truth = self.time_factor(class, eta);
+        let horizon_h = eta.saturating_since(now).as_hours_f64();
+        // Relative half-width mirrors the [0,1] quantities' growth curve.
+        let rel = crate::horizon_half_width(horizon_h);
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0x7AFF_1C57,
+            eta.as_secs() / 3_600,
+        ));
+        let skew = rng.range_f64(-0.5, 0.5);
+        let center = truth * (1.0 + skew * rel);
+        Interval::around(center, truth * rel).clamp(1.0, f64::MAX / 2.0)
+    }
+
+    /// **Forecast API** for the energy factor (damped like
+    /// [`energy_factor`](Self::energy_factor)).
+    #[must_use]
+    pub fn forecast_energy_factor<C: RoadClassLike>(
+        &self,
+        class: C,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Interval {
+        let t = self.forecast_time_factor(class, now, eta);
+        Interval::new(1.0 + 0.35 * (t.lo() - 1.0), 1.0 + 0.35 * (t.hi() - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::roadclass_shim::Congestibility;
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    const ARTERIAL: Congestibility = Congestibility(2.2);
+    const BACKSTREET: Congestibility = Congestibility(1.3);
+
+    #[test]
+    fn rush_shape_peaks_weekday_evening() {
+        assert!(TrafficModel::rush_shape(17.5, false) > 0.9);
+        assert!(TrafficModel::rush_shape(3.0, false) < 0.05);
+        assert!(TrafficModel::rush_shape(17.5, false) > TrafficModel::rush_shape(17.5, true));
+    }
+
+    #[test]
+    fn time_factor_at_least_one() {
+        let m = TrafficModel::new(3);
+        for hour in 0..24 {
+            let t = SimTime::at(0, DayOfWeek::Tue, hour, 0);
+            assert!(m.time_factor(ARTERIAL, t) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn arterial_congests_more_than_backstreet() {
+        let m = TrafficModel::new(3);
+        let rush = SimTime::at(0, DayOfWeek::Tue, 17, 30);
+        assert!(m.time_factor(ARTERIAL, rush) > m.time_factor(BACKSTREET, rush));
+    }
+
+    #[test]
+    fn rush_worse_than_night() {
+        let m = TrafficModel::new(3);
+        let rush = SimTime::at(0, DayOfWeek::Tue, 17, 30);
+        let night = SimTime::at(0, DayOfWeek::Tue, 3, 30);
+        assert!(m.time_factor(ARTERIAL, rush) > m.time_factor(ARTERIAL, night));
+    }
+
+    #[test]
+    fn energy_factor_damped() {
+        let m = TrafficModel::new(3);
+        let rush = SimTime::at(0, DayOfWeek::Tue, 17, 30);
+        let tf = m.time_factor(ARTERIAL, rush);
+        let ef = m.energy_factor(ARTERIAL, rush);
+        assert!(ef >= 1.0 && ef < tf, "energy {ef} vs time {tf}");
+    }
+
+    #[test]
+    fn forecast_contains_truth_for_unskewed_cases() {
+        let m = TrafficModel::new(6);
+        let now = SimTime::at(0, DayOfWeek::Wed, 9, 0);
+        let mut contained = 0;
+        for dh in 0..24u64 {
+            let eta = now + SimDuration::from_hours(dh);
+            let truth = m.time_factor(ARTERIAL, eta);
+            if m.forecast_time_factor(ARTERIAL, now, eta).contains(truth) {
+                contained += 1;
+            }
+        }
+        assert!(contained >= 18, "{contained}/24 contained");
+    }
+
+    #[test]
+    fn forecast_lower_bound_at_least_one() {
+        let m = TrafficModel::new(6);
+        let now = SimTime::at(0, DayOfWeek::Wed, 2, 0);
+        let f = m.forecast_time_factor(BACKSTREET, now, now + SimDuration::from_hours(1));
+        assert!(f.lo() >= 1.0);
+    }
+
+    #[test]
+    fn forecast_widens_with_horizon() {
+        let m = TrafficModel::new(6);
+        let now = SimTime::at(0, DayOfWeek::Wed, 9, 0);
+        // Compare the same ETA hour one day apart so the truth magnitude
+        // matches and only the horizon differs.
+        let near = m.forecast_time_factor(ARTERIAL, now, now + SimDuration::from_hours(2));
+        let far = m.forecast_time_factor(
+            ARTERIAL,
+            now,
+            now + SimDuration::from_hours(2 + 48),
+        );
+        // Widths scale with truth; compare relative widths.
+        let rel_near = near.width() / near.mid();
+        let rel_far = far.width() / far.mid();
+        assert!(rel_far >= rel_near - 1e-9, "near {rel_near} far {rel_far}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TrafficModel::new(1);
+        let b = TrafficModel::new(1);
+        let t = SimTime::at(0, DayOfWeek::Fri, 8, 15);
+        assert_eq!(a.time_factor(ARTERIAL, t), b.time_factor(ARTERIAL, t));
+    }
+}

@@ -1,0 +1,280 @@
+//! The weather / solar-production simulator.
+//!
+//! The *Sustainable Charging Level* `L` "considers the weather forecast
+//! (e.g., sunny, cloudy) at a given time and location retrieved by a cloud
+//! service" (§III-B). [`WeatherSim`] plays that cloud service:
+//!
+//! * a **clear-sky geometry** term — a sinusoidal daylight arc whose day
+//!   length follows latitude and season;
+//! * a **cloud process** — a deterministic per-day, per-weather-cell
+//!   realisation (nearby chargers share a sky) with smooth intra-day
+//!   variation;
+//! * a **forecast API** — the actual sun fraction perturbed into an
+//!   interval whose width grows with the forecast horizon, per
+//!   [`crate::horizon_half_width`].
+//!
+//! "Sun fraction" is the fraction of the location's panel *rating*
+//! currently produced, in `[0,1]`; the charger model multiplies it by the
+//! panel's kW rating.
+
+use ec_types::{GeoPoint, Interval, SimTime, SplitMix64};
+
+/// Edge length of a weather cell, degrees. ~0.5° ≈ 40 km: one sky per
+/// town, different skies across a region.
+const CELL_DEG: f64 = 0.5;
+
+/// Deterministic weather service for a whole simulation.
+///
+/// ```
+/// use ec_models::WeatherSim;
+/// use ec_types::{DayOfWeek, GeoPoint, SimDuration, SimTime};
+///
+/// let weather = WeatherSim::new(7);
+/// let charger = GeoPoint::new(8.2, 53.1);
+/// let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+/// let eta = now + SimDuration::from_mins(45);
+///
+/// // The forecast is an interval in [0, clear-sky]; the realised value
+/// // is a point the simulator also knows.
+/// let forecast = weather.forecast_sun_fraction(&charger, now, eta);
+/// let truth = weather.actual_sun_fraction(&charger, eta);
+/// assert!(forecast.lo() >= 0.0 && forecast.hi() <= 1.0);
+/// assert!((0.0..=1.0).contains(&truth));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeatherSim {
+    seed: u64,
+}
+
+impl WeatherSim {
+    /// A weather realisation keyed by `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Clear-sky production fraction at `loc`, hour `t` — zero at night,
+    /// peaking at solar noon, with season- and latitude-dependent day
+    /// length.
+    #[must_use]
+    pub fn clear_sky_fraction(&self, loc: &GeoPoint, t: SimTime) -> f64 {
+        let day = t.day_number() as f64;
+        // Day length: 12 h ± seasonal amplitude that grows with |latitude|.
+        // (Solstice day length at 53°N is ~17 h; at 35°N ~14.4 h.)
+        let amplitude = 0.095 * loc.lat.abs().min(65.0); // hours of half-swing
+        let season = (std::f64::consts::TAU * (day - 80.0) / 365.0).sin();
+        let daylight = (12.0 + amplitude * season * loc.lat.signum()).clamp(4.0, 20.0);
+        let rise = 13.0 - daylight / 2.0; // solar noon at 13:00 local
+        let set = rise + daylight;
+        let h = t.hour_f64();
+        if h <= rise || h >= set {
+            return 0.0;
+        }
+        (std::f64::consts::PI * (h - rise) / daylight).sin().max(0.0)
+    }
+
+    /// The cloud attenuation in `[0,1]` (1 = clear, 0.1 = heavy overcast)
+    /// for the weather cell containing `loc` at `t`. Smoothly interpolates
+    /// between hourly states so production curves are not staircases.
+    #[must_use]
+    pub fn cloud_clearness(&self, loc: &GeoPoint, t: SimTime) -> f64 {
+        let cx = (loc.lon / CELL_DEG).floor() as i64;
+        let cy = (loc.lat / CELL_DEG).floor() as i64;
+        let hour_abs = t.as_secs() / 3_600;
+        let frac = (t.as_secs() % 3_600) as f64 / 3_600.0;
+        let a = self.hour_state(cx, cy, hour_abs);
+        let b = self.hour_state(cx, cy, hour_abs + 1);
+        a + (b - a) * frac
+    }
+
+    /// Clearness state for one cell-hour: a per-day regime (sunny /
+    /// mixed / overcast) plus within-day noise.
+    fn hour_state(&self, cx: i64, cy: i64, hour_abs: u64) -> f64 {
+        let day = hour_abs / 24;
+        let mut day_rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed,
+            (cx as u64).wrapping_mul(0x9E37).wrapping_add(cy as u64) ^ day,
+        ));
+        // Daily regime: 45 % sunny-ish, 35 % mixed, 20 % overcast.
+        let regime = day_rng.next_f64();
+        let (base, spread) = if regime < 0.45 {
+            (0.9, 0.1)
+        } else if regime < 0.8 {
+            (0.55, 0.3)
+        } else {
+            (0.2, 0.15)
+        };
+        let mut hour_rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0xC0FFEE,
+            (cx as u64) ^ (cy as u64).rotate_left(17) ^ hour_abs,
+        ));
+        (base + (hour_rng.next_f64() - 0.5) * 2.0 * spread).clamp(0.05, 1.0)
+    }
+
+    /// **Ground truth**: actual production fraction (clear-sky × clouds)
+    /// at `loc`, time `t`.
+    #[must_use]
+    pub fn actual_sun_fraction(&self, loc: &GeoPoint, t: SimTime) -> f64 {
+        self.clear_sky_fraction(loc, t) * self.cloud_clearness(loc, t)
+    }
+
+    /// **Forecast API**: the interval estimate, issued at `now`, of the sun
+    /// fraction at `loc` when the vehicle arrives at `eta`.
+    ///
+    /// The interval is centred near (not exactly on) the truth, with a
+    /// deterministic per-(cell, hour) skew, and widens with the horizon.
+    /// Night hours forecast as exactly zero.
+    #[must_use]
+    pub fn forecast_sun_fraction(&self, loc: &GeoPoint, now: SimTime, eta: SimTime) -> Interval {
+        let clear = self.clear_sky_fraction(loc, eta);
+        if clear <= 0.0 {
+            return Interval::zero();
+        }
+        let truth = self.actual_sun_fraction(loc, eta);
+        let horizon_h = eta.saturating_since(now).as_hours_f64();
+        let cx = (loc.lon / CELL_DEG).floor() as i64;
+        let cy = (loc.lat / CELL_DEG).floor() as i64;
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0xF0CA57,
+            (cx as u64).rotate_left(7) ^ (cy as u64) ^ (eta.as_secs() / 3_600),
+        ));
+        let skew = rng.range_f64(-1.0, 1.0);
+        // The forecast cannot promise more than clear sky allows.
+        crate::forecast_interval(truth, horizon_h, skew).clamp(0.0, clear.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    fn oldenburg() -> GeoPoint {
+        GeoPoint::new(8.2, 53.14)
+    }
+
+    #[test]
+    fn night_is_dark() {
+        let w = WeatherSim::new(1);
+        let t = SimTime::at(0, DayOfWeek::Tue, 2, 0);
+        assert_eq!(w.clear_sky_fraction(&oldenburg(), t), 0.0);
+        assert_eq!(w.actual_sun_fraction(&oldenburg(), t), 0.0);
+    }
+
+    #[test]
+    fn noon_beats_morning() {
+        let w = WeatherSim::new(1);
+        let noon = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let morning = SimTime::at(0, DayOfWeek::Tue, 8, 0);
+        assert!(
+            w.clear_sky_fraction(&oldenburg(), noon) > w.clear_sky_fraction(&oldenburg(), morning)
+        );
+    }
+
+    #[test]
+    fn clear_sky_peak_is_near_one() {
+        let w = WeatherSim::new(1);
+        let noon = SimTime::at(0, DayOfWeek::Tue, 13, 0);
+        let f = w.clear_sky_fraction(&oldenburg(), noon);
+        assert!(f > 0.95, "noon clear-sky fraction {f}");
+    }
+
+    #[test]
+    fn summer_days_longer_in_north() {
+        let w = WeatherSim::new(1);
+        // Day 172 (~June 21) at 20:30: light in Oldenburg summer.
+        let summer_evening = SimTime::from_secs(172 * 86_400 + 20 * 3_600 + 1_800);
+        // Day 355 (~Dec 21) at 20:30: certainly dark.
+        let winter_evening = SimTime::from_secs(355 * 86_400 + 20 * 3_600 + 1_800);
+        assert!(w.clear_sky_fraction(&oldenburg(), summer_evening) > 0.0);
+        assert_eq!(w.clear_sky_fraction(&oldenburg(), winter_evening), 0.0);
+    }
+
+    #[test]
+    fn clouds_bounded_and_deterministic() {
+        let w = WeatherSim::new(9);
+        let t = SimTime::at(0, DayOfWeek::Wed, 11, 20);
+        let c1 = w.cloud_clearness(&oldenburg(), t);
+        let c2 = w.cloud_clearness(&oldenburg(), t);
+        assert_eq!(c1, c2);
+        assert!((0.05..=1.0).contains(&c1));
+    }
+
+    #[test]
+    fn nearby_points_share_weather_cell() {
+        let w = WeatherSim::new(9);
+        let t = SimTime::at(0, DayOfWeek::Wed, 11, 0);
+        let a = oldenburg();
+        let b = a.offset_m(500.0, 300.0);
+        assert_eq!(w.cloud_clearness(&a, t), w.cloud_clearness(&b, t));
+    }
+
+    #[test]
+    fn distant_points_can_differ() {
+        let w = WeatherSim::new(9);
+        let t = SimTime::at(0, DayOfWeek::Wed, 11, 0);
+        let a = oldenburg();
+        // Scan far points until we find a different sky (regimes repeat,
+        // so a single pair could coincide).
+        let found = (1..20).any(|k| {
+            let b = GeoPoint::new(8.2 + f64::from(k), 53.14);
+            (w.cloud_clearness(&a, t) - w.cloud_clearness(&b, t)).abs() > 1e-6
+        });
+        assert!(found, "all far cells share identical weather — cell hashing broken");
+    }
+
+    #[test]
+    fn forecast_widens_with_horizon() {
+        let w = WeatherSim::new(4);
+        let now = SimTime::at(0, DayOfWeek::Fri, 9, 0);
+        let near = w.forecast_sun_fraction(&oldenburg(), now, now + SimDuration::from_mins(30));
+        let far = w.forecast_sun_fraction(
+            &oldenburg(),
+            now,
+            now + SimDuration::from_hours(48) + SimDuration::from_mins(30),
+        );
+        // Same time-of-day two days out: wider or clamped by clear-sky.
+        assert!(far.width() >= near.width() - 1e-9);
+    }
+
+    #[test]
+    fn forecast_zero_at_night() {
+        let w = WeatherSim::new(4);
+        let now = SimTime::at(0, DayOfWeek::Fri, 22, 0);
+        let f = w.forecast_sun_fraction(&oldenburg(), now, now + SimDuration::from_mins(60));
+        assert_eq!(f, Interval::zero());
+    }
+
+    #[test]
+    fn forecast_bounded_by_clear_sky() {
+        let w = WeatherSim::new(4);
+        let now = SimTime::at(0, DayOfWeek::Fri, 7, 0);
+        for dh in 0..12 {
+            let eta = now + SimDuration::from_hours(dh);
+            let f = w.forecast_sun_fraction(&oldenburg(), now, eta);
+            let clear = w.clear_sky_fraction(&oldenburg(), eta);
+            assert!(f.hi() <= clear + 1e-9, "forecast {f} exceeds clear sky {clear}");
+        }
+    }
+
+    #[test]
+    fn forecast_usually_contains_truth_short_horizon() {
+        let w = WeatherSim::new(12);
+        let mut contained = 0;
+        let mut total = 0;
+        for day in 0..20u64 {
+            for hour in [9u64, 12, 15] {
+                let eta = SimTime::from_secs(day * 86_400 + hour * 3_600);
+                let now = eta - SimDuration::from_hours(1);
+                let truth = w.actual_sun_fraction(&oldenburg(), eta);
+                let f = w.forecast_sun_fraction(&oldenburg(), now, eta);
+                total += 1;
+                if f.contains(truth) {
+                    contained += 1;
+                }
+            }
+        }
+        // Skewed intervals may miss occasionally; most must contain truth.
+        assert!(contained * 10 >= total * 8, "{contained}/{total} contained");
+    }
+}

@@ -1,0 +1,172 @@
+//! The wind-power simulator.
+//!
+//! The paper's RES integration names "photovoltaic panels, wind turbines"
+//! (§I) and allows clean energy "virtually net-metered/net-billed from a
+//! remote renewable energy production farm" (§II-A). [`WindSim`] models
+//! that second source: a capacity factor in `[0,1]` driven by synoptic
+//! weather systems (multi-day autocorrelated regimes), a mild nocturnal
+//! bias (winds strengthen at night at hub height — conveniently
+//! complementary to solar), and the same horizon-widening forecast
+//! contract as every other estimated component.
+
+use ec_types::{GeoPoint, Interval, SimTime, SplitMix64};
+
+/// Edge length of a wind-weather cell, degrees (synoptic systems are
+/// larger than cloud fields).
+const CELL_DEG: f64 = 2.0;
+
+/// Deterministic wind service for a whole simulation.
+#[derive(Debug, Clone)]
+pub struct WindSim {
+    seed: u64,
+}
+
+impl WindSim {
+    /// A wind realisation keyed by `seed`.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Regime strength for a cell-day in `[0,1]`: synoptic systems last
+    /// days, so consecutive days are blended.
+    fn day_regime(&self, cx: i64, cy: i64, day: u64) -> f64 {
+        let draw = |d: u64| {
+            let mut rng = SplitMix64::new(ec_types::rng::mix(
+                self.seed ^ 0x817D,
+                (cx as u64).rotate_left(11) ^ (cy as u64).rotate_left(23) ^ d,
+            ));
+            rng.next_f64()
+        };
+        // Three-day smoothing: today weighs double.
+        (draw(day) * 2.0 + draw(day.saturating_sub(1)) + draw(day + 1)) / 4.0
+    }
+
+    /// **Ground truth**: the capacity factor (fraction of nameplate
+    /// rating produced) at `loc`, time `t`.
+    #[must_use]
+    pub fn actual_capacity_factor(&self, loc: &GeoPoint, t: SimTime) -> f64 {
+        let cx = (loc.lon / CELL_DEG).floor() as i64;
+        let cy = (loc.lat / CELL_DEG).floor() as i64;
+        let regime = self.day_regime(cx, cy, t.day_number());
+        // Nocturnal bias: ±15 % swing peaking at 03:00.
+        let h = t.hour_f64();
+        let diurnal = 1.0 + 0.15 * (std::f64::consts::TAU * (h - 3.0) / 24.0).cos();
+        // Within-day gust noise per 30 min bucket.
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0x6057,
+            (cx as u64) ^ (cy as u64).rotate_left(7) ^ (t.as_secs() / 1_800),
+        ));
+        let gust = 1.0 + (rng.next_f64() - 0.5) * 0.3;
+        (regime * diurnal * gust).clamp(0.0, 1.0)
+    }
+
+    /// **Forecast API**: interval estimate, issued at `now`, of the
+    /// capacity factor at `eta` — wind forecasts degrade with horizon
+    /// like the solar ones.
+    #[must_use]
+    pub fn forecast_capacity_factor(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Interval {
+        let truth = self.actual_capacity_factor(loc, eta);
+        let horizon_h = eta.saturating_since(now).as_hours_f64();
+        let cx = (loc.lon / CELL_DEG).floor() as i64;
+        let cy = (loc.lat / CELL_DEG).floor() as i64;
+        let mut rng = SplitMix64::new(ec_types::rng::mix(
+            self.seed ^ 0xF0557,
+            (cx as u64) ^ (cy as u64).rotate_left(13) ^ (eta.as_secs() / 3_600),
+        ));
+        let skew = rng.range_f64(-1.0, 1.0);
+        crate::forecast_interval(truth, horizon_h, skew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    fn coast() -> GeoPoint {
+        GeoPoint::new(8.1, 53.5)
+    }
+
+    #[test]
+    fn capacity_factor_in_unit_range_all_day() {
+        let w = WindSim::new(1);
+        for hour in 0..24 {
+            let t = SimTime::at(0, DayOfWeek::Tue, hour, 0);
+            let f = w.actual_capacity_factor(&coast(), t);
+            assert!((0.0..=1.0).contains(&f), "h{hour}: {f}");
+        }
+    }
+
+    #[test]
+    fn wind_blows_at_night_too() {
+        // Unlike solar, the night capacity factor is not structurally
+        // zero: averaged over many nights it must be well above zero.
+        let w = WindSim::new(2);
+        let mean: f64 = (0..60)
+            .map(|d| {
+                w.actual_capacity_factor(&coast(), SimTime::from_secs(d * 86_400 + 2 * 3_600))
+            })
+            .sum::<f64>()
+            / 60.0;
+        assert!(mean > 0.2, "night wind mean {mean}");
+    }
+
+    #[test]
+    fn synoptic_regimes_are_multi_day_autocorrelated() {
+        let w = WindSim::new(3);
+        let noon = |d: u64| {
+            w.actual_capacity_factor(&coast(), SimTime::from_secs(d * 86_400 + 12 * 3_600))
+        };
+        // Adjacent days share regime mass more than days a week apart:
+        // measure lag-1 vs lag-7 absolute differences over a long window.
+        let days: Vec<f64> = (0..120).map(noon).collect();
+        let mean_abs = |lag: usize| {
+            days.windows(lag + 1).map(|w| (w[lag] - w[0]).abs()).sum::<f64>()
+                / (days.len() - lag) as f64
+        };
+        assert!(
+            mean_abs(1) < mean_abs(7),
+            "lag-1 diff {} should be below lag-7 diff {}",
+            mean_abs(1),
+            mean_abs(7)
+        );
+    }
+
+    #[test]
+    fn forecast_contract_holds() {
+        let w = WindSim::new(4);
+        let now = SimTime::at(0, DayOfWeek::Thu, 9, 0);
+        let mut contained = 0;
+        for dh in 0..24u64 {
+            let eta = now + SimDuration::from_hours(dh);
+            let f = w.forecast_capacity_factor(&coast(), now, eta);
+            assert!(f.lo() >= 0.0 && f.hi() <= 1.0);
+            if f.contains(w.actual_capacity_factor(&coast(), eta)) {
+                contained += 1;
+            }
+        }
+        assert!(contained >= 18, "{contained}/24 contained");
+        let near = w.forecast_capacity_factor(&coast(), now, now + SimDuration::from_mins(30));
+        let far = w.forecast_capacity_factor(&coast(), now, now + SimDuration::from_hours(60));
+        assert!(far.width() >= near.width() - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let t = SimTime::at(0, DayOfWeek::Fri, 15, 0);
+        assert_eq!(
+            WindSim::new(7).actual_capacity_factor(&coast(), t),
+            WindSim::new(7).actual_capacity_factor(&coast(), t)
+        );
+        assert_ne!(
+            WindSim::new(7).actual_capacity_factor(&coast(), t),
+            WindSim::new(8).actual_capacity_factor(&coast(), t)
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! A TTL cache keyed on the simulation clock.
+//!
+//! The paper's *Dynamic Caching* stores "solutions (i.e., Offering Tables)
+//! and API responses in a table" and notes that "a solution will naturally
+//! be invalidated after a certain time point (t) as L, A, D objectives
+//! will naturally be invalid after t" (§IV-C). [`TtlCache`] is the API-
+//! response half of that design: entries expire at a simulation instant,
+//! not a wall-clock one, so cached forecasts age at simulated speed and
+//! experiments stay reproducible.
+
+use ec_types::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent map whose entries expire at a [`SimTime`].
+///
+/// ```
+/// use ec_types::{DayOfWeek, SimDuration, SimTime};
+/// use eis::TtlCache;
+///
+/// let cache: TtlCache<&str, u32> = TtlCache::new();
+/// let now = SimTime::at(0, DayOfWeek::Mon, 9, 0);
+/// cache.put("sun", 42, now, SimDuration::from_mins(15));
+/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(10)), Some(42));
+/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(20)), None); // expired
+/// ```
+#[derive(Debug)]
+pub struct TtlCache<K, V> {
+    map: RwLock<HashMap<K, (V, SimTime)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for TtlCache<K, V> {
+    fn default() -> Self {
+        Self { map: RwLock::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current live value for `key` at sim-instant `now`, if any.
+    pub fn get(&self, key: &K, now: SimTime) -> Option<V> {
+        let hit = {
+            let map = self.map.read();
+            map.get(key).and_then(|(v, exp)| (now < *exp).then(|| v.clone()))
+        };
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Insert `value` valid until `now + ttl`.
+    pub fn put(&self, key: K, value: V, now: SimTime, ttl: SimDuration) {
+        self.map.write().insert(key, (value, now + ttl));
+    }
+
+    /// Last stored value for `key` regardless of expiry, with a staleness
+    /// flag — the degraded-mode read used when the upstream provider is
+    /// down ("better a 40-minute-old forecast than no Offering Table").
+    pub fn get_allow_stale(&self, key: &K, now: SimTime) -> Option<(V, bool)> {
+        let map = self.map.read();
+        map.get(key).map(|(v, exp)| (v.clone(), now >= *exp))
+    }
+
+    /// Fetch-through: return the live value, or compute, store and return
+    /// it. The producer runs outside the lock; concurrent misses may both
+    /// compute (last write wins) — acceptable for idempotent API fetches.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: K,
+        now: SimTime,
+        ttl: SimDuration,
+        produce: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(&key, now) {
+            return Ok(v);
+        }
+        let v = produce()?;
+        self.put(key, v.clone(), now, ttl);
+        Ok(v)
+    }
+
+    /// Drop every entry that has expired by `now`; returns how many were
+    /// evicted.
+    pub fn evict_expired(&self, now: SimTime) -> usize {
+        let mut map = self.map.write();
+        let before = map.len();
+        map.retain(|_, (_, exp)| now < *exp);
+        before - map.len()
+    }
+
+    /// Number of stored entries (live or not-yet-evicted).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Clear all entries and counters.
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::at(0, DayOfWeek::Mon, 10, 0) + SimDuration::from_mins(min)
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let c: TtlCache<u32, String> = TtlCache::new();
+        c.put(1, "a".into(), t(0), SimDuration::from_mins(10));
+        assert_eq!(c.get(&1, t(5)), Some("a".into()));
+        assert_eq!(c.get(&1, t(10)), None); // expiry is exclusive
+        assert_eq!(c.get(&1, t(15)), None);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once_within_ttl() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: Result<u64, ()> =
+                c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
+                    calls += 1;
+                    Ok(42)
+                });
+            assert_eq!(v, Ok(42));
+        }
+        assert_eq!(calls, 1);
+        // After expiry the producer runs again.
+        let _: Result<u64, ()> = c.get_or_insert_with(7, t(6), SimDuration::from_mins(5), || {
+            calls += 1;
+            Ok(43)
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn producer_errors_are_not_cached() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let r: Result<u64, &str> =
+            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Err("boom"));
+        assert_eq!(r, Err("boom"));
+        let r: Result<u64, &str> =
+            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Ok(9));
+        assert_eq!(r, Ok(9));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(10));
+        let _ = c.get(&1, t(1)); // hit
+        let _ = c.get(&2, t(1)); // miss
+        let _ = c.get(&1, t(11)); // expired -> miss
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    fn evict_expired_removes_dead_entries() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        c.put(2, 2, t(0), SimDuration::from_mins(50));
+        assert_eq!(c.evict_expired(t(10)), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2, t(10)), Some(2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        let _ = c.get(&1, t(0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn get_allow_stale_flags_expiry() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        assert_eq!(c.get_allow_stale(&1, t(0)), None);
+        c.put(1, 9, t(0), SimDuration::from_mins(5));
+        assert_eq!(c.get_allow_stale(&1, t(3)), Some((9, false)));
+        assert_eq!(c.get_allow_stale(&1, t(30)), Some((9, true)));
+        // Eviction removes even stale values.
+        c.evict_expired(t(30));
+        assert_eq!(c.get_allow_stale(&1, t(30)), None);
+    }
+
+    #[test]
+    fn overwrite_extends_lifetime() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        c.put(1, 2, t(4), SimDuration::from_mins(5));
+        assert_eq!(c.get(&1, t(8)), Some(2));
+    }
+}

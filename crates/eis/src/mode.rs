@@ -1,0 +1,132 @@
+//! The three operating modes.
+//!
+//! §IV: "(i) Mode 1, where EcoCharge operates in a vehicle's embedded
+//! operating system …; (ii) Mode 2, where EIS takes over EcoCharge
+//! calculations centrally; and (iii) Mode 3, where EcoCharge
+//! functionalities are managed by an edge device."
+//!
+//! The modes differ in *where* the ranking runs and therefore in the
+//! communication each Offering Table costs. [`ModeCosts`] captures that
+//! request-cost model; the deployment examples and the mode-equivalence
+//! integration tests use it to show that all three modes return the same
+//! tables at different latency/byte budgets.
+
+use serde::{Deserialize, Serialize};
+
+/// Where the EcoCharge computation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Mode 1 — in the vehicle's embedded OS (Android Automotive, VW OS).
+    Embedded,
+    /// Mode 2 — centrally on the EIS; the vehicle receives finished
+    /// Offering Tables.
+    Server,
+    /// Mode 3 — on a tethered edge device (Android Auto / CarPlay phone).
+    Edge,
+}
+
+impl Mode {
+    /// All modes.
+    pub const ALL: [Mode; 3] = [Self::Embedded, Self::Server, Self::Edge];
+
+    /// The request-cost model for this mode.
+    #[must_use]
+    pub const fn costs(self) -> ModeCosts {
+        match self {
+            // The vehicle fetches raw provider data over its own uplink
+            // and computes locally: one data round-trip per refresh, no
+            // query round-trip, modest CPU.
+            Self::Embedded => ModeCosts {
+                query_rtt_ms: 0.0,
+                data_fetch_rtt_ms: 120.0,
+                compute_scale: 1.3,
+                result_bytes: 0,
+            },
+            // The server already holds hot provider caches; the vehicle
+            // pays one query round-trip and receives the finished table.
+            Self::Server => ModeCosts {
+                query_rtt_ms: 60.0,
+                data_fetch_rtt_ms: 0.0,
+                compute_scale: 1.0,
+                result_bytes: 2_048,
+            },
+            // The phone fetches data like Mode 1 but over a faster link,
+            // and talks to the head unit over a negligible local hop.
+            Self::Edge => ModeCosts {
+                query_rtt_ms: 5.0,
+                data_fetch_rtt_ms: 80.0,
+                compute_scale: 1.15,
+                result_bytes: 1_024,
+            },
+        }
+    }
+}
+
+/// What one Offering-Table refresh costs in a given mode, beyond the
+/// ranking computation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeCosts {
+    /// Round-trip to ask for (and receive) a finished table, ms.
+    pub query_rtt_ms: f64,
+    /// Round-trip(s) to refresh raw provider data, ms (amortised per
+    /// refresh; zero when the data already lives with the computation).
+    pub data_fetch_rtt_ms: f64,
+    /// Relative CPU cost of the ranking on this platform (server = 1.0).
+    pub compute_scale: f64,
+    /// Bytes shipped to the vehicle per table.
+    pub result_bytes: usize,
+}
+
+impl ModeCosts {
+    /// End-to-end latency of one refresh given the pure ranking time
+    /// `compute_ms` (measured on the reference platform) and whether the
+    /// provider data was already cached locally.
+    #[must_use]
+    pub fn refresh_latency_ms(&self, compute_ms: f64, data_cached: bool) -> f64 {
+        let fetch = if data_cached { 0.0 } else { self.data_fetch_rtt_ms };
+        self.query_rtt_ms + fetch + compute_ms * self.compute_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_mode_has_no_data_fetch() {
+        assert_eq!(Mode::Server.costs().data_fetch_rtt_ms, 0.0);
+        assert!(Mode::Embedded.costs().data_fetch_rtt_ms > 0.0);
+    }
+
+    #[test]
+    fn embedded_has_no_query_rtt() {
+        assert_eq!(Mode::Embedded.costs().query_rtt_ms, 0.0);
+    }
+
+    #[test]
+    fn cached_data_removes_fetch_cost() {
+        let c = Mode::Edge.costs();
+        let cold = c.refresh_latency_ms(50.0, false);
+        let warm = c.refresh_latency_ms(50.0, true);
+        assert!(cold > warm);
+        assert!((cold - warm - c.data_fetch_rtt_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_fastest_when_everything_cached_remotely() {
+        // With warm caches, Mode 2 pays only the query RTT + reference
+        // compute; Mode 1 pays scaled compute but no RTT. Both orders are
+        // legitimate depending on compute_ms — check the crossover exists.
+        let slow_compute = 300.0;
+        let fast_compute = 10.0;
+        let m1 = Mode::Embedded.costs();
+        let m2 = Mode::Server.costs();
+        assert!(m2.refresh_latency_ms(slow_compute, true) < m1.refresh_latency_ms(slow_compute, true));
+        assert!(m1.refresh_latency_ms(fast_compute, true) < m2.refresh_latency_ms(fast_compute, true));
+    }
+
+    #[test]
+    fn all_modes_enumerable() {
+        assert_eq!(Mode::ALL.len(), 3);
+    }
+}

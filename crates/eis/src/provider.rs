@@ -1,0 +1,326 @@
+//! Data-provider traits and their simulator-backed implementations.
+//!
+//! The paper's EIS fronts OpenWeather (solar forecasts), Google-Maps-style
+//! busy timetables (availability) and a live-traffic GIS (§IV). Each feed
+//! is a trait here so that the core algorithm can run against the
+//! simulators, against cached server-side copies, or against a
+//! failure-injected wrapper, without changing a line.
+
+use chargers::Charger;
+use ec_models::{AvailabilityModel, TrafficModel, WeatherSim, WindSim};
+use ec_types::{EcError, GeoPoint, Interval, SimTime};
+use roadnet::RoadClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Solar/weather forecast feed.
+pub trait WeatherProvider: Send + Sync {
+    /// Forecast, issued at `now`, of the sun fraction (0–1 of panel
+    /// rating) at `loc` at time `eta`.
+    fn forecast_sun(&self, loc: &GeoPoint, now: SimTime, eta: SimTime)
+        -> Result<Interval, EcError>;
+}
+
+/// Wind-farm capacity-factor feed (for the net-metered wind stations of
+/// §II-A).
+pub trait WindProvider: Send + Sync {
+    /// Forecast, issued at `now`, of the wind capacity factor (0–1 of
+    /// nameplate rating) at `loc` at time `eta`.
+    fn forecast_wind(&self, loc: &GeoPoint, now: SimTime, eta: SimTime)
+        -> Result<Interval, EcError>;
+}
+
+/// Charger busy-timetable feed.
+pub trait AvailabilityProvider: Send + Sync {
+    /// Forecast availability `[A_min, A_max]` of `charger` at `eta`.
+    fn forecast_availability(
+        &self,
+        charger: &Charger,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError>;
+}
+
+/// Live-traffic feed.
+pub trait TrafficProvider: Send + Sync {
+    /// Forecast multiplier interval on free-flow travel *time* for roads
+    /// of `class` at `eta`.
+    fn forecast_time_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError>;
+
+    /// Forecast multiplier interval on traction *energy* (damped relative
+    /// to the time factor — stop-and-go recuperates).
+    fn forecast_energy_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError>;
+}
+
+/// Map a road class onto the congestibility scale the traffic simulator
+/// speaks: arterials congest worst, residential streets barely.
+#[must_use]
+pub fn congestibility(class: RoadClass) -> ec_models::traffic::roadclass_shim::Congestibility {
+    use ec_models::traffic::roadclass_shim::Congestibility;
+    match class {
+        RoadClass::Motorway => Congestibility(2.0),
+        RoadClass::Primary => Congestibility(2.4),
+        RoadClass::Secondary => Congestibility(1.8),
+        RoadClass::Residential => Congestibility(1.3),
+    }
+}
+
+/// The bundle of simulator-backed providers plus the simulators
+/// themselves (exposed so oracles can read the ground truth).
+#[derive(Debug, Clone)]
+pub struct SimProviders {
+    /// Weather ground truth + forecasts.
+    pub weather: WeatherSim,
+    /// Availability ground truth + forecasts.
+    pub availability: AvailabilityModel,
+    /// Traffic ground truth + forecasts.
+    pub traffic: TrafficModel,
+    /// Wind ground truth + forecasts.
+    pub wind: WindSim,
+}
+
+impl SimProviders {
+    /// Build all three simulators from one master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            weather: WeatherSim::new(ec_types::rng::subseed(seed, 20)),
+            availability: AvailabilityModel::new(ec_types::rng::subseed(seed, 21)),
+            traffic: TrafficModel::new(ec_types::rng::subseed(seed, 22)),
+            wind: WindSim::new(ec_types::rng::subseed(seed, 23)),
+        }
+    }
+}
+
+impl WeatherProvider for SimProviders {
+    fn forecast_sun(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        Ok(self.weather.forecast_sun_fraction(loc, now, eta))
+    }
+}
+
+impl WindProvider for SimProviders {
+    fn forecast_wind(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        Ok(self.wind.forecast_capacity_factor(loc, now, eta))
+    }
+}
+
+impl AvailabilityProvider for SimProviders {
+    fn forecast_availability(
+        &self,
+        charger: &Charger,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        Ok(self.availability.forecast_availability(
+            charger.entity_seed(),
+            charger.archetype,
+            now,
+            eta,
+        ))
+    }
+}
+
+impl TrafficProvider for SimProviders {
+    fn forecast_time_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        Ok(self.traffic.forecast_time_factor(congestibility(class), now, eta))
+    }
+
+    fn forecast_energy_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        Ok(self.traffic.forecast_energy_factor(congestibility(class), now, eta))
+    }
+}
+
+/// Failure-injection wrapper: every `period`-th call to any wrapped feed
+/// fails with [`EcError::ProviderUnavailable`]. Deterministic, so
+/// resilience tests are reproducible.
+#[derive(Debug)]
+pub struct FlakyProvider<P> {
+    inner: P,
+    period: u64,
+    calls: AtomicU64,
+    name: &'static str,
+}
+
+impl<P> FlakyProvider<P> {
+    /// Wrap `inner`; every `period`-th call fails (period 0 = never).
+    #[must_use]
+    pub fn new(inner: P, period: u64, name: &'static str) -> Self {
+        Self { inner, period, calls: AtomicU64::new(0), name }
+    }
+
+    fn tick(&self) -> Result<(), EcError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.period > 0 && n.is_multiple_of(self.period) {
+            Err(EcError::ProviderUnavailable(self.name.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total calls observed (including failed ones).
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: WeatherProvider> WeatherProvider for FlakyProvider<P> {
+    fn forecast_sun(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.tick()?;
+        self.inner.forecast_sun(loc, now, eta)
+    }
+}
+
+impl<P: WindProvider> WindProvider for FlakyProvider<P> {
+    fn forecast_wind(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.tick()?;
+        self.inner.forecast_wind(loc, now, eta)
+    }
+}
+
+impl<P: AvailabilityProvider> AvailabilityProvider for FlakyProvider<P> {
+    fn forecast_availability(
+        &self,
+        charger: &Charger,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.tick()?;
+        self.inner.forecast_availability(charger, now, eta)
+    }
+}
+
+impl<P: TrafficProvider> TrafficProvider for FlakyProvider<P> {
+    fn forecast_time_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.tick()?;
+        self.inner.forecast_time_factor(class, now, eta)
+    }
+
+    fn forecast_energy_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.tick()?;
+        self.inner.forecast_energy_factor(class, now, eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chargers::ChargerKind;
+    use ec_models::SiteArchetype;
+    use ec_types::{ChargerId, DayOfWeek, Kilowatts, NodeId, SimDuration};
+
+    fn charger() -> Charger {
+        Charger {
+            id: ChargerId(0),
+            loc: GeoPoint::new(8.2, 53.1),
+            node: NodeId(0),
+            kind: ChargerKind::Ac22,
+            panel: Kilowatts(30.0),
+            wind: Kilowatts(0.0),
+            archetype: SiteArchetype::Mall,
+        }
+    }
+
+    #[test]
+    fn sim_providers_answer_all_feeds() {
+        let p = SimProviders::new(1);
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        let eta = now + SimDuration::from_mins(30);
+        assert!(p.forecast_sun(&GeoPoint::new(8.2, 53.1), now, eta).is_ok());
+        assert!(p.forecast_availability(&charger(), now, eta).is_ok());
+        assert!(p.forecast_time_factor(RoadClass::Primary, now, eta).is_ok());
+        let e = p.forecast_energy_factor(RoadClass::Primary, now, eta).unwrap();
+        assert!(e.lo() >= 1.0);
+    }
+
+    #[test]
+    fn subsystem_seeds_are_independent() {
+        let a = SimProviders::new(1);
+        let b = SimProviders::new(2);
+        let now = SimTime::at(0, DayOfWeek::Tue, 12, 0);
+        let eta = now + SimDuration::from_mins(60);
+        let loc = GeoPoint::new(8.2, 53.1);
+        // Different master seeds give different realisations.
+        assert_ne!(
+            a.forecast_sun(&loc, now, eta).unwrap(),
+            b.forecast_sun(&loc, now, eta).unwrap()
+        );
+    }
+
+    #[test]
+    fn flaky_fails_every_nth() {
+        let p = FlakyProvider::new(SimProviders::new(1), 3, "weather");
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        let eta = now + SimDuration::from_mins(10);
+        let loc = GeoPoint::new(8.2, 53.1);
+        let results: Vec<bool> =
+            (0..6).map(|_| p.forecast_sun(&loc, now, eta).is_ok()).collect();
+        assert_eq!(results, [true, true, false, true, true, false]);
+        assert_eq!(p.calls(), 6);
+    }
+
+    #[test]
+    fn flaky_period_zero_never_fails() {
+        let p = FlakyProvider::new(SimProviders::new(1), 0, "weather");
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        for _ in 0..10 {
+            assert!(p.forecast_sun(&GeoPoint::new(8.2, 53.1), now, now).is_ok());
+        }
+    }
+
+    #[test]
+    fn congestibility_orders_classes() {
+        assert!(
+            congestibility(RoadClass::Primary).0 > congestibility(RoadClass::Residential).0
+        );
+    }
+}

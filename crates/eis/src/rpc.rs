@@ -1,0 +1,121 @@
+//! A minimal request/response bus over crossbeam channels.
+//!
+//! Mode 2 runs the ranking "centrally on a server" (§IV). [`ServiceBus`]
+//! provides the thread boundary for that deployment shape: a server thread
+//! owns the state (graph, fleet, caches) and answers typed requests;
+//! clients hold a cheap cloneable handle. The payload types are generic so
+//! the core crate can ship Offering-Table requests without `eis` knowing
+//! about them.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One in-flight request envelope.
+struct Envelope<Req, Resp> {
+    req: Req,
+    reply: Sender<Resp>,
+}
+
+/// Client handle to a running service.
+#[derive(Debug)]
+pub struct ServiceClient<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for ServiceClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        Self { tx: self.tx.clone() }
+    }
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> ServiceClient<Req, Resp> {
+    /// Send a request and block for the response.
+    ///
+    /// Returns `None` when the server has shut down.
+    pub fn call(&self, req: Req) -> Option<Resp> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(Envelope { req, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+}
+
+/// A running service thread; dropping the last client ends it.
+#[derive(Debug)]
+pub struct ServiceBus {
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ServiceBus {
+    /// Spawn a server thread running `handler` over each request, in
+    /// arrival order. The service stops when every client clone is
+    /// dropped.
+    pub fn spawn<Req, Resp, F>(mut handler: F) -> (ServiceClient<Req, Resp>, ServiceBus)
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+        F: FnMut(Req) -> Resp + Send + 'static,
+    {
+        type Channel<Req, Resp> = (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>);
+        let (tx, rx): Channel<Req, Resp> = unbounded();
+        let handle = std::thread::spawn(move || {
+            while let Ok(Envelope { req, reply }) = rx.recv() {
+                // A client that hung up mid-call is not an error.
+                let _ = reply.send(handler(req));
+            }
+        });
+        (ServiceClient { tx }, ServiceBus { handle: Some(handle) })
+    }
+
+    /// Block until the service thread exits (all clients dropped).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServiceBus {
+    fn drop(&mut self) {
+        // Detach: the thread exits once the clients hang up.
+        let _ = self.handle.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_requests() {
+        let (client, _bus) = ServiceBus::spawn(|x: u32| x * 2);
+        assert_eq!(client.call(21), Some(42));
+        assert_eq!(client.call(5), Some(10));
+    }
+
+    #[test]
+    fn clients_clone_and_share() {
+        let (client, _bus) = ServiceBus::spawn(|s: String| s.len());
+        let c2 = client.clone();
+        let t = std::thread::spawn(move || c2.call("hello".to_string()));
+        assert_eq!(client.call("worlds!".to_string()), Some(7));
+        assert_eq!(t.join().unwrap(), Some(5));
+    }
+
+    #[test]
+    fn server_stops_when_clients_drop() {
+        let (client, bus) = ServiceBus::spawn(|x: u32| x);
+        drop(client);
+        bus.join(); // must not hang
+    }
+
+    #[test]
+    fn stateful_handler() {
+        let mut count = 0u32;
+        let (client, _bus) = ServiceBus::spawn(move |_: ()| {
+            count += 1;
+            count
+        });
+        assert_eq!(client.call(()), Some(1));
+        assert_eq!(client.call(()), Some(2));
+    }
+}

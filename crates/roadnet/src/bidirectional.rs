@@ -1,0 +1,274 @@
+//! Bidirectional Dijkstra for point-to-point queries.
+//!
+//! Expands alternately from the source (forward edges) and the target
+//! (reverse edges); terminates when the frontiers provably cannot improve
+//! the best meeting found. On block-grid networks this roughly halves the
+//! settled-node count vs unidirectional Dijkstra and needs no heuristic,
+//! making it the better engine for the exact point-to-point derouting
+//! queries the naive baselines issue in bulk.
+
+use crate::graph::RoadGraph;
+use ec_types::NodeId;
+use spatial_index::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct Half {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+}
+
+impl Half {
+    fn begin(&mut self, n: usize, generation: u32) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, NO_PARENT);
+            self.stamp.resize(n, 0);
+        }
+        self.heap.clear();
+        let _ = generation;
+    }
+
+    #[inline]
+    fn dist_of(&self, v: usize, generation: u32) -> f64 {
+        if self.stamp[v] == generation {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, d: f64, parent: u32, generation: u32) {
+        self.dist[v] = d;
+        self.parent[v] = parent;
+        self.stamp[v] = generation;
+    }
+}
+
+/// Reusable bidirectional point-to-point engine.
+#[derive(Debug, Default)]
+pub struct BidiEngine {
+    fwd: Half,
+    bwd: Half,
+    generation: u32,
+}
+
+impl BidiEngine {
+    /// A fresh engine; buffers grow lazily.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shortest path `from → to` under `cost`; `None` when unreachable.
+    pub fn one_to_one<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        cost: F,
+    ) -> Option<(f64, Vec<NodeId>)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        let n = g.num_nodes();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.fwd.stamp.fill(0);
+            self.bwd.stamp.fill(0);
+            self.generation = 1;
+        }
+        let generation = self.generation;
+        self.fwd.begin(n, generation);
+        self.bwd.begin(n, generation);
+
+        self.fwd.set(from.index(), 0.0, NO_PARENT, generation);
+        self.fwd.heap.push(Reverse((OrdF64::new(0.0), from.0)));
+        self.bwd.set(to.index(), 0.0, NO_PARENT, generation);
+        self.bwd.heap.push(Reverse((OrdF64::new(0.0), to.0)));
+
+        let mut best: f64 = f64::INFINITY;
+        let mut meet: Option<u32> = None;
+
+        loop {
+            let f_top = self.fwd.heap.peek().map(|Reverse((d, _))| d.get());
+            let b_top = self.bwd.heap.peek().map(|Reverse((d, _))| d.get());
+            match (f_top, b_top) {
+                (None, None) => break,
+                (Some(f), Some(b)) if f + b >= best => break,
+                _ => {}
+            }
+            // Expand the smaller frontier.
+            let expand_fwd = match (f_top, b_top) {
+                (Some(f), Some(b)) => f <= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("handled above"),
+            };
+            if expand_fwd {
+                if let Some(Reverse((d, v))) = self.fwd.heap.pop() {
+                    let d = d.get();
+                    if d > self.fwd.dist_of(v as usize, generation) {
+                        continue;
+                    }
+                    if d >= best {
+                        continue;
+                    }
+                    for (e, u) in g.out_edges(NodeId(v)) {
+                        let nd = d + cost(g, e);
+                        if nd < self.fwd.dist_of(u.index(), generation) {
+                            self.fwd.set(u.index(), nd, v, generation);
+                            self.fwd.heap.push(Reverse((OrdF64::new(nd), u.0)));
+                            let via = nd + self.bwd.dist_of(u.index(), generation);
+                            if via < best {
+                                best = via;
+                                meet = Some(u.0);
+                            }
+                        }
+                    }
+                    // The popped node itself may complete a meeting.
+                    let via = d + self.bwd.dist_of(v as usize, generation);
+                    if via < best {
+                        best = via;
+                        meet = Some(v);
+                    }
+                }
+            } else if let Some(Reverse((d, v))) = self.bwd.heap.pop() {
+                let d = d.get();
+                if d > self.bwd.dist_of(v as usize, generation) {
+                    continue;
+                }
+                if d >= best {
+                    continue;
+                }
+                for (e, u) in g.in_edges(NodeId(v)) {
+                    let nd = d + cost(g, e);
+                    if nd < self.bwd.dist_of(u.index(), generation) {
+                        self.bwd.set(u.index(), nd, v, generation);
+                        self.bwd.heap.push(Reverse((OrdF64::new(nd), u.0)));
+                        let via = nd + self.fwd.dist_of(u.index(), generation);
+                        if via < best {
+                            best = via;
+                            meet = Some(u.0);
+                        }
+                    }
+                }
+                let via = d + self.fwd.dist_of(v as usize, generation);
+                if via < best {
+                    best = via;
+                    meet = Some(v);
+                }
+            }
+        }
+
+        let meet = meet?;
+        // Stitch: from → meet via forward parents, meet → to via backward
+        // parents (which point towards `to`).
+        let mut path = Vec::new();
+        let mut v = meet;
+        while v != NO_PARENT {
+            path.push(NodeId(v));
+            if v == from.0 {
+                break;
+            }
+            v = self.fwd.parent[v as usize];
+        }
+        path.reverse();
+        let mut v = self.bwd.parent[meet as usize];
+        while v != NO_PARENT {
+            path.push(NodeId(v));
+            if v == to.0 {
+                break;
+            }
+            v = self.bwd.parent[v as usize];
+        }
+        Some((best, path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::CostMetric;
+    use crate::generate::{urban_grid, UrbanGridParams};
+    use crate::search::{metric_cost, SearchEngine};
+    use ec_types::SplitMix64;
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_pairs() {
+        let g = urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() });
+        let mut uni = SearchEngine::new();
+        let mut bidi = BidiEngine::new();
+        let mut rng = SplitMix64::new(5);
+        for metric in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy] {
+            for _ in 0..30 {
+                let a = NodeId(u32::try_from(rng.below(g.num_nodes() as u64)).unwrap());
+                let b = NodeId(u32::try_from(rng.below(g.num_nodes() as u64)).unwrap());
+                let d = uni.one_to_one(&g, a, b, metric_cost(metric));
+                let s = bidi.one_to_one(&g, a, b, metric_cost(metric));
+                match (&d, &s) {
+                    (Some((dc, _)), Some((sc, _))) => {
+                        assert!((dc - sc).abs() < 1e-6 * dc.max(1.0), "{a}->{b}: {dc} vs {sc}")
+                    }
+                    (None, None) => {}
+                    other => panic!("reachability mismatch for {a}->{b}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_valid_and_costed_correctly() {
+        let g = urban_grid(&UrbanGridParams { cols: 10, rows: 10, ..Default::default() });
+        let mut bidi = BidiEngine::new();
+        let from = NodeId(0);
+        let to = NodeId(u32::try_from(g.num_nodes() - 1).unwrap());
+        let (cost, path) = bidi.one_to_one(&g, from, to, metric_cost(CostMetric::Time)).unwrap();
+        assert_eq!(path.first().copied(), Some(from));
+        assert_eq!(path.last().copied(), Some(to));
+        // Re-cost the returned path.
+        let route = crate::path::Route::from_nodes(&g, path).unwrap();
+        let recost = route.cost(&g, CostMetric::Time);
+        assert!((cost - recost).abs() < 1e-6, "claimed {cost} vs path cost {recost}");
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = urban_grid(&UrbanGridParams { cols: 5, rows: 5, ..Default::default() });
+        let mut bidi = BidiEngine::new();
+        let (cost, path) =
+            bidi.one_to_one(&g, NodeId(3), NodeId(3), metric_cost(CostMetric::Distance)).unwrap();
+        assert_eq!(cost, 0.0);
+        assert_eq!(path, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = crate::graph::GraphBuilder::new();
+        let o = ec_types::GeoPoint::new(8.0, 53.0);
+        let v0 = b.add_node(o);
+        let v1 = b.add_node(o.offset_m(500.0, 0.0));
+        let v2 = b.add_node(o.offset_m(1_000.0, 0.0));
+        b.add_edge(v0, v1, crate::edge::RoadClass::Primary); // one-way, v2 isolated
+        let g = b.build();
+        let mut bidi = BidiEngine::new();
+        assert!(bidi.one_to_one(&g, v0, v2, metric_cost(CostMetric::Distance)).is_none());
+        assert!(bidi.one_to_one(&g, v1, v0, metric_cost(CostMetric::Distance)).is_none());
+    }
+
+    #[test]
+    fn engine_reuse_is_safe() {
+        let g = urban_grid(&UrbanGridParams { cols: 8, rows: 8, ..Default::default() });
+        let mut bidi = BidiEngine::new();
+        let a = bidi.one_to_one(&g, NodeId(0), NodeId(20), metric_cost(CostMetric::Distance));
+        let _ = bidi.one_to_one(&g, NodeId(5), NodeId(40), metric_cost(CostMetric::Distance));
+        let b = bidi.one_to_one(&g, NodeId(0), NodeId(20), metric_cost(CostMetric::Distance));
+        assert_eq!(a.map(|(c, _)| c), b.map(|(c, _)| c));
+    }
+}

@@ -1,0 +1,171 @@
+//! Road classes and the per-edge cost model.
+//!
+//! The paper models the network as a directed weighted graph where an edge
+//! weight `w(u,v)` can be "the length of the road segment, the time
+//! required to pass the road segment, or other costs like energy
+//! consumption or CO₂ emissions" (§II-A). [`RoadClass`] carries the
+//! free-flow speed and EV consumption per class; [`CostMetric`] selects
+//! which weight a search optimises.
+
+use serde::{Deserialize, Serialize};
+
+/// Grams of CO₂ attributed to one kWh drawn from the traction battery.
+///
+/// Used only to express derouting energy as emissions (§III-B: "the
+/// equation ensures the minimization of D and consequently the reduction
+/// of CO₂ emissions since they are correlated"); any positive factor
+/// preserves the ranking because the mapping is linear.
+pub const DRIVING_CO2_G_PER_KWH: f64 = 420.0;
+
+/// Functional road classes, coarsest to finest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Grade-separated motorway / freeway.
+    Motorway,
+    /// Major urban arterial.
+    Primary,
+    /// Collector / secondary street.
+    Secondary,
+    /// Residential / local street.
+    Residential,
+}
+
+impl RoadClass {
+    /// All classes, coarsest first.
+    pub const ALL: [RoadClass; 4] =
+        [Self::Motorway, Self::Primary, Self::Secondary, Self::Residential];
+
+    /// Free-flow speed, km/h.
+    #[must_use]
+    pub const fn free_flow_kmh(self) -> f64 {
+        match self {
+            Self::Motorway => 110.0,
+            Self::Primary => 60.0,
+            Self::Secondary => 45.0,
+            Self::Residential => 30.0,
+        }
+    }
+
+    /// Free-flow speed, m/s.
+    #[must_use]
+    pub fn free_flow_ms(self) -> f64 {
+        self.free_flow_kmh() / 3.6
+    }
+
+    /// EV traction consumption, kWh per km, at free-flow speed.
+    ///
+    /// Higher speed costs more per km (aerodynamic drag dominates);
+    /// stop-and-go residential driving also pays a regeneration-loss
+    /// penalty — values bracket the 0.13–0.21 kWh/km band typical of a
+    /// mid-size EV.
+    #[must_use]
+    pub const fn kwh_per_km(self) -> f64 {
+        match self {
+            Self::Motorway => 0.21,
+            Self::Primary => 0.16,
+            Self::Secondary => 0.145,
+            Self::Residential => 0.155,
+        }
+    }
+
+    /// A stable small integer tag (used by generators and serialisation).
+    #[must_use]
+    pub const fn tag(self) -> u8 {
+        match self {
+            Self::Motorway => 0,
+            Self::Primary => 1,
+            Self::Secondary => 2,
+            Self::Residential => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    ///
+    /// # Panics
+    /// Panics on an unknown tag.
+    #[must_use]
+    pub fn from_tag(t: u8) -> Self {
+        Self::ALL[usize::from(t)]
+    }
+}
+
+/// Which per-edge weight a shortest-path search optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostMetric {
+    /// Geometric length, metres.
+    Distance,
+    /// Free-flow travel time, seconds.
+    Time,
+    /// Traction energy, kWh.
+    Energy,
+    /// Emissions equivalent of the traction energy, grams CO₂.
+    Co2,
+}
+
+impl CostMetric {
+    /// Cost of traversing `len_m` metres of a `class` edge under this
+    /// metric.
+    #[must_use]
+    pub fn edge_cost(self, len_m: f64, class: RoadClass) -> f64 {
+        match self {
+            Self::Distance => len_m,
+            Self::Time => len_m / class.free_flow_ms(),
+            Self::Energy => len_m / 1_000.0 * class.kwh_per_km(),
+            Self::Co2 => len_m / 1_000.0 * class.kwh_per_km() * DRIVING_CO2_G_PER_KWH,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motorway_is_fastest() {
+        for c in RoadClass::ALL {
+            assert!(RoadClass::Motorway.free_flow_kmh() >= c.free_flow_kmh());
+        }
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for c in RoadClass::ALL {
+            assert_eq!(RoadClass::from_tag(c.tag()), c);
+        }
+    }
+
+    #[test]
+    fn time_cost_is_len_over_speed() {
+        let t = CostMetric::Time.edge_cost(1_000.0, RoadClass::Primary);
+        assert!((t - 60.0).abs() < 1e-9); // 1 km at 60 km/h = 60 s
+    }
+
+    #[test]
+    fn distance_cost_is_identity() {
+        assert_eq!(CostMetric::Distance.edge_cost(123.0, RoadClass::Residential), 123.0);
+    }
+
+    #[test]
+    fn energy_scales_with_length() {
+        let e1 = CostMetric::Energy.edge_cost(1_000.0, RoadClass::Motorway);
+        let e2 = CostMetric::Energy.edge_cost(2_000.0, RoadClass::Motorway);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert!((e1 - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn co2_is_energy_times_factor() {
+        let e = CostMetric::Energy.edge_cost(5_000.0, RoadClass::Secondary);
+        let g = CostMetric::Co2.edge_cost(5_000.0, RoadClass::Secondary);
+        assert!((g - e * DRIVING_CO2_G_PER_KWH).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_costs_positive_for_positive_length() {
+        for c in RoadClass::ALL {
+            for m in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy, CostMetric::Co2] {
+                assert!(m.edge_cost(10.0, c) > 0.0);
+            }
+        }
+    }
+}

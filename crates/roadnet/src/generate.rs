@@ -1,0 +1,526 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on four regions — Oldenburg (45×35 km), California
+//! (1 220×400 km), Beijing (T-drive) and multi-city Geolife — none of which
+//! ship with this reproduction (see DESIGN.md §3). These generators produce
+//! networks with the same *structural* character at the same scales:
+//!
+//! * [`urban_grid`] — jittered Manhattan grid with arterial lines and
+//!   random street dropouts; the shape of a mid-size European or Chinese
+//!   city core (Oldenburg, Beijing presets);
+//! * [`ring_radial`] — concentric ring roads with radial spokes, Beijing's
+//!   signature topology, used to overlay grids;
+//! * [`metro_regions`] — several urban grids scattered over a large extent
+//!   and joined by a motorway backbone (California, Geolife presets).
+//!
+//! Every generator returns the largest connected component of what it drew,
+//! so all shortest-path queries succeed, and is fully deterministic in its
+//! seed.
+
+use crate::edge::RoadClass;
+use crate::graph::{GraphBuilder, RoadGraph};
+use ec_types::{GeoPoint, SplitMix64};
+
+/// Parameters for [`urban_grid`].
+#[derive(Debug, Clone)]
+pub struct UrbanGridParams {
+    /// South-west anchor of the grid.
+    pub origin: GeoPoint,
+    /// Number of node columns (east-west).
+    pub cols: usize,
+    /// Number of node rows (north-south).
+    pub rows: usize,
+    /// Nominal block edge, metres.
+    pub spacing_m: f64,
+    /// Node position jitter as a fraction of `spacing_m` (0 = perfect grid).
+    pub jitter_frac: f64,
+    /// Probability of dropping a non-arterial street edge.
+    pub drop_prob: f64,
+    /// Every `arterial_every`-th row/column is a Primary arterial (0 =
+    /// no arterials).
+    pub arterial_every: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for UrbanGridParams {
+    fn default() -> Self {
+        Self {
+            origin: GeoPoint::new(8.18, 53.10),
+            cols: 40,
+            rows: 32,
+            spacing_m: 900.0,
+            jitter_frac: 0.25,
+            drop_prob: 0.08,
+            arterial_every: 5,
+            seed: 1,
+        }
+    }
+}
+
+/// Parameters for [`ring_radial`].
+#[derive(Debug, Clone)]
+pub struct RingRadialParams {
+    /// City centre.
+    pub center: GeoPoint,
+    /// Number of concentric rings.
+    pub rings: usize,
+    /// Number of radial spokes.
+    pub spokes: usize,
+    /// Radial distance between consecutive rings, metres.
+    pub ring_spacing_m: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RingRadialParams {
+    fn default() -> Self {
+        Self {
+            center: GeoPoint::new(116.4, 39.9),
+            rings: 6,
+            spokes: 24,
+            ring_spacing_m: 3_000.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Parameters for [`metro_regions`].
+#[derive(Debug, Clone)]
+pub struct MetroRegionsParams {
+    /// South-west corner of the covered region.
+    pub origin: GeoPoint,
+    /// East-west extent, metres.
+    pub extent_x_m: f64,
+    /// North-south extent, metres.
+    pub extent_y_m: f64,
+    /// Number of metropolitan clusters.
+    pub cities: usize,
+    /// Side of each city grid, nodes (cities are `city_side × city_side`).
+    pub city_side: usize,
+    /// Block edge within cities, metres.
+    pub city_spacing_m: f64,
+    /// Spacing of intermediate motorway nodes on inter-city links, metres.
+    pub highway_node_m: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MetroRegionsParams {
+    fn default() -> Self {
+        Self {
+            origin: GeoPoint::new(-122.0, 34.0),
+            extent_x_m: 600_000.0,
+            extent_y_m: 300_000.0,
+            cities: 8,
+            city_side: 12,
+            city_spacing_m: 1_000.0,
+            highway_node_m: 10_000.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Accumulates an undirected drawing before component pruning.
+struct RawNet {
+    points: Vec<GeoPoint>,
+    /// Undirected edges `(a, b, len_m, class)`; expanded to both directions
+    /// at build time.
+    edges: Vec<(u32, u32, f32, RoadClass)>,
+}
+
+impl RawNet {
+    fn new() -> Self {
+        Self { points: Vec::new(), edges: Vec::new() }
+    }
+
+    fn add_point(&mut self, p: GeoPoint) -> u32 {
+        let id = u32::try_from(self.points.len()).expect("node count fits u32");
+        self.points.push(p);
+        id
+    }
+
+    fn add_street(&mut self, a: u32, b: u32, len_m: f32, class: RoadClass) {
+        debug_assert!(a != b, "self-loop street");
+        self.edges.push((a, b, len_m, class));
+    }
+
+    /// Keep only the largest connected component, remap ids densely, and
+    /// freeze into a graph with two-way edges.
+    fn into_graph(self) -> RoadGraph {
+        assert!(!self.points.is_empty(), "generator drew no nodes");
+        // Union-find over the undirected drawing.
+        let n = self.points.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &(a, b, _, _) in &self.edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        }
+        let mut sizes = vec![0usize; n];
+        for i in 0..n as u32 {
+            sizes[find(&mut parent, i) as usize] += 1;
+        }
+        let best_root = u32::try_from(
+            (0..n).max_by_key(|&i| sizes[i]).expect("non-empty point set"),
+        )
+        .expect("fits u32");
+        let best_root = find(&mut parent, best_root);
+
+        let mut remap = vec![u32::MAX; n];
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            if find(&mut parent, i) == best_root {
+                remap[i as usize] = b.add_node(self.points[i as usize]).0;
+            }
+        }
+        for &(a, bb, len, class) in &self.edges {
+            let (ra, rb) = (remap[a as usize], remap[bb as usize]);
+            if ra != u32::MAX && rb != u32::MAX {
+                b.add_two_way_with_len(ec_types::NodeId(ra), ec_types::NodeId(rb), len, class);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Street length: straight-line distance with a curvature surcharge — real
+/// streets are 5–25 % longer than the crow flies.
+fn street_len(a: &GeoPoint, b: &GeoPoint, rng: &mut SplitMix64) -> f32 {
+    (a.fast_dist_m(b) * rng.range_f64(1.05, 1.25)).max(1.0) as f32
+}
+
+/// Generate a jittered urban grid. See [`UrbanGridParams`].
+///
+/// # Panics
+/// Panics when `cols`/`rows` < 2 or `spacing_m` ≤ 0.
+#[must_use]
+pub fn urban_grid(p: &UrbanGridParams) -> RoadGraph {
+    assert!(p.cols >= 2 && p.rows >= 2, "grid needs at least 2×2 nodes");
+    assert!(p.spacing_m > 0.0, "spacing must be positive");
+    let mut rng = SplitMix64::new(p.seed);
+    let mut net = RawNet::new();
+
+    let idx = |r: usize, c: usize| (r * p.cols + c) as u32;
+    for r in 0..p.rows {
+        for c in 0..p.cols {
+            let jx = rng.range_f64(-p.jitter_frac, p.jitter_frac) * p.spacing_m;
+            let jy = rng.range_f64(-p.jitter_frac, p.jitter_frac) * p.spacing_m;
+            let pt = p.origin.offset_m(c as f64 * p.spacing_m + jx, r as f64 * p.spacing_m + jy);
+            net.add_point(pt);
+        }
+    }
+
+    let is_arterial_line = |i: usize| p.arterial_every > 0 && i.is_multiple_of(p.arterial_every);
+    for r in 0..p.rows {
+        for c in 0..p.cols {
+            // East and north neighbours.
+            let here = idx(r, c);
+            let mut connect = |there: u32, arterial: bool, rng: &mut SplitMix64| {
+                let class = if arterial {
+                    RoadClass::Primary
+                } else if rng.next_f64() < 0.3 {
+                    RoadClass::Secondary
+                } else {
+                    RoadClass::Residential
+                };
+                if !arterial && rng.next_f64() < p.drop_prob {
+                    return;
+                }
+                let len = street_len(
+                    &net.points[here as usize],
+                    &net.points[there as usize],
+                    rng,
+                );
+                net.add_street(here, there, len, class);
+            };
+            if c + 1 < p.cols {
+                connect(idx(r, c + 1), is_arterial_line(r), &mut rng);
+            }
+            if r + 1 < p.rows {
+                connect(idx(r + 1, c), is_arterial_line(c), &mut rng);
+            }
+        }
+    }
+    net.into_graph()
+}
+
+/// Generate a ring-radial city. See [`RingRadialParams`].
+///
+/// # Panics
+/// Panics when `rings` < 1 or `spokes` < 3.
+#[must_use]
+pub fn ring_radial(p: &RingRadialParams) -> RoadGraph {
+    assert!(p.rings >= 1, "need at least one ring");
+    assert!(p.spokes >= 3, "need at least three spokes");
+    let mut rng = SplitMix64::new(p.seed);
+    let mut net = RawNet::new();
+
+    let center = net.add_point(p.center);
+    // ring i (1-based), spoke j → node id.
+    let mut ids = vec![vec![0u32; p.spokes]; p.rings];
+    for (i, ring) in ids.iter_mut().enumerate() {
+        let radius = (i + 1) as f64 * p.ring_spacing_m;
+        for (j, slot) in ring.iter_mut().enumerate() {
+            let angle = std::f64::consts::TAU * j as f64 / p.spokes as f64
+                + rng.range_f64(-0.02, 0.02);
+            let pt = p.center.offset_m(radius * angle.cos(), radius * angle.sin());
+            *slot = net.add_point(pt);
+        }
+    }
+    // Ring edges: inner rings Primary, outermost ring Motorway.
+    for (i, ring) in ids.iter().enumerate() {
+        let class = if i + 1 == p.rings { RoadClass::Motorway } else { RoadClass::Primary };
+        for j in 0..p.spokes {
+            let a = ring[j];
+            let b = ring[(j + 1) % p.spokes];
+            let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+            net.add_street(a, b, len, class);
+        }
+    }
+    // Spoke edges.
+    #[allow(clippy::needless_range_loop)] // `j` indexes two parallel rings at once below
+    for j in 0..p.spokes {
+        let a = ids[0][j];
+        let len = street_len(&net.points[center as usize], &net.points[a as usize], &mut rng);
+        net.add_street(center, a, len, RoadClass::Secondary);
+        for i in 0..p.rings - 1 {
+            let (a, b) = (ids[i][j], ids[i + 1][j]);
+            let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+            net.add_street(a, b, len, RoadClass::Primary);
+        }
+    }
+    net.into_graph()
+}
+
+/// Generate several city grids joined by a motorway backbone. See
+/// [`MetroRegionsParams`].
+///
+/// # Panics
+/// Panics when `cities` < 1 or `city_side` < 2.
+#[must_use]
+pub fn metro_regions(p: &MetroRegionsParams) -> RoadGraph {
+    assert!(p.cities >= 1, "need at least one city");
+    assert!(p.city_side >= 2, "city grids need at least 2×2 nodes");
+    let mut rng = SplitMix64::new(p.seed);
+    let mut net = RawNet::new();
+
+    // Place city anchor points with a minimum separation (best effort).
+    let min_sep = (p.extent_x_m.min(p.extent_y_m) / (p.cities as f64 + 1.0)).max(20_000.0);
+    let mut anchors: Vec<GeoPoint> = Vec::with_capacity(p.cities);
+    let mut attempts = 0;
+    while anchors.len() < p.cities && attempts < 10_000 {
+        attempts += 1;
+        let cand = p
+            .origin
+            .offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m));
+        if anchors.iter().all(|a| a.fast_dist_m(&cand) >= min_sep) {
+            anchors.push(cand);
+        }
+    }
+    while anchors.len() < p.cities {
+        // Separation impossible at this density; fill uniformly.
+        anchors.push(
+            p.origin
+                .offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m)),
+        );
+    }
+
+    // Draw each city grid and remember one gateway node per city.
+    let mut gateways: Vec<u32> = Vec::with_capacity(p.cities);
+    for anchor in &anchors {
+        let first = net.points.len() as u32;
+        let side = p.city_side;
+        let idx = |r: usize, c: usize| first + (r * side + c) as u32;
+        for r in 0..side {
+            for c in 0..side {
+                let jx = rng.range_f64(-0.2, 0.2) * p.city_spacing_m;
+                let jy = rng.range_f64(-0.2, 0.2) * p.city_spacing_m;
+                net.add_point(
+                    anchor.offset_m(c as f64 * p.city_spacing_m + jx, r as f64 * p.city_spacing_m + jy),
+                );
+            }
+        }
+        for r in 0..side {
+            for c in 0..side {
+                let arterial = r.is_multiple_of(4) || c.is_multiple_of(4);
+                let class = if arterial { RoadClass::Primary } else { RoadClass::Residential };
+                if c + 1 < side {
+                    let (a, b) = (idx(r, c), idx(r, c + 1));
+                    let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+                    net.add_street(a, b, len, class);
+                }
+                if r + 1 < side {
+                    let (a, b) = (idx(r, c), idx(r + 1, c));
+                    let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+                    net.add_street(a, b, len, class);
+                }
+            }
+        }
+        gateways.push(idx(side / 2, side / 2));
+    }
+
+    // Motorway backbone: Euclidean MST over anchors (Prim), plus a link
+    // from each city to its second-nearest neighbour for redundancy.
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    if p.cities > 1 {
+        let mut in_tree = vec![false; p.cities];
+        let mut best = vec![(f64::INFINITY, 0usize); p.cities];
+        in_tree[0] = true;
+        for j in 1..p.cities {
+            best[j] = (anchors[0].fast_dist_m(&anchors[j]), 0);
+        }
+        for _ in 1..p.cities {
+            let next = (0..p.cities)
+                .filter(|&j| !in_tree[j])
+                .min_by(|&a, &b| best[a].0.partial_cmp(&best[b].0).expect("finite"))
+                .expect("a node remains outside the tree");
+            in_tree[next] = true;
+            links.push((best[next].1, next));
+            for j in 0..p.cities {
+                if !in_tree[j] {
+                    let d = anchors[next].fast_dist_m(&anchors[j]);
+                    if d < best[j].0 {
+                        best[j] = (d, next);
+                    }
+                }
+            }
+        }
+        // Redundancy links.
+        for i in 0..p.cities {
+            let mut near: Vec<usize> = (0..p.cities).filter(|&j| j != i).collect();
+            near.sort_by(|&a, &b| {
+                anchors[i]
+                    .fast_dist_m(&anchors[a])
+                    .partial_cmp(&anchors[i].fast_dist_m(&anchors[b]))
+                    .expect("finite")
+            });
+            if let Some(&second) = near.get(1) {
+                let pair = (i.min(second), i.max(second));
+                if !links.contains(&pair) && !links.contains(&(pair.1, pair.0)) {
+                    links.push(pair);
+                }
+            }
+        }
+    }
+
+    // Materialise each link as a motorway polyline with intermediate nodes.
+    for (i, j) in links {
+        let (a, b) = (gateways[i], gateways[j]);
+        let (pa, pb) = (net.points[a as usize], net.points[b as usize]);
+        let total = pa.fast_dist_m(&pb);
+        let hops = ((total / p.highway_node_m).ceil() as usize).max(1);
+        let mut prev = a;
+        for h in 1..hops {
+            let t = h as f64 / hops as f64;
+            // Slight meander so motorways are not ruler lines.
+            let base = pa.lerp(&pb, t);
+            let meander = rng.range_f64(-0.03, 0.03) * total / hops as f64;
+            let node = net.add_point(base.offset_m(meander, -meander));
+            let len = street_len(&net.points[prev as usize], &net.points[node as usize], &mut rng);
+            net.add_street(prev, node, len, RoadClass::Motorway);
+            prev = node;
+        }
+        let len = street_len(&net.points[prev as usize], &net.points[b as usize], &mut rng);
+        net.add_street(prev, b, len, RoadClass::Motorway);
+    }
+
+    net.into_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::CostMetric;
+    use crate::search::{metric_cost, SearchEngine};
+    use ec_types::NodeId;
+
+    #[test]
+    fn urban_grid_is_connected_and_sized() {
+        let g = urban_grid(&UrbanGridParams::default());
+        // Dropouts + pruning may lose a few nodes, but most must survive.
+        assert!(g.num_nodes() > 40 * 32 * 9 / 10, "nodes: {}", g.num_nodes());
+        assert_eq!(g.largest_component().len(), g.num_nodes());
+    }
+
+    #[test]
+    fn urban_grid_is_deterministic() {
+        let a = urban_grid(&UrbanGridParams::default());
+        let b = urban_grid(&UrbanGridParams::default());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.point(NodeId(7)), b.point(NodeId(7)));
+    }
+
+    #[test]
+    fn urban_grid_seeds_differ() {
+        let a = urban_grid(&UrbanGridParams::default());
+        let b = urban_grid(&UrbanGridParams { seed: 2, ..UrbanGridParams::default() });
+        assert_ne!(a.point(NodeId(7)), b.point(NodeId(7)));
+    }
+
+    #[test]
+    fn urban_grid_routes_exist() {
+        let g = urban_grid(&UrbanGridParams::default());
+        let mut engine = SearchEngine::new();
+        let from = NodeId(0);
+        let to = NodeId(u32::try_from(g.num_nodes() - 1).unwrap());
+        let got = engine.one_to_one(&g, from, to, metric_cost(CostMetric::Distance));
+        assert!(got.is_some(), "grid must be routable corner to corner");
+        let (cost, path) = got.unwrap();
+        assert!(cost > 0.0);
+        assert_eq!(path.first().copied(), Some(from));
+        assert_eq!(path.last().copied(), Some(to));
+    }
+
+    #[test]
+    fn ring_radial_connected_with_motorway_ring() {
+        let g = ring_radial(&RingRadialParams::default());
+        assert_eq!(g.largest_component().len(), g.num_nodes());
+        let has_motorway = (0..g.num_edges()).any(|e| g.edge_class(e) == RoadClass::Motorway);
+        assert!(has_motorway);
+    }
+
+    #[test]
+    fn metro_regions_connected_across_cities() {
+        let p = MetroRegionsParams { cities: 4, ..MetroRegionsParams::default() };
+        let g = metro_regions(&p);
+        assert_eq!(g.largest_component().len(), g.num_nodes());
+        // Region extent should be large (hundreds of km).
+        assert!(g.bounds().width_m() > 100_000.0);
+        let mut engine = SearchEngine::new();
+        let far = NodeId(u32::try_from(g.num_nodes() - 1).unwrap());
+        assert!(engine
+            .one_to_one(&g, NodeId(0), far, metric_cost(CostMetric::Distance))
+            .is_some());
+    }
+
+    #[test]
+    fn street_lengths_exceed_crow_flies() {
+        let g = urban_grid(&UrbanGridParams::default());
+        let mut checked = 0;
+        for v in 0..g.num_nodes().min(200) {
+            let v = NodeId::from_index(v);
+            for (e, u) in g.out_edges(v) {
+                let crow = g.point(v).fast_dist_m(&g.point(u));
+                assert!(g.edge_len_m(e) >= crow * 0.99, "edge shorter than geometry");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2×2")]
+    fn tiny_grid_panics() {
+        let _ = urban_grid(&UrbanGridParams { cols: 1, ..UrbanGridParams::default() });
+    }
+}

@@ -1,0 +1,447 @@
+//! The road-network graph `G = (V, E)` in compressed sparse row form.
+//!
+//! Nodes carry WGS-84 coordinates; directed edges carry a length and a
+//! [`crate::RoadClass`] from which every [`CostMetric`]
+//! (distance / time / energy / CO₂) weight derives. Both forward and
+//! reverse adjacency are materialised: the derouting computation needs
+//! *into-charger* distances (forward search from the vehicle) **and**
+//! *out-of-charger* distances back to the scheduled route (reverse search
+//! from the rejoin node), and the reverse CSR makes the latter one Dijkstra
+//! instead of one per charger.
+
+use crate::edge::{CostMetric, RoadClass};
+use ec_types::{BoundingBox, EcError, GeoPoint, NodeId};
+use spatial_index::GridIndex;
+
+/// Builder accumulating nodes and directed edges before freezing to CSR.
+///
+/// ```
+/// use ec_types::GeoPoint;
+/// use roadnet::{metric_cost, CostMetric, GraphBuilder, RoadClass, SearchEngine};
+///
+/// let mut b = GraphBuilder::new();
+/// let o = GeoPoint::new(8.0, 53.0);
+/// let a = b.add_node(o);
+/// let c = b.add_node(o.offset_m(1_000.0, 0.0));
+/// b.add_two_way(a, c, RoadClass::Primary);
+/// let graph = b.build();
+///
+/// let mut engine = SearchEngine::new();
+/// let (time_s, path) = engine
+///     .one_to_one(&graph, a, c, metric_cost(CostMetric::Time))
+///     .expect("connected");
+/// assert_eq!(path, vec![a, c]);
+/// assert!((time_s - 60.0).abs() < 2.0); // 1 km at 60 km/h
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    points: Vec<GeoPoint>,
+    edges: Vec<(u32, u32, f32, RoadClass)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of directed edges added so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, p: GeoPoint) -> NodeId {
+        let id = NodeId::from_index(self.points.len());
+        self.points.push(p);
+        id
+    }
+
+    /// Add one directed edge; length is the straight-line distance between
+    /// the endpoints.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is unknown.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, class: RoadClass) {
+        let len =
+            self.points[from.index()].fast_dist_m(&self.points[to.index()]).max(1.0) as f32;
+        self.add_edge_with_len(from, to, len, class);
+    }
+
+    /// Add one directed edge with an explicit length in metres (roads are
+    /// rarely straight; generators add a curvature factor).
+    ///
+    /// # Panics
+    /// Panics on unknown endpoints or a non-positive length.
+    pub fn add_edge_with_len(&mut self, from: NodeId, to: NodeId, len_m: f32, class: RoadClass) {
+        assert!(from.index() < self.points.len(), "unknown from-node {from}");
+        assert!(to.index() < self.points.len(), "unknown to-node {to}");
+        assert!(len_m > 0.0, "edge length must be positive, got {len_m}");
+        self.edges.push((from.0, to.0, len_m, class));
+    }
+
+    /// Add both directions of a two-way street.
+    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, class: RoadClass) {
+        self.add_edge(a, b, class);
+        self.add_edge(b, a, class);
+    }
+
+    /// Add both directions with an explicit length.
+    pub fn add_two_way_with_len(&mut self, a: NodeId, b: NodeId, len_m: f32, class: RoadClass) {
+        self.add_edge_with_len(a, b, len_m, class);
+        self.add_edge_with_len(b, a, len_m, class);
+    }
+
+    /// Freeze into a [`RoadGraph`].
+    ///
+    /// # Panics
+    /// Panics when no nodes were added.
+    #[must_use]
+    pub fn build(self) -> RoadGraph {
+        assert!(!self.points.is_empty(), "cannot build an empty road graph");
+        let n = self.points.len();
+        let m = self.edges.len();
+
+        // Forward CSR.
+        let mut f_off = vec![0u32; n + 1];
+        for &(from, _, _, _) in &self.edges {
+            f_off[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            f_off[i + 1] += f_off[i];
+        }
+        let mut f_cursor = f_off.clone();
+        let mut f_to = vec![0u32; m];
+        let mut f_edge = vec![0u32; m];
+        let mut len_m = vec![0f32; m];
+        let mut class = vec![RoadClass::Residential; m];
+        for (e, &(from, to, l, c)) in self.edges.iter().enumerate() {
+            let slot = f_cursor[from as usize] as usize;
+            f_cursor[from as usize] += 1;
+            f_to[slot] = to;
+            f_edge[slot] = u32::try_from(e).expect("edge count fits u32");
+            len_m[e] = l;
+            class[e] = c;
+        }
+
+        // Reverse CSR (edge ids shared with forward storage).
+        let mut r_off = vec![0u32; n + 1];
+        for &(_, to, _, _) in &self.edges {
+            r_off[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            r_off[i + 1] += r_off[i];
+        }
+        let mut r_cursor = r_off.clone();
+        let mut r_from = vec![0u32; m];
+        let mut r_edge = vec![0u32; m];
+        for (e, &(from, to, _, _)) in self.edges.iter().enumerate() {
+            let slot = r_cursor[to as usize] as usize;
+            r_cursor[to as usize] += 1;
+            r_from[slot] = from;
+            r_edge[slot] = u32::try_from(e).expect("edge count fits u32");
+        }
+
+        let bounds = BoundingBox::of_points(self.points.iter().copied())
+            .expect("non-empty point set has a bounding box");
+        // Node snap grid: ~600 m cells keep ring searches short on urban
+        // networks while staying coarse enough for region-scale graphs.
+        let node_grid = GridIndex::build(
+            self.points.iter().enumerate().map(|(i, p)| (*p, NodeId::from_index(i))).collect(),
+            600.0,
+        );
+
+        RoadGraph {
+            points: self.points,
+            f_off,
+            f_to,
+            f_edge,
+            r_off,
+            r_from,
+            r_edge,
+            len_m,
+            class,
+            bounds,
+            node_grid,
+        }
+    }
+}
+
+/// An immutable CSR road network.
+#[derive(Debug)]
+pub struct RoadGraph {
+    points: Vec<GeoPoint>,
+    f_off: Vec<u32>,
+    f_to: Vec<u32>,
+    f_edge: Vec<u32>,
+    r_off: Vec<u32>,
+    r_from: Vec<u32>,
+    r_edge: Vec<u32>,
+    len_m: Vec<f32>,
+    class: Vec<RoadClass>,
+    bounds: BoundingBox,
+    node_grid: GridIndex<NodeId>,
+}
+
+impl RoadGraph {
+    /// Number of nodes `|V|`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.len_m.len()
+    }
+
+    /// Coordinates of node `v`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn point(&self, v: NodeId) -> GeoPoint {
+        self.points[v.index()]
+    }
+
+    /// Checked coordinate lookup.
+    pub fn try_point(&self, v: NodeId) -> Result<GeoPoint, EcError> {
+        self.points.get(v.index()).copied().ok_or(EcError::UnknownNode(v.0))
+    }
+
+    /// The network's bounding box.
+    #[must_use]
+    pub const fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// Outgoing edges of `v` as `(edge_index, head_node)` pairs.
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        let lo = self.f_off[v.index()] as usize;
+        let hi = self.f_off[v.index() + 1] as usize;
+        (lo..hi).map(move |s| (self.f_edge[s] as usize, NodeId(self.f_to[s])))
+    }
+
+    /// Incoming edges of `v` as `(edge_index, tail_node)` pairs.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        let lo = self.r_off[v.index()] as usize;
+        let hi = self.r_off[v.index() + 1] as usize;
+        (lo..hi).map(move |s| (self.r_edge[s] as usize, NodeId(self.r_from[s])))
+    }
+
+    /// Out-degree of `v`.
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.f_off[v.index() + 1] - self.f_off[v.index()]) as usize
+    }
+
+    /// Length of edge `e`, metres.
+    #[must_use]
+    pub fn edge_len_m(&self, e: usize) -> f64 {
+        f64::from(self.len_m[e])
+    }
+
+    /// Road class of edge `e`.
+    #[must_use]
+    pub fn edge_class(&self, e: usize) -> RoadClass {
+        self.class[e]
+    }
+
+    /// Weight of edge `e` under `metric` at free flow.
+    #[must_use]
+    pub fn edge_cost(&self, e: usize, metric: CostMetric) -> f64 {
+        metric.edge_cost(f64::from(self.len_m[e]), self.class[e])
+    }
+
+    /// The node geometrically nearest to `p`.
+    #[must_use]
+    pub fn nearest_node(&self, p: &GeoPoint) -> NodeId {
+        *self.node_grid.nearest(p).expect("graph is non-empty").item
+    }
+
+    /// All nodes within `radius_m` of `p`, nearest first.
+    #[must_use]
+    pub fn nodes_within(&self, p: &GeoPoint, radius_m: f64) -> Vec<(NodeId, f64)> {
+        self.node_grid.range(p, radius_m).into_iter().map(|h| (*h.item, h.dist_m)).collect()
+    }
+
+    /// Total directed-edge length of the network, metres.
+    #[must_use]
+    pub fn total_edge_len_m(&self) -> f64 {
+        self.len_m.iter().map(|&l| f64::from(l)).sum()
+    }
+
+    /// Node ids of the largest weakly-connected component (on a network
+    /// built with two-way edges this is also the largest strongly-connected
+    /// component). Generators use this to prune disconnected fragments.
+    #[must_use]
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut comp = vec![u32::MAX; n];
+        let mut best: (u32, usize) = (0, 0);
+        let mut next_comp = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            let mut size = 0usize;
+            stack.push(start);
+            comp[start] = next_comp;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                let v = NodeId::from_index(v);
+                for (_, u) in self.out_edges(v).chain(self.in_edges(v)) {
+                    if comp[u.index()] == u32::MAX {
+                        comp[u.index()] = next_comp;
+                        stack.push(u.index());
+                    }
+                }
+            }
+            if size > best.1 {
+                best = (next_comp, size);
+            }
+            next_comp += 1;
+        }
+        (0..n).filter(|&i| comp[i] == best.0).map(NodeId::from_index).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 square: v0 -(east)- v1, v0 -(north)- v2, v1 - v3, v2 - v3.
+    fn square() -> RoadGraph {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let v0 = b.add_node(o);
+        let v1 = b.add_node(o.offset_m(1_000.0, 0.0));
+        let v2 = b.add_node(o.offset_m(0.0, 1_000.0));
+        let v3 = b.add_node(o.offset_m(1_000.0, 1_000.0));
+        b.add_two_way(v0, v1, RoadClass::Primary);
+        b.add_two_way(v0, v2, RoadClass::Residential);
+        b.add_two_way(v1, v3, RoadClass::Residential);
+        b.add_two_way(v2, v3, RoadClass::Primary);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = square();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn out_edges_match_construction() {
+        let g = square();
+        let heads: Vec<u32> = g.out_edges(NodeId(0)).map(|(_, v)| v.0).collect();
+        assert_eq!(heads.len(), 2);
+        assert!(heads.contains(&1) && heads.contains(&2));
+    }
+
+    #[test]
+    fn in_edges_are_reverse_of_out() {
+        let g = square();
+        for v in 0..4u32 {
+            let v = NodeId(v);
+            for (_, u) in g.out_edges(v) {
+                assert!(
+                    g.in_edges(u).any(|(_, w)| w == v),
+                    "edge {v}->{u} missing from reverse CSR"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_lengths_close_to_geometry() {
+        let g = square();
+        for (e, _) in g.out_edges(NodeId(0)) {
+            assert!((g.edge_len_m(e) - 1_000.0).abs() < 5.0);
+        }
+    }
+
+    #[test]
+    fn edge_cost_uses_class() {
+        let g = square();
+        // v0->v1 is Primary (60 km/h): 1 km ≈ 60 s.
+        let (e, _) = g.out_edges(NodeId(0)).find(|&(_, v)| v == NodeId(1)).unwrap();
+        let t = g.edge_cost(e, CostMetric::Time);
+        assert!((t - 60.0).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn nearest_node_snaps() {
+        let g = square();
+        let q = GeoPoint::new(8.0, 53.0).offset_m(950.0, 30.0);
+        assert_eq!(g.nearest_node(&q), NodeId(1));
+    }
+
+    #[test]
+    fn nodes_within_radius() {
+        let g = square();
+        let o = GeoPoint::new(8.0, 53.0);
+        let hits = g.nodes_within(&o, 1_100.0);
+        assert_eq!(hits.len(), 3); // v0 at 0, v1 & v2 at 1 km; v3 at ~1.41 km excluded
+        assert_eq!(hits[0].0, NodeId(0));
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_everything() {
+        let g = square();
+        assert_eq!(g.largest_component().len(), 4);
+    }
+
+    #[test]
+    fn largest_component_prunes_islands() {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        // triangle
+        let a = b.add_node(o);
+        let c = b.add_node(o.offset_m(500.0, 0.0));
+        let d = b.add_node(o.offset_m(0.0, 500.0));
+        b.add_two_way(a, c, RoadClass::Residential);
+        b.add_two_way(c, d, RoadClass::Residential);
+        // isolated pair far away
+        let x = b.add_node(o.offset_m(20_000.0, 0.0));
+        let y = b.add_node(o.offset_m(20_500.0, 0.0));
+        b.add_two_way(x, y, RoadClass::Residential);
+        let g = b.build();
+        let comp = g.largest_component();
+        assert_eq!(comp.len(), 3);
+        assert!(comp.contains(&a) && comp.contains(&c) && comp.contains(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty road graph")]
+    fn empty_build_panics() {
+        let _ = GraphBuilder::new().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_edge_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.1, 0.0));
+        b.add_edge_with_len(a, c, 0.0, RoadClass::Primary);
+    }
+
+    #[test]
+    fn try_point_errors_on_unknown() {
+        let g = square();
+        assert!(g.try_point(NodeId(99)).is_err());
+        assert!(g.try_point(NodeId(2)).is_ok());
+    }
+}

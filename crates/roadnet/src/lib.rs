@@ -1,0 +1,199 @@
+//! # `roadnet` — road networks, shortest paths, and network generators
+//!
+//! The paper models the world as "a directed weighted graph G=(V,E)" whose
+//! edge weights can express length, travel time, energy, or CO₂ (§II-A).
+//! This crate is that substrate:
+//!
+//! * [`RoadGraph`] — an immutable CSR graph (forward *and* reverse
+//!   adjacency) with WGS-84 node coordinates and classed edges, built via
+//!   [`GraphBuilder`];
+//! * [`CostMetric`] / [`RoadClass`] — the per-edge weight model;
+//! * [`SearchEngine`] — reusable-buffer Dijkstra / A* with the one-to-many,
+//!   many-to-one and cost-bounded variants the derouting computation needs;
+//! * [`BidiEngine`] — bidirectional Dijkstra for bulk exact point-to-point
+//!   queries;
+//! * [`Route`] — a concrete path with distance parameterisation and the
+//!   paper's ~3–5 km trip segmentation;
+//! * [`generate`] — deterministic synthetic network generators at the
+//!   scales of the paper's four evaluation regions;
+//! * [`io`] — the Brinkhoff node/edge file format, so the reproduction can
+//!   ingest the real evaluation networks when a copy is available.
+
+pub mod bidirectional;
+pub mod edge;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod path;
+pub mod search;
+
+pub use bidirectional::BidiEngine;
+pub use edge::{CostMetric, RoadClass, DRIVING_CO2_G_PER_KWH};
+pub use generate::{
+    metro_regions, ring_radial, urban_grid, MetroRegionsParams, RingRadialParams, UrbanGridParams,
+};
+pub use graph::{GraphBuilder, RoadGraph};
+pub use io::{parse_node_edge, write_node_edge, PlanarAnchor};
+pub use path::Route;
+pub use search::{metric_cost, SearchEngine};
+
+#[cfg(test)]
+mod search_tests {
+    use super::*;
+    use ec_types::{GeoPoint, NodeId};
+
+    /// Small diamond with a shortcut: 0→1→3 long, 0→2→3 short.
+    fn diamond() -> RoadGraph {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let v0 = b.add_node(o);
+        let v1 = b.add_node(o.offset_m(1_000.0, 800.0));
+        let v2 = b.add_node(o.offset_m(1_000.0, -200.0));
+        let v3 = b.add_node(o.offset_m(2_000.0, 0.0));
+        b.add_edge_with_len(v0, v1, 1_500.0, RoadClass::Primary);
+        b.add_edge_with_len(v1, v3, 1_500.0, RoadClass::Primary);
+        b.add_edge_with_len(v0, v2, 1_100.0, RoadClass::Residential);
+        b.add_edge_with_len(v2, v3, 1_100.0, RoadClass::Residential);
+        b.add_edge_with_len(v3, v0, 2_500.0, RoadClass::Motorway);
+        b.build()
+    }
+
+    #[test]
+    fn one_to_one_picks_shorter_distance() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let (cost, path) =
+            e.one_to_one(&g, NodeId(0), NodeId(3), metric_cost(CostMetric::Distance)).unwrap();
+        assert!((cost - 2_200.0).abs() < 1e-6);
+        assert_eq!(path, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn one_to_one_picks_faster_time_route() {
+        // Under Time the Primary route wins (60 km/h vs 30 km/h).
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let (cost, path) =
+            e.one_to_one(&g, NodeId(0), NodeId(3), metric_cost(CostMetric::Time)).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert!((cost - 3_000.0 / (60.0 / 3.6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let v0 = b.add_node(o);
+        let v1 = b.add_node(o.offset_m(1_000.0, 0.0));
+        let v2 = b.add_node(o.offset_m(2_000.0, 0.0));
+        b.add_edge(v0, v1, RoadClass::Primary); // one-way; v2 isolated
+        let g = b.build();
+        let mut e = SearchEngine::new();
+        assert!(e.one_to_one(&g, v0, v2, metric_cost(CostMetric::Distance)).is_none());
+        assert!(e.one_to_one(&g, v1, v0, metric_cost(CostMetric::Distance)).is_none());
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let (cost, path) =
+            e.one_to_one(&g, NodeId(1), NodeId(1), metric_cost(CostMetric::Distance)).unwrap();
+        assert_eq!(cost, 0.0);
+        assert_eq!(path, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn one_to_many_matches_individual_queries() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let targets = [NodeId(1), NodeId(2), NodeId(3), NodeId(0)];
+        let many = e.one_to_many(&g, NodeId(0), &targets, metric_cost(CostMetric::Distance));
+        for (t, got) in targets.iter().zip(&many) {
+            let want = e
+                .one_to_one(&g, NodeId(0), *t, metric_cost(CostMetric::Distance))
+                .map(|(c, _)| c);
+            match (got, want) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "target {t}"),
+                (None, None) => {}
+                other => panic!("mismatch for {t}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn many_to_one_is_forward_cost_into_target() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let sources = [NodeId(0), NodeId(1), NodeId(2)];
+        let got = e.many_to_one(&g, NodeId(3), &sources, metric_cost(CostMetric::Distance));
+        for (s, got) in sources.iter().zip(&got) {
+            let want = e
+                .one_to_one(&g, *s, NodeId(3), metric_cost(CostMetric::Distance))
+                .map(|(c, _)| c);
+            assert_eq!(got.is_some(), want.is_some());
+            if let (Some(a), Some(b)) = (got, want) {
+                assert!((a - b).abs() < 1e-9, "source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_from_respects_budget() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        let settled = e.bounded_from(&g, NodeId(0), 1_200.0, metric_cost(CostMetric::Distance));
+        let ids: Vec<NodeId> = settled.iter().map(|&(v, _)| v).collect();
+        assert!(ids.contains(&NodeId(0)) && ids.contains(&NodeId(2)));
+        assert!(!ids.contains(&NodeId(3)), "v3 is 2.2 km away");
+        // Ascending order.
+        for w in settled.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn bounded_to_uses_reverse_edges() {
+        let g = diamond();
+        let mut e = SearchEngine::new();
+        // Who can reach v0 within 2 600 m? Only v3 (via the motorway
+        // back-edge) and v0 itself.
+        let settled = e.bounded_to(&g, NodeId(0), 2_600.0, metric_cost(CostMetric::Distance));
+        let ids: Vec<NodeId> = settled.iter().map(|&(v, _)| v).collect();
+        assert!(ids.contains(&NodeId(0)));
+        assert!(ids.contains(&NodeId(3)));
+        assert!(!ids.contains(&NodeId(1)), "v1 reaches v0 only via v3: 1.5+2.5 km");
+    }
+
+    #[test]
+    fn astar_agrees_with_dijkstra_on_grid() {
+        let g = urban_grid(&UrbanGridParams { cols: 15, rows: 15, ..UrbanGridParams::default() });
+        let mut e = SearchEngine::new();
+        let pairs = [(0usize, g.num_nodes() - 1), (3, g.num_nodes() / 2), (10, 20)];
+        for (a, b) in pairs {
+            let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+            for metric in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy] {
+                let d = e.one_to_one(&g, a, b, metric_cost(metric)).map(|(c, _)| c);
+                let s = e.astar(&g, a, b, metric).map(|(c, _)| c);
+                match (d, s) {
+                    (Some(d), Some(s)) => {
+                        assert!((d - s).abs() < 1e-6 * d.max(1.0), "{a}->{b} {metric:?}: {d} vs {s}")
+                    }
+                    (None, None) => {}
+                    other => panic!("reachability mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_graphs_is_safe() {
+        let g1 = diamond();
+        let g2 = urban_grid(&UrbanGridParams { cols: 5, rows: 5, ..UrbanGridParams::default() });
+        let mut e = SearchEngine::new();
+        let a = e.one_to_one(&g1, NodeId(0), NodeId(3), metric_cost(CostMetric::Distance));
+        let _ = e.one_to_one(&g2, NodeId(0), NodeId(8), metric_cost(CostMetric::Distance));
+        let b = e.one_to_one(&g1, NodeId(0), NodeId(3), metric_cost(CostMetric::Distance));
+        assert_eq!(a.map(|(c, _)| c), b.map(|(c, _)| c));
+    }
+}

@@ -1,0 +1,315 @@
+//! Routes: concrete node sequences with distance parameterisation.
+//!
+//! A [`Route`] is the materialised form of a scheduled trip `P` (or of a
+//! derouting detour): the node sequence, the edge used for each hop, and
+//! prefix sums of length so that "the point 7.3 km into the trip" — the
+//! quantity the continuous query advances — is an O(log n) lookup.
+
+use crate::edge::CostMetric;
+use crate::graph::RoadGraph;
+use ec_types::{EcError, GeoPoint, NodeId};
+
+/// A concrete path through the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+    /// Edge index used for hop `i` (`nodes[i] → nodes[i+1]`).
+    edges: Vec<usize>,
+    /// Cumulative length in metres; `cum[i]` = distance from the start to
+    /// `nodes[i]`. `cum.len() == nodes.len()`.
+    cum_m: Vec<f64>,
+}
+
+impl Route {
+    /// Build a route from a node sequence, resolving each consecutive pair
+    /// to the shortest connecting edge.
+    ///
+    /// # Errors
+    /// [`EcError::DegenerateTrip`] when fewer than two nodes are given;
+    /// [`EcError::Unreachable`] when two consecutive nodes share no edge.
+    pub fn from_nodes(g: &RoadGraph, nodes: Vec<NodeId>) -> Result<Self, EcError> {
+        if nodes.len() < 2 {
+            return Err(EcError::DegenerateTrip(format!(
+                "route needs at least two nodes, got {}",
+                nodes.len()
+            )));
+        }
+        let mut edges = Vec::with_capacity(nodes.len() - 1);
+        let mut cum_m = Vec::with_capacity(nodes.len());
+        cum_m.push(0.0);
+        for w in nodes.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let edge = g
+                .out_edges(a)
+                .filter(|&(_, head)| head == b)
+                .min_by(|&(e1, _), &(e2, _)| {
+                    g.edge_len_m(e1)
+                        .partial_cmp(&g.edge_len_m(e2))
+                        .expect("edge lengths are finite")
+                })
+                .map(|(e, _)| e)
+                .ok_or(EcError::Unreachable { from: a.0, to: b.0 })?;
+            edges.push(edge);
+            cum_m.push(cum_m.last().expect("cum_m is non-empty") + g.edge_len_m(edge));
+        }
+        Ok(Self { nodes, edges, cum_m })
+    }
+
+    /// The node sequence.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edge index for each hop.
+    #[must_use]
+    pub fn edges(&self) -> &[usize] {
+        &self.edges
+    }
+
+    /// First node.
+    #[must_use]
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    #[must_use]
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("routes have ≥ 2 nodes")
+    }
+
+    /// Total length, metres.
+    #[must_use]
+    pub fn length_m(&self) -> f64 {
+        *self.cum_m.last().expect("routes have ≥ 2 nodes")
+    }
+
+    /// Total cost under `metric` at free flow.
+    #[must_use]
+    pub fn cost(&self, g: &RoadGraph, metric: CostMetric) -> f64 {
+        self.edges.iter().map(|&e| g.edge_cost(e, metric)).sum()
+    }
+
+    /// Distance from the start to `nodes()[i]`, metres.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn offset_of_node(&self, i: usize) -> f64 {
+        self.cum_m[i]
+    }
+
+    /// Index of the last node at or before `offset_m` along the route
+    /// (clamped to the route).
+    #[must_use]
+    pub fn node_index_at(&self, offset_m: f64) -> usize {
+        if offset_m <= 0.0 {
+            return 0;
+        }
+        match self.cum_m.binary_search_by(|c| c.partial_cmp(&offset_m).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => (i - 1).min(self.nodes.len() - 1),
+        }
+    }
+
+    /// Interpolated position `offset_m` metres into the route (clamped).
+    #[must_use]
+    pub fn point_at(&self, g: &RoadGraph, offset_m: f64) -> GeoPoint {
+        let off = offset_m.clamp(0.0, self.length_m());
+        let i = self.node_index_at(off);
+        if i + 1 >= self.nodes.len() {
+            return g.point(self.end());
+        }
+        let seg_len = self.cum_m[i + 1] - self.cum_m[i];
+        let t = if seg_len > 0.0 { (off - self.cum_m[i]) / seg_len } else { 0.0 };
+        g.point(self.nodes[i]).lerp(&g.point(self.nodes[i + 1]), t)
+    }
+
+    /// The nearest route node to `offset_m` (rounds to whichever endpoint
+    /// of the containing hop is closer).
+    #[must_use]
+    pub fn nearest_node_at(&self, offset_m: f64) -> NodeId {
+        let off = offset_m.clamp(0.0, self.length_m());
+        let i = self.node_index_at(off);
+        if i + 1 >= self.nodes.len() {
+            return self.end();
+        }
+        let mid = 0.5 * (self.cum_m[i] + self.cum_m[i + 1]);
+        if off <= mid {
+            self.nodes[i]
+        } else {
+            self.nodes[i + 1]
+        }
+    }
+
+    /// Accumulated cost under `metric` from the start to `offset_m` along
+    /// the route (final partial edge pro-rated; clamped to the route).
+    #[must_use]
+    pub fn cost_to_offset(&self, g: &RoadGraph, metric: CostMetric, offset_m: f64) -> f64 {
+        let off = offset_m.clamp(0.0, self.length_m());
+        let mut acc = 0.0;
+        for (i, &e) in self.edges.iter().enumerate() {
+            let seg_start = self.cum_m[i];
+            let seg_end = self.cum_m[i + 1];
+            let full = g.edge_cost(e, metric);
+            if off >= seg_end {
+                acc += full;
+            } else {
+                let seg_len = seg_end - seg_start;
+                if seg_len > 0.0 && off > seg_start {
+                    acc += full * (off - seg_start) / seg_len;
+                }
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Split offsets `[0, step, 2·step, …, length]` — the paper's trip
+    /// segmentation into ~3–5 km pieces (§III-A Step 1). Always includes
+    /// both endpoints; a final fragment shorter than `step/4` merges into
+    /// the previous segment.
+    ///
+    /// # Panics
+    /// Panics when `step_m` is not strictly positive.
+    #[must_use]
+    pub fn segment_offsets(&self, step_m: f64) -> Vec<f64> {
+        assert!(step_m > 0.0, "segment step must be positive");
+        let len = self.length_m();
+        let mut offs = vec![0.0];
+        let mut at = step_m;
+        while at < len {
+            offs.push(at);
+            at += step_m;
+        }
+        // Merge a trailing sliver into the last full segment.
+        if offs.len() > 1 && len - offs.last().expect("non-empty") < step_m / 4.0 {
+            offs.pop();
+        }
+        offs.push(len);
+        offs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::RoadClass;
+    use crate::graph::GraphBuilder;
+
+    /// A straight 4-node chain with 1 km hops.
+    fn chain() -> (RoadGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let ids: Vec<NodeId> =
+            (0..4).map(|i| b.add_node(o.offset_m(f64::from(i) * 1_000.0, 0.0))).collect();
+        for w in ids.windows(2) {
+            b.add_two_way(w[0], w[1], RoadClass::Primary);
+        }
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn from_nodes_builds_and_measures() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        assert!((r.length_m() - 3_000.0).abs() < 10.0);
+        assert_eq!(r.start(), NodeId(0));
+        assert_eq!(r.end(), NodeId(3));
+        assert_eq!(r.edges().len(), 3);
+    }
+
+    #[test]
+    fn from_nodes_rejects_short() {
+        let (g, ids) = chain();
+        assert!(matches!(
+            Route::from_nodes(&g, vec![ids[0]]),
+            Err(EcError::DegenerateTrip(_))
+        ));
+    }
+
+    #[test]
+    fn from_nodes_rejects_disconnected_pair() {
+        let (g, ids) = chain();
+        // 0 -> 2 has no direct edge.
+        assert!(matches!(
+            Route::from_nodes(&g, vec![ids[0], ids[2]]),
+            Err(EcError::Unreachable { from: 0, to: 2 })
+        ));
+    }
+
+    #[test]
+    fn point_at_interpolates() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        let mid = r.point_at(&g, 1_500.0);
+        let expect = GeoPoint::new(8.0, 53.0).offset_m(1_500.0, 0.0);
+        assert!(mid.fast_dist_m(&expect) < 20.0);
+        // Clamps beyond the ends.
+        assert_eq!(r.point_at(&g, -10.0), g.point(NodeId(0)));
+        assert_eq!(r.point_at(&g, 99_999.0), g.point(NodeId(3)));
+    }
+
+    #[test]
+    fn nearest_node_rounds_to_closer_endpoint() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        assert_eq!(r.nearest_node_at(200.0), NodeId(0));
+        assert_eq!(r.nearest_node_at(800.0), NodeId(1));
+        assert_eq!(r.nearest_node_at(2_900.0), NodeId(3));
+    }
+
+    #[test]
+    fn cost_sums_edges() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        // 3 km of Primary at 60 km/h ≈ 180 s.
+        let t = r.cost(&g, CostMetric::Time);
+        assert!((t - 180.0).abs() < 2.0, "got {t}");
+    }
+
+    #[test]
+    fn segment_offsets_cover_route() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        let offs = r.segment_offsets(1_000.0);
+        assert_eq!(offs.first().copied(), Some(0.0));
+        assert!((offs.last().unwrap() - r.length_m()).abs() < 1e-9);
+        for w in offs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn segment_offsets_merge_sliver() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        // Step chosen so the last piece is a tiny sliver (< step/4).
+        let len = r.length_m();
+        let step = len / 2.001; // pieces: step, step, sliver
+        let offs = r.segment_offsets(step);
+        assert_eq!(offs.len(), 3, "sliver should merge: {offs:?}");
+    }
+
+    #[test]
+    fn cost_to_offset_interpolates() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        let total = r.cost(&g, CostMetric::Time);
+        let half = r.cost_to_offset(&g, CostMetric::Time, r.length_m() / 2.0);
+        assert!((half - total / 2.0).abs() < 1.0, "half {half} vs total {total}");
+        assert_eq!(r.cost_to_offset(&g, CostMetric::Time, 0.0), 0.0);
+        let full = r.cost_to_offset(&g, CostMetric::Time, r.length_m() + 100.0);
+        assert!((full - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_index_at_boundaries() {
+        let (g, ids) = chain();
+        let r = Route::from_nodes(&g, ids).unwrap();
+        assert_eq!(r.node_index_at(0.0), 0);
+        assert_eq!(r.node_index_at(r.length_m()), 3);
+        assert_eq!(r.node_index_at(-5.0), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Shortest-path searches over [`RoadGraph`].
+//!
+//! All searches are Dijkstra variants over a caller-supplied edge-cost
+//! function, so the same engine serves free-flow distance/time/energy
+//! queries *and* traffic-adjusted derouting queries (the cost closure
+//! multiplies by a congestion factor). [`SearchEngine`] owns the
+//! distance/parent/stamp buffers and reuses them across calls — the
+//! continuous query re-runs derouting searches every segment, and the
+//! buffer reuse keeps that allocation-free after warm-up.
+//!
+//! Variants:
+//! * [`SearchEngine::one_to_one`] — early-exit Dijkstra with path
+//!   extraction;
+//! * [`SearchEngine::astar`] — A* with an admissible straight-line
+//!   heuristic, for long point-to-point routes;
+//! * [`SearchEngine::one_to_many`] — settle a target set (vehicle →
+//!   candidate chargers);
+//! * [`SearchEngine::many_to_one`] — reverse search (candidate chargers →
+//!   rejoin node), one pass instead of one per charger;
+//! * [`SearchEngine::bounded_from`] / [`bounded_to`](SearchEngine::bounded_to)
+//!   — all nodes within a cost budget, the filtering-phase primitive.
+
+use crate::edge::CostMetric;
+use crate::graph::RoadGraph;
+use ec_types::NodeId;
+use spatial_index::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable Dijkstra/A* state.
+#[derive(Debug, Default)]
+pub struct SearchEngine {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+}
+
+impl SearchEngine {
+    /// A fresh engine; buffers grow lazily to the graph size.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, NO_PARENT);
+            self.stamp.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap: invalidate everything once per 2^32 searches.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn is_fresh(&self, v: usize) -> bool {
+        self.stamp[v] == self.generation
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, d: f64, parent: u32) {
+        self.dist[v] = d;
+        self.parent[v] = parent;
+        self.stamp[v] = self.generation;
+    }
+
+    /// Tentative distance of `v` in the current search (`INFINITY` when
+    /// unreached).
+    #[inline]
+    fn dist_of(&self, v: usize) -> f64 {
+        if self.is_fresh(v) {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Shortest path `from → to`. Returns `(cost, node_sequence)` or
+    /// `None` when unreachable.
+    pub fn one_to_one<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        cost: F,
+    ) -> Option<(f64, Vec<NodeId>)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.begin(g.num_nodes());
+        self.set(from.index(), 0.0, NO_PARENT);
+        self.heap.push(Reverse((OrdF64::new(0.0), from.0)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let d = d.get();
+            let vi = v as usize;
+            if d > self.dist_of(vi) {
+                continue;
+            }
+            if v == to.0 {
+                return Some((d, self.extract_path(from, to)));
+            }
+            for (e, u) in g.out_edges(NodeId(v)) {
+                let w = cost(g, e);
+                debug_assert!(w >= 0.0, "negative edge cost");
+                let nd = d + w;
+                if nd < self.dist_of(u.index()) {
+                    self.set(u.index(), nd, v);
+                    self.heap.push(Reverse((OrdF64::new(nd), u.0)));
+                }
+            }
+        }
+        None
+    }
+
+    /// A* `from → to` under a [`CostMetric`], using the straight-line
+    /// lower bound scaled to the metric's best case (admissible because no
+    /// edge beats a motorway's speed or undercuts the cheapest per-km
+    /// consumption).
+    pub fn astar(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        metric: CostMetric,
+    ) -> Option<(f64, Vec<NodeId>)> {
+        let goal = g.point(to);
+        // Best possible cost per metre over any edge class.
+        let per_m = crate::edge::RoadClass::ALL
+            .iter()
+            .map(|&c| metric.edge_cost(1.0, c))
+            .fold(f64::INFINITY, f64::min);
+        // 0.5 % slack keeps the heuristic admissible despite the
+        // equirectangular metric's per-pair mean-latitude distortion
+        // (edge lengths and the heuristic use slightly different
+        // reference latitudes).
+        let h = |p: ec_types::GeoPoint| p.fast_dist_m(&goal) * per_m * 0.995;
+
+        self.begin(g.num_nodes());
+        self.set(from.index(), 0.0, NO_PARENT);
+        self.heap.push(Reverse((OrdF64::new(h(g.point(from))), from.0)));
+        while let Some(Reverse((f, v))) = self.heap.pop() {
+            let vi = v as usize;
+            let d = self.dist[vi];
+            if !self.is_fresh(vi) {
+                continue;
+            }
+            if f.get() - h(g.point(NodeId(v))) > d + 1e-9 {
+                continue; // stale heap entry
+            }
+            if v == to.0 {
+                return Some((d, self.extract_path(from, to)));
+            }
+            for (e, u) in g.out_edges(NodeId(v)) {
+                let nd = d + g.edge_cost(e, metric);
+                if nd < self.dist_of(u.index()) {
+                    self.set(u.index(), nd, v);
+                    self.heap.push(Reverse((OrdF64::new(nd + h(g.point(u))), u.0)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Costs `from → t` for every `t` in `targets` (`None` when
+    /// unreachable). One Dijkstra, early exit once every target settles.
+    pub fn one_to_many<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        targets: &[NodeId],
+        cost: F,
+    ) -> Vec<Option<f64>>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.settle_set(g, from, targets, cost, Direction::Forward)
+    }
+
+    /// Costs `s → to` for every `s` in `sources`, via one reverse Dijkstra
+    /// from `to`.
+    pub fn many_to_one<F>(
+        &mut self,
+        g: &RoadGraph,
+        to: NodeId,
+        sources: &[NodeId],
+        cost: F,
+    ) -> Vec<Option<f64>>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.settle_set(g, to, sources, cost, Direction::Reverse)
+    }
+
+    fn settle_set<F>(
+        &mut self,
+        g: &RoadGraph,
+        origin: NodeId,
+        wanted: &[NodeId],
+        cost: F,
+        dir: Direction,
+    ) -> Vec<Option<f64>>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.begin(g.num_nodes());
+        // Count how many *distinct* wanted nodes must settle; duplicates in
+        // `wanted` are answered from the same settled distance.
+        let mut pending: std::collections::HashSet<u32> = wanted.iter().map(|t| t.0).collect();
+        self.set(origin.index(), 0.0, NO_PARENT);
+        self.heap.push(Reverse((OrdF64::new(0.0), origin.0)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let d = d.get();
+            if d > self.dist_of(v as usize) {
+                continue;
+            }
+            pending.remove(&v);
+            if pending.is_empty() {
+                break;
+            }
+            self.relax_neighbors(g, NodeId(v), d, &cost, dir);
+        }
+        wanted
+            .iter()
+            .map(|t| {
+                let d = self.dist_of(t.index());
+                d.is_finite().then_some(d)
+            })
+            .collect()
+    }
+
+    /// All nodes reachable from `from` within `max_cost`, as
+    /// `(node, cost)` pairs in settling (ascending-cost) order.
+    pub fn bounded_from<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        max_cost: f64,
+        cost: F,
+    ) -> Vec<(NodeId, f64)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.bounded(g, from, max_cost, cost, Direction::Forward)
+    }
+
+    /// All nodes that can reach `to` within `max_cost` (reverse search),
+    /// as `(node, cost)` pairs in ascending-cost order.
+    pub fn bounded_to<F>(
+        &mut self,
+        g: &RoadGraph,
+        to: NodeId,
+        max_cost: f64,
+        cost: F,
+    ) -> Vec<(NodeId, f64)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.bounded(g, to, max_cost, cost, Direction::Reverse)
+    }
+
+    fn bounded<F>(
+        &mut self,
+        g: &RoadGraph,
+        origin: NodeId,
+        max_cost: f64,
+        cost: F,
+        dir: Direction,
+    ) -> Vec<(NodeId, f64)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.begin(g.num_nodes());
+        self.set(origin.index(), 0.0, NO_PARENT);
+        self.heap.push(Reverse((OrdF64::new(0.0), origin.0)));
+        let mut settled = Vec::new();
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let d = d.get();
+            if d > max_cost {
+                break;
+            }
+            if d > self.dist_of(v as usize) {
+                continue;
+            }
+            settled.push((NodeId(v), d));
+            self.relax_neighbors(g, NodeId(v), d, &cost, dir);
+        }
+        settled
+    }
+
+    fn relax_neighbors<F>(&mut self, g: &RoadGraph, v: NodeId, d: f64, cost: &F, dir: Direction)
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        match dir {
+            Direction::Forward => {
+                for (e, u) in g.out_edges(v) {
+                    let nd = d + cost(g, e);
+                    if nd < self.dist_of(u.index()) {
+                        self.set(u.index(), nd, v.0);
+                        self.heap.push(Reverse((OrdF64::new(nd), u.0)));
+                    }
+                }
+            }
+            Direction::Reverse => {
+                for (e, u) in g.in_edges(v) {
+                    let nd = d + cost(g, e);
+                    if nd < self.dist_of(u.index()) {
+                        self.set(u.index(), nd, v.0);
+                        self.heap.push(Reverse((OrdF64::new(nd), u.0)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn extract_path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut path = vec![to];
+        let mut v = to.0;
+        while v != from.0 {
+            v = self.parent[v as usize];
+            debug_assert_ne!(v, NO_PARENT, "broken parent chain");
+            path.push(NodeId(v));
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+/// Convenience: free-flow cost closure for a metric.
+#[must_use = "the closure does nothing until passed to a search"]
+pub fn metric_cost(metric: CostMetric) -> impl Fn(&RoadGraph, usize) -> f64 + Copy {
+    move |g, e| g.edge_cost(e, metric)
+}

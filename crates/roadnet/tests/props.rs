@@ -1,0 +1,150 @@
+//! Property tests for the shortest-path engine and routes on randomly
+//! generated networks.
+
+use ec_types::NodeId;
+use proptest::prelude::*;
+use roadnet::{
+    metric_cost, urban_grid, CostMetric, Route, SearchEngine, UrbanGridParams,
+};
+
+fn grid(seed: u64, side: usize) -> roadnet::RoadGraph {
+    urban_grid(&UrbanGridParams {
+        cols: side,
+        rows: side,
+        seed,
+        ..UrbanGridParams::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// d(a,c) ≤ d(a,b) + d(b,c) for shortest-path distances (they form a
+    /// quasi-metric).
+    #[test]
+    fn shortest_paths_satisfy_triangle_inequality(
+        seed in 0u64..500, pick in 0u64..1_000_000,
+    ) {
+        let g = grid(seed, 8);
+        let n = g.num_nodes() as u64;
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick / n) % n) as u32);
+        let c = NodeId(((pick / (n * n)) % n) as u32);
+        let mut e = SearchEngine::new();
+        let cost = metric_cost(CostMetric::Distance);
+        let (Some(ab), Some(bc), Some(ac)) = (
+            e.one_to_one(&g, a, b, cost).map(|(c, _)| c),
+            e.one_to_one(&g, b, c, cost).map(|(c, _)| c),
+            e.one_to_one(&g, a, c, cost).map(|(c, _)| c),
+        ) else {
+            // Two-way generator output is connected; still, be safe.
+            return Ok(());
+        };
+        prop_assert!(ac <= ab + bc + 1e-6, "d(a,c)={ac} > {ab}+{bc}");
+    }
+
+    /// Every prefix of a shortest path is itself shortest.
+    #[test]
+    fn prefixes_of_shortest_paths_are_shortest(seed in 0u64..500, pick in 0u64..1_000_000) {
+        let g = grid(seed, 7);
+        let n = g.num_nodes() as u64;
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick / n) % n) as u32);
+        let mut e = SearchEngine::new();
+        let cost = metric_cost(CostMetric::Time);
+        let Some((_, path)) = e.one_to_one(&g, a, b, cost) else { return Ok(()) };
+        if path.len() < 3 {
+            return Ok(());
+        }
+        // Check the middle node's prefix.
+        let mid_idx = path.len() / 2;
+        let mid = path[mid_idx];
+        let direct = e.one_to_one(&g, a, mid, cost).map(|(c, _)| c).unwrap();
+        let route = Route::from_nodes(&g, path[..=mid_idx].to_vec()).unwrap();
+        let via = route.cost(&g, CostMetric::Time);
+        prop_assert!((via - direct).abs() < 1e-6, "prefix cost {via} vs direct {direct}");
+    }
+
+    /// A* always agrees with Dijkstra.
+    #[test]
+    fn astar_equals_dijkstra(seed in 0u64..500, pick in 0u64..1_000_000) {
+        let g = grid(seed, 7);
+        let n = g.num_nodes() as u64;
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick / n) % n) as u32);
+        let mut e = SearchEngine::new();
+        for metric in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy, CostMetric::Co2] {
+            let d = e.one_to_one(&g, a, b, metric_cost(metric)).map(|(c, _)| c);
+            let s = e.astar(&g, a, b, metric).map(|(c, _)| c);
+            match (d, s) {
+                (Some(d), Some(s)) => prop_assert!((d - s).abs() <= d.max(1.0) * 1e-9),
+                (None, None) => {}
+                other => prop_assert!(false, "reachability mismatch {other:?}"),
+            }
+        }
+    }
+
+    /// Bounded forward search returns exactly the nodes whose one-to-one
+    /// distance fits the budget.
+    #[test]
+    fn bounded_matches_one_to_one(seed in 0u64..300, origin_pick in 0u64..1_000, budget_km in 0.5..10.0f64) {
+        let g = grid(seed, 6);
+        let origin = NodeId((origin_pick % g.num_nodes() as u64) as u32);
+        let budget = budget_km * 1_000.0;
+        let mut e = SearchEngine::new();
+        let cost = metric_cost(CostMetric::Distance);
+        let settled: std::collections::HashMap<NodeId, f64> =
+            e.bounded_from(&g, origin, budget, cost).into_iter().collect();
+        for v in 0..g.num_nodes() {
+            let v = NodeId::from_index(v);
+            let direct = e.one_to_one(&g, origin, v, cost).map(|(c, _)| c);
+            match (settled.get(&v), direct) {
+                (Some(&s), Some(d)) => prop_assert!((s - d).abs() < 1e-6),
+                (None, Some(d)) => prop_assert!(d > budget - 1e-6, "missed {v} at {d} within {budget}"),
+                (None, None) => {}
+                (Some(_), None) => prop_assert!(false, "settled unreachable node {v}"),
+            }
+        }
+    }
+
+    /// Route distance parameterisation: point_at(offset) advances
+    /// monotonically and cost_to_offset is monotone non-decreasing.
+    #[test]
+    fn route_parameterisation_is_monotone(seed in 0u64..300, pick in 0u64..1_000_000) {
+        let g = grid(seed, 7);
+        let n = g.num_nodes() as u64;
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick / n) % n) as u32);
+        if a == b { return Ok(()); }
+        let mut e = SearchEngine::new();
+        let Some((_, path)) = e.one_to_one(&g, a, b, metric_cost(CostMetric::Distance)) else {
+            return Ok(());
+        };
+        if path.len() < 2 { return Ok(()); }
+        let route = Route::from_nodes(&g, path).unwrap();
+        let len = route.length_m();
+        let mut last_cost = -1.0;
+        for i in 0..=10 {
+            let off = len * f64::from(i) / 10.0;
+            let c = route.cost_to_offset(&g, CostMetric::Energy, off);
+            prop_assert!(c >= last_cost - 1e-9, "cost decreased along route");
+            last_cost = c;
+        }
+        prop_assert!((route.cost_to_offset(&g, CostMetric::Energy, len)
+            - route.cost(&g, CostMetric::Energy)).abs() < 1e-9);
+    }
+
+    /// Generated graphs are fully routable (largest-component pruning).
+    #[test]
+    fn generated_graphs_are_routable(seed in 0u64..200) {
+        let g = grid(seed, 6);
+        let mut e = SearchEngine::new();
+        let last = NodeId::from_index(g.num_nodes() - 1);
+        prop_assert!(e
+            .one_to_one(&g, NodeId(0), last, metric_cost(CostMetric::Distance))
+            .is_some());
+        prop_assert!(e
+            .one_to_one(&g, last, NodeId(0), metric_cost(CostMetric::Distance))
+            .is_some());
+    }
+}

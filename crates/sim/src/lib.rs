@@ -1,0 +1,32 @@
+//! # `fleetsim` — closed-loop fleet-day simulation
+//!
+//! The paper's evaluation scores Offering Tables *open-loop*: each table
+//! is graded against an oracle, but nobody actually drives to a charger.
+//! This crate closes the loop, in the spirit of the deployment the paper
+//! motivates (§I's taxi/parent/shopper scenarios and §VII's congestion
+//! monitoring): a fleet of battery-modelled vehicles runs scheduled trips
+//! through a simulated day; after each trip the vehicle follows its
+//! charging policy's top feasible offer, *physically occupies* the charger
+//! for its idle window (blocking other vehicles), harvests the solar
+//! energy the 15-minute production series actually delivers, and tops up
+//! from the grid for whatever the sun did not cover.
+//!
+//! The outcome metrics are the system-level quantities the paper's
+//! renewable-hoarding story is about: clean vs grid energy, detour energy
+//! burned, and charger contention events.
+//!
+//! * [`schedule`] — per-vehicle day schedules (trips + idle windows);
+//! * [`occupancy`] — charger busy-interval bookkeeping;
+//! * [`engine`] — the event loop and [`DayOutcome`] metrics;
+//! * [`policy`] — pluggable charging policies (EcoCharge, nearest,
+//!   random).
+
+pub mod engine;
+pub mod occupancy;
+pub mod policy;
+pub mod schedule;
+
+pub use engine::{simulate_day, DayOutcome, FleetSimConfig};
+pub use occupancy::OccupancyBook;
+pub use policy::Policy;
+pub use schedule::{build_schedules, DaySchedule, ScheduleParams};

@@ -1,0 +1,147 @@
+//! Charger busy-interval bookkeeping.
+//!
+//! The availability component estimates *other people's* demand; within
+//! the simulated fleet, occupancy is a hard physical constraint — one
+//! vehicle per plug per interval (capacity per charger kind). The book
+//! records reservations and answers "is b free at [t0, t1)?", which is
+//! how the closed loop turns over-recommended chargers into visible
+//! conflicts.
+
+use chargers::ChargerKind;
+use ec_types::{ChargerId, SimTime};
+use std::collections::HashMap;
+
+/// Plug count per charger kind (a DC plaza parks several cars, a street
+/// AC post one).
+#[must_use]
+pub fn plug_count(kind: ChargerKind) -> usize {
+    match kind {
+        ChargerKind::Ac11 => 1,
+        ChargerKind::Ac22 => 2,
+        ChargerKind::Dc50 => 3,
+        ChargerKind::Dc150 => 4,
+    }
+}
+
+/// Reservation ledger: per charger, the list of busy `[start, end)`
+/// intervals (one entry per occupied plug-interval).
+#[derive(Debug, Default)]
+pub struct OccupancyBook {
+    reservations: HashMap<ChargerId, Vec<(SimTime, SimTime)>>,
+}
+
+impl OccupancyBook {
+    /// An empty book.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many plugs of `charger` are taken during any part of
+    /// `[start, end)`.
+    #[must_use]
+    pub fn concurrent(&self, charger: ChargerId, start: SimTime, end: SimTime) -> usize {
+        self.reservations
+            .get(&charger)
+            .map(|v| v.iter().filter(|&&(s, e)| s < end && start < e).count())
+            .unwrap_or(0)
+    }
+
+    /// Is a plug free for the whole of `[start, end)` given the charger's
+    /// kind?
+    #[must_use]
+    pub fn is_free(&self, charger: ChargerId, kind: ChargerKind, start: SimTime, end: SimTime) -> bool {
+        self.concurrent(charger, start, end) < plug_count(kind)
+    }
+
+    /// Reserve a plug for `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics when `end <= start`.
+    pub fn reserve(&mut self, charger: ChargerId, start: SimTime, end: SimTime) {
+        assert!(end > start, "reservation must have positive duration");
+        self.reservations.entry(charger).or_default().push((start, end));
+    }
+
+    /// Total reservations recorded.
+    #[must_use]
+    pub fn total_reservations(&self) -> usize {
+        self.reservations.values().map(Vec::len).sum()
+    }
+
+    /// Peak simultaneous occupancy observed for `charger`.
+    #[must_use]
+    pub fn peak(&self, charger: ChargerId) -> usize {
+        let Some(v) = self.reservations.get(&charger) else { return 0 };
+        // Sweep over interval endpoints.
+        let mut events: Vec<(SimTime, i32)> = Vec::with_capacity(v.len() * 2);
+        for &(s, e) in v {
+            events.push((s, 1));
+            events.push((e, -1));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta)); // ends (-1) before starts at same t
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn t(h: u64, m: u64) -> SimTime {
+        SimTime::at(0, DayOfWeek::Tue, h, m)
+    }
+
+    #[test]
+    fn single_plug_blocks_overlap() {
+        let mut book = OccupancyBook::new();
+        let b = ChargerId(1);
+        assert!(book.is_free(b, ChargerKind::Ac11, t(10, 0), t(11, 0)));
+        book.reserve(b, t(10, 0), t(11, 0));
+        assert!(!book.is_free(b, ChargerKind::Ac11, t(10, 30), t(11, 30)));
+        // Back-to-back is fine: [10,11) then [11,12).
+        assert!(book.is_free(b, ChargerKind::Ac11, t(11, 0), t(12, 0)));
+        // Disjoint earlier window is fine.
+        assert!(book.is_free(b, ChargerKind::Ac11, t(8, 0), t(9, 0)));
+    }
+
+    #[test]
+    fn multi_plug_kinds_absorb_more() {
+        let mut book = OccupancyBook::new();
+        let b = ChargerId(2);
+        for _ in 0..3 {
+            assert!(book.is_free(b, ChargerKind::Dc50, t(10, 0), t(11, 0)));
+            book.reserve(b, t(10, 0), t(11, 0));
+        }
+        // Dc50 has 3 plugs: a 4th concurrent car is refused.
+        assert!(!book.is_free(b, ChargerKind::Dc50, t(10, 0), t(11, 0)));
+        assert_eq!(book.concurrent(b, t(10, 0), t(11, 0)), 3);
+        assert_eq!(book.peak(b), 3);
+    }
+
+    #[test]
+    fn peak_tracks_maximum_overlap() {
+        let mut book = OccupancyBook::new();
+        let b = ChargerId(3);
+        book.reserve(b, t(9, 0), t(12, 0));
+        book.reserve(b, t(10, 0), t(11, 0));
+        book.reserve(b, t(11, 30), t(13, 0));
+        assert_eq!(book.peak(b), 2);
+        assert_eq!(book.peak(ChargerId(99)), 0);
+        assert_eq!(book.total_reservations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_length_reservation_panics() {
+        let mut book = OccupancyBook::new();
+        book.reserve(ChargerId(0), t(10, 0), t(10, 0));
+    }
+}

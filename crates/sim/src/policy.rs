@@ -1,0 +1,131 @@
+//! Pluggable charging policies.
+//!
+//! A policy answers one question at the end of a leg: *ranked, which
+//! chargers should this vehicle try?* The engine walks the ranking until
+//! it finds a physically free plug — so a policy that concentrates its
+//! recommendations pays in conflicts, not just in score.
+
+use ec_types::{ChargerId, EcError, SimTime};
+use ecocharge_core::{EcoCharge, QueryCtx, RandomPick, RankingMethod};
+use trajgen::Trip;
+
+/// The charging policies the day simulation compares.
+pub enum Policy {
+    /// The paper's method (CkNN-EC + Dynamic Caching).
+    EcoCharge(Box<EcoCharge>),
+    /// Always the spatially nearest chargers (the "just charge close"
+    /// habit the paper wants to improve on).
+    Nearest,
+    /// Uniformly random chargers within the radius.
+    Random(Box<RandomPick>),
+}
+
+impl Policy {
+    /// A fresh EcoCharge policy.
+    #[must_use]
+    pub fn ecocharge() -> Self {
+        Self::EcoCharge(Box::new(EcoCharge::new()))
+    }
+
+    /// A fresh random policy.
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        Self::Random(Box::new(RandomPick::new(seed)))
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::EcoCharge(_) => "EcoCharge",
+            Self::Nearest => "Nearest",
+            Self::Random(_) => "Random",
+        }
+    }
+
+    /// Ranked charger candidates for a vehicle finishing `trip` (queried
+    /// at the final approach), best first.
+    ///
+    /// # Errors
+    /// [`EcError::NoCandidates`] when nothing is in range.
+    pub fn rank(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        now: SimTime,
+    ) -> Result<Vec<ChargerId>, EcError> {
+        let offset = trip.length_m(); // query at the destination
+        match self {
+            Self::EcoCharge(m) => {
+                m.reset_trip();
+                m.offering_table(ctx, trip, offset, now).map(|t| t.charger_ids())
+            }
+            Self::Random(m) => m.offering_table(ctx, trip, offset, now).map(|t| t.charger_ids()),
+            Self::Nearest => {
+                let pos = trip.position_at_offset(ctx.graph, offset);
+                let hits = ctx.fleet.knn(&pos, ctx.config.k);
+                if hits.is_empty() {
+                    return Err(EcError::NoCandidates);
+                }
+                Ok(hits.into_iter().map(|(id, _)| id).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chargers::{synth_fleet, FleetParams};
+    use ecocharge_core::EcoChargeConfig;
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams};
+
+    #[test]
+    fn all_policies_rank_k_candidates() {
+        let graph = urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+        let sims = SimProviders::new(9);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let trip = generate_trips(
+            &graph,
+            &BrinkhoffParams { trips: 1, min_trip_m: 5_000.0, max_trip_m: 9_000.0, ..Default::default() },
+        )
+        .remove(0);
+        for mut policy in [Policy::ecocharge(), Policy::Nearest, Policy::random(4)] {
+            let ranked = policy.rank(&ctx, &trip, trip.arrival(&graph)).unwrap();
+            assert_eq!(ranked.len(), ctx.config.k, "{}", policy.name());
+            let uniq: std::collections::HashSet<_> = ranked.iter().collect();
+            assert_eq!(uniq.len(), ranked.len(), "{}: duplicates", policy.name());
+        }
+    }
+
+    #[test]
+    fn nearest_policy_is_actually_nearest() {
+        let graph = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 40, seed: 3, ..Default::default() });
+        let sims = SimProviders::new(9);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let trip = generate_trips(
+            &graph,
+            &BrinkhoffParams { trips: 1, min_trip_m: 5_000.0, max_trip_m: 9_000.0, ..Default::default() },
+        )
+        .remove(0);
+        let mut policy = Policy::Nearest;
+        let ranked = policy.rank(&ctx, &trip, trip.arrival(&graph)).unwrap();
+        let dest = trip.position_at_offset(&graph, trip.length_m());
+        let mut dists: Vec<f64> =
+            ranked.iter().map(|&c| dest.fast_dist_m(&fleet.get(c).loc)).collect();
+        let sorted = {
+            let mut d = dists.clone();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d
+        };
+        assert_eq!(dists, sorted, "nearest policy must rank by distance");
+        dists.dedup();
+        assert!(!dists.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-vehicle day schedules.
+//!
+//! Each simulated vehicle drives one to three trips over a day, with idle
+//! windows in between — the taxi-between-fares / parent-at-practice /
+//! shopper pattern the paper's introduction motivates as hoarding
+//! opportunities.
+
+use ec_types::{DayOfWeek, SimDuration, SimTime, SplitMix64, VehicleId};
+use roadnet::RoadGraph;
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+/// One vehicle's day: consecutive trips; the idle window after leg `i`
+/// lasts until the departure of leg `i+1` (the final leg gets a fixed
+/// tail window).
+#[derive(Debug, Clone)]
+pub struct DaySchedule {
+    /// The vehicle.
+    pub vehicle: VehicleId,
+    /// The legs, in departure order.
+    pub legs: Vec<Trip>,
+}
+
+impl DaySchedule {
+    /// The idle window following leg `i`, given the network for ETA
+    /// computation: from the leg's arrival to the next leg's departure
+    /// (clamped ≥ 0), or `default_tail` after the last leg.
+    #[must_use]
+    pub fn idle_after(&self, g: &RoadGraph, i: usize, default_tail: SimDuration) -> SimDuration {
+        let arrive = self.legs[i].arrival(g);
+        match self.legs.get(i + 1) {
+            Some(next) => next.depart.saturating_since(arrive),
+            None => default_tail,
+        }
+    }
+}
+
+/// Parameters for [`build_schedules`].
+#[derive(Debug, Clone)]
+pub struct ScheduleParams {
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Day the simulation runs on.
+    pub day: DayOfWeek,
+    /// Trip-length band, metres.
+    pub trip_band_m: (f64, f64),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScheduleParams {
+    fn default() -> Self {
+        Self { vehicles: 20, day: DayOfWeek::Tue, trip_band_m: (4_000.0, 12_000.0), seed: 1 }
+    }
+}
+
+/// Build one schedule per vehicle: 1–3 legs between 07:00 and 19:00 with
+/// 1–3 h gaps. Deterministic in the seed.
+///
+/// # Panics
+/// Panics when `vehicles` is zero.
+#[must_use]
+pub fn build_schedules(g: &RoadGraph, params: &ScheduleParams) -> Vec<DaySchedule> {
+    assert!(params.vehicles > 0, "need at least one vehicle");
+    let mut rng = SplitMix64::new(ec_types::rng::subseed(params.seed, 31));
+    // One big trip pool, then deal legs out to vehicles.
+    let legs_per_vehicle: Vec<usize> =
+        (0..params.vehicles).map(|_| 1 + rng.below(3) as usize).collect();
+    let total: usize = legs_per_vehicle.iter().sum();
+    let pool = generate_trips(
+        g,
+        &BrinkhoffParams {
+            trips: total,
+            min_trip_m: params.trip_band_m.0,
+            max_trip_m: params.trip_band_m.1,
+            window_start: SimTime::at(0, params.day, 7, 0),
+            window_secs: 1, // departures are re-timed below
+            seed: ec_types::rng::subseed(params.seed, 32),
+        },
+    );
+
+    let mut pool = pool.into_iter();
+    legs_per_vehicle
+        .into_iter()
+        .enumerate()
+        .map(|(v, n_legs)| {
+            let vehicle = VehicleId::from_index(v);
+            let mut depart = SimTime::at(0, params.day, 7, 0)
+                + SimDuration::from_mins(rng.below(4 * 60));
+            let legs = (0..n_legs)
+                .map(|_| {
+                    let mut trip = pool.next().expect("pool sized to total legs");
+                    trip.vehicle = vehicle;
+                    trip.depart = depart;
+                    // Next leg departs after this one plus a 1–3 h idle.
+                    let travel = trip.route.cost(g, roadnet::CostMetric::Time);
+                    depart = depart
+                        + SimDuration::from_secs_f64(travel)
+                        + SimDuration::from_mins(60 + rng.below(121));
+                    trip
+                })
+                .collect();
+            DaySchedule { vehicle, legs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{urban_grid, UrbanGridParams};
+
+    fn graph() -> RoadGraph {
+        urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() })
+    }
+
+    #[test]
+    fn one_schedule_per_vehicle_legs_ordered() {
+        let g = graph();
+        let schedules = build_schedules(&g, &ScheduleParams { vehicles: 12, ..Default::default() });
+        assert_eq!(schedules.len(), 12);
+        for (i, s) in schedules.iter().enumerate() {
+            assert_eq!(s.vehicle.index(), i);
+            assert!((1..=3).contains(&s.legs.len()));
+            for leg in &s.legs {
+                assert_eq!(leg.vehicle, s.vehicle);
+            }
+            for w in s.legs.windows(2) {
+                assert!(
+                    w[1].depart > w[0].arrival(&g),
+                    "legs overlap: next departs before previous arrives"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_windows_are_positive_between_legs() {
+        let g = graph();
+        let schedules = build_schedules(&g, &ScheduleParams { vehicles: 10, seed: 5, ..Default::default() });
+        for s in &schedules {
+            for i in 0..s.legs.len() {
+                let idle = s.idle_after(&g, i, SimDuration::from_hours(1));
+                if i + 1 < s.legs.len() {
+                    assert!(idle.as_secs() >= 60 * 60, "gaps were drawn ≥ 1 h");
+                } else {
+                    assert_eq!(idle, SimDuration::from_hours(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = graph();
+        let a = build_schedules(&g, &ScheduleParams::default());
+        let b = build_schedules(&g, &ScheduleParams::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.legs.len(), y.legs.len());
+            for (p, q) in x.legs.iter().zip(&y.legs) {
+                assert_eq!(p.depart, q.depart);
+                assert_eq!(p.route.nodes(), q.route.nodes());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_vehicles_panics() {
+        let g = graph();
+        let _ = build_schedules(&g, &ScheduleParams { vehicles: 0, ..Default::default() });
+    }
+}

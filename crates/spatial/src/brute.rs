@@ -1,0 +1,96 @@
+//! Linear-scan reference queries.
+//!
+//! These are (a) the *Brute-Force* baseline of the paper's evaluation —
+//! "performs an exhaustive search over the entire pool of chargers" — and
+//! (b) the oracle the property tests compare the quadtree and grid against.
+
+use crate::Hit;
+use ec_types::GeoPoint;
+
+/// Exhaustive k-nearest-neighbour scan. Returns up to `k` hits sorted by
+/// ascending distance (ties broken by scan order, which is insertion
+/// order — the same tie rule the indexes use).
+#[must_use]
+pub fn knn_scan<'a, T>(items: &'a [(GeoPoint, T)], query: &GeoPoint, k: usize) -> Vec<Hit<'a, T>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut hits: Vec<Hit<'a, T>> = items
+        .iter()
+        .map(|(pos, item)| Hit { item, pos: *pos, dist_m: query.fast_dist_m(pos) })
+        .collect();
+    // Stable sort keeps insertion order among equidistant items.
+    hits.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("distances are finite"));
+    hits.truncate(k);
+    hits
+}
+
+/// Exhaustive radius scan: all items within `radius_m` of `query`,
+/// sorted by ascending distance.
+#[must_use]
+pub fn range_scan<'a, T>(
+    items: &'a [(GeoPoint, T)],
+    query: &GeoPoint,
+    radius_m: f64,
+) -> Vec<Hit<'a, T>> {
+    let mut hits: Vec<Hit<'a, T>> = items
+        .iter()
+        .filter_map(|(pos, item)| {
+            let d = query.fast_dist_m(pos);
+            (d <= radius_m).then_some(Hit { item, pos: *pos, dist_m: d })
+        })
+        .collect();
+    hits.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("distances are finite"));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items() -> Vec<(GeoPoint, u32)> {
+        let origin = GeoPoint::new(8.2, 53.1);
+        (0..10u32).map(|i| (origin.offset_m(f64::from(i) * 1_000.0, 0.0), i)).collect()
+    }
+
+    #[test]
+    fn knn_returns_k_sorted() {
+        let its = items();
+        let q = GeoPoint::new(8.2, 53.1);
+        let hits = knn_scan(&its, &q, 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(*hits[0].item, 0);
+        assert_eq!(*hits[1].item, 1);
+        assert_eq!(*hits[2].item, 2);
+        assert!(hits[0].dist_m <= hits[1].dist_m && hits[1].dist_m <= hits[2].dist_m);
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let its = items();
+        let q = GeoPoint::new(8.2, 53.1);
+        assert_eq!(knn_scan(&its, &q, 100).len(), 10);
+    }
+
+    #[test]
+    fn knn_k_zero_is_empty() {
+        let its = items();
+        assert!(knn_scan(&its, &GeoPoint::new(8.2, 53.1), 0).is_empty());
+    }
+
+    #[test]
+    fn range_filters_by_radius() {
+        let its = items();
+        let q = GeoPoint::new(8.2, 53.1);
+        let hits = range_scan(&its, &q, 2_500.0);
+        assert_eq!(hits.len(), 3); // 0 km, 1 km, 2 km
+        assert!(hits.iter().all(|h| h.dist_m <= 2_500.0));
+    }
+
+    #[test]
+    fn range_empty_when_radius_zero_and_no_colocated() {
+        let its = items();
+        let q = GeoPoint::new(9.9, 53.9);
+        assert!(range_scan(&its, &q, 0.0).is_empty());
+    }
+}

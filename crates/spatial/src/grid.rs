@@ -1,0 +1,334 @@
+//! A uniform grid index with ring-expansion search.
+//!
+//! The related work EcoCharge builds on (Mouratidis et al., Xiong et al.,
+//! Yu et al. — §VI-B) indexes moving objects in a main-memory regular grid
+//! and answers kNN by iteratively deepening a range search outward from the
+//! query cell. [`GridIndex`] is that structure. It also serves as the
+//! nearest-node snapper for road networks, where queries are always close
+//! to an indexed point and the ring search terminates after one or two
+//! rings.
+
+use crate::Hit;
+use ec_types::{BoundingBox, GeoPoint};
+
+/// A uniform grid over a bounding box, storing payloads `T` at point
+/// positions.
+#[derive(Debug)]
+pub struct GridIndex<T> {
+    items: Vec<(GeoPoint, T)>,
+    cells: Vec<Vec<u32>>,
+    bounds: BoundingBox,
+    cols: usize,
+    rows: usize,
+    /// Requested cell edge length, metres (used to size range scans).
+    cell_m: f64,
+    /// Conservative lower bound on the true metric size of one cell step,
+    /// metres. Sound for the ring-search termination test even though
+    /// longitude cells shrink towards the poles.
+    min_cell_m: f64,
+}
+
+impl<T> GridIndex<T> {
+    /// Build a grid over `items` with cells of roughly `cell_m` metres.
+    ///
+    /// # Panics
+    /// Panics when `cell_m` is not strictly positive.
+    #[must_use]
+    pub fn build(items: Vec<(GeoPoint, T)>, cell_m: f64) -> Self {
+        assert!(cell_m > 0.0, "cell size must be positive, got {cell_m}");
+        let bounds = BoundingBox::of_points(items.iter().map(|(p, _)| *p))
+            .unwrap_or_else(|| BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)));
+        let cols = ((bounds.width_m() / cell_m).ceil() as usize).max(1);
+        let rows = ((bounds.height_m() / cell_m).ceil() as usize).max(1);
+        // True cell extents: width measured at the latitude where lon
+        // degrees are narrowest (largest |lat|), height from the lat span.
+        let worst_lat = bounds.min.lat.abs().max(bounds.max.lat.abs()).min(89.0);
+        let lon_span_deg = bounds.max.lon - bounds.min.lon;
+        let cell_w_m = if lon_span_deg > 0.0 {
+            lon_span_deg.to_radians() * worst_lat.to_radians().cos() * ec_types::EARTH_RADIUS_M
+                / cols as f64
+        } else {
+            f64::INFINITY
+        };
+        let cell_h_m = if bounds.max.lat > bounds.min.lat {
+            (bounds.max.lat - bounds.min.lat).to_radians() * ec_types::EARTH_RADIUS_M / rows as f64
+        } else {
+            f64::INFINITY
+        };
+        let min_cell_m = cell_w_m.min(cell_h_m).min(cell_m);
+        let mut grid = Self {
+            items: Vec::new(),
+            cells: vec![Vec::new(); cols * rows],
+            bounds,
+            cols,
+            rows,
+            cell_m,
+            min_cell_m,
+        };
+        for (pos, item) in items {
+            let idx = u32::try_from(grid.items.len()).expect("grid capacity exceeded");
+            let cell = grid.cell_of(&pos);
+            grid.cells[cell].push(idx);
+            grid.items.push((pos, item));
+        }
+        grid
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    #[must_use]
+    pub const fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The cell edge length requested at construction, metres.
+    #[must_use]
+    pub const fn cell_size_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    fn col_row(&self, p: &GeoPoint) -> (usize, usize) {
+        let fx = if self.bounds.max.lon > self.bounds.min.lon {
+            (p.lon - self.bounds.min.lon) / (self.bounds.max.lon - self.bounds.min.lon)
+        } else {
+            0.0
+        };
+        let fy = if self.bounds.max.lat > self.bounds.min.lat {
+            (p.lat - self.bounds.min.lat) / (self.bounds.max.lat - self.bounds.min.lat)
+        } else {
+            0.0
+        };
+        let col = ((fx * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let row = ((fy * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize;
+        (col, row)
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> usize {
+        let (col, row) = self.col_row(p);
+        row * self.cols + col
+    }
+
+    /// The nearest payload to `query`, or `None` on an empty index.
+    ///
+    /// Ring expansion: examine the query cell, then the square ring of
+    /// cells around it, widening until the best candidate found so far is
+    /// provably closer than anything an unexamined ring could hold.
+    #[must_use]
+    pub fn nearest(&self, query: &GeoPoint) -> Option<Hit<'_, T>> {
+        self.knn(query, 1).into_iter().next()
+    }
+
+    /// The `k` nearest payloads, sorted by ascending distance, via
+    /// iteratively deepened ring search.
+    #[must_use]
+    pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<Hit<'_, T>> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let (qc, qr) = self.col_row(query);
+        let max_ring = self.cols.max(self.rows);
+        let mut best: Vec<Hit<'_, T>> = Vec::new();
+        for ring in 0..=max_ring {
+            let mut examined_any = false;
+            self.for_ring_cells(qc, qr, ring, |cell| {
+                examined_any = true;
+                for &idx in &self.cells[cell] {
+                    let (pos, ref item) = self.items[idx as usize];
+                    let d = query.fast_dist_m(&pos);
+                    // Insertion sort into the running top-k: k is small in
+                    // all EcoCharge uses (k ≤ ~20).
+                    let at = best.partition_point(|h| h.dist_m <= d);
+                    if at < k {
+                        best.insert(at, Hit { item, pos, dist_m: d });
+                        best.truncate(k);
+                    }
+                }
+            });
+            // Termination: any point in ring r+1 is at least r*cell_m away
+            // (conservative: ring r cells start at (r-1)*cell_m from the
+            // query cell's own cell; subtract one cell for the query's
+            // offset within its cell).
+            if best.len() == k {
+                // Any point in an unexamined ring (> ring) lies at least
+                // `ring * min_cell_m` from the query cell; keep one extra
+                // cell of slack for the query's offset within its own cell.
+                let ring_floor_m = (ring as f64 - 1.0) * self.min_cell_m;
+                if best[k - 1].dist_m <= ring_floor_m {
+                    break;
+                }
+            }
+            if !examined_any && ring > self.cols + self.rows {
+                break;
+            }
+        }
+        best
+    }
+
+    /// All payloads within `radius_m` of `query`, sorted by ascending
+    /// distance.
+    #[must_use]
+    pub fn range(&self, query: &GeoPoint, radius_m: f64) -> Vec<Hit<'_, T>> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let (qc, qr) = self.col_row(query);
+        let ring_span = (radius_m / self.min_cell_m).ceil() as usize + 1;
+        let mut out = Vec::new();
+        for ring in 0..=ring_span.min(self.cols.max(self.rows)) {
+            self.for_ring_cells(qc, qr, ring, |cell| {
+                for &idx in &self.cells[cell] {
+                    let (pos, ref item) = self.items[idx as usize];
+                    let d = query.fast_dist_m(&pos);
+                    if d <= radius_m {
+                        out.push(Hit { item, pos, dist_m: d });
+                    }
+                }
+            });
+        }
+        out.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("distances are finite"));
+        out
+    }
+
+    /// Visit every cell of the square ring at Chebyshev distance `ring`
+    /// from `(qc, qr)`, clipped to the grid.
+    fn for_ring_cells(&self, qc: usize, qr: usize, ring: usize, mut f: impl FnMut(usize)) {
+        let (qc, qr, ring) = (qc as isize, qr as isize, ring as isize);
+        let in_grid = |c: isize, r: isize| {
+            c >= 0 && r >= 0 && (c as usize) < self.cols && (r as usize) < self.rows
+        };
+        if ring == 0 {
+            if in_grid(qc, qr) {
+                f(qr as usize * self.cols + qc as usize);
+            }
+            return;
+        }
+        for c in (qc - ring)..=(qc + ring) {
+            for &r in &[qr - ring, qr + ring] {
+                if in_grid(c, r) {
+                    f(r as usize * self.cols + c as usize);
+                }
+            }
+        }
+        for r in (qr - ring + 1)..=(qr + ring - 1) {
+            for &c in &[qc - ring, qc + ring] {
+                if in_grid(c, r) {
+                    f(r as usize * self.cols + c as usize);
+                }
+            }
+        }
+    }
+
+    /// Iterate over all `(position, payload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(GeoPoint, T)> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use ec_types::SplitMix64;
+
+    fn random_items(n: usize, seed: u64) -> Vec<(GeoPoint, u32)> {
+        let mut rng = SplitMix64::new(seed);
+        let origin = GeoPoint::new(8.0, 53.0);
+        (0..n)
+            .map(|i| {
+                let p = origin.offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+                (p, u32::try_from(i).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g: GridIndex<u32> = GridIndex::build(Vec::new(), 1_000.0);
+        assert!(g.is_empty());
+        assert!(g.nearest(&GeoPoint::new(0.5, 0.5)).is_none());
+        assert!(g.range(&GeoPoint::new(0.5, 0.5), 1e6).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let items = random_items(400, 21);
+        let grid = GridIndex::build(items.clone(), 2_000.0);
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..25 {
+            let q = GeoPoint::new(8.0, 53.0)
+                .offset_m(rng.range_f64(-5_000.0, 50_000.0), rng.range_f64(-5_000.0, 40_000.0));
+            let got = grid.nearest(&q).unwrap();
+            let want = &brute::knn_scan(&items, &q, 1)[0];
+            assert_eq!(got.item, want.item, "query {q}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let items = random_items(300, 5);
+        let grid = GridIndex::build(items.clone(), 3_000.0);
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..15 {
+            let q = GeoPoint::new(8.0, 53.0)
+                .offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+            let got: Vec<u32> = grid.knn(&q, 8).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> = brute::knn_scan(&items, &q, 8).iter().map(|h| *h.item).collect();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let items = random_items(250, 31);
+        let grid = GridIndex::build(items.clone(), 1_500.0);
+        let q = GeoPoint::new(8.0, 53.0).offset_m(22_000.0, 18_000.0);
+        for radius in [500.0, 4_000.0, 12_000.0] {
+            let got: Vec<u32> = grid.range(&q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn single_item_grid() {
+        let p = GeoPoint::new(8.0, 53.0);
+        let grid = GridIndex::build(vec![(p, 42u32)], 1_000.0);
+        assert_eq!(grid.dims(), (1, 1));
+        let hit = grid.nearest(&p.offset_m(10_000.0, 0.0)).unwrap();
+        assert_eq!(*hit.item, 42);
+    }
+
+    #[test]
+    fn query_far_outside_bounds_still_finds_nearest() {
+        let items = random_items(50, 2);
+        let grid = GridIndex::build(items.clone(), 2_000.0);
+        let q = GeoPoint::new(9.5, 54.2); // well outside the data box
+        let got = grid.nearest(&q).unwrap();
+        let want = &brute::knn_scan(&items, &q, 1)[0];
+        assert_eq!(got.item, want.item);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _: GridIndex<u32> = GridIndex::build(Vec::new(), 0.0);
+    }
+
+    #[test]
+    fn k_exceeds_n() {
+        let items = random_items(5, 6);
+        let grid = GridIndex::build(items, 2_000.0);
+        assert_eq!(grid.knn(&GeoPoint::new(8.1, 53.05), 50).len(), 5);
+    }
+}

@@ -1,0 +1,302 @@
+//! A 2-d tree (kd-tree) over geographic points.
+//!
+//! Complements the quadtree and the grid: median-split construction gives
+//! a balanced tree regardless of point distribution (the quadtree's depth
+//! follows data density; the grid's cost follows cell occupancy), which
+//! makes the kd-tree the most robust choice for heavily skewed charger
+//! fleets (everything downtown, nothing in the hills).
+//!
+//! Distances are metres via the workspace's equirectangular metric.
+//! Splitting-plane pruning uses a *conservative* metric conversion (the
+//! smallest metres-per-degree over the indexed region, with slack), so
+//! pruning can only skip subtrees that provably hold no closer point —
+//! the property tests cross-validate against the linear scan.
+
+use crate::{Hit, OrdF64};
+use ec_types::{BoundingBox, GeoPoint, EARTH_RADIUS_M};
+use std::collections::BinaryHeap;
+
+/// Points per leaf before recursion stops.
+const LEAF_SIZE: usize = 12;
+
+/// A balanced 2-d tree over payloads `T`.
+#[derive(Debug)]
+pub struct KdTree<T> {
+    /// Reordered points; tree structure is implicit in the ranges.
+    items: Vec<(GeoPoint, T)>,
+    /// Conservative metres per degree of longitude over the region.
+    lon_m_per_deg: f64,
+    /// Metres per degree of latitude (constant).
+    lat_m_per_deg: f64,
+}
+
+impl<T> KdTree<T> {
+    /// Build from a list of positioned payloads (consumed and reordered).
+    #[must_use]
+    pub fn bulk(mut items: Vec<(GeoPoint, T)>) -> Self {
+        let bounds = BoundingBox::of_points(items.iter().map(|(p, _)| *p))
+            .unwrap_or_else(|| BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)));
+        // Narrowest longitude degrees occur at the largest |lat|; a 0.5 %
+        // slack absorbs the pair-mean-latitude wobble of fast_dist_m.
+        let worst_lat = bounds.min.lat.abs().max(bounds.max.lat.abs()).min(89.0);
+        let lon_m_per_deg =
+            EARTH_RADIUS_M * worst_lat.to_radians().cos() * std::f64::consts::PI / 180.0 * 0.995;
+        let lat_m_per_deg = EARTH_RADIUS_M * std::f64::consts::PI / 180.0 * 0.995;
+        let n = items.len();
+        if n > 0 {
+            build(&mut items, 0, n, 0);
+        }
+        Self { items, lon_m_per_deg, lat_m_per_deg }
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Conservative metric distance from `query` to the splitting plane
+    /// at `value` on `axis` (0 = lon, 1 = lat) — never an over-estimate.
+    fn plane_dist_m(&self, query: &GeoPoint, axis: usize, value: f64) -> f64 {
+        if axis == 0 {
+            (query.lon - value).abs() * self.lon_m_per_deg
+        } else {
+            (query.lat - value).abs() * self.lat_m_per_deg
+        }
+    }
+
+    /// The `k` nearest payloads, sorted by ascending distance.
+    #[must_use]
+    pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<Hit<'_, T>> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the best k found so far.
+        let mut best: BinaryHeap<(OrdF64, usize)> = BinaryHeap::new();
+        self.knn_rec(query, k, 0, self.items.len(), 0, &mut best);
+        let mut hits: Vec<Hit<'_, T>> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(d, i)| Hit { item: &self.items[i].1, pos: self.items[i].0, dist_m: d.get() })
+            .collect();
+        // into_sorted_vec is ascending already; ties need insertion-order
+        // stabilisation to match the brute scan.
+        hits.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("finite distances"));
+        hits
+    }
+
+    fn knn_rec(
+        &self,
+        query: &GeoPoint,
+        k: usize,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        best: &mut BinaryHeap<(OrdF64, usize)>,
+    ) {
+        if hi - lo <= LEAF_SIZE {
+            for i in lo..hi {
+                consider(query, &self.items, i, k, best);
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        consider(query, &self.items, mid, k, best);
+        let axis = depth % 2;
+        let split = axis_value(&self.items[mid].0, axis);
+        let qv = axis_value(query, axis);
+        let (near, far) = if qv <= split { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        self.knn_rec(query, k, near.0, near.1, depth + 1, best);
+        // Visit the far side only if the plane is closer than the current
+        // k-th best (or we still need more candidates).
+        let need_more = best.len() < k;
+        let kth = best.peek().map_or(f64::INFINITY, |(d, _)| d.get());
+        if need_more || self.plane_dist_m(query, axis, split) <= kth {
+            self.knn_rec(query, k, far.0, far.1, depth + 1, best);
+        }
+    }
+
+    /// All payloads within `radius_m` of `query`, sorted by ascending
+    /// distance.
+    #[must_use]
+    pub fn range(&self, query: &GeoPoint, radius_m: f64) -> Vec<Hit<'_, T>> {
+        let mut out = Vec::new();
+        if !self.is_empty() {
+            self.range_rec(query, radius_m, 0, self.items.len(), 0, &mut out);
+        }
+        out.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("finite distances"));
+        out
+    }
+
+    fn range_rec<'a>(
+        &'a self,
+        query: &GeoPoint,
+        radius_m: f64,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        out: &mut Vec<Hit<'a, T>>,
+    ) {
+        if hi - lo <= LEAF_SIZE {
+            for i in lo..hi {
+                let d = query.fast_dist_m(&self.items[i].0);
+                if d <= radius_m {
+                    out.push(Hit { item: &self.items[i].1, pos: self.items[i].0, dist_m: d });
+                }
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let d = query.fast_dist_m(&self.items[mid].0);
+        if d <= radius_m {
+            out.push(Hit { item: &self.items[mid].1, pos: self.items[mid].0, dist_m: d });
+        }
+        let axis = depth % 2;
+        let split = axis_value(&self.items[mid].0, axis);
+        let plane = self.plane_dist_m(query, axis, split);
+        let qv = axis_value(query, axis);
+        if qv <= split {
+            self.range_rec(query, radius_m, lo, mid, depth + 1, out);
+            if plane <= radius_m {
+                self.range_rec(query, radius_m, mid + 1, hi, depth + 1, out);
+            }
+        } else {
+            self.range_rec(query, radius_m, mid + 1, hi, depth + 1, out);
+            if plane <= radius_m {
+                self.range_rec(query, radius_m, lo, mid, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn axis_value(p: &GeoPoint, axis: usize) -> f64 {
+    if axis == 0 {
+        p.lon
+    } else {
+        p.lat
+    }
+}
+
+/// Offer item `i` to the running top-k.
+fn consider<T>(
+    query: &GeoPoint,
+    items: &[(GeoPoint, T)],
+    i: usize,
+    k: usize,
+    best: &mut BinaryHeap<(OrdF64, usize)>,
+) {
+    let d = OrdF64::new(query.fast_dist_m(&items[i].0));
+    if best.len() < k {
+        best.push((d, i));
+    } else if let Some(&(worst, _)) = best.peek() {
+        if d < worst {
+            best.pop();
+            best.push((d, i));
+        }
+    }
+}
+
+/// Median-split build: after the call, `items[(lo+hi)/2]` is the median
+/// of the range on the depth's axis and the halves recurse.
+fn build<T>(items: &mut [(GeoPoint, T)], lo: usize, hi: usize, depth: usize) {
+    if hi - lo <= LEAF_SIZE {
+        return;
+    }
+    let axis = depth % 2;
+    let mid = (lo + hi) / 2;
+    items[lo..hi].select_nth_unstable_by(mid - lo, |a, b| {
+        axis_value(&a.0, axis)
+            .partial_cmp(&axis_value(&b.0, axis))
+            .expect("finite coordinates")
+    });
+    build(items, lo, mid, depth + 1);
+    build(items, mid + 1, hi, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use ec_types::SplitMix64;
+
+    fn random_items(n: usize, seed: u64) -> Vec<(GeoPoint, u32)> {
+        let mut rng = SplitMix64::new(seed);
+        let origin = GeoPoint::new(8.0, 53.0);
+        (0..n)
+            .map(|i| {
+                let p = origin.offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+                (p, u32::try_from(i).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t: KdTree<u32> = KdTree::bulk(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.knn(&GeoPoint::new(0.5, 0.5), 3).is_empty());
+        let one = KdTree::bulk(vec![(GeoPoint::new(8.0, 53.0), 7u32)]);
+        let hits = one.knn(&GeoPoint::new(8.1, 53.1), 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(*hits[0].item, 7);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let items = random_items(400, 42);
+        let tree = KdTree::bulk(items.clone());
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..25 {
+            let q = GeoPoint::new(8.0, 53.0)
+                .offset_m(rng.range_f64(-5_000.0, 50_000.0), rng.range_f64(-5_000.0, 40_000.0));
+            let got: Vec<u32> = tree.knn(&q, 9).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> = brute::knn_scan(&items, &q, 9).iter().map(|h| *h.item).collect();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let items = random_items(300, 9);
+        let tree = KdTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0).offset_m(20_000.0, 15_000.0);
+        for radius in [0.0, 1_500.0, 8_000.0, 60_000.0] {
+            let got: Vec<u32> = tree.range(&q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn skewed_cluster_is_handled() {
+        // 90 % of points in one tiny block — the distribution that hurts a
+        // quadtree's depth. The kd-tree must stay exact.
+        let mut rng = SplitMix64::new(5);
+        let origin = GeoPoint::new(8.0, 53.0);
+        let mut items: Vec<(GeoPoint, u32)> = (0..270u32)
+            .map(|i| (origin.offset_m(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0)), i))
+            .collect();
+        items.extend((270..300u32).map(|i| {
+            (origin.offset_m(rng.range_f64(0.0, 40_000.0), rng.range_f64(0.0, 40_000.0)), i)
+        }));
+        let tree = KdTree::bulk(items.clone());
+        let q = origin.offset_m(150.0, 150.0);
+        let got: Vec<u32> = tree.knn(&q, 12).iter().map(|h| *h.item).collect();
+        let want: Vec<u32> = brute::knn_scan(&items, &q, 12).iter().map(|h| *h.item).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_zero_and_k_exceeding_n() {
+        let items = random_items(6, 1);
+        let tree = KdTree::bulk(items);
+        assert!(tree.knn(&GeoPoint::new(8.0, 53.0), 0).is_empty());
+        assert_eq!(tree.knn(&GeoPoint::new(8.0, 53.0), 50).len(), 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! # `spatial-index` — spatial indexes for charger lookup
+//!
+//! The paper's evaluation compares three access paths over the charger set
+//! `B` (§V-A): an exhaustive **Brute-Force** scan, an **Index-Quadtree**
+//! ("a specialized tree data structure used for partitioning a
+//! two-dimensional space", improving lookup from `O(n)` to `O(log n)`),
+//! and EcoCharge's cached candidate sets. This crate provides:
+//!
+//! * [`QuadTree`] — a point-region quadtree with bucketed leaves, best-first
+//!   k-nearest-neighbour search and radius range queries (the
+//!   Index-Quadtree baseline and the filtering-phase index);
+//! * [`GridIndex`] — a uniform grid with ring-expansion nearest search, the
+//!   classic main-memory CkNN structure (Mouratidis et al., Xiong et al.,
+//!   cited in §VI-B) and the structure `roadnet` uses for nearest-node
+//!   snapping;
+//! * [`KdTree`] — a median-split balanced 2-d tree, robust to the heavily
+//!   skewed point distributions real charger fleets have;
+//! * [`brute`] — linear-scan reference implementations the property tests
+//!   compare the indexes against.
+//!
+//! All indexes are generic over a payload `T` and position points by
+//! [`ec_types::GeoPoint`]; distances are metres (equirectangular
+//! — see `ec-types`).
+
+pub mod brute;
+pub mod grid;
+pub mod kdtree;
+pub mod ordf64;
+pub mod quadtree;
+
+pub use brute::{knn_scan, range_scan};
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use ordf64::OrdF64;
+pub use quadtree::QuadTree;
+
+use ec_types::GeoPoint;
+
+/// A search hit: payload reference plus the indexed position and its
+/// distance from the query point in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit<'a, T> {
+    /// The indexed payload.
+    pub item: &'a T,
+    /// The indexed position.
+    pub pos: GeoPoint,
+    /// Distance from the query point, metres.
+    pub dist_m: f64,
+}

@@ -1,0 +1,73 @@
+//! A total-order wrapper for finite `f64` priorities.
+//!
+//! `BinaryHeap` needs `Ord`; distances are `f64`. [`OrdF64`] asserts
+//! finiteness at construction, which makes the `Ord` implementation sound.
+
+use std::cmp::Ordering;
+
+/// A finite `f64` with a total order, usable as a heap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wrap a finite value.
+    ///
+    /// # Panics
+    /// Panics on NaN or infinity.
+    #[must_use]
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "OrdF64 requires a finite value, got {v}");
+        Self(v)
+    }
+
+    /// The wrapped value.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finiteness is guaranteed by the constructor.
+        self.0.partial_cmp(&other.0).expect("finite floats always compare")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64::new(1.0) < OrdF64::new(2.0));
+        assert_eq!(OrdF64::new(3.5).get(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn works_in_binary_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(OrdF64::new(v)));
+        }
+        assert_eq!(h.pop().unwrap().0.get(), 1.0);
+        assert_eq!(h.pop().unwrap().0.get(), 2.0);
+        assert_eq!(h.pop().unwrap().0.get(), 3.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! A point-region (PR) quadtree with bucketed leaves.
+//!
+//! This is the paper's *Index-Quadtree* baseline: a tree "partitioning a
+//! two-dimensional space" that improves charger lookup from `O(n)` to
+//! `O(log n)` (§V-A). Leaves hold up to `bucket` points; inserting into a
+//! full leaf splits it into four quadrants, up to `max_depth`, after which
+//! the leaf simply overflows (this keeps pathological co-located point sets
+//! safe).
+//!
+//! Queries:
+//! * [`QuadTree::knn`] — best-first search using a min-heap keyed by the
+//!   minimum possible distance of each node's bounding box, the standard
+//!   optimal kNN traversal;
+//! * [`QuadTree::range`] — radius query by box/circle overlap pruning.
+
+use crate::{Hit, OrdF64};
+use ec_types::{BoundingBox, GeoPoint};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default leaf capacity before splitting.
+pub const DEFAULT_BUCKET: usize = 16;
+/// Default maximum tree depth.
+pub const DEFAULT_MAX_DEPTH: usize = 16;
+
+#[derive(Debug)]
+enum Node {
+    Leaf { entries: Vec<u32> },
+    Internal { children: [usize; 4] },
+}
+
+/// A PR-quadtree over payloads `T`, keyed by [`GeoPoint`] positions.
+///
+/// ```
+/// use ec_types::GeoPoint;
+/// use spatial_index::QuadTree;
+///
+/// let origin = GeoPoint::new(8.2, 53.1);
+/// let tree = QuadTree::bulk(
+///     (0..100u32).map(|i| (origin.offset_m(f64::from(i) * 500.0, 0.0), i)).collect(),
+/// );
+/// let nearest = tree.knn(&origin, 3);
+/// assert_eq!(*nearest[0].item, 0);
+/// assert!(nearest[2].dist_m <= 1_100.0);
+/// assert_eq!(tree.range(&origin, 1_600.0).len(), 4); // 0, 500, 1000, 1500 m
+/// ```
+#[derive(Debug)]
+pub struct QuadTree<T> {
+    items: Vec<(GeoPoint, T)>,
+    nodes: Vec<Node>,
+    boxes: Vec<BoundingBox>,
+    bounds: BoundingBox,
+    bucket: usize,
+    max_depth: usize,
+}
+
+impl<T> QuadTree<T> {
+    /// An empty tree over the region `bounds` with default tuning.
+    #[must_use]
+    pub fn new(bounds: BoundingBox) -> Self {
+        Self::with_params(bounds, DEFAULT_BUCKET, DEFAULT_MAX_DEPTH)
+    }
+
+    /// An empty tree with explicit leaf capacity and depth limit.
+    ///
+    /// # Panics
+    /// Panics when `bucket == 0`.
+    #[must_use]
+    pub fn with_params(bounds: BoundingBox, bucket: usize, max_depth: usize) -> Self {
+        assert!(bucket > 0, "bucket capacity must be positive");
+        Self {
+            items: Vec::new(),
+            nodes: vec![Node::Leaf { entries: Vec::new() }],
+            boxes: vec![bounds],
+            bounds,
+            bucket,
+            max_depth,
+        }
+    }
+
+    /// Build a tree from a list of positioned payloads, sizing the bounds
+    /// to the data extent (or an empty tree over a unit box when `items`
+    /// is empty).
+    #[must_use]
+    pub fn bulk(items: Vec<(GeoPoint, T)>) -> Self {
+        let bounds = BoundingBox::of_points(items.iter().map(|(p, _)| *p))
+            .unwrap_or_else(|| BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)));
+        let mut tree = Self::new(bounds);
+        for (pos, item) in items {
+            tree.insert(pos, item);
+        }
+        tree
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The region this tree covers.
+    #[must_use]
+    pub const fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// Insert a payload at `pos`.
+    ///
+    /// # Panics
+    /// Panics when `pos` lies outside the tree bounds — the region is fixed
+    /// at construction (size it from the data with [`QuadTree::bulk`]).
+    pub fn insert(&mut self, pos: GeoPoint, item: T) {
+        assert!(
+            self.bounds.contains(&pos),
+            "point {pos} outside quadtree bounds; build with QuadTree::bulk or larger bounds"
+        );
+        let idx = u32::try_from(self.items.len()).expect("quadtree capacity exceeded");
+        self.items.push((pos, item));
+        self.insert_into(0, 0, idx);
+    }
+
+    fn insert_into(&mut self, node: usize, depth: usize, item_idx: u32) {
+        match &mut self.nodes[node] {
+            Node::Leaf { entries } => {
+                entries.push(item_idx);
+                if entries.len() > self.bucket && depth < self.max_depth {
+                    self.split(node, depth);
+                }
+            }
+            Node::Internal { children } => {
+                let children = *children;
+                let pos = self.items[item_idx as usize].0;
+                let child = self.pick_quadrant(node, &pos);
+                self.insert_into(children[child], depth + 1, item_idx);
+            }
+        }
+    }
+
+    /// Index of the quadrant of `node`'s box that `pos` falls in.
+    fn pick_quadrant(&self, node: usize, pos: &GeoPoint) -> usize {
+        let c = self.boxes[node].center();
+        // Quadrant layout mirrors BoundingBox::quadrants(): [sw, se, nw, ne].
+        let east = usize::from(pos.lon >= c.lon);
+        let north = usize::from(pos.lat >= c.lat);
+        north * 2 + east
+    }
+
+    fn split(&mut self, node: usize, depth: usize) {
+        let entries = match std::mem::replace(&mut self.nodes[node], Node::Internal { children: [0; 4] }) {
+            Node::Leaf { entries } => entries,
+            Node::Internal { .. } => unreachable!("split called on internal node"),
+        };
+        let quads = self.boxes[node].quadrants();
+        let base = self.nodes.len();
+        for q in quads {
+            self.nodes.push(Node::Leaf { entries: Vec::new() });
+            self.boxes.push(q);
+        }
+        let children = [base, base + 1, base + 2, base + 3];
+        self.nodes[node] = Node::Internal { children };
+        for idx in entries {
+            let pos = self.items[idx as usize].0;
+            let child = self.pick_quadrant(node, &pos);
+            self.insert_into(children[child], depth + 1, idx);
+        }
+    }
+
+    /// The `k` nearest payloads to `query`, sorted by ascending distance.
+    ///
+    /// Best-first traversal: a min-heap holds both unexpanded tree nodes
+    /// (keyed by their box's minimum distance) and individual points; when
+    /// a point reaches the heap top it is provably the next nearest.
+    #[must_use]
+    pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<Hit<'_, T>> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        enum Entry {
+            Node(usize),
+            Item(u32),
+        }
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32, Entry)>> = BinaryHeap::new();
+        heap.push(Reverse((OrdF64::new(self.boxes[0].min_dist_m(query)), 0, Entry::Node(0))));
+        let mut out = Vec::with_capacity(k);
+        while let Some(Reverse((d, tie, entry))) = heap.pop() {
+            match entry {
+                Entry::Item(idx) => {
+                    let (pos, ref item) = self.items[idx as usize];
+                    out.push(Hit { item, pos, dist_m: d.get() });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Entry::Node(n) => {
+                    let _ = tie;
+                    match &self.nodes[n] {
+                        Node::Leaf { entries } => {
+                            for &idx in entries {
+                                let pos = self.items[idx as usize].0;
+                                heap.push(Reverse((
+                                    OrdF64::new(query.fast_dist_m(&pos)),
+                                    idx,
+                                    Entry::Item(idx),
+                                )));
+                            }
+                        }
+                        Node::Internal { children } => {
+                            for &c in children {
+                                heap.push(Reverse((
+                                    OrdF64::new(self.boxes[c].min_dist_m(query)),
+                                    u32::try_from(c).expect("node count fits u32"),
+                                    Entry::Node(c),
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All payloads within `radius_m` of `query`, sorted by ascending
+    /// distance.
+    #[must_use]
+    pub fn range(&self, query: &GeoPoint, radius_m: f64) -> Vec<Hit<'_, T>> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            if self.boxes[n].min_dist_m(query) > radius_m {
+                continue;
+            }
+            match &self.nodes[n] {
+                Node::Leaf { entries } => {
+                    for &idx in entries {
+                        let (pos, ref item) = self.items[idx as usize];
+                        let d = query.fast_dist_m(&pos);
+                        if d <= radius_m {
+                            out.push(Hit { item, pos, dist_m: d });
+                        }
+                    }
+                }
+                Node::Internal { children } => stack.extend(children.iter().copied()),
+            }
+        }
+        out.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).expect("distances are finite"));
+        out
+    }
+
+    /// Iterate over all `(position, payload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(GeoPoint, T)> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use ec_types::SplitMix64;
+
+    fn random_items(n: usize, seed: u64) -> Vec<(GeoPoint, u32)> {
+        let mut rng = SplitMix64::new(seed);
+        let origin = GeoPoint::new(8.0, 53.0);
+        (0..n)
+            .map(|i| {
+                let p = origin.offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+                (p, u32::try_from(i).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: QuadTree<u32> = QuadTree::bulk(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.knn(&GeoPoint::new(0.5, 0.5), 3).is_empty());
+        assert!(t.range(&GeoPoint::new(0.5, 0.5), 1_000.0).is_empty());
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let items = random_items(500, 42);
+        let tree = QuadTree::bulk(items.clone());
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..20 {
+            let q = GeoPoint::new(8.0, 53.0)
+                .offset_m(rng.range_f64(0.0, 45_000.0), rng.range_f64(0.0, 35_000.0));
+            let got = tree.knn(&q, 10);
+            let want = brute::knn_scan(&items, &q, 10);
+            let got_ids: Vec<u32> = got.iter().map(|h| *h.item).collect();
+            let want_ids: Vec<u32> = want.iter().map(|h| *h.item).collect();
+            assert_eq!(got_ids, want_ids, "query at {q}");
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let items = random_items(300, 9);
+        let tree = QuadTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0).offset_m(20_000.0, 15_000.0);
+        for radius in [0.0, 1_000.0, 5_000.0, 50_000.0] {
+            let got: Vec<u32> = tree.range(&q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn knn_results_sorted_ascending() {
+        let items = random_items(200, 3);
+        let tree = QuadTree::bulk(items);
+        let hits = tree.knn(&GeoPoint::new(8.1, 53.1), 50);
+        assert_eq!(hits.len(), 50);
+        for w in hits.windows(2) {
+            assert!(w[0].dist_m <= w[1].dist_m);
+        }
+    }
+
+    #[test]
+    fn handles_colocated_points_beyond_bucket() {
+        let p = GeoPoint::new(8.0, 53.0);
+        let items: Vec<(GeoPoint, u32)> = (0..100).map(|i| (p, i)).collect();
+        let tree = QuadTree::with_params(
+            BoundingBox::new(p, p.offset_m(1_000.0, 1_000.0)),
+            4,
+            6,
+        );
+        let mut tree = tree;
+        for (pos, item) in items {
+            tree.insert(pos, item);
+        }
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.knn(&p, 100).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside quadtree bounds")]
+    fn insert_outside_bounds_panics() {
+        let mut t: QuadTree<u32> =
+            QuadTree::new(BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)));
+        t.insert(GeoPoint::new(5.0, 5.0), 1);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let items = random_items(7, 1);
+        let tree = QuadTree::bulk(items);
+        assert_eq!(tree.knn(&GeoPoint::new(8.0, 53.0), 99).len(), 7);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let items = random_items(10, 5);
+        let tree = QuadTree::bulk(items.clone());
+        let collected: Vec<u32> = tree.iter().map(|(_, i)| *i).collect();
+        assert_eq!(collected, (0..10).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: the indexes must agree with the linear scan for any
+//! point cloud, any tuning, any query.
+
+use ec_types::{GeoPoint, SplitMix64};
+use proptest::prelude::*;
+use spatial_index::{brute, GridIndex, KdTree, QuadTree};
+
+fn cloud(seed: u64, n: usize, extent_m: f64) -> Vec<(GeoPoint, usize)> {
+    let mut rng = SplitMix64::new(seed);
+    let origin = GeoPoint::new(8.0, 53.0);
+    (0..n)
+        .map(|i| (origin.offset_m(rng.range_f64(0.0, extent_m), rng.range_f64(0.0, extent_m)), i))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quadtree_knn_equals_brute(
+        seed in 0u64..10_000,
+        n in 0usize..400,
+        k in 0usize..25,
+        extent_km in 1.0..200.0f64,
+        qx in -0.2..1.2f64, qy in -0.2..1.2f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let tree = QuadTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0)
+            .offset_m(qx * extent_km * 1_000.0, qy * extent_km * 1_000.0);
+        let got: Vec<usize> = tree.knn(&q, k).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, k).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quadtree_range_equals_brute(
+        seed in 0u64..10_000,
+        n in 0usize..300,
+        radius_km in 0.0..100.0f64,
+        extent_km in 1.0..100.0f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let tree = QuadTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0).offset_m(extent_km * 500.0, extent_km * 500.0);
+        let got: Vec<usize> = tree.range(&q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> =
+            brute::range_scan(&items, &q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_knn_equals_brute(
+        seed in 0u64..10_000,
+        n in 1usize..300,
+        k in 1usize..15,
+        cell_m in 100.0..20_000.0f64,
+        extent_km in 1.0..100.0f64,
+        qx in -0.5..1.5f64, qy in -0.5..1.5f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let grid = GridIndex::build(items.clone(), cell_m);
+        let q = GeoPoint::new(8.0, 53.0)
+            .offset_m(qx * extent_km * 1_000.0, qy * extent_km * 1_000.0);
+        let got: Vec<usize> = grid.knn(&q, k).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, k).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want, "cell {} extent {} n {}", cell_m, extent_km, n);
+    }
+
+    #[test]
+    fn grid_range_equals_brute(
+        seed in 0u64..10_000,
+        n in 0usize..200,
+        radius_km in 0.0..60.0f64,
+        cell_m in 200.0..10_000.0f64,
+    ) {
+        let items = cloud(seed, n, 40_000.0);
+        let grid = GridIndex::build(items.clone(), cell_m);
+        let q = GeoPoint::new(8.0, 53.0).offset_m(17_000.0, 23_000.0);
+        let got: Vec<usize> = grid.range(&q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> =
+            brute::range_scan(&items, &q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_knn_equals_brute(
+        seed in 0u64..10_000,
+        n in 0usize..400,
+        k in 0usize..25,
+        extent_km in 1.0..200.0f64,
+        qx in -0.2..1.2f64, qy in -0.2..1.2f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let tree = KdTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0)
+            .offset_m(qx * extent_km * 1_000.0, qy * extent_km * 1_000.0);
+        let got: Vec<usize> = tree.knn(&q, k).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, k).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_range_equals_brute(
+        seed in 0u64..10_000,
+        n in 0usize..300,
+        radius_km in 0.0..100.0f64,
+        extent_km in 1.0..100.0f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let tree = KdTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0).offset_m(extent_km * 500.0, extent_km * 500.0);
+        let got: Vec<usize> = tree.range(&q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> =
+            brute::range_scan(&items, &q, radius_km * 1_000.0).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quadtree_small_buckets_still_correct(
+        seed in 0u64..1_000,
+        n in 1usize..150,
+        bucket in 1usize..6,
+        depth in 2usize..10,
+    ) {
+        let items = cloud(seed, n, 20_000.0);
+        let bounds = ec_types::BoundingBox::of_points(items.iter().map(|(p, _)| *p)).unwrap();
+        let mut tree = QuadTree::with_params(bounds, bucket, depth);
+        for (p, i) in items.clone() {
+            tree.insert(p, i);
+        }
+        let q = GeoPoint::new(8.0, 53.0).offset_m(10_000.0, 10_000.0);
+        let got: Vec<usize> = tree.knn(&q, 7).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, 7).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,32 @@
+//! # `trajgen` — moving-object workloads
+//!
+//! The paper's evaluation is trace-driven: "real and synthetic datasets
+//! are fed into our simulator" (§V-A) — Oldenburg (generated with the
+//! Brinkhoff spatio-temporal generator), California, T-drive and Geolife.
+//! This crate provides:
+//!
+//! * [`Trip`] — a scheduled trip `P`: a route on the network with a
+//!   departure time and free-flow ETA parameterisation;
+//! * [`brinkhoff`] — a network-based moving-object generator in the style
+//!   of Brinkhoff's tool (the same generative process that produced the
+//!   original Oldenburg dataset): objects pick a start node, a destination
+//!   at a preferred trip length, route by fastest path, and depart within
+//!   a time window;
+//! * [`datasets`] — the four evaluation presets at (configurably scaled)
+//!   paper cardinalities;
+//! * [`sampling`] — rendering trips into noisy timestamped GPS traces,
+//!   the raw shape of the T-drive/Geolife data;
+//! * [`matching`] — snapping such traces back onto the network, the
+//!   ingestion step a real-trace pipeline needs before segmentation.
+
+pub mod brinkhoff;
+pub mod datasets;
+pub mod matching;
+pub mod sampling;
+pub mod trip;
+
+pub use brinkhoff::{generate_trips, BrinkhoffParams};
+pub use datasets::{Dataset, DatasetKind, DatasetScale};
+pub use matching::{match_trace, MatchParams};
+pub use sampling::{sample_trace, trace_stats, GpsFix, TraceParams, TraceStats};
+pub use trip::Trip;

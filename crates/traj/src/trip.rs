@@ -1,0 +1,104 @@
+//! A scheduled trip `P`.
+
+use ec_types::{GeoPoint, SimDuration, SimTime, TripId, VehicleId};
+use roadnet::{CostMetric, RoadGraph, Route};
+
+/// A scheduled trip: the route a vehicle `m` will drive, departing at
+/// `depart`. The continuous query consumes trips segment by segment.
+#[derive(Debug, Clone)]
+pub struct Trip {
+    /// Trip id.
+    pub id: TripId,
+    /// The vehicle driving it.
+    pub vehicle: VehicleId,
+    /// The path `P` through the network.
+    pub route: Route,
+    /// Departure instant.
+    pub depart: SimTime,
+}
+
+impl Trip {
+    /// Free-flow ETA at `offset_m` metres into the trip.
+    #[must_use]
+    pub fn eta_at_offset(&self, g: &RoadGraph, offset_m: f64) -> SimTime {
+        let secs = self.route.cost_to_offset(g, CostMetric::Time, offset_m);
+        self.depart + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Free-flow total duration.
+    #[must_use]
+    pub fn duration(&self, g: &RoadGraph) -> SimDuration {
+        SimDuration::from_secs_f64(self.route.cost(g, CostMetric::Time))
+    }
+
+    /// Arrival instant at the destination (free flow).
+    #[must_use]
+    pub fn arrival(&self, g: &RoadGraph) -> SimTime {
+        self.depart + self.duration(g)
+    }
+
+    /// Vehicle position at `offset_m` into the trip.
+    #[must_use]
+    pub fn position_at_offset(&self, g: &RoadGraph, offset_m: f64) -> GeoPoint {
+        self.route.point_at(g, offset_m)
+    }
+
+    /// Trip length, metres.
+    #[must_use]
+    pub fn length_m(&self) -> f64 {
+        self.route.length_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{DayOfWeek, NodeId};
+    use roadnet::{GraphBuilder, RoadClass};
+
+    fn trip() -> (RoadGraph, Trip) {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let ids: Vec<NodeId> =
+            (0..4).map(|i| b.add_node(o.offset_m(f64::from(i) * 1_000.0, 0.0))).collect();
+        for w in ids.windows(2) {
+            b.add_two_way(w[0], w[1], RoadClass::Primary);
+        }
+        let g = b.build();
+        let route = Route::from_nodes(&g, ids).unwrap();
+        let t = Trip {
+            id: TripId(0),
+            vehicle: VehicleId(0),
+            route,
+            depart: SimTime::at(0, DayOfWeek::Tue, 10, 0),
+        };
+        (g, t)
+    }
+
+    #[test]
+    fn eta_grows_along_trip() {
+        let (g, t) = trip();
+        let e0 = t.eta_at_offset(&g, 0.0);
+        let e1 = t.eta_at_offset(&g, 1_500.0);
+        let e2 = t.eta_at_offset(&g, t.length_m());
+        assert_eq!(e0, t.depart);
+        assert!(e1 > e0 && e2 > e1);
+        assert_eq!(e2, t.arrival(&g));
+    }
+
+    #[test]
+    fn duration_matches_route_time() {
+        let (g, t) = trip();
+        // 3 km of Primary at 60 km/h ≈ 180 s.
+        let d = t.duration(&g).as_secs();
+        assert!((d as f64 - 180.0).abs() < 3.0, "duration {d}");
+    }
+
+    #[test]
+    fn position_at_offset_tracks_route() {
+        let (g, t) = trip();
+        let p = t.position_at_offset(&g, 500.0);
+        let expect = GeoPoint::new(8.0, 53.0).offset_m(500.0, 0.0);
+        assert!(p.fast_dist_m(&expect) < 30.0);
+    }
+}

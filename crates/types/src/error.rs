@@ -1,0 +1,77 @@
+//! The workspace-wide error type.
+//!
+//! EcoCharge is a library first: fallible operations return
+//! `Result<_, EcError>` rather than panicking, so that an embedding
+//! application (the paper's Mode 1/3 edge clients) can degrade gracefully —
+//! e.g. fall back to a stale Offering Table when a provider times out.
+
+use std::fmt;
+
+/// Errors surfaced by the EcoCharge crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// A graph/trip references a node that does not exist.
+    UnknownNode(u32),
+    /// A query references a charger that does not exist.
+    UnknownCharger(u32),
+    /// No path exists between the requested endpoints.
+    Unreachable {
+        /// Source node index.
+        from: u32,
+        /// Target node index.
+        to: u32,
+    },
+    /// A trip had fewer than two points / zero length.
+    DegenerateTrip(String),
+    /// A configuration value was out of its valid domain.
+    InvalidConfig(String),
+    /// A data provider (weather / traffic / availability) failed or timed
+    /// out; carries the provider name.
+    ProviderUnavailable(String),
+    /// The requested data is outside the covered region or horizon.
+    OutOfCoverage(String),
+    /// The charger set relevant to a query was empty (e.g. radius too
+    /// small); the caller may retry with a larger radius.
+    NoCandidates,
+}
+
+impl fmt::Display for EcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(id) => write!(f, "unknown road-network node v{id}"),
+            Self::UnknownCharger(id) => write!(f, "unknown charger b{id}"),
+            Self::Unreachable { from, to } => {
+                write!(f, "no route from v{from} to v{to}")
+            }
+            Self::DegenerateTrip(why) => write!(f, "degenerate trip: {why}"),
+            Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Self::ProviderUnavailable(name) => write!(f, "provider unavailable: {name}"),
+            Self::OutOfCoverage(what) => write!(f, "out of coverage: {what}"),
+            Self::NoCandidates => write!(f, "no candidate chargers within radius"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(EcError::UnknownNode(3).to_string(), "unknown road-network node v3");
+        assert_eq!(
+            EcError::Unreachable { from: 1, to: 2 }.to_string(),
+            "no route from v1 to v2"
+        );
+        assert!(EcError::ProviderUnavailable("weather".into()).to_string().contains("weather"));
+        assert_eq!(EcError::NoCandidates.to_string(), "no candidate chargers within radius");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: E) {}
+        assert_err(EcError::NoCandidates);
+    }
+}

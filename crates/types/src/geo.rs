@@ -1,0 +1,312 @@
+//! WGS-84 geographic points and the distance primitives used across the
+//! spatial layers.
+//!
+//! Two distance flavours are provided:
+//!
+//! * [`GeoPoint::haversine_m`] — great-circle distance, exact enough at any
+//!   extent; used when precision matters (e.g. validating generators);
+//! * [`GeoPoint::fast_dist_m`] — equirectangular approximation, ~5× cheaper;
+//!   used in the hot kNN paths where the evaluation regions are at most a
+//!   few hundred km across and the error is far below model noise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 coordinate: longitude (x) and latitude (y), both in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees, east positive.
+    pub lon: f64,
+    /// Latitude in degrees, north positive.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Create a point from longitude/latitude degrees.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is outside the valid WGS-84 domain.
+    #[must_use]
+    pub fn new(lon: f64, lat: f64) -> Self {
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        Self { lon, lat }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres.
+    #[must_use]
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Equirectangular-approximation distance to `other`, in metres.
+    ///
+    /// Error is < 0.5 % for separations under ~500 km at mid latitudes —
+    /// well inside the noise of the estimated components.
+    #[must_use]
+    pub fn fast_dist_m(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = 0.5 * (self.lat + other.lat).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared equirectangular distance in (scaled) radians — a monotone
+    /// proxy for [`fast_dist_m`](Self::fast_dist_m) usable as a kNN priority
+    /// without the `sqrt`.
+    #[must_use]
+    pub fn fast_dist2(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = 0.5 * (self.lat + other.lat).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        dx * dx + dy * dy
+    }
+
+    /// Point linearly interpolated between `self` (t=0) and `other` (t=1).
+    ///
+    /// Adequate for the short path segments (≤ 5 km) EcoCharge works with.
+    #[must_use]
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint { lon: self.lon + (other.lon - self.lon) * t, lat: self.lat + (other.lat - self.lat) * t }
+    }
+
+    /// Translate by metres east (`dx_m`) and north (`dy_m`).
+    #[must_use]
+    pub fn offset_m(&self, dx_m: f64, dy_m: f64) -> GeoPoint {
+        let dlat = (dy_m / EARTH_RADIUS_M).to_degrees();
+        let dlon = (dx_m / (EARTH_RADIUS_M * self.lat.to_radians().cos())).to_degrees();
+        GeoPoint { lon: self.lon + dlon, lat: self.lat + dlat }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}, {:.5})", self.lon, self.lat)
+    }
+}
+
+/// An axis-aligned geographic bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// South-west corner.
+    pub min: GeoPoint,
+    /// North-east corner.
+    pub max: GeoPoint,
+}
+
+impl BoundingBox {
+    /// Build a box from two corners (normalised so `min` ≤ `max`).
+    #[must_use]
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        Self {
+            min: GeoPoint { lon: a.lon.min(b.lon), lat: a.lat.min(b.lat) },
+            max: GeoPoint { lon: a.lon.max(b.lon), lat: a.lat.max(b.lat) },
+        }
+    }
+
+    /// Smallest box containing every point in `pts`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of_points<I: IntoIterator<Item = GeoPoint>>(pts: I) -> Option<Self> {
+        let mut it = pts.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox { min: first, max: first };
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grow the box to include `p`.
+    pub fn expand(&mut self, p: GeoPoint) {
+        self.min.lon = self.min.lon.min(p.lon);
+        self.min.lat = self.min.lat.min(p.lat);
+        self.max.lon = self.max.lon.max(p.lon);
+        self.max.lat = self.max.lat.max(p.lat);
+    }
+
+    /// Does the box contain `p` (inclusive on all edges)?
+    #[must_use]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        self.min.lon <= p.lon && p.lon <= self.max.lon && self.min.lat <= p.lat && p.lat <= self.max.lat
+    }
+
+    /// Do two boxes intersect (inclusive)?
+    #[must_use]
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min.lon <= other.max.lon
+            && other.min.lon <= self.max.lon
+            && self.min.lat <= other.max.lat
+            && other.min.lat <= self.max.lat
+    }
+
+    /// Geometric centre of the box.
+    #[must_use]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint { lon: 0.5 * (self.min.lon + self.max.lon), lat: 0.5 * (self.min.lat + self.max.lat) }
+    }
+
+    /// Width (east-west extent) in metres, measured at the centre latitude.
+    #[must_use]
+    pub fn width_m(&self) -> f64 {
+        let c = self.center().lat;
+        GeoPoint { lon: self.min.lon, lat: c }.fast_dist_m(&GeoPoint { lon: self.max.lon, lat: c })
+    }
+
+    /// Height (north-south extent) in metres.
+    #[must_use]
+    pub fn height_m(&self) -> f64 {
+        let c = self.center().lon;
+        GeoPoint { lon: c, lat: self.min.lat }.fast_dist_m(&GeoPoint { lon: c, lat: self.max.lat })
+    }
+
+    /// Minimum distance (metres, equirectangular) from `p` to the box;
+    /// zero when `p` is inside. Used by the quadtree's best-first search.
+    #[must_use]
+    pub fn min_dist_m(&self, p: &GeoPoint) -> f64 {
+        let lon = p.lon.clamp(self.min.lon, self.max.lon);
+        let lat = p.lat.clamp(self.min.lat, self.max.lat);
+        p.fast_dist_m(&GeoPoint { lon, lat })
+    }
+
+    /// Split into four equal quadrants: `[sw, se, nw, ne]`.
+    #[must_use]
+    pub fn quadrants(&self) -> [BoundingBox; 4] {
+        let c = self.center();
+        [
+            BoundingBox { min: self.min, max: c },
+            BoundingBox {
+                min: GeoPoint { lon: c.lon, lat: self.min.lat },
+                max: GeoPoint { lon: self.max.lon, lat: c.lat },
+            },
+            BoundingBox {
+                min: GeoPoint { lon: self.min.lon, lat: c.lat },
+                max: GeoPoint { lon: c.lon, lat: self.max.lat },
+            },
+            BoundingBox { min: c, max: self.max },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn berlin() -> GeoPoint {
+        GeoPoint::new(13.405, 52.52)
+    }
+    fn munich() -> GeoPoint {
+        GeoPoint::new(11.582, 48.135)
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Berlin–Munich is ~504 km.
+        let d = berlin().haversine_m(&munich());
+        assert!((d - 504_000.0).abs() < 5_000.0, "got {d}");
+    }
+
+    #[test]
+    fn fast_dist_close_to_haversine_at_city_scale() {
+        let a = GeoPoint::new(8.20, 53.14); // Oldenburg-ish
+        let b = a.offset_m(12_000.0, -7_000.0);
+        let h = a.haversine_m(&b);
+        let f = a.fast_dist_m(&b);
+        assert!((h - f).abs() / h < 0.005, "haversine {h} vs fast {f}");
+    }
+
+    #[test]
+    fn fast_dist2_is_monotone_with_fast_dist() {
+        let a = GeoPoint::new(0.0, 45.0);
+        let near = a.offset_m(1_000.0, 0.0);
+        let far = a.offset_m(5_000.0, 0.0);
+        assert!(a.fast_dist2(&near) < a.fast_dist2(&far));
+        assert!(a.fast_dist_m(&near) < a.fast_dist_m(&far));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let (a, b) = (berlin(), munich());
+        assert_eq!(a.haversine_m(&a), 0.0);
+        assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let a = GeoPoint::new(8.2, 53.1);
+        let b = a.offset_m(3_000.0, 4_000.0);
+        // 3-4-5 triangle: distance should be ~5 km.
+        let d = a.haversine_m(&b);
+        assert!((d - 5_000.0).abs() < 20.0, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_invalid_latitude() {
+        let _ = GeoPoint::new(0.0, 91.0);
+    }
+
+    #[test]
+    fn bbox_contains_and_center() {
+        let bb = BoundingBox::new(GeoPoint::new(1.0, 1.0), GeoPoint::new(3.0, 2.0));
+        assert!(bb.contains(&GeoPoint::new(2.0, 1.5)));
+        assert!(!bb.contains(&GeoPoint::new(0.5, 1.5)));
+        assert_eq!(bb.center(), GeoPoint { lon: 2.0, lat: 1.5 });
+    }
+
+    #[test]
+    fn bbox_of_points() {
+        let pts = [GeoPoint::new(1.0, 5.0), GeoPoint::new(-2.0, 3.0), GeoPoint::new(4.0, 4.0)];
+        let bb = BoundingBox::of_points(pts).unwrap();
+        assert_eq!(bb.min, GeoPoint { lon: -2.0, lat: 3.0 });
+        assert_eq!(bb.max, GeoPoint { lon: 4.0, lat: 5.0 });
+        assert!(BoundingBox::of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bbox_min_dist_zero_inside() {
+        let bb = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0));
+        assert_eq!(bb.min_dist_m(&GeoPoint::new(0.5, 0.5)), 0.0);
+        assert!(bb.min_dist_m(&GeoPoint::new(2.0, 0.5)) > 0.0);
+    }
+
+    #[test]
+    fn quadrants_tile_the_box() {
+        let bb = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(4.0, 4.0));
+        let qs = bb.quadrants();
+        let c = bb.center();
+        for q in &qs {
+            assert!(bb.contains(&q.min) && bb.contains(&q.max));
+        }
+        // every quadrant touches the centre
+        for q in &qs {
+            assert!(q.contains(&c) || q.min == c || q.max == c);
+        }
+    }
+
+    #[test]
+    fn bbox_intersects() {
+        let a = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 2.0));
+        let b = BoundingBox::new(GeoPoint::new(1.0, 1.0), GeoPoint::new(3.0, 3.0));
+        let c = BoundingBox::new(GeoPoint::new(5.0, 5.0), GeoPoint::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn extent_of_oldenburg_box() {
+        // 45 km x 35 km box like the Oldenburg dataset's region.
+        let sw = GeoPoint::new(8.0, 53.0);
+        let ne = sw.offset_m(45_000.0, 35_000.0);
+        let bb = BoundingBox::new(sw, ne);
+        assert!((bb.width_m() - 45_000.0).abs() < 300.0);
+        assert!((bb.height_m() - 35_000.0).abs() < 300.0);
+    }
+}

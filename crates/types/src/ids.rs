@@ -1,0 +1,112 @@
+//! Typed identifiers.
+//!
+//! Every entity class in the system gets its own index newtype so that the
+//! compiler rejects, say, indexing the charger fleet with a road-network
+//! node id. All ids are dense `u32` indexes into their owning arena — the
+//! representation the CSR graph and the charger fleet use internally.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[must_use]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id index exceeds u32 range"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A road-network vertex.
+    NodeId,
+    "v"
+);
+define_id!(
+    /// A directed road-network edge.
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// An EV charging station `b ∈ B`.
+    ChargerId,
+    "b"
+);
+define_id!(
+    /// A moving electric vehicle `m ∈ M`.
+    VehicleId,
+    "m"
+);
+define_id!(
+    /// A scheduled trip `P`.
+    TripId,
+    "P"
+);
+define_id!(
+    /// A path segment `p_i` within a scheduled trip.
+    SegmentId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = ChargerId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ChargerId(42));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(ChargerId(7).to_string(), "b7");
+        assert_eq!(SegmentId(1).to_string(), "p1");
+        assert_eq!(TripId(0).to_string(), "P0");
+        assert_eq!(VehicleId(5).to_string(), "m5");
+        assert_eq!(EdgeId(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32")]
+    fn from_index_rejects_overflow() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

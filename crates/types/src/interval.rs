@@ -1,0 +1,424 @@
+//! Closed-interval arithmetic for *Estimated Components*.
+//!
+//! The paper expresses every estimated quantity — sustainable charging level
+//! `L`, availability `A`, derouting cost `D` — as an interval `[min, max]`
+//! of a lower and an upper estimate (§III-B). The Sustainability Score is
+//! then computed once with all lower bounds and once with all upper bounds
+//! (Eq. 4–5), and the final ranking intersects the two result sets (Eq. 6).
+//!
+//! [`Interval`] implements the small algebra those formulas need: addition,
+//! scaling, complement against a normalising maximum, intersection,
+//! containment, and the *possible*/*necessary* order relations used by the
+//! filtering phase to prune chargers that cannot make the top-k under any
+//! realisation of the estimates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` over `f64` with `lo <= hi`.
+///
+/// Invariants: both endpoints are finite and `lo <= hi`. Constructors
+/// normalise flipped endpoints rather than panic, because estimate sources
+/// (e.g. a min/max pair read from two independent forecast members) may
+/// legitimately arrive unordered.
+///
+/// ```
+/// use ec_types::Interval;
+///
+/// // The derouting component of Eq. 4–5: cost interval, complemented.
+/// let d = Interval::new(0.2, 0.5);
+/// let score_term = d.complement(); // (1 − D), endpoints swap
+/// assert_eq!((score_term.lo(), score_term.hi()), (0.5, 0.8));
+///
+/// // Eq. 6's result-set intersection builds on interval overlap:
+/// assert!(d.overlaps(&Interval::new(0.4, 0.9)));
+/// assert_eq!(d.intersect(&Interval::new(0.6, 0.9)), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Create an interval from two endpoints, swapping them if flipped.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is NaN or infinite — estimates must be
+    /// finite numbers.
+    #[must_use]
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "interval endpoints must be finite: [{a}, {b}]");
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// A degenerate (zero-width) interval `[v, v]` — an exact value.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The zero interval `[0, 0]`.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self { lo: 0.0, hi: 0.0 }
+    }
+
+    /// Build an interval as `center ± half_width` (width clamped to ≥ 0).
+    #[must_use]
+    pub fn around(center: f64, half_width: f64) -> Self {
+        let hw = half_width.abs();
+        Self::new(center - hw, center + hw)
+    }
+
+    /// Lower estimate.
+    #[must_use]
+    pub const fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper estimate.
+    #[must_use]
+    pub const fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint `(lo + hi) / 2` — the point estimate.
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width `hi - lo` — the total uncertainty.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when the interval is a single point (within `f64` equality).
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Does this interval contain the value `v`?
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Does this interval fully contain `other`?
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection of two intervals, or `None` when they are disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// True when the intervals share at least one point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Smallest interval containing both operands (interval hull).
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Clamp both endpoints into `[min, max]`.
+    #[must_use]
+    pub fn clamp(&self, min: f64, max: f64) -> Interval {
+        debug_assert!(min <= max);
+        Interval::new(self.lo.clamp(min, max), self.hi.clamp(min, max))
+    }
+
+    /// Normalise by a positive maximum: `[lo/max, hi/max]`, clamped to `[0,1]`.
+    ///
+    /// The paper normalises `L` and `D` "by dividing them with the
+    /// environment's maximum" (§III-B); this is that operation.
+    #[must_use]
+    pub fn normalized(&self, max: f64) -> Interval {
+        assert!(max > 0.0, "normalisation maximum must be positive, got {max}");
+        Interval::new(self.lo / max, self.hi / max).clamp(0.0, 1.0)
+    }
+
+    /// The complement `1 - x` of a `[0,1]`-normalised interval.
+    ///
+    /// Used for the derouting term `(1 - D)` in Eq. 4–5: a *small* derouting
+    /// cost should contribute a *large* score. Note the endpoints swap.
+    #[must_use]
+    pub fn complement(&self) -> Interval {
+        Interval::new(1.0 - self.hi, 1.0 - self.lo)
+    }
+
+    /// `true` when `self` is *necessarily greater* than `other`: every
+    /// realisation of `self` beats every realisation of `other`
+    /// (`self.lo > other.hi`). A charger necessarily dominated by `k`
+    /// others can be pruned in the filtering phase.
+    #[must_use]
+    pub fn necessarily_gt(&self, other: &Interval) -> bool {
+        self.lo > other.hi
+    }
+
+    /// `true` when `self` is *possibly greater* than `other`: some
+    /// realisation of `self` beats some realisation of `other`
+    /// (`self.hi > other.lo`).
+    #[must_use]
+    pub fn possibly_gt(&self, other: &Interval) -> bool {
+        self.hi > other.lo
+    }
+
+    /// Total order on midpoints, tie-broken by upper bound — the sort key
+    /// the Offering Table uses for "highest to lowest rank" (Eq. 6).
+    #[must_use]
+    pub fn rank_cmp(&self, other: &Interval) -> std::cmp::Ordering {
+        self.mid()
+            .partial_cmp(&other.mid())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.hi.partial_cmp(&other.hi).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Linear interpolation between the endpoints: `t=0 → lo`, `t=1 → hi`.
+    #[must_use]
+    pub fn lerp(&self, t: f64) -> f64 {
+        self.lo + (self.hi - self.lo) * t
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lo, self.hi)
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl AddAssign for Interval {
+    fn add_assign(&mut self, rhs: Interval) {
+        self.lo += rhs.lo;
+        self.hi += rhs.hi;
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        // Interval subtraction: [a,b] - [c,d] = [a-d, b-c].
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl Mul<f64> for Interval {
+    type Output = Interval;
+    fn mul(self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval { lo: self.lo * k, hi: self.hi * k }
+        } else {
+            Interval { lo: self.hi * k, hi: self.lo * k }
+        }
+    }
+}
+
+impl Mul<Interval> for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let mut lo = c[0];
+        let mut hi = c[0];
+        for &v in &c[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Interval { lo, hi }
+    }
+}
+
+impl From<f64> for Interval {
+    fn from(v: f64) -> Self {
+        Interval::point(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_endpoints() {
+        let i = Interval::new(3.0, 1.0);
+        assert_eq!(i.lo(), 1.0);
+        assert_eq!(i.hi(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_rejects_nan() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn point_has_zero_width() {
+        let p = Interval::point(2.5);
+        assert!(p.is_point());
+        assert_eq!(p.width(), 0.0);
+        assert_eq!(p.mid(), 2.5);
+    }
+
+    #[test]
+    fn around_builds_symmetric_interval() {
+        let i = Interval::around(10.0, 2.0);
+        assert_eq!(i.lo(), 8.0);
+        assert_eq!(i.hi(), 12.0);
+        // negative half-width is treated as its absolute value
+        let j = Interval::around(10.0, -2.0);
+        assert_eq!(j, i);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 8.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(3.0, 5.0)));
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersect_touching_is_point() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        let i = a.intersect(&b).unwrap();
+        assert!(i.is_point());
+        assert_eq!(i.lo(), 1.0);
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(4.0, 5.0);
+        let h = a.hull(&b);
+        assert!(h.contains_interval(&a) && h.contains_interval(&b));
+        assert_eq!(h, Interval::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn complement_swaps_endpoints() {
+        let d = Interval::new(0.2, 0.6);
+        let c = d.complement();
+        assert!((c.lo() - 0.4).abs() < 1e-12);
+        assert!((c.hi() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_clamps_to_unit() {
+        let i = Interval::new(-1.0, 20.0).normalized(10.0);
+        assert_eq!(i, Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn normalized_rejects_zero_max() {
+        let _ = Interval::new(0.0, 1.0).normalized(0.0);
+    }
+
+    #[test]
+    fn arithmetic_add_sub() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(10.0, 20.0);
+        assert_eq!(a + b, Interval::new(11.0, 22.0));
+        assert_eq!(b - a, Interval::new(8.0, 19.0));
+    }
+
+    #[test]
+    fn scale_by_negative_flips() {
+        let a = Interval::new(1.0, 2.0);
+        assert_eq!(a * -1.0, Interval::new(-2.0, -1.0));
+        assert_eq!(-a, Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn interval_product_covers_all_corners() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(-3.0, 4.0);
+        let p = a * b;
+        assert_eq!(p, Interval::new(-6.0, 8.0));
+    }
+
+    #[test]
+    fn dominance_relations() {
+        let lo = Interval::new(0.0, 0.4);
+        let hi = Interval::new(0.5, 0.9);
+        let mid = Interval::new(0.3, 0.7);
+        assert!(hi.necessarily_gt(&lo));
+        assert!(!mid.necessarily_gt(&lo));
+        assert!(mid.possibly_gt(&lo));
+        assert!(!lo.possibly_gt(&hi) || lo.hi() > hi.lo());
+    }
+
+    #[test]
+    fn rank_cmp_orders_by_midpoint() {
+        let a = Interval::new(0.0, 1.0); // mid 0.5
+        let b = Interval::new(0.4, 0.8); // mid 0.6
+        assert_eq!(a.rank_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.rank_cmp(&a), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn rank_cmp_ties_break_on_hi() {
+        let a = Interval::new(0.2, 0.8); // mid 0.5
+        let b = Interval::new(0.4, 0.6); // mid 0.5
+        assert_eq!(a.rank_cmp(&b), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn lerp_hits_endpoints() {
+        let i = Interval::new(2.0, 6.0);
+        assert_eq!(i.lerp(0.0), 2.0);
+        assert_eq!(i.lerp(1.0), 6.0);
+        assert_eq!(i.lerp(0.5), 4.0);
+    }
+
+    #[test]
+    fn clamp_restricts_range() {
+        let i = Interval::new(-2.0, 9.0).clamp(0.0, 1.0);
+        assert_eq!(i, Interval::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! # `ec-types` — shared primitives for the EcoCharge workspace
+//!
+//! This crate holds the vocabulary types every other EcoCharge crate speaks:
+//!
+//! * [`Interval`] — closed `[min, max]` ranges used to express the paper's
+//!   *Estimated Components* (fuzzy values with a lower and upper estimate);
+//! * [`GeoPoint`] / [`BoundingBox`] — WGS-84 coordinates with the distance
+//!   helpers the spatial layers need;
+//! * typed identifiers ([`NodeId`], [`EdgeId`], [`ChargerId`], …) so that a
+//!   charger id can never be confused with a graph node id;
+//! * [`SimTime`] — the simulation clock (seconds since the start of a
+//!   simulated week) that the weather, availability and traffic models key
+//!   their timetables on;
+//! * small physical-unit newtypes ([`KilowattHours`], [`Kilowatts`]) used at
+//!   API boundaries where mixing units would be a real bug;
+//! * [`EcError`] — the workspace-wide error type;
+//! * [`SplitMix64`] — a tiny deterministic PRNG used to derive reproducible
+//!   sub-seeds for workload generation without pulling `rand` into this
+//!   dependency-free base crate.
+
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod interval;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use error::EcError;
+pub use geo::{BoundingBox, GeoPoint, EARTH_RADIUS_M};
+pub use ids::{ChargerId, EdgeId, NodeId, SegmentId, TripId, VehicleId};
+pub use interval::Interval;
+pub use rng::SplitMix64;
+pub use time::{DayOfWeek, SimDuration, SimTime};
+pub use units::{Co2Grams, KilowattHours, Kilowatts, Meters, Seconds};

@@ -1,0 +1,332 @@
+//! The simulation clock.
+//!
+//! All estimated components are functions of *when*: solar output follows
+//! the diurnal cycle, charger busyness follows weekly "popular times"
+//! histograms, and traffic follows rush hours. [`SimTime`] counts seconds
+//! from the start of a simulated week (Monday 00:00) and wraps modulo one
+//! week for timetable lookups while retaining the absolute value so that
+//! forecast horizons (ETA minus now) remain meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in one minute/hour/day/week.
+pub const MINUTE_S: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR_S: u64 = 3_600;
+/// Seconds in one day.
+pub const DAY_S: u64 = 86_400;
+/// Seconds in one week.
+pub const WEEK_S: u64 = 7 * DAY_S;
+
+/// Day of week, Monday-first (matching the busy-timetable layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DayOfWeek {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl DayOfWeek {
+    /// All days, Monday first.
+    pub const ALL: [DayOfWeek; 7] =
+        [Self::Mon, Self::Tue, Self::Wed, Self::Thu, Self::Fri, Self::Sat, Self::Sun];
+
+    /// Day index, Monday = 0.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Is this a weekend day?
+    #[must_use]
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, Self::Sat | Self::Sun)
+    }
+
+    /// Day from index 0..7 (Monday = 0).
+    ///
+    /// # Panics
+    /// Panics when `i >= 7`.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+/// An absolute simulation instant: seconds since Monday 00:00 of week 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`]s, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation: Monday 00:00, week 0.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From raw seconds since simulation start.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Convenience constructor: week number, day, hour, minute.
+    ///
+    /// # Panics
+    /// Panics when `hour >= 24` or `minute >= 60`.
+    #[must_use]
+    pub fn at(week: u64, day: DayOfWeek, hour: u64, minute: u64) -> Self {
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        SimTime(week * WEEK_S + day.index() as u64 * DAY_S + hour * HOUR_S + minute * MINUTE_S)
+    }
+
+    /// Raw seconds since simulation start.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds into the current week (`0..WEEK_S`).
+    #[must_use]
+    pub const fn week_secs(self) -> u64 {
+        self.0 % WEEK_S
+    }
+
+    /// Day of week at this instant.
+    #[must_use]
+    pub fn day(self) -> DayOfWeek {
+        DayOfWeek::from_index((self.week_secs() / DAY_S) as usize)
+    }
+
+    /// Hour of day `0..24`.
+    #[must_use]
+    pub const fn hour(self) -> u64 {
+        (self.0 % DAY_S) / HOUR_S
+    }
+
+    /// Fractional hour of day `0.0..24.0` — what the solar geometry uses.
+    #[must_use]
+    pub fn hour_f64(self) -> f64 {
+        (self.0 % DAY_S) as f64 / HOUR_S as f64
+    }
+
+    /// Minute within the hour `0..60`.
+    #[must_use]
+    pub const fn minute(self) -> u64 {
+        (self.0 % HOUR_S) / MINUTE_S
+    }
+
+    /// Index of the 15-minute slot within the week (`0..672`) — the
+    /// resolution of the CDGS-style solar production series.
+    #[must_use]
+    pub const fn quarter_of_week(self) -> usize {
+        (self.week_secs() / (15 * MINUTE_S)) as usize
+    }
+
+    /// Index of the hour within the week (`0..168`) — the resolution of
+    /// the busy timetables.
+    #[must_use]
+    pub const fn hour_of_week(self) -> usize {
+        (self.week_secs() / HOUR_S) as usize
+    }
+
+    /// Day of the simulation (0-based, not wrapped) — used as a seasonal /
+    /// per-day seed for the weather realisation.
+    #[must_use]
+    pub const fn day_number(self) -> u64 {
+        self.0 / DAY_S
+    }
+
+    /// Saturating subtraction of two instants.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From raw seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// From whole minutes.
+    #[must_use]
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * MINUTE_S)
+    }
+
+    /// From whole hours.
+    #[must_use]
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * HOUR_S)
+    }
+
+    /// Raw seconds.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional hours.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / HOUR_S as f64
+    }
+
+    /// From fractional seconds (rounded to the nearest whole second).
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative: {s}");
+        SimDuration(s.round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{} {:?} {:02}:{:02}", self.0 / WEEK_S, self.day(), self.hour(), self.minute())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= HOUR_S {
+            write!(f, "{}h{:02}m", s / HOUR_S, (s % HOUR_S) / MINUTE_S)
+        } else if s >= MINUTE_S {
+            write!(f, "{}m{:02}s", s / MINUTE_S, s % MINUTE_S)
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_composes_fields() {
+        let t = SimTime::at(0, DayOfWeek::Tue, 10, 15);
+        assert_eq!(t.day(), DayOfWeek::Tue);
+        assert_eq!(t.hour(), 10);
+        assert_eq!(t.minute(), 15);
+    }
+
+    #[test]
+    fn week_wrap_preserves_day_and_hour() {
+        let t = SimTime::at(3, DayOfWeek::Sun, 23, 59);
+        assert_eq!(t.day(), DayOfWeek::Sun);
+        assert_eq!(t.hour(), 23);
+        assert_eq!(t.day_number(), 3 * 7 + 6);
+    }
+
+    #[test]
+    fn quarter_slot_resolution() {
+        assert_eq!(SimTime::at(0, DayOfWeek::Mon, 0, 0).quarter_of_week(), 0);
+        assert_eq!(SimTime::at(0, DayOfWeek::Mon, 0, 15).quarter_of_week(), 1);
+        assert_eq!(SimTime::at(0, DayOfWeek::Mon, 1, 0).quarter_of_week(), 4);
+        assert_eq!(SimTime::at(0, DayOfWeek::Sun, 23, 45).quarter_of_week(), 671);
+    }
+
+    #[test]
+    fn hour_of_week_range() {
+        assert_eq!(SimTime::at(0, DayOfWeek::Mon, 0, 30).hour_of_week(), 0);
+        assert_eq!(SimTime::at(0, DayOfWeek::Sun, 23, 30).hour_of_week(), 167);
+        assert_eq!(SimTime::at(5, DayOfWeek::Wed, 12, 0).hour_of_week(), 2 * 24 + 12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::at(0, DayOfWeek::Mon, 10, 0);
+        let eta = t + SimDuration::from_mins(90);
+        assert_eq!(eta.hour(), 11);
+        assert_eq!(eta.minute(), 30);
+        assert_eq!((eta - t).as_secs(), 90 * 60);
+        assert_eq!(eta.saturating_since(t).as_hours_f64(), 1.5);
+        // saturating in the other direction
+        assert_eq!((t - eta).as_secs(), 0);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(DayOfWeek::Sat.is_weekend());
+        assert!(DayOfWeek::Sun.is_weekend());
+        assert!(!DayOfWeek::Wed.is_weekend());
+    }
+
+    #[test]
+    fn hour_f64_is_fractional() {
+        let t = SimTime::at(0, DayOfWeek::Mon, 6, 45);
+        assert!((t.hour_f64() - 6.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_secs(45).to_string(), "45s");
+        assert_eq!(SimDuration::from_mins(5).to_string(), "5m00s");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2h00m");
+    }
+
+    #[test]
+    #[should_panic(expected = "hour")]
+    fn at_rejects_bad_hour() {
+        let _ = SimTime::at(0, DayOfWeek::Mon, 24, 0);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1.6).as_secs(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical-unit newtypes.
+//!
+//! The scoring pipeline mixes energies (kWh), powers (kW), distances
+//! (metres), times (seconds) and emissions (grams CO₂). These thin wrappers
+//! exist for the API boundaries where a bare `f64` would invite unit bugs
+//! (e.g. feeding a charger's kW rate where kWh over the ETA window is
+//! expected). Internally, hot loops unwrap to `f64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+macro_rules! define_unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The wrapped magnitude.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Construct, asserting finiteness and non-negativity.
+            ///
+            /// # Panics
+            /// Panics on NaN, infinity, or negative magnitude — all the
+            /// quantities these units model are physically non-negative.
+            #[must_use]
+            pub fn new(v: f64) -> Self {
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    concat!(stringify!($name), " must be finite and non-negative, got {}"),
+                    v
+                );
+                Self(v)
+            }
+
+            /// Pointwise maximum.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Pointwise minimum.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name((self.0 - rhs.0).max(0.0))
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, k: f64) -> $name {
+                $name(self.0 * k)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.3} ", $suffix), self.0)
+            }
+        }
+    };
+}
+
+define_unit!(
+    /// Energy in kilowatt-hours.
+    KilowattHours,
+    "kWh"
+);
+define_unit!(
+    /// Power in kilowatts.
+    Kilowatts,
+    "kW"
+);
+define_unit!(
+    /// Distance in metres.
+    Meters,
+    "m"
+);
+define_unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+define_unit!(
+    /// CO₂ emissions in grams.
+    Co2Grams,
+    "gCO2"
+);
+
+impl Kilowatts {
+    /// Energy delivered at this constant power over `hours`.
+    #[must_use]
+    pub fn over_hours(self, hours: f64) -> KilowattHours {
+        KilowattHours((self.0 * hours).max(0.0))
+    }
+}
+
+impl Meters {
+    /// Kilometres as a plain `f64`.
+    #[must_use]
+    pub fn km(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Construct from kilometres.
+    #[must_use]
+    pub fn from_km(km: f64) -> Self {
+        Meters::new(km * 1_000.0)
+    }
+}
+
+impl KilowattHours {
+    /// Approximate grid-average CO₂ for this energy (g/kWh factor).
+    ///
+    /// Used only by the derouting term: driving a detour burns battery
+    /// energy which (paper §II-A) maps to CO₂ at the network's emission
+    /// factor.
+    #[must_use]
+    pub fn to_co2(self, grams_per_kwh: f64) -> Co2Grams {
+        Co2Grams((self.0 * grams_per_kwh).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Kilowatts(11.0).over_hours(0.5);
+        assert!((e.value() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meters_km_conversion() {
+        assert_eq!(Meters::from_km(3.5).value(), 3_500.0);
+        assert_eq!(Meters(1_500.0).km(), 1.5);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let d = KilowattHours(1.0) - KilowattHours(5.0);
+        assert_eq!(d.value(), 0.0);
+    }
+
+    #[test]
+    fn co2_factor() {
+        let g = KilowattHours(2.0).to_co2(400.0);
+        assert_eq!(g.value(), 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn new_rejects_negative() {
+        let _ = Meters::new(-1.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Kilowatts(11.0).to_string(), "11.000 kW");
+        assert_eq!(Co2Grams(12.5).to_string(), "12.500 gCO2");
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Seconds(3.0).max(Seconds(5.0)), Seconds(5.0));
+        assert_eq!(Seconds(3.0).min(Seconds(5.0)), Seconds(3.0));
+    }
+}

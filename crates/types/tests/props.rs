@@ -1,0 +1,181 @@
+//! Property tests for the base types: interval algebra, geographic
+//! distance, the simulation clock, and seed derivation.
+
+use ec_types::{DayOfWeek, GeoPoint, Interval, SimDuration, SimTime, SplitMix64};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6
+}
+
+proptest! {
+    // ---- Interval algebra ----
+
+    #[test]
+    fn interval_constructor_orders(a in finite(), b in finite()) {
+        let i = Interval::new(a, b);
+        prop_assert!(i.lo() <= i.hi());
+        prop_assert!(i.contains(i.mid()));
+        prop_assert!(i.width() >= 0.0);
+    }
+
+    #[test]
+    fn interval_add_is_commutative_and_contains_sums(
+        a in finite(), b in finite(), c in finite(), d in finite(),
+        ta in 0.0..1.0f64, tb in 0.0..1.0f64,
+    ) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        // Fundamental containment: the sum of any two members is a member.
+        let s = x.lerp(ta) + y.lerp(tb);
+        prop_assert!((x + y).contains(s), "{} + {} ∌ {}", x, y, s);
+    }
+
+    #[test]
+    fn interval_mul_contains_products(
+        a in -100.0..100.0f64, b in -100.0..100.0f64,
+        c in -100.0..100.0f64, d in -100.0..100.0f64,
+        ta in 0.0..1.0f64, tb in 0.0..1.0f64,
+    ) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        let p = x.lerp(ta) * y.lerp(tb);
+        prop_assert!((x * y).contains(p - 1e-9) || (x * y).contains(p + 1e-9) || (x * y).contains(p));
+    }
+
+    #[test]
+    fn interval_sub_contains_differences(
+        a in finite(), b in finite(), c in finite(), d in finite(),
+        ta in 0.0..1.0f64, tb in 0.0..1.0f64,
+    ) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        let diff = x.lerp(ta) - y.lerp(tb);
+        prop_assert!((x - y).contains(diff));
+    }
+
+    #[test]
+    fn intersect_is_commutative_and_contained(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        let i1 = x.intersect(&y);
+        let i2 = y.intersect(&x);
+        prop_assert_eq!(i1, i2);
+        if let Some(i) = i1 {
+            prop_assert!(x.contains_interval(&i));
+            prop_assert!(y.contains_interval(&i));
+        } else {
+            prop_assert!(!x.overlaps(&y));
+        }
+    }
+
+    #[test]
+    fn hull_contains_both_and_is_minimal(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        let h = x.hull(&y);
+        prop_assert!(h.contains_interval(&x) && h.contains_interval(&y));
+        prop_assert!(h.lo() == x.lo().min(y.lo()) && h.hi() == x.hi().max(y.hi()));
+    }
+
+    #[test]
+    fn complement_is_involutive_on_unit(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let x = Interval::new(a, b);
+        let cc = x.complement().complement();
+        prop_assert!((cc.lo() - x.lo()).abs() < 1e-12);
+        prop_assert!((cc.hi() - x.hi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_is_asymmetric(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        if x.necessarily_gt(&y) {
+            prop_assert!(!y.necessarily_gt(&x));
+            prop_assert!(x.possibly_gt(&y));
+        }
+    }
+
+    #[test]
+    fn normalized_lands_in_unit(a in 0.0..1.0e5f64, b in 0.0..1.0e5f64, max in 1e-3..1.0e5f64) {
+        let n = Interval::new(a, b).normalized(max);
+        prop_assert!(n.lo() >= 0.0 && n.hi() <= 1.0);
+    }
+
+    // ---- Geography ----
+
+    #[test]
+    fn haversine_triangle_inequality(
+        lon1 in -10.0..10.0f64, lat1 in 40.0..60.0f64,
+        lon2 in -10.0..10.0f64, lat2 in 40.0..60.0f64,
+        lon3 in -10.0..10.0f64, lat3 in 40.0..60.0f64,
+    ) {
+        let a = GeoPoint::new(lon1, lat1);
+        let b = GeoPoint::new(lon2, lat2);
+        let c = GeoPoint::new(lon3, lat3);
+        prop_assert!(a.haversine_m(&c) <= a.haversine_m(&b) + b.haversine_m(&c) + 1e-6);
+    }
+
+    #[test]
+    fn offset_distance_roundtrip(dx in -20_000.0..20_000.0f64, dy in -20_000.0..20_000.0f64) {
+        let origin = GeoPoint::new(8.2, 53.1);
+        let p = origin.offset_m(dx, dy);
+        let expect = (dx * dx + dy * dy).sqrt();
+        let got = origin.fast_dist_m(&p);
+        prop_assert!((got - expect).abs() < expect.max(1.0) * 0.01, "expect {expect} got {got}");
+    }
+
+    #[test]
+    fn fast_dist_close_to_haversine(
+        lon in 5.0..15.0f64, lat in 45.0..55.0f64,
+        dx in -50_000.0..50_000.0f64, dy in -50_000.0..50_000.0f64,
+    ) {
+        let a = GeoPoint::new(lon, lat);
+        let b = a.offset_m(dx, dy);
+        let h = a.haversine_m(&b);
+        let f = a.fast_dist_m(&b);
+        prop_assert!((h - f).abs() <= h.max(1.0) * 0.01);
+    }
+
+    // ---- Clock ----
+
+    #[test]
+    fn sim_time_field_roundtrip(week in 0u64..52, day in 0usize..7, hour in 0u64..24, min in 0u64..60) {
+        let d = DayOfWeek::from_index(day);
+        let t = SimTime::at(week, d, hour, min);
+        prop_assert_eq!(t.day(), d);
+        prop_assert_eq!(t.hour(), hour);
+        prop_assert_eq!(t.minute(), min);
+        prop_assert!(t.quarter_of_week() < 672);
+        prop_assert!(t.hour_of_week() < 168);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(s1 in 0u64..1_000_000, s2 in 0u64..1_000_000) {
+        let t = SimTime::from_secs(s1);
+        let d = SimDuration::from_secs(s2);
+        prop_assert_eq!(((t + d) - t).as_secs(), s2);
+        prop_assert_eq!((t + d).saturating_since(t).as_secs(), s2);
+        prop_assert_eq!(t.saturating_since(t + d).as_secs(), 0);
+    }
+
+    // ---- Seeds ----
+
+    #[test]
+    fn splitmix_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_never_escapes_range(seed in any::<u64>(), n in 1u64..10_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! A full simulated fleet day, closed loop: vehicles drive their
+//! schedules, occupy chargers, harvest the solar the production series
+//! actually delivers, and buy the rest from the grid. Three charging
+//! policies compete on the identical world.
+//!
+//! This is the system-level view of the paper's premise — renewable
+//! *hoarding* — with physical charger occupancy closing the loop the
+//! open-loop evaluation cannot.
+//!
+//! ```text
+//! cargo run --example day_in_the_life --release
+//! ```
+
+use fleetsim::{simulate_day, FleetSimConfig, Policy, ScheduleParams};
+use roadnet::{urban_grid, UrbanGridParams};
+
+fn main() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let config = FleetSimConfig {
+        schedule: ScheduleParams { vehicles: 60, seed: 3, ..Default::default() },
+        charger_count: 350,
+        charge_target_kwh: 15.0,
+        max_plug_h: 2.0,
+        seed: 3,
+        ..Default::default()
+    };
+    println!(
+        "simulating a Tuesday: {} vehicles, {} chargers, {:.0}x{:.0} km city\n",
+        config.schedule.vehicles,
+        config.charger_count,
+        graph.bounds().width_m() / 1_000.0,
+        graph.bounds().height_m() / 1_000.0
+    );
+
+    println!(
+        "{:<11} {:>7} {:>10} {:>11} {:>10} {:>9} {:>12} {:>8}",
+        "policy", "stops", "conflicts", "clean kWh", "grid kWh", "clean %", "detour kWh", "skipped"
+    );
+    let mut outcomes = Vec::new();
+    for mut policy in [Policy::ecocharge(), Policy::Nearest, Policy::random(99)] {
+        let out = simulate_day(&graph, &mut policy, &config);
+        println!(
+            "{:<11} {:>7} {:>10} {:>11.1} {:>10.1} {:>8.1}% {:>12.1} {:>8}",
+            out.policy,
+            out.charge_stops,
+            out.conflicts,
+            out.clean_kwh,
+            out.grid_kwh,
+            out.clean_fraction() * 100.0,
+            out.detour_kwh,
+            out.skipped
+        );
+        outcomes.push(out);
+    }
+
+    let eco = &outcomes[0];
+    let near = &outcomes[1];
+    println!(
+        "\nEcoCharge hoarded {:.0} kWh more solar than the nearest-charger habit \
+         (+{:.0} percentage points of clean fraction),",
+        eco.clean_kwh - near.clean_kwh,
+        (eco.clean_fraction() - near.clean_fraction()) * 100.0
+    );
+    println!(
+        "at a price of {:.0} extra detour kWh and {} charger conflicts — the trade-off",
+        eco.detour_kwh - near.detour_kwh,
+        eco.conflicts
+    );
+    println!("the paper's weighted Sustainability Score is designed to balance.");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a small world, schedule a trip, and print the
+//! Offering Table EcoCharge produces for every path segment.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{CknnQuery, EcoCharge, EcoChargeConfig, QueryCtx};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams};
+
+fn main() {
+    // 1. A mid-size city road network (Oldenburg-like, ~1 300 nodes).
+    let graph = urban_grid(&UrbanGridParams::default());
+    println!(
+        "network: {} nodes, {} directed edges, {:.0}×{:.0} km",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.bounds().width_m() / 1_000.0,
+        graph.bounds().height_m() / 1_000.0
+    );
+
+    // 2. A PlugShare-style charger fleet with attached solar capacity.
+    let fleet = synth_fleet(&graph, &FleetParams { count: 300, seed: 7, ..Default::default() });
+    println!("fleet:   {} chargers (max clean power {:.0} kW)", fleet.len(), fleet.max_clean_power_kw());
+
+    // 3. The estimated-component providers behind the information server.
+    let sims = SimProviders::new(7);
+    let server = InfoServer::from_sims(sims.clone());
+
+    // 4. A scheduled trip (Tuesday morning, 12–20 km across town).
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams { trips: 1, min_trip_m: 12_000.0, max_trip_m: 20_000.0, ..Default::default() },
+    )
+    .remove(0);
+    println!(
+        "trip:    {:.1} km departing {} (free-flow {})\n",
+        trip.length_m() / 1_000.0,
+        trip.depart,
+        trip.duration(&graph)
+    );
+
+    // 5. Run the continuous query: one Offering Table per ~4 km segment.
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let query = CknnQuery::new(&ctx, &trip).expect("trip is non-degenerate");
+    let mut method = EcoCharge::new();
+    let results = query.run(&ctx, &trip, &mut method).expect("providers are simulated");
+
+    for (sp, table) in &results {
+        println!("-- segment {} ({}) --", sp.segment, sp.eta);
+        print!("{}", table.render());
+        println!();
+    }
+    let (hits, misses) = method.cache_stats();
+    println!("dynamic cache: {hits} adaptations, {misses} full recomputations");
+    let (cache_hits, cache_misses) = server.cache_stats();
+    println!("info server:   {cache_hits} cache hits / {cache_misses} misses across providers");
+}

@@ -1,0 +1,133 @@
+//! Render the EcoCharge "app view" as an SVG map — the headless analog of
+//! the paper's Folium/Leaflet client (§IV-B): road network, charger fleet,
+//! the scheduled trip with its split points, and the current Offering
+//! Table's chargers highlighted with their ranks.
+//!
+//! ```text
+//! cargo run --example render_map --release          # writes ecocharge_map.svg
+//! ```
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::{BoundingBox, GeoPoint};
+use ecocharge_core::{CknnQuery, EcoCharge, EcoChargeConfig, QueryCtx};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, RoadClass, UrbanGridParams};
+use std::fmt::Write as _;
+use trajgen::{generate_trips, BrinkhoffParams};
+
+const W: f64 = 1200.0;
+const H: f64 = 900.0;
+
+struct Projector {
+    bb: BoundingBox,
+}
+
+impl Projector {
+    fn px(&self, p: &GeoPoint) -> (f64, f64) {
+        let x = (p.lon - self.bb.min.lon) / (self.bb.max.lon - self.bb.min.lon) * (W - 40.0) + 20.0;
+        let y = H - 20.0 - (p.lat - self.bb.min.lat) / (self.bb.max.lat - self.bb.min.lat) * (H - 40.0);
+        (x, y)
+    }
+}
+
+fn main() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let fleet = synth_fleet(&graph, &FleetParams { count: 250, seed: 31, ..Default::default() });
+    let sims = SimProviders::new(31);
+    let server = InfoServer::from_sims(sims.clone());
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams { trips: 1, min_trip_m: 15_000.0, max_trip_m: 25_000.0, seed: 14, ..Default::default() },
+    )
+    .remove(0);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let query = CknnQuery::new(&ctx, &trip).expect("trip is valid");
+    let mut method = EcoCharge::new();
+    let table = {
+        use ecocharge_core::RankingMethod as _;
+        method.offering_table(&ctx, &trip, 0.0, trip.depart).expect("offers exist")
+    };
+
+    let proj = Projector { bb: graph.bounds() };
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="{W}" height="{H}" fill="#fbfaf7"/>"##);
+
+    // Roads (arterials heavier).
+    for v in 0..graph.num_nodes() {
+        let v = ec_types::NodeId::from_index(v);
+        let (x1, y1) = proj.px(&graph.point(v));
+        for (e, u) in graph.out_edges(v) {
+            if u.0 < v.0 {
+                continue; // draw each two-way street once
+            }
+            let (x2, y2) = proj.px(&graph.point(u));
+            let (color, width) = match graph.edge_class(e) {
+                RoadClass::Motorway => ("#9a9a9a", 2.2),
+                RoadClass::Primary => ("#b9b4a6", 1.6),
+                _ => ("#ddd8cc", 0.8),
+            };
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="{width}"/>"#
+            );
+        }
+    }
+
+    // Charger fleet (small dots, archetype-free grey).
+    for c in fleet.iter() {
+        let (x, y) = proj.px(&c.loc);
+        let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="2.5" fill="#8aa0b4"/>"##);
+    }
+
+    // The scheduled trip.
+    let mut path = String::new();
+    for (i, n) in trip.route.nodes().iter().enumerate() {
+        let (x, y) = proj.px(&graph.point(*n));
+        let _ = write!(path, "{}{x:.1},{y:.1} ", if i == 0 { "M" } else { "L" });
+    }
+    let _ = writeln!(
+        svg,
+        r##"<path d="{path}" fill="none" stroke="#2b6cb0" stroke-width="3.5" stroke-linecap="round"/>"##
+    );
+
+    // Split points.
+    for sp in query.split_points() {
+        let (x, y) = proj.px(&sp.position);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="#fff" stroke="#2b6cb0" stroke-width="2"/>"##
+        );
+    }
+
+    // Offering Table chargers with rank badges.
+    for (rank, entry) in table.entries.iter().enumerate() {
+        let c = fleet.get(entry.charger);
+        let (x, y) = proj.px(&c.loc);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="11" fill="#38a169" stroke="#1c4532" stroke-width="2"/>
+<text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="12" font-weight="bold" fill="#fff" text-anchor="middle">{}</text>"##,
+            y + 4.0,
+            rank + 1
+        );
+    }
+
+    // Legend.
+    let _ = writeln!(
+        svg,
+        r##"<text x="24" y="32" font-family="sans-serif" font-size="18" fill="#333">EcoCharge Offering Table — trip {:.1} km, {} chargers, k = {}</text>"##,
+        trip.length_m() / 1_000.0,
+        fleet.len(),
+        table.len()
+    );
+    let _ = writeln!(svg, "</svg>");
+
+    let out = "ecocharge_map.svg";
+    std::fs::write(out, &svg).expect("writable working directory");
+    println!("wrote {out} ({} bytes)", svg.len());
+    println!("top offer: {} (SC {})", table.best().unwrap().charger, table.best().unwrap().sc);
+}

@@ -1,0 +1,14 @@
+//! # EcoCharge — facade crate
+//!
+//! Re-exports the whole workspace under one roof. See the individual
+//! crates for detail; `ecocharge_core` holds the paper's contribution.
+
+pub use chargers;
+pub use ec_models;
+pub use ec_types;
+pub use ecocharge_core as core;
+pub use eis;
+pub use fleetsim;
+pub use roadnet;
+pub use spatial_index;
+pub use trajgen;

@@ -1,0 +1,72 @@
+//! Cross-crate closed-loop integration: the fleet-day simulation must
+//! reproduce the system-level ordering the paper's whole design implies —
+//! EcoCharge harvests more solar than naive policies on the same world —
+//! across several independently seeded worlds.
+
+use fleetsim::{simulate_day, FleetSimConfig, Policy, ScheduleParams};
+use roadnet::{urban_grid, UrbanGridParams};
+
+fn config(seed: u64) -> FleetSimConfig {
+    FleetSimConfig {
+        schedule: ScheduleParams { vehicles: 25, seed, ..Default::default() },
+        charger_count: 200,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ecocharge_beats_nearest_on_clean_fraction_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let graph = urban_grid(&UrbanGridParams { seed, ..Default::default() });
+        let cfg = config(seed);
+        let mut eco = Policy::ecocharge();
+        let eco_out = simulate_day(&graph, &mut eco, &cfg);
+        let mut near = Policy::Nearest;
+        let near_out = simulate_day(&graph, &mut near, &cfg);
+        assert!(
+            eco_out.clean_fraction() > near_out.clean_fraction(),
+            "seed {seed}: EcoCharge {:.3} vs Nearest {:.3}",
+            eco_out.clean_fraction(),
+            near_out.clean_fraction()
+        );
+        assert!(eco_out.charge_stops > 0 && near_out.charge_stops > 0);
+    }
+}
+
+#[test]
+fn random_policy_is_not_the_best_hoarder() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let cfg = config(5);
+    let mut eco = Policy::ecocharge();
+    let eco_out = simulate_day(&graph, &mut eco, &cfg);
+    let mut rnd = Policy::random(11);
+    let rnd_out = simulate_day(&graph, &mut rnd, &cfg);
+    assert!(
+        eco_out.clean_fraction() > rnd_out.clean_fraction(),
+        "EcoCharge {:.3} vs Random {:.3}",
+        eco_out.clean_fraction(),
+        rnd_out.clean_fraction()
+    );
+}
+
+#[test]
+fn occupancy_is_respected_fleet_wide() {
+    // Pile many vehicles into a tiny charger fleet: the simulation must
+    // record conflicts rather than over-booking plugs.
+    let graph = urban_grid(&UrbanGridParams::default());
+    let cfg = FleetSimConfig {
+        schedule: ScheduleParams { vehicles: 40, seed: 9, ..Default::default() },
+        charger_count: 12,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut eco = Policy::ecocharge();
+    let out = simulate_day(&graph, &mut eco, &cfg);
+    assert!(
+        out.conflicts > 0 || out.skipped > 0,
+        "40 vehicles on 12 chargers must contend: {out:?}"
+    );
+    // Everyone either charged, skipped, or had too short a window.
+    assert!(out.charge_stops + out.skipped <= 40 * 3);
+}

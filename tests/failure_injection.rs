@@ -1,0 +1,138 @@
+//! Resilience: what happens when a provider feed fails mid-drive.
+//!
+//! The EIS caches give natural resilience — a failed upstream call only
+//! hurts when the needed entry is cold. These tests wire
+//! [`FlakyProvider`] failure injection behind the information server and
+//! check that (a) errors surface as typed `ProviderUnavailable`, (b)
+//! cached entries keep answering through outages, and (c) the system
+//! recovers after the outage.
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::{EcError, GeoPoint, SimDuration};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use eis::{FlakyProvider, InfoServer, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use std::sync::Arc;
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+fn world() -> (roadnet::RoadGraph, chargers::ChargerFleet, SimProviders, Vec<Trip>) {
+    let graph = urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() });
+    let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 9, ..Default::default() });
+    let sims = SimProviders::new(9);
+    let trips = generate_trips(
+        &graph,
+        &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, seed: 9, ..Default::default() },
+    );
+    (graph, fleet, sims, trips)
+}
+
+#[test]
+fn hard_weather_outage_surfaces_typed_error() {
+    let (graph, fleet, sims, trips) = world();
+    // Weather fails on every call; availability and traffic stay healthy.
+    let weather = Arc::new(FlakyProvider::new(sims.clone(), 1, "weather"));
+    let healthy = Arc::new(sims.clone());
+    let server = InfoServer::new(weather, healthy.clone(), healthy);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let mut method = EcoCharge::new();
+    let err = method.offering_table(&ctx, &trips[0], 0.0, trips[0].depart).unwrap_err();
+    assert_eq!(err, EcError::ProviderUnavailable("weather".to_string()));
+}
+
+#[test]
+fn intermittent_failures_heal_through_retries_and_cache() {
+    let (graph, fleet, sims, trips) = world();
+    // Every 7th upstream call fails.
+    let flaky = Arc::new(FlakyProvider::new(sims.clone(), 7, "bundle"));
+    let server = InfoServer::new(flaky.clone(), flaky.clone(), flaky.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let mut method = EcoCharge::new();
+    let trip = &trips[0];
+
+    // Retry loop, as a client app would: failed fetches are not cached,
+    // but every *successful* fetch before the failure is — so each retry
+    // makes monotone progress (~7 new entries per attempt here) until a
+    // pass completes without touching a failing call.
+    let mut ok = 0;
+    for attempt in 0..40 {
+        match method.offering_table(&ctx, trip, 0.0, trip.depart) {
+            Ok(table) => {
+                assert!(!table.is_empty());
+                ok += 1;
+                break;
+            }
+            Err(EcError::ProviderUnavailable(_)) => continue,
+            Err(other) => panic!("unexpected error on attempt {attempt}: {other}"),
+        }
+    }
+    assert_eq!(ok, 1, "a few retries must eventually fill the caches");
+
+    // Once warm, the same query point answers entirely from cache: no new
+    // upstream calls, no exposure to the flakiness.
+    let calls_before = flaky.calls();
+    let again = method.offering_table(&ctx, trip, 100.0, trip.depart + SimDuration::from_mins(1));
+    assert!(again.is_ok(), "warm caches must mask the flaky provider");
+    let new_calls = flaky.calls() - calls_before;
+    assert!(
+        new_calls <= 2,
+        "adaptation path should be nearly cache-complete, made {new_calls} upstream calls"
+    );
+}
+
+#[test]
+fn degenerate_inputs_are_typed_errors() {
+    let (graph, fleet, sims, _trips) = world();
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    // A trip of one node cannot be built at all.
+    let one_node = roadnet::Route::from_nodes(&graph, vec![ec_types::NodeId(0)]);
+    assert!(matches!(one_node, Err(EcError::DegenerateTrip(_))));
+
+    // An empty fleet yields NoCandidates for any query.
+    let empty_fleet = chargers::ChargerFleet::new(Vec::new());
+    let ctx2 = QueryCtx::new(&graph, &empty_fleet, &server, &sims, EcoChargeConfig::default());
+    let trips = generate_trips(
+        &graph,
+        &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, seed: 4, ..Default::default() },
+    );
+    let mut method = EcoCharge::new();
+    assert!(matches!(
+        method.offering_table(&ctx2, &trips[0], 0.0, trips[0].depart),
+        Err(EcError::NoCandidates)
+    ));
+    let _ = ctx; // keep the healthy context alive for symmetry
+}
+
+#[test]
+fn stale_cache_expires_even_when_provider_is_down() {
+    let (graph, fleet, sims, trips) = world();
+    let trip = &trips[0];
+    // Healthy warm-up, then total outage.
+    let toggle = Arc::new(FlakyProvider::new(sims.clone(), 0, "bundle"));
+    let server = InfoServer::new(toggle.clone(), toggle.clone(), toggle.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let mut method = EcoCharge::new();
+    assert!(method.offering_table(&ctx, trip, 0.0, trip.depart).is_ok());
+
+    // 20 minutes later (past the 15-minute forecast TTL *and* past the
+    // dynamic-cache gate only if we move), a failing provider means the
+    // refreshed forecasts cannot be served.
+    let down = Arc::new(FlakyProvider::new(sims.clone(), 1, "bundle"));
+    let server_down = InfoServer::new(down.clone(), down.clone(), down);
+    let ctx_down = QueryCtx::new(&graph, &fleet, &server_down, &sims, EcoChargeConfig::default());
+    let later = trip.depart + SimDuration::from_mins(20);
+    let mut fresh_method = EcoCharge::new();
+    assert!(matches!(
+        fresh_method.offering_table(&ctx_down, trip, 6_000.0, later),
+        Err(EcError::ProviderUnavailable(_))
+    ));
+}
+
+#[test]
+fn geo_point_edge_of_world_is_rejected_cleanly() {
+    // Coordinate validation is a panic (programming error), not a typed
+    // error — verify the contract.
+    let result = std::panic::catch_unwind(|| GeoPoint::new(200.0, 0.0));
+    assert!(result.is_err());
+}

@@ -1,0 +1,110 @@
+//! The three operating modes (§IV) must be *semantically* equivalent:
+//! where the ranking runs changes latency and bytes, never the table.
+//! Mode 1 (embedded) runs in-process; Mode 2 (server) runs behind a
+//! crossbeam request bus in another thread; Mode 3 (edge) is a second
+//! in-process instance with its own caches. All three must produce
+//! identical rankings for the same trip.
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::{ChargerId, SimTime};
+use ecocharge_core::{CknnQuery, EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use eis::rpc::ServiceBus;
+use eis::{InfoServer, Mode, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use std::sync::Arc;
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+const SEED: u64 = 77;
+
+fn world() -> (roadnet::RoadGraph, Vec<Trip>) {
+    let graph = urban_grid(&UrbanGridParams { cols: 20, rows: 20, ..Default::default() });
+    let trips = generate_trips(
+        &graph,
+        &BrinkhoffParams { trips: 2, min_trip_m: 10_000.0, max_trip_m: 16_000.0, seed: SEED, ..Default::default() },
+    );
+    (graph, trips)
+}
+
+/// Drive the whole trip in-process and return per-segment rankings.
+fn drive_in_process(graph: &roadnet::RoadGraph, trip: &Trip) -> Vec<Vec<ChargerId>> {
+    let fleet = synth_fleet(graph, &FleetParams { count: 150, seed: SEED, ..Default::default() });
+    let sims = SimProviders::new(SEED);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let query = CknnQuery::new(&ctx, trip).unwrap();
+    let mut method = EcoCharge::new();
+    query
+        .run(&ctx, trip, &mut method)
+        .unwrap()
+        .into_iter()
+        .map(|(_, t)| t.charger_ids())
+        .collect()
+}
+
+/// Drive the trip against a Mode-2 server thread.
+fn drive_via_server(graph_seed_world: &roadnet::RoadGraph, trip: &Trip) -> Vec<Vec<ChargerId>> {
+    let (client, _bus) = ServiceBus::spawn({
+        // The server rebuilds the identical world from the same seeds.
+        let graph = urban_grid(&UrbanGridParams { cols: 20, rows: 20, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: SEED, ..Default::default() });
+        let sims = SimProviders::new(SEED);
+        let server = InfoServer::from_sims(sims.clone());
+        let mut method = EcoCharge::new();
+        move |(trip, offset_m, now, reset): (Arc<Trip>, f64, SimTime, bool)| {
+            let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+            if reset {
+                method.reset_trip();
+            }
+            method
+                .offering_table(&ctx, &trip, offset_m, now)
+                .map(|t| t.charger_ids())
+                .unwrap_or_default()
+        }
+    });
+
+    // The client only needs the split offsets, which it derives from its
+    // own copy of the world.
+    let fleet = synth_fleet(graph_seed_world, &FleetParams { count: 150, seed: SEED, ..Default::default() });
+    let sims = SimProviders::new(SEED);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(graph_seed_world, &fleet, &server, &sims, EcoChargeConfig::default());
+    let query = CknnQuery::new(&ctx, trip).unwrap();
+    let shared = Arc::new(trip.clone());
+    query
+        .split_points()
+        .iter()
+        .enumerate()
+        .map(|(i, sp)| {
+            client.call((shared.clone(), sp.offset_m, sp.eta, i == 0)).expect("server alive")
+        })
+        .collect()
+}
+
+#[test]
+fn all_modes_rank_identically() {
+    let (graph, trips) = world();
+    for trip in &trips {
+        let mode1 = drive_in_process(&graph, trip); // embedded
+        let mode2 = drive_via_server(&graph, trip); // central server
+        let mode3 = drive_in_process(&graph, trip); // edge device (own caches)
+        assert_eq!(mode1, mode2, "server mode diverged");
+        assert_eq!(mode1, mode3, "edge mode diverged");
+        assert!(!mode1.is_empty());
+        assert!(mode1.iter().all(|r| !r.is_empty()));
+    }
+}
+
+#[test]
+fn mode_cost_model_orderings() {
+    // With warm data everywhere, the embedded mode has no network cost at
+    // all for small compute; the server mode wins once compute dominates.
+    let ranking_cost_ms = 1.0; // what we measured for EcoCharge
+    let embedded = Mode::Embedded.costs().refresh_latency_ms(ranking_cost_ms, true);
+    let server = Mode::Server.costs().refresh_latency_ms(ranking_cost_ms, true);
+    let edge = Mode::Edge.costs().refresh_latency_ms(ranking_cost_ms, true);
+    assert!(embedded < server, "cheap compute favours on-vehicle ranking");
+    assert!(edge < server);
+    // Cold provider data penalises the modes that fetch raw feeds.
+    let embedded_cold = Mode::Embedded.costs().refresh_latency_ms(ranking_cost_ms, false);
+    assert!(embedded_cold > server, "cold embedded refresh pays the data fetch");
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline integration: every dataset preset, every method,
+//! the full CkNN-EC loop, refereed by the oracle — the miniature version
+//! of the Figure 6 evaluation with hard assertions on its shape.
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{
+    evaluate_method, BruteForce, EcoCharge, EcoChargeConfig, IndexQuadtree, Oracle, QueryCtx,
+    RandomPick, Weights,
+};
+use eis::{InfoServer, SimProviders};
+use trajgen::{Dataset, DatasetKind, DatasetScale};
+
+struct World {
+    dataset: Dataset,
+    fleet: chargers::ChargerFleet,
+    sims: SimProviders,
+    server: InfoServer,
+}
+
+impl World {
+    fn build(kind: DatasetKind) -> Self {
+        let dataset = Dataset::build(kind, DatasetScale::smoke(), 11);
+        let fleet = synth_fleet(
+            &dataset.graph,
+            &FleetParams { count: 200.min(dataset.graph.num_nodes()), seed: 11, ..Default::default() },
+        );
+        let sims = SimProviders::new(11);
+        let server = InfoServer::from_sims(sims.clone());
+        Self { dataset, fleet, sims, server }
+    }
+
+    fn ctx(&self) -> QueryCtx<'_> {
+        QueryCtx::new(
+            &self.dataset.graph,
+            &self.fleet,
+            &self.server,
+            &self.sims,
+            EcoChargeConfig::default(),
+        )
+    }
+}
+
+fn shape_check(kind: DatasetKind) {
+    let w = World::build(kind);
+    let ctx = w.ctx();
+    let trips = &w.dataset.trips[..2.min(w.dataset.trips.len())];
+    let mut oracle = Oracle::new(Weights::awe());
+
+    let mut bf = BruteForce::new();
+    let bf_out = evaluate_method(&ctx, trips, &mut bf, &mut oracle).unwrap();
+    let mut qt = IndexQuadtree::new();
+    let qt_out = evaluate_method(&ctx, trips, &mut qt, &mut oracle).unwrap();
+    let mut rnd = RandomPick::new(5);
+    let rnd_out = evaluate_method(&ctx, trips, &mut rnd, &mut oracle).unwrap();
+    let mut eco = EcoCharge::new();
+    let eco_out = evaluate_method(&ctx, trips, &mut eco, &mut oracle).unwrap();
+
+    // Everyone produced tables.
+    for out in [&bf_out, &qt_out, &rnd_out, &eco_out] {
+        assert!(out.tables > 0, "{kind:?}/{}: no tables", out.method);
+    }
+    // Brute-Force is the 100 % line.
+    assert!(
+        (bf_out.mean_sc_pct - 100.0).abs() < 1e-6,
+        "{kind:?}: BF {}",
+        bf_out.mean_sc_pct
+    );
+    // EcoCharge is near-optimal and clearly beats Random.
+    assert!(eco_out.mean_sc_pct > 85.0, "{kind:?}: EcoCharge {}", eco_out.mean_sc_pct);
+    assert!(
+        eco_out.mean_sc_pct > rnd_out.mean_sc_pct,
+        "{kind:?}: EcoCharge {} vs Random {}",
+        eco_out.mean_sc_pct,
+        rnd_out.mean_sc_pct
+    );
+    // Random is the floor of the scored methods.
+    assert!(rnd_out.mean_sc_pct < qt_out.mean_sc_pct, "{kind:?}: Random beat Quadtree");
+    // Cost ordering: the naive exhaustive loop dominates everything.
+    assert!(
+        bf_out.mean_ft_ms > qt_out.mean_ft_ms,
+        "{kind:?}: BF {} !> QT {}",
+        bf_out.mean_ft_ms,
+        qt_out.mean_ft_ms
+    );
+    assert!(
+        bf_out.mean_ft_ms > eco_out.mean_ft_ms * 5.0,
+        "{kind:?}: BF {} not ≫ EcoCharge {}",
+        bf_out.mean_ft_ms,
+        eco_out.mean_ft_ms
+    );
+}
+
+#[test]
+fn oldenburg_pipeline_shape() {
+    shape_check(DatasetKind::Oldenburg);
+}
+
+#[test]
+fn california_pipeline_shape() {
+    shape_check(DatasetKind::California);
+}
+
+#[test]
+fn tdrive_pipeline_shape() {
+    shape_check(DatasetKind::TDrive);
+}
+
+#[test]
+fn geolife_pipeline_shape() {
+    shape_check(DatasetKind::Geolife);
+}
+
+#[test]
+fn radius_sweep_monotone_candidates() {
+    // Growing R can only grow the candidate pool a full solve examines.
+    let w = World::build(DatasetKind::Oldenburg);
+    let trip = &w.dataset.trips[0];
+    let pos = trip.position_at_offset(&w.dataset.graph, 0.0);
+    let mut last = 0;
+    for r in [10.0, 25.0, 50.0, 75.0] {
+        let n = w.fleet.within_radius(&pos, r * 1_000.0).len();
+        assert!(n >= last, "R={r}: {n} < {last}");
+        last = n;
+    }
+    assert!(last > 0);
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! worlds, not just the checked-in fixtures.
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::{GeoPoint, SimTime, SplitMix64};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, Oracle, QueryCtx, RankingMethod, Weights};
+use eis::{InfoServer, SimProviders};
+use proptest::prelude::*;
+use roadnet::{urban_grid, UrbanGridParams};
+use spatial_index::{brute, QuadTree};
+use trajgen::{generate_trips, BrinkhoffParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Quadtree kNN must agree with the linear scan for any point cloud.
+    #[test]
+    fn quadtree_knn_equals_brute(seed in 0u64..1_000, n in 1usize..300, k in 1usize..20) {
+        let mut rng = SplitMix64::new(seed);
+        let origin = GeoPoint::new(8.0, 53.0);
+        let items: Vec<(GeoPoint, usize)> = (0..n)
+            .map(|i| (origin.offset_m(rng.range_f64(0.0, 30_000.0), rng.range_f64(0.0, 30_000.0)), i))
+            .collect();
+        let tree = QuadTree::bulk(items.clone());
+        let q = origin.offset_m(rng.range_f64(-5_000.0, 35_000.0), rng.range_f64(-5_000.0, 35_000.0));
+        let got: Vec<usize> = tree.knn(&q, k).iter().map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, k).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// For any seed, EcoCharge's offers stay inside the configured radius
+    /// and the table never exceeds k entries.
+    #[test]
+    fn offers_respect_radius_and_k(seed in 0u64..200, k in 1usize..8, radius_km in 5.0f64..60.0) {
+        let graph = urban_grid(&UrbanGridParams { cols: 12, rows: 12, seed, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 40, seed, ..Default::default() });
+        let sims = SimProviders::new(seed);
+        let server = InfoServer::from_sims(sims.clone());
+        let config = EcoChargeConfig { k, radius_km, range_km: 0.0, ..EcoChargeConfig::default() };
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, config);
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams { trips: 1, min_trip_m: 3_000.0, max_trip_m: 8_000.0, seed, ..Default::default() },
+        );
+        let mut m = EcoCharge::new();
+        match m.offering_table(&ctx, &trips[0], 0.0, trips[0].depart) {
+            Ok(table) => {
+                prop_assert!(table.len() <= k);
+                let pos = trips[0].position_at_offset(&graph, 0.0);
+                for e in &table.entries {
+                    let d = pos.fast_dist_m(&fleet.get(e.charger).loc);
+                    prop_assert!(d <= radius_km * 1_000.0 + 1.0, "offer at {} m with R = {} km", d, radius_km);
+                    // Interval invariants.
+                    prop_assert!(e.sc.lo() <= e.sc.hi());
+                    prop_assert!(e.l.lo() >= 0.0 && e.l.hi() <= 1.0);
+                    prop_assert!(e.a.lo() >= 0.0 && e.a.hi() <= 1.0);
+                    prop_assert!(e.d.lo() >= 0.0 && e.d.hi() <= 1.0);
+                }
+            }
+            Err(ec_types::EcError::NoCandidates) => {} // small radius, fine
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    /// The oracle's best-k upper-bounds any method's set under the same
+    /// weights — for arbitrary query times, including night.
+    #[test]
+    fn oracle_best_is_an_upper_bound(seed in 0u64..100, hour in 0u64..24) {
+        let graph = urban_grid(&UrbanGridParams { cols: 10, rows: 10, seed, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 30, seed, ..Default::default() });
+        let sims = SimProviders::new(seed);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 1,
+                min_trip_m: 3_000.0,
+                max_trip_m: 8_000.0,
+                window_start: SimTime::at(0, ec_types::DayOfWeek::Thu, hour, 0),
+                window_secs: 1,
+                seed,
+            },
+        );
+        let trip = &trips[0];
+        let mut oracle = Oracle::new(Weights::awe());
+        let node = trip.route.nearest_node_at(0.0);
+        let rejoin = trip.route.nearest_node_at(4_000.0_f64.min(trip.length_m()));
+        let (_, best_mean) = oracle.best_k(&ctx, node, rejoin, trip.depart, 5);
+
+        let mut m = EcoCharge::new();
+        if let Ok(table) = m.offering_table(&ctx, trip, 0.0, trip.depart) {
+            if let Some(mean) =
+                oracle.true_sc_of_set(&ctx, &table.charger_ids(), node, rejoin, trip.depart)
+            {
+                prop_assert!(mean <= best_mean + 1e-9, "method {mean} beat the oracle {best_mean}");
+            }
+        }
+    }
+}

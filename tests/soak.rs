@@ -1,0 +1,79 @@
+//! Paper-scale soak runs, `#[ignore]`d by default (minutes of CPU).
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+//!
+//! These exercise the system at the evaluation's full trajectory
+//! cardinality (4 000 Oldenburg trips) and a long continuous drive, to
+//! catch anything the scaled-down CI tests cannot: allocator pressure in
+//! the search buffers, cache growth over thousands of refreshes, drift in
+//! the split-list arithmetic over 100+ km trips.
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{
+    evaluate_method, CknnQuery, EcoCharge, EcoChargeConfig, Oracle, QueryCtx, Weights,
+};
+use eis::{InfoServer, SimProviders};
+use trajgen::{Dataset, DatasetKind, DatasetScale};
+
+#[test]
+#[ignore = "paper-scale: ~minutes"]
+fn full_oldenburg_cardinality_generates() {
+    let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::paper(), 42);
+    assert_eq!(dataset.trips.len(), 4_000);
+    // Every trip is well-formed.
+    for t in &dataset.trips {
+        assert!(t.length_m() > 0.0);
+        assert_ne!(t.route.start(), t.route.end());
+    }
+}
+
+#[test]
+#[ignore = "paper-scale: ~minutes"]
+fn thousand_refreshes_stay_stable() {
+    let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::bench(), 42);
+    let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 600, seed: 42, ..Default::default() });
+    let sims = SimProviders::new(42);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    let mut method = EcoCharge::new();
+    let mut tables = 0usize;
+    for trip in &dataset.trips {
+        let query = CknnQuery::new(&ctx, trip).expect("valid trip");
+        let results = query.run(&ctx, trip, &mut method).expect("simulated providers");
+        tables += results.len();
+        for (_, t) in &results {
+            assert!(!t.is_empty());
+            assert!(t.len() <= ctx.config.k);
+        }
+    }
+    assert!(tables > 800, "200 trips × ≥4 segments: got {tables}");
+    let (hits, misses) = method.cache_stats();
+    assert!(hits > 0 && misses > 0, "both cache paths must exercise: {hits}/{misses}");
+}
+
+#[test]
+#[ignore = "paper-scale: ~minutes"]
+fn evaluation_statistics_are_stable_across_seeds() {
+    // The headline EcoCharge SC% must hold across independently seeded
+    // worlds, not just the default seed.
+    for seed in [7u64, 99, 1234] {
+        let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::bench(), seed);
+        let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 600, seed, ..Default::default() });
+        let sims = SimProviders::new(seed);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx =
+            QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let trips = &dataset.trips[..12];
+        let mut oracle = Oracle::new(Weights::awe());
+        let mut eco = EcoCharge::new();
+        let out = evaluate_method(&ctx, trips, &mut eco, &mut oracle).unwrap();
+        assert!(
+            out.mean_sc_pct > 95.0,
+            "seed {seed}: EcoCharge SC {} below the reproduction band",
+            out.mean_sc_pct
+        );
+    }
+}

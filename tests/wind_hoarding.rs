@@ -1,0 +1,111 @@
+//! Wind-backed stations extend renewable hoarding past sunset.
+//!
+//! The paper's clean energy "might come from either local sources (e.g.,
+//! locally attached solar panels on carports) or virtually
+//! net-metered/net-billed from a remote renewable energy production farm"
+//! (§II-A) and §I names wind turbines among the RES. With a mixed fleet,
+//! EcoCharge's `L` component stays meaningful at night — and the ranking
+//! should visibly prefer wind-backed stations once the sun is down.
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams};
+
+fn world(wind_fraction: f64) -> (roadnet::RoadGraph, chargers::ChargerFleet, SimProviders) {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let fleet = synth_fleet(&graph, &FleetParams { count: 200, seed: 13, wind_fraction });
+    let sims = SimProviders::new(13);
+    (graph, fleet, sims)
+}
+
+#[test]
+fn night_tables_prefer_wind_backed_stations() {
+    let (graph, fleet, sims) = world(0.3);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    // A night drive (23:00).
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 10_000.0,
+            max_trip_m: 16_000.0,
+            window_start: ec_types::SimTime::at(0, ec_types::DayOfWeek::Tue, 23, 0),
+            window_secs: 1,
+            seed: 2,
+        },
+    )
+    .remove(0);
+    let mut method = EcoCharge::new();
+    let table = method.offering_table(&ctx, &trip, 0.0, trip.depart).unwrap();
+    // At 23:00 solar output is zero; any station with positive L must be
+    // wind-backed, and the table's best offers should include wind.
+    let wind_in_top = table.entries.iter().filter(|e| fleet.get(e.charger).has_wind()).count();
+    assert!(
+        wind_in_top >= 3,
+        "night ranking should surface wind stations, got {wind_in_top}/{} (top: {:?})",
+        table.len(),
+        table.charger_ids()
+    );
+    for e in &table.entries {
+        if !fleet.get(e.charger).has_wind() {
+            assert!(e.l.hi() < 1e-9, "solar station with L > 0 at 23:00: {}", e.l);
+        }
+    }
+}
+
+#[test]
+fn solar_only_fleet_has_zero_l_at_night() {
+    let (graph, fleet, sims) = world(0.0);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 10_000.0,
+            max_trip_m: 16_000.0,
+            window_start: ec_types::SimTime::at(0, ec_types::DayOfWeek::Tue, 23, 0),
+            window_secs: 1,
+            seed: 2,
+        },
+    )
+    .remove(0);
+    let mut method = EcoCharge::new();
+    let table = method.offering_table(&ctx, &trip, 0.0, trip.depart).unwrap();
+    for e in &table.entries {
+        assert!(e.l.hi() < 1e-9, "solar-only fleet must have L = 0 at night");
+    }
+    // Stats: the wind endpoint was never asked for a solar-only fleet.
+    assert_eq!(server.stats().snapshot().3, 0, "no wind calls for a solar-only fleet");
+}
+
+#[test]
+fn daytime_mixed_fleet_still_ranks_consistently() {
+    // The wind extension must not degrade the default daytime behaviour:
+    // a mixed fleet's table is still dominated by high-L, available,
+    // close stations (SC ranked descending).
+    let (graph, fleet, sims) = world(0.3);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 10_000.0,
+            max_trip_m: 16_000.0,
+            window_start: ec_types::SimTime::at(0, ec_types::DayOfWeek::Tue, 12, 0),
+            window_secs: 1,
+            seed: 2,
+        },
+    )
+    .remove(0);
+    let mut method = EcoCharge::new();
+    let table = method.offering_table(&ctx, &trip, 0.0, trip.depart).unwrap();
+    assert_eq!(table.len(), ctx.config.k);
+    for w in table.entries.windows(2) {
+        assert!(w[0].sc.mid() >= w[1].sc.mid());
+    }
+}
