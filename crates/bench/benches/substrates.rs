@@ -33,12 +33,8 @@ fn bench_spatial(c: &mut Criterion) {
         b.iter(|| black_box(tree.knn(black_box(&q), 10)))
     });
     let kd = KdTree::bulk(items.clone());
-    g.bench_function("kdtree_knn_k10_n1000", |b| {
-        b.iter(|| black_box(kd.knn(black_box(&q), 10)))
-    });
-    g.bench_function("grid_knn_k10_n1000", |b| {
-        b.iter(|| black_box(grid.knn(black_box(&q), 10)))
-    });
+    g.bench_function("kdtree_knn_k10_n1000", |b| b.iter(|| black_box(kd.knn(black_box(&q), 10))));
+    g.bench_function("grid_knn_k10_n1000", |b| b.iter(|| black_box(grid.knn(black_box(&q), 10))));
     g.bench_function("brute_knn_k10_n1000", |b| {
         b.iter(|| black_box(brute::knn_scan(black_box(&items), &q, 10)))
     });
@@ -55,13 +51,10 @@ fn bench_search(c: &mut Criterion) {
     let mut engine = SearchEngine::new();
     let from = ec_types::NodeId(0);
     let to = ec_types::NodeId(u32::try_from(graph.num_nodes() - 1).unwrap());
-    let targets: Vec<ec_types::NodeId> =
-        (0..200).map(|i| ec_types::NodeId(i * 5)).collect();
+    let targets: Vec<ec_types::NodeId> = (0..200).map(|i| ec_types::NodeId(i * 5)).collect();
 
     g.bench_function("dijkstra_one_to_one", |b| {
-        b.iter(|| {
-            black_box(engine.one_to_one(&graph, from, to, metric_cost(CostMetric::Time)))
-        })
+        b.iter(|| black_box(engine.one_to_one(&graph, from, to, metric_cost(CostMetric::Time))))
     });
     g.bench_function("astar_one_to_one", |b| {
         b.iter(|| black_box(engine.astar(&graph, from, to, CostMetric::Time)))
@@ -73,7 +66,12 @@ fn bench_search(c: &mut Criterion) {
     });
     g.bench_function("bounded_10km", |b| {
         b.iter(|| {
-            black_box(engine.bounded_from(&graph, from, 10_000.0, metric_cost(CostMetric::Distance)))
+            black_box(engine.bounded_from(
+                &graph,
+                from,
+                10_000.0,
+                metric_cost(CostMetric::Distance),
+            ))
         })
     });
     g.finish();

@@ -50,9 +50,8 @@ fn main() {
         };
         let set = table.charger_ids();
         let (best, best_mean) = oracle.best_k(&ctx, sp.node, sp.rejoin_node, sp.eta, ctx.config.k);
-        let mean = oracle
-            .true_sc_of_set(&ctx, &set, sp.node, sp.rejoin_node, sp.eta)
-            .unwrap_or(0.0);
+        let mean =
+            oracle.true_sc_of_set(&ctx, &set, sp.node, sp.rejoin_node, sp.eta).unwrap_or(0.0);
         println!(
             "\nsegment {} ({}): SC {:.1}% [{}]",
             sp.segment,

@@ -54,8 +54,8 @@ pub fn run_regret(harness: &HarnessConfig) -> Vec<RegretRow> {
             let f = evaluate_method(&ctx, &trips, &mut eco, &mut forecast_ref)
                 .expect("evaluation runs");
             let mut eco2 = EcoCharge::new();
-            let a = evaluate_method(&ctx, &trips, &mut eco2, &mut actual_ref)
-                .expect("evaluation runs");
+            let a =
+                evaluate_method(&ctx, &trips, &mut eco2, &mut actual_ref).expect("evaluation runs");
             RegretRow {
                 dataset: kind.name(),
                 forecast_sc_pct: f.mean_sc_pct,
@@ -205,9 +205,8 @@ pub fn run_balance(harness: &HarnessConfig, vehicles: usize) -> Vec<BalanceRow> 
                 continue;
             };
             let node = trip.route.nearest_node_at(0.0);
-            let rejoin = trip
-                .route
-                .nearest_node_at((ctx.config.segment_km * 1_000.0).min(trip.length_m()));
+            let rejoin =
+                trip.route.nearest_node_at((ctx.config.segment_km * 1_000.0).min(trip.length_m()));
             if let Some(best) = table.best() {
                 tops.push(best.charger);
             }
@@ -333,12 +332,8 @@ pub fn run_dayrun(harness: &HarnessConfig, vehicles: usize) -> Vec<fleetsim::Day
         seed: harness.seed,
         ..Default::default()
     };
-    let mut policies =
-        [Policy::ecocharge(), Policy::Nearest, Policy::random(harness.seed ^ 0xDA7)];
-    policies
-        .iter_mut()
-        .map(|p| simulate_day(&env.dataset.graph, p, &config))
-        .collect()
+    let mut policies = [Policy::ecocharge(), Policy::Nearest, Policy::random(harness.seed ^ 0xDA7)];
+    policies.iter_mut().map(|p| simulate_day(&env.dataset.graph, p, &config)).collect()
 }
 
 #[cfg(test)]

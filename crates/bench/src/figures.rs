@@ -50,9 +50,7 @@ pub struct Row {
 
 fn agg(rep_outs: &[ecocharge_core::EvalOutcome], dataset: &'static str, label: String) -> Row {
     let n = rep_outs.len().max(1) as f64;
-    let mean = |f: fn(&ecocharge_core::EvalOutcome) -> f64| {
-        rep_outs.iter().map(f).sum::<f64>() / n
-    };
+    let mean = |f: fn(&ecocharge_core::EvalOutcome) -> f64| rep_outs.iter().map(f).sum::<f64>() / n;
     let std = |f: fn(&ecocharge_core::EvalOutcome) -> f64, m: f64| {
         (rep_outs.iter().map(|o| (f(o) - m) * (f(o) - m)).sum::<f64>() / n).sqrt()
     };
@@ -65,11 +63,7 @@ fn agg(rep_outs: &[ecocharge_core::EvalOutcome], dataset: &'static str, label: S
         sc_std: std(|o| o.mean_sc_pct, sc),
         ft_ms: ft,
         ft_std: std(|o| o.mean_ft_ms, ft),
-        attained: (
-            mean(|o| o.attained.0),
-            mean(|o| o.attained.1),
-            mean(|o| o.attained.2),
-        ),
+        attained: (mean(|o| o.attained.0), mean(|o| o.attained.1), mean(|o| o.attained.2)),
         tables: rep_outs.iter().map(|o| o.tables).sum(),
     }
 }
@@ -109,10 +103,38 @@ pub fn run_fig6(harness: &HarnessConfig) -> Vec<Row> {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
         let config = EcoChargeConfig::default();
         let seed = harness.seed;
-        rows.push(measure(&env, config, harness, Weights::awe(), |_| Box::new(BruteForce::new()), "Brute-Force".into()));
-        rows.push(measure(&env, config, harness, Weights::awe(), |_| Box::new(IndexQuadtree::new()), "Index-Quadtree".into()));
-        rows.push(measure(&env, config, harness, Weights::awe(), move |rep| Box::new(RandomPick::new(seed ^ rep as u64)), "Random".into()));
-        rows.push(measure(&env, config, harness, Weights::awe(), |_| Box::new(EcoCharge::new()), "EcoCharge".into()));
+        rows.push(measure(
+            &env,
+            config,
+            harness,
+            Weights::awe(),
+            |_| Box::new(BruteForce::new()),
+            "Brute-Force".into(),
+        ));
+        rows.push(measure(
+            &env,
+            config,
+            harness,
+            Weights::awe(),
+            |_| Box::new(IndexQuadtree::new()),
+            "Index-Quadtree".into(),
+        ));
+        rows.push(measure(
+            &env,
+            config,
+            harness,
+            Weights::awe(),
+            move |rep| Box::new(RandomPick::new(seed ^ rep as u64)),
+            "Random".into(),
+        ));
+        rows.push(measure(
+            &env,
+            config,
+            harness,
+            Weights::awe(),
+            |_| Box::new(EcoCharge::new()),
+            "EcoCharge".into(),
+        ));
     }
     rows
 }
@@ -229,7 +251,12 @@ mod tests {
             let osc = get(ds, "OSC");
             // Chasing only L must attain at least as much L as AWE
             // (within noise of a single tiny rep).
-            assert!(osc.attained.0 >= awe.attained.0 - 0.1, "{ds}: OSC L {} vs AWE L {}", osc.attained.0, awe.attained.0);
+            assert!(
+                osc.attained.0 >= awe.attained.0 - 0.1,
+                "{ds}: OSC L {} vs AWE L {}",
+                osc.attained.0,
+                awe.attained.0
+            );
         }
     }
 }

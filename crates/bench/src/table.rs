@@ -13,7 +13,10 @@ pub fn write_csv(path: &Path, rows: &[Row]) -> std::io::Result<()> {
         std::fs::create_dir_all(parent)?;
     }
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "dataset,config,sc_pct,sc_std,ft_ms,ft_std,attained_l,attained_a,attained_dc,tables")?;
+    writeln!(
+        f,
+        "dataset,config,sc_pct,sc_std,ft_ms,ft_std,attained_l,attained_a,attained_dc,tables"
+    )?;
     for r in rows {
         writeln!(
             f,

@@ -72,8 +72,7 @@ pub fn run_validation(harness: &HarnessConfig) -> Vec<Check> {
     // --- Figure 8 trend: SC(Q=5) ≥ SC(Q=15) on average ---
     let fig8 = run_fig8(harness);
     let mean_q = |label: &str| {
-        let rows: Vec<f64> =
-            fig8.iter().filter(|r| r.label == label).map(|r| r.sc_pct).collect();
+        let rows: Vec<f64> = fig8.iter().filter(|r| r.label == label).map(|r| r.sc_pct).collect();
         rows.iter().sum::<f64>() / rows.len().max(1) as f64
     };
     checks.push(check(
@@ -132,7 +131,10 @@ pub fn run_validation(harness: &HarnessConfig) -> Vec<Check> {
             && balance[1].distinct_tops >= balance[0].distinct_tops,
         format!(
             "max load {} -> {}, distinct tops {} -> {}",
-            balance[0].max_load, balance[1].max_load, balance[0].distinct_tops, balance[1].distinct_tops
+            balance[0].max_load,
+            balance[1].max_load,
+            balance[0].distinct_tops,
+            balance[1].distinct_tops
         ),
     ));
 
@@ -146,20 +148,13 @@ mod tests {
 
     #[test]
     fn validation_passes_at_smoke_scale() {
-        let harness = HarnessConfig {
-            scale: DatasetScale::smoke(),
-            reps: 1,
-            trips_per_rep: 2,
-            seed: 42,
-        };
+        let harness =
+            HarnessConfig { scale: DatasetScale::smoke(), reps: 1, trips_per_rep: 2, seed: 42 };
         let checks = run_validation(&harness);
         let failures: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();
         // Smoke scale is noisy; the structural checks (BF=100, ordering,
         // AWE dominance) must still hold. Allow at most one trend check to
         // wobble.
-        assert!(
-            failures.len() <= 1,
-            "too many failed checks at smoke scale: {failures:#?}"
-        );
+        assert!(failures.len() <= 1, "too many failed checks at smoke scale: {failures:#?}");
     }
 }

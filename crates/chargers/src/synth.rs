@@ -49,12 +49,7 @@ pub fn synth_fleet(graph: &RoadGraph, params: &FleetParams) -> ChargerFleet {
     );
     let mut rng = SplitMix64::new(ec_types::rng::subseed(params.seed, 2));
     let center = graph.bounds().center();
-    let half_diag = graph
-        .bounds()
-        .min
-        .fast_dist_m(&graph.bounds().max)
-        .max(1.0)
-        / 2.0;
+    let half_diag = graph.bounds().min.fast_dist_m(&graph.bounds().max).max(1.0) / 2.0;
 
     // Sample distinct nodes.
     let mut taken = std::collections::HashSet::with_capacity(params.count);
@@ -70,9 +65,8 @@ pub fn synth_fleet(graph: &RoadGraph, params: &FleetParams) -> ChargerFleet {
         .into_iter()
         .map(|node| {
             let loc = graph.point(node);
-            let on_motorway = graph
-                .out_edges(node)
-                .any(|(e, _)| graph.edge_class(e) == RoadClass::Motorway);
+            let on_motorway =
+                graph.out_edges(node).any(|(e, _)| graph.edge_class(e) == RoadClass::Motorway);
             let centrality = 1.0 - (loc.fast_dist_m(&center) / half_diag).min(1.0);
             let archetype = if on_motorway {
                 SiteArchetype::Highway
@@ -186,10 +180,7 @@ mod tests {
 
     #[test]
     fn motorway_nodes_become_highway_plazas() {
-        let g = metro_regions(&MetroRegionsParams {
-            cities: 3,
-            ..MetroRegionsParams::default()
-        });
+        let g = metro_regions(&MetroRegionsParams { cities: 3, ..MetroRegionsParams::default() });
         let f = synth_fleet(&g, &FleetParams { count: 400, seed: 5, ..Default::default() });
         let highway_count = f.iter().filter(|c| c.archetype == SiteArchetype::Highway).count();
         assert!(highway_count > 0, "metro network must yield highway plazas");
@@ -202,8 +193,7 @@ mod tests {
     fn archetype_diversity() {
         let g = grid();
         let f = synth_fleet(&g, &FleetParams { count: 500, seed: 2, ..Default::default() });
-        let kinds: std::collections::HashSet<_> =
-            f.iter().map(|c| c.archetype).collect();
+        let kinds: std::collections::HashSet<_> = f.iter().map(|c| c.archetype).collect();
         assert!(kinds.len() >= 3, "only {kinds:?}");
     }
 
@@ -218,6 +208,9 @@ mod tests {
     #[should_panic(expected = "cannot place")]
     fn overfull_panics() {
         let g = grid();
-        let _ = synth_fleet(&g, &FleetParams { count: g.num_nodes() + 1, seed: 1, ..Default::default() });
+        let _ = synth_fleet(
+            &g,
+            &FleetParams { count: g.num_nodes() + 1, seed: 1, ..Default::default() },
+        );
     }
 }

@@ -77,8 +77,7 @@ impl RankingMethod for EcoCharge {
             if candidates.is_empty() {
                 return Err(EcError::NoCandidates);
             }
-            let comps =
-                compute_components(ctx, &mut self.engine, node, rejoin, now, &candidates)?;
+            let comps = compute_components(ctx, &mut self.engine, node, rejoin, now, &candidates)?;
             if comps.is_empty() {
                 // Everything in range was unreachable or infeasible for
                 // the vehicle — the filtering phase emptied the pool.
@@ -142,7 +141,8 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams::default());
-            let fleet = synth_fleet(&graph, &FleetParams { count: 80, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 80, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
@@ -185,9 +185,8 @@ mod tests {
         let trip = &f.trips[0];
         let t1 = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
         // 3 km further: inside Q = 5 km.
-        let t2 = m
-            .offering_table(&ctx, trip, 3_000.0, trip.eta_at_offset(&f.graph, 3_000.0))
-            .unwrap();
+        let t2 =
+            m.offering_table(&ctx, trip, 3_000.0, trip.eta_at_offset(&f.graph, 3_000.0)).unwrap();
         assert!(!t1.adapted && t2.adapted);
         assert_eq!(m.cache_stats(), (1, 1));
     }

@@ -156,9 +156,7 @@ impl RankingMethod for BalancedEcoCharge {
             entry.a = Interval::new(entry.a.lo() * disc, entry.a.hi() * disc);
             entry.sc = ctx.config.weights.interval_score(entry.l, entry.a, entry.d);
         }
-        table
-            .entries
-            .sort_by(|x, y| y.sc.rank_cmp(&x.sc).then(x.charger.cmp(&y.charger)));
+        table.entries.sort_by(|x, y| y.sc.rank_cmp(&x.sc).then(x.charger.cmp(&y.charger)));
         table.entries.truncate(ctx.config.k);
         if self.auto_claim {
             if let Some(best) = table.best() {
@@ -193,18 +191,30 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
-            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
                 &graph,
-                &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, ..Default::default() },
+                &BrinkhoffParams {
+                    trips: 1,
+                    min_trip_m: 8_000.0,
+                    max_trip_m: 12_000.0,
+                    ..Default::default()
+                },
             );
             Self { graph, fleet, server, sims, trips }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 

@@ -25,8 +25,8 @@ use crate::context::{QueryCtx, RankingMethod};
 use crate::offering::{OfferingEntry, OfferingTable};
 use crate::oracle::TrueComponents;
 use ec_types::{
-    ChargerId, EcError, GeoPoint, Interval, KilowattHours, NodeId, SimDuration, SimTime,
-    SplitMix64,
+    ChargerId, EcError, GeoPoint, Interval, KilowattHours, NodeId, Provenance, SimDuration,
+    SimTime, SplitMix64,
 };
 use roadnet::{CostMetric, RoadClass, SearchEngine};
 use trajgen::Trip;
@@ -57,9 +57,9 @@ fn exact_score_one(
     let (e_fwd, _) = engine.astar(ctx.graph, at_node, charger.node, CostMetric::Energy)?;
     let (e_ret, _) = engine.astar(ctx.graph, charger.node, rejoin_node, CostMetric::Energy)?;
     let eta = now + SimDuration::from_secs_f64(secs);
-    let sun = ctx.server.sun_forecast(&charger.loc, now, eta).ok()?.mid();
+    let sun = ctx.server.sun_forecast(&charger.loc, now, eta).ok()?.value.mid();
     let wind_cf = if charger.has_wind() {
-        ctx.server.wind_forecast(&charger.loc, now, eta).ok()?.mid()
+        ctx.server.wind_forecast(&charger.loc, now, eta).ok()?.value.mid()
     } else {
         0.0
     };
@@ -68,8 +68,8 @@ fn exact_score_one(
         None => charger.kind.rate().value(),
     };
     let clean_kw = (sun * charger.panel.value() + wind_cf * charger.wind.value()).min(rate);
-    let a = ctx.server.availability_forecast(charger, now, eta).ok()?.mid();
-    let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta).ok()?.mid();
+    let a = ctx.server.availability_forecast(charger, now, eta).ok()?.value.mid();
+    let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta).ok()?.value.mid();
     let detour_kwh = (e_fwd + e_ret) * factor;
     if ctx.config.vehicle.as_ref().is_some_and(|v| !v.can_afford(detour_kwh)) {
         return None;
@@ -123,9 +123,8 @@ fn table_from_exact(
             a: Interval::point(c.a),
             d: Interval::point(c.d),
             eta: r.eta,
-            est_clean_kwh: KilowattHours(
-                (r.clean_kw * ctx.config.charge_window_h).max(0.0),
-            ),
+            est_clean_kwh: KilowattHours((r.clean_kw * ctx.config.charge_window_h).max(0.0)),
+            provenance: Provenance::FRESH,
         })
         .collect();
     OfferingTable { at_offset_m: offset_m, origin, generated_at: now, entries, adapted: false }
@@ -266,9 +265,16 @@ impl RankingMethod for RandomPick {
                 d: Interval::zero(),
                 eta: now,
                 est_clean_kwh: KilowattHours(0.0),
+                provenance: Provenance::FRESH,
             })
             .collect();
-        Ok(OfferingTable { at_offset_m: offset_m, origin: pos, generated_at: now, entries, adapted: false })
+        Ok(OfferingTable {
+            at_offset_m: offset_m,
+            origin: pos,
+            generated_at: now,
+            entries,
+            adapted: false,
+        })
     }
 }
 
@@ -292,18 +298,30 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
-            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
                 &graph,
-                &BrinkhoffParams { trips: 2, min_trip_m: 8_000.0, max_trip_m: 14_000.0, ..Default::default() },
+                &BrinkhoffParams {
+                    trips: 2,
+                    min_trip_m: 8_000.0,
+                    max_trip_m: 14_000.0,
+                    ..Default::default()
+                },
             );
             Self { graph, fleet, server, sims, trips }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 
@@ -321,9 +339,8 @@ mod tests {
         let got: std::collections::HashSet<_> = table.charger_ids().into_iter().collect();
         let want: std::collections::HashSet<_> = best.into_iter().collect();
         assert_eq!(got, want, "Brute-Force must find the oracle optimum");
-        let mean = oracle
-            .true_sc_of_set(&ctx, &table.charger_ids(), node, rejoin, trip.depart)
-            .unwrap();
+        let mean =
+            oracle.true_sc_of_set(&ctx, &table.charger_ids(), node, rejoin, trip.depart).unwrap();
         assert!((mean - best_mean).abs() < 1e-9, "BF defines the 100% line");
     }
 

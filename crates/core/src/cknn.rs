@@ -176,18 +176,30 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams::default());
-            let fleet = synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 60, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
                 &graph,
-                &BrinkhoffParams { trips: 3, min_trip_m: 12_000.0, max_trip_m: 25_000.0, ..Default::default() },
+                &BrinkhoffParams {
+                    trips: 3,
+                    min_trip_m: 12_000.0,
+                    max_trip_m: 25_000.0,
+                    ..Default::default()
+                },
             );
             Self { graph, fleet, server, sims, trips }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 

@@ -6,12 +6,80 @@ use crate::offering::OfferingTable;
 use crate::score::Weights;
 use crate::vehicle::Vehicle;
 use chargers::ChargerFleet;
-use ec_types::{EcError, SimTime};
+use ec_types::{EcError, Interval, SimTime};
 use eis::InfoServer;
 use eis::SimProviders;
 use roadnet::RoadGraph;
 use serde::{Deserialize, Serialize};
 use trajgen::Trip;
+
+/// What the ranking does when a component's data source is exhausted —
+/// upstream down, retries spent, breaker open, and no last-known-good
+/// value to widen.
+///
+/// With fallback enabled (the default), the affected component is
+/// replaced by its configured fallback interval — maximally uncertain but
+/// honest — and the row is tagged [`ec_types::ComponentQuality::Fallback`];
+/// the query still returns a ranked table. With fallback disabled, the
+/// query surfaces the provider error, restoring the strict pre-degraded
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedPolicy {
+    /// Whether exhausted components fall back instead of erroring.
+    pub fallback_enabled: bool,
+    /// Fallback sun-fraction interval (domain `[0,1]`).
+    pub sun_fallback: Interval,
+    /// Fallback wind capacity-factor interval (domain `[0,1]`).
+    pub wind_fallback: Interval,
+    /// Fallback availability interval (domain `[0,1]`).
+    pub availability_fallback: Interval,
+    /// Fallback traffic energy-factor interval (`lo ≥ 1.0`).
+    pub traffic_fallback: Interval,
+}
+
+impl Default for DegradedPolicy {
+    fn default() -> Self {
+        Self {
+            fallback_enabled: true,
+            sun_fallback: Interval::new(0.0, 1.0),
+            wind_fallback: Interval::new(0.0, 1.0),
+            availability_fallback: Interval::new(0.0, 1.0),
+            traffic_fallback: Interval::new(1.0, 2.0),
+        }
+    }
+}
+
+impl DegradedPolicy {
+    /// The strict policy: any exhausted component fails the query.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { fallback_enabled: false, ..Self::default() }
+    }
+
+    /// Sun fallback, when enabled.
+    #[must_use]
+    pub fn sun(&self) -> Option<Interval> {
+        self.fallback_enabled.then_some(self.sun_fallback)
+    }
+
+    /// Wind fallback, when enabled.
+    #[must_use]
+    pub fn wind(&self) -> Option<Interval> {
+        self.fallback_enabled.then_some(self.wind_fallback)
+    }
+
+    /// Availability fallback, when enabled.
+    #[must_use]
+    pub fn availability(&self) -> Option<Interval> {
+        self.fallback_enabled.then_some(self.availability_fallback)
+    }
+
+    /// Traffic energy-factor fallback, when enabled.
+    #[must_use]
+    pub fn traffic(&self) -> Option<Interval> {
+        self.fallback_enabled.then_some(self.traffic_fallback)
+    }
+}
 
 /// User-facing configuration of the EcoCharge framework.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +108,8 @@ pub struct EcoChargeConfig {
     /// paper's evaluation setting) ranks charger-side supply without
     /// vehicle-side caps or battery-feasibility gating.
     pub vehicle: Option<Vehicle>,
+    /// What to do when a component's data source is exhausted.
+    pub degraded: DegradedPolicy,
 }
 
 impl Default for EcoChargeConfig {
@@ -53,6 +123,7 @@ impl Default for EcoChargeConfig {
             charge_window_h: 1.0,
             quadtree_fraction: 0.03,
             vehicle: None,
+            degraded: DegradedPolicy::default(),
         }
     }
 }
@@ -68,10 +139,16 @@ impl EcoChargeConfig {
             return Err(EcError::InvalidConfig("k must be at least 1".into()));
         }
         if self.radius_km <= 0.0 {
-            return Err(EcError::InvalidConfig(format!("radius R must be positive, got {}", self.radius_km)));
+            return Err(EcError::InvalidConfig(format!(
+                "radius R must be positive, got {}",
+                self.radius_km
+            )));
         }
         if self.range_km < 0.0 {
-            return Err(EcError::InvalidConfig(format!("range Q must be non-negative, got {}", self.range_km)));
+            return Err(EcError::InvalidConfig(format!(
+                "range Q must be non-negative, got {}",
+                self.range_km
+            )));
         }
         if self.segment_km <= 0.0 {
             return Err(EcError::InvalidConfig(format!(
@@ -92,6 +169,22 @@ impl EcoChargeConfig {
                     v.soc, v.battery_kwh
                 )));
             }
+        }
+        let d = &self.degraded;
+        for (name, iv) in [
+            ("sun", d.sun_fallback),
+            ("wind", d.wind_fallback),
+            ("availability", d.availability_fallback),
+        ] {
+            if iv.lo() < 0.0 || iv.hi() > 1.0 {
+                return Err(EcError::InvalidConfig(format!("{name} fallback {iv} outside [0,1]")));
+            }
+        }
+        if d.traffic_fallback.lo() < 1.0 {
+            return Err(EcError::InvalidConfig(format!(
+                "traffic fallback {} below the free-flow floor 1.0",
+                d.traffic_fallback
+            )));
         }
         Ok(())
     }
@@ -115,10 +208,8 @@ impl NormEnv {
     /// Derive the environment from the fleet and the configured radius.
     #[must_use]
     pub fn derive(fleet: &ChargerFleet, config: &EcoChargeConfig) -> Self {
-        let max_kwh_per_km = roadnet::RoadClass::ALL
-            .iter()
-            .map(|c| c.kwh_per_km())
-            .fold(0.0f64, f64::max);
+        let max_kwh_per_km =
+            roadnet::RoadClass::ALL.iter().map(|c| c.kwh_per_km()).fold(0.0f64, f64::max);
         Self {
             max_clean_power_kw: fleet.max_clean_power_kw().max(1e-9),
             max_derouting_kwh: (2.0 * config.radius_km * max_kwh_per_km * 1.5).max(1e-9),
@@ -222,6 +313,26 @@ mod tests {
     }
 
     #[test]
+    fn validate_checks_fallback_domains() {
+        let base = EcoChargeConfig::default();
+        assert!(base.degraded.fallback_enabled, "degraded serving is the default");
+        let bad_sun =
+            DegradedPolicy { sun_fallback: Interval::new(0.0, 1.5), ..DegradedPolicy::default() };
+        assert!(EcoChargeConfig { degraded: bad_sun, ..base }.validate().is_err());
+        let bad_traffic = DegradedPolicy {
+            traffic_fallback: Interval::new(0.5, 2.0),
+            ..DegradedPolicy::default()
+        };
+        assert!(EcoChargeConfig { degraded: bad_traffic, ..base }.validate().is_err());
+        // Disabled policy validates and reports no fallbacks.
+        let strict = DegradedPolicy::disabled();
+        assert!(EcoChargeConfig { degraded: strict, ..base }.validate().is_ok());
+        assert_eq!(strict.sun(), None);
+        assert_eq!(strict.traffic(), None);
+        assert!(DegradedPolicy::default().availability().is_some());
+    }
+
+    #[test]
     fn norm_env_clamps() {
         let env = NormEnv { max_clean_power_kw: 50.0, max_derouting_kwh: 30.0 };
         assert_eq!(env.norm_power(25.0), 0.5);
@@ -234,8 +345,10 @@ mod tests {
     #[test]
     fn derouting_cap_scales_with_radius() {
         let fleet = ChargerFleet::new(Vec::new());
-        let small = NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 25.0, ..Default::default() });
-        let large = NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 75.0, ..Default::default() });
+        let small =
+            NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 25.0, ..Default::default() });
+        let large =
+            NormEnv::derive(&fleet, &EcoChargeConfig { radius_km: 75.0, ..Default::default() });
         assert!((large.max_derouting_kwh / small.max_derouting_kwh - 3.0).abs() < 1e-9);
     }
 }

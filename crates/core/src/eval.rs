@@ -144,18 +144,30 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams { cols: 16, rows: 16, ..Default::default() });
-            let fleet = synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
                 &graph,
-                &BrinkhoffParams { trips: 3, min_trip_m: 8_000.0, max_trip_m: 14_000.0, ..Default::default() },
+                &BrinkhoffParams {
+                    trips: 3,
+                    min_trip_m: 8_000.0,
+                    max_trip_m: 14_000.0,
+                    ..Default::default()
+                },
             );
             Self { graph, fleet, server, sims, trips }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 

@@ -33,8 +33,8 @@ pub mod cache;
 pub mod cknn;
 pub mod context;
 pub mod eval;
-pub mod objectives;
 pub mod monitor;
+pub mod objectives;
 pub mod offering;
 pub mod oracle;
 pub mod score;
@@ -45,7 +45,7 @@ pub use balance::{BalancedEcoCharge, LoadTracker};
 pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
 pub use cache::DynamicCache;
 pub use cknn::{CknnQuery, SplitPoint};
-pub use context::{EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
+pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
 pub use eval::{evaluate_method, EvalOutcome};
 pub use monitor::{MonitorEvent, TripMonitor};
 pub use offering::{OfferingEntry, OfferingTable};

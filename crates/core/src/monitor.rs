@@ -140,18 +140,30 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams::default());
-            let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             let trips = generate_trips(
                 &graph,
-                &BrinkhoffParams { trips: 1, min_trip_m: 18_000.0, max_trip_m: 30_000.0, ..Default::default() },
+                &BrinkhoffParams {
+                    trips: 1,
+                    min_trip_m: 18_000.0,
+                    max_trip_m: 30_000.0,
+                    ..Default::default()
+                },
             );
             Self { graph, fleet, server, sims, trips }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 
@@ -165,9 +177,7 @@ mod tests {
         let e0 = mon.advance(&ctx, trip, 0.0, trip.depart).unwrap();
         assert!(matches!(e0, MonitorEvent::NewTable(_)), "{e0:?}");
         // 500 m later: same segment, no recompute.
-        let e1 = mon
-            .advance(&ctx, trip, 500.0, trip.eta_at_offset(&f.graph, 500.0))
-            .unwrap();
+        let e1 = mon.advance(&ctx, trip, 500.0, trip.eta_at_offset(&f.graph, 500.0)).unwrap();
         assert_eq!(e1, MonitorEvent::WithinSegment);
     }
 
@@ -192,9 +202,12 @@ mod tests {
         assert_eq!(emitted, new_tables);
         // Every boundary produced either a table or a heartbeat.
         let boundaries = CknnQuery::new(&ctx, trip).unwrap().len();
-        assert_eq!(emitted + heartbeats
-            + events.iter().filter(|e| matches!(e, MonitorEvent::NoOffers)).count(),
-            boundaries);
+        assert_eq!(
+            emitted
+                + heartbeats
+                + events.iter().filter(|e| matches!(e, MonitorEvent::NoOffers)).count(),
+            boundaries
+        );
         assert!(mon.current_ranking().is_some());
     }
 

@@ -23,7 +23,10 @@
 //! estimated-component structure the ranking consumes).
 
 use crate::context::QueryCtx;
-use ec_types::{ChargerId, EcError, Interval, NodeId, SimDuration, SimTime};
+use ec_types::{
+    ChargerId, ComponentQuality, EcError, Interval, NodeId, Provenance, SimDuration, SimTime,
+    SourcedInterval,
+};
 use roadnet::{metric_cost, CostMetric, RoadClass, SearchEngine};
 
 /// The estimated components of one candidate charger at one query point.
@@ -43,6 +46,26 @@ pub struct Components {
     pub eta: SimTime,
     /// Raw detour energy interval, kWh (for display in the table).
     pub detour_kwh: Interval,
+    /// How the data behind each component was obtained (fresh feed,
+    /// stale-and-widened, or configured fallback).
+    pub quality: Provenance,
+}
+
+/// Unwrap a forecast, or substitute the configured fallback interval when
+/// the source is exhausted and the degraded policy provides one. Returns
+/// the interval together with the quality tag the component inherits;
+/// with no fallback the provider error propagates.
+///
+/// # Errors
+/// The original forecast error, when no fallback applies.
+pub fn component_or_fallback(
+    forecast: Result<SourcedInterval, EcError>,
+    fallback: Option<Interval>,
+) -> Result<(Interval, ComponentQuality), EcError> {
+    match forecast {
+        Ok(s) => Ok((s.value, s.quality)),
+        Err(e) => fallback.map(|f| (f, ComponentQuality::Fallback)).ok_or(e),
+    }
 }
 
 /// Compute components for every candidate; candidates unreachable from
@@ -66,7 +89,8 @@ pub fn compute_components(
     // Three batched searches (lines 4, 9–10).
     let secs_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time));
     let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
-    let kwh_ret = engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+    let kwh_ret =
+        engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
 
     let mut out = Vec::with_capacity(candidates.len());
     for (i, &cid) in candidates.iter().enumerate() {
@@ -81,11 +105,13 @@ pub fn compute_components(
         // delivery rate or (when a vehicle model is attached) the
         // vehicle's acceptance rate.
         // Normalised below once the pool maximum is known.
-        let sun = ctx.server.sun_forecast(&charger.loc, now, eta)?;
-        let wind = if charger.has_wind() {
-            ctx.server.wind_forecast(&charger.loc, now, eta)?
+        let policy = &ctx.config.degraded;
+        let (sun, sun_q) =
+            component_or_fallback(ctx.server.sun_forecast(&charger.loc, now, eta), policy.sun())?;
+        let (wind, wind_q) = if charger.has_wind() {
+            component_or_fallback(ctx.server.wind_forecast(&charger.loc, now, eta), policy.wind())?
         } else {
-            Interval::zero()
+            (Interval::zero(), ComponentQuality::Fresh)
         };
         let rate = match &ctx.config.vehicle {
             Some(v) => v.accept_rate(charger.kind).value(),
@@ -97,11 +123,17 @@ pub fn compute_components(
         );
 
         // A (lines 7–8).
-        let a = ctx.server.availability_forecast(charger, now, eta)?;
+        let (a, a_q) = component_or_fallback(
+            ctx.server.availability_forecast(charger, now, eta),
+            policy.availability(),
+        )?;
 
         // D (lines 9–10): out-and-back energy under the traffic interval.
         // Normalised below once the pool maximum is known.
-        let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta)?;
+        let (factor, d_q) = component_or_fallback(
+            ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta),
+            policy.traffic(),
+        )?;
         let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
 
         // Battery feasibility: drop candidates the vehicle might not
@@ -120,6 +152,7 @@ pub fn compute_components(
             d: Interval::zero(),
             eta,
             detour_kwh,
+            quality: Provenance { l: sun_q.worst(wind_q), a: a_q, d: d_q },
         });
     }
     normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
@@ -196,16 +229,22 @@ pub fn refresh_derouting(
     }
     let nodes: Vec<NodeId> = cached.iter().map(|c| ctx.fleet.get(c.charger).node).collect();
     let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
-    let kwh_ret = engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+    let kwh_ret =
+        engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
 
     let mut out = Vec::with_capacity(cached.len());
     for (i, comp) in cached.iter().enumerate() {
         let (Some(e_fwd), Some(e_ret)) = (kwh_fwd[i], kwh_ret[i]) else {
             continue;
         };
-        let factor = ctx.server.traffic_energy_forecast(RoadClass::Primary, now, comp.eta)?;
-        let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
-        out.push(Components { detour_kwh, ..comp.clone() });
+        let (factor, d_q) = component_or_fallback(
+            ctx.server.traffic_energy_forecast(RoadClass::Primary, now, comp.eta),
+            ctx.config.degraded.traffic(),
+        )?;
+        let mut refreshed = comp.clone();
+        refreshed.detour_kwh = Interval::point(e_fwd + e_ret) * factor;
+        refreshed.quality.d = d_q;
+        out.push(refreshed);
     }
     normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
     Ok(out)
@@ -231,7 +270,8 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
-            let fleet = synth_fleet(&graph, &FleetParams { count: 40, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 40, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             Self { graph, fleet, server, sims, config: EcoChargeConfig::default() }
@@ -283,13 +323,11 @@ mod tests {
         let pos = f.graph.point(at);
         // Nearest and farthest candidate by straight line.
         let mut by_dist: Vec<&chargers::Charger> = f.fleet.iter().collect();
-        by_dist.sort_by(|a, b| {
-            pos.fast_dist_m(&a.loc).partial_cmp(&pos.fast_dist_m(&b.loc)).unwrap()
-        });
+        by_dist
+            .sort_by(|a, b| pos.fast_dist_m(&a.loc).partial_cmp(&pos.fast_dist_m(&b.loc)).unwrap());
         let near = by_dist.first().unwrap().id;
         let far = by_dist.last().unwrap().id;
-        let comps =
-            compute_components(&ctx, &mut engine, at, at, now, &[near, far]).unwrap();
+        let comps = compute_components(&ctx, &mut engine, at, at, now, &[near, far]).unwrap();
         assert_eq!(comps.len(), 2);
         assert!(
             comps[0].detour_kwh.mid() < comps[1].detour_kwh.mid(),

@@ -7,7 +7,7 @@
 //! components that justified its rank.
 
 use crate::objectives::Components;
-use ec_types::{ChargerId, GeoPoint, Interval, KilowattHours, SimTime};
+use ec_types::{ChargerId, GeoPoint, Interval, KilowattHours, Provenance, SimTime};
 
 /// One ranked charger in an Offering Table.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,18 @@ pub struct OfferingEntry {
     /// Estimated clean energy gained over the configured idle window
     /// (midpoint estimate) — the headline number in the app UI.
     pub est_clean_kwh: KilowattHours,
+    /// Per-component data provenance: whether each interval came from a
+    /// fresh feed, a stale-and-widened cache entry, or a configured
+    /// fallback — the honesty tag of a degraded-mode row.
+    pub provenance: Provenance,
+}
+
+impl OfferingEntry {
+    /// True when any component of this row came from a degraded source.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.provenance.is_fully_fresh()
+    }
 }
 
 /// A ranked Offering Table for one query point.
@@ -74,9 +86,8 @@ impl OfferingTable {
                     a: c.a,
                     d: c.d,
                     eta: c.eta,
-                    est_clean_kwh: KilowattHours(
-                        (c.clean_kw.mid() * charge_window_h).max(0.0),
-                    ),
+                    est_clean_kwh: KilowattHours((c.clean_kw.mid() * charge_window_h).max(0.0)),
+                    provenance: c.quality,
                 }
             })
             .collect();
@@ -93,6 +104,13 @@ impl OfferingTable {
     #[must_use]
     pub fn charger_ids(&self) -> Vec<ChargerId> {
         self.entries.iter().map(|e| e.charger).collect()
+    }
+
+    /// True when any row carries a degraded (stale or fallback)
+    /// component — the table-level "served under degraded data" banner.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.entries.iter().any(OfferingEntry::is_degraded)
     }
 
     /// Number of offers.
@@ -115,22 +133,28 @@ impl OfferingTable {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "Offering Table @ {:.1} km ({}){}",
+            "Offering Table @ {:.1} km ({}){}{}",
             self.at_offset_m / 1_000.0,
             self.generated_at,
-            if self.adapted { " [adapted]" } else { "" }
+            if self.adapted { " [adapted]" } else { "" },
+            if self.is_degraded() { " [degraded data]" } else { "" }
         );
-        let _ = writeln!(s, "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10}", "rank", "charger", "SC", "L", "A~avail", "clean kWh");
+        let _ = writeln!(
+            s,
+            "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10} {:>12}",
+            "rank", "charger", "SC", "L", "A~avail", "clean kWh", "data"
+        );
         for (rank, e) in self.entries.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10.2}",
+                "{:>4} {:>22} {:>15} {:>15} {:>15} {:>10.2} {:>12}",
                 rank + 1,
                 e.charger.to_string(),
                 e.sc.to_string(),
                 e.l.to_string(),
                 e.a.to_string(),
                 e.est_clean_kwh.value(),
+                e.provenance.worst().to_string(),
             );
         }
         s
@@ -151,6 +175,7 @@ mod tests {
             d: Interval::point(0.2),
             eta: SimTime::at(0, DayOfWeek::Tue, 11, 0),
             detour_kwh: Interval::point(1.0),
+            quality: Provenance::FRESH,
         }
     }
 
@@ -227,5 +252,30 @@ mod tests {
         assert!(s.contains("b7"));
         assert!(s.contains("[adapted]"));
         assert!(s.contains("5.0 km"));
+        assert!(s.contains("fresh"));
+        assert!(!s.contains("[degraded data]"));
+    }
+
+    #[test]
+    fn degraded_rows_are_flagged_in_render() {
+        use ec_types::ComponentQuality;
+        let mut c = comp(3, 0.4);
+        c.quality.a = ComponentQuality::Fallback;
+        let sc = vec![Interval::point(0.5)];
+        let t = OfferingTable::from_ranked(
+            0.0,
+            GeoPoint::new(8.0, 53.0),
+            SimTime::at(0, DayOfWeek::Tue, 10, 0),
+            &[c],
+            &sc,
+            &[0],
+            1.0,
+            false,
+        );
+        assert!(t.is_degraded());
+        assert!(t.entries[0].is_degraded());
+        let s = t.render();
+        assert!(s.contains("[degraded data]"));
+        assert!(s.contains("fallback"));
     }
 }

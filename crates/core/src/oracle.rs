@@ -146,11 +146,13 @@ impl Oracle {
                         ctx.server
                             .sun_forecast(&charger.loc, now, eta)
                             .expect("simulated providers cannot fail")
+                            .value
                             .mid(),
                         if charger.has_wind() {
                             ctx.server
                                 .wind_forecast(&charger.loc, now, eta)
                                 .expect("simulated providers cannot fail")
+                                .value
                                 .mid()
                         } else {
                             0.0
@@ -158,10 +160,12 @@ impl Oracle {
                         ctx.server
                             .availability_forecast(charger, now, eta)
                             .expect("simulated providers cannot fail")
+                            .value
                             .mid(),
                         ctx.server
                             .traffic_energy_forecast(RoadClass::Primary, now, eta)
                             .expect("simulated providers cannot fail")
+                            .value
                             .mid(),
                     ),
                 };
@@ -188,12 +192,8 @@ impl Oracle {
                 .fold(0.0f64, f64::max)
                 .min(ctx.norm.max_derouting_kwh)
                 .max(f64::EPSILON);
-            let max_clean = raw
-                .iter()
-                .flatten()
-                .map(|&(kw, _, _)| kw)
-                .fold(0.0f64, f64::max)
-                .max(f64::EPSILON);
+            let max_clean =
+                raw.iter().flatten().map(|&(kw, _, _)| kw).fold(0.0f64, f64::max).max(f64::EPSILON);
             self.memo = raw
                 .into_iter()
                 .map(|r| {
@@ -235,11 +235,8 @@ impl Oracle {
         now: SimTime,
     ) -> Option<f64> {
         let comps = self.true_components(ctx, at_node, rejoin_node, now, set);
-        let vals: Vec<f64> = comps
-            .iter()
-            .flatten()
-            .map(|c| self.weights.point_score(c.l, c.a, c.d))
-            .collect();
+        let vals: Vec<f64> =
+            comps.iter().flatten().map(|c| self.weights.point_score(c.l, c.a, c.d)).collect();
         (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
@@ -285,9 +282,7 @@ impl Oracle {
         let mut scored: Vec<(ChargerId, f64)> = all
             .iter()
             .zip(&comps)
-            .filter_map(|(&cid, c)| {
-                c.map(|c| (cid, self.weights.point_score(c.l, c.a, c.d)))
-            })
+            .filter_map(|(&cid, c)| c.map(|c| (cid, self.weights.point_score(c.l, c.a, c.d))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         scored.truncate(k);
@@ -319,14 +314,21 @@ mod tests {
     impl Fixture {
         fn new() -> Self {
             let graph = urban_grid(&UrbanGridParams { cols: 14, rows: 14, ..Default::default() });
-            let fleet = synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 50, seed: 3, ..Default::default() });
             let sims = SimProviders::new(9);
             let server = InfoServer::from_sims(sims.clone());
             Self { graph, fleet, server, sims }
         }
 
         fn ctx(&self) -> QueryCtx<'_> {
-            QueryCtx::new(&self.graph, &self.fleet, &self.server, &self.sims, EcoChargeConfig::default())
+            QueryCtx::new(
+                &self.graph,
+                &self.fleet,
+                &self.server,
+                &self.sims,
+                EcoChargeConfig::default(),
+            )
         }
     }
 

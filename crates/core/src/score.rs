@@ -161,7 +161,8 @@ pub fn refine_topk(scored: &[(usize, Interval)], k: usize) -> Vec<usize> {
     let by_max = order_by(Interval::hi);
 
     let top_min: std::collections::HashSet<usize> = by_min.iter().take(k).copied().collect();
-    let mut picked: Vec<usize> = by_max.iter().take(k).copied().filter(|i| top_min.contains(i)).collect();
+    let mut picked: Vec<usize> =
+        by_max.iter().take(k).copied().filter(|i| top_min.contains(i)).collect();
 
     // Top-up from the SC_max order (best candidates not yet picked).
     if picked.len() < k {
@@ -243,11 +244,7 @@ mod tests {
     #[test]
     fn interval_score_point_inputs_match_point_score() {
         let w = Weights::new(0.5, 0.3, 0.2);
-        let sc = w.interval_score(
-            Interval::point(0.7),
-            Interval::point(0.4),
-            Interval::point(0.2),
-        );
+        let sc = w.interval_score(Interval::point(0.7), Interval::point(0.4), Interval::point(0.2));
         assert!(sc.is_point());
         assert!((sc.lo() - w.point_score(0.7, 0.4, 0.2)).abs() < 1e-12);
     }
@@ -328,10 +325,7 @@ mod tests {
         // One candidate great on SC_max but terrible on SC_min, and vice
         // versa: intersection of top-1 sets may be empty; the table still
         // returns k entries.
-        let scored = vec![
-            (0, Interval::new(0.0, 1.0)),
-            (1, Interval::new(0.45, 0.55)),
-        ];
+        let scored = vec![(0, Interval::new(0.0, 1.0)), (1, Interval::new(0.45, 0.55))];
         let top = refine_topk(&scored, 1);
         assert_eq!(top.len(), 1);
     }
@@ -351,11 +345,8 @@ mod tests {
 
     #[test]
     fn refine_topk_deterministic_on_ties() {
-        let scored = vec![
-            (3, Interval::point(0.5)),
-            (1, Interval::point(0.5)),
-            (2, Interval::point(0.5)),
-        ];
+        let scored =
+            vec![(3, Interval::point(0.5)), (1, Interval::point(0.5)), (2, Interval::point(0.5))];
         let a = refine_topk(&scored, 2);
         let b = refine_topk(&scored, 2);
         assert_eq!(a, b);

@@ -75,9 +75,7 @@ impl ProductionSeries {
     /// Peak sample of the week.
     #[must_use]
     pub fn peak(&self) -> Kilowatts {
-        Kilowatts(f64::from(
-            self.samples_kw.iter().copied().fold(0.0f32, f32::max),
-        ))
+        Kilowatts(f64::from(self.samples_kw.iter().copied().fold(0.0f32, f32::max)))
     }
 
     /// Mean production over daylight-capable slots (whole week), kW.

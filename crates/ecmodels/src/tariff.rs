@@ -125,8 +125,12 @@ mod tests {
     #[test]
     fn prices_ordered_offpeak_lowest() {
         let m = TariffModel::new(1);
-        assert!(m.price_eur_per_kwh(t(DayOfWeek::Tue, 3)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 10)));
-        assert!(m.price_eur_per_kwh(t(DayOfWeek::Tue, 10)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 18)));
+        assert!(
+            m.price_eur_per_kwh(t(DayOfWeek::Tue, 3)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 10))
+        );
+        assert!(
+            m.price_eur_per_kwh(t(DayOfWeek::Tue, 10)) < m.price_eur_per_kwh(t(DayOfWeek::Tue, 18))
+        );
     }
 
     #[test]

@@ -99,10 +99,8 @@ impl TrafficModel {
         let horizon_h = eta.saturating_since(now).as_hours_f64();
         // Relative half-width mirrors the [0,1] quantities' growth curve.
         let rel = crate::horizon_half_width(horizon_h);
-        let mut rng = SplitMix64::new(ec_types::rng::mix(
-            self.seed ^ 0x7AFF_1C57,
-            eta.as_secs() / 3_600,
-        ));
+        let mut rng =
+            SplitMix64::new(ec_types::rng::mix(self.seed ^ 0x7AFF_1C57, eta.as_secs() / 3_600));
         let skew = rng.range_f64(-0.5, 0.5);
         let center = truth * (1.0 + skew * rel);
         Interval::around(center, truth * rel).clamp(1.0, f64::MAX / 2.0)
@@ -201,11 +199,7 @@ mod tests {
         // Compare the same ETA hour one day apart so the truth magnitude
         // matches and only the horizon differs.
         let near = m.forecast_time_factor(ARTERIAL, now, now + SimDuration::from_hours(2));
-        let far = m.forecast_time_factor(
-            ARTERIAL,
-            now,
-            now + SimDuration::from_hours(2 + 48),
-        );
+        let far = m.forecast_time_factor(ARTERIAL, now, now + SimDuration::from_hours(2 + 48));
         // Widths scale with truth; compare relative widths.
         let rel_near = near.width() / near.mid();
         let rel_far = far.width() / far.mid();

@@ -65,12 +65,7 @@ impl WindSim {
     /// capacity factor at `eta` — wind forecasts degrade with horizon
     /// like the solar ones.
     #[must_use]
-    pub fn forecast_capacity_factor(
-        &self,
-        loc: &GeoPoint,
-        now: SimTime,
-        eta: SimTime,
-    ) -> Interval {
+    pub fn forecast_capacity_factor(&self, loc: &GeoPoint, now: SimTime, eta: SimTime) -> Interval {
         let truth = self.actual_capacity_factor(loc, eta);
         let horizon_h = eta.saturating_since(now).as_hours_f64();
         let cx = (loc.lon / CELL_DEG).floor() as i64;
@@ -109,9 +104,7 @@ mod tests {
         // zero: averaged over many nights it must be well above zero.
         let w = WindSim::new(2);
         let mean: f64 = (0..60)
-            .map(|d| {
-                w.actual_capacity_factor(&coast(), SimTime::from_secs(d * 86_400 + 2 * 3_600))
-            })
+            .map(|d| w.actual_capacity_factor(&coast(), SimTime::from_secs(d * 86_400 + 2 * 3_600)))
             .sum::<f64>()
             / 60.0;
         assert!(mean > 0.2, "night wind mean {mean}");

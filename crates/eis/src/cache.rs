@@ -35,7 +35,11 @@ pub struct TtlCache<K, V> {
 
 impl<K, V> Default for TtlCache<K, V> {
     fn default() -> Self {
-        Self { map: RwLock::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 }
 

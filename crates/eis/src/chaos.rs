@@ -1,0 +1,294 @@
+//! Chaos-grade fault injection for the provider feeds.
+//!
+//! [`FlakyProvider`](crate::FlakyProvider) fails every n-th call — enough
+//! for unit tests, too regular to exercise retry/breaker/stale machinery
+//! the way a real outage does. [`ChaosProvider`] generalises it:
+//!
+//! * a **seeded random failure rate** — each call flips a coin drawn from
+//!   a per-call [`SplitMix64`] stream, so two runs with the same seed see
+//!   byte-identical fault patterns;
+//! * **burst outage windows** — during a sim-time window `[from, until)` a
+//!   targeted feed (or all feeds) fails *every* call, modelling a provider
+//!   blackout rather than sporadic flakiness;
+//! * **per-feed targeting** — failure rate and outages can hit one feed
+//!   while the others stay healthy;
+//! * **injected latency** — every call that reaches the wrapper accrues a
+//!   seeded latency draw into an accounted total, which
+//!   [`crate::ModeCosts::degraded_refresh_latency_ms`] turns into honest
+//!   end-to-end refresh cost under faults.
+//!
+//! Everything is driven by the call's sim-time and a per-call counter —
+//! no wall clock, no OS entropy — so chaos soaks are reproducible.
+
+use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
+use crate::resilience::FeedKind;
+use chargers::Charger;
+use ec_types::rng::mix;
+use ec_types::{EcError, GeoPoint, Interval, SimTime, SplitMix64};
+use roadnet::RoadClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A total blackout of one feed (or all feeds) over `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The feed taken down; `None` hits every feed.
+    pub feed: Option<FeedKind>,
+    /// Blackout start (inclusive).
+    pub from: SimTime,
+    /// Blackout end (exclusive).
+    pub until: SimTime,
+}
+
+impl OutageWindow {
+    /// Whether a call to `feed` at `now` falls inside this blackout.
+    #[must_use]
+    pub fn covers(&self, feed: FeedKind, now: SimTime) -> bool {
+        self.feed.is_none_or(|f| f == feed) && self.from <= now && now < self.until
+    }
+}
+
+/// Fault-injection plan for a [`ChaosProvider`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the failure/latency streams.
+    pub seed: u64,
+    /// Per-call probability of a random failure, `[0,1]`.
+    pub failure_rate: f64,
+    /// Feed the random failures target; `None` hits every feed.
+    pub target: Option<FeedKind>,
+    /// Total blackout windows, checked before the random coin.
+    pub outages: Vec<OutageWindow>,
+    /// Mean injected latency per upstream call, ms (drawn uniformly from
+    /// `[0, 2·mean]` so the expectation is the configured mean).
+    pub mean_latency_ms: f64,
+}
+
+impl ChaosConfig {
+    /// A plan with no faults at all (useful as a baseline).
+    #[must_use]
+    pub fn calm(seed: u64) -> Self {
+        Self { seed, failure_rate: 0.0, target: None, outages: Vec::new(), mean_latency_ms: 0.0 }
+    }
+}
+
+/// Provider wrapper that injects seeded failures, burst outages and
+/// latency according to a [`ChaosConfig`].
+#[derive(Debug)]
+pub struct ChaosProvider<P> {
+    inner: P,
+    config: ChaosConfig,
+    calls: AtomicU64,
+    failures: AtomicU64,
+    injected_latency_us: AtomicU64,
+}
+
+impl<P> ChaosProvider<P> {
+    /// Wrap `inner` under the given fault plan.
+    #[must_use]
+    pub fn new(inner: P, config: ChaosConfig) -> Self {
+        Self {
+            inner,
+            config,
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            injected_latency_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Total calls observed (failed or not).
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls failed by injection.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated injected latency, milliseconds — the time a real
+    /// deployment would have spent waiting on the degraded upstreams.
+    #[must_use]
+    pub fn injected_latency_ms(&self) -> f64 {
+        self.injected_latency_us.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// The wrapped provider.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Fault gate run before every inner call: account latency, then fail
+    /// if a blackout covers the call or the seeded coin comes up bad.
+    fn gate(&self, feed: FeedKind, now: SimTime) -> Result<(), EcError> {
+        let call_no = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut rng = SplitMix64::new(mix(self.config.seed, mix(feed.index() as u64, call_no)));
+        if self.config.mean_latency_ms > 0.0 {
+            let latency = rng.next_f64() * 2.0 * self.config.mean_latency_ms;
+            self.injected_latency_us.fetch_add((latency * 1_000.0) as u64, Ordering::Relaxed);
+        }
+        let blackout = self.config.outages.iter().any(|o| o.covers(feed, now));
+        let random = self.config.failure_rate > 0.0
+            && self.config.target.is_none_or(|t| t == feed)
+            && rng.next_f64() < self.config.failure_rate;
+        if blackout || random {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            Err(EcError::ProviderUnavailable(feed.name()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<P: WeatherProvider> WeatherProvider for ChaosProvider<P> {
+    fn forecast_sun(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.gate(FeedKind::Weather, now)?;
+        self.inner.forecast_sun(loc, now, eta)
+    }
+}
+
+impl<P: WindProvider> WindProvider for ChaosProvider<P> {
+    fn forecast_wind(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.gate(FeedKind::Wind, now)?;
+        self.inner.forecast_wind(loc, now, eta)
+    }
+}
+
+impl<P: AvailabilityProvider> AvailabilityProvider for ChaosProvider<P> {
+    fn forecast_availability(
+        &self,
+        charger: &Charger,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.gate(FeedKind::Availability, now)?;
+        self.inner.forecast_availability(charger, now, eta)
+    }
+}
+
+impl<P: TrafficProvider> TrafficProvider for ChaosProvider<P> {
+    fn forecast_time_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.gate(FeedKind::Traffic, now)?;
+        self.inner.forecast_time_factor(class, now, eta)
+    }
+
+    fn forecast_energy_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.gate(FeedKind::Traffic, now)?;
+        self.inner.forecast_energy_factor(class, now, eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::SimProviders;
+    use ec_types::{DayOfWeek, SimDuration};
+
+    fn t(min: u64) -> SimTime {
+        SimTime::at(0, DayOfWeek::Tue, 9, 0) + SimDuration::from_mins(min)
+    }
+
+    fn chaos(config: ChaosConfig) -> ChaosProvider<SimProviders> {
+        ChaosProvider::new(SimProviders::new(5), config)
+    }
+
+    #[test]
+    fn calm_plan_never_fails() {
+        let p = chaos(ChaosConfig::calm(1));
+        let loc = GeoPoint::new(8.2, 53.1);
+        for i in 0..50 {
+            assert!(p.forecast_sun(&loc, t(i), t(i + 30)).is_ok());
+        }
+        assert_eq!(p.failures(), 0);
+        assert_eq!(p.injected_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honoured_and_seeded() {
+        let run = |seed: u64| -> Vec<bool> {
+            let p = chaos(ChaosConfig { failure_rate: 0.3, ..ChaosConfig::calm(seed) });
+            let loc = GeoPoint::new(8.2, 53.1);
+            (0..200).map(|i| p.forecast_sun(&loc, t(i), t(i + 30)).is_ok()).collect()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b, "same seed → identical fault pattern");
+        let failures = a.iter().filter(|ok| !**ok).count();
+        assert!((30..=90).contains(&failures), "~30% of 200, got {failures}");
+        assert_ne!(run(10), a, "different seed → different pattern");
+    }
+
+    #[test]
+    fn outage_window_blacks_out_only_its_feed_and_span() {
+        let p = chaos(ChaosConfig {
+            outages: vec![OutageWindow {
+                feed: Some(FeedKind::Weather),
+                from: t(10),
+                until: t(20),
+            }],
+            ..ChaosConfig::calm(3)
+        });
+        let loc = GeoPoint::new(8.2, 53.1);
+        assert!(p.forecast_sun(&loc, t(9), t(40)).is_ok(), "before the window");
+        assert_eq!(
+            p.forecast_sun(&loc, t(10), t(40)),
+            Err(EcError::ProviderUnavailable("weather")),
+            "start is inclusive"
+        );
+        assert!(p.forecast_sun(&loc, t(19), t(40)).is_err(), "inside");
+        assert!(p.forecast_sun(&loc, t(20), t(40)).is_ok(), "end is exclusive");
+        // Another feed sails through the blackout.
+        assert!(p.forecast_time_factor(RoadClass::Primary, t(15), t(40)).is_ok());
+    }
+
+    #[test]
+    fn targeted_random_failures_spare_other_feeds() {
+        let p = chaos(ChaosConfig {
+            failure_rate: 1.0,
+            target: Some(FeedKind::Availability),
+            ..ChaosConfig::calm(4)
+        });
+        let loc = GeoPoint::new(8.2, 53.1);
+        assert!(p.forecast_sun(&loc, t(0), t(30)).is_ok());
+        assert!(p.forecast_wind(&loc, t(0), t(30)).is_ok());
+    }
+
+    #[test]
+    fn injected_latency_accumulates_deterministically() {
+        let run = || {
+            let p = chaos(ChaosConfig { mean_latency_ms: 25.0, ..ChaosConfig::calm(8) });
+            let loc = GeoPoint::new(8.2, 53.1);
+            for i in 0..40 {
+                let _ = p.forecast_sun(&loc, t(i), t(i + 30));
+            }
+            p.injected_latency_ms()
+        };
+        let total = run();
+        assert!(total > 0.0);
+        // 40 draws with mean 25ms — loose sanity band.
+        assert!((200.0..=1_800.0).contains(&total), "got {total}");
+        assert_eq!(run(), total, "latency accounting is seeded");
+    }
+}

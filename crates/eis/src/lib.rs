@@ -13,21 +13,36 @@
 //!   injection wrapper for resilience tests;
 //! * [`cache`] — a sim-clock TTL cache with hit/miss accounting;
 //! * [`server`] — [`InfoServer`], the consolidated feed with per-provider
-//!   call counters that the evaluation reads back;
+//!   call counters that the evaluation reads back, a last-known-good tier
+//!   that serves outages with staleness-widened intervals, and provenance
+//!   tags on every forecast;
+//! * [`resilience`] — deterministic bounded retry and per-feed circuit
+//!   breakers, embeddable in the server or standalone via
+//!   [`ResilientProvider`];
+//! * [`chaos`] — seeded chaos-grade fault injection (random failure
+//!   rates, burst outage windows, per-feed targeting, accounted latency);
 //! * [`mode`] — the three operating modes (§IV: in-vehicle, central
-//!   server, edge device) and their request-cost model;
+//!   server, edge device) and their request-cost model, including the
+//!   fault-overhead accounting of degraded refreshes;
 //! * [`rpc`] — a minimal crossbeam-channel request/response bus used to
 //!   run an [`InfoServer`] behind a thread boundary in Mode 2.
 
 pub mod cache;
+pub mod chaos;
 pub mod mode;
 pub mod provider;
+pub mod resilience;
 pub mod rpc;
 pub mod server;
 
 pub use cache::TtlCache;
+pub use chaos::{ChaosConfig, ChaosProvider, OutageWindow};
 pub use mode::{Mode, ModeCosts};
 pub use provider::{
     AvailabilityProvider, FlakyProvider, SimProviders, TrafficProvider, WeatherProvider,
 };
-pub use server::{InfoServer, ServerStats};
+pub use resilience::{
+    BreakerPolicy, BreakerState, FeedGuard, FeedKind, GuardSnapshot, ResiliencePolicy,
+    ResilientProvider, RetryPolicy,
+};
+pub use server::{staleness_half_width, widen_factor, widen_unit, InfoServer, ServerStats};

@@ -86,6 +86,24 @@ impl ModeCosts {
         let fetch = if data_cached { 0.0 } else { self.data_fetch_rtt_ms };
         self.query_rtt_ms + fetch + compute_ms * self.compute_scale
     }
+
+    /// [`Self::refresh_latency_ms`] under degraded upstreams:
+    /// `fault_overhead_ms` is the accounted extra waiting this refresh
+    /// caused — retry backoff (`InfoServer::virtual_backoff_ms` /
+    /// `FeedGuard::virtual_backoff_ms`) plus injected provider latency
+    /// (`ChaosProvider::injected_latency_ms`). The overhead is upstream
+    /// waiting, so it is only paid where the data fetch is paid: a refresh
+    /// answered entirely from local caches hides the faults.
+    #[must_use]
+    pub fn degraded_refresh_latency_ms(
+        &self,
+        compute_ms: f64,
+        data_cached: bool,
+        fault_overhead_ms: f64,
+    ) -> f64 {
+        let overhead = if data_cached { 0.0 } else { fault_overhead_ms.max(0.0) };
+        self.refresh_latency_ms(compute_ms, data_cached) + overhead
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +139,30 @@ mod tests {
         let fast_compute = 10.0;
         let m1 = Mode::Embedded.costs();
         let m2 = Mode::Server.costs();
-        assert!(m2.refresh_latency_ms(slow_compute, true) < m1.refresh_latency_ms(slow_compute, true));
-        assert!(m1.refresh_latency_ms(fast_compute, true) < m2.refresh_latency_ms(fast_compute, true));
+        assert!(
+            m2.refresh_latency_ms(slow_compute, true) < m1.refresh_latency_ms(slow_compute, true)
+        );
+        assert!(
+            m1.refresh_latency_ms(fast_compute, true) < m2.refresh_latency_ms(fast_compute, true)
+        );
+    }
+
+    #[test]
+    fn fault_overhead_is_paid_only_with_the_fetch() {
+        let c = Mode::Edge.costs();
+        let clean = c.refresh_latency_ms(50.0, false);
+        let degraded = c.degraded_refresh_latency_ms(50.0, false, 120.0);
+        assert!((degraded - clean - 120.0).abs() < 1e-9);
+        // Warm caches never touched the upstream, so no fault cost.
+        assert_eq!(
+            c.degraded_refresh_latency_ms(50.0, true, 120.0),
+            c.refresh_latency_ms(50.0, true)
+        );
+        // Negative overhead is nonsense; clamp to zero.
+        assert_eq!(
+            c.degraded_refresh_latency_ms(50.0, false, -5.0),
+            c.refresh_latency_ms(50.0, false)
+        );
     }
 
     #[test]

@@ -25,8 +25,12 @@ pub trait WeatherProvider: Send + Sync {
 pub trait WindProvider: Send + Sync {
     /// Forecast, issued at `now`, of the wind capacity factor (0–1 of
     /// nameplate rating) at `loc` at time `eta`.
-    fn forecast_wind(&self, loc: &GeoPoint, now: SimTime, eta: SimTime)
-        -> Result<Interval, EcError>;
+    fn forecast_wind(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError>;
 }
 
 /// Charger busy-timetable feed.
@@ -180,7 +184,7 @@ impl<P> FlakyProvider<P> {
     fn tick(&self) -> Result<(), EcError> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if self.period > 0 && n.is_multiple_of(self.period) {
-            Err(EcError::ProviderUnavailable(self.name.to_string()))
+            Err(EcError::ProviderUnavailable(self.name))
         } else {
             Ok(())
         }
@@ -302,8 +306,7 @@ mod tests {
         let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
         let eta = now + SimDuration::from_mins(10);
         let loc = GeoPoint::new(8.2, 53.1);
-        let results: Vec<bool> =
-            (0..6).map(|_| p.forecast_sun(&loc, now, eta).is_ok()).collect();
+        let results: Vec<bool> = (0..6).map(|_| p.forecast_sun(&loc, now, eta).is_ok()).collect();
         assert_eq!(results, [true, true, false, true, true, false]);
         assert_eq!(p.calls(), 6);
     }
@@ -319,8 +322,6 @@ mod tests {
 
     #[test]
     fn congestibility_orders_classes() {
-        assert!(
-            congestibility(RoadClass::Primary).0 > congestibility(RoadClass::Residential).0
-        );
+        assert!(congestibility(RoadClass::Primary).0 > congestibility(RoadClass::Residential).0);
     }
 }

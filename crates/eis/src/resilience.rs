@@ -1,0 +1,585 @@
+//! Retry and circuit-breaker machinery for the provider feeds.
+//!
+//! A CkNN-EC deployment talks to third-party APIs that fail, rate-limit
+//! and brown out. This module gives the EIS two standard defences, both
+//! fully deterministic (sim-time only, seeded jitter — no wall clock):
+//!
+//! * **bounded retry with backoff** — a failed upstream call is retried up
+//!   to a configured number of times; the backoff that a real deployment
+//!   would sleep is *accounted* (it cannot advance the simulation clock)
+//!   and surfaces through [`GuardStats::virtual_backoff_ms`] so the mode
+//!   cost model can price degraded refreshes honestly;
+//! * **per-feed circuit breaker** — after `failure_threshold` consecutive
+//!   failures a feed's breaker opens and upstream calls are shed without
+//!   being attempted; after `cooldown` of sim-time a single half-open
+//!   probe is allowed, and a successful probe closes the breaker again.
+//!
+//! [`FeedGuard`] combines the two around one feed and is used in two
+//! places: inside [`crate::InfoServer`] (so the server's upstream-call
+//! counters visibly stop moving while a breaker is open) and by the
+//! standalone [`ResilientProvider`] wrapper for deployments that stack
+//! resilience under their own caching layer.
+
+use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
+use chargers::Charger;
+use ec_types::rng::{mix, subseed};
+use ec_types::{EcError, GeoPoint, Interval, SimDuration, SimTime, SplitMix64};
+use parking_lot::Mutex;
+use roadnet::RoadClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The four upstream feeds the EIS fronts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeedKind {
+    /// Solar / weather forecasts.
+    Weather,
+    /// Wind capacity-factor forecasts.
+    Wind,
+    /// Charger busy-timetable forecasts.
+    Availability,
+    /// Live-traffic factor forecasts.
+    Traffic,
+}
+
+impl FeedKind {
+    /// All feeds, in guard-array order.
+    pub const ALL: [FeedKind; 4] = [Self::Weather, Self::Wind, Self::Availability, Self::Traffic];
+
+    /// Stable index into per-feed arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Weather => 0,
+            Self::Wind => 1,
+            Self::Availability => 2,
+            Self::Traffic => 3,
+        }
+    }
+
+    /// The provider name carried in [`EcError::ProviderUnavailable`].
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Weather => "weather",
+            Self::Wind => "wind",
+            Self::Availability => "availability",
+            Self::Traffic => "traffic",
+        }
+    }
+}
+
+/// Bounded-retry configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff_ms: f64,
+    /// Extra backoff jitter as a fraction of the backoff (0 = none).
+    /// Drawn from a seeded stream, so runs are reproducible.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_backoff_ms: 40.0, jitter_frac: 0.2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff (ms) before retry number `retry` (1-based)
+    /// of logical call `call`, jittered from the per-guard seed.
+    #[must_use]
+    pub fn backoff_ms(&self, seed: u64, call: u64, retry: u32) -> f64 {
+        let exp = self.base_backoff_ms * f64::from(1u32 << (retry - 1).min(16));
+        let jitter = if self.jitter_frac > 0.0 {
+            let mut rng = SplitMix64::new(mix(seed, mix(call, u64::from(retry))));
+            rng.next_f64() * self.jitter_frac * exp
+        } else {
+            0.0
+        };
+        exp + jitter
+    }
+}
+
+/// Circuit-breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures (of whole retried calls) that open the
+    /// breaker.
+    pub failure_threshold: u32,
+    /// Sim-time the breaker stays open before allowing a half-open probe.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self { failure_threshold: 3, cooldown: SimDuration::from_mins(5) }
+    }
+}
+
+/// Retry + breaker configuration for one feed (or all feeds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResiliencePolicy {
+    /// Retry settings.
+    pub retry: RetryPolicy,
+    /// Breaker settings.
+    pub breaker: BreakerPolicy,
+}
+
+/// Inspectable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; counts consecutive whole-call failures.
+    Closed {
+        /// Consecutive failures so far (resets on success).
+        consecutive_failures: u32,
+    },
+    /// Shedding: upstream is not attempted until `until`.
+    Open {
+        /// When the cooldown elapses and a probe becomes allowed.
+        until: SimTime,
+    },
+    /// Cooldown elapsed; the next call is the probe that decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// True when the breaker is currently shedding or probing.
+    #[must_use]
+    pub const fn is_degraded(&self) -> bool {
+        !matches!(self, Self::Closed { .. })
+    }
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    policy: BreakerPolicy,
+}
+
+impl Breaker {
+    /// Whether an upstream attempt may proceed at `now`, advancing
+    /// Open → HalfOpen when the cooldown has elapsed.
+    fn admit(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        self.state = BreakerState::Closed { consecutive_failures: 0 };
+    }
+
+    fn on_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed { consecutive_failures } => {
+                let n = consecutive_failures + 1;
+                if n >= self.policy.failure_threshold {
+                    self.state = BreakerState::Open { until: now + self.policy.cooldown };
+                } else {
+                    self.state = BreakerState::Closed { consecutive_failures: n };
+                }
+            }
+            // A failed probe re-opens for a fresh cooldown.
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open { until: now + self.policy.cooldown };
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+/// Counters one [`FeedGuard`] keeps. All monotone, all relaxed — they are
+/// diagnostics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct GuardStats {
+    calls: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    short_circuits: AtomicU64,
+    probes: AtomicU64,
+    /// Accumulated backoff the caller *would* have slept, in microseconds
+    /// (stored integrally so an atomic suffices).
+    virtual_backoff_us: AtomicU64,
+}
+
+/// A point-in-time copy of [`GuardStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardSnapshot {
+    /// Logical calls through the guard.
+    pub calls: u64,
+    /// Upstream attempts (≥ calls that were admitted).
+    pub attempts: u64,
+    /// Attempts beyond the first per call.
+    pub retries: u64,
+    /// Logical calls that exhausted every attempt.
+    pub failures: u64,
+    /// Logical calls shed without an attempt (breaker open).
+    pub short_circuits: u64,
+    /// Half-open probes issued.
+    pub probes: u64,
+}
+
+impl GuardStats {
+    fn snapshot(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Retry + circuit breaker around one upstream feed.
+#[derive(Debug)]
+pub struct FeedGuard {
+    feed: FeedKind,
+    policy: ResiliencePolicy,
+    seed: u64,
+    breaker: Mutex<Breaker>,
+    stats: GuardStats,
+}
+
+impl FeedGuard {
+    /// A guard for `feed` under `policy`; `seed` drives the backoff
+    /// jitter stream.
+    #[must_use]
+    pub fn new(feed: FeedKind, policy: ResiliencePolicy, seed: u64) -> Self {
+        Self {
+            feed,
+            policy,
+            seed: subseed(seed, feed.index() as u64),
+            breaker: Mutex::new(Breaker {
+                state: BreakerState::Closed { consecutive_failures: 0 },
+                policy: policy.breaker,
+            }),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Which feed this guard protects.
+    #[must_use]
+    pub const fn feed(&self) -> FeedKind {
+        self.feed
+    }
+
+    /// Current breaker state (inspectable, e.g. for dashboards/tests).
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().state
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> GuardSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Total backoff a real deployment would have slept, milliseconds.
+    #[must_use]
+    pub fn virtual_backoff_ms(&self) -> f64 {
+        self.stats.virtual_backoff_us.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// Run `attempt` through the breaker and bounded retry.
+    ///
+    /// The closure is invoked zero times (breaker open), or between one
+    /// and `max_attempts` times. The final error of an exhausted call —
+    /// or the shed marker when the breaker is open — is
+    /// [`EcError::ProviderUnavailable`] with this feed's name, so callers
+    /// see one uniform failure type.
+    ///
+    /// # Errors
+    /// [`EcError::ProviderUnavailable`] when shed or exhausted.
+    pub fn call<T>(
+        &self,
+        now: SimTime,
+        mut attempt: impl FnMut() -> Result<T, EcError>,
+    ) -> Result<T, EcError> {
+        let call_no = self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let probing = {
+            let mut breaker = self.breaker.lock();
+            if !breaker.admit(now) {
+                self.stats.short_circuits.fetch_add(1, Ordering::Relaxed);
+                return Err(EcError::ProviderUnavailable(self.feed.name()));
+            }
+            breaker.state == BreakerState::HalfOpen
+        };
+        if probing {
+            self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        }
+        // A half-open probe gets exactly one attempt: hammering a feed
+        // that just came out of cooldown defeats the breaker's purpose.
+        let max_attempts = if probing { 1 } else { self.policy.retry.max_attempts.max(1) };
+
+        let mut last_err = EcError::ProviderUnavailable(self.feed.name());
+        for n in 1..=max_attempts {
+            self.stats.attempts.fetch_add(1, Ordering::Relaxed);
+            match attempt() {
+                Ok(v) => {
+                    self.breaker.lock().on_success();
+                    return Ok(v);
+                }
+                Err(e) => last_err = e,
+            }
+            if n < max_attempts {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = self.policy.retry.backoff_ms(self.seed, call_no, n);
+                self.stats
+                    .virtual_backoff_us
+                    .fetch_add((backoff * 1_000.0) as u64, Ordering::Relaxed);
+            }
+        }
+        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+        self.breaker.lock().on_failure(now);
+        Err(last_err)
+    }
+}
+
+/// One [`FeedGuard`] per feed — the set the [`crate::InfoServer`] holds
+/// when resilience is enabled.
+#[derive(Debug)]
+pub struct GuardSet {
+    guards: [FeedGuard; 4],
+}
+
+impl GuardSet {
+    /// Build guards for all four feeds under one policy and seed.
+    #[must_use]
+    pub fn new(policy: ResiliencePolicy, seed: u64) -> Self {
+        Self { guards: FeedKind::ALL.map(|k| FeedGuard::new(k, policy, seed)) }
+    }
+
+    /// The guard for `feed`.
+    #[must_use]
+    pub fn guard(&self, feed: FeedKind) -> &FeedGuard {
+        &self.guards[feed.index()]
+    }
+
+    /// Total virtual backoff across all feeds, milliseconds.
+    #[must_use]
+    pub fn virtual_backoff_ms(&self) -> f64 {
+        self.guards.iter().map(FeedGuard::virtual_backoff_ms).sum()
+    }
+}
+
+/// A provider bundle wrapped in per-feed retry + circuit breaking — the
+/// standalone form of the machinery the [`crate::InfoServer`] embeds, for
+/// deployments that stack their own cache on top.
+#[derive(Debug)]
+pub struct ResilientProvider<P> {
+    inner: P,
+    guards: GuardSet,
+}
+
+impl<P> ResilientProvider<P> {
+    /// Wrap `inner` with fresh guards.
+    #[must_use]
+    pub fn new(inner: P, policy: ResiliencePolicy, seed: u64) -> Self {
+        Self { inner, guards: GuardSet::new(policy, seed) }
+    }
+
+    /// The guard protecting `feed` (state + counters).
+    #[must_use]
+    pub fn guard(&self, feed: FeedKind) -> &FeedGuard {
+        self.guards.guard(feed)
+    }
+
+    /// The wrapped provider.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: WeatherProvider> WeatherProvider for ResilientProvider<P> {
+    fn forecast_sun(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.guards.guard(FeedKind::Weather).call(now, || self.inner.forecast_sun(loc, now, eta))
+    }
+}
+
+impl<P: WindProvider> WindProvider for ResilientProvider<P> {
+    fn forecast_wind(
+        &self,
+        loc: &GeoPoint,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.guards.guard(FeedKind::Wind).call(now, || self.inner.forecast_wind(loc, now, eta))
+    }
+}
+
+impl<P: AvailabilityProvider> AvailabilityProvider for ResilientProvider<P> {
+    fn forecast_availability(
+        &self,
+        charger: &Charger,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.guards
+            .guard(FeedKind::Availability)
+            .call(now, || self.inner.forecast_availability(charger, now, eta))
+    }
+}
+
+impl<P: TrafficProvider> TrafficProvider for ResilientProvider<P> {
+    fn forecast_time_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.guards
+            .guard(FeedKind::Traffic)
+            .call(now, || self.inner.forecast_time_factor(class, now, eta))
+    }
+
+    fn forecast_energy_factor(
+        &self,
+        class: RoadClass,
+        now: SimTime,
+        eta: SimTime,
+    ) -> Result<Interval, EcError> {
+        self.guards
+            .guard(FeedKind::Traffic)
+            .call(now, || self.inner.forecast_energy_factor(class, now, eta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{FlakyProvider, SimProviders};
+    use ec_types::DayOfWeek;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::at(0, DayOfWeek::Tue, 9, 0) + SimDuration::from_mins(min)
+    }
+
+    fn guard(threshold: u32, attempts: u32) -> FeedGuard {
+        FeedGuard::new(
+            FeedKind::Weather,
+            ResiliencePolicy {
+                retry: RetryPolicy { max_attempts: attempts, ..Default::default() },
+                breaker: BreakerPolicy {
+                    failure_threshold: threshold,
+                    cooldown: SimDuration::from_mins(5),
+                },
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn retries_mask_transient_failures() {
+        let g = guard(10, 3);
+        let mut calls = 0u32;
+        let r = g.call(t(0), || {
+            calls += 1;
+            if calls < 3 {
+                Err(EcError::ProviderUnavailable("weather"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(calls, 3);
+        let s = g.stats();
+        assert_eq!((s.calls, s.attempts, s.retries, s.failures), (1, 3, 2, 0));
+        assert!(g.virtual_backoff_ms() > 0.0, "retries must account backoff");
+    }
+
+    #[test]
+    fn exhausted_retries_count_one_failure() {
+        let g = guard(10, 2);
+        let r: Result<(), _> = g.call(t(0), || Err(EcError::OutOfCoverage("x".into())));
+        assert_eq!(r, Err(EcError::OutOfCoverage("x".into())), "last real error surfaces");
+        let s = g.stats();
+        assert_eq!((s.calls, s.attempts, s.failures), (1, 2, 1));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let g = guard(2, 1);
+        let fail = || -> Result<(), EcError> { Err(EcError::ProviderUnavailable("weather")) };
+        assert!(g.call(t(0), fail).is_err());
+        assert!(matches!(g.breaker_state(), BreakerState::Closed { consecutive_failures: 1 }));
+        assert!(g.call(t(1), fail).is_err());
+        assert!(matches!(g.breaker_state(), BreakerState::Open { .. }));
+
+        // While open: shed without attempting.
+        let mut attempted = false;
+        let r: Result<(), _> = g.call(t(2), || {
+            attempted = true;
+            fail()
+        });
+        assert_eq!(r, Err(EcError::ProviderUnavailable("weather")));
+        assert!(!attempted, "open breaker must not touch the upstream");
+        assert_eq!(g.stats().short_circuits, 1);
+
+        // After cooldown: exactly one probe; success closes.
+        let r = g.call(t(10), || Ok(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(g.stats().probes, 1);
+        assert!(matches!(g.breaker_state(), BreakerState::Closed { consecutive_failures: 0 }));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let g = guard(1, 3);
+        let fail = || -> Result<(), EcError> { Err(EcError::ProviderUnavailable("weather")) };
+        assert!(g.call(t(0), fail).is_err()); // opens (threshold 1)
+        let mut attempts = 0;
+        let _: Result<(), _> = g.call(t(6), || {
+            attempts += 1;
+            fail()
+        });
+        assert_eq!(attempts, 1, "probe gets a single attempt, not the retry budget");
+        assert!(matches!(g.breaker_state(), BreakerState::Open { until } if until == t(11)));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy::default();
+        let a = p.backoff_ms(1, 0, 1);
+        let b = p.backoff_ms(1, 0, 1);
+        assert_eq!(a, b, "same seed/call/retry → same jitter");
+        assert!(p.backoff_ms(1, 0, 2) > p.backoff_ms(1, 0, 1) * 1.5, "exponential growth");
+        assert_ne!(p.backoff_ms(1, 0, 1), p.backoff_ms(1, 1, 1), "per-call jitter");
+    }
+
+    #[test]
+    fn resilient_provider_wraps_all_feeds() {
+        let sims = SimProviders::new(3);
+        // Fails every 2nd call: with 3 attempts every logical call succeeds.
+        let flaky = FlakyProvider::new(sims, 2, "bundle");
+        let rp = ResilientProvider::new(flaky, ResiliencePolicy::default(), 11);
+        let now = t(0);
+        let loc = GeoPoint::new(8.2, 53.1);
+        for _ in 0..8 {
+            assert!(rp.forecast_sun(&loc, now, now).is_ok());
+        }
+        let s = rp.guard(FeedKind::Weather).stats();
+        assert_eq!(s.failures, 0);
+        assert!(s.retries > 0, "the flaky inner must have forced retries");
+        assert!(s.attempts > s.calls);
+    }
+}

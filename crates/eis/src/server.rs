@@ -7,12 +7,37 @@
 //! clients as per request" while "mitigat\[ing\] the need for redundant API
 //! call requests" (§IV). Per-provider upstream-call counters let the
 //! evaluation show how much the caches save.
+//!
+//! ## Degraded operation
+//!
+//! Every forecast answers with a [`SourcedInterval`] — an interval plus
+//! the provenance of the data behind it. Three tiers back each feed:
+//!
+//! 1. **fresh cache** — the TTL cache above; a hit (or a successful
+//!    upstream fetch) is [`ComponentQuality::Fresh`];
+//! 2. **retry + circuit breaker** (optional, [`InfoServer::with_resilience`])
+//!    — upstream attempts run through a per-feed [`crate::FeedGuard`], so
+//!    transient failures are retried with seeded backoff and a persistently
+//!    failing feed is shed without being hammered;
+//! 3. **last-known-good** (when stale serving is enabled) — every
+//!    successful fetch is also written to a long-TTL tier; when the
+//!    upstream is exhausted or shed, the last value is served with its
+//!    interval *widened as a function of staleness* (the same shape
+//!    forecast uncertainty grows with horizon, [`staleness_half_width`])
+//!    and tagged [`ComponentQuality::Stale`].
+//!
+//! Only when every tier comes up empty does a forecast return
+//! [`EcError::ProviderUnavailable`] — and the ranking layer above may then
+//! still substitute a configured fallback interval (see `ec-core`).
 
 use crate::cache::TtlCache;
 use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
+use crate::resilience::{BreakerState, FeedKind, GuardSet, GuardSnapshot, ResiliencePolicy};
 use chargers::Charger;
-use ec_types::{EcError, GeoPoint, Interval, SimDuration, SimTime};
+use ec_models::horizon_half_width;
+use ec_types::{EcError, GeoPoint, Interval, SimDuration, SimTime, SourcedInterval};
 use roadnet::RoadClass;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +47,10 @@ const WEATHER_CELL_DEG: f64 = 0.5;
 
 /// How long a cached forecast stays valid, sim-time.
 const FORECAST_TTL: SimDuration = SimDuration::from_mins(15);
+
+/// How long the last-known-good tier remembers a value past its fetch.
+/// Beyond this a forecast is considered too old to widen honestly.
+const LKG_TTL: SimDuration = SimDuration::from_hours(6);
 
 /// Quantise an ETA to its cache bucket's representative instant (the
 /// middle of the hour). The *inputs* to every upstream call are derived
@@ -54,10 +83,42 @@ fn cell_center(loc: &GeoPoint) -> (i64, i64, GeoPoint) {
     let cx = (loc.lon / WEATHER_CELL_DEG).floor() as i64;
     let cy = (loc.lat / WEATHER_CELL_DEG).floor() as i64;
     let center = GeoPoint::new(
-        (cx as f64 + 0.5) * WEATHER_CELL_DEG,
+        ((cx as f64 + 0.5) * WEATHER_CELL_DEG).clamp(-179.9, 179.9),
         ((cy as f64 + 0.5) * WEATHER_CELL_DEG).clamp(-89.9, 89.9),
     );
     (cx, cy, center)
+}
+
+/// Extra interval half-width honestly owed to serving a forecast `age`
+/// past its issue time — the horizon-uncertainty growth of `ec-models`
+/// applied to staleness: a value served `age` late is as uncertain as one
+/// forecast `age` further out. Zero at zero age, monotone, capped by the
+/// same ceiling the forecast models use.
+#[must_use]
+pub fn staleness_half_width(age: SimDuration) -> f64 {
+    horizon_half_width(age.as_hours_f64()) - horizon_half_width(0.0)
+}
+
+/// Widen a unit-domain interval (sun fraction, wind capacity factor,
+/// availability) by absolute half-width `w`, clamped to `[0,1]`. The
+/// result always contains the input: the input already lives in `[0,1]`,
+/// so clamping cannot cut into it.
+#[must_use]
+pub fn widen_unit(v: Interval, w: f64) -> Interval {
+    Interval::new(
+        (v.lo() - w).clamp(0.0, 1.0).min(v.lo()),
+        (v.hi() + w).clamp(0.0, 1.0).max(v.hi()),
+    )
+}
+
+/// Widen a multiplicative-factor interval (traffic time/energy factors,
+/// `lo ≥ 1.0`) relatively — by `w` of its midpoint — with the free-flow
+/// floor of 1.0. The `min`/`max` guards keep containment even for inputs
+/// that violate the floor.
+#[must_use]
+pub fn widen_factor(v: Interval, w: f64) -> Interval {
+    let d = w * v.mid();
+    Interval::new((v.lo() - d).max(1.0).min(v.lo()), (v.hi() + d).max(v.hi()))
 }
 
 /// Upstream API-call counters.
@@ -71,6 +132,8 @@ pub struct ServerStats {
     pub traffic_calls: AtomicU64,
     /// Calls that reached the wind provider.
     pub wind_calls: AtomicU64,
+    /// Forecasts answered from the last-known-good tier (widened).
+    pub stale_served: AtomicU64,
 }
 
 impl ServerStats {
@@ -85,9 +148,17 @@ impl ServerStats {
             self.wind_calls.load(Ordering::Relaxed),
         )
     }
+
+    /// Forecasts served stale-and-widened so far.
+    #[must_use]
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
 }
 
-/// The EcoCharge Information Server: cached, counted provider access.
+/// The EcoCharge Information Server: cached, counted provider access with
+/// optional retry/circuit-breaker and stale-with-widened-uncertainty
+/// tiers (see the module docs).
 pub struct InfoServer {
     weather: Arc<dyn WeatherProvider>,
     availability: Arc<dyn AvailabilityProvider>,
@@ -97,8 +168,15 @@ pub struct InfoServer {
     wind_cache: TtlCache<(i64, i64, u64), Interval>,
     avail_cache: TtlCache<(u32, u64), Interval>,
     traffic_cache: TtlCache<(u8, u64, bool), Interval>,
+    // Last-known-good tier: value + when it was fetched, kept long past
+    // the fresh TTL so an outage can be bridged with widened intervals.
+    sun_lkg: TtlCache<(i64, i64, u64), (Interval, SimTime)>,
+    wind_lkg: TtlCache<(i64, i64, u64), (Interval, SimTime)>,
+    avail_lkg: TtlCache<(u32, u64), (Interval, SimTime)>,
+    traffic_lkg: TtlCache<(u8, u64, bool), (Interval, SimTime)>,
     stats: ServerStats,
     serve_stale: bool,
+    guards: Option<GuardSet>,
 }
 
 impl InfoServer {
@@ -118,17 +196,33 @@ impl InfoServer {
             wind_cache: TtlCache::new(),
             avail_cache: TtlCache::new(),
             traffic_cache: TtlCache::new(),
+            sun_lkg: TtlCache::new(),
+            wind_lkg: TtlCache::new(),
+            avail_lkg: TtlCache::new(),
+            traffic_lkg: TtlCache::new(),
             stats: ServerStats::default(),
             serve_stale: false,
+            guards: None,
         }
     }
 
     /// Enable degraded-mode reads: when an upstream provider fails, serve
-    /// the last cached value for the bucket (if any) even past its TTL.
-    /// The client still sees a typed error when no stale value exists.
+    /// the last-known-good value for the bucket (if any) with its interval
+    /// widened by [`staleness_half_width`] and tagged
+    /// [`ec_types::ComponentQuality::Stale`]. The client still sees a
+    /// typed error when no last-known-good value exists.
     #[must_use]
     pub fn with_stale_serving(mut self) -> Self {
         self.serve_stale = true;
+        self
+    }
+
+    /// Put every upstream call behind a per-feed [`crate::FeedGuard`]
+    /// (bounded retry + circuit breaker). `seed` drives the deterministic
+    /// backoff jitter.
+    #[must_use]
+    pub fn with_resilience(mut self, policy: ResiliencePolicy, seed: u64) -> Self {
+        self.guards = Some(GuardSet::new(policy, seed));
         self
     }
 
@@ -136,6 +230,32 @@ impl InfoServer {
     #[must_use]
     pub const fn serves_stale(&self) -> bool {
         self.serve_stale
+    }
+
+    /// Whether upstream calls run through retry + circuit breakers.
+    #[must_use]
+    pub const fn resilience_enabled(&self) -> bool {
+        self.guards.is_some()
+    }
+
+    /// Current breaker state for `feed`, when resilience is enabled.
+    #[must_use]
+    pub fn breaker_state(&self, feed: FeedKind) -> Option<BreakerState> {
+        self.guards.as_ref().map(|g| g.guard(feed).breaker_state())
+    }
+
+    /// Guard counters for `feed`, when resilience is enabled.
+    #[must_use]
+    pub fn guard_stats(&self, feed: FeedKind) -> Option<GuardSnapshot> {
+        self.guards.as_ref().map(|g| g.guard(feed).stats())
+    }
+
+    /// Total backoff a real deployment would have slept across all feeds,
+    /// milliseconds (zero without resilience). Feed this into
+    /// [`crate::ModeCosts::degraded_refresh_latency_ms`] to price faults.
+    #[must_use]
+    pub fn virtual_backoff_ms(&self) -> f64 {
+        self.guards.as_ref().map_or(0.0, GuardSet::virtual_backoff_ms)
     }
 
     /// Convenience: a server over one [`crate::SimProviders`] bundle
@@ -153,130 +273,176 @@ impl InfoServer {
         self
     }
 
+    /// Run one upstream attempt set through the feed's guard when
+    /// resilience is enabled, or directly otherwise.
+    fn upstream(
+        &self,
+        feed: FeedKind,
+        now: SimTime,
+        mut attempt: impl FnMut() -> Result<Interval, EcError>,
+    ) -> Result<Interval, EcError> {
+        match &self.guards {
+            Some(g) => g.guard(feed).call(now, attempt),
+            None => attempt(),
+        }
+    }
+
+    /// The shared three-tier read path: fresh cache → guarded upstream →
+    /// last-known-good with staleness widening. `unit` selects the
+    /// widening rule (absolute-clamped for `[0,1]` quantities, relative
+    /// with a 1.0 floor for traffic factors).
+    #[allow(clippy::too_many_arguments)]
+    fn fetch<K: Eq + Hash + Clone>(
+        &self,
+        feed: FeedKind,
+        cache: &TtlCache<K, Interval>,
+        lkg: &TtlCache<K, (Interval, SimTime)>,
+        key: K,
+        now: SimTime,
+        unit: bool,
+        fetch: impl Fn() -> Result<Interval, EcError>,
+    ) -> Result<SourcedInterval, EcError> {
+        let fresh = cache.get_or_insert_with(key.clone(), now, FORECAST_TTL, || {
+            let v = self.upstream(feed, now, &fetch)?;
+            lkg.put(key.clone(), (v, now), now, LKG_TTL);
+            Ok(v)
+        });
+        match fresh {
+            Ok(v) => Ok(SourcedInterval::fresh(v)),
+            Err(e) if self.serve_stale => match lkg.get_allow_stale(&key, now) {
+                Some(((v, issued), _)) => {
+                    self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                    let age = now.saturating_since(issued);
+                    let w = staleness_half_width(age);
+                    let widened = if unit { widen_unit(v, w) } else { widen_factor(v, w) };
+                    Ok(SourcedInterval::stale(widened, age))
+                }
+                None => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
     /// Cached wind capacity-factor forecast for the wind cell containing
     /// `loc` at the hour of `eta`.
     ///
     /// # Errors
     /// [`EcError::ProviderUnavailable`] when no wind feed is attached or
-    /// the upstream fails without a stale fallback.
+    /// every tier (upstream, retry, last-known-good) is exhausted.
     pub fn wind_forecast(
         &self,
         loc: &GeoPoint,
         now: SimTime,
         eta: SimTime,
-    ) -> Result<Interval, EcError> {
+    ) -> Result<SourcedInterval, EcError> {
         let Some(provider) = &self.wind else {
-            return Err(EcError::ProviderUnavailable("wind".into()));
+            return Err(EcError::ProviderUnavailable("wind"));
         };
         let (cx, cy, center) = wind_cell_center(loc);
         let bucket = eta_bucket(eta);
         let key = (cx, cy, bucket.as_secs());
-        let fresh = self.wind_cache.get_or_insert_with(key, now, FORECAST_TTL, || {
+        self.fetch(FeedKind::Wind, &self.wind_cache, &self.wind_lkg, key, now, true, || {
             self.stats.wind_calls.fetch_add(1, Ordering::Relaxed);
             provider.forecast_wind(&center, now, bucket)
-        });
-        match fresh {
-            Err(e) if self.serve_stale => self
-                .wind_cache
-                .get_allow_stale(&key, now)
-                .map(|(v, _)| v)
-                .ok_or(e),
-            other => other,
-        }
+        })
     }
 
     /// Cached sun-fraction forecast for the weather cell containing `loc`
     /// at the hour of `eta`.
+    ///
+    /// # Errors
+    /// [`EcError::ProviderUnavailable`] when every tier is exhausted.
     pub fn sun_forecast(
         &self,
         loc: &GeoPoint,
         now: SimTime,
         eta: SimTime,
-    ) -> Result<Interval, EcError> {
+    ) -> Result<SourcedInterval, EcError> {
         let (cx, cy, center) = cell_center(loc);
         let bucket = eta_bucket(eta);
         let key = (cx, cy, bucket.as_secs());
-        let fresh = self.sun_cache.get_or_insert_with(key, now, FORECAST_TTL, || {
+        self.fetch(FeedKind::Weather, &self.sun_cache, &self.sun_lkg, key, now, true, || {
             self.stats.weather_calls.fetch_add(1, Ordering::Relaxed);
             self.weather.forecast_sun(&center, now, bucket)
-        });
-        match fresh {
-            Err(e) if self.serve_stale => self
-                .sun_cache
-                .get_allow_stale(&key, now)
-                .map(|(v, _)| v)
-                .ok_or(e),
-            other => other,
-        }
+        })
     }
 
     /// Cached availability forecast for `charger` at `eta`.
+    ///
+    /// # Errors
+    /// [`EcError::ProviderUnavailable`] when every tier is exhausted.
     pub fn availability_forecast(
         &self,
         charger: &Charger,
         now: SimTime,
         eta: SimTime,
-    ) -> Result<Interval, EcError> {
+    ) -> Result<SourcedInterval, EcError> {
         let bucket = eta_bucket(eta);
         let key = (charger.id.0, bucket.as_secs());
-        let fresh = self.avail_cache.get_or_insert_with(key, now, FORECAST_TTL, || {
-            self.stats.availability_calls.fetch_add(1, Ordering::Relaxed);
-            self.availability.forecast_availability(charger, now, bucket)
-        });
-        match fresh {
-            Err(e) if self.serve_stale => self
-                .avail_cache
-                .get_allow_stale(&key, now)
-                .map(|(v, _)| v)
-                .ok_or(e),
-            other => other,
-        }
+        self.fetch(
+            FeedKind::Availability,
+            &self.avail_cache,
+            &self.avail_lkg,
+            key,
+            now,
+            true,
+            || {
+                self.stats.availability_calls.fetch_add(1, Ordering::Relaxed);
+                self.availability.forecast_availability(charger, now, bucket)
+            },
+        )
     }
 
     /// Cached traffic time-factor forecast for `class` at `eta`.
+    ///
+    /// # Errors
+    /// [`EcError::ProviderUnavailable`] when every tier is exhausted.
     pub fn traffic_time_forecast(
         &self,
         class: RoadClass,
         now: SimTime,
         eta: SimTime,
-    ) -> Result<Interval, EcError> {
+    ) -> Result<SourcedInterval, EcError> {
         let bucket = eta_bucket(eta);
         let key = (class.tag(), bucket.as_secs(), false);
-        let fresh = self.traffic_cache.get_or_insert_with(key, now, FORECAST_TTL, || {
-            self.stats.traffic_calls.fetch_add(1, Ordering::Relaxed);
-            self.traffic.forecast_time_factor(class, now, bucket)
-        });
-        match fresh {
-            Err(e) if self.serve_stale => self
-                .traffic_cache
-                .get_allow_stale(&key, now)
-                .map(|(v, _)| v)
-                .ok_or(e),
-            other => other,
-        }
+        self.fetch(
+            FeedKind::Traffic,
+            &self.traffic_cache,
+            &self.traffic_lkg,
+            key,
+            now,
+            false,
+            || {
+                self.stats.traffic_calls.fetch_add(1, Ordering::Relaxed);
+                self.traffic.forecast_time_factor(class, now, bucket)
+            },
+        )
     }
 
     /// Cached traffic energy-factor forecast for `class` at `eta`.
+    ///
+    /// # Errors
+    /// [`EcError::ProviderUnavailable`] when every tier is exhausted.
     pub fn traffic_energy_forecast(
         &self,
         class: RoadClass,
         now: SimTime,
         eta: SimTime,
-    ) -> Result<Interval, EcError> {
+    ) -> Result<SourcedInterval, EcError> {
         let bucket = eta_bucket(eta);
         let key = (class.tag(), bucket.as_secs(), true);
-        let fresh = self.traffic_cache.get_or_insert_with(key, now, FORECAST_TTL, || {
-            self.stats.traffic_calls.fetch_add(1, Ordering::Relaxed);
-            self.traffic.forecast_energy_factor(class, now, bucket)
-        });
-        match fresh {
-            Err(e) if self.serve_stale => self
-                .traffic_cache
-                .get_allow_stale(&key, now)
-                .map(|(v, _)| v)
-                .ok_or(e),
-            other => other,
-        }
+        self.fetch(
+            FeedKind::Traffic,
+            &self.traffic_cache,
+            &self.traffic_lkg,
+            key,
+            now,
+            false,
+            || {
+                self.stats.traffic_calls.fetch_add(1, Ordering::Relaxed);
+                self.traffic.forecast_energy_factor(class, now, bucket)
+            },
+        )
     }
 
     /// Upstream call counters.
@@ -285,7 +451,7 @@ impl InfoServer {
         &self.stats
     }
 
-    /// `(hits, misses)` across all three caches.
+    /// `(hits, misses)` across the fresh caches.
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         let (h1, m1) = self.sun_cache.stats();
@@ -294,12 +460,17 @@ impl InfoServer {
         (h1 + h2 + h3, m1 + m2 + m3)
     }
 
-    /// Drop expired entries from every cache.
+    /// Drop expired entries from every cache (the last-known-good tier
+    /// keeps entries for its own, much longer TTL).
     pub fn evict_expired(&self, now: SimTime) {
         self.sun_cache.evict_expired(now);
         self.avail_cache.evict_expired(now);
         self.traffic_cache.evict_expired(now);
         self.wind_cache.evict_expired(now);
+        self.sun_lkg.evict_expired(now);
+        self.avail_lkg.evict_expired(now);
+        self.traffic_lkg.evict_expired(now);
+        self.wind_lkg.evict_expired(now);
     }
 }
 
@@ -310,6 +481,8 @@ impl std::fmt::Debug for InfoServer {
             .field("cache_hits", &hits)
             .field("cache_misses", &misses)
             .field("upstream_calls", &self.stats.snapshot())
+            .field("stale_served", &self.stats.stale_served())
+            .field("resilience", &self.guards.is_some())
             .finish()
     }
 }
@@ -318,9 +491,10 @@ impl std::fmt::Debug for InfoServer {
 mod tests {
     use super::*;
     use crate::provider::SimProviders;
+    use crate::resilience::BreakerPolicy;
     use chargers::ChargerKind;
     use ec_models::SiteArchetype;
-    use ec_types::{ChargerId, DayOfWeek, Kilowatts, NodeId};
+    use ec_types::{ChargerId, ComponentQuality, DayOfWeek, Kilowatts, NodeId};
 
     fn server() -> InfoServer {
         InfoServer::from_sims(SimProviders::new(7))
@@ -347,6 +521,7 @@ mod tests {
         let a = s.sun_forecast(&loc, now, eta).unwrap();
         let b = s.sun_forecast(&loc, now, eta).unwrap();
         assert_eq!(a, b);
+        assert!(a.quality.is_fresh());
         assert_eq!(s.stats().snapshot().0, 1, "only one upstream weather call");
         let (hits, _) = s.cache_stats();
         assert!(hits >= 1);
@@ -394,18 +569,15 @@ mod tests {
         let eta = now + SimDuration::from_mins(20);
         let t = s.traffic_time_forecast(RoadClass::Primary, now, eta).unwrap();
         let e = s.traffic_energy_forecast(RoadClass::Primary, now, eta).unwrap();
-        assert!(t.hi() >= e.hi(), "energy factor is damped");
+        assert!(t.value.hi() >= e.value.hi(), "energy factor is damped");
         assert_eq!(s.stats().snapshot().2, 2);
     }
 
     #[test]
-    fn stale_serving_uses_expired_entry() {
+    fn stale_serving_widens_and_tags_the_cached_value() {
         use crate::provider::FlakyProvider;
-        // Provider succeeds exactly once (fails every call from the 2nd):
-        // period 1 fails every call, so warm the cache through a healthy
-        // bundle sharing the *same* cache is not possible from outside.
-        // Instead: period 2 → call 1 ok (cached), call 2 fails (after
-        // TTL) → stale value served.
+        // Period 2 → call 1 ok (cached + LKG), call 2 (after the fresh
+        // TTL) fails → the LKG value is served widened.
         let sims = SimProviders::new(7);
         let flaky = std::sync::Arc::new(FlakyProvider::new(sims, 2, "bundle"));
         let s = InfoServer::new(flaky.clone(), flaky.clone(), flaky).with_stale_serving();
@@ -415,13 +587,103 @@ mod tests {
         let first = s.sun_forecast(&loc, now, eta).unwrap(); // upstream call #1: ok
         let later = now + SimDuration::from_mins(20); // past the 15-min TTL
         let second = s.sun_forecast(&loc, later, eta).unwrap(); // call #2 fails → stale
-        assert_eq!(first, second, "degraded mode must serve the cached value");
+        assert!(first.quality.is_fresh());
+        let ComponentQuality::Stale { age } = second.quality else {
+            panic!("expected a stale tag, got {:?}", second.quality);
+        };
+        assert_eq!(age, SimDuration::from_mins(20));
+        assert!(
+            second.value.lo() <= first.value.lo() && second.value.hi() >= first.value.hi(),
+            "stale interval {} must contain the fresh one {}",
+            second.value,
+            first.value
+        );
+        assert_eq!(s.stats().stale_served(), 1);
         // Without stale serving the same sequence errors.
         let sims = SimProviders::new(7);
         let flaky = std::sync::Arc::new(FlakyProvider::new(sims, 2, "bundle"));
         let strict = InfoServer::new(flaky.clone(), flaky.clone(), flaky);
         let _ = strict.sun_forecast(&loc, now, eta).unwrap();
         assert!(strict.sun_forecast(&loc, later, eta).is_err());
+    }
+
+    #[test]
+    fn breaker_sheds_upstream_calls_and_recovers() {
+        use crate::provider::FlakyProvider;
+        // Period 1 → every upstream call fails.
+        let sims = SimProviders::new(7);
+        let flaky = std::sync::Arc::new(FlakyProvider::new(sims, 1, "bundle"));
+        let policy = ResiliencePolicy {
+            breaker: BreakerPolicy { failure_threshold: 2, cooldown: SimDuration::from_mins(5) },
+            ..Default::default()
+        };
+        let s = InfoServer::new(flaky.clone(), flaky.clone(), flaky.clone())
+            .with_resilience(policy, 42);
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        let eta = now + SimDuration::from_hours(2);
+        let loc = GeoPoint::new(8.2, 53.1);
+        // Two failing logical calls open the breaker.
+        assert!(s.sun_forecast(&loc, now, eta).is_err());
+        assert!(s.sun_forecast(&loc, now + SimDuration::from_mins(1), eta).is_err());
+        assert!(matches!(s.breaker_state(FeedKind::Weather), Some(BreakerState::Open { .. })));
+        let upstream_before = s.stats().snapshot().0;
+        // While open: shed — the upstream counter must NOT move.
+        assert!(s.sun_forecast(&loc, now + SimDuration::from_mins(2), eta).is_err());
+        assert_eq!(s.stats().snapshot().0, upstream_before, "open breaker sheds load");
+        assert!(s.virtual_backoff_ms() > 0.0, "retries accounted their backoff");
+        // FlakyProvider with period 1 fails every call, so heal it by
+        // swapping expectations: after the cooldown the probe reaches the
+        // upstream again (counter moves), even though it still fails.
+        let after = now + SimDuration::from_mins(10);
+        assert!(s.sun_forecast(&loc, after, eta).is_err());
+        assert_eq!(s.stats().snapshot().0, upstream_before + 1, "half-open probe goes upstream");
+    }
+
+    #[test]
+    fn weather_and_wind_cell_centers_stay_in_coordinate_range() {
+        // Regression: cell_center used to clamp only latitude, so a
+        // charger near the antimeridian produced a representative point
+        // with |lon| > 180 and the weather simulator was queried outside
+        // its domain. Both helpers must clamp both axes.
+        for lon in [-179.99, -0.3, 0.3, 179.99] {
+            for lat in [-89.95, -0.2, 0.2, 89.95] {
+                let p = GeoPoint::new(lon, lat);
+                let (_, _, wc) = cell_center(&p);
+                assert!(wc.lon.abs() <= 180.0, "weather lon {} from {p:?}", wc.lon);
+                assert!(wc.lat.abs() <= 90.0, "weather lat {} from {p:?}", wc.lat);
+                let (_, _, nc) = wind_cell_center(&p);
+                assert!(nc.lon.abs() <= 180.0, "wind lon {} from {p:?}", nc.lon);
+                assert!(nc.lat.abs() <= 90.0, "wind lat {} from {p:?}", nc.lat);
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_widening_is_zero_fresh_monotone_and_capped() {
+        assert_eq!(staleness_half_width(SimDuration::ZERO), 0.0);
+        let mut prev = 0.0;
+        for mins in [5u64, 15, 60, 180, 600, 6000] {
+            let w = staleness_half_width(SimDuration::from_mins(mins));
+            assert!(w >= prev, "widening must be monotone in age");
+            prev = w;
+        }
+        assert!(prev <= 0.25, "widening is capped by the model ceiling");
+    }
+
+    #[test]
+    fn widen_rules_contain_their_input() {
+        let unit = Interval::new(0.3, 0.6);
+        let wide = widen_unit(unit, 0.1);
+        assert!(wide.lo() <= unit.lo() && wide.hi() >= unit.hi());
+        assert!(wide.lo() >= 0.0 && wide.hi() <= 1.0);
+        // Near the domain edge the clamp holds.
+        let edge = widen_unit(Interval::new(0.0, 0.98), 0.1);
+        assert_eq!(edge.lo(), 0.0);
+        assert_eq!(edge.hi(), 1.0);
+        let factor = Interval::new(1.05, 1.4);
+        let wide = widen_factor(factor, 0.1);
+        assert!(wide.lo() <= factor.lo() && wide.hi() >= factor.hi());
+        assert!(wide.lo() >= 1.0, "free-flow floor");
     }
 
     #[test]

@@ -169,10 +169,9 @@ impl RawNet {
         for i in 0..n as u32 {
             sizes[find(&mut parent, i) as usize] += 1;
         }
-        let best_root = u32::try_from(
-            (0..n).max_by_key(|&i| sizes[i]).expect("non-empty point set"),
-        )
-        .expect("fits u32");
+        let best_root =
+            u32::try_from((0..n).max_by_key(|&i| sizes[i]).expect("non-empty point set"))
+                .expect("fits u32");
         let best_root = find(&mut parent, best_root);
 
         let mut remap = vec![u32::MAX; n];
@@ -235,11 +234,7 @@ pub fn urban_grid(p: &UrbanGridParams) -> RoadGraph {
                 if !arterial && rng.next_f64() < p.drop_prob {
                     return;
                 }
-                let len = street_len(
-                    &net.points[here as usize],
-                    &net.points[there as usize],
-                    rng,
-                );
+                let len = street_len(&net.points[here as usize], &net.points[there as usize], rng);
                 net.add_street(here, there, len, class);
             };
             if c + 1 < p.cols {
@@ -270,8 +265,8 @@ pub fn ring_radial(p: &RingRadialParams) -> RoadGraph {
     for (i, ring) in ids.iter_mut().enumerate() {
         let radius = (i + 1) as f64 * p.ring_spacing_m;
         for (j, slot) in ring.iter_mut().enumerate() {
-            let angle = std::f64::consts::TAU * j as f64 / p.spokes as f64
-                + rng.range_f64(-0.02, 0.02);
+            let angle =
+                std::f64::consts::TAU * j as f64 / p.spokes as f64 + rng.range_f64(-0.02, 0.02);
             let pt = p.center.offset_m(radius * angle.cos(), radius * angle.sin());
             *slot = net.add_point(pt);
         }
@@ -319,9 +314,8 @@ pub fn metro_regions(p: &MetroRegionsParams) -> RoadGraph {
     let mut attempts = 0;
     while anchors.len() < p.cities && attempts < 10_000 {
         attempts += 1;
-        let cand = p
-            .origin
-            .offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m));
+        let cand =
+            p.origin.offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m));
         if anchors.iter().all(|a| a.fast_dist_m(&cand) >= min_sep) {
             anchors.push(cand);
         }
@@ -329,8 +323,7 @@ pub fn metro_regions(p: &MetroRegionsParams) -> RoadGraph {
     while anchors.len() < p.cities {
         // Separation impossible at this density; fill uniformly.
         anchors.push(
-            p.origin
-                .offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m)),
+            p.origin.offset_m(rng.range_f64(0.0, p.extent_x_m), rng.range_f64(0.0, p.extent_y_m)),
         );
     }
 
@@ -345,7 +338,10 @@ pub fn metro_regions(p: &MetroRegionsParams) -> RoadGraph {
                 let jx = rng.range_f64(-0.2, 0.2) * p.city_spacing_m;
                 let jy = rng.range_f64(-0.2, 0.2) * p.city_spacing_m;
                 net.add_point(
-                    anchor.offset_m(c as f64 * p.city_spacing_m + jx, r as f64 * p.city_spacing_m + jy),
+                    anchor.offset_m(
+                        c as f64 * p.city_spacing_m + jx,
+                        r as f64 * p.city_spacing_m + jy,
+                    ),
                 );
             }
         }
@@ -355,12 +351,14 @@ pub fn metro_regions(p: &MetroRegionsParams) -> RoadGraph {
                 let class = if arterial { RoadClass::Primary } else { RoadClass::Residential };
                 if c + 1 < side {
                     let (a, b) = (idx(r, c), idx(r, c + 1));
-                    let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+                    let len =
+                        street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
                     net.add_street(a, b, len, class);
                 }
                 if r + 1 < side {
                     let (a, b) = (idx(r, c), idx(r + 1, c));
-                    let len = street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
+                    let len =
+                        street_len(&net.points[a as usize], &net.points[b as usize], &mut rng);
                     net.add_street(a, b, len, class);
                 }
             }
@@ -498,9 +496,7 @@ mod tests {
         assert!(g.bounds().width_m() > 100_000.0);
         let mut engine = SearchEngine::new();
         let far = NodeId(u32::try_from(g.num_nodes() - 1).unwrap());
-        assert!(engine
-            .one_to_one(&g, NodeId(0), far, metric_cost(CostMetric::Distance))
-            .is_some());
+        assert!(engine.one_to_one(&g, NodeId(0), far, metric_cost(CostMetric::Distance)).is_some());
     }
 
     #[test]

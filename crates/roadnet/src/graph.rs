@@ -71,8 +71,7 @@ impl GraphBuilder {
     /// # Panics
     /// Panics when either endpoint is unknown.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, class: RoadClass) {
-        let len =
-            self.points[from.index()].fast_dist_m(&self.points[to.index()]).max(1.0) as f32;
+        let len = self.points[from.index()].fast_dist_m(&self.points[to.index()]).max(1.0) as f32;
         self.add_edge_with_len(from, to, len, class);
     }
 

@@ -68,17 +68,16 @@ pub fn parse_node_edge(
                 lineno + 1
             )));
         };
-        let id: i64 = id
-            .parse()
-            .map_err(|_| EcError::InvalidConfig(format!("bad node id `{id}` on line {}", lineno + 1)))?;
+        let id: i64 = id.parse().map_err(|_| {
+            EcError::InvalidConfig(format!("bad node id `{id}` on line {}", lineno + 1))
+        })?;
         let x: f64 = x
             .parse()
             .map_err(|_| EcError::InvalidConfig(format!("bad x `{x}` on line {}", lineno + 1)))?;
         let y: f64 = y
             .parse()
             .map_err(|_| EcError::InvalidConfig(format!("bad y `{y}` on line {}", lineno + 1)))?;
-        let point =
-            anchor.origin.offset_m(x * anchor.meters_per_unit, y * anchor.meters_per_unit);
+        let point = anchor.origin.offset_m(x * anchor.meters_per_unit, y * anchor.meters_per_unit);
         id_map.insert(id, builder.add_node(point));
     }
     if id_map.len() < 2 {
@@ -103,9 +102,9 @@ pub fn parse_node_edge(
             )));
         };
         let parse_ref = |s: &str| -> Result<NodeId, EcError> {
-            let id: i64 = s
-                .parse()
-                .map_err(|_| EcError::InvalidConfig(format!("bad node ref `{s}` on line {}", lineno + 1)))?;
+            let id: i64 = s.parse().map_err(|_| {
+                EcError::InvalidConfig(format!("bad node ref `{s}` on line {}", lineno + 1))
+            })?;
             id_map
                 .get(&id)
                 .copied()
@@ -165,8 +164,8 @@ pub fn write_node_edge(graph: &RoadGraph, anchor: &PlanarAnchor) -> (String, Str
         let p = graph.point(NodeId::from_index(v));
         // Invert offset_m around the anchor (equirectangular, consistent
         // with parse).
-        let y = (p.lat - origin.lat).to_radians() * ec_types::EARTH_RADIUS_M
-            / anchor.meters_per_unit;
+        let y =
+            (p.lat - origin.lat).to_radians() * ec_types::EARTH_RADIUS_M / anchor.meters_per_unit;
         let x = (p.lon - origin.lon).to_radians()
             * origin.lat.to_radians().cos()
             * ec_types::EARTH_RADIUS_M
@@ -200,7 +199,7 @@ mod tests {
         let g = parse_node_edge(nodes, edges, &PlanarAnchor::default()).unwrap();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 8); // 4 two-way streets
-        // Class tags honoured: edge 0 is Primary (tag 1), edge 2 Motorway (tag 0).
+                                      // Class tags honoured: edge 0 is Primary (tag 1), edge 2 Motorway (tag 0).
         let v0 = NodeId(0);
         let (e, _) = g.out_edges(v0).find(|&(_, u)| u == NodeId(1)).unwrap();
         assert_eq!(g.edge_class(e), RoadClass::Primary);
@@ -219,10 +218,7 @@ mod tests {
     #[test]
     fn malformed_lines_are_typed_errors() {
         let anchor = PlanarAnchor::default();
-        assert!(matches!(
-            parse_node_edge("0 1\n", "", &anchor),
-            Err(EcError::InvalidConfig(_))
-        ));
+        assert!(matches!(parse_node_edge("0 1\n", "", &anchor), Err(EcError::InvalidConfig(_))));
         assert!(matches!(
             parse_node_edge("0 0 0\n1 10 10\n", "0 0 99\n", &anchor),
             Err(EcError::InvalidConfig(_)) // dangling node ref
@@ -231,10 +227,7 @@ mod tests {
             parse_node_edge("0 0 0\n1 10 10\n", "", &anchor),
             Err(EcError::InvalidConfig(_)) // no edges
         ));
-        assert!(matches!(
-            parse_node_edge("0 0 0\n", "", &anchor),
-            Err(EcError::DegenerateTrip(_))
-        ));
+        assert!(matches!(parse_node_edge("0 0 0\n", "", &anchor), Err(EcError::DegenerateTrip(_))));
     }
 
     #[test]

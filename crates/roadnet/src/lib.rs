@@ -110,9 +110,8 @@ mod search_tests {
         let targets = [NodeId(1), NodeId(2), NodeId(3), NodeId(0)];
         let many = e.one_to_many(&g, NodeId(0), &targets, metric_cost(CostMetric::Distance));
         for (t, got) in targets.iter().zip(&many) {
-            let want = e
-                .one_to_one(&g, NodeId(0), *t, metric_cost(CostMetric::Distance))
-                .map(|(c, _)| c);
+            let want =
+                e.one_to_one(&g, NodeId(0), *t, metric_cost(CostMetric::Distance)).map(|(c, _)| c);
             match (got, want) {
                 (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "target {t}"),
                 (None, None) => {}
@@ -128,9 +127,8 @@ mod search_tests {
         let sources = [NodeId(0), NodeId(1), NodeId(2)];
         let got = e.many_to_one(&g, NodeId(3), &sources, metric_cost(CostMetric::Distance));
         for (s, got) in sources.iter().zip(&got) {
-            let want = e
-                .one_to_one(&g, *s, NodeId(3), metric_cost(CostMetric::Distance))
-                .map(|(c, _)| c);
+            let want =
+                e.one_to_one(&g, *s, NodeId(3), metric_cost(CostMetric::Distance)).map(|(c, _)| c);
             assert_eq!(got.is_some(), want.is_some());
             if let (Some(a), Some(b)) = (got, want) {
                 assert!((a - b).abs() < 1e-9, "source {s}");
@@ -177,7 +175,10 @@ mod search_tests {
                 let s = e.astar(&g, a, b, metric).map(|(c, _)| c);
                 match (d, s) {
                     (Some(d), Some(s)) => {
-                        assert!((d - s).abs() < 1e-6 * d.max(1.0), "{a}->{b} {metric:?}: {d} vs {s}")
+                        assert!(
+                            (d - s).abs() < 1e-6 * d.max(1.0),
+                            "{a}->{b} {metric:?}: {d} vs {s}"
+                        )
                     }
                     (None, None) => {}
                     other => panic!("reachability mismatch: {other:?}"),

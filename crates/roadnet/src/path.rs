@@ -223,10 +223,7 @@ mod tests {
     #[test]
     fn from_nodes_rejects_short() {
         let (g, ids) = chain();
-        assert!(matches!(
-            Route::from_nodes(&g, vec![ids[0]]),
-            Err(EcError::DegenerateTrip(_))
-        ));
+        assert!(matches!(Route::from_nodes(&g, vec![ids[0]]), Err(EcError::DegenerateTrip(_))));
     }
 
     #[test]

@@ -3,21 +3,14 @@
 
 use ec_types::NodeId;
 use proptest::prelude::*;
-use roadnet::{
-    metric_cost, urban_grid, CostMetric, Route, SearchEngine, UrbanGridParams,
-};
+use roadnet::{metric_cost, urban_grid, CostMetric, Route, SearchEngine, UrbanGridParams};
 
 fn grid(seed: u64, side: usize) -> roadnet::RoadGraph {
-    urban_grid(&UrbanGridParams {
-        cols: side,
-        rows: side,
-        seed,
-        ..UrbanGridParams::default()
-    })
+    urban_grid(&UrbanGridParams { cols: side, rows: side, seed, ..UrbanGridParams::default() })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// d(a,c) ≤ d(a,b) + d(b,c) for shortest-path distances (they form a
     /// quasi-metric).

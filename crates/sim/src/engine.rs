@@ -145,8 +145,8 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
         for cid in ranked {
             let charger = ctx.fleet.get(cid);
             // Out-and-back detour (energy + travel time there).
-            let Some(secs) = engine
-                .one_to_many(g, dest, &[charger.node], metric_cost(CostMetric::Time))[0]
+            let Some(secs) =
+                engine.one_to_many(g, dest, &[charger.node], metric_cost(CostMetric::Time))[0]
             else {
                 continue;
             };
@@ -154,11 +154,12 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
                 engine.one_to_many(g, dest, &[charger.node], metric_cost(CostMetric::Energy))[0];
             let e_ret =
                 engine.many_to_one(g, dest, &[charger.node], metric_cost(CostMetric::Energy))[0];
-            let (Some(e_fwd), Some(e_ret)) = (e_fwd, e_ret) else { continue };
+            let (Some(e_fwd), Some(e_ret)) = (e_fwd, e_ret) else {
+                continue;
+            };
 
             let start = arrive + SimDuration::from_secs_f64(secs);
-            let budget_h =
-                (idle.as_hours_f64() - 2.0 * secs / 3_600.0).min(config.max_plug_h);
+            let budget_h = (idle.as_hours_f64() - 2.0 * secs / 3_600.0).min(config.max_plug_h);
             if budget_h < 0.25 {
                 continue; // detour eats the window
             }
@@ -175,7 +176,8 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
                 .or_insert_with(|| charger.record_production(&sims.weather, 0));
             let deliverable =
                 (charger.kind.rate().value() * budget_h).min(config.charge_target_kwh);
-            let clean = charger.exact_clean_energy(series, start, budget_h).value().min(deliverable);
+            let clean =
+                charger.exact_clean_energy(series, start, budget_h).value().min(deliverable);
             out.clean_kwh += clean;
             out.grid_kwh += deliverable - clean;
             out.detour_kwh += e_fwd + e_ret;

@@ -50,7 +50,13 @@ impl OccupancyBook {
     /// Is a plug free for the whole of `[start, end)` given the charger's
     /// kind?
     #[must_use]
-    pub fn is_free(&self, charger: ChargerId, kind: ChargerKind, start: SimTime, end: SimTime) -> bool {
+    pub fn is_free(
+        &self,
+        charger: ChargerId,
+        kind: ChargerKind,
+        start: SimTime,
+        end: SimTime,
+    ) -> bool {
         self.concurrent(charger, start, end) < plug_count(kind)
     }
 
@@ -72,7 +78,9 @@ impl OccupancyBook {
     /// Peak simultaneous occupancy observed for `charger`.
     #[must_use]
     pub fn peak(&self, charger: ChargerId) -> usize {
-        let Some(v) = self.reservations.get(&charger) else { return 0 };
+        let Some(v) = self.reservations.get(&charger) else {
+            return 0;
+        };
         // Sweep over interval endpoints.
         let mut events: Vec<(SimTime, i32)> = Vec::with_capacity(v.len() * 2);
         for &(s, e) in v {

@@ -91,7 +91,12 @@ mod tests {
         let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
         let trip = generate_trips(
             &graph,
-            &BrinkhoffParams { trips: 1, min_trip_m: 5_000.0, max_trip_m: 9_000.0, ..Default::default() },
+            &BrinkhoffParams {
+                trips: 1,
+                min_trip_m: 5_000.0,
+                max_trip_m: 9_000.0,
+                ..Default::default()
+            },
         )
         .remove(0);
         for mut policy in [Policy::ecocharge(), Policy::Nearest, Policy::random(4)] {
@@ -111,7 +116,12 @@ mod tests {
         let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
         let trip = generate_trips(
             &graph,
-            &BrinkhoffParams { trips: 1, min_trip_m: 5_000.0, max_trip_m: 9_000.0, ..Default::default() },
+            &BrinkhoffParams {
+                trips: 1,
+                min_trip_m: 5_000.0,
+                max_trip_m: 9_000.0,
+                ..Default::default()
+            },
         )
         .remove(0);
         let mut policy = Policy::Nearest;

@@ -84,8 +84,8 @@ pub fn build_schedules(g: &RoadGraph, params: &ScheduleParams) -> Vec<DaySchedul
         .enumerate()
         .map(|(v, n_legs)| {
             let vehicle = VehicleId::from_index(v);
-            let mut depart = SimTime::at(0, params.day, 7, 0)
-                + SimDuration::from_mins(rng.below(4 * 60));
+            let mut depart =
+                SimTime::at(0, params.day, 7, 0) + SimDuration::from_mins(rng.below(4 * 60));
             let legs = (0..n_legs)
                 .map(|_| {
                     let mut trip = pool.next().expect("pool sized to total legs");
@@ -136,7 +136,8 @@ mod tests {
     #[test]
     fn idle_windows_are_positive_between_legs() {
         let g = graph();
-        let schedules = build_schedules(&g, &ScheduleParams { vehicles: 10, seed: 5, ..Default::default() });
+        let schedules =
+            build_schedules(&g, &ScheduleParams { vehicles: 10, seed: 5, ..Default::default() });
         for s in &schedules {
             for i in 0..s.legs.len() {
                 let idle = s.idle_after(&g, i, SimDuration::from_hours(1));

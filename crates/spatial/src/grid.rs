@@ -295,7 +295,8 @@ mod tests {
         let q = GeoPoint::new(8.0, 53.0).offset_m(22_000.0, 18_000.0);
         for radius in [500.0, 4_000.0, 12_000.0] {
             let got: Vec<u32> = grid.range(&q, radius).iter().map(|h| *h.item).collect();
-            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> =
+                brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
             assert_eq!(got, want, "radius {radius}");
         }
     }

@@ -111,7 +111,8 @@ impl<T> KdTree<T> {
         let axis = depth % 2;
         let split = axis_value(&self.items[mid].0, axis);
         let qv = axis_value(query, axis);
-        let (near, far) = if qv <= split { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) =
+            if qv <= split { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
         self.knn_rec(query, k, near.0, near.1, depth + 1, best);
         // Visit the far side only if the plane is closer than the current
         // k-th best (or we still need more candidates).
@@ -211,9 +212,7 @@ fn build<T>(items: &mut [(GeoPoint, T)], lo: usize, hi: usize, depth: usize) {
     let axis = depth % 2;
     let mid = (lo + hi) / 2;
     items[lo..hi].select_nth_unstable_by(mid - lo, |a, b| {
-        axis_value(&a.0, axis)
-            .partial_cmp(&axis_value(&b.0, axis))
-            .expect("finite coordinates")
+        axis_value(&a.0, axis).partial_cmp(&axis_value(&b.0, axis)).expect("finite coordinates")
     });
     build(items, lo, mid, depth + 1);
     build(items, mid + 1, hi, depth + 1);
@@ -268,7 +267,8 @@ mod tests {
         let q = GeoPoint::new(8.0, 53.0).offset_m(20_000.0, 15_000.0);
         for radius in [0.0, 1_500.0, 8_000.0, 60_000.0] {
             let got: Vec<u32> = tree.range(&q, radius).iter().map(|h| *h.item).collect();
-            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> =
+                brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
             assert_eq!(got, want, "radius {radius}");
         }
     }

@@ -152,10 +152,11 @@ impl<T> QuadTree<T> {
     }
 
     fn split(&mut self, node: usize, depth: usize) {
-        let entries = match std::mem::replace(&mut self.nodes[node], Node::Internal { children: [0; 4] }) {
-            Node::Leaf { entries } => entries,
-            Node::Internal { .. } => unreachable!("split called on internal node"),
-        };
+        let entries =
+            match std::mem::replace(&mut self.nodes[node], Node::Internal { children: [0; 4] }) {
+                Node::Leaf { entries } => entries,
+                Node::Internal { .. } => unreachable!("split called on internal node"),
+            };
         let quads = self.boxes[node].quadrants();
         let base = self.nodes.len();
         for q in quads {
@@ -308,7 +309,8 @@ mod tests {
         let q = GeoPoint::new(8.0, 53.0).offset_m(20_000.0, 15_000.0);
         for radius in [0.0, 1_000.0, 5_000.0, 50_000.0] {
             let got: Vec<u32> = tree.range(&q, radius).iter().map(|h| *h.item).collect();
-            let want: Vec<u32> = brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
+            let want: Vec<u32> =
+                brute::range_scan(&items, &q, radius).iter().map(|h| *h.item).collect();
             assert_eq!(got, want, "radius {radius}");
         }
     }
@@ -328,11 +330,7 @@ mod tests {
     fn handles_colocated_points_beyond_bucket() {
         let p = GeoPoint::new(8.0, 53.0);
         let items: Vec<(GeoPoint, u32)> = (0..100).map(|i| (p, i)).collect();
-        let tree = QuadTree::with_params(
-            BoundingBox::new(p, p.offset_m(1_000.0, 1_000.0)),
-            4,
-            6,
-        );
+        let tree = QuadTree::with_params(BoundingBox::new(p, p.offset_m(1_000.0, 1_000.0)), 4, 6);
         let mut tree = tree;
         for (pos, item) in items {
             tree.insert(pos, item);

@@ -14,7 +14,7 @@ fn cloud(seed: u64, n: usize, extent_m: f64) -> Vec<(GeoPoint, usize)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn quadtree_knn_equals_brute(

@@ -141,16 +141,19 @@ mod tests {
     #[test]
     fn trips_prefer_the_length_band() {
         let g = graph();
-        let p = BrinkhoffParams { trips: 60, min_trip_m: 8_000.0, max_trip_m: 20_000.0, ..Default::default() };
+        let p = BrinkhoffParams {
+            trips: 60,
+            min_trip_m: 8_000.0,
+            max_trip_m: 20_000.0,
+            ..Default::default()
+        };
         let trips = generate_trips(&g, &p);
         // Straight-line start→end distance should mostly be in band; the
         // routed length is necessarily at least that.
         let in_band = trips
             .iter()
             .filter(|t| {
-                let d = g
-                    .point(t.route.start())
-                    .fast_dist_m(&g.point(t.route.end()));
+                let d = g.point(t.route.start()).fast_dist_m(&g.point(t.route.end()));
                 (p.min_trip_m..=p.max_trip_m).contains(&d)
             })
             .count();

@@ -14,9 +14,7 @@
 use crate::brinkhoff::{generate_trips, BrinkhoffParams};
 use crate::trip::Trip;
 use ec_types::GeoPoint;
-use roadnet::{
-    metro_regions, urban_grid, MetroRegionsParams, RoadGraph, UrbanGridParams,
-};
+use roadnet::{metro_regions, urban_grid, MetroRegionsParams, RoadGraph, UrbanGridParams};
 use serde::{Deserialize, Serialize};
 
 /// Which evaluation region to emulate.

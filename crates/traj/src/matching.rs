@@ -187,7 +187,8 @@ mod tests {
     #[test]
     fn off_network_outliers_are_gated_out() {
         let (g, trip) = world(2);
-        let mut trace = sample_trace(&g, &trip, &TraceParams { dropout: 0.0, ..Default::default() });
+        let mut trace =
+            sample_trace(&g, &trip, &TraceParams { dropout: 0.0, ..Default::default() });
         // Inject an absurd outlier in the middle (GPS glitch 40 km away).
         let mid = trace.len() / 2;
         trace[mid].pos = trace[mid].pos.offset_m(40_000.0, 40_000.0);

@@ -66,10 +66,7 @@ pub fn sample_trace(g: &RoadGraph, trip: &Trip, params: &TraceParams) -> Vec<Gps
                     * 1.732
             };
             let pos = true_pos.offset_m(gauss(&mut rng), gauss(&mut rng));
-            fixes.push(GpsFix {
-                t: trip.depart + ec_types::SimDuration::from_secs_f64(at_s),
-                pos,
-            });
+            fixes.push(GpsFix { t: trip.depart + ec_types::SimDuration::from_secs_f64(at_s), pos });
         }
         at_s += params.period_s;
     }
@@ -163,7 +160,12 @@ mod tests {
         let g = urban_grid(&UrbanGridParams::default());
         let trip = generate_trips(
             &g,
-            &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 15_000.0, ..Default::default() },
+            &BrinkhoffParams {
+                trips: 1,
+                min_trip_m: 8_000.0,
+                max_trip_m: 15_000.0,
+                ..Default::default()
+            },
         )
         .remove(0);
         (g, trip)
@@ -241,11 +243,22 @@ mod tests {
         let g = urban_grid(&UrbanGridParams::default());
         let trips = generate_trips(
             &g,
-            &BrinkhoffParams { trips: 5, min_trip_m: 6_000.0, max_trip_m: 12_000.0, ..Default::default() },
+            &BrinkhoffParams {
+                trips: 5,
+                min_trip_m: 6_000.0,
+                max_trip_m: 12_000.0,
+                ..Default::default()
+            },
         );
         let traces: Vec<Vec<GpsFix>> = trips
             .iter()
-            .map(|t| sample_trace(&g, t, &TraceParams { period_s: 3.0, dropout: 0.0, ..Default::default() }))
+            .map(|t| {
+                sample_trace(
+                    &g,
+                    t,
+                    &TraceParams { period_s: 3.0, dropout: 0.0, ..Default::default() },
+                )
+            })
             .collect();
         let stats = trace_stats(&traces);
         assert_eq!(stats.traces, 5);

@@ -26,8 +26,9 @@ pub enum EcError {
     /// A configuration value was out of its valid domain.
     InvalidConfig(String),
     /// A data provider (weather / traffic / availability) failed or timed
-    /// out; carries the provider name.
-    ProviderUnavailable(String),
+    /// out; carries the provider name. The name is `&'static str` so the
+    /// error path of a hot retry loop never allocates.
+    ProviderUnavailable(&'static str),
     /// The requested data is outside the covered region or horizon.
     OutOfCoverage(String),
     /// The charger set relevant to a query was empty (e.g. radius too
@@ -61,11 +62,8 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(EcError::UnknownNode(3).to_string(), "unknown road-network node v3");
-        assert_eq!(
-            EcError::Unreachable { from: 1, to: 2 }.to_string(),
-            "no route from v1 to v2"
-        );
-        assert!(EcError::ProviderUnavailable("weather".into()).to_string().contains("weather"));
+        assert_eq!(EcError::Unreachable { from: 1, to: 2 }.to_string(), "no route from v1 to v2");
+        assert!(EcError::ProviderUnavailable("weather").to_string().contains("weather"));
         assert_eq!(EcError::NoCandidates.to_string(), "no candidate chargers within radius");
     }
 

@@ -74,7 +74,10 @@ impl GeoPoint {
     /// Adequate for the short path segments (≤ 5 km) EcoCharge works with.
     #[must_use]
     pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
-        GeoPoint { lon: self.lon + (other.lon - self.lon) * t, lat: self.lat + (other.lat - self.lat) * t }
+        GeoPoint {
+            lon: self.lon + (other.lon - self.lon) * t,
+            lat: self.lat + (other.lat - self.lat) * t,
+        }
     }
 
     /// Translate by metres east (`dx_m`) and north (`dy_m`).
@@ -135,7 +138,10 @@ impl BoundingBox {
     /// Does the box contain `p` (inclusive on all edges)?
     #[must_use]
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        self.min.lon <= p.lon && p.lon <= self.max.lon && self.min.lat <= p.lat && p.lat <= self.max.lat
+        self.min.lon <= p.lon
+            && p.lon <= self.max.lon
+            && self.min.lat <= p.lat
+            && p.lat <= self.max.lat
     }
 
     /// Do two boxes intersect (inclusive)?
@@ -150,7 +156,10 @@ impl BoundingBox {
     /// Geometric centre of the box.
     #[must_use]
     pub fn center(&self) -> GeoPoint {
-        GeoPoint { lon: 0.5 * (self.min.lon + self.max.lon), lat: 0.5 * (self.min.lat + self.max.lat) }
+        GeoPoint {
+            lon: 0.5 * (self.min.lon + self.max.lon),
+            lat: 0.5 * (self.min.lat + self.max.lat),
+        }
     }
 
     /// Width (east-west extent) in metres, measured at the centre latitude.

@@ -14,6 +14,9 @@
 //! * small physical-unit newtypes ([`KilowattHours`], [`Kilowatts`]) used at
 //!   API boundaries where mixing units would be a real bug;
 //! * [`EcError`] — the workspace-wide error type;
+//! * [`ComponentQuality`] / [`Provenance`] / [`SourcedInterval`] — the
+//!   degraded-mode vocabulary: how each estimated component's data was
+//!   obtained (fresh, stale-and-widened, or fallback);
 //! * [`SplitMix64`] — a tiny deterministic PRNG used to derive reproducible
 //!   sub-seeds for workload generation without pulling `rand` into this
 //!   dependency-free base crate.
@@ -22,6 +25,7 @@ pub mod error;
 pub mod geo;
 pub mod ids;
 pub mod interval;
+pub mod quality;
 pub mod rng;
 pub mod time;
 pub mod units;
@@ -30,6 +34,7 @@ pub use error::EcError;
 pub use geo::{BoundingBox, GeoPoint, EARTH_RADIUS_M};
 pub use ids::{ChargerId, EdgeId, NodeId, SegmentId, TripId, VehicleId};
 pub use interval::Interval;
+pub use quality::{ComponentQuality, Provenance, SourcedInterval};
 pub use rng::SplitMix64;
 pub use time::{DayOfWeek, SimDuration, SimTime};
 pub use units::{Co2Grams, KilowattHours, Kilowatts, Meters, Seconds};

@@ -1,0 +1,208 @@
+//! Provenance of estimated components under degraded operation.
+//!
+//! The CkNN-EC contract is that a query *always* returns a ranked table
+//! when any answer is defensible — but a defensible answer computed from a
+//! 40-minute-old forecast is not the same thing as one computed from a
+//! fresh feed. [`ComponentQuality`] records, per estimated component, how
+//! the underlying data was obtained; [`Provenance`] bundles the three
+//! component qualities of one table row so the driver-facing layer can
+//! show *why* an interval is as wide as it is.
+
+use crate::interval::Interval;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the data behind one estimated component was obtained.
+///
+/// Ordered by degradation: `Fresh < Stale{..} < Fallback`, with staler
+/// entries ordering above fresher ones. [`ComponentQuality::worst`]
+/// combines the qualities of multiple feeds contributing to one component
+/// (e.g. sun + wind into `L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentQuality {
+    /// Served from a live upstream call or an unexpired cache entry.
+    Fresh,
+    /// Served from the last-known-good tier past its TTL; `age` is how
+    /// long past issue the value was when served. Its interval has been
+    /// widened as a function of `age`.
+    Stale {
+        /// Time since the served value was issued by the upstream.
+        age: SimDuration,
+    },
+    /// No usable data at all — the component is the configured fallback
+    /// interval (typically the whole domain, `[0,1]`).
+    Fallback,
+}
+
+impl ComponentQuality {
+    /// True only for [`ComponentQuality::Fresh`].
+    #[must_use]
+    pub const fn is_fresh(self) -> bool {
+        matches!(self, Self::Fresh)
+    }
+
+    /// True for any degraded source (stale or fallback).
+    #[must_use]
+    pub const fn is_degraded(self) -> bool {
+        !self.is_fresh()
+    }
+
+    /// The worse of two qualities — what a component inherits when it is
+    /// computed from several feeds.
+    #[must_use]
+    pub fn worst(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for ComponentQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fresh => f.write_str("fresh"),
+            Self::Stale { age } => write!(f, "stale+{}m", age.as_secs() / 60),
+            Self::Fallback => f.write_str("fallback"),
+        }
+    }
+}
+
+/// An interval together with the quality of the data that produced it —
+/// what a degraded-capable information server returns instead of a bare
+/// [`Interval`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourcedInterval {
+    /// The forecast interval (already widened if served stale).
+    pub value: Interval,
+    /// How the value was obtained.
+    pub quality: ComponentQuality,
+}
+
+impl SourcedInterval {
+    /// A fresh reading.
+    #[must_use]
+    pub const fn fresh(value: Interval) -> Self {
+        Self { value, quality: ComponentQuality::Fresh }
+    }
+
+    /// A stale reading of the given age.
+    #[must_use]
+    pub const fn stale(value: Interval, age: SimDuration) -> Self {
+        Self { value, quality: ComponentQuality::Stale { age } }
+    }
+
+    /// A configured fallback value.
+    #[must_use]
+    pub const fn fallback(value: Interval) -> Self {
+        Self { value, quality: ComponentQuality::Fallback }
+    }
+}
+
+/// Per-component provenance of one Offering-Table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Quality of the sustainable-charging-level component `L` (worst of
+    /// the sun and wind feeds that fed it).
+    pub l: ComponentQuality,
+    /// Quality of the availability component `A`.
+    pub a: ComponentQuality,
+    /// Quality of the derouting component `D` (the traffic feed).
+    pub d: ComponentQuality,
+}
+
+impl Provenance {
+    /// Provenance of a row computed entirely from fresh data.
+    pub const FRESH: Provenance = Provenance {
+        l: ComponentQuality::Fresh,
+        a: ComponentQuality::Fresh,
+        d: ComponentQuality::Fresh,
+    };
+
+    /// True when every component came from a fresh source.
+    #[must_use]
+    pub const fn is_fully_fresh(&self) -> bool {
+        self.l.is_fresh() && self.a.is_fresh() && self.d.is_fresh()
+    }
+
+    /// The worst quality across the three components — the row-level
+    /// badge a UI would show.
+    #[must_use]
+    pub fn worst(&self) -> ComponentQuality {
+        self.l.worst(self.a).worst(self.d)
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Self::FRESH
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fully_fresh() {
+            f.write_str("fresh")
+        } else {
+            write!(f, "L:{} A:{} D:{}", self.l, self.a, self.d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_orders_by_degradation() {
+        let fresh = ComponentQuality::Fresh;
+        let young = ComponentQuality::Stale { age: SimDuration::from_mins(5) };
+        let old = ComponentQuality::Stale { age: SimDuration::from_mins(50) };
+        let fb = ComponentQuality::Fallback;
+        assert!(fresh < young && young < old && old < fb);
+        assert_eq!(fresh.worst(old), old);
+        assert_eq!(old.worst(fb), fb);
+        assert_eq!(fresh.worst(fresh), fresh);
+    }
+
+    #[test]
+    fn degradation_predicates() {
+        assert!(ComponentQuality::Fresh.is_fresh());
+        assert!(ComponentQuality::Fallback.is_degraded());
+        assert!(ComponentQuality::Stale { age: SimDuration::ZERO }.is_degraded());
+    }
+
+    #[test]
+    fn provenance_rolls_up_worst_component() {
+        let p = Provenance {
+            l: ComponentQuality::Fresh,
+            a: ComponentQuality::Stale { age: SimDuration::from_mins(10) },
+            d: ComponentQuality::Fresh,
+        };
+        assert!(!p.is_fully_fresh());
+        assert_eq!(p.worst(), ComponentQuality::Stale { age: SimDuration::from_mins(10) });
+        assert!(Provenance::FRESH.is_fully_fresh());
+        assert_eq!(Provenance::default(), Provenance::FRESH);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ComponentQuality::Fresh.to_string(), "fresh");
+        assert_eq!(
+            ComponentQuality::Stale { age: SimDuration::from_mins(25) }.to_string(),
+            "stale+25m"
+        );
+        assert_eq!(Provenance::FRESH.to_string(), "fresh");
+        let p = Provenance { d: ComponentQuality::Fallback, ..Provenance::FRESH };
+        assert_eq!(p.to_string(), "L:fresh A:fresh D:fallback");
+    }
+
+    #[test]
+    fn sourced_interval_constructors_tag_quality() {
+        let v = Interval::new(0.2, 0.4);
+        assert_eq!(SourcedInterval::fresh(v).quality, ComponentQuality::Fresh);
+        assert_eq!(
+            SourcedInterval::stale(v, SimDuration::from_mins(3)).quality,
+            ComponentQuality::Stale { age: SimDuration::from_mins(3) }
+        );
+        assert_eq!(SourcedInterval::fallback(v).quality, ComponentQuality::Fallback);
+    }
+}

@@ -1,0 +1,132 @@
+//! Degraded-mode ranking: what the driver sees when feeds fail.
+//!
+//! A drive under a chaos plan — seeded random failures, a hard weather
+//! blackout, injected latency — with the full resilience stack enabled:
+//! in-server bounded retries, a per-feed circuit breaker, and the
+//! stale-with-widened-uncertainty last-known-good tier. The app keeps
+//! receiving ranked tables the whole way; rows computed from degraded
+//! data say so, and their intervals are honestly wider.
+//!
+//! ```text
+//! cargo run --example degraded_mode --release
+//! ```
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::SimDuration;
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use eis::{
+    ChaosConfig, ChaosProvider, FeedKind, InfoServer, Mode, OutageWindow, ResiliencePolicy,
+    SimProviders,
+};
+use roadnet::{urban_grid, UrbanGridParams};
+use std::sync::Arc;
+use trajgen::{generate_trips, BrinkhoffParams};
+
+fn main() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let fleet = synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
+    let sims = SimProviders::new(13);
+    let trip = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 18_000.0,
+            max_trip_m: 28_000.0,
+            seed: 6,
+            ..Default::default()
+        },
+    )
+    .remove(0);
+
+    // The fault plan: 5% random failures on every feed plus a total
+    // weather blackout from minute 10 to minute 40 of the drive.
+    let blackout_from = trip.depart + SimDuration::from_mins(10);
+    let blackout_until = trip.depart + SimDuration::from_mins(40);
+    let chaos = Arc::new(ChaosProvider::new(
+        sims.clone(),
+        ChaosConfig {
+            seed: 4242,
+            failure_rate: 0.05,
+            target: None,
+            outages: vec![OutageWindow {
+                feed: Some(FeedKind::Weather),
+                from: blackout_from,
+                until: blackout_until,
+            }],
+            mean_latency_ms: 15.0,
+        },
+    ));
+
+    let server = InfoServer::new(chaos.clone(), chaos.clone(), chaos.clone())
+        .with_stale_serving()
+        .with_resilience(ResiliencePolicy::default(), 13);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    println!(
+        "driving {:.1} km; weather feed black from +10 min to +40 min\n",
+        trip.length_m() / 1_000.0
+    );
+
+    let mut method = EcoCharge::new();
+    let mut offset = 0.0;
+    while offset < trip.length_m() {
+        let now = trip.eta_at_offset(&graph, offset);
+        match method.offering_table(&ctx, &trip, offset, now) {
+            Ok(table) => {
+                let badge =
+                    table.best().map(|e| e.provenance.worst().to_string()).unwrap_or_default();
+                println!(
+                    "  @ {:>5.1} km ({})  top {}  L {}  data: {}{}",
+                    offset / 1_000.0,
+                    now,
+                    table.best().map(|e| e.charger.to_string()).unwrap_or_default(),
+                    table.best().map(|e| e.l.to_string()).unwrap_or_default(),
+                    badge,
+                    if table.is_degraded() { "  [degraded]" } else { "" },
+                );
+            }
+            Err(e) => println!("  @ {:>5.1} km  no table: {e}", offset / 1_000.0),
+        }
+        offset += 3_000.0;
+    }
+
+    println!("\nresilience layer accounting:");
+    for feed in FeedKind::ALL {
+        if let Some(g) = server.guard_stats(feed) {
+            println!(
+                "  {:>12}: {} calls, {} retries, {} failures, {} shed, breaker {:?}",
+                feed.name(),
+                g.calls,
+                g.retries,
+                g.failures,
+                g.short_circuits,
+                server.breaker_state(feed).expect("resilience enabled"),
+            );
+        }
+    }
+    println!(
+        "  stale-served entries: {}, virtual backoff {:.1} ms, injected latency {:.1} ms",
+        server.stats().stale_served(),
+        server.virtual_backoff_ms(),
+        chaos.injected_latency_ms(),
+    );
+
+    // The mode cost model with the fault overhead folded in: degraded
+    // fetches pay the injected latency + backoff only when data is cold.
+    let overhead_ms = if chaos.calls() > 0 {
+        chaos.injected_latency_ms() / chaos.calls() as f64
+            + server.virtual_backoff_ms() / chaos.calls() as f64
+    } else {
+        0.0
+    };
+    println!("\nmodelled refresh latency with per-fetch fault overhead {overhead_ms:.2} ms:");
+    for mode in Mode::ALL {
+        let costs = mode.costs();
+        println!(
+            "  {:?}: cold {:.1} ms / warm {:.1} ms",
+            mode,
+            costs.degraded_refresh_latency_ms(5.0, false, overhead_ms),
+            costs.degraded_refresh_latency_ms(5.0, true, overhead_ms)
+        );
+    }
+}

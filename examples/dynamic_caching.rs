@@ -20,11 +20,7 @@ use roadnet::{urban_grid, UrbanGridParams};
 use std::time::Instant;
 use trajgen::{generate_trips, BrinkhoffParams, Trip};
 
-fn drive(
-    ctx: &QueryCtx<'_>,
-    trip: &Trip,
-    label: &str,
-) -> (f64, u64, u64) {
+fn drive(ctx: &QueryCtx<'_>, trip: &Trip, label: &str) -> (f64, u64, u64) {
     let query = CknnQuery::new(ctx, trip).expect("trip is non-degenerate");
     let mut method = EcoCharge::new();
     println!("{label}:");
@@ -58,7 +54,13 @@ fn main() {
     let server = InfoServer::from_sims(sims.clone());
     let trip = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 20_000.0, max_trip_m: 35_000.0, seed: 2, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 20_000.0,
+            max_trip_m: 35_000.0,
+            seed: 2,
+            ..Default::default()
+        },
     )
     .remove(0);
     println!("trip: {:.1} km, {} chargers in the region\n", trip.length_m() / 1_000.0, fleet.len());

@@ -57,7 +57,8 @@ fn main() {
             let clean = e.est_clean_kwh.value().min(TARGET_KWH);
             let grid = TARGET_KWH - clean;
             let cost = tariff.import_cost_eur(grid, e.eta);
-            let co2_kg = grid * tariff.forecast_carbon_intensity(trip.depart, e.eta).mid() / 1_000.0;
+            let co2_kg =
+                grid * tariff.forecast_carbon_intensity(trip.depart, e.eta).mid() / 1_000.0;
             println!(
                 "{:>6} {:>10} {:>10.1} {:>10.1} {:>12.2} {:>12.2}",
                 i + 1,

@@ -31,20 +31,20 @@ fn main() {
         println!("  typical Tuesday (busyness by hour):");
         for hour in 6..23 {
             let t = SimTime::at(0, DayOfWeek::Tue, hour, 30);
-            let busy =
-                sims.availability.busy_fraction(charger.entity_seed(), charger.archetype, t);
+            let busy = sims.availability.busy_fraction(charger.entity_seed(), charger.archetype, t);
             println!("    {hour:>2}:00 {} {:>4.0}%", bar(busy, 30), busy * 100.0);
         }
         // The interval EcoCharge actually consumes: availability at an
         // ETA 45 minutes out.
         let now = SimTime::at(0, DayOfWeek::Tue, 16, 0);
         let eta = now + SimDuration::from_mins(45);
-        let forecast =
-            sims.availability.forecast_availability(charger.entity_seed(), charger.archetype, now, eta);
-        println!(
-            "  availability forecast for a {} arrival (issued 16:00): {}",
-            eta, forecast
+        let forecast = sims.availability.forecast_availability(
+            charger.entity_seed(),
+            charger.archetype,
+            now,
+            eta,
         );
+        println!("  availability forecast for a {} arrival (issued 16:00): {}", eta, forecast);
     }
     println!("\nEach archetype carries its own weekly rhythm (the paper's Fig. 2 source data);");
     println!("per-charger phase jitter keeps stations of one archetype from being clones.");

@@ -24,7 +24,11 @@ fn main() {
 
     // 2. A PlugShare-style charger fleet with attached solar capacity.
     let fleet = synth_fleet(&graph, &FleetParams { count: 300, seed: 7, ..Default::default() });
-    println!("fleet:   {} chargers (max clean power {:.0} kW)", fleet.len(), fleet.max_clean_power_kw());
+    println!(
+        "fleet:   {} chargers (max clean power {:.0} kW)",
+        fleet.len(),
+        fleet.max_clean_power_kw()
+    );
 
     // 3. The estimated-component providers behind the information server.
     let sims = SimProviders::new(7);
@@ -33,7 +37,12 @@ fn main() {
     // 4. A scheduled trip (Tuesday morning, 12–20 km across town).
     let trip = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 12_000.0, max_trip_m: 20_000.0, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 12_000.0,
+            max_trip_m: 20_000.0,
+            ..Default::default()
+        },
     )
     .remove(0);
     println!(

@@ -25,7 +25,8 @@ struct Projector {
 impl Projector {
     fn px(&self, p: &GeoPoint) -> (f64, f64) {
         let x = (p.lon - self.bb.min.lon) / (self.bb.max.lon - self.bb.min.lon) * (W - 40.0) + 20.0;
-        let y = H - 20.0 - (p.lat - self.bb.min.lat) / (self.bb.max.lat - self.bb.min.lat) * (H - 40.0);
+        let y =
+            H - 20.0 - (p.lat - self.bb.min.lat) / (self.bb.max.lat - self.bb.min.lat) * (H - 40.0);
         (x, y)
     }
 }
@@ -37,7 +38,13 @@ fn main() {
     let server = InfoServer::from_sims(sims.clone());
     let trip = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 15_000.0, max_trip_m: 25_000.0, seed: 14, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 15_000.0,
+            max_trip_m: 25_000.0,
+            seed: 14,
+            ..Default::default()
+        },
     )
     .remove(0);
     let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());

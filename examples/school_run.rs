@@ -49,12 +49,8 @@ fn main() {
     let now = trip.eta_at_offset(&graph, offset);
 
     for radius_km in [10.0, 25.0, 50.0] {
-        let config = EcoChargeConfig {
-            radius_km,
-            k: 4,
-            charge_window_h: 2.0,
-            ..EcoChargeConfig::default()
-        };
+        let config =
+            EcoChargeConfig { radius_km, k: 4, charge_window_h: 2.0, ..EcoChargeConfig::default() };
         let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, config);
         let mut method = EcoCharge::new();
         let started = Instant::now();
@@ -71,7 +67,11 @@ fn main() {
                     let b = fleet.get(e.charger);
                     println!(
                         "    {} {:?} @ {:?}: SC {} -> est. {:>5.1} clean kWh over 2 h",
-                        e.charger, b.kind, b.archetype, e.sc, e.est_clean_kwh.value()
+                        e.charger,
+                        b.kind,
+                        b.archetype,
+                        e.sc,
+                        e.est_clean_kwh.value()
                     );
                 }
             }

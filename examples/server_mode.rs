@@ -39,7 +39,8 @@ fn main() {
     // The world lives inside the server thread.
     let (client, _bus) = ServiceBus::spawn({
         let graph = urban_grid(&UrbanGridParams::default());
-        let fleet = synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
+        let fleet =
+            synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
         let sims = SimProviders::new(13);
         let server = InfoServer::from_sims(sims.clone());
         let mut method = EcoCharge::new();
@@ -62,7 +63,13 @@ fn main() {
     let trip = Arc::new(
         generate_trips(
             &graph,
-            &BrinkhoffParams { trips: 1, min_trip_m: 15_000.0, max_trip_m: 25_000.0, seed: 6, ..Default::default() },
+            &BrinkhoffParams {
+                trips: 1,
+                min_trip_m: 15_000.0,
+                max_trip_m: 25_000.0,
+                seed: 6,
+                ..Default::default()
+            },
         )
         .remove(0),
     );

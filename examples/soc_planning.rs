@@ -26,7 +26,13 @@ fn main() {
     let server = InfoServer::from_sims(sims.clone());
     let trip = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 10_000.0, max_trip_m: 18_000.0, seed: 8, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 10_000.0,
+            max_trip_m: 18_000.0,
+            seed: 8,
+            ..Default::default()
+        },
     )
     .remove(0);
     println!("trip: {:.1} km departing {}\n", trip.length_m() / 1_000.0, trip.depart);

@@ -13,9 +13,7 @@
 //! ```
 
 use chargers::{synth_fleet, FleetParams};
-use ecocharge_core::{
-    EcoCharge, EcoChargeConfig, Oracle, QueryCtx, RankingMethod, Weights,
-};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, Oracle, QueryCtx, RankingMethod, Weights};
 use eis::{InfoServer, SimProviders};
 use roadnet::{ring_radial, RingRadialParams};
 use trajgen::{generate_trips, BrinkhoffParams};
@@ -30,7 +28,13 @@ fn main() {
     // The taxi's repositioning trip after dropping a passenger.
     let trip = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 16_000.0, seed: 4, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 8_000.0,
+            max_trip_m: 16_000.0,
+            seed: 4,
+            ..Default::default()
+        },
     )
     .remove(0);
     let now = trip.depart;
@@ -64,7 +68,11 @@ fn main() {
             let b = fleet.get(e.charger);
             println!(
                 "    {} {:?} {:?}  est. clean {:>5.1} kWh  eta {}",
-                e.charger, b.kind, b.archetype, e.est_clean_kwh.value(), e.eta
+                e.charger,
+                b.kind,
+                b.archetype,
+                e.est_clean_kwh.value(),
+                e.eta
             );
         }
         println!();

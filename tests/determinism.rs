@@ -11,19 +11,15 @@ use trajgen::{Dataset, DatasetKind, DatasetScale};
 
 fn full_run(seed: u64) -> Vec<Vec<ChargerId>> {
     let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::smoke(), seed);
-    let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 120, seed, ..Default::default() });
+    let fleet =
+        synth_fleet(&dataset.graph, &FleetParams { count: 120, seed, ..Default::default() });
     let sims = SimProviders::new(seed);
     let server = InfoServer::from_sims(sims.clone());
     let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
     let trip = &dataset.trips[0];
     let query = CknnQuery::new(&ctx, trip).unwrap();
     let mut method = EcoCharge::new();
-    query
-        .run(&ctx, trip, &mut method)
-        .unwrap()
-        .into_iter()
-        .map(|(_, t)| t.charger_ids())
-        .collect()
+    query.run(&ctx, trip, &mut method).unwrap().into_iter().map(|(_, t)| t.charger_ids()).collect()
 }
 
 #[test]
@@ -48,7 +44,8 @@ fn caches_do_not_change_results_only_cost() {
     // Run the same trip through a shared server twice: the second pass is
     // fully cache-hot. Rankings must be identical.
     let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 5);
-    let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 120, seed: 5, ..Default::default() });
+    let fleet =
+        synth_fleet(&dataset.graph, &FleetParams { count: 120, seed: 5, ..Default::default() });
     let sims = SimProviders::new(5);
     let server = InfoServer::from_sims(sims.clone());
     let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());

@@ -1,16 +1,23 @@
 //! Resilience: what happens when a provider feed fails mid-drive.
 //!
 //! The EIS caches give natural resilience — a failed upstream call only
-//! hurts when the needed entry is cold. These tests wire
-//! [`FlakyProvider`] failure injection behind the information server and
-//! check that (a) errors surface as typed `ProviderUnavailable`, (b)
-//! cached entries keep answering through outages, and (c) the system
-//! recovers after the outage.
+//! hurts when the needed entry is cold — and the degraded-mode layers on
+//! top of them guarantee a ranked table whenever any answer is
+//! defensible. These tests wire failure injection behind the information
+//! server and check that (a) with fallback disabled, errors surface as
+//! typed `ProviderUnavailable`; (b) with the default policy, an outage
+//! degrades per-component instead of erroring, with honest provenance;
+//! (c) warm last-known-good caches bridge a total outage with widened
+//! intervals; (d) the circuit breaker sheds a dead feed and recovers when
+//! the feed heals.
 
 use chargers::{synth_fleet, FleetParams};
-use ec_types::{EcError, GeoPoint, SimDuration};
-use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
-use eis::{FlakyProvider, InfoServer, SimProviders};
+use ec_types::{ComponentQuality, EcError, GeoPoint, SimDuration};
+use ecocharge_core::{DegradedPolicy, EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use eis::{
+    BreakerPolicy, BreakerState, ChaosConfig, ChaosProvider, FeedKind, FlakyProvider, InfoServer,
+    OutageWindow, ResiliencePolicy, SimProviders,
+};
 use roadnet::{urban_grid, UrbanGridParams};
 use std::sync::Arc;
 use trajgen::{generate_trips, BrinkhoffParams, Trip};
@@ -21,31 +28,166 @@ fn world() -> (roadnet::RoadGraph, chargers::ChargerFleet, SimProviders, Vec<Tri
     let sims = SimProviders::new(9);
     let trips = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, seed: 9, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 8_000.0,
+            max_trip_m: 12_000.0,
+            seed: 9,
+            ..Default::default()
+        },
     );
     (graph, fleet, sims, trips)
 }
 
+fn strict() -> EcoChargeConfig {
+    EcoChargeConfig { degraded: DegradedPolicy::disabled(), ..Default::default() }
+}
+
 #[test]
-fn hard_weather_outage_surfaces_typed_error() {
+fn hard_weather_outage_surfaces_typed_error_when_fallback_disabled() {
     let (graph, fleet, sims, trips) = world();
     // Weather fails on every call; availability and traffic stay healthy.
     let weather = Arc::new(FlakyProvider::new(sims.clone(), 1, "weather"));
     let healthy = Arc::new(sims.clone());
     let server = InfoServer::new(weather, healthy.clone(), healthy);
-    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, strict());
     let mut method = EcoCharge::new();
     let err = method.offering_table(&ctx, &trips[0], 0.0, trips[0].depart).unwrap_err();
-    assert_eq!(err, EcError::ProviderUnavailable("weather".to_string()));
+    assert_eq!(err, EcError::ProviderUnavailable("weather"));
+}
+
+#[test]
+fn hard_weather_outage_degrades_to_fallback_under_default_policy() {
+    let (graph, fleet, sims, trips) = world();
+    let weather = Arc::new(FlakyProvider::new(sims.clone(), 1, "weather"));
+    let healthy = Arc::new(sims.clone());
+    let server = InfoServer::new(weather, healthy.clone(), healthy);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let mut method = EcoCharge::new();
+    let table = method.offering_table(&ctx, &trips[0], 0.0, trips[0].depart).unwrap();
+    assert!(!table.is_empty(), "fallback keeps the query answerable");
+    assert!(table.is_degraded());
+    for e in &table.entries {
+        assert_eq!(e.provenance.l, ComponentQuality::Fallback, "L lost its weather feed");
+        assert!(e.provenance.a.is_fresh(), "availability was healthy");
+        assert!(e.provenance.d.is_fresh(), "traffic was healthy");
+        // The fallback interval is the whole unit domain — maximum honest
+        // uncertainty — scaled through L's pool normalisation.
+        assert!(e.l.lo() >= 0.0 && e.l.hi() <= 1.0);
+    }
+    assert!(table.render().contains("[degraded data]"));
+}
+
+#[test]
+fn warm_lkg_tier_bridges_total_weather_outage_with_stale_intervals() {
+    let (graph, fleet, sims, trips) = world();
+    let trip = &trips[0];
+    // Weather blacks out 10 minutes after departure, for the whole run.
+    let outage_from = trip.depart + SimDuration::from_mins(10);
+    let chaos = Arc::new(ChaosProvider::new(
+        sims.clone(),
+        ChaosConfig {
+            outages: vec![OutageWindow {
+                feed: Some(FeedKind::Weather),
+                from: outage_from,
+                until: outage_from + SimDuration::from_hours(48),
+            }],
+            ..ChaosConfig::calm(11)
+        },
+    ));
+    let server = InfoServer::new(chaos.clone(), chaos.clone(), chaos.clone())
+        .with_wind(chaos)
+        .with_stale_serving();
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    // Healthy warm-up fills the fresh caches AND the last-known-good tier.
+    let mut warm = EcoCharge::new();
+    let t0 = warm.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+    assert!(!t0.is_degraded(), "warm-up ran on healthy feeds");
+
+    // 20 minutes in: fresh TTLs expired, weather is black — but a cold
+    // ranking instance still gets a full table off the widened LKG tier.
+    let later = trip.depart + SimDuration::from_mins(20);
+    let mut cold = EcoCharge::new();
+    let table = cold.offering_table(&ctx, trip, 0.0, later).unwrap();
+    assert!(!table.is_empty());
+    assert!(table.is_degraded());
+    for e in &table.entries {
+        assert!(
+            !e.provenance.l.is_fresh(),
+            "L must be stale-served or fallback during the outage, got {}",
+            e.provenance.l
+        );
+        assert!(e.provenance.a.is_fresh() && e.provenance.d.is_fresh());
+    }
+    assert!(
+        table.entries.iter().any(|e| matches!(e.provenance.l, ComponentQuality::Stale { .. })),
+        "at least part of the pool must be served from the LKG tier"
+    );
+    assert!(server.stats().stale_served() > 0, "the stale tier answered");
+}
+
+#[test]
+fn breaker_sheds_dead_feed_and_recovers_when_it_heals() {
+    let (graph, fleet, sims, trips) = world();
+    let trip = &trips[0];
+    // Weather is black for 30 minutes from departure, then heals.
+    let outage = OutageWindow {
+        feed: Some(FeedKind::Weather),
+        from: trip.depart,
+        until: trip.depart + SimDuration::from_mins(30),
+    };
+    let chaos = Arc::new(ChaosProvider::new(
+        sims.clone(),
+        ChaosConfig { outages: vec![outage], ..ChaosConfig::calm(13) },
+    ));
+    let policy = ResiliencePolicy {
+        breaker: BreakerPolicy { failure_threshold: 3, cooldown: SimDuration::from_mins(5) },
+        ..Default::default()
+    };
+    let server = InfoServer::new(chaos.clone(), chaos.clone(), chaos.clone())
+        .with_wind(chaos)
+        .with_resilience(policy, 17);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    // During the outage, a query falls back (default policy) and trips
+    // the weather breaker within the first few candidates.
+    let mut method = EcoCharge::new();
+    let t1 = method.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+    assert!(t1.is_degraded());
+    assert!(matches!(server.breaker_state(FeedKind::Weather), Some(BreakerState::Open { .. })));
+    // An open breaker sheds: querying again moves the guard's
+    // short-circuit counter, not the upstream call counter.
+    let upstream_before = server.stats().snapshot().0;
+    let shed_before = server.guard_stats(FeedKind::Weather).unwrap().short_circuits;
+    let mut again = EcoCharge::new();
+    let _ = again.offering_table(&ctx, trip, 0.0, trip.depart + SimDuration::from_mins(1));
+    assert_eq!(server.stats().snapshot().0, upstream_before, "open breaker sheds upstream load");
+    assert!(server.guard_stats(FeedKind::Weather).unwrap().short_circuits > shed_before);
+
+    // After the outage ends and the cooldown elapses, the half-open probe
+    // succeeds, the breaker closes, and the feed serves fresh again.
+    let healed = trip.depart + SimDuration::from_mins(45);
+    let mut late = EcoCharge::new();
+    let t2 = late.offering_table(&ctx, trip, 0.0, healed).unwrap();
+    assert!(matches!(
+        server.breaker_state(FeedKind::Weather),
+        Some(BreakerState::Closed { consecutive_failures: 0 })
+    ));
+    assert!(server.stats().snapshot().0 > upstream_before, "upstream calls resumed");
+    assert!(
+        t2.entries.iter().all(|e| e.provenance.l.is_fresh()),
+        "healed feed serves fresh L again"
+    );
 }
 
 #[test]
 fn intermittent_failures_heal_through_retries_and_cache() {
     let (graph, fleet, sims, trips) = world();
-    // Every 7th upstream call fails.
+    // Every 7th upstream call fails; strict policy so failures surface.
     let flaky = Arc::new(FlakyProvider::new(sims.clone(), 7, "bundle"));
     let server = InfoServer::new(flaky.clone(), flaky.clone(), flaky.clone());
-    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, strict());
     let mut method = EcoCharge::new();
     let trip = &trips[0];
 
@@ -80,6 +222,32 @@ fn intermittent_failures_heal_through_retries_and_cache() {
 }
 
 #[test]
+fn in_server_retries_mask_intermittent_failures_in_one_pass() {
+    let (graph, fleet, sims, trips) = world();
+    // Every 5th call fails — but the server's own bounded retry (3
+    // attempts) makes every logical fetch succeed, so even the strict
+    // no-fallback policy answers on the first pass.
+    let flaky = Arc::new(FlakyProvider::new(sims.clone(), 5, "bundle"));
+    let server = InfoServer::new(flaky.clone(), flaky.clone(), flaky.clone())
+        .with_resilience(ResiliencePolicy::default(), 23);
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, strict());
+    let mut method = EcoCharge::new();
+    let trip = &trips[0];
+    let table = method.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+    assert!(!table.is_empty());
+    assert!(!table.is_degraded(), "retried fetches are fresh, not degraded");
+    // The flakiness hits whichever feed draws the unlucky call number, so
+    // aggregate the guard stats across all four feeds.
+    let (retries, failures) = FeedKind::ALL
+        .iter()
+        .filter_map(|&f| server.guard_stats(f))
+        .fold((0, 0), |(r, fl), g| (r + g.retries, fl + g.failures));
+    assert!(retries > 0, "the flaky bundle must have forced retries somewhere");
+    assert_eq!(failures, 0, "no logical call may exhaust its retry budget");
+    assert!(server.virtual_backoff_ms() > 0.0, "backoff was accounted, not slept");
+}
+
+#[test]
 fn degenerate_inputs_are_typed_errors() {
     let (graph, fleet, sims, _trips) = world();
     let server = InfoServer::from_sims(sims.clone());
@@ -94,7 +262,13 @@ fn degenerate_inputs_are_typed_errors() {
     let ctx2 = QueryCtx::new(&graph, &empty_fleet, &server, &sims, EcoChargeConfig::default());
     let trips = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 1, min_trip_m: 8_000.0, max_trip_m: 12_000.0, seed: 4, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 1,
+            min_trip_m: 8_000.0,
+            max_trip_m: 12_000.0,
+            seed: 4,
+            ..Default::default()
+        },
     );
     let mut method = EcoCharge::new();
     assert!(matches!(
@@ -108,10 +282,11 @@ fn degenerate_inputs_are_typed_errors() {
 fn stale_cache_expires_even_when_provider_is_down() {
     let (graph, fleet, sims, trips) = world();
     let trip = &trips[0];
-    // Healthy warm-up, then total outage.
+    // Healthy warm-up, then total outage. Strict policy and no stale
+    // serving: the pre-degraded-mode contract still holds.
     let toggle = Arc::new(FlakyProvider::new(sims.clone(), 0, "bundle"));
     let server = InfoServer::new(toggle.clone(), toggle.clone(), toggle.clone());
-    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, strict());
     let mut method = EcoCharge::new();
     assert!(method.offering_table(&ctx, trip, 0.0, trip.depart).is_ok());
 
@@ -120,7 +295,7 @@ fn stale_cache_expires_even_when_provider_is_down() {
     // refreshed forecasts cannot be served.
     let down = Arc::new(FlakyProvider::new(sims.clone(), 1, "bundle"));
     let server_down = InfoServer::new(down.clone(), down.clone(), down);
-    let ctx_down = QueryCtx::new(&graph, &fleet, &server_down, &sims, EcoChargeConfig::default());
+    let ctx_down = QueryCtx::new(&graph, &fleet, &server_down, &sims, strict());
     let later = trip.depart + SimDuration::from_mins(20);
     let mut fresh_method = EcoCharge::new();
     assert!(matches!(

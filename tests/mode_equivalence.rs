@@ -20,7 +20,13 @@ fn world() -> (roadnet::RoadGraph, Vec<Trip>) {
     let graph = urban_grid(&UrbanGridParams { cols: 20, rows: 20, ..Default::default() });
     let trips = generate_trips(
         &graph,
-        &BrinkhoffParams { trips: 2, min_trip_m: 10_000.0, max_trip_m: 16_000.0, seed: SEED, ..Default::default() },
+        &BrinkhoffParams {
+            trips: 2,
+            min_trip_m: 10_000.0,
+            max_trip_m: 16_000.0,
+            seed: SEED,
+            ..Default::default()
+        },
     );
     (graph, trips)
 }
@@ -33,12 +39,7 @@ fn drive_in_process(graph: &roadnet::RoadGraph, trip: &Trip) -> Vec<Vec<ChargerI
     let ctx = QueryCtx::new(graph, &fleet, &server, &sims, EcoChargeConfig::default());
     let query = CknnQuery::new(&ctx, trip).unwrap();
     let mut method = EcoCharge::new();
-    query
-        .run(&ctx, trip, &mut method)
-        .unwrap()
-        .into_iter()
-        .map(|(_, t)| t.charger_ids())
-        .collect()
+    query.run(&ctx, trip, &mut method).unwrap().into_iter().map(|(_, t)| t.charger_ids()).collect()
 }
 
 /// Drive the trip against a Mode-2 server thread.
@@ -46,7 +47,8 @@ fn drive_via_server(graph_seed_world: &roadnet::RoadGraph, trip: &Trip) -> Vec<V
     let (client, _bus) = ServiceBus::spawn({
         // The server rebuilds the identical world from the same seeds.
         let graph = urban_grid(&UrbanGridParams { cols: 20, rows: 20, ..Default::default() });
-        let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: SEED, ..Default::default() });
+        let fleet =
+            synth_fleet(&graph, &FleetParams { count: 150, seed: SEED, ..Default::default() });
         let sims = SimProviders::new(SEED);
         let server = InfoServer::from_sims(sims.clone());
         let mut method = EcoCharge::new();
@@ -64,7 +66,10 @@ fn drive_via_server(graph_seed_world: &roadnet::RoadGraph, trip: &Trip) -> Vec<V
 
     // The client only needs the split offsets, which it derives from its
     // own copy of the world.
-    let fleet = synth_fleet(graph_seed_world, &FleetParams { count: 150, seed: SEED, ..Default::default() });
+    let fleet = synth_fleet(
+        graph_seed_world,
+        &FleetParams { count: 150, seed: SEED, ..Default::default() },
+    );
     let sims = SimProviders::new(SEED);
     let server = InfoServer::from_sims(sims.clone());
     let ctx = QueryCtx::new(graph_seed_world, &fleet, &server, &sims, EcoChargeConfig::default());

@@ -22,7 +22,11 @@ impl World {
         let dataset = Dataset::build(kind, DatasetScale::smoke(), 11);
         let fleet = synth_fleet(
             &dataset.graph,
-            &FleetParams { count: 200.min(dataset.graph.num_nodes()), seed: 11, ..Default::default() },
+            &FleetParams {
+                count: 200.min(dataset.graph.num_nodes()),
+                seed: 11,
+                ..Default::default()
+            },
         );
         let sims = SimProviders::new(11);
         let server = InfoServer::from_sims(sims.clone());
@@ -60,11 +64,7 @@ fn shape_check(kind: DatasetKind) {
         assert!(out.tables > 0, "{kind:?}/{}: no tables", out.method);
     }
     // Brute-Force is the 100 % line.
-    assert!(
-        (bf_out.mean_sc_pct - 100.0).abs() < 1e-6,
-        "{kind:?}: BF {}",
-        bf_out.mean_sc_pct
-    );
+    assert!((bf_out.mean_sc_pct - 100.0).abs() < 1e-6, "{kind:?}: BF {}", bf_out.mean_sc_pct);
     // EcoCharge is near-optimal and clearly beats Random.
     assert!(eco_out.mean_sc_pct > 85.0, "{kind:?}: EcoCharge {}", eco_out.mean_sc_pct);
     assert!(

@@ -2,16 +2,19 @@
 //! worlds, not just the checked-in fixtures.
 
 use chargers::{synth_fleet, FleetParams};
-use ec_types::{GeoPoint, SimTime, SplitMix64};
+use ec_types::{ComponentQuality, GeoPoint, Interval, SimDuration, SimTime, SplitMix64};
 use ecocharge_core::{EcoCharge, EcoChargeConfig, Oracle, QueryCtx, RankingMethod, Weights};
-use eis::{InfoServer, SimProviders};
+use eis::{
+    staleness_half_width, widen_factor, widen_unit, FlakyProvider, InfoServer, SimProviders,
+};
 use proptest::prelude::*;
 use roadnet::{urban_grid, UrbanGridParams};
 use spatial_index::{brute, QuadTree};
+use std::sync::Arc;
 use trajgen::{generate_trips, BrinkhoffParams};
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16 })]
 
     /// Quadtree kNN must agree with the linear scan for any point cloud.
     #[test]
@@ -95,6 +98,93 @@ proptest! {
             {
                 prop_assert!(mean <= best_mean + 1e-9, "method {mean} beat the oracle {best_mean}");
             }
+        }
+    }
+
+    /// Stale serving must be *honest*: for any unit-domain interval and any
+    /// pair of ages, the widened interval contains the fresh one, stays in
+    /// the domain, and widening is monotone in staleness.
+    #[test]
+    fn stale_widening_contains_fresh_and_grows_with_age(
+        lo in 0.0f64..1.0,
+        width in 0.0f64..1.0,
+        mins_a in 0u64..600,
+        mins_b in 0u64..600,
+    ) {
+        let v = Interval::new(lo, (lo + width).min(1.0));
+        let (young, old) = if mins_a <= mins_b { (mins_a, mins_b) } else { (mins_b, mins_a) };
+        let wa = staleness_half_width(SimDuration::from_mins(young));
+        let wb = staleness_half_width(SimDuration::from_mins(old));
+        prop_assert!(wa >= 0.0 && wb >= wa, "half-width must grow with age: {wa} vs {wb}");
+
+        let va = widen_unit(v, wa);
+        let vb = widen_unit(v, wb);
+        // Containment chain: fresh ⊆ young-stale ⊆ old-stale, all in [0,1].
+        prop_assert!(va.lo() <= v.lo() && va.hi() >= v.hi());
+        prop_assert!(vb.lo() <= va.lo() && vb.hi() >= va.hi());
+        prop_assert!(vb.lo() >= 0.0 && vb.hi() <= 1.0);
+    }
+
+    /// Same honesty contract for traffic factors (relative widening with a
+    /// floor at the free-flow multiplier 1.0).
+    #[test]
+    fn stale_factor_widening_contains_fresh_and_grows_with_age(
+        lo in 1.0f64..2.5,
+        width in 0.0f64..1.5,
+        mins_a in 0u64..600,
+        mins_b in 0u64..600,
+    ) {
+        let v = Interval::new(lo, lo + width);
+        let (young, old) = if mins_a <= mins_b { (mins_a, mins_b) } else { (mins_b, mins_a) };
+        let wa = staleness_half_width(SimDuration::from_mins(young));
+        let wb = staleness_half_width(SimDuration::from_mins(old));
+        let va = widen_factor(v, wa);
+        let vb = widen_factor(v, wb);
+        prop_assert!(va.lo() <= v.lo() && va.hi() >= v.hi());
+        prop_assert!(vb.lo() <= va.lo() && vb.hi() >= va.hi());
+        prop_assert!(vb.lo() >= 1.0, "a traffic factor can never fall below free flow");
+    }
+
+    /// Under the default degraded policy, a 100% outage of any *single*
+    /// feed never errors: the affected component falls back (non-fresh
+    /// provenance) and the other components stay fresh.
+    #[test]
+    fn single_feed_outage_degrades_exactly_one_component(
+        seed in 0u64..100,
+        feed in 0usize..3,
+    ) {
+        let graph = urban_grid(&UrbanGridParams { cols: 10, rows: 10, seed, ..Default::default() });
+        let fleet = synth_fleet(&graph, &FleetParams { count: 30, seed, ..Default::default() });
+        let sims = SimProviders::new(seed);
+        let dead = |name| Arc::new(FlakyProvider::new(sims.clone(), 1, name));
+        let healthy = Arc::new(sims.clone());
+        let server = match feed {
+            0 => InfoServer::new(dead("weather"), healthy.clone(), healthy),
+            1 => InfoServer::new(healthy.clone(), dead("availability"), healthy),
+            _ => InfoServer::new(healthy.clone(), healthy, dead("traffic")),
+        };
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams { trips: 1, min_trip_m: 3_000.0, max_trip_m: 8_000.0, seed, ..Default::default() },
+        );
+        let mut m = EcoCharge::new();
+        match m.offering_table(&ctx, &trips[0], 0.0, trips[0].depart) {
+            Ok(table) => {
+                prop_assert!(!table.is_empty());
+                prop_assert!(table.is_degraded());
+                for e in &table.entries {
+                    let q = [e.provenance.l, e.provenance.a, e.provenance.d];
+                    prop_assert_eq!(q[feed], ComponentQuality::Fallback);
+                    for (i, qi) in q.iter().enumerate() {
+                        if i != feed {
+                            prop_assert!(qi.is_fresh(), "feed {} down degraded component {}", feed, i);
+                        }
+                    }
+                }
+            }
+            Err(ec_types::EcError::NoCandidates) => {} // sparse world, fine
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
         }
     }
 }

@@ -11,10 +11,14 @@
 //! the split-list arithmetic over 100+ km trips.
 
 use chargers::{synth_fleet, FleetParams};
+use ec_types::SimDuration;
 use ecocharge_core::{
     evaluate_method, CknnQuery, EcoCharge, EcoChargeConfig, Oracle, QueryCtx, Weights,
 };
-use eis::{InfoServer, SimProviders};
+use eis::{
+    ChaosConfig, ChaosProvider, FeedKind, InfoServer, OutageWindow, ResiliencePolicy, SimProviders,
+};
+use std::sync::Arc;
 use trajgen::{Dataset, DatasetKind, DatasetScale};
 
 #[test]
@@ -33,7 +37,8 @@ fn full_oldenburg_cardinality_generates() {
 #[ignore = "paper-scale: ~minutes"]
 fn thousand_refreshes_stay_stable() {
     let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::bench(), 42);
-    let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 600, seed: 42, ..Default::default() });
+    let fleet =
+        synth_fleet(&dataset.graph, &FleetParams { count: 600, seed: 42, ..Default::default() });
     let sims = SimProviders::new(42);
     let server = InfoServer::from_sims(sims.clone());
     let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
@@ -54,6 +59,72 @@ fn thousand_refreshes_stay_stable() {
     assert!(hits > 0 && misses > 0, "both cache paths must exercise: {hits}/{misses}");
 }
 
+/// One full chaos run: seeded random failures on every feed, a weather
+/// blackout window, injected latency, retry + breaker + stale serving all
+/// enabled. Returns everything observable so runs can be diffed.
+fn chaos_run(seed: u64) -> (Vec<String>, u64, u64, f64, u64) {
+    let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::smoke(), seed);
+    let fleet =
+        synth_fleet(&dataset.graph, &FleetParams { count: 120, seed, ..Default::default() });
+    let sims = SimProviders::new(seed);
+    let depart = dataset.trips[0].depart;
+    let chaos = Arc::new(ChaosProvider::new(
+        sims.clone(),
+        ChaosConfig {
+            seed,
+            failure_rate: 0.08,
+            target: None,
+            outages: vec![OutageWindow {
+                feed: Some(FeedKind::Weather),
+                from: depart + SimDuration::from_mins(30),
+                until: depart + SimDuration::from_mins(60),
+            }],
+            mean_latency_ms: 12.0,
+        },
+    ));
+    let server = InfoServer::new(chaos.clone(), chaos.clone(), chaos.clone())
+        .with_stale_serving()
+        .with_resilience(ResiliencePolicy::default(), seed);
+    let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    let mut method = EcoCharge::new();
+    let mut rendered = Vec::new();
+    for trip in &dataset.trips[..8] {
+        let query = CknnQuery::new(&ctx, trip).expect("valid trip");
+        // Under chaos a segment may still fail (non-weather feeds have no
+        // fallback-independent path when a burst exhausts retries) — the
+        // *outcome*, success or typed error, must be identical across runs.
+        match query.run(&ctx, trip, &mut method) {
+            Ok(results) => {
+                for (sp, t) in &results {
+                    rendered.push(format!("{:.0}@{}", sp.offset_m, t.render()));
+                }
+            }
+            Err(e) => rendered.push(format!("err:{e}")),
+        }
+    }
+    (
+        rendered,
+        chaos.calls(),
+        chaos.failures(),
+        chaos.injected_latency_ms(),
+        server.stats().stale_served(),
+    )
+}
+
+#[test]
+fn chaos_soak_is_deterministic_across_runs() {
+    let a = chaos_run(77);
+    let b = chaos_run(77);
+    assert_eq!(a, b, "identically seeded chaos runs must be bit-identical");
+    assert!(a.1 > 0, "chaos plan must have been exercised");
+    assert!(a.2 > 0, "the fault plan must actually inject failures");
+    assert!(a.3 > 0.0, "latency injection must be accounted");
+    // A different seed must produce a different realisation somewhere.
+    let c = chaos_run(78);
+    assert_ne!((&a.0, a.1, a.2), (&c.0, c.1, c.2), "seeds must matter");
+}
+
 #[test]
 #[ignore = "paper-scale: ~minutes"]
 fn evaluation_statistics_are_stable_across_seeds() {
@@ -61,11 +132,11 @@ fn evaluation_statistics_are_stable_across_seeds() {
     // worlds, not just the default seed.
     for seed in [7u64, 99, 1234] {
         let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::bench(), seed);
-        let fleet = synth_fleet(&dataset.graph, &FleetParams { count: 600, seed, ..Default::default() });
+        let fleet =
+            synth_fleet(&dataset.graph, &FleetParams { count: 600, seed, ..Default::default() });
         let sims = SimProviders::new(seed);
         let server = InfoServer::from_sims(sims.clone());
-        let ctx =
-            QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, EcoChargeConfig::default());
         let trips = &dataset.trips[..12];
         let mut oracle = Oracle::new(Weights::awe());
         let mut eco = EcoCharge::new();

@@ -1,0 +1,158 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock bench harness exposing the subset of the criterion
+//! surface the `ecocharge-bench` targets use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! No warm-up modelling, outlier rejection, or statistical analysis — each
+//! benchmark runs `sample_size` timed samples and reports min / mean /
+//! max per iteration. Good enough to compare orders of magnitude offline;
+//! swap in real criterion when a registry is reachable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// Iterations per timed sample: enough to lift sub-microsecond bodies
+/// above timer resolution without making slow bodies take minutes.
+fn iters_per_sample(probe: Duration) -> u64 {
+    if probe >= Duration::from_millis(1) {
+        1
+    } else {
+        let per_iter_ns = probe.as_nanos().max(1);
+        ((1_000_000 / per_iter_ns) as u64).clamp(1, 10_000)
+    }
+}
+
+/// Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench(&id.into(), sample_size, f);
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Bencher`.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut probe = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut probe);
+    let iterations = iters_per_sample(probe.elapsed);
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed / u32::try_from(iterations).unwrap_or(u32::MAX));
+    }
+    let min = per_iter.iter().min().copied().unwrap_or_default();
+    let max = per_iter.iter().max().copied().unwrap_or_default();
+    let mean = per_iter.iter().sum::<Duration>() / u32::try_from(sample_size.max(1)).unwrap_or(1);
+    println!("  {id}: [{min:?} {mean:?} {max:?}] ({sample_size} samples x {iterations} iters)");
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. --bench); this
+            // harness has no filtering, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_samples_and_finishes() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // probe pass + 3 samples, each at least one iteration
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn fast_bodies_get_batched_iterations() {
+        assert!(iters_per_sample(Duration::from_nanos(10)) > 1);
+        assert_eq!(iters_per_sample(Duration::from_millis(5)), 1);
+    }
+}

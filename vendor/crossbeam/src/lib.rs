@@ -1,0 +1,121 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides the subset of `crossbeam::channel` the workspace uses
+//! (`unbounded`, `bounded`, cloneable `Sender`, `Receiver`) on top of
+//! `std::sync::mpsc`. std's bounded flavour (`SyncSender`) is a distinct
+//! type, so `Sender` is an enum over both; cloning a bounded sender is
+//! supported because `SyncSender` is itself `Clone`.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Mirror of `crossbeam::channel::Sender`.
+    pub enum Sender<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Mirror of `crossbeam::channel::Receiver`.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a value arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// Channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_with_cloned_sender() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn bounded_roundtrip_across_threads() {
+            let (tx, rx) = bounded::<u32>(1);
+            let h = std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            h.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+    }
+}

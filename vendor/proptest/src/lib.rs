@@ -1,0 +1,476 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic mini property-test runner exposing the subset of the
+//! proptest surface this workspace uses: the `proptest!` / `prop_assert!`
+//! / `prop_assert_eq!` macros, `Strategy` with `prop_map`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, and
+//! `ProptestConfig { cases, .. }`.
+//!
+//! Unlike upstream proptest there is no OS-entropy seeding and no
+//! shrinking: every case is generated from a SplitMix64 stream seeded by a
+//! hash of the test name, so failures reproduce bit-identically on every
+//! run — matching the repo-wide determinism discipline. A failing case
+//! reports its case index; rerunning the same test replays it exactly.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Value generator. Mirror of `proptest::strategy::Strategy`, minus
+    /// shrinking: `generate` plays the role of `new_tree` + `current`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            debug_assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty int range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty int range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4));
+
+    /// Mirror of `proptest::strategy::Just`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Primitive types with a full-domain generator, for `any::<T>()`.
+    pub trait ArbitraryPrim {
+        fn arbitrary_from(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryPrim for $t {
+                fn arbitrary_from(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryPrim for bool {
+        fn arbitrary_from(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryPrim for f64 {
+        fn arbitrary_from(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric spread; full bit-pattern floats (NaN,
+            // infinities) are not useful defaults for this workspace.
+            (rng.next_f64() - 0.5) * 2.0e9
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbitraryPrim> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_from(rng)
+        }
+    }
+
+    /// Mirror of `proptest::prelude::any`.
+    pub fn any<T: ArbitraryPrim>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds for [`vec`]; half-open like upstream's default.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    /// SplitMix64 stream driving all generation. Deliberately the same
+    /// generator family as `ec_types::rng::SplitMix64` (kept local so the
+    /// shim has no workspace dependencies).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::Config` under its prelude name.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Constructor namespace matching `proptest::test_runner::TestCaseError`.
+    /// The shim's case-failure type is plain `String`, so these constructors
+    /// return `String` — `return Err(TestCaseError::fail(..))` in test
+    /// bodies typechecks exactly as with upstream proptest.
+    pub struct TestCaseError;
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> String {
+            msg.into()
+        }
+
+        pub fn reject(msg: impl Into<String>) -> String {
+            msg.into()
+        }
+    }
+
+    /// Per-property driver used by the expansion of `proptest!`.
+    pub struct TestRunner {
+        name: &'static str,
+        seed: u64,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // FNV-1a over the test name: stable across runs, platforms,
+            // and link order, so every property has a fixed private seed.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { name, seed, cases: config.cases }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        pub fn case_rng(&self, case: u32) -> TestRng {
+            TestRng::new(self.seed ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+
+        pub fn check(&self, case: u32, outcome: Result<(), String>) {
+            if let Err(msg) = outcome {
+                panic!(
+                    "property `{}` failed at case {}/{} (deterministic seed {:#x}): {}",
+                    self.name, case, self.cases, self.seed, msg
+                );
+            }
+        }
+    }
+}
+
+/// Define deterministic property tests. Mirror of `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($body:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($body)*);
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($body)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                runner.check(case, outcome);
+            }
+        }
+    )*};
+}
+
+/// Mirror of `proptest::prop_assert!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(
+                ::std::format!("prop_assert!({}) failed", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Mirror of `proptest::prop_assume!`: skips the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn unit_pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+        #[test]
+        fn ranges_respect_bounds(x in 0.0..1.0f64, n in 1u64..100, i in -5i32..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((-5..5).contains(&i));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec(unit_pair(), 0..10), seed in any::<u64>()) {
+            prop_assert!(v.len() < 10);
+            for (lo, hi) in &v {
+                prop_assert!(lo <= hi, "unordered pair from seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::default(),
+            "fixed_name",
+        );
+        let a: Vec<u64> = (0..8).map(|c| runner.case_rng(c).next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|c| runner.case_rng(c).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

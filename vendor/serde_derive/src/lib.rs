@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The sibling `serde` shim blanket-implements its marker traits, so these
+//! derives only need to (a) exist under the expected names and (b) accept
+//! the inert `#[serde(...)]` helper attribute. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
