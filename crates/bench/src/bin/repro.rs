@@ -11,15 +11,16 @@
 
 use ecocharge_bench::{
     print_rows, run_balance, run_cache, run_dayrun, run_fig6, run_fig7, run_fig8, run_fig9,
-    run_modes, run_regret, run_throughput, run_validation, write_csv, HarnessConfig,
+    run_modes, run_regret, run_scaling, run_throughput, run_validation, write_csv,
+    write_scaling_json, HarnessConfig,
 };
 use std::path::PathBuf;
 use trajgen::DatasetScale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext> \
-        [--reps N] [--trips N] [--scale F] [--seed N] [--csv DIR]\n\
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling> \
+        [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
   all         all four paper figures\n\
   regret      extension: forecast-vs-ground-truth referee\n\
@@ -28,8 +29,10 @@ fn usage() -> ! {
   balance     extension: recommendation-traffic balancing burst\n\
   throughput  extension: Mode-2 server throughput under client load\n\
   dayrun      extension: closed-loop fleet day (clean vs grid energy)\n\
+  scaling     F_t vs threads (1,2,4,8) with bit-identity check; writes BENCH_scaling.json\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
-  ext         all four extensions"
+  ext         all four extensions\n\
+  --threads N worker threads for ranking / rep fan-out (default 1)"
     );
     std::process::exit(2);
 }
@@ -76,11 +79,14 @@ fn print_modes(harness: &HarnessConfig) {
 fn print_throughput(harness: &HarnessConfig) {
     let rows = run_throughput(harness, &[1, 2, 4, 8], 16);
     println!("\n=== Extension: Mode-2 server throughput (full solves, Oldenburg) ===");
-    println!("{:<9} {:>10} {:>14} {:>16}", "clients", "requests", "tables/sec", "mean latency ms");
+    println!(
+        "{:<9} {:>8} {:>10} {:>14} {:>16}",
+        "clients", "workers", "requests", "tables/sec", "mean latency ms"
+    );
     for r in rows {
         println!(
-            "{:<9} {:>10} {:>14.0} {:>16.3}",
-            r.clients, r.requests, r.tables_per_s, r.mean_latency_ms
+            "{:<9} {:>8} {:>10} {:>14.0} {:>16.3}",
+            r.clients, r.workers, r.requests, r.tables_per_s, r.mean_latency_ms
         );
     }
 }
@@ -141,6 +147,12 @@ fn main() {
                 harness.scale = DatasetScale::fraction(val.parse().unwrap_or_else(|_| usage()));
             }
             "--seed" => harness.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                harness.threads = val.parse().unwrap_or_else(|_| usage());
+                if harness.threads == 0 {
+                    usage();
+                }
+            }
             "--csv" => csv_dir = Some(PathBuf::from(val)),
             _ => usage(),
         }
@@ -191,6 +203,30 @@ fn main() {
             let rows = run_fig9(&harness);
             print_rows("Figure 9: Weight Ablation", &rows, true);
             emit("fig9", &rows);
+        }
+        "scaling" => {
+            let rows = run_scaling(&harness, &[1, 2, 4, 8]);
+            println!("\n=== Scaling: F_t vs worker threads (Oldenburg) ===");
+            println!(
+                "{:<12} {:>8} {:>10} {:>9} {:>8} {:>10}",
+                "method", "threads", "Ft(ms)", "speedup", "tables", "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<12} {:>8} {:>10.3} {:>8.2}x {:>8} {:>10}",
+                    r.method, r.threads, r.ft_ms, r.speedup, r.tables, r.identical
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_scaling.json");
+            match write_scaling_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("scaling json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: a parallel run diverged from the single-threaded tables");
+                std::process::exit(1);
+            }
         }
         "regret" => print_regret(&harness),
         "cache" => print_cache(&harness),

@@ -46,7 +46,8 @@ pub fn run_regret(harness: &HarnessConfig) -> Vec<RegretRow> {
         .iter()
         .map(|&kind| {
             let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
-            let ctx = env.ctx(EcoChargeConfig::default());
+            let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+            let ctx = env.ctx(config);
             let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
             let mut forecast_ref = Oracle::with_basis(Weights::awe(), ScoringBasis::Forecast);
             let mut actual_ref = Oracle::with_basis(Weights::awe(), ScoringBasis::Actual);
@@ -96,7 +97,11 @@ pub fn run_cache(harness: &HarnessConfig) -> Vec<CacheRow> {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
         for (label, range_km) in [("Q=0 (off)", 0.0), ("Q=5km (on)", 5.0)] {
-            let config = EcoChargeConfig { range_km, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                range_km,
+                threads: harness.threads,
+                ..EcoChargeConfig::default()
+            };
 
             // Pass 1: refereed quality/cost.
             let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
@@ -149,7 +154,8 @@ pub struct ModeRow {
 #[must_use]
 pub fn run_modes(harness: &HarnessConfig) -> (f64, Vec<ModeRow>) {
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
-    let ctx = env.ctx(EcoChargeConfig::default());
+    let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+    let ctx = env.ctx(config);
     let trips = env.trips_for_rep(0, harness.trips_per_rep);
     let mut oracle = Oracle::new(Weights::awe());
     let mut eco = EcoCharge::new();
@@ -186,7 +192,8 @@ pub struct BalanceRow {
 #[must_use]
 pub fn run_balance(harness: &HarnessConfig, vehicles: usize) -> Vec<BalanceRow> {
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
-    let ctx = env.ctx(EcoChargeConfig::default());
+    let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+    let ctx = env.ctx(config);
     let trips = env.trips_for_rep(0, vehicles);
     let mut oracle = Oracle::new(Weights::awe());
 
@@ -246,16 +253,19 @@ pub fn run_balance(harness: &HarnessConfig, vehicles: usize) -> Vec<BalanceRow> 
 pub struct ThroughputRow {
     /// Concurrent client threads.
     pub clients: usize,
+    /// Server worker threads draining the request bus.
+    pub workers: usize,
     /// Total requests served.
     pub requests: usize,
-    /// Offering Tables per second (server-side, single ranking thread).
+    /// Offering Tables per second (server-side).
     pub tables_per_s: f64,
     /// Mean client-observed latency, ms.
     pub mean_latency_ms: f64,
 }
 
 /// Extension: Mode-2 server throughput — many vehicle clients hammering
-/// one central ranking thread over the request bus.
+/// a central worker pool (`harness.threads` ranking workers draining one
+/// request bus; each worker owns its private method state).
 #[must_use]
 pub fn run_throughput(
     harness: &HarnessConfig,
@@ -265,14 +275,18 @@ pub fn run_throughput(
     use eis::rpc::ServiceBus;
     use std::sync::Arc;
 
+    let workers = harness.threads.max(1);
     client_counts
         .iter()
         .map(|&clients| {
-            // Fresh world per cell, owned by the server thread.
+            // Fresh world per cell, shared read-only by the worker pool;
+            // each worker gets its own EcoCharge (per-trip caches stay
+            // private to one worker).
             let seed = harness.seed;
             let scale = harness.scale;
-            let (client, _bus) = ServiceBus::spawn({
-                let env = ExperimentEnv::build(DatasetKind::Oldenburg, scale, seed);
+            let env = Arc::new(ExperimentEnv::build(DatasetKind::Oldenburg, scale, seed));
+            let (client, _bus) = ServiceBus::spawn_pool(workers, |_w| {
+                let env = Arc::clone(&env);
                 let mut method = EcoCharge::new();
                 move |(trip_idx, offset_m): (usize, f64)| {
                     let ctx = env.ctx(EcoChargeConfig::default());
@@ -310,6 +324,7 @@ pub fn run_throughput(
             let requests = clients * per_client;
             ThroughputRow {
                 clients,
+                workers,
                 requests,
                 tables_per_s: requests as f64 / wall_s,
                 mean_latency_ms: latency_ns.load(std::sync::atomic::Ordering::Relaxed) as f64
@@ -328,6 +343,7 @@ pub fn run_dayrun(harness: &HarnessConfig, vehicles: usize) -> Vec<fleetsim::Day
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
     let config = FleetSimConfig {
         schedule: ScheduleParams { vehicles, seed: harness.seed, ..Default::default() },
+        ecocharge: EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() },
         charger_count: 300,
         seed: harness.seed,
         ..Default::default()
@@ -342,7 +358,13 @@ mod tests {
     use trajgen::DatasetScale;
 
     fn tiny() -> HarnessConfig {
-        HarnessConfig { scale: DatasetScale::smoke(), reps: 1, trips_per_rep: 2, seed: 7 }
+        HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 1,
+            trips_per_rep: 2,
+            seed: 7,
+            threads: 1,
+        }
     }
 
     #[test]
@@ -406,6 +428,20 @@ mod tests {
         }
         // More clients cannot reduce the request count served.
         assert!(rows[1].requests > rows[0].requests);
+    }
+
+    #[test]
+    fn throughput_pool_serves_all_requests() {
+        // Multi-worker Mode-2 pool: every request still answered exactly
+        // once even with more workers than clients.
+        let harness = HarnessConfig { threads: 2, ..tiny() };
+        let rows = run_throughput(&harness, &[1, 3], 4);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.workers, 2);
+            assert_eq!(r.requests, r.clients * 4);
+            assert!(r.tables_per_s > 0.0);
+        }
     }
 
     #[test]

@@ -19,11 +19,18 @@ pub struct HarnessConfig {
     pub trips_per_rep: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread budget for the run. It flows into every
+    /// [`EcoChargeConfig::threads`] knob (per-candidate parallelism inside
+    /// one solve) and, when a figure's config leaves per-candidate
+    /// parallelism off, into the per-repetition fan-out of [`measure`].
+    /// Results are bit-identical at any value — see DESIGN.md, "Parallel
+    /// execution model".
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        Self { scale: DatasetScale::bench(), reps: 3, trips_per_rep: 4, seed: 42 }
+        Self { scale: DatasetScale::bench(), reps: 3, trips_per_rep: 4, seed: 42, threads: 1 }
     }
 }
 
@@ -69,27 +76,52 @@ fn agg(rep_outs: &[ecocharge_core::EvalOutcome], dataset: &'static str, label: S
 }
 
 /// Run one method over `reps` trip samples in one environment.
+///
+/// Repetitions are mutually independent: each draws its own trip slice,
+/// method instance, oracle **and information server**. The server
+/// isolation is what makes the schedule invisible — a cached provider
+/// value can depend on the exact query instant that produced it, so a
+/// cache shared across reps would leak one rep's entries into another's
+/// lookups and make the aggregate depend on rep ordering. With private
+/// caches, whatever share of the thread budget the per-candidate engine
+/// inside one solve is not using (`harness.threads / config.threads`)
+/// fans the reps out in parallel, each writing its own pre-indexed
+/// result slot, and the aggregated row is bit-identical to the
+/// sequential schedule (timing fields aside, which are measurements,
+/// not rankings).
 fn measure<F>(
     env: &ExperimentEnv,
     config: EcoChargeConfig,
     harness: &HarnessConfig,
     oracle_weights: Weights,
-    mut make_method: F,
+    make_method: F,
     label: String,
 ) -> Row
 where
-    F: FnMut(usize) -> Box<dyn RankingMethod>,
+    F: Fn(usize) -> Box<dyn RankingMethod> + Sync,
 {
-    let ctx = env.ctx(config);
-    let mut oracle = Oracle::new(oracle_weights);
-    let outs: Vec<ecocharge_core::EvalOutcome> = (0..harness.reps)
-        .map(|rep| {
+    let rep_workers = (harness.threads / config.threads.max(1)).clamp(1, harness.reps.max(1));
+    let reps: Vec<usize> = (0..harness.reps).collect();
+    let outs: Vec<ecocharge_core::EvalOutcome> = ec_exec::parallel_map(
+        rep_workers,
+        &reps,
+        |_| (),
+        |(), _, &rep| {
             let trips = env.trips_for_rep(rep, harness.trips_per_rep);
+            let server = eis::InfoServer::from_sims(env.sims.clone());
+            let ctx = ecocharge_core::QueryCtx::new(
+                &env.dataset.graph,
+                &env.fleet,
+                &server,
+                &env.sims,
+                config,
+            );
             let mut method = make_method(rep);
+            let mut oracle = Oracle::new(oracle_weights);
             evaluate_method(&ctx, &trips, method.as_mut(), &mut oracle)
                 .expect("evaluation must not fail on generated datasets")
-        })
-        .collect();
+        },
+    );
     agg(&outs, env.dataset.name(), label)
 }
 
@@ -101,7 +133,7 @@ pub fn run_fig6(harness: &HarnessConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
-        let config = EcoChargeConfig::default();
+        let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
         let seed = harness.seed;
         rows.push(measure(
             &env,
@@ -146,7 +178,11 @@ pub fn run_fig7(harness: &HarnessConfig) -> Vec<Row> {
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
         for radius_km in [25.0, 50.0, 75.0] {
-            let config = EcoChargeConfig { radius_km, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                radius_km,
+                threads: harness.threads,
+                ..EcoChargeConfig::default()
+            };
             rows.push(measure(
                 &env,
                 config,
@@ -168,7 +204,11 @@ pub fn run_fig8(harness: &HarnessConfig) -> Vec<Row> {
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
         for range_km in [5.0, 10.0, 15.0] {
-            let config = EcoChargeConfig { range_km, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                range_km,
+                threads: harness.threads,
+                ..EcoChargeConfig::default()
+            };
             rows.push(measure(
                 &env,
                 config,
@@ -196,7 +236,8 @@ pub fn run_fig9(harness: &HarnessConfig) -> Vec<Row> {
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
         for (label, weights) in configs {
-            let config = EcoChargeConfig { weights, ..EcoChargeConfig::default() };
+            let config =
+                EcoChargeConfig { weights, threads: harness.threads, ..EcoChargeConfig::default() };
             rows.push(measure(
                 &env,
                 config,
@@ -215,7 +256,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> HarnessConfig {
-        HarnessConfig { scale: DatasetScale::smoke(), reps: 1, trips_per_rep: 1, seed: 7 }
+        HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 1,
+            trips_per_rep: 1,
+            seed: 7,
+            threads: 1,
+        }
     }
 
     #[test]
@@ -228,6 +275,31 @@ mod tests {
         }
         // Every method measured at least one table.
         assert!(rows.iter().all(|r| r.tables > 0));
+    }
+
+    #[test]
+    fn rep_fanout_is_bit_identical() {
+        // config.threads = 1 leaves the whole harness budget to the
+        // per-repetition fan-out; the aggregated quality fields must not
+        // notice the schedule.
+        let env = ExperimentEnv::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 7);
+        let config = EcoChargeConfig::default();
+        let seq = HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 3,
+            trips_per_rep: 2,
+            seed: 7,
+            threads: 1,
+        };
+        let par = HarnessConfig { threads: 4, ..seq };
+        let a =
+            measure(&env, config, &seq, Weights::awe(), |_| Box::new(EcoCharge::new()), "s".into());
+        let b =
+            measure(&env, config, &par, Weights::awe(), |_| Box::new(EcoCharge::new()), "p".into());
+        assert_eq!(a.sc_pct, b.sc_pct);
+        assert_eq!(a.sc_std, b.sc_std);
+        assert_eq!(a.attained, b.attained);
+        assert_eq!(a.tables, b.tables);
     }
 
     #[test]

@@ -14,11 +14,13 @@
 pub mod env;
 pub mod extensions;
 pub mod figures;
+pub mod scaling;
 pub mod table;
 pub mod validate;
 
 pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
+pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
 pub use table::{print_rows, write_csv};
 pub use validate::{run_validation, Check};

@@ -1,0 +1,144 @@
+//! The `repro scaling` series — `F_t` vs worker threads.
+//!
+//! Sweeps the [`EcoChargeConfig::threads`] knob over a fixed Oldenburg
+//! workload for the exact methods (Brute-Force and EcoCharge) and checks
+//! the property the parallel engine promises: every thread count returns
+//! **bit-identical Offering Tables** to the single-threaded run, only
+//! faster. The series is written as `BENCH_scaling.json` (hand-rolled —
+//! the vendored serde has no JSON backend) so CI can archive the curve.
+
+use crate::env::ExperimentEnv;
+use crate::figures::HarnessConfig;
+use ecocharge_core::{BruteForce, EcoCharge, EcoChargeConfig, OfferingTable, RankingMethod};
+use std::io::Write;
+use std::path::Path;
+use trajgen::DatasetKind;
+
+/// One cell of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Ranking method measured.
+    pub method: &'static str,
+    /// `EcoChargeConfig::threads` for this cell.
+    pub threads: usize,
+    /// Mean wall-clock time per Offering Table, ms.
+    pub ft_ms: f64,
+    /// `ft_ms(first thread count) / ft_ms(this cell)`.
+    pub speedup: f64,
+    /// Offering Tables produced.
+    pub tables: usize,
+    /// Whether every table equals the baseline run's table bit-for-bit.
+    pub identical: bool,
+}
+
+fn method_for(name: &'static str) -> Box<dyn RankingMethod> {
+    match name {
+        "Brute-Force" => Box::new(BruteForce::new()),
+        _ => Box::new(EcoCharge::new()),
+    }
+}
+
+/// Run the thread sweep. The first entry of `thread_counts`
+/// (conventionally 1) is the identity and speedup baseline; each cell
+/// gets a freshly built world so caches never leak across thread counts.
+#[must_use]
+pub fn run_scaling(harness: &HarnessConfig, thread_counts: &[usize]) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for method_name in ["Brute-Force", "EcoCharge"] {
+        let mut baseline: Option<(f64, Vec<OfferingTable>)> = None;
+        for &threads in thread_counts {
+            let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+            let config = EcoChargeConfig { threads, ..EcoChargeConfig::default() };
+            let ctx = env.ctx(config);
+            let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
+            let mut method = method_for(method_name);
+            let mut tables = Vec::new();
+            let started = std::time::Instant::now();
+            for trip in &trips {
+                method.reset_trip();
+                if let Ok(table) = method.offering_table(&ctx, trip, 0.0, trip.depart) {
+                    tables.push(table);
+                }
+            }
+            let ft_ms = started.elapsed().as_secs_f64() * 1e3 / tables.len().max(1) as f64;
+            let (speedup, identical) = match &baseline {
+                None => (1.0, true),
+                Some((base_ms, base_tables)) => (base_ms / ft_ms.max(1e-9), *base_tables == tables),
+            };
+            if baseline.is_none() {
+                baseline = Some((ft_ms, tables.clone()));
+            }
+            rows.push(ScalingRow {
+                method: method_name,
+                threads,
+                ft_ms,
+                speedup,
+                tables: tables.len(),
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Write the sweep as `BENCH_scaling.json`.
+pub fn write_scaling_json(path: &Path, rows: &[ScalingRow]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"series\": \"scaling\",")?;
+    writeln!(f, "  \"dataset\": \"Oldenburg\",")?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"method\": \"{}\", \"threads\": {}, \"ft_ms\": {:.6}, \
+             \"speedup\": {:.4}, \"tables\": {}, \"identical\": {}}}{sep}",
+            r.method, r.threads, r.ft_ms, r.speedup, r.tables, r.identical
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgen::DatasetScale;
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 1,
+            trips_per_rep: 2,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_is_identical_across_thread_counts() {
+        let rows = run_scaling(&tiny(), &[1, 2]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.tables > 0, "{r:?}");
+            assert!(r.identical, "thread count {} diverged for {}", r.threads, r.method);
+            assert!(r.ft_ms > 0.0 && r.speedup > 0.0);
+        }
+        // Both methods swept both thread counts.
+        assert!(rows.iter().filter(|r| r.method == "EcoCharge").count() == 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = run_scaling(&tiny(), &[1]);
+        let path = std::env::temp_dir().join("BENCH_scaling_test.json");
+        write_scaling_json(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"series\": \"scaling\""));
+        assert!(text.contains("\"identical\": true"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

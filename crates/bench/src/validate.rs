@@ -148,8 +148,13 @@ mod tests {
 
     #[test]
     fn validation_passes_at_smoke_scale() {
-        let harness =
-            HarnessConfig { scale: DatasetScale::smoke(), reps: 1, trips_per_rep: 2, seed: 42 };
+        let harness = HarnessConfig {
+            scale: DatasetScale::smoke(),
+            reps: 1,
+            trips_per_rep: 2,
+            seed: 42,
+            threads: 1,
+        };
         let checks = run_validation(&harness);
         let failures: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();
         // Smoke scale is noisy; the structural checks (BF=100, ordering,

@@ -188,7 +188,9 @@ mod tests {
         let t2 =
             m.offering_table(&ctx, trip, 3_000.0, trip.eta_at_offset(&f.graph, 3_000.0)).unwrap();
         assert!(!t1.adapted && t2.adapted);
-        assert_eq!(m.cache_stats(), (1, 1));
+        // One hit (the adaptation); the cold first probe is an
+        // empty-slot probe, not a miss.
+        assert_eq!(m.cache_stats(), (1, 0));
     }
 
     #[test]
@@ -294,6 +296,31 @@ mod tests {
                 e.est_clean_kwh.value(),
                 cap
             );
+        }
+    }
+
+    #[test]
+    fn parallel_ecocharge_bit_identical_to_sequential() {
+        let f = Fixture::new();
+        let trip = &f.trips[0];
+        let run = |threads: usize| {
+            let ctx = f.ctx_with(EcoChargeConfig { threads, ..Default::default() });
+            let mut m = EcoCharge::new();
+            // Full solve at 0 m, then an adapted solve 3 km later —
+            // covers both the compute_components and refresh_derouting
+            // paths under parallel execution.
+            let t1 = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+            let t2 = m
+                .offering_table(&ctx, trip, 3_000.0, trip.eta_at_offset(&f.graph, 3_000.0))
+                .unwrap();
+            (t1, t2)
+        };
+        let (seq1, seq2) = run(1);
+        for threads in [2, 4] {
+            let (par1, par2) = run(threads);
+            assert_eq!(par1, seq1, "full solve, threads={threads}");
+            assert_eq!(par2, seq2, "adapted solve, threads={threads}");
+            assert!(par2.adapted);
         }
     }
 

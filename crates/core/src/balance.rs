@@ -149,6 +149,7 @@ impl RankingMethod for BalancedEcoCharge {
             sims: ctx.sims,
             norm: ctx.norm,
             config: crate::context::EcoChargeConfig { k: ctx.config.k * 3, ..ctx.config },
+            engines: roadnet::SearchPool::new(),
         };
         let mut table = self.inner.offering_table(&widened, trip, offset_m, now)?;
         for entry in &mut table.entries {

@@ -77,6 +77,36 @@ fn exact_score_one(
     Some(ExactRaw { charger: cid, clean_kw, a, detour_kwh, eta })
 }
 
+/// Score a candidate list, fanning the per-charger searches out over
+/// `ctx.config.threads` workers (one pooled [`SearchEngine`] each).
+/// Results land in pre-indexed slots, so the surviving chargers come back
+/// in input order — exactly what the sequential `filter_map` produces.
+fn exact_score_all(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+    ids: &[ChargerId],
+) -> Vec<ExactRaw> {
+    let threads = ctx.config.threads;
+    if threads <= 1 {
+        return ids
+            .iter()
+            .filter_map(|&cid| exact_score_one(ctx, engine, at_node, rejoin_node, now, cid))
+            .collect();
+    }
+    ec_exec::parallel_map(
+        threads,
+        ids,
+        |_| ctx.engines.checkout(),
+        |e, _, &cid| exact_score_one(ctx, e, at_node, rejoin_node, now, cid),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Normalise `L` and `D` by the pool's environment maxima (§III-B),
 /// score, sort, truncate to `k` and build the table.
 fn table_from_exact(
@@ -160,11 +190,8 @@ impl RankingMethod for BruteForce {
         let node = trip.route.nearest_node_at(offset_m);
         let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());
         let rejoin = trip.route.nearest_node_at(rejoin_offset);
-        let raw: Vec<ExactRaw> = ctx
-            .fleet
-            .iter()
-            .filter_map(|c| exact_score_one(ctx, &mut self.engine, node, rejoin, now, c.id))
-            .collect();
+        let ids: Vec<ChargerId> = ctx.fleet.iter().map(|c| c.id).collect();
+        let raw = exact_score_all(ctx, &mut self.engine, node, rejoin, now, &ids);
         if raw.is_empty() {
             return Err(EcError::NoCandidates);
         }
@@ -205,11 +232,9 @@ impl RankingMethod for IndexQuadtree {
         let rejoin = trip.route.nearest_node_at(rejoin_offset);
         let pool = ((ctx.fleet.len() as f64 * ctx.config.quadtree_fraction).ceil() as usize)
             .clamp(ctx.config.k.min(ctx.fleet.len()), ctx.fleet.len().max(1));
-        let candidates = ctx.fleet.knn(&pos, pool);
-        let raw: Vec<ExactRaw> = candidates
-            .into_iter()
-            .filter_map(|(cid, _)| exact_score_one(ctx, &mut self.engine, node, rejoin, now, cid))
-            .collect();
+        let ids: Vec<ChargerId> =
+            ctx.fleet.knn(&pos, pool).into_iter().map(|(cid, _)| cid).collect();
+        let raw = exact_score_all(ctx, &mut self.engine, node, rejoin, now, &ids);
         if raw.is_empty() {
             return Err(EcError::NoCandidates);
         }
@@ -390,6 +415,28 @@ mod tests {
             a.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids(),
             b.offering_table(&ctx, trip, 0.0, trip.depart).unwrap().charger_ids()
         );
+    }
+
+    #[test]
+    fn parallel_baselines_bit_identical_to_sequential() {
+        let f = Fixture::new();
+        let trip = &f.trips[0];
+        let seq_ctx = f.ctx();
+        let par_ctx = QueryCtx::new(
+            &f.graph,
+            &f.fleet,
+            &f.server,
+            &f.sims,
+            EcoChargeConfig { threads: 4, ..EcoChargeConfig::default() },
+        );
+        // Full-table PartialEq — every score, interval, and ETA must be
+        // bit-identical, not just the charger ids.
+        let seq_bf = BruteForce::new().offering_table(&seq_ctx, trip, 0.0, trip.depart).unwrap();
+        let par_bf = BruteForce::new().offering_table(&par_ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(par_bf, seq_bf);
+        let seq_qt = IndexQuadtree::new().offering_table(&seq_ctx, trip, 0.0, trip.depart).unwrap();
+        let par_qt = IndexQuadtree::new().offering_table(&par_ctx, trip, 0.0, trip.depart).unwrap();
+        assert_eq!(par_qt, seq_qt);
     }
 
     #[test]

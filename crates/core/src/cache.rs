@@ -37,6 +37,7 @@ pub struct DynamicCache {
     slot: Option<CachedSolution>,
     hits: u64,
     misses: u64,
+    empty_probes: u64,
 }
 
 /// Forecasts older than this are considered invalid regardless of
@@ -54,6 +55,13 @@ impl DynamicCache {
     /// Decide whether the cached solution may be *adapted* for a query at
     /// `pos`/`now` under range parameter `range_km` (`Q`) and radius
     /// `radius_km` (`R`). On a hit, returns the cached solution.
+    ///
+    /// An invalidation miss (moved too far, radius too small, too old)
+    /// evicts the dead solution — its `Vec<Components>` would otherwise
+    /// be retained and re-checked forever. Probing an *empty* cache is
+    /// not a miss: nothing was invalidated, so it is tallied separately
+    /// (see [`DynamicCache::empty_probes`]) to keep hit-rate accounting
+    /// honest.
     pub fn lookup(
         &mut self,
         pos: &GeoPoint,
@@ -61,17 +69,20 @@ impl DynamicCache {
         range_km: f64,
         radius_km: f64,
     ) -> Option<&CachedSolution> {
-        let ok = self.slot.as_ref().is_some_and(|c| {
-            let moved_m = c.origin.fast_dist_m(pos);
-            moved_m < range_km * 1_000.0
-                && c.radius_km >= radius_km
-                && now.saturating_since(c.computed_at) < CACHE_MAX_AGE
-        });
+        let Some(c) = self.slot.as_ref() else {
+            self.empty_probes += 1;
+            return None;
+        };
+        let moved_m = c.origin.fast_dist_m(pos);
+        let ok = moved_m < range_km * 1_000.0
+            && c.radius_km >= radius_km
+            && now.saturating_since(c.computed_at) < CACHE_MAX_AGE;
         if ok {
             self.hits += 1;
             self.slot.as_ref()
         } else {
             self.misses += 1;
+            self.slot = None;
             None
         }
     }
@@ -86,10 +97,19 @@ impl DynamicCache {
         self.slot = None;
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction. Misses count only
+    /// *invalidations* of a stored solution; see
+    /// [`DynamicCache::empty_probes`] for probes of an empty cache.
     #[must_use]
     pub const fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Lookups that found no stored solution at all (cold start, after
+    /// `clear`, or right after an invalidation evicted the slot).
+    #[must_use]
+    pub const fn empty_probes(&self) -> u64 {
+        self.empty_probes
     }
 
     /// True when a solution is stored (regardless of validity).
@@ -113,10 +133,12 @@ mod tests {
     }
 
     #[test]
-    fn empty_cache_misses() {
+    fn empty_cache_probe_is_not_a_miss() {
         let mut c = DynamicCache::new();
         assert!(c.lookup(&GeoPoint::new(8.0, 53.0), t0(), 5.0, 50.0).is_none());
-        assert_eq!(c.stats(), (0, 1));
+        // Nothing was invalidated — the probe counts separately.
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.empty_probes(), 1);
         assert!(!c.is_populated());
     }
 
@@ -153,8 +175,35 @@ mod tests {
         let mut c = DynamicCache::new();
         let origin = GeoPoint::new(8.0, 53.0);
         c.store(solution(origin, t0(), 25.0));
-        assert!(c.lookup(&origin, t0(), 5.0, 50.0).is_none(), "R grew beyond cached pool");
+        // Probe the servable radius first: the invalidating probe below
+        // evicts the slot.
         assert!(c.lookup(&origin, t0(), 5.0, 25.0).is_some());
+        assert!(c.lookup(&origin, t0(), 5.0, 50.0).is_none(), "R grew beyond cached pool");
+    }
+
+    #[test]
+    fn invalidation_miss_evicts_dead_solution() {
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(solution(origin, t0(), 50.0));
+        assert!(c.is_populated());
+
+        // Invalidate by age: the dead solution must not be retained.
+        let later = t0() + CACHE_MAX_AGE + SimDuration::from_mins(1);
+        assert!(c.lookup(&origin, later, 5.0, 50.0).is_none());
+        assert!(!c.is_populated(), "age-invalidated solution must be evicted");
+        assert_eq!(c.stats(), (0, 1));
+
+        // The follow-up probe hits an empty slot, not a second miss.
+        assert!(c.lookup(&origin, later, 5.0, 50.0).is_none());
+        assert_eq!(c.stats(), (0, 1));
+        assert_eq!(c.empty_probes(), 1);
+
+        // Same for a distance invalidation.
+        c.store(solution(origin, t0(), 50.0));
+        let far = origin.offset_m(6_000.0, 0.0);
+        assert!(c.lookup(&far, t0(), 5.0, 50.0).is_none());
+        assert!(!c.is_populated(), "range-invalidated solution must be evicted");
     }
 
     #[test]

@@ -114,6 +114,7 @@ impl CknnQuery {
             sims: ctx.sims,
             norm: ctx.norm,
             config: crate::context::EcoChargeConfig { k: 1, ..ctx.config },
+            engines: roadnet::SearchPool::new(),
         };
         method.reset_trip();
         let mut out = Vec::with_capacity(self.points.len());

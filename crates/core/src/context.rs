@@ -110,6 +110,11 @@ pub struct EcoChargeConfig {
     pub vehicle: Option<Vehicle>,
     /// What to do when a component's data source is exhausted.
     pub degraded: DegradedPolicy,
+    /// Worker threads for per-candidate component computation. `1` (the
+    /// default) takes the exact sequential code path; any value produces
+    /// bit-identical Offering Tables (see DESIGN.md, "Parallel execution
+    /// model").
+    pub threads: usize,
 }
 
 impl Default for EcoChargeConfig {
@@ -124,6 +129,7 @@ impl Default for EcoChargeConfig {
             quadtree_fraction: 0.03,
             vehicle: None,
             degraded: DegradedPolicy::default(),
+            threads: 1,
         }
     }
 }
@@ -161,6 +167,9 @@ impl EcoChargeConfig {
                 "charge window must be positive, got {}",
                 self.charge_window_h
             )));
+        }
+        if self.threads == 0 {
+            return Err(EcError::InvalidConfig("threads must be at least 1".into()));
         }
         if let Some(v) = &self.vehicle {
             if !(0.0..=1.0).contains(&v.soc) || v.battery_kwh <= 0.0 {
@@ -246,6 +255,8 @@ pub struct QueryCtx<'a> {
     pub norm: NormEnv,
     /// The framework configuration.
     pub config: EcoChargeConfig,
+    /// Reusable per-worker search scratch for parallel execution.
+    pub engines: roadnet::SearchPool,
 }
 
 impl<'a> QueryCtx<'a> {
@@ -259,7 +270,7 @@ impl<'a> QueryCtx<'a> {
         config: EcoChargeConfig,
     ) -> Self {
         let norm = NormEnv::derive(fleet, &config);
-        Self { graph, fleet, server, sims, norm, config }
+        Self { graph, fleet, server, sims, norm, config, engines: roadnet::SearchPool::new() }
     }
 }
 
@@ -310,6 +321,9 @@ mod tests {
         assert!(EcoChargeConfig { charge_window_h: 0.0, ..base }.validate().is_err());
         // Q = 0 (always recompute) is legal.
         assert!(EcoChargeConfig { range_km: 0.0, ..base }.validate().is_ok());
+        // Zero workers is nonsense; many workers is fine.
+        assert!(EcoChargeConfig { threads: 0, ..base }.validate().is_err());
+        assert!(EcoChargeConfig { threads: 8, ..base }.validate().is_ok());
     }
 
     #[test]

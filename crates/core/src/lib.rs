@@ -50,5 +50,5 @@ pub use eval::{evaluate_method, EvalOutcome};
 pub use monitor::{MonitorEvent, TripMonitor};
 pub use offering::{OfferingEntry, OfferingTable};
 pub use oracle::{Oracle, ScoringBasis};
-pub use score::Weights;
+pub use score::{RawWeights, Weights};
 pub use vehicle::Vehicle;

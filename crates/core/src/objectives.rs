@@ -85,17 +85,48 @@ pub fn compute_components(
         return Ok(Vec::new());
     }
     let nodes: Vec<NodeId> = candidates.iter().map(|&c| ctx.fleet.get(c).node).collect();
+    let threads = ctx.config.threads;
 
-    // Three batched searches (lines 4, 9–10).
-    let secs_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time));
-    let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
-    let kwh_ret =
-        engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+    // Three batched searches (lines 4, 9–10). With parallel execution
+    // enabled, the two extra searches run on pool engines concurrently —
+    // each search is a pure function of (graph, nodes), so overlapping
+    // them cannot change any result.
+    let (secs_fwd, kwh_fwd, kwh_ret) = if threads > 1 {
+        ec_exec::join3(
+            || engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time)),
+            || {
+                ctx.engines.checkout().one_to_many(
+                    ctx.graph,
+                    at_node,
+                    &nodes,
+                    metric_cost(CostMetric::Energy),
+                )
+            },
+            || {
+                ctx.engines.checkout().many_to_one(
+                    ctx.graph,
+                    rejoin_node,
+                    &nodes,
+                    metric_cost(CostMetric::Energy),
+                )
+            },
+        )
+    } else {
+        (
+            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time)),
+            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
+            engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy)),
+        )
+    };
 
-    let mut out = Vec::with_capacity(candidates.len());
-    for (i, &cid) in candidates.iter().enumerate() {
+    // Per-candidate evaluation: reads only this candidate's slots of the
+    // batched search results plus the (internally synchronised) info
+    // server, so candidates are independent and parallelise without
+    // changing any value. `Ok(None)` = candidate dropped (unreachable or
+    // battery-infeasible).
+    let eval_one = |i: usize, cid: ChargerId| -> Result<Option<Components>, EcError> {
         let (Some(secs), Some(e_fwd), Some(e_ret)) = (secs_fwd[i], kwh_fwd[i], kwh_ret[i]) else {
-            continue; // unreachable candidate
+            return Ok(None); // unreachable candidate
         };
         let charger = ctx.fleet.get(cid);
         let eta = now + SimDuration::from_secs_f64(secs);
@@ -140,11 +171,11 @@ pub fn compute_components(
         // reach (and return from) with its reserve intact.
         if let Some(v) = &ctx.config.vehicle {
             if !v.can_afford(detour_kwh.hi()) {
-                continue;
+                return Ok(None);
             }
         }
 
-        out.push(Components {
+        Ok(Some(Components {
             charger: cid,
             l: Interval::zero(),
             clean_kw,
@@ -153,8 +184,15 @@ pub fn compute_components(
             eta,
             detour_kwh,
             quality: Provenance { l: sun_q.worst(wind_q), a: a_q, d: d_q },
-        });
-    }
+        }))
+    };
+
+    // threads <= 1 is the plain sequential `?`-loop inside
+    // try_parallel_map; otherwise results land in pre-indexed slots, so
+    // flattening preserves candidate order exactly.
+    let slots =
+        ec_exec::try_parallel_map(threads, candidates, |_| (), |(), i, &cid| eval_one(i, cid))?;
+    let mut out: Vec<Components> = slots.into_iter().flatten().collect();
     normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
     normalize_clean_power(&mut out);
     Ok(out)
@@ -228,14 +266,32 @@ pub fn refresh_derouting(
         return Ok(Vec::new());
     }
     let nodes: Vec<NodeId> = cached.iter().map(|c| ctx.fleet.get(c.charger).node).collect();
-    let kwh_fwd = engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy));
-    let kwh_ret =
-        engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy));
+    let threads = ctx.config.threads;
 
-    let mut out = Vec::with_capacity(cached.len());
-    for (i, comp) in cached.iter().enumerate() {
+    // Two batched searches, overlapped on a pool engine when parallel
+    // execution is enabled (pure functions of (graph, nodes)).
+    let (kwh_fwd, kwh_ret) = if threads > 1 {
+        ec_exec::join(
+            || engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
+            || {
+                ctx.engines.checkout().many_to_one(
+                    ctx.graph,
+                    rejoin_node,
+                    &nodes,
+                    metric_cost(CostMetric::Energy),
+                )
+            },
+        )
+    } else {
+        (
+            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
+            engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy)),
+        )
+    };
+
+    let eval_one = |i: usize, comp: &Components| -> Result<Option<Components>, EcError> {
         let (Some(e_fwd), Some(e_ret)) = (kwh_fwd[i], kwh_ret[i]) else {
-            continue;
+            return Ok(None);
         };
         let (factor, d_q) = component_or_fallback(
             ctx.server.traffic_energy_forecast(RoadClass::Primary, now, comp.eta),
@@ -244,8 +300,12 @@ pub fn refresh_derouting(
         let mut refreshed = comp.clone();
         refreshed.detour_kwh = Interval::point(e_fwd + e_ret) * factor;
         refreshed.quality.d = d_q;
-        out.push(refreshed);
-    }
+        Ok(Some(refreshed))
+    };
+
+    let slots =
+        ec_exec::try_parallel_map(threads, cached, |_| (), |(), i, comp| eval_one(i, comp))?;
+    let mut out: Vec<Components> = slots.into_iter().flatten().collect();
     normalize_derouting(&mut out, ctx.norm.max_derouting_kwh);
     Ok(out)
 }
@@ -357,6 +417,53 @@ mod tests {
         }
         // D generally changes from a different query point.
         assert!(comps.iter().zip(&refreshed).any(|(o, n)| o.d != n.d));
+    }
+
+    #[test]
+    fn parallel_components_bit_identical_to_sequential() {
+        let mut f = Fixture::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).collect();
+
+        let seq = {
+            let ctx = f.ctx();
+            let mut engine = SearchEngine::new();
+            compute_components(&ctx, &mut engine, NodeId(0), NodeId(5), now, &candidates).unwrap()
+        };
+        for threads in [2, 4, 8] {
+            f.config.threads = threads;
+            let ctx = f.ctx();
+            let mut engine = SearchEngine::new();
+            let par = compute_components(&ctx, &mut engine, NodeId(0), NodeId(5), now, &candidates)
+                .unwrap();
+            // PartialEq over every f64 field: bit-identical, not "close".
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_refresh_bit_identical_to_sequential() {
+        let mut f = Fixture::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).take(25).collect();
+        let later = now + SimDuration::from_mins(5);
+
+        let (base, seq) = {
+            let ctx = f.ctx();
+            let mut engine = SearchEngine::new();
+            let base =
+                compute_components(&ctx, &mut engine, NodeId(0), NodeId(3), now, &candidates)
+                    .unwrap();
+            let seq =
+                refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &base).unwrap();
+            (base, seq)
+        };
+        f.config.threads = 4;
+        let ctx = f.ctx();
+        let mut engine = SearchEngine::new();
+        let par =
+            refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &base).unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

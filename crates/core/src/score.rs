@@ -24,10 +24,42 @@ use serde::{Deserialize, Serialize};
 /// The user-configurable objective weights `(w1, w2, w3)` for `L`, `A`,
 /// `D` respectively. Always normalised to sum to 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawWeights", into = "RawWeights")]
 pub struct Weights {
     w1: f64,
     w2: f64,
     w3: f64,
+}
+
+/// Wire-format twin of [`Weights`], used as a `serde` validation shim.
+///
+/// Deserialisation routes through `TryFrom<RawWeights>` →
+/// [`Weights::try_new`], so weights read from untrusted input are
+/// re-normalised and the constructor invariants (non-negative, not all
+/// zero) cannot be bypassed — an unnormalised `Weights` would push `SC`
+/// outside `[0,1]` and unsound the dominance pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawWeights {
+    /// `L` weight as it appears on the wire.
+    pub w1: f64,
+    /// `A` weight as it appears on the wire.
+    pub w2: f64,
+    /// `D` weight as it appears on the wire.
+    pub w3: f64,
+}
+
+impl TryFrom<RawWeights> for Weights {
+    type Error = String;
+
+    fn try_from(raw: RawWeights) -> Result<Self, Self::Error> {
+        Self::try_new(raw.w1, raw.w2, raw.w3)
+    }
+}
+
+impl From<Weights> for RawWeights {
+    fn from(w: Weights) -> Self {
+        Self { w1: w.w1, w2: w.w2, w3: w.w3 }
+    }
 }
 
 impl Weights {
@@ -61,10 +93,27 @@ impl Weights {
     /// Panics when any weight is negative or all are zero.
     #[must_use]
     pub fn new(w1: f64, w2: f64, w3: f64) -> Self {
-        assert!(w1 >= 0.0 && w2 >= 0.0 && w3 >= 0.0, "weights must be non-negative");
+        match Self::try_new(w1, w2, w3) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Weights::new`]: rejects non-finite or negative weights
+    /// and the all-zero triple instead of panicking. This is the
+    /// validation path `Deserialize` routes through (via [`RawWeights`]).
+    pub fn try_new(w1: f64, w2: f64, w3: f64) -> Result<Self, String> {
+        if !(w1.is_finite() && w2.is_finite() && w3.is_finite()) {
+            return Err(format!("weights must be finite: ({w1}, {w2}, {w3})"));
+        }
+        if !(w1 >= 0.0 && w2 >= 0.0 && w3 >= 0.0) {
+            return Err(format!("weights must be non-negative: ({w1}, {w2}, {w3})"));
+        }
         let sum = w1 + w2 + w3;
-        assert!(sum > 0.0, "at least one weight must be positive");
-        Self { w1: w1 / sum, w2: w2 / sum, w3: w3 / sum }
+        if sum <= 0.0 {
+            return Err("at least one weight must be positive".to_string());
+        }
+        Ok(Self { w1: w1 / sum, w2: w2 / sum, w3: w3 / sum })
     }
 
     /// Weight of the sustainable-charging-level objective.
@@ -165,12 +214,19 @@ pub fn refine_topk(scored: &[(usize, Interval)], k: usize) -> Vec<usize> {
         by_max.iter().take(k).copied().filter(|i| top_min.contains(i)).collect();
 
     // Top-up from the SC_max order (best candidates not yet picked).
+    // Membership via a seen-bitset: the `picked.contains(&i)` linear scan
+    // made this loop O(k·n) for large candidate pools.
     if picked.len() < k {
+        let mut seen = vec![false; scored.len()];
+        for &i in &picked {
+            seen[i] = true;
+        }
         for &i in &by_max {
             if picked.len() >= k.min(scored.len()) {
                 break;
             }
-            if !picked.contains(&i) {
+            if !seen[i] {
+                seen[i] = true;
                 picked.push(i);
             }
         }
@@ -341,6 +397,88 @@ mod tests {
         let scored = vec![(7, Interval::point(0.5)), (8, Interval::point(0.9))];
         let top = refine_topk(&scored, 10);
         assert_eq!(top, vec![8, 7]);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_weights() {
+        assert!(Weights::try_new(-1.0, 1.0, 1.0).unwrap_err().contains("non-negative"));
+        assert!(Weights::try_new(0.0, 0.0, 0.0).unwrap_err().contains("positive"));
+        assert!(Weights::try_new(f64::NAN, 1.0, 1.0).unwrap_err().contains("finite"));
+        assert!(Weights::try_new(f64::INFINITY, 1.0, 1.0).unwrap_err().contains("finite"));
+        let w = Weights::try_new(2.0, 1.0, 1.0).unwrap();
+        assert_eq!(w, Weights::new(2.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn raw_weights_roundtrip_and_normalise() {
+        // An unnormalised wire triple must come back normalised — the
+        // serde path can no longer smuggle in weights summing != 1.
+        let w = Weights::try_from(RawWeights { w1: 3.0, w2: 1.0, w3: 0.0 }).unwrap();
+        assert!((w.w1() + w.w2() + w.w3() - 1.0).abs() < 1e-12);
+        assert!((w.w1() - 0.75).abs() < 1e-12);
+        let raw = RawWeights::from(Weights::awe());
+        assert_eq!(Weights::try_from(raw), Ok(Weights::awe()));
+        assert!(Weights::try_from(RawWeights { w1: -0.1, w2: 0.5, w3: 0.6 }).is_err());
+    }
+
+    /// Reference implementation of the pre-bitset top-up, kept verbatim
+    /// for the equivalence check below.
+    fn refine_topk_reference(scored: &[(usize, Interval)], k: usize) -> Vec<usize> {
+        if k == 0 || scored.is_empty() {
+            return Vec::new();
+        }
+        let order_by = |key: fn(&Interval) -> f64| {
+            let mut idx: Vec<usize> = (0..scored.len()).collect();
+            idx.sort_by(|&x, &y| {
+                key(&scored[y].1)
+                    .partial_cmp(&key(&scored[x].1))
+                    .expect("scores are finite")
+                    .then_with(|| scored[x].0.cmp(&scored[y].0))
+            });
+            idx
+        };
+        let by_min = order_by(Interval::lo);
+        let by_max = order_by(Interval::hi);
+        let top_min: std::collections::HashSet<usize> = by_min.iter().take(k).copied().collect();
+        let mut picked: Vec<usize> =
+            by_max.iter().take(k).copied().filter(|i| top_min.contains(i)).collect();
+        if picked.len() < k {
+            for &i in &by_max {
+                if picked.len() >= k.min(scored.len()) {
+                    break;
+                }
+                if !picked.contains(&i) {
+                    picked.push(i);
+                }
+            }
+        }
+        picked.sort_by(|&x, &y| scored[y].1.rank_cmp(&scored[x].1));
+        picked.into_iter().map(|i| scored[i].0).collect()
+    }
+
+    #[test]
+    fn bitset_topup_matches_reference_at_large_n() {
+        // Large-n equivalence: the seen-bitset top-up must pick exactly
+        // the same table as the O(k·n) contains()-based loop, including
+        // on tie-heavy and disjoint-top-set inputs.
+        let mut rng = ec_types::SplitMix64::new(99);
+        for trial in 0..20 {
+            let n = 2_000 + (rng.below(3_000) as usize);
+            let k = 1 + (rng.below(64) as usize);
+            let scored: Vec<(usize, Interval)> = (0..n)
+                .map(|i| {
+                    // Quantised endpoints force many exact ties.
+                    let a = (rng.below(40) as f64) / 40.0;
+                    let b = (a + (rng.below(20) as f64) / 40.0).min(1.0);
+                    (i, Interval::new(a, b))
+                })
+                .collect();
+            assert_eq!(
+                refine_topk(&scored, k),
+                refine_topk_reference(&scored, k),
+                "trial {trial}: n={n}, k={k}"
+            );
+        }
     }
 
     #[test]

@@ -78,8 +78,14 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
     }
 
     /// Fetch-through: return the live value, or compute, store and return
-    /// it. The producer runs outside the lock; concurrent misses may both
-    /// compute (last write wins) — acceptable for idempotent API fetches.
+    /// it. Exactly one caller computes per (key, expiry window), even
+    /// under concurrency: after the read-probe misses, the key is
+    /// re-checked under the write lock, so a racing filler's value is
+    /// observed instead of recomputed. This keeps upstream API-call
+    /// accounting exact — N concurrent misses on one key are 1 miss +
+    /// (N − 1) hits and a single producer run. The producer runs while
+    /// the write lock is held, so it must not call back into this cache.
+    /// Producer errors are not cached (the miss still counts).
     pub fn get_or_insert_with<E>(
         &self,
         key: K,
@@ -87,11 +93,24 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
         ttl: SimDuration,
         produce: impl FnOnce() -> Result<V, E>,
     ) -> Result<V, E> {
-        if let Some(v) = self.get(&key, now) {
+        let live = |entry: Option<&(V, SimTime)>| {
+            entry.and_then(|(v, exp)| (now < *exp).then(|| v.clone()))
+        };
+        // Fast path: live value under the shared read lock.
+        if let Some(v) = live(self.map.read().get(&key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
+        // Slow path: a concurrent filler may have inserted while we
+        // waited for the write lock — re-check before computing.
+        let mut map = self.map.write();
+        if let Some(v) = live(map.get(&key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let v = produce()?;
-        self.put(key, v.clone(), now, ttl);
+        map.insert(key, (v.clone(), now + ttl));
         Ok(v)
     }
 
@@ -167,6 +186,33 @@ mod tests {
             Ok(43)
         });
         assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let calls = AtomicU64::new(0);
+        let workers = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let v: Result<u64, ()> =
+                        c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window: keep the write lock
+                            // busy while the other threads pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(42)
+                        });
+                    assert_eq!(v, Ok(42));
+                });
+            }
+        });
+        // The call-economy invariant the parallel engine relies on: one
+        // upstream call, one miss, everyone else a hit.
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "double-computed on concurrent miss");
+        assert_eq!(c.stats(), (workers - 1, 1));
     }
 
     #[test]

@@ -41,6 +41,7 @@ impl Mode {
                 data_fetch_rtt_ms: 120.0,
                 compute_scale: 1.3,
                 result_bytes: 0,
+                threads: 1,
             },
             // The server already holds hot provider caches; the vehicle
             // pays one query round-trip and receives the finished table.
@@ -49,6 +50,7 @@ impl Mode {
                 data_fetch_rtt_ms: 0.0,
                 compute_scale: 1.0,
                 result_bytes: 2_048,
+                threads: 1,
             },
             // The phone fetches data like Mode 1 but over a faster link,
             // and talks to the head unit over a negligible local hop.
@@ -57,6 +59,7 @@ impl Mode {
                 data_fetch_rtt_ms: 80.0,
                 compute_scale: 1.15,
                 result_bytes: 1_024,
+                threads: 1,
             },
         }
     }
@@ -75,16 +78,28 @@ pub struct ModeCosts {
     pub compute_scale: f64,
     /// Bytes shipped to the vehicle per table.
     pub result_bytes: usize,
+    /// Worker threads the platform dedicates to one refresh. The compute
+    /// term scales as `compute_ms / threads` — an idealised linear bound;
+    /// the per-candidate fan-out is embarrassingly parallel, so real
+    /// scaling tracks it closely until the candidate pool is exhausted.
+    pub threads: usize,
 }
 
 impl ModeCosts {
+    /// This cost model with `threads` workers per refresh.
+    #[must_use]
+    pub const fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
+    }
+
     /// End-to-end latency of one refresh given the pure ranking time
-    /// `compute_ms` (measured on the reference platform) and whether the
-    /// provider data was already cached locally.
+    /// `compute_ms` (measured single-threaded on the reference platform)
+    /// and whether the provider data was already cached locally.
     #[must_use]
     pub fn refresh_latency_ms(&self, compute_ms: f64, data_cached: bool) -> f64 {
         let fetch = if data_cached { 0.0 } else { self.data_fetch_rtt_ms };
-        self.query_rtt_ms + fetch + compute_ms * self.compute_scale
+        let workers = self.threads.max(1) as f64;
+        self.query_rtt_ms + fetch + compute_ms * self.compute_scale / workers
     }
 
     /// [`Self::refresh_latency_ms`] under degraded upstreams:
@@ -168,5 +183,19 @@ mod tests {
     #[test]
     fn all_modes_enumerable() {
         assert_eq!(Mode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn threads_divide_only_the_compute_term() {
+        let base = Mode::Server.costs();
+        assert_eq!(base.threads, 1, "defaults stay single-threaded");
+        let quad = base.with_threads(4);
+        let single = base.refresh_latency_ms(100.0, true);
+        let parallel = quad.refresh_latency_ms(100.0, true);
+        // RTT is unaffected; the compute term shrinks 4x.
+        assert!((single - base.query_rtt_ms - 100.0).abs() < 1e-9);
+        assert!((parallel - base.query_rtt_ms - 25.0).abs() < 1e-9);
+        // threads = 0 is treated as 1, not a divide-by-zero.
+        assert_eq!(base.with_threads(0).refresh_latency_ms(100.0, true), single);
     }
 }

@@ -8,6 +8,8 @@
 //! about them.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One in-flight request envelope.
@@ -39,10 +41,11 @@ impl<Req: Send + 'static, Resp: Send + 'static> ServiceClient<Req, Resp> {
     }
 }
 
-/// A running service thread; dropping the last client ends it.
+/// A running service (one or more worker threads); dropping the last
+/// client ends it.
 #[derive(Debug)]
 pub struct ServiceBus {
-    handle: Option<JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl ServiceBus {
@@ -63,12 +66,58 @@ impl ServiceBus {
                 let _ = reply.send(handler(req));
             }
         });
-        (ServiceClient { tx }, ServiceBus { handle: Some(handle) })
+        (ServiceClient { tx }, ServiceBus { handles: vec![handle] })
     }
 
-    /// Block until the service thread exits (all clients dropped).
+    /// Spawn `workers` server threads draining one shared request bus —
+    /// the Mode-2 deployment's parallel server loop. `make_handler(w)`
+    /// builds each worker's private handler (its own ranking state /
+    /// search scratch), so no handler state is shared.
+    ///
+    /// Workers contend only on the receive side (the bus lock is held
+    /// across `recv` alone, never while handling), so requests pipeline
+    /// across workers while each individual request is answered by
+    /// exactly one of them. The service stops when every client clone is
+    /// dropped.
+    pub fn spawn_pool<Req, Resp, F, H>(
+        workers: usize,
+        make_handler: F,
+    ) -> (ServiceClient<Req, Resp>, ServiceBus)
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+        F: Fn(usize) -> H,
+        H: FnMut(Req) -> Resp + Send + 'static,
+    {
+        type Channel<Req, Resp> = (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>);
+        let (tx, rx): Channel<Req, Resp> = unbounded();
+        // The vendored Receiver is Send but not Sync/Clone; a mutex makes
+        // it a shared pop-end the workers drain cooperatively.
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let mut handler = make_handler(w);
+                std::thread::spawn(move || loop {
+                    // Hold the bus lock only across the blocking recv;
+                    // release before handling so other workers can pull
+                    // the next request concurrently.
+                    let envelope = rx.lock().recv();
+                    match envelope {
+                        Ok(Envelope { req, reply }) => {
+                            let _ = reply.send(handler(req));
+                        }
+                        Err(_) => break, // all clients hung up
+                    }
+                })
+            })
+            .collect();
+        (ServiceClient { tx }, ServiceBus { handles })
+    }
+
+    /// Block until every service thread exits (all clients dropped).
     pub fn join(mut self) {
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -76,8 +125,8 @@ impl ServiceBus {
 
 impl Drop for ServiceBus {
     fn drop(&mut self) {
-        // Detach: the thread exits once the clients hang up.
-        let _ = self.handle.take();
+        // Detach: the threads exit once the clients hang up.
+        self.handles.clear();
     }
 }
 
@@ -106,6 +155,58 @@ mod tests {
         let (client, bus) = ServiceBus::spawn(|x: u32| x);
         drop(client);
         bus.join(); // must not hang
+    }
+
+    #[test]
+    fn pool_serves_every_request() {
+        let (client, bus) = ServiceBus::spawn_pool(4, |_w| |x: u32| x * 2);
+        let mut got: Vec<Option<u32>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16u32)
+                .map(|i| {
+                    let c = client.clone();
+                    scope.spawn(move || c.call(i))
+                })
+                .collect();
+            for h in handles {
+                got.push(h.join().unwrap());
+            }
+        });
+        let mut vals: Vec<u32> = got.into_iter().map(|v| v.unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..16u32).map(|i| i * 2).collect::<Vec<_>>());
+        drop(client);
+        bus.join(); // every worker must exit
+    }
+
+    #[test]
+    fn pool_workers_have_private_state() {
+        // Each worker counts its own requests; the sum over workers must
+        // equal the total even though no state is shared.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let total = Arc::new(AtomicU32::new(0));
+        let (client, _bus) = ServiceBus::spawn_pool(3, |_w| {
+            let total = Arc::clone(&total);
+            let mut local = 0u32;
+            move |_: ()| {
+                local += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                local
+            }
+        });
+        for _ in 0..12 {
+            let served = client.call(()).unwrap();
+            assert!(served >= 1);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn pool_of_one_behaves_like_spawn() {
+        let (client, _bus) = ServiceBus::spawn_pool(1, |_w| |x: u32| x + 1);
+        assert_eq!(client.call(1), Some(2));
+        assert_eq!(client.call(2), Some(3));
     }
 
     #[test]

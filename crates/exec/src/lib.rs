@@ -1,0 +1,235 @@
+//! Deterministic work-stealing parallel execution for CkNN-EC.
+//!
+//! The framework's dominant cost is per-candidate road-network search
+//! (three A*/Dijkstra runs per charger). This crate provides the small,
+//! dependency-light primitives that fan that work out over OS threads
+//! while keeping results **bit-identical to sequential execution**:
+//!
+//! * every item is addressed by its index and its result is written into
+//!   a pre-sized slot, so output order never depends on scheduling;
+//! * work is claimed from a single shared atomic counter (a degenerate
+//!   but contention-free work-stealing deque), so no items are dropped
+//!   or duplicated;
+//! * each worker owns one reusable scratch value (e.g. a
+//!   `roadnet::SearchEngine`), so no search state is shared;
+//! * `threads <= 1` takes the exact sequential code path, byte for byte.
+//!
+//! Floating-point results are bit-identical because each item's
+//! computation touches only its own scratch and inputs — parallelism
+//! changes *when* an item runs, never *what* it computes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on up to `threads` workers, preserving order.
+///
+/// `scratch(w)` builds the per-worker scratch value (worker indices are
+/// `0..workers`); `f(&mut scratch, index, item)` computes one result.
+/// The returned vector satisfies `out[i] == f(_, i, &items[i])` exactly
+/// as the sequential loop would produce it.
+///
+/// With `threads <= 1` (or fewer than two items) this is a plain
+/// sequential loop over `scratch(0)` — no threads, no channels.
+pub fn parallel_map<T, S, R, FS, F>(threads: usize, items: &[T], mut scratch: FS, f: F) -> Vec<R>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    FS: FnMut(usize) -> S,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut s = scratch(0);
+        return items.iter().enumerate().map(|(i, t)| f(&mut s, i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let mut s = scratch(w);
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&mut s, i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx.iter() {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots.into_iter().map(|r| r.expect("every slot computed exactly once")).collect()
+}
+
+/// Fallible [`parallel_map`]: `f` returns `Result<R, E>` and the first
+/// error **by item index** (not by completion time) is returned, making
+/// the error value deterministic.
+///
+/// The sequential path (`threads <= 1`) short-circuits on the first
+/// error exactly like a `?`-loop. The parallel path computes all slots
+/// before selecting the error, so side effects of *later failing* items
+/// (e.g. upstream probe counts) can exceed the sequential run's — but
+/// only on error paths, which abort the whole query anyway.
+pub fn try_parallel_map<T, S, R, E, FS, F>(
+    threads: usize,
+    items: &[T],
+    mut scratch: FS,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    E: Send,
+    FS: FnMut(usize) -> S,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut s = scratch(0);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, t) in items.iter().enumerate() {
+            out.push(f(&mut s, i, t)?);
+        }
+        return Ok(out);
+    }
+    let results = parallel_map(threads, items, scratch, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Run `a` on the current thread and `b` on a scoped worker, returning
+/// both results. Used to overlap independent batched searches.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+/// Three-way [`join`]: `a` runs on the current thread, `b` and `c` on
+/// scoped workers.
+pub fn join3<RA, RB, RC, A, B, C>(a: A, b: B, c: C) -> (RA, RB, RC)
+where
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let hc = scope.spawn(c);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"), hc.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let seq = parallel_map(1, &items, |_| (), |_, i, &x| x * 3 + i as u64);
+        for threads in [2, 4, 8] {
+            let par = parallel_map(threads, &items, |_| (), |_, i, &x| x * 3 + i as u64);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn each_worker_gets_its_own_scratch() {
+        let items: Vec<u32> = (0..64).collect();
+        let spawned = AtomicU64::new(0);
+        // Scratch is a counter private to each worker; if it were shared,
+        // the per-item increments would interleave and sums would differ.
+        let out = parallel_map(
+            4,
+            &items,
+            |_| {
+                spawned.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |local, _, _| {
+                *local += 1;
+                *local
+            },
+        );
+        // Each worker's scratch starts at 0, so every result is >= 1 and
+        // no result can exceed the item count.
+        assert!(out.iter().all(|&v| v >= 1 && v <= items.len() as u64));
+        assert!(spawned.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(8, &empty, |_| (), |_, _, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[9u8], |_| (), |_, _, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_parallel_map_returns_first_error_by_index() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let err = try_parallel_map(
+                threads,
+                &items,
+                |_| (),
+                |_, _, &x| {
+                    if x % 7 == 3 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_ok_matches_sequential() {
+        let items: Vec<u64> = (0..333).collect();
+        let seq: Vec<u64> =
+            try_parallel_map::<_, _, _, (), _, _>(1, &items, |_| (), |_, _, &x| Ok(x * x)).unwrap();
+        let par: Vec<u64> =
+            try_parallel_map::<_, _, _, (), _, _>(4, &items, |_| (), |_, _, &x| Ok(x * x)).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn join_and_join3_return_all_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        let (x, y, z) = join3(|| 1, || 2, || 3);
+        assert_eq!((x, y, z), (1, 2, 3));
+    }
+}

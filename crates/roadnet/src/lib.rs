@@ -25,6 +25,7 @@ pub mod generate;
 pub mod graph;
 pub mod io;
 pub mod path;
+pub mod pool;
 pub mod search;
 
 pub use bidirectional::BidiEngine;
@@ -35,6 +36,7 @@ pub use generate::{
 pub use graph::{GraphBuilder, RoadGraph};
 pub use io::{parse_node_edge, write_node_edge, PlanarAnchor};
 pub use path::Route;
+pub use pool::{PooledEngine, SearchPool};
 pub use search::{metric_cost, SearchEngine};
 
 #[cfg(test)]

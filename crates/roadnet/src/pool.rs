@@ -1,0 +1,125 @@
+//! A checkout pool of reusable [`SearchEngine`]s for parallel workers.
+//!
+//! Each [`SearchEngine`] owns sizeable scratch buffers (distance, parent
+//! and stamp arrays plus a heap), so parallel per-candidate computation
+//! wants one engine *per worker*, reused across items — not one per
+//! search. [`SearchPool`] provides exactly that: `checkout()` hands out
+//! an engine (recycled if available, freshly allocated otherwise) and
+//! the guard returns it on drop. The pool is `Sync`, so it can live in a
+//! shared query context and be tapped from scoped worker threads.
+
+use crate::search::SearchEngine;
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+
+/// Shared pool of reusable [`SearchEngine`] scratch state.
+#[derive(Default)]
+pub struct SearchPool {
+    idle: Mutex<Vec<SearchEngine>>,
+}
+
+impl SearchPool {
+    /// An empty pool; engines are allocated lazily on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out an engine, reusing a previously returned one when
+    /// possible. The engine goes back into the pool when the returned
+    /// guard drops.
+    pub fn checkout(&self) -> PooledEngine<'_> {
+        let engine = self.idle.lock().pop().unwrap_or_default();
+        PooledEngine { engine: Some(engine), pool: self }
+    }
+
+    /// Number of engines currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+impl std::fmt::Debug for SearchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchPool").field("idle", &self.idle_count()).finish()
+    }
+}
+
+/// Checkout guard dereferencing to a [`SearchEngine`]; returns the
+/// engine to its [`SearchPool`] on drop.
+pub struct PooledEngine<'a> {
+    engine: Option<SearchEngine>,
+    pool: &'a SearchPool,
+}
+
+impl Deref for PooledEngine<'_> {
+    type Target = SearchEngine;
+    fn deref(&self) -> &SearchEngine {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl DerefMut for PooledEngine<'_> {
+    fn deref_mut(&mut self) -> &mut SearchEngine {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl Drop for PooledEngine<'_> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            self.pool.idle.lock().push(engine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{CostMetric, RoadClass};
+    use crate::graph::GraphBuilder;
+    use crate::search::metric_cost;
+    use ec_types::{GeoPoint, NodeId};
+
+    #[test]
+    fn checkout_recycles_returned_engines() {
+        let pool = SearchPool::new();
+        assert_eq!(pool.idle_count(), 0);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            assert_eq!(pool.idle_count(), 0);
+        }
+        assert_eq!(pool.idle_count(), 2);
+        let _c = pool.checkout();
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn pooled_engine_runs_searches_via_deref() {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let v0 = b.add_node(o);
+        let v1 = b.add_node(o.offset_m(1_000.0, 0.0));
+        b.add_edge(v0, v1, RoadClass::Primary);
+        let g = b.build();
+
+        let pool = SearchPool::new();
+        let mut e = pool.checkout();
+        let got = e.one_to_one(&g, v0, v1, metric_cost(CostMetric::Distance));
+        assert!(got.is_some());
+        assert_eq!(got.unwrap().1, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = SearchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _e = pool.checkout();
+                });
+            }
+        });
+        assert!(pool.idle_count() >= 1 && pool.idle_count() <= 4);
+    }
+}

@@ -14,10 +14,10 @@ use crate::policy::Policy;
 use crate::schedule::{build_schedules, ScheduleParams};
 use chargers::{synth_fleet, FleetParams};
 use ec_models::ProductionSeries;
-use ec_types::{ChargerId, SimDuration};
+use ec_types::{ChargerId, NodeId, SimDuration};
 use ecocharge_core::{EcoChargeConfig, QueryCtx};
 use eis::{InfoServer, SimProviders};
-use roadnet::{metric_cost, CostMetric, RoadGraph, SearchEngine};
+use roadnet::{metric_cost, CostMetric, RoadGraph, SearchEngine, SearchPool};
 use std::collections::HashMap;
 
 /// Configuration of one simulated fleet day.
@@ -88,6 +88,20 @@ impl DayOutcome {
     }
 }
 
+/// The out-and-back detour to one charger: `(travel_secs, kwh_out,
+/// kwh_back)`, or `None` when unreachable in either direction.
+fn detour_for(
+    g: &RoadGraph,
+    engine: &mut SearchEngine,
+    dest: NodeId,
+    node: NodeId,
+) -> Option<(f64, f64, f64)> {
+    let secs = engine.one_to_many(g, dest, &[node], metric_cost(CostMetric::Time))[0]?;
+    let e_fwd = engine.one_to_many(g, dest, &[node], metric_cost(CostMetric::Energy))[0]?;
+    let e_ret = engine.many_to_one(g, dest, &[node], metric_cost(CostMetric::Energy))[0]?;
+    Some((secs, e_fwd, e_ret))
+}
+
 /// Run one fleet day under `policy` on a freshly built world (network
 /// passed in so policies can be compared on the identical world).
 #[must_use]
@@ -114,6 +128,8 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
     events.sort_by_key(|&(s, l)| schedules[s].legs[l].arrival(g));
 
     let mut engine = SearchEngine::new();
+    let pool = SearchPool::new();
+    let threads = config.ecocharge.threads;
     let mut book = OccupancyBook::new();
     let mut series_cache: HashMap<ChargerId, ProductionSeries> = HashMap::new();
     let mut out = DayOutcome {
@@ -141,20 +157,30 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
         };
 
         let dest = trip.route.end();
+        // With parallel execution enabled, fan the per-candidate detour
+        // searches out before the decision loop. The occupancy decisions
+        // below stay strictly sequential (they are causally ordered), so
+        // the outcome is bit-identical to the lazy sequential path — the
+        // precompute merely does the searches for candidates the loop
+        // would have stopped before reaching.
+        let precomputed: Option<Vec<Option<(f64, f64, f64)>>> = (threads > 1).then(|| {
+            ec_exec::parallel_map(
+                threads,
+                &ranked,
+                |_| pool.checkout(),
+                |e, _, &cid| detour_for(g, e, dest, ctx.fleet.get(cid).node),
+            )
+        });
+
         let mut charged = false;
-        for cid in ranked {
+        for (i, &cid) in ranked.iter().enumerate() {
             let charger = ctx.fleet.get(cid);
             // Out-and-back detour (energy + travel time there).
-            let Some(secs) =
-                engine.one_to_many(g, dest, &[charger.node], metric_cost(CostMetric::Time))[0]
-            else {
-                continue;
+            let detour = match &precomputed {
+                Some(d) => d[i],
+                None => detour_for(g, &mut engine, dest, charger.node),
             };
-            let e_fwd =
-                engine.one_to_many(g, dest, &[charger.node], metric_cost(CostMetric::Energy))[0];
-            let e_ret =
-                engine.many_to_one(g, dest, &[charger.node], metric_cost(CostMetric::Energy))[0];
-            let (Some(e_fwd), Some(e_ret)) = (e_fwd, e_ret) else {
+            let Some((secs, e_fwd, e_ret)) = detour else {
                 continue;
             };
 
@@ -262,5 +288,18 @@ mod tests {
         let mut a = Policy::ecocharge();
         let mut b = Policy::ecocharge();
         assert_eq!(simulate_day(&g, &mut a, &cfg), simulate_day(&g, &mut b, &cfg));
+    }
+
+    #[test]
+    fn parallel_day_bit_identical_to_sequential() {
+        let g = graph();
+        let seq_cfg = config(10);
+        let mut par_cfg = config(10);
+        par_cfg.ecocharge.threads = 4;
+        let mut a = Policy::ecocharge();
+        let mut b = Policy::ecocharge();
+        // DayOutcome is PartialEq over every accumulator — conflicts,
+        // skips, and all three energy tallies must match exactly.
+        assert_eq!(simulate_day(&g, &mut a, &seq_cfg), simulate_day(&g, &mut b, &par_cfg));
     }
 }

@@ -36,9 +36,46 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 /// assert_eq!(d.intersect(&Interval::new(0.6, 0.9)), None);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawInterval", into = "RawInterval")]
 pub struct Interval {
     lo: f64,
     hi: f64,
+}
+
+/// Wire-format twin of [`Interval`], used as a `serde` validation shim.
+///
+/// Deserialisation goes through `TryFrom<RawInterval>`, so an interval
+/// read from untrusted input cannot bypass the constructor invariants
+/// (finite endpoints, `lo <= hi`). Unlike [`Interval::new`], the
+/// conversion *rejects* flipped endpoints instead of swapping them:
+/// serialised data was produced from a valid interval, so a flipped
+/// pair indicates corruption, not an unordered estimate source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawInterval {
+    /// Lower endpoint as it appears on the wire.
+    pub lo: f64,
+    /// Upper endpoint as it appears on the wire.
+    pub hi: f64,
+}
+
+impl TryFrom<RawInterval> for Interval {
+    type Error = String;
+
+    fn try_from(raw: RawInterval) -> Result<Self, Self::Error> {
+        if !raw.lo.is_finite() || !raw.hi.is_finite() {
+            return Err(format!("interval endpoints must be finite: [{}, {}]", raw.lo, raw.hi));
+        }
+        if raw.lo > raw.hi {
+            return Err(format!("interval endpoints out of order: [{}, {}]", raw.lo, raw.hi));
+        }
+        Ok(Self { lo: raw.lo, hi: raw.hi })
+    }
+}
+
+impl From<Interval> for RawInterval {
+    fn from(iv: Interval) -> Self {
+        Self { lo: iv.lo, hi: iv.hi }
+    }
 }
 
 impl Interval {
@@ -420,5 +457,30 @@ mod tests {
     fn clamp_restricts_range() {
         let i = Interval::new(-2.0, 9.0).clamp(0.0, 1.0);
         assert_eq!(i, Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn raw_interval_try_from_enforces_invariants() {
+        assert_eq!(
+            Interval::try_from(RawInterval { lo: 1.0, hi: 2.0 }),
+            Ok(Interval::new(1.0, 2.0))
+        );
+        assert!(Interval::try_from(RawInterval { lo: 2.0, hi: 1.0 })
+            .unwrap_err()
+            .contains("out of order"));
+        assert!(Interval::try_from(RawInterval { lo: f64::NAN, hi: 1.0 })
+            .unwrap_err()
+            .contains("finite"));
+        assert!(Interval::try_from(RawInterval { lo: 0.0, hi: f64::INFINITY })
+            .unwrap_err()
+            .contains("finite"));
+    }
+
+    #[test]
+    fn raw_interval_roundtrips_valid_intervals() {
+        let iv = Interval::new(-0.5, 3.25);
+        let raw = RawInterval::from(iv);
+        assert_eq!((raw.lo, raw.hi), (-0.5, 3.25));
+        assert_eq!(Interval::try_from(raw), Ok(iv));
     }
 }

@@ -94,7 +94,58 @@ fn main() {
         offset += 4_000.0;
     }
 
-    // The mode cost model: same compute, different communication shape.
+    // The same deployment scaled out: `spawn_pool` puts N ranking workers
+    // behind one request bus, each owning its private method state while
+    // sharing the read-only world. A fleet of vehicles asking at once is
+    // served concurrently — and because the engine is deterministic, every
+    // vehicle gets the exact table the single-worker server would return.
+    let world = Arc::new({
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet =
+            synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
+        let sims = SimProviders::new(13);
+        let server = InfoServer::from_sims(sims.clone());
+        (graph, fleet, sims, server)
+    });
+    let (pool_client, pool_bus) = ServiceBus::spawn_pool(4, |_worker| {
+        let world = Arc::clone(&world);
+        let mut method = EcoCharge::new();
+        move |req: TableRequest| {
+            let (graph, fleet, sims, server) = &*world;
+            let ctx = QueryCtx::new(graph, fleet, server, sims, EcoChargeConfig::default());
+            let started = Instant::now();
+            method.reset_trip();
+            let table =
+                method.offering_table(&ctx, &req.trip, req.offset_m, req.now).expect("candidates");
+            TableResponse {
+                ranking: table.charger_ids(),
+                compute_ms: started.elapsed().as_secs_f64() * 1_000.0,
+            }
+        }
+    });
+    let now = trip.eta_at_offset(&graph, 0.0);
+    let fleet_answers: Vec<Vec<ChargerId>> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let c = pool_client.clone();
+                let trip = trip.clone();
+                scope.spawn(move || c.call(TableRequest { trip, offset_m: 0.0, now }))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread").expect("pool is alive").ranking)
+            .collect()
+    });
+    assert!(fleet_answers.windows(2).all(|w| w[0] == w[1]), "pool answers must agree");
+    println!(
+        "\n8 concurrent vehicles served by a 4-worker pool; all received the identical top offer {}",
+        fleet_answers[0].first().map(ChargerId::to_string).unwrap_or_default()
+    );
+    drop(pool_client);
+    pool_bus.join();
+
+    // The mode cost model: same compute, different communication shape —
+    // and `with_threads` models the pool dividing the compute term.
     let mean_compute = compute_ms_total / refreshes as f64;
     println!("\nmean server-side ranking time: {mean_compute:.3} ms");
     println!("modelled end-to-end refresh latency per mode (cold / warm provider data):");
@@ -107,5 +158,10 @@ fn main() {
             costs.refresh_latency_ms(mean_compute, true)
         );
     }
+    let pooled = Mode::Server.costs().with_threads(4);
+    println!(
+        "  Server with a 4-worker pool: {:.1} ms warm (compute term / 4)",
+        pooled.refresh_latency_ms(mean_compute, true)
+    );
     println!("\nAll modes rank identically — they differ only in where the computation and the data live.");
 }

@@ -65,3 +65,58 @@ fn caches_do_not_change_results_only_cost() {
     assert_eq!(cold, warm, "cache state leaked into rankings");
     assert!(hits_warm > hits_cold, "second pass must actually hit the caches");
 }
+
+/// Full OfferingTables (scores, intervals, split metadata — not just the
+/// charger id sequence) for every trip at a given worker-thread count.
+fn full_tables(
+    threads: usize,
+    method: &mut dyn ecocharge_core::RankingMethod,
+) -> Vec<Vec<(f64, ecocharge_core::OfferingTable)>> {
+    let dataset = Dataset::build(DatasetKind::Oldenburg, DatasetScale::smoke(), 11);
+    let fleet =
+        synth_fleet(&dataset.graph, &FleetParams { count: 120, seed: 11, ..Default::default() });
+    let sims = SimProviders::new(11);
+    let server = InfoServer::from_sims(sims.clone());
+    let config = EcoChargeConfig { threads, ..EcoChargeConfig::default() };
+    let ctx = QueryCtx::new(&dataset.graph, &fleet, &server, &sims, config);
+    dataset
+        .trips
+        .iter()
+        .take(3)
+        .map(|trip| {
+            let query = CknnQuery::new(&ctx, trip).unwrap();
+            query
+                .run(&ctx, trip, method)
+                .unwrap()
+                .into_iter()
+                .map(|(sp, t)| (sp.offset_m, t))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_ranking_bit_identical_to_sequential() {
+    // The tentpole guarantee: the work-stealing engine must not perturb a
+    // single bit of any Offering Table, across whole trips and warm
+    // per-trip caches. OfferingTable is PartialEq over every field, so
+    // this is a full bit-identity check, not a top-k id comparison.
+    let mut seq_m = EcoCharge::new();
+    let seq = full_tables(1, &mut seq_m);
+    for threads in [2, 4] {
+        let mut par_m = EcoCharge::new();
+        assert_eq!(seq, full_tables(threads, &mut par_m), "threads={threads} diverged");
+    }
+    assert!(!seq.is_empty());
+}
+
+#[test]
+fn parallel_baseline_bit_identical_to_sequential() {
+    // Same guarantee for the exact Brute-Force baseline (its parallel
+    // path shares scratch engines from the context pool).
+    let mut seq_m = ecocharge_core::BruteForce::new();
+    let seq = full_tables(1, &mut seq_m);
+    let mut par_m = ecocharge_core::BruteForce::new();
+    assert_eq!(seq, full_tables(4, &mut par_m));
+    assert!(!seq.is_empty());
+}

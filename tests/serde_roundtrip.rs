@@ -72,3 +72,31 @@ fn trace_params_default_is_geolife_like() {
     assert!((1.0..=10.0).contains(&p.period_s), "Geolife logs every 1-5 s");
     assert!(p.noise_sigma_m <= 10.0, "consumer GPS noise");
 }
+
+#[test]
+fn deserialized_intervals_cannot_bypass_invariants() {
+    // `Interval` deserializes through `RawInterval` (`#[serde(try_from)]`),
+    // so wire data is funnelled through the same checks as constructors —
+    // a crafted payload cannot smuggle in a NaN or flipped endpoints.
+    use ec_types::RawInterval;
+    assert!(Interval::try_from(RawInterval { lo: 2.0, hi: 1.0 }).is_err());
+    assert!(Interval::try_from(RawInterval { lo: f64::NAN, hi: 1.0 }).is_err());
+    assert!(Interval::try_from(RawInterval { lo: 0.0, hi: f64::INFINITY }).is_err());
+    let ok = Interval::try_from(RawInterval { lo: 1.0, hi: 2.0 }).unwrap();
+    assert_eq!(RawInterval::from(ok), RawInterval { lo: 1.0, hi: 2.0 });
+    assert_serde::<RawInterval>();
+}
+
+#[test]
+fn deserialized_weights_cannot_bypass_invariants() {
+    // Same funnel for `Weights`: negative, all-zero and non-finite weight
+    // vectors are rejected at the deserialization boundary, and accepted
+    // ones arrive already normalised.
+    use ecocharge_core::RawWeights;
+    assert!(Weights::try_from(RawWeights { w1: -1.0, w2: 1.0, w3: 1.0 }).is_err());
+    assert!(Weights::try_from(RawWeights { w1: 0.0, w2: 0.0, w3: 0.0 }).is_err());
+    assert!(Weights::try_from(RawWeights { w1: f64::NAN, w2: 1.0, w3: 1.0 }).is_err());
+    let w = Weights::try_from(RawWeights { w1: 2.0, w2: 1.0, w3: 1.0 }).unwrap();
+    assert_eq!(w.w1(), 0.5);
+    assert_serde::<RawWeights>();
+}
