@@ -10,17 +10,19 @@
 //! `--scale F` fraction of the paper's trajectory cardinality, `--seed N`.
 
 use ecocharge_bench::{
-    print_rows, run_balance, run_cache, run_dayrun, run_fig6, run_fig7, run_fig8, run_fig9,
-    run_modes, run_regret, run_scaling, run_throughput, run_validation, write_csv,
-    write_scaling_json, HarnessConfig,
+    print_rows, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7, run_fig8,
+    run_fig9, run_modes, run_regret, run_scaling, run_throughput, run_validation, write_csv,
+    write_detour_json, write_scaling_json, HarnessConfig,
 };
+use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
-use trajgen::DatasetScale;
+use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling> \
-        [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] [--csv DIR]\n\
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour> \
+        [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
+        [--detour-backend dijkstra|ch] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
   all         all four paper figures\n\
   regret      extension: forecast-vs-ground-truth referee\n\
@@ -30,9 +32,14 @@ fn usage() -> ! {
   throughput  extension: Mode-2 server throughput under client load\n\
   dayrun      extension: closed-loop fleet day (clean vs grid energy)\n\
   scaling     F_t vs threads (1,2,4,8) with bit-identity check; writes BENCH_scaling.json\n\
+  detour      Dijkstra vs CH backend x graph-size sweep (all datasets + generated\n\
+              urban grids) with bit-identity check; writes BENCH_detour.json\n\
+              (exits non-zero when any backend diverges)\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
-  --threads N worker threads for ranking / rep fan-out (default 1)"
+  --threads N worker threads for ranking / rep fan-out (default 1)\n\
+  --detour-backend B  detour engine for every ranking in the run (default dijkstra);\n\
+              bit-identical results either way, only the speed changes"
     );
     std::process::exit(2);
 }
@@ -153,6 +160,9 @@ fn main() {
                     usage();
                 }
             }
+            "--detour-backend" => {
+                harness.detour_backend = DetourBackend::parse(val).unwrap_or_else(|| usage());
+            }
             "--csv" => csv_dir = Some(PathBuf::from(val)),
             _ => usage(),
         }
@@ -225,6 +235,49 @@ fn main() {
             }
             if rows.iter().any(|r| !r.identical) {
                 eprintln!("ERROR: a parallel run diverged from the single-threaded tables");
+                std::process::exit(1);
+            }
+        }
+        "detour" => {
+            let rows = run_detour(&harness, &DatasetKind::ALL);
+            println!(
+                "\n=== Detour backends: three-sweep D-component batch, \
+                 datasets + generated grids ==="
+            );
+            println!(
+                "{:<19} {:>8} {:>9} {:>12} {:>10} {:>13} {:>13} {:>9} {:>10}",
+                "graph",
+                "nodes",
+                "backend",
+                "prep(ms)",
+                "shortcuts",
+                "query(us)",
+                "settled/qry",
+                "speedup",
+                "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<19} {:>8} {:>9} {:>12.1} {:>10} {:>13.1} {:>13.0} {:>8.2}x {:>10}",
+                    r.dataset,
+                    r.nodes,
+                    r.backend.name(),
+                    r.preprocess_ms,
+                    r.shortcuts,
+                    r.median_query_us,
+                    r.mean_settled,
+                    r.speedup,
+                    r.identical
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_detour.json");
+            match write_detour_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("detour json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: a backend diverged from the Dijkstra single-threaded tables");
                 std::process::exit(1);
             }
         }

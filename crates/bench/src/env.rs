@@ -1,8 +1,10 @@
 //! Experiment environments: one fully-built world per dataset preset.
 
 use chargers::{synth_fleet, ChargerFleet, FleetParams};
-use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_core::{DetourBackend, EcoChargeConfig, QueryCtx};
 use eis::{InfoServer, SimProviders};
+use roadnet::DetourCh;
+use std::sync::{Arc, OnceLock};
 use trajgen::{Dataset, DatasetKind, DatasetScale, Trip};
 
 /// A materialised world: network, trips, charger fleet, providers and the
@@ -16,6 +18,10 @@ pub struct ExperimentEnv {
     pub sims: SimProviders,
     /// The cached information server over those simulators.
     pub server: InfoServer,
+    /// Lazily built Contraction-Hierarchy index, shared by every context
+    /// this environment hands out (the build is deterministic, so sharing
+    /// cannot change any result — only when the preprocessing is paid).
+    detour_ch: OnceLock<Arc<DetourCh>>,
 }
 
 impl ExperimentEnv {
@@ -33,13 +39,30 @@ impl ExperimentEnv {
         );
         let sims = SimProviders::new(seed);
         let server = InfoServer::from_sims(sims.clone());
-        Self { dataset, fleet, sims, server }
+        Self { dataset, fleet, sims, server, detour_ch: OnceLock::new() }
     }
 
-    /// A query context over this world with `config`.
+    /// The shared CH index over this world's network, built on first use
+    /// with `threads` workers (thread-invariant, so the count only
+    /// affects build time).
+    #[must_use]
+    pub fn shared_detour_ch(&self, threads: usize) -> Arc<DetourCh> {
+        Arc::clone(
+            self.detour_ch
+                .get_or_init(|| Arc::new(DetourCh::build(&self.dataset.graph, threads.max(1)))),
+        )
+    }
+
+    /// A query context over this world with `config`. Contexts configured
+    /// for the CH backend adopt the environment's shared index instead of
+    /// each building their own.
     #[must_use]
     pub fn ctx(&self, config: EcoChargeConfig) -> QueryCtx<'_> {
-        QueryCtx::new(&self.dataset.graph, &self.fleet, &self.server, &self.sims, config)
+        let ctx = QueryCtx::new(&self.dataset.graph, &self.fleet, &self.server, &self.sims, config);
+        if config.detour_backend == DetourBackend::Ch {
+            ctx.adopt_detour_ch(self.shared_detour_ch(config.threads));
+        }
+        ctx
     }
 
     /// The trip slice for repetition `rep` of size `per_rep` (wraps around

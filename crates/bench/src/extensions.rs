@@ -46,7 +46,11 @@ pub fn run_regret(harness: &HarnessConfig) -> Vec<RegretRow> {
         .iter()
         .map(|&kind| {
             let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
-            let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                threads: harness.threads,
+                detour_backend: harness.detour_backend,
+                ..EcoChargeConfig::default()
+            };
             let ctx = env.ctx(config);
             let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
             let mut forecast_ref = Oracle::with_basis(Weights::awe(), ScoringBasis::Forecast);
@@ -100,6 +104,7 @@ pub fn run_cache(harness: &HarnessConfig) -> Vec<CacheRow> {
             let config = EcoChargeConfig {
                 range_km,
                 threads: harness.threads,
+                detour_backend: harness.detour_backend,
                 ..EcoChargeConfig::default()
             };
 
@@ -154,7 +159,11 @@ pub struct ModeRow {
 #[must_use]
 pub fn run_modes(harness: &HarnessConfig) -> (f64, Vec<ModeRow>) {
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
-    let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+    let config = EcoChargeConfig {
+        threads: harness.threads,
+        detour_backend: harness.detour_backend,
+        ..EcoChargeConfig::default()
+    };
     let ctx = env.ctx(config);
     let trips = env.trips_for_rep(0, harness.trips_per_rep);
     let mut oracle = Oracle::new(Weights::awe());
@@ -192,7 +201,11 @@ pub struct BalanceRow {
 #[must_use]
 pub fn run_balance(harness: &HarnessConfig, vehicles: usize) -> Vec<BalanceRow> {
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
-    let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+    let config = EcoChargeConfig {
+        threads: harness.threads,
+        detour_backend: harness.detour_backend,
+        ..EcoChargeConfig::default()
+    };
     let ctx = env.ctx(config);
     let trips = env.trips_for_rep(0, vehicles);
     let mut oracle = Oracle::new(Weights::awe());
@@ -284,12 +297,16 @@ pub fn run_throughput(
             // private to one worker).
             let seed = harness.seed;
             let scale = harness.scale;
+            let backend = harness.detour_backend;
             let env = Arc::new(ExperimentEnv::build(DatasetKind::Oldenburg, scale, seed));
             let (client, _bus) = ServiceBus::spawn_pool(workers, |_w| {
                 let env = Arc::clone(&env);
                 let mut method = EcoCharge::new();
                 move |(trip_idx, offset_m): (usize, f64)| {
-                    let ctx = env.ctx(EcoChargeConfig::default());
+                    let ctx = env.ctx(EcoChargeConfig {
+                        detour_backend: backend,
+                        ..EcoChargeConfig::default()
+                    });
                     let trip = &env.dataset.trips[trip_idx % env.dataset.trips.len()];
                     let now = trip.eta_at_offset(&env.dataset.graph, offset_m);
                     // Interleaved vehicles defeat the per-trip cache;
@@ -343,7 +360,11 @@ pub fn run_dayrun(harness: &HarnessConfig, vehicles: usize) -> Vec<fleetsim::Day
     let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
     let config = FleetSimConfig {
         schedule: ScheduleParams { vehicles, seed: harness.seed, ..Default::default() },
-        ecocharge: EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() },
+        ecocharge: EcoChargeConfig {
+            threads: harness.threads,
+            detour_backend: harness.detour_backend,
+            ..EcoChargeConfig::default()
+        },
         charger_count: 300,
         seed: harness.seed,
         ..Default::default()
@@ -363,7 +384,7 @@ mod tests {
             reps: 1,
             trips_per_rep: 2,
             seed: 7,
-            threads: 1,
+            ..HarnessConfig::default()
         }
     }
 

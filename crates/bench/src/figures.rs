@@ -2,8 +2,8 @@
 
 use crate::env::ExperimentEnv;
 use ecocharge_core::{
-    evaluate_method, BruteForce, EcoCharge, EcoChargeConfig, IndexQuadtree, Oracle, RandomPick,
-    RankingMethod, Weights,
+    evaluate_method, BruteForce, DetourBackend, EcoCharge, EcoChargeConfig, IndexQuadtree, Oracle,
+    RandomPick, RankingMethod, Weights,
 };
 use trajgen::{DatasetKind, DatasetScale};
 
@@ -26,11 +26,23 @@ pub struct HarnessConfig {
     /// Results are bit-identical at any value — see DESIGN.md, "Parallel
     /// execution model".
     pub threads: usize,
+    /// Detour search backend for every ranking in the run. Like
+    /// `threads`, a pure performance knob: the backends return
+    /// bit-identical Offering Tables (DESIGN.md §4f; `repro detour`
+    /// re-asserts it on every sweep).
+    pub detour_backend: DetourBackend,
 }
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        Self { scale: DatasetScale::bench(), reps: 3, trips_per_rep: 4, seed: 42, threads: 1 }
+        Self {
+            scale: DatasetScale::bench(),
+            reps: 3,
+            trips_per_rep: 4,
+            seed: 42,
+            threads: 1,
+            detour_backend: DetourBackend::Dijkstra,
+        }
     }
 }
 
@@ -116,6 +128,9 @@ where
                 &env.sims,
                 config,
             );
+            if config.detour_backend == DetourBackend::Ch {
+                ctx.adopt_detour_ch(env.shared_detour_ch(config.threads));
+            }
             let mut method = make_method(rep);
             let mut oracle = Oracle::new(oracle_weights);
             evaluate_method(&ctx, &trips, method.as_mut(), &mut oracle)
@@ -133,7 +148,11 @@ pub fn run_fig6(harness: &HarnessConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
-        let config = EcoChargeConfig { threads: harness.threads, ..EcoChargeConfig::default() };
+        let config = EcoChargeConfig {
+            threads: harness.threads,
+            detour_backend: harness.detour_backend,
+            ..EcoChargeConfig::default()
+        };
         let seed = harness.seed;
         rows.push(measure(
             &env,
@@ -181,6 +200,7 @@ pub fn run_fig7(harness: &HarnessConfig) -> Vec<Row> {
             let config = EcoChargeConfig {
                 radius_km,
                 threads: harness.threads,
+                detour_backend: harness.detour_backend,
                 ..EcoChargeConfig::default()
             };
             rows.push(measure(
@@ -207,6 +227,7 @@ pub fn run_fig8(harness: &HarnessConfig) -> Vec<Row> {
             let config = EcoChargeConfig {
                 range_km,
                 threads: harness.threads,
+                detour_backend: harness.detour_backend,
                 ..EcoChargeConfig::default()
             };
             rows.push(measure(
@@ -236,8 +257,12 @@ pub fn run_fig9(harness: &HarnessConfig) -> Vec<Row> {
     for kind in DatasetKind::ALL {
         let env = ExperimentEnv::build(kind, harness.scale, harness.seed);
         for (label, weights) in configs {
-            let config =
-                EcoChargeConfig { weights, threads: harness.threads, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                weights,
+                threads: harness.threads,
+                detour_backend: harness.detour_backend,
+                ..EcoChargeConfig::default()
+            };
             rows.push(measure(
                 &env,
                 config,
@@ -261,7 +286,7 @@ mod tests {
             reps: 1,
             trips_per_rep: 1,
             seed: 7,
-            threads: 1,
+            ..HarnessConfig::default()
         }
     }
 
@@ -289,7 +314,7 @@ mod tests {
             reps: 3,
             trips_per_rep: 2,
             seed: 7,
-            threads: 1,
+            ..HarnessConfig::default()
         };
         let par = HarnessConfig { threads: 4, ..seq };
         let a =

@@ -11,6 +11,7 @@
 //! the reproduction target. EXPERIMENTS.md records paper-vs-measured for
 //! every series.
 
+pub mod detour;
 pub mod env;
 pub mod extensions;
 pub mod figures;
@@ -18,6 +19,7 @@ pub mod scaling;
 pub mod table;
 pub mod validate;
 
+pub use detour::{run_detour, write_detour_json, DetourRow};
 pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};

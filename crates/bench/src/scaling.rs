@@ -48,7 +48,11 @@ pub fn run_scaling(harness: &HarnessConfig, thread_counts: &[usize]) -> Vec<Scal
         let mut baseline: Option<(f64, Vec<OfferingTable>)> = None;
         for &threads in thread_counts {
             let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
-            let config = EcoChargeConfig { threads, ..EcoChargeConfig::default() };
+            let config = EcoChargeConfig {
+                threads,
+                detour_backend: harness.detour_backend,
+                ..EcoChargeConfig::default()
+            };
             let ctx = env.ctx(config);
             let trips = env.trips_for_rep(0, harness.trips_per_rep * harness.reps);
             let mut method = method_for(method_name);
@@ -113,7 +117,7 @@ mod tests {
             reps: 1,
             trips_per_rep: 2,
             seed: 7,
-            threads: 1,
+            ..HarnessConfig::default()
         }
     }
 

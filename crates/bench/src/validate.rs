@@ -153,7 +153,7 @@ mod tests {
             reps: 1,
             trips_per_rep: 2,
             seed: 42,
-            threads: 1,
+            ..HarnessConfig::default()
         };
         let checks = run_validation(&harness);
         let failures: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();

@@ -142,15 +142,8 @@ impl RankingMethod for BalancedEcoCharge {
         // re-score availability under contention and cut to k. Asking the
         // inner method for more than k keeps genuine alternatives in view
         // when the top offers are contended.
-        let widened = QueryCtx {
-            graph: ctx.graph,
-            fleet: ctx.fleet,
-            server: ctx.server,
-            sims: ctx.sims,
-            norm: ctx.norm,
-            config: crate::context::EcoChargeConfig { k: ctx.config.k * 3, ..ctx.config },
-            engines: roadnet::SearchPool::new(),
-        };
+        let widened =
+            ctx.with_config(crate::context::EcoChargeConfig { k: ctx.config.k * 3, ..ctx.config });
         let mut table = self.inner.offering_table(&widened, trip, offset_m, now)?;
         for entry in &mut table.entries {
             let disc = self.discount(ctx, entry.charger);

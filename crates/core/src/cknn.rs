@@ -107,15 +107,7 @@ impl CknnQuery {
         trip: &Trip,
         method: &mut dyn RankingMethod,
     ) -> Result<Vec<(SegmentId, ec_types::ChargerId)>, EcError> {
-        let one = QueryCtx {
-            graph: ctx.graph,
-            fleet: ctx.fleet,
-            server: ctx.server,
-            sims: ctx.sims,
-            norm: ctx.norm,
-            config: crate::context::EcoChargeConfig { k: 1, ..ctx.config },
-            engines: roadnet::SearchPool::new(),
-        };
+        let one = ctx.with_config(crate::context::EcoChargeConfig { k: 1, ..ctx.config });
         method.reset_trip();
         let mut out = Vec::with_capacity(self.points.len());
         for sp in &self.points {

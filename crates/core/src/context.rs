@@ -9,8 +9,9 @@ use chargers::ChargerFleet;
 use ec_types::{EcError, Interval, SimTime};
 use eis::InfoServer;
 use eis::SimProviders;
-use roadnet::RoadGraph;
+use roadnet::{DetourBackend, DetourCh, RoadGraph};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 use trajgen::Trip;
 
 /// What the ranking does when a component's data source is exhausted —
@@ -115,6 +116,12 @@ pub struct EcoChargeConfig {
     /// bit-identical Offering Tables (see DESIGN.md, "Parallel execution
     /// model").
     pub threads: usize,
+    /// Which engine answers the derouting searches: batched Dijkstra
+    /// sweeps, or the precomputed Contraction-Hierarchy index. Either
+    /// backend produces bit-identical Offering Tables (see DESIGN.md §4f,
+    /// "Detour engine").
+    #[serde(default)]
+    pub detour_backend: DetourBackend,
 }
 
 impl Default for EcoChargeConfig {
@@ -130,6 +137,7 @@ impl Default for EcoChargeConfig {
             vehicle: None,
             degraded: DegradedPolicy::default(),
             threads: 1,
+            detour_backend: DetourBackend::default(),
         }
     }
 }
@@ -257,6 +265,9 @@ pub struct QueryCtx<'a> {
     pub config: EcoChargeConfig,
     /// Reusable per-worker search scratch for parallel execution.
     pub engines: roadnet::SearchPool,
+    /// Lazily built (or adopted) Contraction-Hierarchy detour index,
+    /// shared read-only across workers and derived contexts.
+    detour_ch: OnceLock<Arc<DetourCh>>,
 }
 
 impl<'a> QueryCtx<'a> {
@@ -270,7 +281,57 @@ impl<'a> QueryCtx<'a> {
         config: EcoChargeConfig,
     ) -> Self {
         let norm = NormEnv::derive(fleet, &config);
-        Self { graph, fleet, server, sims, norm, config, engines: roadnet::SearchPool::new() }
+        Self {
+            graph,
+            fleet,
+            server,
+            sims,
+            norm,
+            config,
+            engines: roadnet::SearchPool::new(),
+            detour_ch: OnceLock::new(),
+        }
+    }
+
+    /// A derived context sharing this one's environment (graph, fleet,
+    /// server, normalisation, CH index) under a different configuration.
+    /// Used by wrappers that re-rank with a widened `k`.
+    #[must_use]
+    pub fn with_config(&self, config: EcoChargeConfig) -> QueryCtx<'a> {
+        let detour_ch = OnceLock::new();
+        if let Some(ch) = self.detour_ch.get() {
+            let _ = detour_ch.set(Arc::clone(ch));
+        }
+        QueryCtx {
+            graph: self.graph,
+            fleet: self.fleet,
+            server: self.server,
+            sims: self.sims,
+            norm: self.norm,
+            config,
+            engines: roadnet::SearchPool::new(),
+            detour_ch,
+        }
+    }
+
+    /// The CH detour index for this context's graph, building it on
+    /// first use (once; later calls and derived contexts share it).
+    #[must_use]
+    pub fn detour_ch(&self) -> &Arc<DetourCh> {
+        self.detour_ch.get_or_init(|| Arc::new(DetourCh::build(self.graph, self.config.threads)))
+    }
+
+    /// Adopt an externally built CH index (e.g. one prebuilt per
+    /// experiment environment) instead of building on first use. A no-op
+    /// when this context already holds one.
+    pub fn adopt_detour_ch(&self, ch: Arc<DetourCh>) {
+        let _ = self.detour_ch.set(ch);
+    }
+
+    /// The CH index, if one has been built or adopted already.
+    #[must_use]
+    pub fn shared_detour_ch(&self) -> Option<Arc<DetourCh>> {
+        self.detour_ch.get().cloned()
     }
 }
 

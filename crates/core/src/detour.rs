@@ -1,0 +1,251 @@
+//! The detour (derouting) search layer: one entry point that the
+//! component computation, the baselines and the fleet simulator all call,
+//! dispatching on [`DetourBackend`].
+//!
+//! * [`DetourBackend::Dijkstra`] — the three batched settle-set sweeps
+//!   (forward time, forward energy, reverse energy) on the caller's
+//!   [`SearchEngine`], overlapped on pool engines when `threads > 1`;
+//! * [`DetourBackend::Ch`] — the same three queries answered by the
+//!   shared Contraction-Hierarchy index ([`QueryCtx::detour_ch`]), each
+//!   worker using the CH scratch embedded in its pooled engine.
+//!
+//! Both backends return **bit-identical** results (costs compared by bit
+//! pattern in the cross-backend tests): the CH queries unpack their paths
+//! to original edges and re-sum costs in the Dijkstra fold order, and
+//! both accumulate the per-road-class metre histograms in forward path
+//! order. The histograms feed [`dominant_class`], which picks the road
+//! class whose congestion profile scales the candidate's `D` component —
+//! replacing the old hardcoded `RoadClass::Primary`.
+
+use crate::context::QueryCtx;
+use ec_types::NodeId;
+use roadnet::{metric_cost, ChCost, CostMetric, DetourBackend, RoadClass, SearchEngine};
+
+/// Batched detour quantities for one `(at_node, rejoin_node, candidates)`
+/// query point, slot `i` belonging to `nodes[i]`. `None` slots are
+/// unreachable candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetourBatch {
+    /// Forward free-flow travel time, seconds (`None` when the batch was
+    /// requested without the time sweep — the Dynamic-Caching refresh
+    /// path keeps its cached ETAs).
+    pub secs: Option<Vec<Option<f64>>>,
+    /// Forward detour energy `at → candidate`, kWh.
+    pub kwh_fwd: Vec<Option<f64>>,
+    /// Return energy `candidate → rejoin`, kWh.
+    pub kwh_ret: Vec<Option<f64>>,
+    /// Dominant road class of each candidate's out-and-back detour
+    /// ([`RoadClass::Primary`] when the path is unavailable).
+    pub class: Vec<RoadClass>,
+}
+
+/// The road class carrying the most metres of the out-and-back detour
+/// (`None` when the histogram is empty). Ties keep the earlier
+/// [`RoadClass::tag`] index, so the choice is deterministic.
+#[must_use]
+pub fn dominant_class(hist: &[f64; 4]) -> Option<RoadClass> {
+    let mut best = 0usize;
+    for i in 1..hist.len() {
+        if hist[i] > hist[best] {
+            best = i;
+        }
+    }
+    (hist[best] > 0.0).then(|| RoadClass::from_tag(best as u8))
+}
+
+fn combine_class(
+    fwd: &[Option<(f64, [f64; 4])>],
+    ret: &[Option<(f64, [f64; 4])>],
+) -> Vec<RoadClass> {
+    fwd.iter()
+        .zip(ret)
+        .map(|(f, r)| match (f, r) {
+            (Some((_, hf)), Some((_, hr))) => {
+                let h: [f64; 4] = std::array::from_fn(|i| hf[i] + hr[i]);
+                dominant_class(&h).unwrap_or(RoadClass::Primary)
+            }
+            _ => RoadClass::Primary,
+        })
+        .collect()
+}
+
+fn ch_combine_class(fwd: &[Option<ChCost>], ret: &[Option<ChCost>]) -> Vec<RoadClass> {
+    fwd.iter()
+        .zip(ret)
+        .map(|(f, r)| match (f, r) {
+            (Some(f), Some(r)) => {
+                let h: [f64; 4] = std::array::from_fn(|i| f.class_len_m[i] + r.class_len_m[i]);
+                dominant_class(&h).unwrap_or(RoadClass::Primary)
+            }
+            _ => RoadClass::Primary,
+        })
+        .collect()
+}
+
+fn costs_of(batch: &[Option<ChCost>]) -> Vec<Option<f64>> {
+    batch.iter().map(|c| c.as_ref().map(|c| c.cost)).collect()
+}
+
+/// Run the detour searches for one query point on the configured backend.
+/// `with_time` additionally runs the forward time sweep (the full
+/// component computation needs ETAs; the derouting refresh does not).
+///
+/// Pure function of `(graph, at_node, rejoin_node, nodes)` — overlapping
+/// the searches on pool engines under `threads > 1` cannot change any
+/// value, and both backends agree bit-for-bit.
+#[must_use]
+pub fn detour_batch(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    nodes: &[NodeId],
+    with_time: bool,
+) -> DetourBatch {
+    let threads = ctx.config.threads;
+    match ctx.config.detour_backend {
+        DetourBackend::Dijkstra => {
+            let (secs, fwd, ret) = if threads > 1 {
+                if with_time {
+                    let (secs, fwd, ret) = ec_exec::join3(
+                        || {
+                            engine.one_to_many(
+                                ctx.graph,
+                                at_node,
+                                nodes,
+                                metric_cost(CostMetric::Time),
+                            )
+                        },
+                        || {
+                            ctx.engines.checkout().one_to_many_profiled(
+                                ctx.graph,
+                                at_node,
+                                nodes,
+                                metric_cost(CostMetric::Energy),
+                            )
+                        },
+                        || {
+                            ctx.engines.checkout().many_to_one_profiled(
+                                ctx.graph,
+                                rejoin_node,
+                                nodes,
+                                metric_cost(CostMetric::Energy),
+                            )
+                        },
+                    );
+                    (Some(secs), fwd, ret)
+                } else {
+                    let (fwd, ret) = ec_exec::join(
+                        || {
+                            engine.one_to_many_profiled(
+                                ctx.graph,
+                                at_node,
+                                nodes,
+                                metric_cost(CostMetric::Energy),
+                            )
+                        },
+                        || {
+                            ctx.engines.checkout().many_to_one_profiled(
+                                ctx.graph,
+                                rejoin_node,
+                                nodes,
+                                metric_cost(CostMetric::Energy),
+                            )
+                        },
+                    );
+                    (None, fwd, ret)
+                }
+            } else {
+                let secs = with_time.then(|| {
+                    engine.one_to_many(ctx.graph, at_node, nodes, metric_cost(CostMetric::Time))
+                });
+                let fwd = engine.one_to_many_profiled(
+                    ctx.graph,
+                    at_node,
+                    nodes,
+                    metric_cost(CostMetric::Energy),
+                );
+                let ret = engine.many_to_one_profiled(
+                    ctx.graph,
+                    rejoin_node,
+                    nodes,
+                    metric_cost(CostMetric::Energy),
+                );
+                (secs, fwd, ret)
+            };
+            DetourBatch {
+                secs,
+                class: combine_class(&fwd, &ret),
+                kwh_fwd: fwd.into_iter().map(|c| c.map(|(c, _)| c)).collect(),
+                kwh_ret: ret.into_iter().map(|c| c.map(|(c, _)| c)).collect(),
+            }
+        }
+        DetourBackend::Ch => {
+            let ch = ctx.detour_ch();
+            let (secs, fwd, ret) = if threads > 1 {
+                if with_time {
+                    let (secs, fwd, ret) = ec_exec::join3(
+                        || ch.time.one_to_many(ctx.graph, engine.ch_scratch(), at_node, nodes),
+                        || {
+                            ch.energy.one_to_many(
+                                ctx.graph,
+                                ctx.engines.checkout().ch_scratch(),
+                                at_node,
+                                nodes,
+                            )
+                        },
+                        || {
+                            ch.energy.many_to_one(
+                                ctx.graph,
+                                ctx.engines.checkout().ch_scratch(),
+                                rejoin_node,
+                                nodes,
+                            )
+                        },
+                    );
+                    (Some(secs), fwd, ret)
+                } else {
+                    let (fwd, ret) = ec_exec::join(
+                        || ch.energy.one_to_many(ctx.graph, engine.ch_scratch(), at_node, nodes),
+                        || {
+                            ch.energy.many_to_one(
+                                ctx.graph,
+                                ctx.engines.checkout().ch_scratch(),
+                                rejoin_node,
+                                nodes,
+                            )
+                        },
+                    );
+                    (None, fwd, ret)
+                }
+            } else {
+                let scratch = engine.ch_scratch();
+                let secs =
+                    with_time.then(|| ch.time.one_to_many(ctx.graph, scratch, at_node, nodes));
+                let fwd = ch.energy.one_to_many(ctx.graph, engine.ch_scratch(), at_node, nodes);
+                let ret = ch.energy.many_to_one(ctx.graph, engine.ch_scratch(), rejoin_node, nodes);
+                (secs, fwd, ret)
+            };
+            DetourBatch {
+                secs: secs.map(|s| costs_of(&s)),
+                class: ch_combine_class(&fwd, &ret),
+                kwh_fwd: costs_of(&fwd),
+                kwh_ret: costs_of(&ret),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_class_picks_strict_max_and_breaks_ties_low() {
+        assert_eq!(dominant_class(&[0.0, 0.0, 0.0, 0.0]), None);
+        assert_eq!(dominant_class(&[1.0, 5.0, 2.0, 0.0]), Some(RoadClass::from_tag(1)));
+        // Tie: the earlier tag wins.
+        assert_eq!(dominant_class(&[3.0, 3.0, 0.0, 0.0]), Some(RoadClass::from_tag(0)));
+        assert_eq!(dominant_class(&[0.0, 0.0, 0.0, 7.0]), Some(RoadClass::from_tag(3)));
+    }
+}

@@ -9,6 +9,9 @@
 //!   and the shared normalisation environment;
 //! * [`objectives`] — computing the `L`, `A`, `D` estimated components for
 //!   a candidate set (Algorithm 1, lines 4–10);
+//! * [`detour`] — the derouting search layer those components ride on,
+//!   dispatching between batched Dijkstra sweeps and the
+//!   Contraction-Hierarchy index (bit-identical backends, §4f);
 //! * [`offering`] — the Offering Table the driver sees;
 //! * [`cknn`] — the continuous query: trip segmentation, split list, and
 //!   per-segment ranking;
@@ -32,6 +35,7 @@ pub mod baselines;
 pub mod cache;
 pub mod cknn;
 pub mod context;
+pub mod detour;
 pub mod eval;
 pub mod monitor;
 pub mod objectives;
@@ -46,9 +50,11 @@ pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
 pub use cache::DynamicCache;
 pub use cknn::{CknnQuery, SplitPoint};
 pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
+pub use detour::{detour_batch, dominant_class, DetourBatch};
 pub use eval::{evaluate_method, EvalOutcome};
 pub use monitor::{MonitorEvent, TripMonitor};
 pub use offering::{OfferingEntry, OfferingTable};
 pub use oracle::{Oracle, ScoringBasis};
+pub use roadnet::DetourBackend;
 pub use score::{RawWeights, Weights};
 pub use vehicle::Vehicle;

@@ -14,20 +14,26 @@
 //!   by the traffic energy-factor interval and normalised by the
 //!   environment's maximum derouting energy (lines 9–10).
 //!
-//! Costs are batched: one forward time Dijkstra, one forward energy
-//! Dijkstra, one reverse energy Dijkstra — *independent of the candidate
+//! Costs are batched: one forward time search, one forward energy
+//! search, one reverse energy search — *independent of the candidate
 //! count* — where the Brute-Force baseline pays per-charger searches.
-//! Traffic is applied as a per-query-time interval factor for the
-//! representative urban arterial class (see DESIGN.md §3: per-edge live
-//! congestion is collapsed to a class-level factor, which preserves the
+//! The searches go through [`crate::detour::detour_batch`], which
+//! dispatches on the configured
+//! [`DetourBackend`](roadnet::DetourBackend) (batched Dijkstra sweeps or
+//! the Contraction-Hierarchy index — bit-identical either way). Traffic
+//! is applied as a per-query-time interval factor for the detour's
+//! *dominant road class* (the class carrying the most metres of the
+//! out-and-back path; see DESIGN.md §3: per-edge live congestion is
+//! collapsed to a class-level factor, which preserves the
 //! estimated-component structure the ranking consumes).
 
 use crate::context::QueryCtx;
+use crate::detour::detour_batch;
 use ec_types::{
     ChargerId, ComponentQuality, EcError, Interval, NodeId, Provenance, SimDuration, SimTime,
     SourcedInterval,
 };
-use roadnet::{metric_cost, CostMetric, RoadClass, SearchEngine};
+use roadnet::SearchEngine;
 
 /// The estimated components of one candidate charger at one query point.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,37 +93,13 @@ pub fn compute_components(
     let nodes: Vec<NodeId> = candidates.iter().map(|&c| ctx.fleet.get(c).node).collect();
     let threads = ctx.config.threads;
 
-    // Three batched searches (lines 4, 9–10). With parallel execution
-    // enabled, the two extra searches run on pool engines concurrently —
-    // each search is a pure function of (graph, nodes), so overlapping
-    // them cannot change any result.
-    let (secs_fwd, kwh_fwd, kwh_ret) = if threads > 1 {
-        ec_exec::join3(
-            || engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time)),
-            || {
-                ctx.engines.checkout().one_to_many(
-                    ctx.graph,
-                    at_node,
-                    &nodes,
-                    metric_cost(CostMetric::Energy),
-                )
-            },
-            || {
-                ctx.engines.checkout().many_to_one(
-                    ctx.graph,
-                    rejoin_node,
-                    &nodes,
-                    metric_cost(CostMetric::Energy),
-                )
-            },
-        )
-    } else {
-        (
-            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Time)),
-            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
-            engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy)),
-        )
-    };
+    // Three batched searches (lines 4, 9–10) on the configured detour
+    // backend; with parallel execution enabled the extra searches run on
+    // pool engines concurrently — each is a pure function of
+    // (graph, nodes), so overlapping them cannot change any result.
+    let det = detour_batch(ctx, engine, at_node, rejoin_node, &nodes, true);
+    let secs_fwd = det.secs.as_deref().expect("time sweep requested");
+    let (kwh_fwd, kwh_ret) = (&det.kwh_fwd, &det.kwh_ret);
 
     // Per-candidate evaluation: reads only this candidate's slots of the
     // batched search results plus the (internally synchronised) info
@@ -159,10 +141,11 @@ pub fn compute_components(
             policy.availability(),
         )?;
 
-        // D (lines 9–10): out-and-back energy under the traffic interval.
-        // Normalised below once the pool maximum is known.
+        // D (lines 9–10): out-and-back energy under the traffic interval
+        // of the detour's dominant road class. Normalised below once the
+        // pool maximum is known.
         let (factor, d_q) = component_or_fallback(
-            ctx.server.traffic_energy_forecast(RoadClass::Primary, now, eta),
+            ctx.server.traffic_energy_forecast(det.class[i], now, eta),
             policy.traffic(),
         )?;
         let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
@@ -268,33 +251,18 @@ pub fn refresh_derouting(
     let nodes: Vec<NodeId> = cached.iter().map(|c| ctx.fleet.get(c.charger).node).collect();
     let threads = ctx.config.threads;
 
-    // Two batched searches, overlapped on a pool engine when parallel
-    // execution is enabled (pure functions of (graph, nodes)).
-    let (kwh_fwd, kwh_ret) = if threads > 1 {
-        ec_exec::join(
-            || engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
-            || {
-                ctx.engines.checkout().many_to_one(
-                    ctx.graph,
-                    rejoin_node,
-                    &nodes,
-                    metric_cost(CostMetric::Energy),
-                )
-            },
-        )
-    } else {
-        (
-            engine.one_to_many(ctx.graph, at_node, &nodes, metric_cost(CostMetric::Energy)),
-            engine.many_to_one(ctx.graph, rejoin_node, &nodes, metric_cost(CostMetric::Energy)),
-        )
-    };
+    // Two batched energy searches on the configured detour backend,
+    // overlapped on a pool engine when parallel execution is enabled
+    // (pure functions of (graph, nodes)).
+    let det = detour_batch(ctx, engine, at_node, rejoin_node, &nodes, false);
+    let (kwh_fwd, kwh_ret) = (&det.kwh_fwd, &det.kwh_ret);
 
     let eval_one = |i: usize, comp: &Components| -> Result<Option<Components>, EcError> {
         let (Some(e_fwd), Some(e_ret)) = (kwh_fwd[i], kwh_ret[i]) else {
             return Ok(None);
         };
         let (factor, d_q) = component_or_fallback(
-            ctx.server.traffic_energy_forecast(RoadClass::Primary, now, comp.eta),
+            ctx.server.traffic_energy_forecast(det.class[i], now, comp.eta),
             ctx.config.degraded.traffic(),
         )?;
         let mut refreshed = comp.clone();
@@ -464,6 +432,105 @@ mod tests {
         let par =
             refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &base).unwrap();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn ch_backend_bit_identical_to_dijkstra() {
+        let mut f = Fixture::new();
+        let now = SimTime::at(0, DayOfWeek::Tue, 10, 0);
+        let candidates: Vec<ChargerId> = f.fleet.iter().map(|c| c.id).collect();
+        let later = now + SimDuration::from_mins(5);
+
+        let (base_comps, base_refresh) = {
+            let ctx = f.ctx();
+            let mut engine = SearchEngine::new();
+            let comps =
+                compute_components(&ctx, &mut engine, NodeId(0), NodeId(5), now, &candidates)
+                    .unwrap();
+            let refresh =
+                refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &comps)
+                    .unwrap();
+            (comps, refresh)
+        };
+        // CH backend, at several thread counts: every f64 field equal.
+        for threads in [1, 4] {
+            f.config.detour_backend = roadnet::DetourBackend::Ch;
+            f.config.threads = threads;
+            let ctx = f.ctx();
+            let mut engine = SearchEngine::new();
+            let comps =
+                compute_components(&ctx, &mut engine, NodeId(0), NodeId(5), now, &candidates)
+                    .unwrap();
+            assert_eq!(comps, base_comps, "ch threads={threads}");
+            let refresh =
+                refresh_derouting(&ctx, &mut engine, NodeId(30), NodeId(33), later, &comps)
+                    .unwrap();
+            assert_eq!(refresh, base_refresh, "ch refresh threads={threads}");
+        }
+    }
+
+    /// Satellite regression: a detour that is all motorway must be scaled
+    /// by the motorway congestion profile, not the old hardcoded
+    /// `Primary` one.
+    #[test]
+    fn motorway_heavy_detour_uses_motorway_profile() {
+        use ec_types::{GeoPoint, Kilowatts};
+        use roadnet::{GraphBuilder, RoadClass};
+
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let n0 = b.add_node(o);
+        let n1 = b.add_node(o.offset_m(3_000.0, 0.0));
+        let n2 = b.add_node(o.offset_m(6_000.0, 0.0));
+        for (a, z) in [(n0, n1), (n1, n0), (n1, n2), (n2, n1)] {
+            b.add_edge_with_len(a, z, 3_000.0, RoadClass::Motorway);
+        }
+        let graph = b.build();
+        let fleet = chargers::ChargerFleet::new(vec![chargers::Charger {
+            id: ChargerId::from_index(0),
+            loc: graph.point(n2),
+            node: n2,
+            kind: chargers::ChargerKind::Dc50,
+            panel: Kilowatts(30.0),
+            wind: Kilowatts(0.0),
+            archetype: ec_models::SiteArchetype::Highway,
+        }]);
+        let sims = SimProviders::new(9);
+        let server = InfoServer::from_sims(sims.clone());
+        let config = EcoChargeConfig::default();
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, config);
+        let mut engine = SearchEngine::new();
+        // Morning rush: the class profiles diverge most.
+        let now = SimTime::at(0, DayOfWeek::Tue, 8, 0);
+        let comps = compute_components(&ctx, &mut engine, n0, n0, now, &[ChargerId::from_index(0)])
+            .unwrap();
+        assert_eq!(comps.len(), 1);
+        let c = &comps[0];
+
+        let motorway =
+            ctx.server.traffic_energy_forecast(RoadClass::Motorway, now, c.eta).unwrap().value;
+        let primary =
+            ctx.server.traffic_energy_forecast(RoadClass::Primary, now, c.eta).unwrap().value;
+        assert_ne!(motorway, primary, "class profiles must differ at rush hour");
+
+        // Recover the raw out-and-back energy and check which profile
+        // scaled it: identical operation order makes the comparison exact.
+        let e_fwd = engine.one_to_many(
+            &graph,
+            n0,
+            &[n2],
+            roadnet::metric_cost(roadnet::CostMetric::Energy),
+        )[0]
+        .unwrap();
+        let e_ret = engine.many_to_one(
+            &graph,
+            n0,
+            &[n2],
+            roadnet::metric_cost(roadnet::CostMetric::Energy),
+        )[0]
+        .unwrap();
+        assert_eq!(c.detour_kwh, Interval::point(e_fwd + e_ret) * motorway);
+        assert_ne!(c.detour_kwh, Interval::point(e_fwd + e_ret) * primary);
     }
 
     #[test]

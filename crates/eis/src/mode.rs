@@ -11,6 +11,7 @@
 //! integration tests use it to show that all three modes return the same
 //! tables at different latency/byte budgets.
 
+use roadnet::DetourBackend;
 use serde::{Deserialize, Serialize};
 
 /// Where the EcoCharge computation runs.
@@ -42,6 +43,9 @@ impl Mode {
                 compute_scale: 1.3,
                 result_bytes: 0,
                 threads: 1,
+                // An in-vehicle deployment has neither the RAM headroom
+                // nor the startup budget for CH preprocessing.
+                detour_backend: DetourBackend::Dijkstra,
             },
             // The server already holds hot provider caches; the vehicle
             // pays one query round-trip and receives the finished table.
@@ -51,6 +55,9 @@ impl Mode {
                 compute_scale: 1.0,
                 result_bytes: 2_048,
                 threads: 1,
+                // The server amortises one CH build across every vehicle
+                // it serves — precomputation is the whole point of Mode 2.
+                detour_backend: DetourBackend::Ch,
             },
             // The phone fetches data like Mode 1 but over a faster link,
             // and talks to the head unit over a negligible local hop.
@@ -60,6 +67,7 @@ impl Mode {
                 compute_scale: 1.15,
                 result_bytes: 1_024,
                 threads: 1,
+                detour_backend: DetourBackend::Dijkstra,
             },
         }
     }
@@ -83,6 +91,11 @@ pub struct ModeCosts {
     /// the per-candidate fan-out is embarrassingly parallel, so real
     /// scaling tracks it closely until the candidate pool is exhausted.
     pub threads: usize,
+    /// Which detour engine this platform runs. Bit-identical either way
+    /// (the mode-equivalence tests rely on that); the choice trades CH
+    /// preprocessing memory/startup time for per-query speed.
+    #[serde(default)]
+    pub detour_backend: DetourBackend,
 }
 
 impl ModeCosts {
@@ -90,6 +103,12 @@ impl ModeCosts {
     #[must_use]
     pub const fn with_threads(self, threads: usize) -> Self {
         Self { threads, ..self }
+    }
+
+    /// This cost model with a different detour engine.
+    #[must_use]
+    pub const fn with_detour_backend(self, detour_backend: DetourBackend) -> Self {
+        Self { detour_backend, ..self }
     }
 
     /// End-to-end latency of one refresh given the pure ranking time
@@ -183,6 +202,19 @@ mod tests {
     #[test]
     fn all_modes_enumerable() {
         assert_eq!(Mode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn only_the_server_precomputes_hierarchies() {
+        // Modes 1 and 3 run on battery/phone hardware — they keep the
+        // zero-preprocessing backend. Mode 2 amortises the CH build.
+        assert_eq!(Mode::Embedded.costs().detour_backend, DetourBackend::Dijkstra);
+        assert_eq!(Mode::Server.costs().detour_backend, DetourBackend::Ch);
+        assert_eq!(Mode::Edge.costs().detour_backend, DetourBackend::Dijkstra);
+        // The override knob works and is const-friendly.
+        const EDGE_CH: ModeCosts = Mode::Edge.costs().with_detour_backend(DetourBackend::Ch);
+        assert_eq!(EDGE_CH.detour_backend, DetourBackend::Ch);
+        assert_eq!(EDGE_CH.query_rtt_ms, Mode::Edge.costs().query_rtt_ms);
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! Contraction-Hierarchy preprocessing (the detour engine's index).
+//!
+//! A [`ChIndex`] is built once per [`CostMetric`] and graph, then answers
+//! point-to-point and batched one-to-many / many-to-one queries by
+//! searching only *upward* in a node hierarchy — a few dozen settled
+//! nodes where plain Dijkstra settles most of the network.
+//!
+//! ## Determinism rules (see DESIGN.md §4f)
+//!
+//! The index must be a pure function of `(graph, metric, seed)` so every
+//! worker, thread count and run builds the same hierarchy:
+//!
+//! 1. **Ordering** is lazy edge-difference: a node's priority is
+//!    `shortcuts_added − incident_arcs + contracted_neighbours`. Ties are
+//!    broken by a seeded hash of the node id, then the node id itself —
+//!    a strict total order, so the contraction sequence is unique.
+//! 2. **Initial priorities** are computed in parallel with
+//!    [`ec_exec::parallel_map`] (one independent witness-search
+//!    simulation per node, results in pre-indexed slots); the contraction
+//!    loop itself is sequential, so the shortcut set never depends on the
+//!    thread count.
+//! 3. **Witness searches** are bounded (settle cap
+//!    [`WITNESS_SETTLE_LIMIT`]) local Dijkstras with a deterministic
+//!    heap order. A missed witness only *adds* a redundant shortcut —
+//!    never harms correctness, only index size.
+//! 4. **Parallel arcs** are deduplicated up front keeping the minimum
+//!    weight and, among equal weights, the smallest edge id — exactly the
+//!    arc plain Dijkstra's strict-`<` relaxation would choose as parent.
+//!
+//! Shortcut arcs remember their two child arcs, so every query can unpack
+//! its up-down path back to original edge ids and re-sum the cost in the
+//! same fold order as the Dijkstra engine — that is what makes the two
+//! backends **bit-identical**, not merely close (see `ch_query`).
+
+use crate::edge::CostMetric;
+use crate::graph::RoadGraph;
+use serde::{Deserialize, Serialize};
+use spatial_index::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which engine answers detour (derouting) queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetourBackend {
+    /// Batched plain Dijkstra sweeps (no preprocessing, lowest memory).
+    #[default]
+    Dijkstra,
+    /// Contraction-Hierarchy index (preprocessing once per graph, then
+    /// microsecond queries; results bit-identical to Dijkstra).
+    Ch,
+}
+
+impl DetourBackend {
+    /// Both backends, Dijkstra (the reference) first.
+    pub const ALL: [Self; 2] = [Self::Dijkstra, Self::Ch];
+
+    /// CLI/JSON label.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Dijkstra => "dijkstra",
+            Self::Ch => "ch",
+        }
+    }
+
+    /// Parse a CLI label (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "dijkstra" => Some(Self::Dijkstra),
+            "ch" => Some(Self::Ch),
+            _ => None,
+        }
+    }
+}
+
+/// Witness searches stop after settling this many nodes. A missed
+/// witness only inserts a redundant shortcut — correctness is never at
+/// stake — but redundant shortcuts compound: they densify the remaining
+/// graph, which makes later contractions insert even more, bloating the
+/// upward/downward search spaces every query then pays for. The budget
+/// is sized so city-scale grids (tens of thousands of nodes) keep a
+/// lean hierarchy; on the small evaluation networks the searches
+/// exhaust well before the cap anyway.
+pub const WITNESS_SETTLE_LIMIT: usize = 256;
+
+/// Default ordering tie-break seed (any constant works; fixed so every
+/// build of the same graph agrees).
+pub const DEFAULT_CH_SEED: u64 = 0xec0c_4a6e;
+
+const ORIGINAL: u32 = u32::MAX;
+pub(crate) const NO_ARC: u32 = u32::MAX;
+
+/// Globally unique index ids, used by the query scratch to key its
+/// bucket cache without risking pointer reuse (ABA).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// The arc arena: original arcs first, shortcuts appended during
+/// contraction. A shortcut stores its two child arc ids so paths unpack
+/// recursively down to original edge ids.
+#[derive(Debug, Default)]
+pub(crate) struct Arcs {
+    pub tail: Vec<u32>,
+    pub head: Vec<u32>,
+    pub weight: Vec<f64>,
+    /// First child arc, or [`ORIGINAL`] for an original arc.
+    pub child_a: Vec<u32>,
+    /// Second child arc, or the original edge id.
+    pub child_b: Vec<u32>,
+}
+
+impl Arcs {
+    fn push(&mut self, tail: u32, head: u32, weight: f64, child_a: u32, child_b: u32) -> u32 {
+        let id = u32::try_from(self.tail.len()).expect("arc count fits in u32");
+        self.tail.push(tail);
+        self.head.push(head);
+        self.weight.push(weight);
+        self.child_a.push(child_a);
+        self.child_b.push(child_b);
+        id
+    }
+
+    #[inline]
+    pub(crate) fn is_original(&self, arc: u32) -> bool {
+        self.child_a[arc as usize] == ORIGINAL
+    }
+
+    /// Append the original arcs under `arc` (pre-order, which is forward
+    /// path order) to `out`.
+    pub(crate) fn unpack_into(&self, arc: u32, out: &mut Vec<u32>, stack: &mut Vec<u32>) {
+        stack.clear();
+        stack.push(arc);
+        while let Some(a) = stack.pop() {
+            if self.is_original(a) {
+                out.push(a);
+            } else {
+                // Push right child first so the left pops (emits) first.
+                stack.push(self.child_b[a as usize]);
+                stack.push(self.child_a[a as usize]);
+            }
+        }
+    }
+
+    /// The original graph edge id behind an original arc.
+    #[inline]
+    pub(crate) fn edge_id(&self, arc: u32) -> usize {
+        debug_assert!(self.is_original(arc));
+        self.child_b[arc as usize] as usize
+    }
+}
+
+/// A contraction hierarchy over one `(graph, metric)` pair.
+#[derive(Debug)]
+pub struct ChIndex {
+    metric: CostMetric,
+    uid: u64,
+    /// Contraction order: `rank[v]` is unique, higher = contracted later.
+    rank: Vec<u32>,
+    pub(crate) arcs: Arcs,
+    /// Upward CSR by tail: arcs with `rank[tail] < rank[head]`.
+    up_off: Vec<u32>,
+    up_arc: Vec<u32>,
+    /// Downward-in CSR by head: arcs with `rank[head] < rank[tail]`,
+    /// traversed tail-ward by the backward search.
+    down_off: Vec<u32>,
+    down_arc: Vec<u32>,
+    shortcuts: usize,
+    /// Per-original-edge metric cost / class tag / length — the exact
+    /// `f64` values `RoadGraph::edge_cost`/`edge_class`/`edge_len_m`
+    /// return, cached flat so path re-summation skips the per-edge
+    /// division. Values and fold order are unchanged, so bit-identity
+    /// with the Dijkstra backend is unaffected.
+    pub(crate) orig_cost: Vec<f64>,
+    pub(crate) orig_class_tag: Vec<u8>,
+    pub(crate) orig_len_m: Vec<f64>,
+}
+
+/// One shortcut candidate produced by a contraction simulation.
+struct Shortcut {
+    from: u32,
+    to: u32,
+    weight: f64,
+    child_a: u32,
+    child_b: u32,
+}
+
+/// Reusable witness-search scratch (one per build worker).
+#[derive(Default)]
+struct Witness {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+}
+
+impl Witness {
+    fn dist_of(&self, v: u32) -> f64 {
+        if self.stamp[v as usize] == self.generation {
+            self.dist[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Bounded Dijkstra from `source` over the remaining (uncontracted)
+    /// graph, skipping `skip` — the node whose contraction is simulated.
+    fn search(
+        &mut self,
+        out: &[Vec<(u32, u32)>],
+        arcs: &Arcs,
+        contracted: &[bool],
+        source: u32,
+        skip: u32,
+        bound: f64,
+    ) {
+        let n = out.len();
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.stamp.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+        self.dist[source as usize] = 0.0;
+        self.stamp[source as usize] = self.generation;
+        self.heap.push(Reverse((OrdF64::new(0.0), source)));
+        let mut settles = WITNESS_SETTLE_LIMIT;
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let d = d.get();
+            if d > self.dist_of(v) {
+                continue;
+            }
+            if d > bound || settles == 0 {
+                break;
+            }
+            settles -= 1;
+            for &(u, arc) in &out[v as usize] {
+                if u == skip || contracted[u as usize] {
+                    continue;
+                }
+                let nd = d + arcs.weight[arc as usize];
+                if nd < self.dist_of(u) {
+                    self.dist[u as usize] = nd;
+                    self.stamp[u as usize] = self.generation;
+                    self.heap.push(Reverse((OrdF64::new(nd), u)));
+                }
+            }
+        }
+    }
+}
+
+/// Simulate contracting `v`: the shortcuts it would need and its lazy
+/// edge-difference priority.
+fn simulate(
+    out: &[Vec<(u32, u32)>],
+    inn: &[Vec<(u32, u32)>],
+    arcs: &Arcs,
+    contracted: &[bool],
+    deleted_neighbours: u32,
+    wit: &mut Witness,
+    v: u32,
+) -> (i64, Vec<Shortcut>) {
+    let ins: Vec<(u32, f64, u32)> = inn[v as usize]
+        .iter()
+        .filter(|&&(u, _)| u != v && !contracted[u as usize])
+        .map(|&(u, arc)| (u, arcs.weight[arc as usize], arc))
+        .collect();
+    let outs: Vec<(u32, f64, u32)> = out[v as usize]
+        .iter()
+        .filter(|&&(u, _)| u != v && !contracted[u as usize])
+        .map(|&(u, arc)| (u, arcs.weight[arc as usize], arc))
+        .collect();
+
+    let mut shortcuts = Vec::new();
+    for &(u, w1, arc_in) in &ins {
+        let mut bound = f64::NEG_INFINITY;
+        for &(x, w2, _) in &outs {
+            if x != u {
+                bound = bound.max(w1 + w2);
+            }
+        }
+        if bound == f64::NEG_INFINITY {
+            continue; // no targets besides u itself
+        }
+        wit.search(out, arcs, contracted, u, v, bound);
+        for &(x, w2, arc_out) in &outs {
+            if x == u {
+                continue;
+            }
+            let via = w1 + w2;
+            if wit.dist_of(x) <= via {
+                continue; // a witness path avoids v
+            }
+            shortcuts.push(Shortcut {
+                from: u,
+                to: x,
+                weight: via,
+                child_a: arc_in,
+                child_b: arc_out,
+            });
+        }
+    }
+    let priority =
+        shortcuts.len() as i64 - (ins.len() + outs.len()) as i64 + i64::from(deleted_neighbours);
+    (priority, shortcuts)
+}
+
+/// Insert a shortcut keeping at most one arc per `(from, to)` pair —
+/// the lighter one (matching Dijkstra's strict-`<` relaxation, which
+/// never switches to an equal-weight alternative).
+fn insert_shortcut(
+    out: &mut [Vec<(u32, u32)>],
+    inn: &mut [Vec<(u32, u32)>],
+    arcs: &mut Arcs,
+    s: &Shortcut,
+) {
+    if let Some(slot) = out[s.from as usize].iter().position(|&(h, _)| h == s.to) {
+        let existing = out[s.from as usize][slot].1;
+        if arcs.weight[existing as usize] <= s.weight {
+            return; // the existing arc is at least as good
+        }
+        let id = arcs.push(s.from, s.to, s.weight, s.child_a, s.child_b);
+        out[s.from as usize][slot].1 = id;
+        let back = inn[s.to as usize]
+            .iter()
+            .position(|&(_, a)| a == existing)
+            .expect("in-adjacency mirrors out-adjacency");
+        inn[s.to as usize][back].1 = id;
+    } else {
+        let id = arcs.push(s.from, s.to, s.weight, s.child_a, s.child_b);
+        out[s.from as usize].push((s.to, id));
+        inn[s.to as usize].push((s.from, id));
+    }
+}
+
+impl ChIndex {
+    /// Build the hierarchy for `(g, metric)` with the default seed.
+    /// `threads` parallelises the initial-priority pass only — the result
+    /// is bit-identical at any thread count.
+    #[must_use]
+    pub fn build(g: &RoadGraph, metric: CostMetric, threads: usize) -> Self {
+        Self::build_seeded(g, metric, threads, DEFAULT_CH_SEED)
+    }
+
+    /// [`Self::build`] with an explicit ordering tie-break seed.
+    #[must_use]
+    pub fn build_seeded(g: &RoadGraph, metric: CostMetric, threads: usize, seed: u64) -> Self {
+        let n = g.num_nodes();
+
+        // 1. Initial arcs, parallel edges deduplicated: keep the minimum
+        // weight, tie-broken by the smallest edge id (the arc Dijkstra's
+        // ascending-edge-id relaxation with strict `<` settles on).
+        let mut raw: Vec<(u32, u32, f64, u32)> = Vec::with_capacity(g.num_edges());
+        for v in 0..n {
+            for (e, u) in g.out_edges(ec_types::NodeId::from_index(v)) {
+                raw.push((
+                    v as u32,
+                    u.0,
+                    g.edge_cost(e, metric),
+                    u32::try_from(e).expect("edge id fits in u32"),
+                ));
+            }
+        }
+        raw.sort_by(|a, b| {
+            (a.0, a.1, OrdF64::new(a.2), a.3).cmp(&(b.0, b.1, OrdF64::new(b.2), b.3))
+        });
+        raw.dedup_by_key(|&mut (t, h, _, _)| (t, h));
+
+        let mut arcs = Arcs::default();
+        let mut out: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let mut inn: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &(t, h, w, e) in &raw {
+            let id = arcs.push(t, h, w, ORIGINAL, e);
+            out[t as usize].push((h, id));
+            inn[h as usize].push((t, id));
+        }
+
+        // 2. Seeded tie-breaks: a strict total order on nodes.
+        let tie: Vec<u64> = (0..n as u64).map(|v| ec_types::rng::mix(seed, v)).collect();
+
+        // 3. Initial priorities — one independent simulation per node,
+        // fanned out over `threads` workers with per-worker witness
+        // scratch. Pre-indexed result slots keep this bit-identical to
+        // the sequential pass.
+        let contracted = vec![false; n];
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let priorities: Vec<i64> = ec_exec::parallel_map(
+            threads.max(1),
+            &ids,
+            |_| Witness::default(),
+            |wit, _, &v| simulate(&out, &inn, &arcs, &contracted, 0, wit, v).0,
+        );
+        let mut contracted = contracted;
+
+        let mut heap: BinaryHeap<Reverse<(i64, u64, u32)>> =
+            (0..n as u32).map(|v| Reverse((priorities[v as usize], tie[v as usize], v))).collect();
+
+        // 4. Lazy contraction: re-simulate on pop; contract only while
+        // still no worse than the next candidate, else re-queue.
+        let mut rank = vec![0u32; n];
+        let mut deleted = vec![0u32; n];
+        let mut wit = Witness::default();
+        let mut next_rank = 0u32;
+        let mut shortcut_count = 0usize;
+        while let Some(Reverse((_, _, v))) = heap.pop() {
+            if contracted[v as usize] {
+                continue;
+            }
+            let (priority, shortcuts) =
+                simulate(&out, &inn, &arcs, &contracted, deleted[v as usize], &mut wit, v);
+            if let Some(&Reverse(top)) = heap.peek() {
+                if (priority, tie[v as usize], v) > top {
+                    heap.push(Reverse((priority, tie[v as usize], v)));
+                    continue;
+                }
+            }
+            for s in &shortcuts {
+                insert_shortcut(&mut out, &mut inn, &mut arcs, s);
+            }
+            shortcut_count += shortcuts.len();
+            contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            for &(u, _) in &out[v as usize] {
+                if !contracted[u as usize] {
+                    deleted[u as usize] += 1;
+                }
+            }
+            for &(u, _) in &inn[v as usize] {
+                if !contracted[u as usize] {
+                    deleted[u as usize] += 1;
+                }
+            }
+        }
+
+        // 5. Split the final adjacency into upward / downward CSR.
+        let mut up: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut down: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &(h, arc) in &out[v] {
+                if rank[v] < rank[h as usize] {
+                    up[v].push(arc);
+                } else {
+                    down[h as usize].push(arc);
+                }
+            }
+        }
+        let (up_off, up_arc) = to_csr(&up);
+        let (down_off, down_arc) = to_csr(&down);
+
+        let m = g.num_edges();
+        Self {
+            metric,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            rank,
+            arcs,
+            up_off,
+            up_arc,
+            down_off,
+            down_arc,
+            shortcuts: shortcut_count,
+            orig_cost: (0..m).map(|e| g.edge_cost(e, metric)).collect(),
+            orig_class_tag: (0..m).map(|e| g.edge_class(e).tag()).collect(),
+            orig_len_m: (0..m).map(|e| g.edge_len_m(e)).collect(),
+        }
+    }
+
+    /// The metric this index was built for.
+    #[must_use]
+    pub fn metric(&self) -> CostMetric {
+        self.metric
+    }
+
+    /// Globally unique id of this index (bucket-cache key).
+    #[must_use]
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Number of shortcut arcs inserted during preprocessing.
+    #[must_use]
+    pub fn num_shortcuts(&self) -> usize {
+        self.shortcuts
+    }
+
+    /// Number of nodes covered by the hierarchy.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Upward arcs out of `v` (forward search space).
+    #[inline]
+    pub(crate) fn up_arcs(&self, v: u32) -> &[u32] {
+        &self.up_arc[self.up_off[v as usize] as usize..self.up_off[v as usize + 1] as usize]
+    }
+
+    /// Downward arcs into `v` (backward search space, traversed
+    /// tail-ward).
+    #[inline]
+    pub(crate) fn down_arcs(&self, v: u32) -> &[u32] {
+        &self.down_arc[self.down_off[v as usize] as usize..self.down_off[v as usize + 1] as usize]
+    }
+}
+
+fn to_csr(adj: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = Vec::with_capacity(adj.len() + 1);
+    let mut flat = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+    off.push(0u32);
+    for list in adj {
+        flat.extend_from_slice(list);
+        off.push(u32::try_from(flat.len()).expect("arc count fits in u32"));
+    }
+    (off, flat)
+}
+
+/// The pair of hierarchies the detour computation needs: travel **time**
+/// (for ETA) and **energy** (for the out-and-back derouting cost). Built
+/// once per graph and shared read-only across workers.
+#[derive(Debug)]
+pub struct DetourCh {
+    /// Hierarchy under [`CostMetric::Time`].
+    pub time: ChIndex,
+    /// Hierarchy under [`CostMetric::Energy`].
+    pub energy: ChIndex,
+}
+
+impl DetourCh {
+    /// Build both hierarchies (sequentially; each parallelises its
+    /// initial-priority pass over `threads`).
+    #[must_use]
+    pub fn build(g: &RoadGraph, threads: usize) -> Self {
+        Self {
+            time: ChIndex::build(g, CostMetric::Time, threads),
+            energy: ChIndex::build(g, CostMetric::Energy, threads),
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! Contraction-Hierarchy queries: bidirectional point-to-point and
+//! bucket-based one-to-many / many-to-one over a [`ChIndex`].
+//!
+//! ## Bucket query sketch
+//!
+//! A one-to-many query `from → {t₁…tₘ}` runs one *backward upward*
+//! search per distinct target (relaxing [`ChIndex::down_arcs`]
+//! tail-ward), dropping `(target, dist, tree-entry)` items into a
+//! per-node **bucket**; then a single *forward upward* search from
+//! `from` scans the bucket at every settled node and keeps, per target,
+//! the best `d_fwd(v) + d_bwd(v)` meeting node. Many-to-one mirrors it
+//! (forward fills, one shared backward sweep).
+//!
+//! The CkNN-EC loop re-queries the *same* candidate set from a new
+//! segment node every segment, so [`ChScratch`] caches bucket fills
+//! keyed by `(index uid, direction, target list)` — a pure function of
+//! the index and the targets, hence safe to reuse and irrelevant to
+//! determinism. Steady state is therefore one ~O(hierarchy-height)
+//! upward sweep per query instead of a near-full-graph Dijkstra.
+//!
+//! ## Bit-identity with the Dijkstra backend
+//!
+//! The hierarchy search only *selects* the shortest path; the reported
+//! cost is re-summed over the unpacked original edges in exactly the
+//! fold order the [`SearchEngine`](crate::search::SearchEngine) uses:
+//! forward queries fold `from → target` edge order, reverse queries fold
+//! `target ← to` (reversed) order, and the road-class histogram always
+//! accumulates in forward path order. Floating-point addition is not
+//! associative, so re-summation — not the search's own accumulated
+//! distance — is what makes `Ch` bit-identical to `Dijkstra`.
+
+use crate::ch::{ChIndex, NO_ARC};
+use crate::graph::RoadGraph;
+use ec_types::NodeId;
+use spatial_index::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Cached bucket fills kept per scratch (per pooled worker). The CkNN
+/// loop alternates between at most a couple of candidate sets per
+/// metric, so a tiny cache captures effectively all refills.
+const BUCKET_CACHE_CAP: usize = 4;
+
+/// Cost of one unpacked shortest path: the re-summed metric cost plus
+/// the per-[`RoadClass`](crate::edge::RoadClass) metre histogram
+/// (indexed by `RoadClass::tag()`, forward path order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChCost {
+    /// Path cost under the index's metric, bit-identical to the
+    /// Dijkstra backend.
+    pub cost: f64,
+    /// Metres travelled per road class along the path.
+    pub class_len_m: [f64; 4],
+}
+
+/// One node of a shortest-path tree: the arc that reached this node and
+/// the entry of the node it was reached from.
+#[derive(Debug, Clone, Copy)]
+struct TreeNode {
+    arc: u32,
+    parent: u32,
+}
+
+/// One bucket item: a distinct target's backward (or forward) distance
+/// through this node, plus its tree entry for path unpacking.
+#[derive(Debug, Clone, Copy)]
+struct BucketItem {
+    target: u32,
+    dist: f64,
+    entry: u32,
+}
+
+/// Search direction over the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Relax [`ChIndex::up_arcs`] head-ward (source-side search).
+    Up,
+    /// Relax [`ChIndex::down_arcs`] tail-ward (target-side search).
+    Down,
+}
+
+/// A completed set of bucket fills for one `(index, direction, targets)`
+/// triple. Pure function of its key, so reusing it across queries cannot
+/// change any result.
+#[derive(Debug)]
+struct BucketFill {
+    uid: u64,
+    dir: Dir,
+    /// The target list exactly as passed by the caller (including
+    /// duplicates) — the cache key.
+    key: Vec<u32>,
+    /// Distinct targets in first-occurrence order.
+    uniq: Vec<u32>,
+    /// `key[i]`'s index into `uniq`.
+    remap: Vec<u32>,
+    /// Per-node bucket items as CSR (`bucket_off[v]..bucket_off[v+1]`
+    /// indexes `bucket_items`): the sweep's hot loop scans one flat
+    /// array instead of chasing a `Vec` per node.
+    bucket_off: Vec<u32>,
+    bucket_items: Vec<BucketItem>,
+    /// Tree-entry arena shared by all fills of this set.
+    entries: Vec<TreeNode>,
+}
+
+impl BucketFill {
+    /// The bucket items at node `v`.
+    #[inline]
+    fn bucket(&self, v: u32) -> &[BucketItem] {
+        &self.bucket_items
+            [self.bucket_off[v as usize] as usize..self.bucket_off[v as usize + 1] as usize]
+    }
+}
+
+/// Reusable per-worker CH query state. Embedded in every
+/// [`SearchEngine`](crate::search::SearchEngine), so a
+/// [`SearchPool`](crate::pool::SearchPool) checkout carries its own CH
+/// scratch — and its own warm bucket cache — with no extra allocation.
+#[derive(Debug, Default)]
+pub struct ChScratch {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    entry_of: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    entries: Vec<TreeNode>,
+    settled: usize,
+    cache: Vec<BucketFill>,
+    /// Unpack work buffers (arc stack, original-arc accumulator,
+    /// unpacked-edge accumulator).
+    stack: Vec<u32>,
+    arcs_buf: Vec<u32>,
+    edges_buf: Vec<u32>,
+}
+
+impl ChScratch {
+    /// Nodes settled by the most recent query on this scratch (bucket
+    /// fills included when they were not served from cache).
+    #[must_use]
+    pub fn last_settled(&self) -> usize {
+        self.settled
+    }
+
+    /// Drop all cached bucket fills (tests / memory pressure).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.stamp.resize(n, 0);
+            self.entry_of.resize(n, NO_ENTRY);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist_of(&self, v: u32) -> f64 {
+        if self.stamp[v as usize] == self.generation {
+            self.dist[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Full upward search from `source`, calling `visit(v, dist, entry)`
+    /// on every settled node. Tree entries go into `entries`.
+    fn upward_search<F>(
+        &mut self,
+        index: &ChIndex,
+        dir: Dir,
+        source: u32,
+        entries: &mut Vec<TreeNode>,
+        mut visit: F,
+    ) where
+        F: FnMut(u32, f64, u32),
+    {
+        self.begin(index.num_nodes());
+        let root = push_entry(entries, NO_ARC, NO_ENTRY);
+        self.dist[source as usize] = 0.0;
+        self.stamp[source as usize] = self.generation;
+        self.entry_of[source as usize] = root;
+        self.heap.push(Reverse((OrdF64::new(0.0), source)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let d = d.get();
+            if d > self.dist_of(v) {
+                continue;
+            }
+            self.settled += 1;
+            let ve = self.entry_of[v as usize];
+            visit(v, d, ve);
+            let arcs = match dir {
+                Dir::Up => index.up_arcs(v),
+                Dir::Down => index.down_arcs(v),
+            };
+            for &arc in arcs {
+                let u = match dir {
+                    Dir::Up => index.arcs.head[arc as usize],
+                    Dir::Down => index.arcs.tail[arc as usize],
+                };
+                let nd = d + index.arcs.weight[arc as usize];
+                if nd < self.dist_of(u) {
+                    self.dist[u as usize] = nd;
+                    self.stamp[u as usize] = self.generation;
+                    self.entry_of[u as usize] = push_entry(entries, arc, ve);
+                    self.heap.push(Reverse((OrdF64::new(nd), u)));
+                }
+            }
+        }
+    }
+
+    /// Get-or-build the bucket fill for `(index, dir, targets)`.
+    fn fill_index(&mut self, index: &ChIndex, dir: Dir, targets: &[NodeId]) -> usize {
+        if let Some(i) = self
+            .cache
+            .iter()
+            .position(|f| f.uid == index.uid() && f.dir == dir && key_matches(&f.key, targets))
+        {
+            return i;
+        }
+        let key: Vec<u32> = targets.iter().map(|t| t.0).collect();
+        let mut uniq: Vec<u32> = Vec::new();
+        let mut remap: Vec<u32> = Vec::with_capacity(key.len());
+        for &t in &key {
+            match uniq.iter().position(|&u| u == t) {
+                Some(i) => remap.push(i as u32),
+                None => {
+                    remap.push(uniq.len() as u32);
+                    uniq.push(t);
+                }
+            }
+        }
+        let mut fill = BucketFill {
+            uid: index.uid(),
+            dir,
+            key,
+            uniq,
+            remap,
+            bucket_off: Vec::new(),
+            bucket_items: Vec::new(),
+            entries: Vec::new(),
+        };
+        let mut buckets: Vec<Vec<BucketItem>> = vec![Vec::new(); index.num_nodes()];
+        for ti in 0..fill.uniq.len() {
+            let t = fill.uniq[ti];
+            let mut entries = std::mem::take(&mut fill.entries);
+            self.upward_search(index, dir, t, &mut entries, |v, d, entry| {
+                buckets[v as usize].push(BucketItem { target: ti as u32, dist: d, entry });
+            });
+            fill.entries = entries;
+        }
+        // Flatten to CSR for the sweep's scan.
+        fill.bucket_off.reserve(buckets.len() + 1);
+        fill.bucket_off.push(0);
+        fill.bucket_items.reserve(buckets.iter().map(Vec::len).sum());
+        for b in &buckets {
+            fill.bucket_items.extend_from_slice(b);
+            let len = u32::try_from(fill.bucket_items.len()).expect("bucket item count fits u32");
+            fill.bucket_off.push(len);
+        }
+        if self.cache.len() == BUCKET_CACHE_CAP {
+            self.cache.remove(0);
+        }
+        self.cache.push(fill);
+        self.cache.len() - 1
+    }
+}
+
+fn push_entry(entries: &mut Vec<TreeNode>, arc: u32, parent: u32) -> u32 {
+    let id = u32::try_from(entries.len()).expect("tree entry count fits in u32");
+    entries.push(TreeNode { arc, parent });
+    id
+}
+
+fn key_matches(key: &[u32], targets: &[NodeId]) -> bool {
+    key.len() == targets.len() && key.iter().zip(targets).all(|(&k, t)| k == t.0)
+}
+
+/// Per-target best meeting point found by the shared sweep.
+#[derive(Clone, Copy)]
+struct Meet {
+    total: f64,
+    sweep_entry: u32,
+    fill_entry: u32,
+}
+
+impl ChIndex {
+    /// Costs `from → t` for every `t` in `targets` (`None` when
+    /// unreachable), with per-class metre histograms. Bit-identical to
+    /// [`SearchEngine::one_to_many_profiled`](crate::search::SearchEngine::one_to_many_profiled)
+    /// whenever shortest paths are unique.
+    pub fn one_to_many(
+        &self,
+        g: &RoadGraph,
+        scratch: &mut ChScratch,
+        from: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<Option<ChCost>> {
+        self.batched(g, scratch, from, targets, Dir::Up)
+    }
+
+    /// Costs `s → to` for every `s` in `sources`, mirroring
+    /// [`SearchEngine::many_to_one_profiled`](crate::search::SearchEngine::many_to_one_profiled):
+    /// the cost folds the path's edges in *reverse* order (as the
+    /// reverse Dijkstra accumulates them), the histogram in forward
+    /// order.
+    pub fn many_to_one(
+        &self,
+        g: &RoadGraph,
+        scratch: &mut ChScratch,
+        to: NodeId,
+        sources: &[NodeId],
+    ) -> Vec<Option<ChCost>> {
+        self.batched(g, scratch, to, sources, Dir::Down)
+    }
+
+    fn batched(
+        &self,
+        g: &RoadGraph,
+        scratch: &mut ChScratch,
+        origin: NodeId,
+        targets: &[NodeId],
+        sweep_dir: Dir,
+    ) -> Vec<Option<ChCost>> {
+        debug_assert_eq!(g.num_nodes(), self.num_nodes(), "index built for a different graph");
+        scratch.settled = 0;
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        // Bucket fills search the opposite direction of the sweep.
+        let fill_dir = match sweep_dir {
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        };
+        let fi = scratch.fill_index(self, fill_dir, targets);
+        // Lift the fill out of the cache for the duration of the query
+        // (re-inserted at the back below — a free LRU touch).
+        let fill = scratch.cache.remove(fi);
+
+        let mut best: Vec<Meet> =
+            vec![
+                Meet { total: f64::INFINITY, sweep_entry: NO_ENTRY, fill_entry: NO_ENTRY };
+                fill.uniq.len()
+            ];
+        let mut sweep_entries = std::mem::take(&mut scratch.entries);
+        sweep_entries.clear();
+        scratch.upward_search(self, sweep_dir, origin.0, &mut sweep_entries, |v, d, ve| {
+            for item in fill.bucket(v) {
+                let total = d + item.dist;
+                let m = &mut best[item.target as usize];
+                if total < m.total {
+                    *m = Meet { total, sweep_entry: ve, fill_entry: item.entry };
+                }
+            }
+        });
+        scratch.entries = sweep_entries;
+
+        // Reconstruct each distinct target's path and re-sum its cost in
+        // the Dijkstra backend's fold order.
+        let mut per_uniq: Vec<Option<ChCost>> = Vec::with_capacity(fill.uniq.len());
+        for m in &best {
+            if !m.total.is_finite() {
+                per_uniq.push(None);
+                continue;
+            }
+            let mut arcs_buf = std::mem::take(&mut scratch.arcs_buf);
+            let mut stack = std::mem::take(&mut scratch.stack);
+            let mut edges = std::mem::take(&mut scratch.edges_buf);
+            arcs_buf.clear();
+            edges.clear();
+            // Sweep chain: walking the tree entries from the meeting node
+            // yields the arcs in reverse path order for a forward sweep
+            // (origin→meeting, collected meeting-first) but already in
+            // forward order for a backward sweep (each backward entry
+            // stores the forward arc *leaving* its node).
+            let mut e = m.sweep_entry;
+            while e != NO_ENTRY {
+                let node = scratch.entries[e as usize];
+                if node.arc != NO_ARC {
+                    arcs_buf.push(node.arc);
+                }
+                e = node.parent;
+            }
+            if sweep_dir == Dir::Up {
+                arcs_buf.reverse();
+            }
+            let sweep_arcs = arcs_buf.len();
+            // Fill chain: for a backward fill the walk yields forward
+            // order (meeting→target) as-is; a forward fill's chain is
+            // reversed and flipped below.
+            let mut e = m.fill_entry;
+            while e != NO_ENTRY {
+                let node = fill.entries[e as usize];
+                if node.arc != NO_ARC {
+                    arcs_buf.push(node.arc);
+                }
+                e = node.parent;
+            }
+            // Forward path order origin→target: for an upward sweep the
+            // sweep chain leads and the fill chain (target side) trails;
+            // for a downward sweep (many-to-one) the *fill* chain is the
+            // source side, so it leads — and it is the reversed one.
+            match sweep_dir {
+                Dir::Up => {
+                    for &arc in &arcs_buf[..sweep_arcs] {
+                        self.unpack_edges(arc, &mut edges, &mut stack);
+                    }
+                    for &arc in &arcs_buf[sweep_arcs..] {
+                        self.unpack_edges(arc, &mut edges, &mut stack);
+                    }
+                }
+                Dir::Down => {
+                    // Fill chain runs meeting→source; flip it to get
+                    // source→meeting, then append the sweep chain
+                    // (meeting→to) as-is.
+                    arcs_buf[sweep_arcs..].reverse();
+                    for &arc in &arcs_buf[sweep_arcs..] {
+                        self.unpack_edges(arc, &mut edges, &mut stack);
+                    }
+                    for &arc in &arcs_buf[..sweep_arcs] {
+                        self.unpack_edges(arc, &mut edges, &mut stack);
+                    }
+                }
+            }
+            // `edges` is now the full path in forward order. Cost folds
+            // forward for one-to-many, reverse for many-to-one (matching
+            // each Dijkstra direction's accumulation); the histogram is
+            // always forward. The folds read the index's cached per-edge
+            // tables — the same `f64`s `RoadGraph` computes, minus the
+            // per-edge division.
+            let mut cost = 0.0f64;
+            match sweep_dir {
+                Dir::Up => {
+                    for &e in &edges {
+                        cost += self.orig_cost[e as usize];
+                    }
+                }
+                Dir::Down => {
+                    for &e in edges.iter().rev() {
+                        cost += self.orig_cost[e as usize];
+                    }
+                }
+            }
+            let mut hist = [0.0f64; 4];
+            for &e in &edges {
+                hist[self.orig_class_tag[e as usize] as usize] += self.orig_len_m[e as usize];
+            }
+            per_uniq.push(Some(ChCost { cost, class_len_m: hist }));
+            scratch.arcs_buf = arcs_buf;
+            scratch.stack = stack;
+            scratch.edges_buf = edges;
+        }
+
+        let out = fill.remap.iter().map(|&u| per_uniq[u as usize]).collect();
+        scratch.cache.push(fill);
+        out
+    }
+
+    /// Exact point-to-point query: full forward and backward upward
+    /// searches meeting in the middle, path unpacked to original edges,
+    /// cost re-summed in forward order — bit-identical to
+    /// [`SearchEngine::one_to_one`](crate::search::SearchEngine::one_to_one)
+    /// whenever the shortest path is unique.
+    pub fn one_to_one(
+        &self,
+        g: &RoadGraph,
+        scratch: &mut ChScratch,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<(f64, Vec<NodeId>)> {
+        debug_assert_eq!(g.num_nodes(), self.num_nodes(), "index built for a different graph");
+        scratch.settled = 0;
+        let n = self.num_nodes();
+        // Backward upward search from `to`, recorded as a dense map.
+        let mut bwd_dist = vec![f64::INFINITY; n];
+        let mut bwd_entry = vec![NO_ENTRY; n];
+        let mut bwd_entries: Vec<TreeNode> = Vec::new();
+        scratch.upward_search(self, Dir::Down, to.0, &mut bwd_entries, |v, d, e| {
+            bwd_dist[v as usize] = d;
+            bwd_entry[v as usize] = e;
+        });
+        // Forward upward search from `from`, scanning the backward map.
+        let mut best = Meet { total: f64::INFINITY, sweep_entry: NO_ENTRY, fill_entry: NO_ENTRY };
+        let mut fwd_entries = std::mem::take(&mut scratch.entries);
+        fwd_entries.clear();
+        scratch.upward_search(self, Dir::Up, from.0, &mut fwd_entries, |v, d, e| {
+            let total = d + bwd_dist[v as usize];
+            if total < best.total {
+                best = Meet { total, sweep_entry: e, fill_entry: bwd_entry[v as usize] };
+            }
+        });
+        scratch.entries = fwd_entries;
+        if !best.total.is_finite() {
+            return None;
+        }
+        // Forward chain (reversed) then backward chain (already
+        // meeting→to order).
+        let mut arcs_buf = std::mem::take(&mut scratch.arcs_buf);
+        let mut stack = std::mem::take(&mut scratch.stack);
+        arcs_buf.clear();
+        let mut e = best.sweep_entry;
+        while e != NO_ENTRY {
+            let node = scratch.entries[e as usize];
+            if node.arc != NO_ARC {
+                arcs_buf.push(node.arc);
+            }
+            e = node.parent;
+        }
+        arcs_buf.reverse();
+        let mut e = best.fill_entry;
+        while e != NO_ENTRY {
+            let node = bwd_entries[e as usize];
+            if node.arc != NO_ARC {
+                arcs_buf.push(node.arc);
+            }
+            e = node.parent;
+        }
+        let mut orig_arcs: Vec<u32> = Vec::new();
+        for &arc in &arcs_buf {
+            // Keep original *arc* ids here (not edge ids): the arc arena
+            // carries tail/head, which the node path needs below.
+            self.unpack_arcs(arc, &mut orig_arcs, &mut stack);
+        }
+        let mut cost = 0.0f64;
+        let mut path = vec![from];
+        for &arc in &orig_arcs {
+            cost += self.orig_cost[self.arcs.edge_id(arc)];
+            path.push(NodeId(self.arcs.head[arc as usize]));
+        }
+        scratch.arcs_buf = arcs_buf;
+        scratch.stack = stack;
+        Some((cost, path))
+    }
+
+    /// Unpack `arc` to original **edge ids** (forward order).
+    fn unpack_edges(&self, arc: u32, out: &mut Vec<u32>, stack: &mut Vec<u32>) {
+        let at = out.len();
+        self.arcs.unpack_into(arc, out, stack);
+        for e in &mut out[at..] {
+            *e = u32::try_from(self.arcs.edge_id(*e)).expect("edge id fits in u32");
+        }
+    }
+
+    /// Unpack `arc` to original **arc ids** (forward order).
+    fn unpack_arcs(&self, arc: u32, out: &mut Vec<u32>, stack: &mut Vec<u32>) {
+        self.arcs.unpack_into(arc, out, stack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{CostMetric, RoadClass};
+    use crate::generate::{urban_grid, UrbanGridParams};
+    use crate::graph::GraphBuilder;
+    use crate::search::{metric_cost, SearchEngine};
+    use ec_types::GeoPoint;
+
+    fn grid(seed: u64) -> crate::graph::RoadGraph {
+        urban_grid(&UrbanGridParams { cols: 9, rows: 9, seed, ..UrbanGridParams::default() })
+    }
+
+    /// Grid with a one-way appendix: node `sink` only has an outgoing
+    /// edge, so it is unreachable forward and reaches everything reverse.
+    fn graph_with_unreachable() -> (crate::graph::RoadGraph, NodeId) {
+        let mut b = GraphBuilder::new();
+        let o = GeoPoint::new(8.0, 53.0);
+        let v: Vec<_> = (0..4).map(|i| b.add_node(o.offset_m(f64::from(i) * 900.0, 0.0))).collect();
+        for w in v.windows(2) {
+            b.add_edge_with_len(w[0], w[1], 1_000.0, RoadClass::Secondary);
+            b.add_edge_with_len(w[1], w[0], 1_000.0, RoadClass::Secondary);
+        }
+        let sink = b.add_node(o.offset_m(0.0, 900.0));
+        b.add_edge_with_len(sink, v[0], 700.0, RoadClass::Residential);
+        (b.build(), sink)
+    }
+
+    #[test]
+    fn build_is_thread_invariant() {
+        let g = grid(11);
+        let a = ChIndex::build(&g, CostMetric::Energy, 1);
+        let b = ChIndex::build(&g, CostMetric::Energy, 4);
+        assert_eq!(a.num_shortcuts(), b.num_shortcuts());
+        let targets: Vec<NodeId> = (0..g.num_nodes() as u32).step_by(5).map(NodeId).collect();
+        let mut s1 = ChScratch::default();
+        let mut s2 = ChScratch::default();
+        let from = NodeId(1);
+        let ra = a.one_to_many(&g, &mut s1, from, &targets);
+        let rb = b.one_to_many(&g, &mut s2, from, &targets);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.map(|c| c.cost.to_bits()), y.map(|c| c.cost.to_bits()));
+        }
+    }
+
+    #[test]
+    fn unreachable_and_duplicate_targets() {
+        let (g, sink) = graph_with_unreachable();
+        let ch = ChIndex::build(&g, CostMetric::Distance, 1);
+        let mut scratch = ChScratch::default();
+        let from = NodeId(0);
+        // sink is unreachable forward; 0 appears twice; 0 is the origin.
+        let targets = [sink, NodeId(2), NodeId(0), NodeId(2), NodeId(0)];
+        let got = ch.one_to_many(&g, &mut scratch, from, &targets);
+        assert!(got[0].is_none(), "sink must be unreachable forward");
+        assert_eq!(got[1].map(|c| c.cost.to_bits()), got[3].map(|c| c.cost.to_bits()));
+        assert_eq!(got[2].unwrap().cost, 0.0);
+        assert_eq!(got[4].unwrap().cost, 0.0);
+        // Reverse: sink *can* reach node 2.
+        let got = ch.many_to_one(&g, &mut scratch, NodeId(2), &targets);
+        assert!(got[0].is_some(), "sink reaches the chain in reverse");
+        let mut e = SearchEngine::new();
+        let dij = e.many_to_one(&g, NodeId(2), &targets, metric_cost(CostMetric::Distance));
+        for (d, c) in dij.iter().zip(&got) {
+            assert_eq!(d.map(f64::to_bits), c.map(|c| c.cost.to_bits()));
+        }
+    }
+
+    #[test]
+    fn empty_target_list_is_empty() {
+        let g = grid(3);
+        let ch = ChIndex::build(&g, CostMetric::Time, 1);
+        let mut scratch = ChScratch::default();
+        assert!(ch.one_to_many(&g, &mut scratch, NodeId(0), &[]).is_empty());
+        assert!(ch.many_to_one(&g, &mut scratch, NodeId(0), &[]).is_empty());
+    }
+
+    #[test]
+    fn bucket_cache_reuse_is_result_invariant() {
+        let g = grid(7);
+        let ch = ChIndex::build(&g, CostMetric::Time, 1);
+        let targets: Vec<NodeId> = (0..g.num_nodes() as u32).step_by(7).map(NodeId).collect();
+        let mut warm = ChScratch::default();
+        // Warm the cache, then query from several origins; a cold scratch
+        // must agree bit-for-bit every time.
+        let _ = ch.one_to_many(&g, &mut warm, NodeId(0), &targets);
+        let warm_fill_settles = warm.last_settled();
+        for origin in [NodeId(3), NodeId(40), NodeId(77)] {
+            let cached = ch.one_to_many(&g, &mut warm, origin, &targets);
+            assert!(
+                warm.last_settled() < warm_fill_settles,
+                "cached query should skip the bucket fills"
+            );
+            let mut cold = ChScratch::default();
+            let fresh = ch.one_to_many(&g, &mut cold, origin, &targets);
+            for (a, b) in cached.iter().zip(&fresh) {
+                assert_eq!(a.map(|c| c.cost.to_bits()), b.map(|c| c.cost.to_bits()));
+                assert_eq!(a.map(|c| c.class_len_m), b.map(|c| c.class_len_m));
+            }
+        }
+        // Rotating through >CAP distinct sets must still be correct.
+        for k in 0..(BUCKET_CACHE_CAP + 2) {
+            let subset: Vec<NodeId> = targets.iter().skip(k).copied().collect();
+            let got = ch.one_to_many(&g, &mut warm, NodeId(5), &subset);
+            let mut e = SearchEngine::new();
+            let dij = e.one_to_many(&g, NodeId(5), &subset, metric_cost(CostMetric::Time));
+            for (d, c) in dij.iter().zip(&got) {
+                assert_eq!(d.map(f64::to_bits), c.map(|c| c.cost.to_bits()));
+            }
+        }
+    }
+}

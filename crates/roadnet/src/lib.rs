@@ -20,6 +20,8 @@
 //!   ingest the real evaluation networks when a copy is available.
 
 pub mod bidirectional;
+pub mod ch;
+pub mod ch_query;
 pub mod edge;
 pub mod generate;
 pub mod graph;
@@ -29,6 +31,8 @@ pub mod pool;
 pub mod search;
 
 pub use bidirectional::BidiEngine;
+pub use ch::{ChIndex, DetourBackend, DetourCh};
+pub use ch_query::{ChCost, ChScratch};
 pub use edge::{CostMetric, RoadClass, DRIVING_CO2_G_PER_KWH};
 pub use generate::{
     metro_regions, ring_radial, urban_grid, MetroRegionsParams, RingRadialParams, UrbanGridParams,

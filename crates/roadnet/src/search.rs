@@ -11,15 +11,28 @@
 //! Variants:
 //! * [`SearchEngine::one_to_one`] — early-exit Dijkstra with path
 //!   extraction;
+//! * [`SearchEngine::point_to_point`] — bidirectional Dijkstra (wraps an
+//!   embedded [`BidiEngine`]), the default exact point-to-point path when
+//!   no admissible heuristic applies;
 //! * [`SearchEngine::astar`] — A* with an admissible straight-line
 //!   heuristic, for long point-to-point routes;
 //! * [`SearchEngine::one_to_many`] — settle a target set (vehicle →
 //!   candidate chargers);
 //! * [`SearchEngine::many_to_one`] — reverse search (candidate chargers →
 //!   rejoin node), one pass instead of one per charger;
+//! * [`SearchEngine::one_to_many_profiled`] /
+//!   [`many_to_one_profiled`](SearchEngine::many_to_one_profiled) — the
+//!   same sweeps, additionally reporting the per-road-class metre
+//!   histogram of each shortest path (the derouting traffic model picks
+//!   its congestion class from it);
 //! * [`SearchEngine::bounded_from`] / [`bounded_to`](SearchEngine::bounded_to)
 //!   — all nodes within a cost budget, the filtering-phase primitive.
+//!
+//! The engine also embeds the per-worker Contraction-Hierarchy scratch
+//! ([`ChScratch`](crate::ch_query::ChScratch)), so a pooled engine serves
+//! either detour backend without extra allocation.
 
+use crate::bidirectional::BidiEngine;
 use crate::edge::CostMetric;
 use crate::graph::RoadGraph;
 use ec_types::NodeId;
@@ -28,15 +41,26 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 const NO_PARENT: u32 = u32::MAX;
+const NO_EDGE: u32 = u32::MAX;
 
 /// Reusable Dijkstra/A* state.
 #[derive(Debug, Default)]
 pub struct SearchEngine {
     dist: Vec<f64>,
     parent: Vec<u32>,
+    /// Edge id through which each node was last relaxed (for path
+    /// profiling without re-resolving node pairs to edges).
+    parent_edge: Vec<u32>,
     stamp: Vec<u32>,
+    /// Stamp marking the *wanted* nodes of the current `settle_set` call;
+    /// replaces the per-call `HashSet` the multi-target sweep used to
+    /// allocate.
+    want: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    settled: usize,
+    bidi: BidiEngine,
+    ch: crate::ch_query::ChScratch,
 }
 
 impl SearchEngine {
@@ -46,19 +70,36 @@ impl SearchEngine {
         Self::default()
     }
 
+    /// Nodes settled (popped with a final distance) by the most recent
+    /// search on this engine. A cheap effort proxy for the benches.
+    #[must_use]
+    pub fn last_settled(&self) -> usize {
+        self.settled
+    }
+
+    /// The engine's Contraction-Hierarchy query scratch. Living inside
+    /// the engine means every [`SearchPool`](crate::pool::SearchPool)
+    /// worker gets per-worker CH state for free.
+    pub fn ch_scratch(&mut self) -> &mut crate::ch_query::ChScratch {
+        &mut self.ch
+    }
+
     fn begin(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, f64::INFINITY);
             self.parent.resize(n, NO_PARENT);
+            self.parent_edge.resize(n, NO_EDGE);
             self.stamp.resize(n, 0);
         }
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             // Stamp wrap: invalidate everything once per 2^32 searches.
             self.stamp.fill(0);
+            self.want.fill(0);
             self.generation = 1;
         }
         self.heap.clear();
+        self.settled = 0;
     }
 
     #[inline]
@@ -67,9 +108,10 @@ impl SearchEngine {
     }
 
     #[inline]
-    fn set(&mut self, v: usize, d: f64, parent: u32) {
+    fn set(&mut self, v: usize, d: f64, parent: u32, via_edge: u32) {
         self.dist[v] = d;
         self.parent[v] = parent;
+        self.parent_edge[v] = via_edge;
         self.stamp[v] = self.generation;
     }
 
@@ -97,7 +139,7 @@ impl SearchEngine {
         F: Fn(&RoadGraph, usize) -> f64,
     {
         self.begin(g.num_nodes());
-        self.set(from.index(), 0.0, NO_PARENT);
+        self.set(from.index(), 0.0, NO_PARENT, NO_EDGE);
         self.heap.push(Reverse((OrdF64::new(0.0), from.0)));
         while let Some(Reverse((d, v))) = self.heap.pop() {
             let d = d.get();
@@ -105,6 +147,7 @@ impl SearchEngine {
             if d > self.dist_of(vi) {
                 continue;
             }
+            self.settled += 1;
             if v == to.0 {
                 return Some((d, self.extract_path(from, to)));
             }
@@ -113,12 +156,31 @@ impl SearchEngine {
                 debug_assert!(w >= 0.0, "negative edge cost");
                 let nd = d + w;
                 if nd < self.dist_of(u.index()) {
-                    self.set(u.index(), nd, v);
+                    self.set(u.index(), nd, v, u32::try_from(e).unwrap_or(NO_EDGE));
                     self.heap.push(Reverse((OrdF64::new(nd), u.0)));
                 }
             }
         }
         None
+    }
+
+    /// Exact point-to-point query via the embedded bidirectional engine —
+    /// the default when no admissible heuristic applies (use
+    /// [`Self::astar`] when a [`CostMetric`] lower bound is available).
+    /// Expands roughly half the nodes of [`Self::one_to_one`] on grid
+    /// networks; the cost can differ from the unidirectional engine in
+    /// the last ulp because the two frontiers' sums meet in the middle.
+    pub fn point_to_point<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        cost: F,
+    ) -> Option<(f64, Vec<NodeId>)>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        self.bidi.one_to_one(g, from, to, cost)
     }
 
     /// A* `from → to` under a [`CostMetric`], using the straight-line
@@ -145,7 +207,7 @@ impl SearchEngine {
         let h = |p: ec_types::GeoPoint| p.fast_dist_m(&goal) * per_m * 0.995;
 
         self.begin(g.num_nodes());
-        self.set(from.index(), 0.0, NO_PARENT);
+        self.set(from.index(), 0.0, NO_PARENT, NO_EDGE);
         self.heap.push(Reverse((OrdF64::new(h(g.point(from))), from.0)));
         while let Some(Reverse((f, v))) = self.heap.pop() {
             let vi = v as usize;
@@ -156,13 +218,14 @@ impl SearchEngine {
             if f.get() - h(g.point(NodeId(v))) > d + 1e-9 {
                 continue; // stale heap entry
             }
+            self.settled += 1;
             if v == to.0 {
                 return Some((d, self.extract_path(from, to)));
             }
             for (e, u) in g.out_edges(NodeId(v)) {
                 let nd = d + g.edge_cost(e, metric);
                 if nd < self.dist_of(u.index()) {
-                    self.set(u.index(), nd, v);
+                    self.set(u.index(), nd, v, u32::try_from(e).unwrap_or(NO_EDGE));
                     self.heap.push(Reverse((OrdF64::new(nd + h(g.point(u))), u.0)));
                 }
             }
@@ -200,6 +263,84 @@ impl SearchEngine {
         self.settle_set(g, to, sources, cost, Direction::Reverse)
     }
 
+    /// [`Self::one_to_many`] plus, per reachable target, the shortest
+    /// path's per-[`RoadClass`](crate::edge::RoadClass) metre histogram
+    /// (indexed by `RoadClass::tag()`), accumulated in forward path order
+    /// (`from` towards the target).
+    pub fn one_to_many_profiled<F>(
+        &mut self,
+        g: &RoadGraph,
+        from: NodeId,
+        targets: &[NodeId],
+        cost: F,
+    ) -> Vec<Option<(f64, [f64; 4])>>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        let costs = self.settle_set(g, from, targets, cost, Direction::Forward);
+        targets
+            .iter()
+            .zip(costs)
+            .map(|(t, c)| c.map(|c| (c, self.forward_histogram(g, from, *t))))
+            .collect()
+    }
+
+    /// [`Self::many_to_one`] plus the per-class metre histogram of each
+    /// source's path *towards* `to`, accumulated in forward path order
+    /// (source towards `to`) so both search directions — and both detour
+    /// backends — sum the histogram identically.
+    pub fn many_to_one_profiled<F>(
+        &mut self,
+        g: &RoadGraph,
+        to: NodeId,
+        sources: &[NodeId],
+        cost: F,
+    ) -> Vec<Option<(f64, [f64; 4])>>
+    where
+        F: Fn(&RoadGraph, usize) -> f64,
+    {
+        let costs = self.settle_set(g, to, sources, cost, Direction::Reverse);
+        sources
+            .iter()
+            .zip(costs)
+            .map(|(s, c)| c.map(|c| (c, self.reverse_histogram(g, to, *s))))
+            .collect()
+    }
+
+    /// Class histogram of the forward-search shortest path `from → t`.
+    /// The parent chain runs `t → from`, so the edges are collected and
+    /// then accumulated reversed (forward path order).
+    fn forward_histogram(&self, g: &RoadGraph, from: NodeId, t: NodeId) -> [f64; 4] {
+        let mut edges: Vec<u32> = Vec::new();
+        let mut v = t.0;
+        while v != from.0 {
+            let e = self.parent_edge[v as usize];
+            debug_assert_ne!(e, NO_EDGE, "broken parent chain");
+            edges.push(e);
+            v = self.parent[v as usize];
+        }
+        let mut hist = [0.0f64; 4];
+        for &e in edges.iter().rev() {
+            hist[g.edge_class(e as usize).tag() as usize] += g.edge_len_m(e as usize);
+        }
+        hist
+    }
+
+    /// Class histogram of the reverse-search shortest path `s → to`. The
+    /// reverse search's parents point towards `to`, so the chain from `s`
+    /// is already in forward path order.
+    fn reverse_histogram(&self, g: &RoadGraph, to: NodeId, s: NodeId) -> [f64; 4] {
+        let mut hist = [0.0f64; 4];
+        let mut v = s.0;
+        while v != to.0 {
+            let e = self.parent_edge[v as usize];
+            debug_assert_ne!(e, NO_EDGE, "broken parent chain");
+            hist[g.edge_class(e as usize).tag() as usize] += g.edge_len_m(e as usize);
+            v = self.parent[v as usize];
+        }
+        hist
+    }
+
     fn settle_set<F>(
         &mut self,
         g: &RoadGraph,
@@ -212,19 +353,39 @@ impl SearchEngine {
         F: Fn(&RoadGraph, usize) -> f64,
     {
         self.begin(g.num_nodes());
-        // Count how many *distinct* wanted nodes must settle; duplicates in
-        // `wanted` are answered from the same settled distance.
-        let mut pending: std::collections::HashSet<u32> = wanted.iter().map(|t| t.0).collect();
-        self.set(origin.index(), 0.0, NO_PARENT);
+        if wanted.is_empty() {
+            return Vec::new();
+        }
+        if self.want.len() < g.num_nodes() {
+            self.want.resize(g.num_nodes(), 0);
+        }
+        // Count how many *distinct* wanted nodes must settle; duplicates
+        // in `wanted` are answered from the same settled distance. The
+        // stamp array replaces the `HashSet` this used to allocate and
+        // hash into per call.
+        let mut pending = 0usize;
+        for t in wanted {
+            if self.want[t.index()] != self.generation {
+                self.want[t.index()] = self.generation;
+                pending += 1;
+            }
+        }
+        self.set(origin.index(), 0.0, NO_PARENT, NO_EDGE);
         self.heap.push(Reverse((OrdF64::new(0.0), origin.0)));
         while let Some(Reverse((d, v))) = self.heap.pop() {
             let d = d.get();
             if d > self.dist_of(v as usize) {
                 continue;
             }
-            pending.remove(&v);
-            if pending.is_empty() {
-                break;
+            self.settled += 1;
+            if self.want[v as usize] == self.generation {
+                // Clear the stamp (generation is never 0) so a duplicate
+                // equal-distance heap entry cannot decrement twice.
+                self.want[v as usize] = 0;
+                pending -= 1;
+                if pending == 0 {
+                    break;
+                }
             }
             self.relax_neighbors(g, NodeId(v), d, &cost, dir);
         }
@@ -279,7 +440,7 @@ impl SearchEngine {
         F: Fn(&RoadGraph, usize) -> f64,
     {
         self.begin(g.num_nodes());
-        self.set(origin.index(), 0.0, NO_PARENT);
+        self.set(origin.index(), 0.0, NO_PARENT, NO_EDGE);
         self.heap.push(Reverse((OrdF64::new(0.0), origin.0)));
         let mut settled = Vec::new();
         while let Some(Reverse((d, v))) = self.heap.pop() {
@@ -290,6 +451,7 @@ impl SearchEngine {
             if d > self.dist_of(v as usize) {
                 continue;
             }
+            self.settled += 1;
             settled.push((NodeId(v), d));
             self.relax_neighbors(g, NodeId(v), d, &cost, dir);
         }
@@ -305,7 +467,7 @@ impl SearchEngine {
                 for (e, u) in g.out_edges(v) {
                     let nd = d + cost(g, e);
                     if nd < self.dist_of(u.index()) {
-                        self.set(u.index(), nd, v.0);
+                        self.set(u.index(), nd, v.0, u32::try_from(e).unwrap_or(NO_EDGE));
                         self.heap.push(Reverse((OrdF64::new(nd), u.0)));
                     }
                 }
@@ -314,7 +476,7 @@ impl SearchEngine {
                 for (e, u) in g.in_edges(v) {
                     let nd = d + cost(g, e);
                     if nd < self.dist_of(u.index()) {
-                        self.set(u.index(), nd, v.0);
+                        self.set(u.index(), nd, v.0, u32::try_from(e).unwrap_or(NO_EDGE));
                         self.heap.push(Reverse((OrdF64::new(nd), u.0)));
                     }
                 }

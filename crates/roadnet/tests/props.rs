@@ -3,7 +3,7 @@
 
 use ec_types::NodeId;
 use proptest::prelude::*;
-use roadnet::{metric_cost, urban_grid, CostMetric, Route, SearchEngine, UrbanGridParams};
+use roadnet::{metric_cost, urban_grid, ChIndex, CostMetric, Route, SearchEngine, UrbanGridParams};
 
 fn grid(seed: u64, side: usize) -> roadnet::RoadGraph {
     urban_grid(&UrbanGridParams { cols: side, rows: side, seed, ..UrbanGridParams::default() })
@@ -139,5 +139,90 @@ proptest! {
         prop_assert!(e
             .one_to_one(&g, last, NodeId(0), metric_cost(CostMetric::Distance))
             .is_some());
+    }
+
+    /// The CH backend is bit-identical to Dijkstra: every metric, both
+    /// query directions, duplicate targets, and point-to-point — costs
+    /// compared by bit pattern, histograms and paths exactly.
+    #[test]
+    fn ch_agrees_with_dijkstra_on_random_graphs(seed in 0u64..200, pick in 0u64..1_000_000) {
+        let g = grid(seed, 7);
+        let n = g.num_nodes() as u64;
+        let origin = NodeId((pick % n) as u32);
+        let rejoin = NodeId(((pick / n) % n) as u32);
+        // A spread of targets, with a deliberate duplicate.
+        let mut targets: Vec<NodeId> = (0..8)
+            .map(|i| NodeId(((pick / 7 + i * 13) % n) as u32))
+            .collect();
+        targets.push(targets[2]);
+
+        let mut e = SearchEngine::new();
+        for metric in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy, CostMetric::Co2] {
+            let ch = ChIndex::build(&g, metric, 1);
+            let cost = metric_cost(metric);
+
+            let dij = e.one_to_many_profiled(&g, origin, &targets, cost);
+            let got = ch.one_to_many(&g, e.ch_scratch(), origin, &targets);
+            for (i, (d, c)) in dij.iter().zip(&got).enumerate() {
+                match (d, c) {
+                    (Some((dc, dh)), Some(cc)) => {
+                        prop_assert_eq!(dc.to_bits(), cc.cost.to_bits(),
+                            "fwd cost mismatch t{} {metric:?}: {dc} vs {}", i, cc.cost);
+                        prop_assert_eq!(*dh, cc.class_len_m, "fwd histogram mismatch t{}", i);
+                    }
+                    (None, None) => {}
+                    other => prop_assert!(false, "fwd reachability mismatch {other:?}"),
+                }
+            }
+
+            let dij = e.many_to_one_profiled(&g, rejoin, &targets, cost);
+            let got = ch.many_to_one(&g, e.ch_scratch(), rejoin, &targets);
+            for (i, (d, c)) in dij.iter().zip(&got).enumerate() {
+                match (d, c) {
+                    (Some((dc, dh)), Some(cc)) => {
+                        prop_assert_eq!(dc.to_bits(), cc.cost.to_bits(),
+                            "rev cost mismatch s{} {metric:?}: {dc} vs {}", i, cc.cost);
+                        prop_assert_eq!(*dh, cc.class_len_m, "rev histogram mismatch s{}", i);
+                    }
+                    (None, None) => {}
+                    other => prop_assert!(false, "rev reachability mismatch {other:?}"),
+                }
+            }
+
+            let dij = e.one_to_one(&g, origin, rejoin, cost);
+            let got = ch.one_to_one(&g, e.ch_scratch(), origin, rejoin);
+            match (dij, got) {
+                (Some((dc, dp)), Some((cc, cp))) => {
+                    prop_assert_eq!(dc.to_bits(), cc.to_bits(), "p2p cost mismatch {metric:?}");
+                    prop_assert_eq!(dp, cp, "p2p path mismatch {metric:?}");
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "p2p reachability mismatch {other:?}"),
+            }
+        }
+    }
+
+    /// The bidirectional point-to-point engine agrees with unidirectional
+    /// Dijkstra up to floating-point summation order (the two frontiers
+    /// meet in the middle, so the cost can differ in the last ulp).
+    #[test]
+    fn point_to_point_matches_one_to_one(seed in 0u64..300, pick in 0u64..1_000_000) {
+        let g = grid(seed, 7);
+        let n = g.num_nodes() as u64;
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick / n) % n) as u32);
+        let mut e = SearchEngine::new();
+        for metric in [CostMetric::Distance, CostMetric::Time, CostMetric::Energy, CostMetric::Co2] {
+            let cost = metric_cost(metric);
+            let uni = e.one_to_one(&g, a, b, cost).map(|(c, _)| c);
+            let bidi = e.point_to_point(&g, a, b, cost).map(|(c, _)| c);
+            match (uni, bidi) {
+                (Some(u), Some(d)) => {
+                    prop_assert!((u - d).abs() <= u.max(1.0) * 1e-12, "{metric:?}: {u} vs {d}");
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "reachability mismatch {other:?}"),
+            }
+        }
     }
 }

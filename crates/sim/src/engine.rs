@@ -90,16 +90,35 @@ impl DayOutcome {
 
 /// The out-and-back detour to one charger: `(travel_secs, kwh_out,
 /// kwh_back)`, or `None` when unreachable in either direction.
+///
+/// Dispatches on the configured detour backend: point-to-point queries go
+/// through the bidirectional engine (half the settled nodes of a plain
+/// Dijkstra) or, under [`DetourBackend::Ch`](roadnet::DetourBackend),
+/// the shared Contraction-Hierarchy index.
 fn detour_for(
-    g: &RoadGraph,
+    ctx: &QueryCtx<'_>,
     engine: &mut SearchEngine,
     dest: NodeId,
     node: NodeId,
 ) -> Option<(f64, f64, f64)> {
-    let secs = engine.one_to_many(g, dest, &[node], metric_cost(CostMetric::Time))[0]?;
-    let e_fwd = engine.one_to_many(g, dest, &[node], metric_cost(CostMetric::Energy))[0]?;
-    let e_ret = engine.many_to_one(g, dest, &[node], metric_cost(CostMetric::Energy))[0]?;
-    Some((secs, e_fwd, e_ret))
+    let g = ctx.graph;
+    match ctx.config.detour_backend {
+        roadnet::DetourBackend::Dijkstra => {
+            let (secs, _) = engine.point_to_point(g, dest, node, metric_cost(CostMetric::Time))?;
+            let (e_fwd, _) =
+                engine.point_to_point(g, dest, node, metric_cost(CostMetric::Energy))?;
+            let (e_ret, _) =
+                engine.point_to_point(g, node, dest, metric_cost(CostMetric::Energy))?;
+            Some((secs, e_fwd, e_ret))
+        }
+        roadnet::DetourBackend::Ch => {
+            let ch = ctx.detour_ch();
+            let secs = ch.time.one_to_many(g, engine.ch_scratch(), dest, &[node])[0]?.cost;
+            let e_fwd = ch.energy.one_to_many(g, engine.ch_scratch(), dest, &[node])[0]?.cost;
+            let e_ret = ch.energy.many_to_one(g, engine.ch_scratch(), dest, &[node])[0]?.cost;
+            Some((secs, e_fwd, e_ret))
+        }
+    }
 }
 
 /// Run one fleet day under `policy` on a freshly built world (network
@@ -168,7 +187,7 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
                 threads,
                 &ranked,
                 |_| pool.checkout(),
-                |e, _, &cid| detour_for(g, e, dest, ctx.fleet.get(cid).node),
+                |e, _, &cid| detour_for(&ctx, e, dest, ctx.fleet.get(cid).node),
             )
         });
 
@@ -178,7 +197,7 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
             // Out-and-back detour (energy + travel time there).
             let detour = match &precomputed {
                 Some(d) => d[i],
-                None => detour_for(g, &mut engine, dest, charger.node),
+                None => detour_for(&ctx, &mut engine, dest, charger.node),
             };
             let Some((secs, e_fwd, e_ret)) = detour else {
                 continue;

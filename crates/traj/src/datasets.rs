@@ -106,6 +106,12 @@ impl DatasetScale {
     pub fn trips_for(self, kind: DatasetKind) -> usize {
         ((kind.paper_trips() as f64 * self.0).round() as usize).max(4)
     }
+
+    /// The raw fraction of paper cardinality this scale represents.
+    #[must_use]
+    pub const fn factor(self) -> f64 {
+        self.0
+    }
 }
 
 /// A fully materialised evaluation dataset: network + scheduled trips.

@@ -16,7 +16,7 @@ use ec_types::{ChargerId, SimTime};
 use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
 use eis::rpc::ServiceBus;
 use eis::{InfoServer, Mode, SimProviders};
-use roadnet::{urban_grid, UrbanGridParams};
+use roadnet::{urban_grid, DetourCh, UrbanGridParams};
 use std::sync::Arc;
 use std::time::Instant;
 use trajgen::{generate_trips, BrinkhoffParams, Trip};
@@ -43,9 +43,24 @@ fn main() {
             synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
         let sims = SimProviders::new(13);
         let server = InfoServer::from_sims(sims.clone());
+        // Mode 2 runs the CH detour backend: pay the preprocessing once at
+        // server start, amortise it over every vehicle served.
+        let config = EcoChargeConfig {
+            detour_backend: Mode::Server.costs().detour_backend,
+            ..EcoChargeConfig::default()
+        };
+        let build_started = Instant::now();
+        let detour_ch = Arc::new(DetourCh::build(&graph, 4));
+        println!(
+            "server start: CH preprocessing took {:.1} ms ({} shortcut arcs over {} nodes)",
+            build_started.elapsed().as_secs_f64() * 1_000.0,
+            detour_ch.time.num_shortcuts() + detour_ch.energy.num_shortcuts(),
+            graph.num_nodes()
+        );
         let mut method = EcoCharge::new();
         move |req: TableRequest| {
-            let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+            let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, config);
+            ctx.adopt_detour_ch(Arc::clone(&detour_ch));
             let started = Instant::now();
             let table = method
                 .offering_table(&ctx, &req.trip, req.offset_m, req.now)
@@ -105,14 +120,22 @@ fn main() {
             synth_fleet(&graph, &FleetParams { count: 400, seed: 13, ..Default::default() });
         let sims = SimProviders::new(13);
         let server = InfoServer::from_sims(sims.clone());
-        (graph, fleet, sims, server)
+        // One CH index shared by all pool workers (each worker keeps its
+        // own query scratch and bucket cache inside its SearchPool).
+        let detour_ch = Arc::new(DetourCh::build(&graph, 4));
+        (graph, fleet, sims, server, detour_ch)
     });
     let (pool_client, pool_bus) = ServiceBus::spawn_pool(4, |_worker| {
         let world = Arc::clone(&world);
         let mut method = EcoCharge::new();
         move |req: TableRequest| {
-            let (graph, fleet, sims, server) = &*world;
-            let ctx = QueryCtx::new(graph, fleet, server, sims, EcoChargeConfig::default());
+            let (graph, fleet, sims, server, detour_ch) = &*world;
+            let config = EcoChargeConfig {
+                detour_backend: Mode::Server.costs().detour_backend,
+                ..EcoChargeConfig::default()
+            };
+            let ctx = QueryCtx::new(graph, fleet, server, sims, config);
+            ctx.adopt_detour_ch(Arc::clone(detour_ch));
             let started = Instant::now();
             method.reset_trip();
             let table =
