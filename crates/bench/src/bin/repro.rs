@@ -11,8 +11,8 @@
 
 use ecocharge_bench::{
     print_rows, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7, run_fig8,
-    run_fig9, run_modes, run_regret, run_scaling, run_throughput, run_validation, write_csv,
-    write_detour_json, write_scaling_json, HarnessConfig,
+    run_fig9, run_modes, run_prune, run_regret, run_scaling, run_throughput, run_validation,
+    write_csv, write_detour_json, write_prune_json, write_scaling_json, HarnessConfig,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -20,7 +20,7 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
         [--detour-backend dijkstra|ch] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
@@ -35,6 +35,10 @@ fn usage() -> ! {
   detour      Dijkstra vs CH backend x graph-size sweep (all datasets + generated\n\
               urban grids) with bit-identity check; writes BENCH_detour.json\n\
               (exits non-zero when any backend diverges)\n\
+  prune       lazy filter-refine: fleet x radius x pruning on/off sweep counting\n\
+              exact-EC evaluations avoided, with bit-identity check; writes\n\
+              BENCH_prune.json (exits non-zero when any pruned table diverges or\n\
+              the largest fleet avoids no evaluations)\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
   --threads N worker threads for ranking / rep fan-out (default 1)\n\
@@ -278,6 +282,59 @@ fn main() {
             }
             if rows.iter().any(|r| !r.identical) {
                 eprintln!("ERROR: a backend diverged from the Dijkstra single-threaded tables");
+                std::process::exit(1);
+            }
+        }
+        "prune" => {
+            let rows = run_prune(&harness);
+            println!("\n=== Lazy filter-refine: exact evaluations avoided (urban grid) ===");
+            println!(
+                "{:<7} {:>9} {:>8} {:>8} {:>12} {:>10} {:>9} {:>12} {:>12} {:>8} {:>10}",
+                "fleet",
+                "R(km)",
+                "queries",
+                "pool",
+                "exact eager",
+                "exact lazy",
+                "avoided",
+                "eager(us)",
+                "lazy(us)",
+                "speedup",
+                "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<7} {:>9.0} {:>8} {:>8} {:>12} {:>10} {:>8.1}% {:>12.1} {:>12.1} {:>7.2}x {:>10}",
+                    r.fleet,
+                    r.radius_km,
+                    r.queries,
+                    r.pool,
+                    r.exact_unpruned,
+                    r.exact_pruned,
+                    r.avoided_pct,
+                    r.median_unpruned_us,
+                    r.median_pruned_us,
+                    r.speedup,
+                    r.identical
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_prune.json");
+            match write_prune_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("prune json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: a pruned run diverged from the unpruned tables");
+                std::process::exit(1);
+            }
+            let largest = rows.iter().map(|r| r.fleet).max().unwrap_or(0);
+            if !rows
+                .iter()
+                .filter(|r| r.fleet == largest)
+                .any(|r| r.exact_pruned < r.exact_unpruned)
+            {
+                eprintln!("ERROR: pruning avoided no exact evaluations on the largest fleet");
                 std::process::exit(1);
             }
         }

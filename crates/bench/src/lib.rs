@@ -15,6 +15,7 @@ pub mod detour;
 pub mod env;
 pub mod extensions;
 pub mod figures;
+pub mod prune;
 pub mod scaling;
 pub mod table;
 pub mod validate;
@@ -23,6 +24,7 @@ pub use detour::{run_detour, write_detour_json, DetourRow};
 pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
+pub use prune::{run_prune, write_prune_json, PruneRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
 pub use table::{print_rows, write_csv};
 pub use validate::{run_validation, Check};

@@ -73,6 +73,16 @@ impl ChargerFleet {
         self.tree.knn(p, k).into_iter().map(|h| (*h.item, h.dist_m)).collect()
     }
 
+    /// Stream stations in ascending distance from `p`, lazily — the
+    /// ordered candidate source of the bound-driven filtering phase.
+    /// Yields exactly the sequence [`ChargerFleet::within_radius`] would
+    /// return (same distances, same tie order) with the radius acting as
+    /// a cap, so a consumer may stop at any distance cutoff and still
+    /// hold a true prefix of the radius pull.
+    pub fn nearest_iter<'a>(&'a self, p: &GeoPoint) -> impl Iterator<Item = (ChargerId, f64)> + 'a {
+        self.tree.knn_iter(p).map(|h| (*h.item, h.dist_m))
+    }
+
     /// The largest panel rating in the fleet, kW — the normalisation
     /// divisor for `L` ("dividing them with the environment's maximum
     /// charging level value", §III-B). Zero for an empty fleet.
@@ -147,6 +157,22 @@ mod tests {
         let hits = f.knn(&q, 4);
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0].0, ChargerId(0));
+    }
+
+    #[test]
+    fn nearest_iter_prefixes_match_within_radius() {
+        let f = fleet();
+        let q = GeoPoint::new(8.0, 53.0).offset_m(7_300.0, -200.0);
+        for radius_m in [0.0, 2_500.0, 9_000.0, 50_000.0] {
+            let want = f.within_radius(&q, radius_m);
+            let got: Vec<(ChargerId, f64)> =
+                f.nearest_iter(&q).take_while(|&(_, d)| d <= radius_m).collect();
+            assert_eq!(got, want, "radius {radius_m}");
+        }
+        // Full drain covers the whole fleet in ascending order.
+        let all: Vec<(ChargerId, f64)> = f.nearest_iter(&q).collect();
+        assert_eq!(all.len(), f.len());
+        assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 
     #[test]

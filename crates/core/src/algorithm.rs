@@ -13,18 +13,38 @@
 
 use crate::cache::{CachedSolution, DynamicCache};
 use crate::context::{QueryCtx, RankingMethod};
-use crate::objectives::{compute_components, refresh_derouting};
+use crate::lazy::{lazy_adapt, lazy_cold_solve, LazyAdapted, LazyCold, PruneStats};
+use crate::objectives::{compute_components, refresh_derouting, Components};
 use crate::offering::OfferingTable;
 use crate::score::{prune_dominated, refine_topk};
 use ec_types::{ChargerId, EcError, Interval, SimTime};
 use roadnet::SearchEngine;
+use std::sync::Arc;
 use trajgen::Trip;
 
-/// The paper's method: CkNN-EC ranking with Dynamic Caching.
+/// The paper's method: CkNN-EC ranking with Dynamic Caching and
+/// (optionally) the bound-driven lazy filter–refine engine of
+/// [`crate::lazy`].
 #[derive(Debug, Default)]
 pub struct EcoCharge {
     engine: SearchEngine,
     cache: DynamicCache,
+    stats: PruneStats,
+    // Refinement scratch, reused across split points so steady-state
+    // queries allocate nothing for scoring.
+    sc_buf: Vec<Interval>,
+    scored_buf: Vec<(usize, Interval)>,
+    pruned_buf: Vec<(usize, Interval)>,
+}
+
+/// How one query resolves against the Dynamic Cache, decided while the
+/// cache borrow is live; promotions and stores happen after it ends.
+enum Plan {
+    /// Cache hit: the refreshed pool, any shadow promotions to apply, and
+    /// the query's pruning counters.
+    Adapted(Vec<Components>, Vec<(u32, Components)>, PruneStats),
+    /// Cache miss (or unusable hit): run a full cold solve.
+    Cold,
 }
 
 impl EcoCharge {
@@ -38,6 +58,24 @@ impl EcoCharge {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Cumulative pruning counters (pool sizes, exact availability
+    /// evaluations, pruned candidates) since construction.
+    #[must_use]
+    pub const fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    /// True when this query may take the lazy filter–refine path: pruning
+    /// enabled and the availability envelope sound — the server serves
+    /// fresh model-backed forecasts with no resilience machinery that
+    /// could substitute stale or fallback values.
+    fn lazy_ok(ctx: &QueryCtx<'_>) -> bool {
+        ctx.config.pruning
+            && !ctx.server.serves_stale()
+            && !ctx.server.resilience_enabled()
+            && ctx.server.availability_model_backed()
     }
 }
 
@@ -58,38 +96,96 @@ impl RankingMethod for EcoCharge {
         let node = trip.route.nearest_node_at(offset_m);
         let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());
         let rejoin = trip.route.nearest_node_at(rejoin_offset);
+        let lazy_ok = Self::lazy_ok(ctx);
 
-        let (comps, adapted) = if let Some(cached) =
-            self.cache.lookup(&pos, now, ctx.config.range_km, ctx.config.radius_km)
-        {
-            // Adaptation: reuse candidates and their L/A, refresh D only.
-            let comps =
-                refresh_derouting(ctx, &mut self.engine, node, rejoin, now, &cached.components)?;
-            (comps, true)
-        } else {
-            // Full recomputation (filtering phase).
-            let candidates: Vec<ChargerId> = ctx
-                .fleet
-                .within_radius(&pos, ctx.config.radius_km * 1_000.0)
-                .into_iter()
-                .map(|(id, _)| id)
-                .collect();
-            if candidates.is_empty() {
-                return Err(EcError::NoCandidates);
+        let plan = match self.cache.lookup(&pos, now, ctx.config.range_km, ctx.config.radius_km) {
+            // Full cached pool: the classic adaptation — reuse candidates
+            // and their L/A, refresh D only.
+            Some(cached) if cached.shadows.is_empty() => Plan::Adapted(
+                refresh_derouting(ctx, &mut self.engine, node, rejoin, now, &cached.components)?,
+                Vec::new(),
+                PruneStats::default(),
+            ),
+            // Shadow-bearing pool: adapt lazily, materialising only the
+            // shadows whose bound clears the exact members' k-th score.
+            Some(cached) if lazy_ok => {
+                match lazy_adapt(ctx, &mut self.engine, node, rejoin, now, cached) {
+                    LazyAdapted::Done { comps, promotions, stats } => {
+                        Plan::Adapted(comps, promotions, stats)
+                    }
+                    LazyAdapted::Abandon => Plan::Cold,
+                }
             }
-            let comps = compute_components(ctx, &mut self.engine, node, rejoin, now, &candidates)?;
-            if comps.is_empty() {
-                // Everything in range was unreachable or infeasible for
-                // the vehicle — the filtering phase emptied the pool.
-                return Err(EcError::NoCandidates);
+            // Shadow-bearing pool but pruning now unavailable: an eager
+            // refresh over only the exact members would normalise against
+            // the wrong pool, so treat the hit as a miss and solve cold.
+            Some(_) => Plan::Cold,
+            None => Plan::Cold,
+        };
+
+        let (comps, adapted): (Arc<[Components]>, bool) = match plan {
+            Plan::Adapted(comps, promotions, stats) => {
+                self.cache.promote(&promotions);
+                self.stats.accumulate(stats);
+                (comps.into(), true)
             }
-            self.cache.store(CachedSolution {
-                origin: pos,
-                computed_at: now,
-                components: comps.clone(),
-                radius_km: ctx.config.radius_km,
-            });
-            (comps, false)
+            Plan::Cold => {
+                let lazy = if lazy_ok {
+                    match lazy_cold_solve(ctx, &mut self.engine, &pos, node, rejoin, now) {
+                        LazyCold::Done { comps, shadows, stats } => Some((comps, shadows, stats)),
+                        LazyCold::Abandon => None,
+                    }
+                } else {
+                    None
+                };
+                let (comps, shadows): (Arc<[Components]>, Arc<[_]>) = match lazy {
+                    Some((comps, shadows, stats)) => {
+                        self.stats.accumulate(stats);
+                        (comps.into(), shadows.into())
+                    }
+                    None => {
+                        // Eager filtering phase: radius pull, then exact
+                        // components for every candidate.
+                        let candidates: Vec<ChargerId> = ctx
+                            .fleet
+                            .within_radius(&pos, ctx.config.radius_km * 1_000.0)
+                            .into_iter()
+                            .map(|(id, _)| id)
+                            .collect();
+                        if candidates.is_empty() {
+                            return Err(EcError::NoCandidates);
+                        }
+                        let comps = compute_components(
+                            ctx,
+                            &mut self.engine,
+                            node,
+                            rejoin,
+                            now,
+                            &candidates,
+                        )?;
+                        self.stats.accumulate(PruneStats {
+                            pool: comps.len() as u64,
+                            exact_evals: comps.len() as u64,
+                            ..PruneStats::default()
+                        });
+                        (comps.into(), Vec::new().into())
+                    }
+                };
+                if comps.is_empty() {
+                    // Everything in range was unreachable or infeasible
+                    // for the vehicle — the filtering phase emptied the
+                    // pool.
+                    return Err(EcError::NoCandidates);
+                }
+                self.cache.store(CachedSolution {
+                    origin: pos,
+                    computed_at: now,
+                    components: comps.clone(),
+                    shadows,
+                    radius_km: ctx.config.radius_km,
+                });
+                (comps, false)
+            }
         };
 
         if comps.is_empty() {
@@ -98,18 +194,20 @@ impl RankingMethod for EcoCharge {
         // Refinement phase (Eq. 4–6), preceded by the filtering phase's
         // dominance pruning: candidates that cannot reach the top-k under
         // any realisation of the estimates are discarded first.
-        let sc: Vec<Interval> =
-            comps.iter().map(|c| ctx.config.weights.interval_score(c.l, c.a, c.d)).collect();
-        let scored: Vec<(usize, Interval)> = sc.iter().copied().enumerate().collect();
-        let survivors = prune_dominated(&scored, ctx.config.k);
-        let pruned: Vec<(usize, Interval)> = survivors.iter().map(|&i| scored[i]).collect();
-        let ranked = refine_topk(&pruned, ctx.config.k);
+        self.sc_buf.clear();
+        self.sc_buf.extend(comps.iter().map(|c| ctx.config.weights.interval_score(c.l, c.a, c.d)));
+        self.scored_buf.clear();
+        self.scored_buf.extend(self.sc_buf.iter().copied().enumerate());
+        let survivors = prune_dominated(&self.scored_buf, ctx.config.k);
+        self.pruned_buf.clear();
+        self.pruned_buf.extend(survivors.iter().map(|&i| self.scored_buf[i]));
+        let ranked = refine_topk(&self.pruned_buf, ctx.config.k);
         Ok(OfferingTable::from_ranked(
             offset_m,
             pos,
             now,
             &comps,
-            &sc,
+            &self.sc_buf,
             &ranked,
             ctx.config.charge_window_h,
             adapted,
@@ -216,6 +314,39 @@ mod tests {
         m.reset_trip();
         let t = m.offering_table(&ctx, trip, 1_000.0, trip.depart).unwrap();
         assert!(!t.adapted, "cache was cleared between trips");
+    }
+
+    /// Regression (bugfix satellite): the adaptation window is bounded by
+    /// the EC model's forecast-validity horizon, not an arbitrary
+    /// constant. A vehicle that barely moves must still get a fresh full
+    /// solve — new forecasts included — once its cached components are
+    /// staler than the model's accuracy budget allows.
+    #[test]
+    fn stalled_vehicle_gets_fresh_forecasts_past_validity_horizon() {
+        use crate::cache::cache_max_age;
+        use ec_types::SimDuration;
+
+        let f = Fixture::new();
+        let ctx = f.ctx_with(EcoChargeConfig::default());
+        let trip = &f.trips[0];
+
+        // Crawl 100 m in a time just inside the horizon: adaptation is
+        // still honest, the cache serves.
+        let mut m = EcoCharge::new();
+        let _ = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        let just_inside = trip.depart + cache_max_age() - SimDuration::from_mins(1);
+        let t2 = m.offering_table(&ctx, trip, 100.0, just_inside).unwrap();
+        assert!(t2.adapted, "inside the validity horizon the cache adapts");
+
+        // Same crawl, but stalled past the horizon (traffic jam): the
+        // cached forecasts are over budget — full solve, fresh forecasts.
+        let mut m = EcoCharge::new();
+        let _ = m.offering_table(&ctx, trip, 0.0, trip.depart).unwrap();
+        let past = trip.depart + cache_max_age() + SimDuration::from_mins(1);
+        let t3 = m.offering_table(&ctx, trip, 100.0, past).unwrap();
+        assert!(!t3.adapted, "past the validity horizon a full solve is owed");
+        assert_eq!(t3.generated_at, past);
+        assert_eq!(m.cache_stats(), (0, 1), "the stale solution is an invalidation miss");
     }
 
     #[test]

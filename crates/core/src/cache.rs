@@ -13,9 +13,35 @@
 //! The *adaptation* itself (recomputing only `D` from the new position)
 //! lives in [`crate::objectives::refresh_derouting`]; this module decides
 //! *when* adaptation is allowed.
+//!
+//! With bound-driven pruning (DESIGN.md §4g) a cold solve may skip the
+//! exact availability evaluation for candidates whose optimistic score
+//! cannot reach the top-k. Those skipped pool members are retained here as
+//! [`ShadowComponent`]s — everything but `A` already computed exactly —
+//! so a later adapted query can materialise any of them on demand
+//! ([`DynamicCache::promote`]) without redoing the cold solve.
 
 use crate::objectives::Components;
-use ec_types::{GeoPoint, SimDuration, SimTime};
+use ec_types::{GeoPoint, Interval, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// A pool member whose exact availability evaluation was pruned away
+/// during the cold solve. Carries the candidate's position in the original
+/// pool order, the availability envelope its score bound used, and the
+/// fully-computed components with a placeholder `A` — so materialisation
+/// is exactly one availability forecast away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowComponent {
+    /// Index into the cold solve's candidate pool (original
+    /// `within_radius` order) — where the materialised component slots in.
+    pub pool_pos: u32,
+    /// The availability envelope the pruning bound used; reused by the
+    /// adapted path to re-bound the candidate against the new threshold.
+    pub a_env: Interval,
+    /// All components computed exactly at cold-solve time, with
+    /// `a = Interval::zero()` as placeholder until materialised.
+    pub comp: Components,
+}
 
 /// A cached full solution.
 #[derive(Debug, Clone)]
@@ -24,8 +50,14 @@ pub struct CachedSolution {
     pub origin: GeoPoint,
     /// When the full computation ran.
     pub computed_at: SimTime,
-    /// The candidate components (the expensive part to rebuild).
-    pub components: Vec<Components>,
+    /// The exactly-evaluated candidate components (the expensive part to
+    /// rebuild), shared with the solver that produced them — stores and
+    /// lookups move an `Arc`, never clone the vector.
+    pub components: Arc<[Components]>,
+    /// Pool members pruned before their exact availability evaluation
+    /// (empty when pruning is off or nothing was pruned). Sorted by
+    /// `pool_pos`; disjoint from `components`' pool positions.
+    pub shadows: Arc<[ShadowComponent]>,
     /// The radius (km) the candidate pull used — a cache built with a
     /// smaller radius cannot serve a larger-radius query.
     pub radius_km: f64,
@@ -42,8 +74,15 @@ pub struct DynamicCache {
 
 /// Forecasts older than this are considered invalid regardless of
 /// distance — "a solution will naturally be invalidated after a certain
-/// time point" (§IV-C).
-pub const CACHE_MAX_AGE: SimDuration = SimDuration::from_mins(30);
+/// time point" (§IV-C). Derived from the EC model rather than picked by
+/// hand: it is the age at which staleness widening would exceed half the
+/// base forecast half-width growth budget
+/// ([`ec_models::forecast_validity_horizon`]), which works out to 30
+/// minutes under the current model constants.
+#[must_use]
+pub fn cache_max_age() -> SimDuration {
+    ec_models::forecast_validity_horizon(ec_models::HALF_WIDTH_GROWTH_PER_H * 0.5)
+}
 
 impl DynamicCache {
     /// An empty cache.
@@ -57,7 +96,7 @@ impl DynamicCache {
     /// `radius_km` (`R`). On a hit, returns the cached solution.
     ///
     /// An invalidation miss (moved too far, radius too small, too old)
-    /// evicts the dead solution — its `Vec<Components>` would otherwise
+    /// evicts the dead solution — its component storage would otherwise
     /// be retained and re-checked forever. Probing an *empty* cache is
     /// not a miss: nothing was invalidated, so it is tallied separately
     /// (see [`DynamicCache::empty_probes`]) to keep hit-rate accounting
@@ -76,7 +115,7 @@ impl DynamicCache {
         let moved_m = c.origin.fast_dist_m(pos);
         let ok = moved_m < range_km * 1_000.0
             && c.radius_km >= radius_km
-            && now.saturating_since(c.computed_at) < CACHE_MAX_AGE;
+            && now.saturating_since(c.computed_at) < cache_max_age();
         if ok {
             self.hits += 1;
             self.slot.as_ref()
@@ -90,6 +129,84 @@ impl DynamicCache {
     /// Store a freshly computed solution.
     pub fn store(&mut self, solution: CachedSolution) {
         self.slot = Some(solution);
+    }
+
+    /// Move shadows that an adapted query materialised into the exact
+    /// component set, merging by pool position so the cached pool
+    /// converges (in original candidate order) toward the solution an
+    /// unpruned cold solve would have stored. Each entry of
+    /// `materialized` is `(pool_pos, components-with-A-filled)`; pool
+    /// positions not present in the current shadow set are ignored.
+    ///
+    /// No-op when the cache is empty or nothing was materialised.
+    pub fn promote(&mut self, materialized: &[(u32, Components)]) {
+        if materialized.is_empty() {
+            return;
+        }
+        let Some(c) = self.slot.as_mut() else { return };
+        let promoted: Vec<(u32, &Components)> = c
+            .shadows
+            .iter()
+            .filter_map(|s| {
+                materialized.iter().find(|(p, _)| *p == s.pool_pos).map(|(p, m)| (*p, m))
+            })
+            .collect();
+        if promoted.is_empty() {
+            return;
+        }
+        // Exact components keep their relative order; a promoted shadow's
+        // pool position tells us how many exact members precede it (each
+        // exact member occupies one earlier-or-later pool slot, so a merge
+        // walk over both sorted-by-pool-pos sequences re-interleaves them
+        // correctly). Shadows are stored sorted by pool_pos; the exact set
+        // is the pool-order complement, so walking shadows alongside the
+        // exact vector and splicing each promoted entry at the point where
+        // its pool_pos fits reproduces the unpruned pool order.
+        let mut merged: Vec<Components> = Vec::with_capacity(c.components.len() + promoted.len());
+        let mut remaining: Vec<ShadowComponent> =
+            Vec::with_capacity(c.shadows.len() - promoted.len());
+        let mut exact = c.components.iter();
+        let mut next_exact = exact.next();
+        // Count of pool slots emitted so far tracks the merge frontier.
+        let mut emitted_pool_pos = 0u32;
+        let mut shadow_iter = c.shadows.iter().peekable();
+        loop {
+            // Emit any shadow whose pool slot is the current frontier.
+            if let Some(s) = shadow_iter.peek() {
+                if s.pool_pos == emitted_pool_pos {
+                    let s = shadow_iter.next().expect("peeked");
+                    if let Some((_, m)) = promoted.iter().find(|(p, _)| *p == s.pool_pos) {
+                        merged.push((*m).clone());
+                    } else {
+                        remaining.push(s.clone());
+                    }
+                    emitted_pool_pos += 1;
+                    continue;
+                }
+            }
+            // Otherwise the frontier slot belongs to the exact sequence.
+            match next_exact {
+                Some(comp) => {
+                    merged.push(comp.clone());
+                    next_exact = exact.next();
+                    emitted_pool_pos += 1;
+                }
+                None => break,
+            }
+        }
+        // Trailing shadows past the last exact member.
+        for s in shadow_iter {
+            if let Some((_, m)) = promoted.iter().find(|(p, _)| *p == s.pool_pos) {
+                merged.push((*m).clone());
+            } else {
+                remaining.push(s.clone());
+            }
+        }
+        // Un-promoted shadows keep a pool_pos consistent with the merged
+        // exact ordering: positions are absolute pool indices, unchanged
+        // by promotion (the pool itself never changes).
+        c.components = merged.into();
+        c.shadows = remaining.into();
     }
 
     /// Drop any cached solution (new trip, settings change).
@@ -122,14 +239,49 @@ impl DynamicCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ec_types::DayOfWeek;
+    use ec_types::{ChargerId, DayOfWeek};
 
     fn solution(origin: GeoPoint, at: SimTime, radius_km: f64) -> CachedSolution {
-        CachedSolution { origin, computed_at: at, components: Vec::new(), radius_km }
+        CachedSolution {
+            origin,
+            computed_at: at,
+            components: Vec::new().into(),
+            shadows: Vec::new().into(),
+            radius_km,
+        }
     }
 
     fn t0() -> SimTime {
         SimTime::at(0, DayOfWeek::Tue, 10, 0)
+    }
+
+    fn comp(id: u32, a: f64) -> Components {
+        use ec_types::{ComponentQuality, Provenance};
+        Components {
+            charger: ChargerId(id),
+            l: Interval::point(0.5),
+            clean_kw: Interval::point(10.0),
+            a: Interval::point(a),
+            d: Interval::point(0.1),
+            eta: t0(),
+            detour_kwh: Interval::point(1.0),
+            quality: Provenance {
+                l: ComponentQuality::Fresh,
+                a: ComponentQuality::Fresh,
+                d: ComponentQuality::Fresh,
+            },
+        }
+    }
+
+    fn shadow(pool_pos: u32, id: u32) -> ShadowComponent {
+        ShadowComponent { pool_pos, a_env: Interval::new(0.0, 1.0), comp: comp(id, 0.0) }
+    }
+
+    #[test]
+    fn max_age_matches_model_horizon() {
+        // The validity horizon under the current EC-model constants must
+        // reproduce the paper evaluation's 30-minute invalidation window.
+        assert_eq!(cache_max_age(), SimDuration::from_mins(30));
     }
 
     #[test]
@@ -189,7 +341,7 @@ mod tests {
         assert!(c.is_populated());
 
         // Invalidate by age: the dead solution must not be retained.
-        let later = t0() + CACHE_MAX_AGE + SimDuration::from_mins(1);
+        let later = t0() + cache_max_age() + SimDuration::from_mins(1);
         assert!(c.lookup(&origin, later, 5.0, 50.0).is_none());
         assert!(!c.is_populated(), "age-invalidated solution must be evicted");
         assert_eq!(c.stats(), (0, 1));
@@ -211,7 +363,7 @@ mod tests {
         let mut c = DynamicCache::new();
         let origin = GeoPoint::new(8.0, 53.0);
         c.store(solution(origin, t0(), 50.0));
-        let later = t0() + CACHE_MAX_AGE + SimDuration::from_mins(1);
+        let later = t0() + cache_max_age() + SimDuration::from_mins(1);
         assert!(c.lookup(&origin, later, 5.0, 50.0).is_none());
     }
 
@@ -222,5 +374,57 @@ mod tests {
         assert!(c.is_populated());
         c.clear();
         assert!(!c.is_populated());
+    }
+
+    #[test]
+    fn promote_merges_in_pool_order() {
+        // Pool: 5 candidates. Cold solve evaluated pool slots {0, 2, 4}
+        // exactly (charger ids 10, 12, 14) and pruned slots {1, 3}
+        // (charger ids 11, 13).
+        let mut c = DynamicCache::new();
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(CachedSolution {
+            origin,
+            computed_at: t0(),
+            components: vec![comp(10, 0.5), comp(12, 0.5), comp(14, 0.5)].into(),
+            shadows: vec![shadow(1, 11), shadow(3, 13)].into(),
+            radius_km: 50.0,
+        });
+
+        // Materialise shadow at pool slot 3; slot 1 stays shadowed.
+        c.promote(&[(3, comp(13, 0.75))]);
+        let cached = c.lookup(&origin, t0(), 5.0, 50.0).expect("still valid");
+        let ids: Vec<u32> = cached.components.iter().map(|x| x.charger.0).collect();
+        assert_eq!(ids, vec![10, 12, 13, 14], "promoted entry splices at its pool slot");
+        assert_eq!(cached.components[2].a, Interval::point(0.75), "materialised A kept");
+        assert_eq!(cached.shadows.len(), 1);
+        assert_eq!(cached.shadows[0].pool_pos, 1);
+
+        // Materialise the remaining shadow: pool fully converges.
+        c.promote(&[(1, comp(11, 0.25))]);
+        let cached = c.lookup(&origin, t0(), 5.0, 50.0).expect("still valid");
+        let ids: Vec<u32> = cached.components.iter().map(|x| x.charger.0).collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14]);
+        assert!(cached.shadows.is_empty());
+    }
+
+    #[test]
+    fn promote_ignores_unknown_positions_and_empty_cache() {
+        let mut c = DynamicCache::new();
+        c.promote(&[(0, comp(1, 0.5))]); // empty cache: no-op
+        assert!(!c.is_populated());
+
+        let origin = GeoPoint::new(8.0, 53.0);
+        c.store(CachedSolution {
+            origin,
+            computed_at: t0(),
+            components: vec![comp(10, 0.5)].into(),
+            shadows: vec![shadow(1, 11)].into(),
+            radius_km: 50.0,
+        });
+        c.promote(&[(7, comp(99, 0.5))]); // not a shadow position: no-op
+        let cached = c.lookup(&origin, t0(), 5.0, 50.0).expect("valid");
+        assert_eq!(cached.components.len(), 1);
+        assert_eq!(cached.shadows.len(), 1);
     }
 }

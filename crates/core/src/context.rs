@@ -122,6 +122,18 @@ pub struct EcoChargeConfig {
     /// "Detour engine").
     #[serde(default)]
     pub detour_backend: DetourBackend,
+    /// Bound-driven lazy filter–refine (DESIGN.md §4g): stream candidates
+    /// in ascending distance, bound each one's best-case Sustainability
+    /// Score with the availability envelope, and run the exact (per-
+    /// charger) availability evaluation only for candidates whose
+    /// optimistic score can still reach the top-k. Offering Tables are
+    /// bit-identical with pruning on or off — only the evaluation count
+    /// changes. Automatically bypassed whenever the information server
+    /// runs degraded (stale serving or resilience guards) or its
+    /// availability feed is not the in-tree model, where the envelope
+    /// bounds would be unsound.
+    #[serde(default)]
+    pub pruning: bool,
 }
 
 impl Default for EcoChargeConfig {
@@ -138,6 +150,7 @@ impl Default for EcoChargeConfig {
             degraded: DegradedPolicy::default(),
             threads: 1,
             detour_backend: DetourBackend::default(),
+            pruning: true,
         }
     }
 }

@@ -1,0 +1,458 @@
+//! Bound-driven lazy filter–refine (DESIGN.md §4g).
+//!
+//! The eager pipeline evaluates every candidate's availability forecast —
+//! the one genuinely per-charger upstream feed — before the refinement
+//! phase discards most of the pool. This module inverts that: candidates
+//! stream in ascending distance ([`chargers::ChargerFleet::nearest_iter`]),
+//! the cheap stage (`ETA`/`L`/`D`, whose inputs are already batched or
+//! class-level) runs for the whole pool, and the expensive availability
+//! step runs **lazily**, in descending order of an optimistic score bound,
+//! stopping once the next bound cannot beat the running pessimistic k-th
+//! score. The bound substitutes the *availability envelope*
+//! ([`ec_models::forecast_envelope`]) — a superset of every forecast the
+//! in-tree model can serve for that charger/time-bucket — for the exact
+//! forecast interval.
+//!
+//! **Identity, not approximation.** The pruned path produces bit-identical
+//! Offering Tables to the eager path:
+//!
+//! * the cheap stage and the pool normalisations run over the *same pool*
+//!   in the *same fold order* as the eager path, so every evaluated
+//!   candidate's `L`/`D` (and hence score interval) is bit-equal;
+//! * the envelope contains the exact forecast, and
+//!   [`crate::score::Weights::interval_score`] is monotone in `A` under
+//!   IEEE rounding, so `bound ≥ sc.hi` for every candidate;
+//! * the stop threshold is the k-th largest exact `sc.lo` among evaluated
+//!   candidates — a subset of the full pool, hence `threshold ≤` the full
+//!   pool's k-th largest `sc.lo`. Every candidate the eager
+//!   [`crate::score::prune_dominated`] keeps satisfies
+//!   `sc.hi ≥ kth_lo ≥ threshold`, so its bound clears the threshold and
+//!   it gets evaluated; every candidate this module skips satisfies
+//!   `sc.hi ≤ bound < threshold ≤ kth_lo`, so the eager path discards it
+//!   too. The evaluated set is a pool-order subsequence containing every
+//!   eager survivor *and* every top-k-by-`sc.lo` candidate, which makes
+//!   the downstream `prune_dominated`/`refine_topk` decisions — including
+//!   index tie-breaks — identical.
+//!
+//! Skipped candidates are not discarded: they become
+//! [`ShadowComponent`]s in the Dynamic Cache, each carrying its exactly
+//! computed cold-time components (minus `A`) and its envelope, so a later
+//! adapted query can re-bound them against the *new* detour geometry and
+//! materialise exactly the ones that could enter the table — the forecast
+//! purity of the window-keyed information server
+//! ([`eis::forecast_window`]) guarantees a late materialisation reproduces
+//! the value the cold solve would have computed, bit for bit.
+//!
+//! Anything that could make the envelope unsound — stale serving,
+//! resilience fallbacks, a non-model availability feed, a non-`Fresh`
+//! component — makes the engine **abandon** to the eager path for that
+//! query instead of risking a divergent table.
+
+use crate::cache::{CachedSolution, ShadowComponent};
+use crate::context::QueryCtx;
+use crate::detour::detour_batch;
+use crate::objectives::{
+    assemble, component_or_fallback, eval_availability, eval_cheap, normalize_clean_power,
+    normalize_derouting, Components,
+};
+use ec_types::{ChargerId, ComponentQuality, GeoPoint, Interval, NodeId, SimTime};
+use roadnet::{RoadClass, SearchEngine};
+
+/// Evaluation-count accounting for the lazy filter–refine engine,
+/// accumulated across queries by [`crate::algorithm::EcoCharge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidates that entered a cold solve's component pool (cheap stage
+    /// survivors — the set the eager path would evaluate exactly).
+    pub pool: u64,
+    /// Exact availability evaluations actually performed: cold-solve
+    /// evaluations plus adapted-query shadow materialisations. With
+    /// pruning off this equals `pool`.
+    pub exact_evals: u64,
+    /// Cold-solve candidates whose exact evaluation was skipped (became
+    /// cache shadows).
+    pub pruned: u64,
+    /// Candidates dropped while streaming, before the cheap stage, by the
+    /// straight-line battery-feasibility bound (the eager path drops the
+    /// same candidates inside its cheap stage).
+    pub streamed_out: u64,
+}
+
+impl PruneStats {
+    /// Fold another counter set into this one.
+    pub fn accumulate(&mut self, other: Self) {
+        self.pool += other.pool;
+        self.exact_evals += other.exact_evals;
+        self.pruned += other.pruned;
+        self.streamed_out += other.streamed_out;
+    }
+}
+
+/// First evaluation wave: enough to seed a meaningful threshold.
+const SEED_WAVE_MIN: usize = 16;
+/// Follow-up wave size; the threshold is recomputed only at wave
+/// boundaries, keeping the schedule independent of thread count.
+const WAVE: usize = 32;
+
+/// Outcome of a lazy cold solve.
+pub(crate) enum LazyCold {
+    /// `comps` are the exactly evaluated pool members (pool order);
+    /// `shadows` the skipped ones (pool order, disjoint positions).
+    Done { comps: Vec<Components>, shadows: Vec<ShadowComponent>, stats: PruneStats },
+    /// A precondition failed mid-flight (provider error or non-`Fresh`
+    /// component) — the caller must run the eager path.
+    Abandon,
+}
+
+/// Outcome of a lazy adapted solve over a shadow-bearing cache.
+pub(crate) enum LazyAdapted {
+    /// `comps` is the refreshed output pool (exact members plus
+    /// materialised shadows, pool order); `promotions` the materialised
+    /// shadows' *cold-time* components for [`crate::cache::DynamicCache::promote`].
+    Done { comps: Vec<Components>, promotions: Vec<(u32, Components)>, stats: PruneStats },
+    /// Fall back to a full (cold) solve.
+    Abandon,
+}
+
+/// The cheapest per-km energy rate of any road class — turns a
+/// straight-line distance into a sound lower bound on path energy (every
+/// edge costs `len_m / 1000 × class.kwh_per_km()` and edge lengths are
+/// never shorter than the straight line between their endpoints).
+fn min_kwh_per_km() -> f64 {
+    RoadClass::ALL.iter().map(|c| c.kwh_per_km()).fold(f64::INFINITY, f64::min)
+}
+
+/// Envelope of every availability forecast the window-keyed server can
+/// serve for `charger` at `eta`, as seen from a query at `now`:
+/// reproduces the exact instants the server evaluates at (forecast window
+/// and hourly ETA bucket) and widens the archetype's truth bounds by the
+/// worst-case forecast half-width plus skew.
+fn availability_envelope(charger: &chargers::Charger, now: SimTime, eta: SimTime) -> Interval {
+    let window = eis::forecast_window(now);
+    let bucket = eis::eta_bucket(eta);
+    let horizon_h = bucket.saturating_since(window).as_hours_f64();
+    let (t_lo, t_hi) = ec_models::availability_truth_bounds(charger.archetype, bucket);
+    ec_models::forecast_envelope(t_lo, t_hi, horizon_h)
+}
+
+/// The k-th largest value in `lows` (`-∞` with fewer than `k` values) —
+/// the pessimistic score every pruned candidate must fail to beat.
+fn kth_largest(lows: &[f64], k: usize) -> f64 {
+    if lows.len() < k || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let mut sorted = lows.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    sorted[k - 1]
+}
+
+/// Stream the candidate pool for a cold solve: every charger within
+/// radius `R` of `pos` in ascending distance, minus candidates the
+/// configured vehicle provably cannot afford (straight-line energy lower
+/// bound — monotone under the battery check, so the eager cheap stage
+/// would drop exactly these too). Returns the pool plus the
+/// streamed-out count.
+fn stream_candidates(
+    ctx: &QueryCtx<'_>,
+    pos: &GeoPoint,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+) -> (Vec<ChargerId>, u64) {
+    let radius_m = ctx.config.radius_km * 1_000.0;
+    let at_pos = ctx.graph.point(at_node);
+    let rejoin_pos = ctx.graph.point(rejoin_node);
+    let rate = min_kwh_per_km();
+    let mut streamed_out = 0u64;
+    let mut pool = Vec::new();
+    for (cid, dist_m) in ctx.fleet.nearest_iter(pos) {
+        if dist_m > radius_m {
+            break; // ascending distance: nothing further qualifies
+        }
+        if let Some(v) = &ctx.config.vehicle {
+            let cpos = ctx.graph.point(ctx.fleet.get(cid).node);
+            let crow_m = at_pos.fast_dist_m(&cpos) + cpos.fast_dist_m(&rejoin_pos);
+            // 1e-6 relative slack absorbs the f32 rounding of stored edge
+            // lengths, keeping the bound strictly below the true energy.
+            let lb_kwh = crow_m / 1_000.0 * rate * (1.0 - 1e-6);
+            if !v.can_afford(lb_kwh) {
+                streamed_out += 1;
+                continue;
+            }
+        }
+        pool.push(cid);
+    }
+    (pool, streamed_out)
+}
+
+/// Cold solve with bound-driven pruning. Preconditions (checked by the
+/// caller): pruning enabled, server fresh (no stale serving, no
+/// resilience guards) and availability model-backed.
+pub(crate) fn lazy_cold_solve(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    pos: &GeoPoint,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+) -> LazyCold {
+    let (candidates, streamed_out) = stream_candidates(ctx, pos, at_node, rejoin_node);
+    if candidates.is_empty() {
+        let stats = PruneStats { streamed_out, ..PruneStats::default() };
+        return LazyCold::Done { comps: Vec::new(), shadows: Vec::new(), stats };
+    }
+    let nodes: Vec<NodeId> = candidates.iter().map(|&c| ctx.fleet.get(c).node).collect();
+    let threads = ctx.config.threads;
+    let det = detour_batch(ctx, engine, at_node, rejoin_node, &nodes, true);
+
+    // Cheap stage for the whole pool — identical calls, identical order
+    // to the eager path (the availability step is the only one withheld).
+    let Ok(slots) = ec_exec::try_parallel_map(
+        threads,
+        &candidates,
+        |_| (),
+        |(), i, &cid| eval_cheap(ctx, &det, i, cid, now),
+    ) else {
+        return LazyCold::Abandon; // provider failure: replay eagerly
+    };
+    let stages: Vec<_> = slots.into_iter().flatten().collect();
+    if stages
+        .iter()
+        .any(|s| s.l_quality != ComponentQuality::Fresh || s.d_quality != ComponentQuality::Fresh)
+    {
+        return LazyCold::Abandon; // degraded component: envelope unsound
+    }
+    if stages.is_empty() {
+        let stats = PruneStats { streamed_out, ..PruneStats::default() };
+        return LazyCold::Done { comps: Vec::new(), shadows: Vec::new(), stats };
+    }
+
+    // Proto components: exact `L`/`D` via the same pool normalisations
+    // the eager path runs (they read only cheap-stage fields, so every
+    // value is bit-equal); `A` stays a placeholder.
+    let mut proto: Vec<Components> =
+        stages.iter().map(|s| assemble(s, Interval::zero(), ComponentQuality::Fresh)).collect();
+    normalize_derouting(&mut proto, ctx.norm.max_derouting_kwh);
+    normalize_clean_power(&mut proto);
+
+    let n = proto.len();
+    let env: Vec<Interval> =
+        proto.iter().map(|c| availability_envelope(ctx.fleet.get(c.charger), now, c.eta)).collect();
+    let bound: Vec<f64> = proto
+        .iter()
+        .zip(&env)
+        .map(|(c, e)| ctx.config.weights.interval_score(c.l, *e, c.d).hi())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| bound[y].total_cmp(&bound[x]).then(x.cmp(&y)));
+
+    // Best-bound-first evaluation in fixed-size waves. The threshold (the
+    // k-th largest exact `sc.lo` so far) moves only at wave boundaries,
+    // so the schedule — and hence the evaluated set — is a deterministic
+    // function of the pool, independent of thread count.
+    let k = ctx.config.k;
+    let mut a_vals: Vec<Option<(Interval, ComponentQuality)>> = vec![None; n];
+    let mut evaluated_lo: Vec<f64> = Vec::with_capacity(n.min(4 * WAVE));
+    let mut threshold = f64::NEG_INFINITY;
+    let mut cursor = 0usize;
+    let mut wave_cap = k.max(SEED_WAVE_MIN);
+    while cursor < n {
+        // Next wave: the longest prefix of the remaining bound order that
+        // still clears the threshold, capped at the wave size.
+        let wave_end = order[cursor..]
+            .iter()
+            .take(wave_cap)
+            .take_while(|&&idx| bound[idx] >= threshold)
+            .count()
+            + cursor;
+        if wave_end == cursor {
+            break; // best remaining bound cannot reach the table
+        }
+        let wave = &order[cursor..wave_end];
+        let Ok(results) = ec_exec::try_parallel_map(
+            threads,
+            wave,
+            |_| (),
+            |(), _, &idx| {
+                let c = &proto[idx];
+                eval_availability(ctx, ctx.fleet.get(c.charger), now, c.eta)
+            },
+        ) else {
+            return LazyCold::Abandon;
+        };
+        for (&idx, (a, q)) in wave.iter().zip(results) {
+            if q != ComponentQuality::Fresh {
+                return LazyCold::Abandon;
+            }
+            let c = &proto[idx];
+            evaluated_lo.push(ctx.config.weights.interval_score(c.l, a, c.d).lo());
+            a_vals[idx] = Some((a, q));
+        }
+        cursor = wave_end;
+        threshold = kth_largest(&evaluated_lo, k);
+        wave_cap = WAVE;
+    }
+
+    // Split the pool (original order preserved) into exact components and
+    // cache shadows.
+    let exact = evaluated_lo.len() as u64;
+    let mut comps = Vec::with_capacity(evaluated_lo.len());
+    let mut shadows = Vec::with_capacity(n - evaluated_lo.len());
+    for (i, mut c) in proto.into_iter().enumerate() {
+        match a_vals[i] {
+            Some((a, q)) => {
+                c.a = a;
+                c.quality.a = q;
+                comps.push(c);
+            }
+            None => shadows.push(ShadowComponent {
+                pool_pos: u32::try_from(i).expect("pool fits u32"),
+                a_env: env[i],
+                comp: c,
+            }),
+        }
+    }
+    let stats =
+        PruneStats { pool: n as u64, exact_evals: exact, pruned: n as u64 - exact, streamed_out };
+    LazyCold::Done { comps, shadows, stats }
+}
+
+/// Adapted solve over a shadow-bearing cached solution: refresh `D` for
+/// the *whole* cached pool (exact members and shadows alike, so the
+/// derouting normalisation divisor matches the eager path's), then
+/// materialise exactly those shadows whose re-bounded optimistic score
+/// still clears the exact members' pessimistic k-th score. A shadow
+/// materialises at the **cold** timestamp (`cached.computed_at`), which
+/// the window-keyed server maps to the same forecast the cold solve would
+/// have produced.
+pub(crate) fn lazy_adapt(
+    ctx: &QueryCtx<'_>,
+    engine: &mut SearchEngine,
+    at_node: NodeId,
+    rejoin_node: NodeId,
+    now: SimTime,
+    cached: &CachedSolution,
+) -> LazyAdapted {
+    // Re-interleave exact members and shadows into original pool order.
+    let total = cached.components.len() + cached.shadows.len();
+    let mut members: Vec<(Option<&ShadowComponent>, &Components)> = Vec::with_capacity(total);
+    {
+        let mut sh = cached.shadows.iter().peekable();
+        let mut ex = cached.components.iter();
+        for pool_pos in 0..u32::try_from(total).expect("pool fits u32") {
+            if sh.peek().is_some_and(|s| s.pool_pos == pool_pos) {
+                let s = sh.next().expect("peeked");
+                members.push((Some(s), &s.comp));
+            } else {
+                members.push((None, ex.next().expect("pool positions cover the pool")));
+            }
+        }
+    }
+
+    let nodes: Vec<NodeId> = members.iter().map(|(_, c)| ctx.fleet.get(c.charger).node).collect();
+    let threads = ctx.config.threads;
+    let det = detour_batch(ctx, engine, at_node, rejoin_node, &nodes, false);
+
+    // Refresh the derouting component for every reachable member —
+    // operation-for-operation the eager `refresh_derouting` — keeping the
+    // slots aligned with `members` so shadows stay identifiable.
+    let refreshed = ec_exec::try_parallel_map(
+        threads,
+        &members,
+        |_| (),
+        |(), i, (_, comp)| {
+            let (Some(e_fwd), Some(e_ret)) = (det.kwh_fwd[i], det.kwh_ret[i]) else {
+                return Ok::<_, ec_types::EcError>(None); // unreachable from the new position
+            };
+            let (factor, d_q) = component_or_fallback(
+                ctx.server.traffic_energy_forecast(det.class[i], now, comp.eta),
+                ctx.config.degraded.traffic(),
+            )?;
+            let mut r = (*comp).clone();
+            r.detour_kwh = Interval::point(e_fwd + e_ret) * factor;
+            r.quality.d = d_q;
+            Ok(Some(r))
+        },
+    );
+    let Ok(slots) = refreshed else {
+        return LazyAdapted::Abandon;
+    };
+    if slots.iter().flatten().any(|r: &Components| r.quality.d != ComponentQuality::Fresh) {
+        return LazyAdapted::Abandon;
+    }
+    // Flatten to the reachable pool (pool order), remembering each
+    // entry's member index, and normalise `D` over the whole pool.
+    let mut reach: Vec<Components> = Vec::with_capacity(total);
+    let mut reach_member: Vec<usize> = Vec::with_capacity(total);
+    for (i, slot) in slots.into_iter().enumerate() {
+        if let Some(c) = slot {
+            reach.push(c);
+            reach_member.push(i);
+        }
+    }
+    normalize_derouting(&mut reach, ctx.norm.max_derouting_kwh);
+
+    // Threshold from the exact members only — a subset of the full pool,
+    // so it lower-bounds the full pool's k-th pessimistic score.
+    let exact_lo: Vec<f64> = reach
+        .iter()
+        .zip(&reach_member)
+        .filter(|&(_, &m)| members[m].0.is_none())
+        .map(|(c, _)| ctx.config.weights.interval_score(c.l, c.a, c.d).lo())
+        .collect();
+    let threshold = kth_largest(&exact_lo, ctx.config.k);
+
+    // Decide materialisation per reachable shadow by re-bounding with the
+    // refreshed `D` and the stored cold-time envelope.
+    let mut picks: Vec<usize> = Vec::new(); // indices into `reach`
+    for (r, c) in reach.iter().enumerate() {
+        let Some(shadow) = members[reach_member[r]].0 else { continue };
+        if ctx.config.weights.interval_score(c.l, shadow.a_env, c.d).hi() >= threshold {
+            picks.push(r);
+        }
+    }
+    // Materialise picked shadows at the cold timestamp: the window-keyed
+    // server maps it to the same forecast window the cold solve used, so
+    // the value is the one the unpruned path would have cached.
+    let Ok(avail) = ec_exec::try_parallel_map(
+        threads,
+        &picks,
+        |_| (),
+        |(), _, &r| {
+            let c = &reach[r];
+            eval_availability(ctx, ctx.fleet.get(c.charger), cached.computed_at, c.eta)
+        },
+    ) else {
+        return LazyAdapted::Abandon;
+    };
+    if avail.iter().any(|(_, q)| *q != ComponentQuality::Fresh) {
+        return LazyAdapted::Abandon;
+    }
+
+    // Route each materialised value twice: into the refreshed output comp
+    // and into a cold-time promotion entry for the cache.
+    let mut promotions: Vec<(u32, Components)> = Vec::with_capacity(picks.len());
+    let mut materialized: Vec<Option<(Interval, ComponentQuality)>> = vec![None; reach.len()];
+    for (&r, (a, q)) in picks.iter().zip(avail) {
+        materialized[r] = Some((a, q));
+        let shadow = members[reach_member[r]].0.expect("picks are shadows");
+        let mut cold = shadow.comp.clone();
+        cold.a = a;
+        cold.quality.a = q;
+        promotions.push((shadow.pool_pos, cold));
+    }
+
+    // Output pool: exact members plus materialised shadows, pool order —
+    // a subsequence of the eager refresh over the full cached pool.
+    let mut comps: Vec<Components> = Vec::with_capacity(reach.len());
+    for (r, mut c) in reach.into_iter().enumerate() {
+        if members[reach_member[r]].0.is_none() {
+            comps.push(c);
+        } else if let Some((a, q)) = materialized[r] {
+            c.a = a;
+            c.quality.a = q;
+            comps.push(c);
+        }
+    }
+    let stats = PruneStats { exact_evals: picks.len() as u64, ..PruneStats::default() };
+    LazyAdapted::Done { comps, promotions, stats }
+}

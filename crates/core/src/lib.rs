@@ -17,6 +17,8 @@
 //!   per-segment ranking;
 //! * [`cache`] — Dynamic Caching (§IV-C): the `R`/`Q`-gated reuse of a
 //!   previous Offering Table;
+//! * [`lazy`] — bound-driven lazy filter–refine (§4g): availability
+//!   envelopes prune exact evaluations without changing a single table;
 //! * [`algorithm`] — [`algorithm::EcoCharge`], Algorithm 1
 //!   end to end;
 //! * [`baselines`] — Brute-Force, Index-Quadtree and Random (§V-A);
@@ -37,6 +39,7 @@ pub mod cknn;
 pub mod context;
 pub mod detour;
 pub mod eval;
+pub mod lazy;
 pub mod monitor;
 pub mod objectives;
 pub mod offering;
@@ -47,11 +50,12 @@ pub mod vehicle;
 pub use algorithm::EcoCharge;
 pub use balance::{BalancedEcoCharge, LoadTracker};
 pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
-pub use cache::DynamicCache;
+pub use cache::{cache_max_age, DynamicCache, ShadowComponent};
 pub use cknn::{CknnQuery, SplitPoint};
 pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
 pub use detour::{detour_batch, dominant_class, DetourBatch};
 pub use eval::{evaluate_method, EvalOutcome};
+pub use lazy::PruneStats;
 pub use monitor::{MonitorEvent, TripMonitor};
 pub use offering::{OfferingEntry, OfferingTable};
 pub use oracle::{Oracle, ScoringBasis};

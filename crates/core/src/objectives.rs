@@ -57,6 +57,121 @@ pub struct Components {
     pub quality: Provenance,
 }
 
+/// The cheap, exactly-computable stage of one candidate's evaluation:
+/// ETA, clean power (sun + wind, rate-capped), and the traffic-scaled
+/// detour energy — everything except the availability forecast, which is
+/// the one genuinely per-charger upstream feed. Shared verbatim between
+/// the eager path and the lazy filter–refine engine
+/// ([`crate::lazy`]) so both produce bit-identical values in the same
+/// operation order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheapStage {
+    pub charger: ChargerId,
+    pub eta: SimTime,
+    pub clean_kw: Interval,
+    pub detour_kwh: Interval,
+    pub l_quality: ComponentQuality,
+    pub d_quality: ComponentQuality,
+}
+
+/// Evaluate the cheap stage for candidate `i` of a batched detour sweep.
+/// `Ok(None)` = candidate dropped (unreachable, or battery-infeasible
+/// for the configured vehicle).
+pub(crate) fn eval_cheap(
+    ctx: &QueryCtx<'_>,
+    det: &crate::detour::DetourBatch,
+    i: usize,
+    cid: ChargerId,
+    now: SimTime,
+) -> Result<Option<CheapStage>, EcError> {
+    let secs_fwd = det.secs.as_deref().expect("time sweep requested");
+    let (Some(secs), Some(e_fwd), Some(e_ret)) = (secs_fwd[i], det.kwh_fwd[i], det.kwh_ret[i])
+    else {
+        return Ok(None); // unreachable candidate
+    };
+    let charger = ctx.fleet.get(cid);
+    let eta = now + SimDuration::from_secs_f64(secs);
+
+    // L (lines 5–6): forecast clean power at ETA — solar plus any
+    // net-metered wind — capped by whichever is tighter: the charger's
+    // delivery rate or (when a vehicle model is attached) the
+    // vehicle's acceptance rate.
+    // Normalised later once the pool maximum is known.
+    let policy = &ctx.config.degraded;
+    let (sun, sun_q) =
+        component_or_fallback(ctx.server.sun_forecast(&charger.loc, now, eta), policy.sun())?;
+    let (wind, wind_q) = if charger.has_wind() {
+        component_or_fallback(ctx.server.wind_forecast(&charger.loc, now, eta), policy.wind())?
+    } else {
+        (Interval::zero(), ComponentQuality::Fresh)
+    };
+    let rate = match &ctx.config.vehicle {
+        Some(v) => v.accept_rate(charger.kind).value(),
+        None => charger.kind.rate().value(),
+    };
+    let clean_kw = Interval::new(
+        (sun.lo() * charger.panel.value() + wind.lo() * charger.wind.value()).min(rate),
+        (sun.hi() * charger.panel.value() + wind.hi() * charger.wind.value()).min(rate),
+    );
+
+    // D (lines 9–10): out-and-back energy under the traffic interval
+    // of the detour's dominant road class. Normalised later once the
+    // pool maximum is known.
+    let (factor, d_q) = component_or_fallback(
+        ctx.server.traffic_energy_forecast(det.class[i], now, eta),
+        policy.traffic(),
+    )?;
+    let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
+
+    // Battery feasibility: drop candidates the vehicle might not
+    // reach (and return from) with its reserve intact. Checked before
+    // the availability feed so an infeasible candidate never counts as
+    // an exact evaluation on either path.
+    if let Some(v) = &ctx.config.vehicle {
+        if !v.can_afford(detour_kwh.hi()) {
+            return Ok(None);
+        }
+    }
+
+    Ok(Some(CheapStage {
+        charger: cid,
+        eta,
+        clean_kw,
+        detour_kwh,
+        l_quality: sun_q.worst(wind_q),
+        d_quality: d_q,
+    }))
+}
+
+/// The expensive per-charger step: the availability forecast at ETA
+/// (lines 7–8), with the degraded-policy fallback applied.
+pub(crate) fn eval_availability(
+    ctx: &QueryCtx<'_>,
+    charger: &chargers::Charger,
+    now: SimTime,
+    eta: SimTime,
+) -> Result<(Interval, ComponentQuality), EcError> {
+    component_or_fallback(
+        ctx.server.availability_forecast(charger, now, eta),
+        ctx.config.degraded.availability(),
+    )
+}
+
+/// Assemble raw [`Components`] from a cheap stage plus an availability
+/// interval; `l`/`d` are filled by the pool normalisation passes.
+pub(crate) fn assemble(stage: &CheapStage, a: Interval, a_quality: ComponentQuality) -> Components {
+    Components {
+        charger: stage.charger,
+        l: Interval::zero(),
+        clean_kw: stage.clean_kw,
+        a,
+        d: Interval::zero(),
+        eta: stage.eta,
+        detour_kwh: stage.detour_kwh,
+        quality: Provenance { l: stage.l_quality, a: a_quality, d: stage.d_quality },
+    }
+}
+
 /// Unwrap a forecast, or substitute the configured fallback interval when
 /// the source is exhausted and the degraded policy provides one. Returns
 /// the interval together with the quality tag the component inherits;
@@ -98,8 +213,6 @@ pub fn compute_components(
     // pool engines concurrently — each is a pure function of
     // (graph, nodes), so overlapping them cannot change any result.
     let det = detour_batch(ctx, engine, at_node, rejoin_node, &nodes, true);
-    let secs_fwd = det.secs.as_deref().expect("time sweep requested");
-    let (kwh_fwd, kwh_ret) = (&det.kwh_fwd, &det.kwh_ret);
 
     // Per-candidate evaluation: reads only this candidate's slots of the
     // batched search results plus the (internally synchronised) info
@@ -107,67 +220,12 @@ pub fn compute_components(
     // changing any value. `Ok(None)` = candidate dropped (unreachable or
     // battery-infeasible).
     let eval_one = |i: usize, cid: ChargerId| -> Result<Option<Components>, EcError> {
-        let (Some(secs), Some(e_fwd), Some(e_ret)) = (secs_fwd[i], kwh_fwd[i], kwh_ret[i]) else {
-            return Ok(None); // unreachable candidate
+        let Some(stage) = eval_cheap(ctx, &det, i, cid, now)? else {
+            return Ok(None);
         };
-        let charger = ctx.fleet.get(cid);
-        let eta = now + SimDuration::from_secs_f64(secs);
-
-        // L (lines 5–6): forecast clean power at ETA — solar plus any
-        // net-metered wind — capped by whichever is tighter: the charger's
-        // delivery rate or (when a vehicle model is attached) the
-        // vehicle's acceptance rate.
-        // Normalised below once the pool maximum is known.
-        let policy = &ctx.config.degraded;
-        let (sun, sun_q) =
-            component_or_fallback(ctx.server.sun_forecast(&charger.loc, now, eta), policy.sun())?;
-        let (wind, wind_q) = if charger.has_wind() {
-            component_or_fallback(ctx.server.wind_forecast(&charger.loc, now, eta), policy.wind())?
-        } else {
-            (Interval::zero(), ComponentQuality::Fresh)
-        };
-        let rate = match &ctx.config.vehicle {
-            Some(v) => v.accept_rate(charger.kind).value(),
-            None => charger.kind.rate().value(),
-        };
-        let clean_kw = Interval::new(
-            (sun.lo() * charger.panel.value() + wind.lo() * charger.wind.value()).min(rate),
-            (sun.hi() * charger.panel.value() + wind.hi() * charger.wind.value()).min(rate),
-        );
-
         // A (lines 7–8).
-        let (a, a_q) = component_or_fallback(
-            ctx.server.availability_forecast(charger, now, eta),
-            policy.availability(),
-        )?;
-
-        // D (lines 9–10): out-and-back energy under the traffic interval
-        // of the detour's dominant road class. Normalised below once the
-        // pool maximum is known.
-        let (factor, d_q) = component_or_fallback(
-            ctx.server.traffic_energy_forecast(det.class[i], now, eta),
-            policy.traffic(),
-        )?;
-        let detour_kwh = Interval::point(e_fwd + e_ret) * factor;
-
-        // Battery feasibility: drop candidates the vehicle might not
-        // reach (and return from) with its reserve intact.
-        if let Some(v) = &ctx.config.vehicle {
-            if !v.can_afford(detour_kwh.hi()) {
-                return Ok(None);
-            }
-        }
-
-        Ok(Some(Components {
-            charger: cid,
-            l: Interval::zero(),
-            clean_kw,
-            a,
-            d: Interval::zero(),
-            eta,
-            detour_kwh,
-            quality: Provenance { l: sun_q.worst(wind_q), a: a_q, d: d_q },
-        }))
+        let (a, a_q) = eval_availability(ctx, ctx.fleet.get(cid), now, stage.eta)?;
+        Ok(Some(assemble(&stage, a, a_q)))
     };
 
     // threads <= 1 is the plain sequential `?`-loop inside

@@ -1,0 +1,111 @@
+//! The load-bearing property of the lazy filter–refine engine
+//! (DESIGN.md §4g): with pruning on, every Offering Table — cold solves
+//! and cache-adapted solves alike — is **bit-identical** to the unpruned
+//! path's, across fleet seeds, thread counts and detour backends. Only
+//! the number of exact availability evaluations may differ.
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, OfferingTable, QueryCtx, RankingMethod};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, DetourBackend, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+struct Env {
+    graph: roadnet::RoadGraph,
+    fleet: chargers::ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+}
+
+impl Env {
+    fn new(fleet_seed: u64) -> Self {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet =
+            synth_fleet(&graph, &FleetParams { count: 80, seed: fleet_seed, ..Default::default() });
+        let sims = SimProviders::new(9);
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 2,
+                min_trip_m: 15_000.0,
+                max_trip_m: 30_000.0,
+                ..Default::default()
+            },
+        );
+        Self { graph, fleet, sims, trips }
+    }
+}
+
+/// One engine lifetime over both trips: a cold solve, an in-range
+/// adaptation, a beyond-`Q` re-solve, and a second adaptation over the
+/// (possibly shadow-bearing) re-solved cache.
+fn tables(env: &Env, pruning: bool, threads: usize, backend: DetourBackend) -> Vec<OfferingTable> {
+    let server = InfoServer::from_sims(env.sims.clone());
+    let config =
+        EcoChargeConfig { pruning, threads, detour_backend: backend, ..Default::default() };
+    let ctx = QueryCtx::new(&env.graph, &env.fleet, &server, &env.sims, config);
+    let mut m = EcoCharge::new();
+    let mut out = Vec::new();
+    for trip in &env.trips {
+        m.reset_trip();
+        for offset_m in [0.0f64, 3_000.0, 12_000.0, 14_000.0] {
+            let offset_m = offset_m.min(trip.length_m());
+            let now = trip.eta_at_offset(&env.graph, offset_m);
+            out.push(m.offering_table(&ctx, trip, offset_m, now).expect("table"));
+        }
+    }
+    out
+}
+
+#[test]
+fn pruned_tables_bit_identical_across_seeds_threads_backends() {
+    for fleet_seed in [3, 11] {
+        let env = Env::new(fleet_seed);
+        let baseline = tables(&env, false, 1, DetourBackend::Dijkstra);
+        for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+            for threads in [1, 2, 4] {
+                let pruned = tables(&env, true, threads, backend);
+                // PartialEq over every f64 field: bit-identical, not
+                // "close".
+                assert_eq!(
+                    pruned, baseline,
+                    "seed={fleet_seed} backend={backend:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_skips_exact_evaluations() {
+    let env = Env::new(3);
+    let server = InfoServer::from_sims(env.sims.clone());
+    let run = |pruning: bool| {
+        let config = EcoChargeConfig { pruning, ..Default::default() };
+        let ctx = QueryCtx::new(&env.graph, &env.fleet, &server, &env.sims, config);
+        let mut m = EcoCharge::new();
+        for trip in &env.trips {
+            m.reset_trip();
+            for offset_m in [0.0, 3_000.0] {
+                let now = trip.eta_at_offset(&env.graph, offset_m);
+                m.offering_table(&ctx, trip, offset_m, now).expect("table");
+            }
+        }
+        m.prune_stats()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.pool, off.pool, "pruning must not change the candidate pool");
+    assert_eq!(off.exact_evals, off.pool, "unpruned path evaluates the whole pool");
+    assert!(
+        on.exact_evals < off.exact_evals,
+        "pruned path must skip evaluations: {} vs {}",
+        on.exact_evals,
+        off.exact_evals
+    );
+    assert!(on.pruned > 0);
+    // Each pool member is materialised at most once per cold solve, so
+    // even counting adapted-query materialisations the pruned path never
+    // exceeds the eager evaluation count.
+    assert!(on.exact_evals <= on.pool, "{} evals for a pool of {}", on.exact_evals, on.pool);
+}

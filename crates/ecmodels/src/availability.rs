@@ -14,6 +14,20 @@
 
 use ec_types::{Interval, SimTime, SplitMix64};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Per-charger phase jitter bound, hours: every realisation samples its
+/// phase shift from `[-PHASE_JITTER_H, PHASE_JITTER_H]`.
+pub const PHASE_JITTER_H: f64 = 1.5;
+
+/// Per-charger amplitude range applied to the archetype curve.
+pub const AMPLITUDE_RANGE: (f64, f64) = (0.7, 1.1);
+
+/// Per-charger busyness floor range.
+pub const FLOOR_RANGE: (f64, f64) = (0.0, 0.12);
+
+/// Half-range of the per-30-minute busyness noise draw.
+pub const BUSY_NOISE_HALF: f64 = 0.1;
 
 /// What kind of place a charger sits at — determines its weekly busy curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -103,9 +117,9 @@ impl AvailabilityModel {
     /// identity hash: `(phase_shift_h, amplitude, floor)`.
     fn charger_params(&self, charger_seed: u64) -> (f64, f64, f64) {
         let mut rng = SplitMix64::new(ec_types::rng::mix(self.seed, charger_seed));
-        let phase = rng.range_f64(-1.5, 1.5);
-        let amplitude = rng.range_f64(0.7, 1.1);
-        let floor = rng.range_f64(0.0, 0.12);
+        let phase = rng.range_f64(-PHASE_JITTER_H, PHASE_JITTER_H);
+        let amplitude = rng.range_f64(AMPLITUDE_RANGE.0, AMPLITUDE_RANGE.1);
+        let floor = rng.range_f64(FLOOR_RANGE.0, FLOOR_RANGE.1);
         (phase, amplitude, floor)
     }
 
@@ -120,7 +134,7 @@ impl AvailabilityModel {
             self.seed ^ 0xBAD5EED,
             charger_seed ^ (t.as_secs() / 1_800), // new draw each 30 min
         ));
-        let noise = (noise_rng.next_f64() - 0.5) * 0.2;
+        let noise = (noise_rng.next_f64() - 0.5) * (2.0 * BUSY_NOISE_HALF);
         (floor + amplitude * base + noise).clamp(0.0, 1.0)
     }
 
@@ -149,6 +163,83 @@ impl AvailabilityModel {
         let skew = rng.range_f64(-1.0, 1.0);
         crate::forecast_interval(truth, horizon_h, skew)
     }
+}
+
+/// Step of the phase-scan grid used by [`busy_bounds_at`], hours.
+const PHASE_SCAN_STEP_H: f64 = 1.0 / 64.0;
+
+/// Safety pad added to the scanned base-curve extrema: every archetype
+/// curve is a sum of Gaussian bumps whose hourly slope magnitudes total
+/// well under `0.4`, so a `1/64 h` grid misses at most `0.4 · step / 2 ≈
+/// 0.004` of true extremum. `0.01` over-covers that comfortably.
+const PHASE_SCAN_PAD: f64 = 0.01;
+
+fn busy_bounds_compute(arch: SiteArchetype, weekend: bool, hour: f64) -> (f64, f64) {
+    // Range of the archetype base curve over every admissible phase shift.
+    let steps = (2.0 * PHASE_JITTER_H / PHASE_SCAN_STEP_H).round() as usize;
+    let (mut base_lo, mut base_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..=steps {
+        let phase = -PHASE_JITTER_H + i as f64 * PHASE_SCAN_STEP_H;
+        let b = arch.base_busy((hour - phase).rem_euclid(24.0), weekend);
+        base_lo = base_lo.min(b);
+        base_hi = base_hi.max(b);
+    }
+    base_lo = (base_lo - PHASE_SCAN_PAD).max(0.0);
+    base_hi = (base_hi + PHASE_SCAN_PAD).min(1.0);
+    // Worst-case realisation: floor, amplitude and noise each at the edge
+    // of their public jitter range (base is non-negative, so the extreme
+    // amplitudes pair with the extreme base values).
+    let lo = (FLOOR_RANGE.0 + AMPLITUDE_RANGE.0 * base_lo - BUSY_NOISE_HALF).clamp(0.0, 1.0);
+    let hi = (FLOOR_RANGE.1 + AMPLITUDE_RANGE.1 * base_hi + BUSY_NOISE_HALF).clamp(0.0, 1.0);
+    (lo, hi)
+}
+
+fn arch_index(arch: SiteArchetype) -> usize {
+    match arch {
+        SiteArchetype::Downtown => 0,
+        SiteArchetype::Mall => 1,
+        SiteArchetype::Suburban => 2,
+        SiteArchetype::Highway => 3,
+        SiteArchetype::Workplace => 4,
+    }
+}
+
+/// Bounds `(lo, hi)` guaranteed to contain
+/// [`AvailabilityModel::busy_fraction`] at instant `t` for **every** model
+/// seed and charger realisation: the phase, amplitude, floor and noise
+/// draws each range over their public jitter bounds ([`PHASE_JITTER_H`],
+/// [`AMPLITUDE_RANGE`], [`FLOOR_RANGE`], [`BUSY_NOISE_HALF`]). Pure model
+/// structure — no seed is consulted, so a pruning layer may use these
+/// bounds without peeking at any realisation.
+///
+/// Mid-hour instants (the availability cache bucket representative) are
+/// answered from a 5 archetypes × 2 day kinds × 24 hours memo table built
+/// once per process; any other instant is computed directly.
+#[must_use]
+pub fn busy_bounds_at(arch: SiteArchetype, t: SimTime) -> (f64, f64) {
+    let weekend = t.day().is_weekend();
+    if t.as_secs() % 3_600 == 1_800 {
+        static TABLE: OnceLock<[[(f64, f64); 24]; 10]> = OnceLock::new();
+        let table = TABLE.get_or_init(|| {
+            std::array::from_fn(|row| {
+                let arch = SiteArchetype::ALL[row / 2];
+                let weekend = row % 2 == 1;
+                std::array::from_fn(|h| busy_bounds_compute(arch, weekend, h as f64 + 0.5))
+            })
+        });
+        let hour = (t.as_secs() % 86_400) / 3_600;
+        table[arch_index(arch) * 2 + usize::from(weekend)][hour as usize]
+    } else {
+        busy_bounds_compute(arch, weekend, t.hour_f64())
+    }
+}
+
+/// Bounds `(lo, hi)` on [`AvailabilityModel::actual_availability`] at `t`
+/// over every realisation: the complement of [`busy_bounds_at`].
+#[must_use]
+pub fn availability_truth_bounds(arch: SiteArchetype, t: SimTime) -> (f64, f64) {
+    let (b_lo, b_hi) = busy_bounds_at(arch, t);
+    (1.0 - b_hi, 1.0 - b_lo)
 }
 
 #[cfg(test)]
@@ -233,6 +324,62 @@ mod tests {
             assert!(far.width() >= f.width() - 1e-9);
         }
         assert!(contained >= 40, "{contained}/50 contained");
+    }
+
+    #[test]
+    fn busy_bounds_contain_every_realisation() {
+        // The envelope's whole value is soundness: whatever the seed,
+        // charger or noise draw, the truth must land inside the bounds.
+        for seed in [1u64, 9, 77] {
+            let m = AvailabilityModel::new(seed);
+            for day_h in [(DayOfWeek::Tue, 9), (DayOfWeek::Sat, 14), (DayOfWeek::Mon, 2)] {
+                let t = SimTime::at(0, day_h.0, day_h.1, 30); // mid-hour bucket
+                for arch in SiteArchetype::ALL {
+                    let (lo, hi) = busy_bounds_at(arch, t);
+                    assert!(lo <= hi && (0.0..=1.0).contains(&lo) && hi <= 1.0);
+                    for c in 0..60u64 {
+                        let b = m.busy_fraction(c, arch, t);
+                        assert!(
+                            (lo..=hi).contains(&b),
+                            "{arch:?} {day_h:?} charger {c}: busy {b} outside [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn busy_bounds_memo_matches_direct_computation() {
+        let t = SimTime::at(0, DayOfWeek::Wed, 11, 30);
+        for arch in SiteArchetype::ALL {
+            let memo = busy_bounds_at(arch, t);
+            let direct = super::busy_bounds_compute(arch, false, t.hour_f64());
+            assert_eq!(memo, direct);
+        }
+    }
+
+    #[test]
+    fn forecast_envelope_contains_every_forecast() {
+        for seed in [3u64, 41] {
+            let m = AvailabilityModel::new(seed);
+            let now = SimTime::at(0, DayOfWeek::Fri, 8, 0);
+            for hours in [1u64, 5, 12] {
+                let eta = SimTime::at(0, DayOfWeek::Fri, 8, 30) + SimDuration::from_hours(hours);
+                let horizon_h = eta.saturating_since(now).as_hours_f64();
+                for arch in SiteArchetype::ALL {
+                    let (t_lo, t_hi) = availability_truth_bounds(arch, eta);
+                    let env = crate::forecast_envelope(t_lo, t_hi, horizon_h);
+                    for c in 0..40u64 {
+                        let f = m.forecast_availability(c, arch, now, eta);
+                        assert!(
+                            env.lo() <= f.lo() && f.hi() <= env.hi(),
+                            "{arch:?} +{hours}h charger {c}: forecast {f} escapes envelope {env}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod traffic;
 pub mod weather;
 pub mod wind;
 
-pub use availability::{AvailabilityModel, SiteArchetype};
+pub use availability::{
+    availability_truth_bounds, busy_bounds_at, AvailabilityModel, SiteArchetype,
+};
 pub use cdgs::{ProductionSeries, QUARTERS_PER_WEEK};
 pub use tariff::{TariffBand, TariffModel};
 pub use traffic::TrafficModel;
@@ -36,6 +38,15 @@ pub use weather::WeatherSim;
 pub use wind::WindSim;
 
 use ec_types::Interval;
+
+/// Half-width of a zero-horizon forecast (a now-cast): ±3 %.
+pub const BASE_HALF_WIDTH: f64 = 0.03;
+
+/// How fast forecast half-width grows per hour of horizon.
+pub const HALF_WIDTH_GROWTH_PER_H: f64 = 0.0028;
+
+/// Ceiling on forecast half-width, however far out.
+pub const HALF_WIDTH_CAP: f64 = 0.25;
 
 /// Half-width of a forecast interval for a quantity in `[0,1]`, as a
 /// function of the forecast horizon in hours.
@@ -45,7 +56,29 @@ use ec_types::Interval;
 /// ±25 % beyond that.
 #[must_use]
 pub fn horizon_half_width(horizon_hours: f64) -> f64 {
-    (0.03 + 0.0028 * horizon_hours.max(0.0)).min(0.25)
+    (BASE_HALF_WIDTH + HALF_WIDTH_GROWTH_PER_H * horizon_hours.max(0.0)).min(HALF_WIDTH_CAP)
+}
+
+/// The age at which reusing an estimate has cost `extra_half_width` of
+/// honest extra uncertainty — the inverse of the horizon-growth model
+/// (uncapped region). This is what bounds how long a cached solution may
+/// keep serving its `L`/`A` forecasts: past this horizon the components
+/// are staler than the accuracy budget allows and a full solve is owed.
+#[must_use]
+pub fn forecast_validity_horizon(extra_half_width: f64) -> ec_types::SimDuration {
+    let hours = extra_half_width.max(0.0) / HALF_WIDTH_GROWTH_PER_H;
+    ec_types::SimDuration::from_secs_f64(hours * 3_600.0)
+}
+
+/// Envelope of every [`forecast_interval`] whose truth lies in
+/// `[truth_lo, truth_hi]`, whatever the skew draw: the centre can shift
+/// off the truth by at most half the half-width, so both endpoints stay
+/// within `1.5 × half-width` of the truth bounds (before the unit clamp,
+/// which only shrinks the envelope from outside).
+#[must_use]
+pub fn forecast_envelope(truth_lo: f64, truth_hi: f64, horizon_hours: f64) -> Interval {
+    let hw = horizon_half_width(horizon_hours);
+    Interval::new((truth_lo - 1.5 * hw).max(0.0), (truth_hi + 1.5 * hw).min(1.0))
 }
 
 /// Build a `[0,1]`-clamped forecast interval around a truth value.
@@ -104,6 +137,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn validity_horizon_inverts_growth() {
+        // Spending half an hour of staleness costs exactly
+        // 0.5 h × growth-per-hour of extra half-width, and vice versa.
+        let h = forecast_validity_horizon(HALF_WIDTH_GROWTH_PER_H * 0.5);
+        assert_eq!(h, ec_types::SimDuration::from_mins(30));
+        assert_eq!(forecast_validity_horizon(-1.0), ec_types::SimDuration::ZERO);
     }
 
     #[test]

@@ -45,4 +45,7 @@ pub use resilience::{
     BreakerPolicy, BreakerState, FeedGuard, FeedKind, GuardSnapshot, ResiliencePolicy,
     ResilientProvider, RetryPolicy,
 };
-pub use server::{staleness_half_width, widen_factor, widen_unit, InfoServer, ServerStats};
+pub use server::{
+    eta_bucket, forecast_window, staleness_half_width, widen_factor, widen_unit, InfoServer,
+    ServerStats,
+};

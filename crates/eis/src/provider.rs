@@ -105,6 +105,19 @@ impl SimProviders {
     }
 }
 
+/// The issue instant a simulator forecast is computed as of: the start of
+/// the query's forecast window. This makes every `SimProviders` forecast
+/// a pure function of `(feed key, window, eta bucket)` — any `now` inside
+/// the same window yields byte-identical intervals, so a forecast can be
+/// re-derived later exactly (the purity contract the lazy filter–refine
+/// engine and `InfoServer`'s window-keyed caches rely on; see
+/// `crate::forecast_window`). Quantised here, in the *model-backed*
+/// provider, rather than in the server: wrapped third-party or
+/// fault-injected feeds must keep seeing the true query instant.
+fn issue_time(now: SimTime) -> SimTime {
+    crate::server::forecast_window(now)
+}
+
 impl WeatherProvider for SimProviders {
     fn forecast_sun(
         &self,
@@ -112,7 +125,7 @@ impl WeatherProvider for SimProviders {
         now: SimTime,
         eta: SimTime,
     ) -> Result<Interval, EcError> {
-        Ok(self.weather.forecast_sun_fraction(loc, now, eta))
+        Ok(self.weather.forecast_sun_fraction(loc, issue_time(now), eta))
     }
 }
 
@@ -123,7 +136,7 @@ impl WindProvider for SimProviders {
         now: SimTime,
         eta: SimTime,
     ) -> Result<Interval, EcError> {
-        Ok(self.wind.forecast_capacity_factor(loc, now, eta))
+        Ok(self.wind.forecast_capacity_factor(loc, issue_time(now), eta))
     }
 }
 
@@ -137,7 +150,7 @@ impl AvailabilityProvider for SimProviders {
         Ok(self.availability.forecast_availability(
             charger.entity_seed(),
             charger.archetype,
-            now,
+            issue_time(now),
             eta,
         ))
     }
@@ -150,7 +163,7 @@ impl TrafficProvider for SimProviders {
         now: SimTime,
         eta: SimTime,
     ) -> Result<Interval, EcError> {
-        Ok(self.traffic.forecast_time_factor(congestibility(class), now, eta))
+        Ok(self.traffic.forecast_time_factor(congestibility(class), issue_time(now), eta))
     }
 
     fn forecast_energy_factor(
@@ -159,7 +172,7 @@ impl TrafficProvider for SimProviders {
         now: SimTime,
         eta: SimTime,
     ) -> Result<Interval, EcError> {
-        Ok(self.traffic.forecast_energy_factor(congestibility(class), now, eta))
+        Ok(self.traffic.forecast_energy_factor(congestibility(class), issue_time(now), eta))
     }
 }
 

@@ -48,18 +48,41 @@ const WEATHER_CELL_DEG: f64 = 0.5;
 /// How long a cached forecast stays valid, sim-time.
 const FORECAST_TTL: SimDuration = SimDuration::from_mins(15);
 
+/// Quantise a query instant to the start of its forecast window (the
+/// [`FORECAST_TTL`] grid). The window start is part of the fresh-cache
+/// key, and the model-backed [`crate::SimProviders`] quantises its
+/// forecast issue times to the same grid — so for model-backed servers a
+/// forecast is a pure function of `(feed key, window)`: a hit, a fresh
+/// fetch, and a later re-fetch with any `now` inside the same window all
+/// return byte-identical intervals. Without this, the issue time of a
+/// cached entry would depend on which query happened to populate it, and
+/// cache *history* (hence query order, hence pruning) could change
+/// values. Wrapped third-party providers still see the true query
+/// instant; the lazy pruning engine refuses to run against them
+/// ([`InfoServer::availability_model_backed`]).
+#[must_use]
+pub fn forecast_window(now: SimTime) -> SimTime {
+    SimTime::from_secs((now.as_secs() / FORECAST_TTL.as_secs()) * FORECAST_TTL.as_secs())
+}
+
 /// How long the last-known-good tier remembers a value past its fetch.
 /// Beyond this a forecast is considered too old to widen honestly.
 const LKG_TTL: SimDuration = SimDuration::from_hours(6);
 
 /// Quantise an ETA to its cache bucket's representative instant (the
-/// middle of the hour). The *inputs* to every upstream call are derived
-/// from the cache key, never from the exact query — so a cache hit and a
-/// fresh fetch return byte-identical forecasts, and cache state can never
-/// change a ranking (only its cost). Hourly L/A/traffic granularity
-/// matches the sources being modelled (popular-times histograms and
-/// weather feeds are hourly).
-fn eta_bucket(eta: SimTime) -> SimTime {
+/// middle of the hour). Together with [`forecast_window`], the *inputs*
+/// to every upstream call are derived from the cache key alone, never
+/// from the exact query — so a cache hit and a fresh fetch return
+/// byte-identical forecasts, and cache state can never change a ranking
+/// (only its cost). Hourly L/A/traffic granularity matches the sources
+/// being modelled (popular-times histograms and weather feeds are
+/// hourly).
+///
+/// Public because bound-based pruning must reproduce the exact instant a
+/// forecast will be evaluated at in order to build a sound envelope
+/// around it (see `ecocharge-core`'s lazy filter–refine engine).
+#[must_use]
+pub fn eta_bucket(eta: SimTime) -> SimTime {
     SimTime::from_secs((eta.as_secs() / 3_600) * 3_600 + 1_800)
 }
 
@@ -164,10 +187,13 @@ pub struct InfoServer {
     availability: Arc<dyn AvailabilityProvider>,
     traffic: Arc<dyn TrafficProvider>,
     wind: Option<Arc<dyn WindProvider>>,
-    sun_cache: TtlCache<(i64, i64, u64), Interval>,
-    wind_cache: TtlCache<(i64, i64, u64), Interval>,
-    avail_cache: TtlCache<(u32, u64), Interval>,
-    traffic_cache: TtlCache<(u8, u64, bool), Interval>,
+    // Fresh tier: keyed `(bucket key, forecast-window start)` so entries
+    // from adjacent windows coexist and a value can be re-derived exactly
+    // for any past window (see [`forecast_window`]).
+    sun_cache: TtlCache<((i64, i64, u64), u64), Interval>,
+    wind_cache: TtlCache<((i64, i64, u64), u64), Interval>,
+    avail_cache: TtlCache<((u32, u64), u64), Interval>,
+    traffic_cache: TtlCache<((u8, u64, bool), u64), Interval>,
     // Last-known-good tier: value + when it was fetched, kept long past
     // the fresh TTL so an outage can be bridged with widened intervals.
     sun_lkg: TtlCache<(i64, i64, u64), (Interval, SimTime)>,
@@ -177,6 +203,10 @@ pub struct InfoServer {
     stats: ServerStats,
     serve_stale: bool,
     guards: Option<GuardSet>,
+    /// True when the availability feed is the in-tree simulation model —
+    /// the only case in which the archetype-level truth bounds of
+    /// `ec-models` are guaranteed to contain every served forecast.
+    avail_model_backed: bool,
 }
 
 impl InfoServer {
@@ -203,6 +233,7 @@ impl InfoServer {
             stats: ServerStats::default(),
             serve_stale: false,
             guards: None,
+            avail_model_backed: false,
         }
     }
 
@@ -263,7 +294,18 @@ impl InfoServer {
     #[must_use]
     pub fn from_sims(sims: crate::provider::SimProviders) -> Self {
         let shared = Arc::new(sims);
-        Self::new(shared.clone(), shared.clone(), shared.clone()).with_wind(shared)
+        let mut s = Self::new(shared.clone(), shared.clone(), shared.clone()).with_wind(shared);
+        s.avail_model_backed = true;
+        s
+    }
+
+    /// Whether the availability feed is the in-tree simulation model.
+    /// Clients that bound availability with the `ec-models` archetype
+    /// envelopes (the lazy filter–refine engine) must check this: an
+    /// externally wired provider makes those bounds meaningless.
+    #[must_use]
+    pub const fn availability_model_backed(&self) -> bool {
+        self.avail_model_backed
     }
 
     /// Attach a wind feed (stations with zero wind capacity never ask).
@@ -291,22 +333,33 @@ impl InfoServer {
     /// last-known-good with staleness widening. `unit` selects the
     /// widening rule (absolute-clamped for `[0,1]` quantities, relative
     /// with a 1.0 floor for traffic factors).
+    ///
+    /// The fresh-cache key carries the forecast window, and the upstream
+    /// call is issued at the true `now` — wrapped providers (fault
+    /// injection, external feeds) see the real query instant. Value
+    /// purity per window (the contract lazy pruning needs, see
+    /// [`forecast_window`]) is the *model-backed provider's* job:
+    /// `SimProviders` quantises its forecast issue times internally, and
+    /// the lazy engine refuses to run against anything else
+    /// ([`InfoServer::availability_model_backed`]).
     #[allow(clippy::too_many_arguments)]
     fn fetch<K: Eq + Hash + Clone>(
         &self,
         feed: FeedKind,
-        cache: &TtlCache<K, Interval>,
+        cache: &TtlCache<(K, u64), Interval>,
         lkg: &TtlCache<K, (Interval, SimTime)>,
         key: K,
         now: SimTime,
         unit: bool,
         fetch: impl Fn() -> Result<Interval, EcError>,
     ) -> Result<SourcedInterval, EcError> {
-        let fresh = cache.get_or_insert_with(key.clone(), now, FORECAST_TTL, || {
-            let v = self.upstream(feed, now, &fetch)?;
-            lkg.put(key.clone(), (v, now), now, LKG_TTL);
-            Ok(v)
-        });
+        let window = forecast_window(now);
+        let fresh =
+            cache.get_or_insert_with((key.clone(), window.as_secs()), now, FORECAST_TTL, || {
+                let v = self.upstream(feed, now, &fetch)?;
+                lkg.put(key.clone(), (v, now), now, LKG_TTL);
+                Ok(v)
+            });
         match fresh {
             Ok(v) => Ok(SourcedInterval::fresh(v)),
             Err(e) if self.serve_stale => match lkg.get_allow_stale(&key, now) {
@@ -684,6 +737,38 @@ mod tests {
         let wide = widen_factor(factor, 0.1);
         assert!(wide.lo() <= factor.lo() && wide.hi() >= factor.hi());
         assert!(wide.lo() >= 1.0, "free-flow floor");
+    }
+
+    #[test]
+    fn forecasts_are_pure_per_window() {
+        // The purity contract behind lazy pruning: a forecast is a pure
+        // function of (feed key, forecast window). Whatever the exact
+        // `now` inside the window, whatever the cache history, the value
+        // is byte-identical — and it can be re-derived later on a fresh
+        // server by replaying any `now` from the original window.
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 7);
+        let same_window = SimTime::at(0, DayOfWeek::Tue, 9, 13);
+        let eta = now + SimDuration::from_hours(2);
+        let loc = GeoPoint::new(8.2, 53.1);
+        let ch = charger(3);
+
+        let s = server();
+        let a1 = s.availability_forecast(&ch, now, eta).unwrap();
+        let a2 = s.availability_forecast(&ch, same_window, eta).unwrap();
+        assert_eq!(a1, a2, "same window, same value — regardless of exact now");
+
+        // A fresh server whose first-ever query lands late in the window
+        // still derives the identical value: history cannot matter.
+        let replay = server();
+        let _ = replay.sun_forecast(&loc, same_window, eta).unwrap();
+        let b = replay.availability_forecast(&ch, same_window, eta).unwrap();
+        assert_eq!(a1, b, "value must not depend on which call populated the cache");
+        assert_eq!(forecast_window(now), forecast_window(same_window));
+        assert_ne!(
+            forecast_window(now),
+            forecast_window(now + SimDuration::from_mins(15)),
+            "adjacent windows are distinct keys"
+        );
     }
 
     #[test]

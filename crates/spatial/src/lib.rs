@@ -32,7 +32,7 @@ pub use brute::{knn_scan, range_scan};
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use ordf64::OrdF64;
-pub use quadtree::QuadTree;
+pub use quadtree::{KnnIter, QuadTree};
 
 use ec_types::GeoPoint;
 

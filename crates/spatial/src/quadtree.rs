@@ -11,6 +11,9 @@
 //! * [`QuadTree::knn`] — best-first search using a min-heap keyed by the
 //!   minimum possible distance of each node's bounding box, the standard
 //!   optimal kNN traversal;
+//! * [`QuadTree::knn_iter`] — the same traversal as a lazy iterator, for
+//!   consumers that stop on a distance or pruning threshold instead of a
+//!   fixed `k`;
 //! * [`QuadTree::range`] — radius query by box/circle overlap pruning.
 
 use crate::{Hit, OrdF64};
@@ -179,53 +182,29 @@ impl<T> QuadTree<T> {
     /// a point reaches the heap top it is provably the next nearest.
     #[must_use]
     pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<Hit<'_, T>> {
-        if k == 0 || self.is_empty() {
+        if k == 0 {
             return Vec::new();
         }
-        #[derive(PartialEq, Eq, PartialOrd, Ord)]
-        enum Entry {
-            Node(usize),
-            Item(u32),
+        self.knn_iter(query).take(k).collect()
+    }
+
+    /// Lazily stream **all** payloads in ascending-distance order — the
+    /// same best-first traversal as [`QuadTree::knn`], but pulled one hit
+    /// at a time, so a consumer that stops early (a distance cutoff, a
+    /// pruning threshold) never pays for ordering the rest of the tree.
+    /// Equal distances tie-break by insertion order, matching
+    /// `brute::knn_scan`'s stable sort.
+    #[must_use]
+    pub fn knn_iter(&self, query: &GeoPoint) -> KnnIter<'_, T> {
+        let mut heap = BinaryHeap::new();
+        if !self.is_empty() {
+            heap.push(Reverse((
+                OrdF64::new(self.boxes[0].min_dist_m(query)),
+                0,
+                KnnEntry::Node(0),
+            )));
         }
-        let mut heap: BinaryHeap<Reverse<(OrdF64, u32, Entry)>> = BinaryHeap::new();
-        heap.push(Reverse((OrdF64::new(self.boxes[0].min_dist_m(query)), 0, Entry::Node(0))));
-        let mut out = Vec::with_capacity(k);
-        while let Some(Reverse((d, tie, entry))) = heap.pop() {
-            match entry {
-                Entry::Item(idx) => {
-                    let (pos, ref item) = self.items[idx as usize];
-                    out.push(Hit { item, pos, dist_m: d.get() });
-                    if out.len() == k {
-                        break;
-                    }
-                }
-                Entry::Node(n) => {
-                    let _ = tie;
-                    match &self.nodes[n] {
-                        Node::Leaf { entries } => {
-                            for &idx in entries {
-                                let pos = self.items[idx as usize].0;
-                                heap.push(Reverse((
-                                    OrdF64::new(query.fast_dist_m(&pos)),
-                                    idx,
-                                    Entry::Item(idx),
-                                )));
-                            }
-                        }
-                        Node::Internal { children } => {
-                            for &c in children {
-                                heap.push(Reverse((
-                                    OrdF64::new(self.boxes[c].min_dist_m(query)),
-                                    u32::try_from(c).expect("node count fits u32"),
-                                    Entry::Node(c),
-                                )));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
+        KnnIter { tree: self, query: *query, heap }
     }
 
     /// All payloads within `radius_m` of `query`, sorted by ascending
@@ -258,6 +237,62 @@ impl<T> QuadTree<T> {
     /// Iterate over all `(position, payload)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &(GeoPoint, T)> {
         self.items.iter()
+    }
+}
+
+/// Heap entry of the best-first traversal: an unexpanded tree node or a
+/// single point. Variant order matters — at equal `(distance, tie)` a
+/// node expands before a point is yielded, keeping the traversal
+/// deterministic.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum KnnEntry {
+    Node(usize),
+    Item(u32),
+}
+
+/// Lazy ascending-distance stream over a [`QuadTree`], from
+/// [`QuadTree::knn_iter`].
+#[derive(Debug)]
+pub struct KnnIter<'a, T> {
+    tree: &'a QuadTree<T>,
+    query: GeoPoint,
+    heap: BinaryHeap<Reverse<(OrdF64, u32, KnnEntry)>>,
+}
+
+impl<'a, T> Iterator for KnnIter<'a, T> {
+    type Item = Hit<'a, T>;
+
+    fn next(&mut self) -> Option<Hit<'a, T>> {
+        while let Some(Reverse((d, _tie, entry))) = self.heap.pop() {
+            match entry {
+                KnnEntry::Item(idx) => {
+                    let (pos, ref item) = self.tree.items[idx as usize];
+                    return Some(Hit { item, pos, dist_m: d.get() });
+                }
+                KnnEntry::Node(n) => match &self.tree.nodes[n] {
+                    Node::Leaf { entries } => {
+                        for &idx in entries {
+                            let pos = self.tree.items[idx as usize].0;
+                            self.heap.push(Reverse((
+                                OrdF64::new(self.query.fast_dist_m(&pos)),
+                                idx,
+                                KnnEntry::Item(idx),
+                            )));
+                        }
+                    }
+                    Node::Internal { children } => {
+                        for &c in children {
+                            self.heap.push(Reverse((
+                                OrdF64::new(self.tree.boxes[c].min_dist_m(&self.query)),
+                                u32::try_from(c).expect("node count fits u32"),
+                                KnnEntry::Node(c),
+                            )));
+                        }
+                    }
+                },
+            }
+        }
+        None
     }
 }
 
@@ -352,6 +387,26 @@ mod tests {
         let items = random_items(7, 1);
         let tree = QuadTree::bulk(items);
         assert_eq!(tree.knn(&GeoPoint::new(8.0, 53.0), 99).len(), 7);
+    }
+
+    #[test]
+    fn knn_iter_streams_full_tree_in_brute_order() {
+        let items = random_items(300, 11);
+        let tree = QuadTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0).offset_m(12_000.0, 9_000.0);
+        let streamed: Vec<u32> = tree.knn_iter(&q).map(|h| *h.item).collect();
+        let want: Vec<u32> =
+            brute::knn_scan(&items, &q, items.len()).iter().map(|h| *h.item).collect();
+        assert_eq!(streamed, want);
+        // Distances come out non-decreasing, so a consumer may stop at a
+        // distance cutoff without missing anything closer.
+        let dists: Vec<f64> = tree.knn_iter(&q).map(|h| h.dist_m).collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(tree.knn_iter(&q).next().is_some());
+        let empty: QuadTree<u32> = QuadTree::bulk(Vec::new());
+        assert!(empty.knn_iter(&q).next().is_none());
     }
 
     #[test]

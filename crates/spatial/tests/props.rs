@@ -33,6 +33,25 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The lazy stream must yield every hit in the exact order of the
+    /// brute-force scan — prefix-for-prefix, so stopping early at any
+    /// point is equivalent to a brute-force top-`m`.
+    #[test]
+    fn quadtree_knn_iter_streams_in_brute_order(
+        seed in 0u64..10_000,
+        n in 0usize..400,
+        extent_km in 1.0..200.0f64,
+        qx in -0.2..1.2f64, qy in -0.2..1.2f64,
+    ) {
+        let items = cloud(seed, n, extent_km * 1_000.0);
+        let tree = QuadTree::bulk(items.clone());
+        let q = GeoPoint::new(8.0, 53.0)
+            .offset_m(qx * extent_km * 1_000.0, qy * extent_km * 1_000.0);
+        let got: Vec<usize> = tree.knn_iter(&q).map(|h| *h.item).collect();
+        let want: Vec<usize> = brute::knn_scan(&items, &q, n).iter().map(|h| *h.item).collect();
+        prop_assert_eq!(got, want);
+    }
+
     #[test]
     fn quadtree_range_equals_brute(
         seed in 0u64..10_000,
