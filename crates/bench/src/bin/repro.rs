@@ -11,8 +11,9 @@
 
 use ecocharge_bench::{
     print_rows, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7, run_fig8,
-    run_fig9, run_modes, run_prune, run_regret, run_scaling, run_throughput, run_validation,
-    write_csv, write_detour_json, write_prune_json, write_scaling_json, HarnessConfig,
+    run_fig9, run_modes, run_prune, run_regret, run_scaling, run_sessions, run_throughput,
+    run_validation, write_csv, write_detour_json, write_prune_json, write_scaling_json,
+    write_sessions_json, HarnessConfig,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -20,7 +21,7 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|sessions> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
         [--detour-backend dijkstra|ch] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
@@ -39,6 +40,11 @@ fn usage() -> ! {
               exact-EC evaluations avoided, with bit-identity check; writes\n\
               BENCH_prune.json (exits non-zero when any pruned table diverges or\n\
               the largest fleet avoids no evaluations)\n\
+  sessions    fleet-scale serving: sessions (10,100,1000) x service threads (1,4,8)\n\
+              through the multi-tenant SessionService, measuring throughput, p50/p99\n\
+              event latency and the cross-session forecast-sharing hit rate, with a\n\
+              bit-identity check per cell; writes BENCH_sessions.json (exits non-zero\n\
+              when any cell diverges or the largest sweep shares no forecasts)\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
   --threads N worker threads for ranking / rep fan-out (default 1)\n\
@@ -335,6 +341,57 @@ fn main() {
                 .any(|r| r.exact_pruned < r.exact_unpruned)
             {
                 eprintln!("ERROR: pruning avoided no exact evaluations on the largest fleet");
+                std::process::exit(1);
+            }
+        }
+        "sessions" => {
+            let rows = run_sessions(&harness, &[10, 100, 1000], &[1, 4, 8]);
+            println!("\n=== Sessions: fleet-scale serving (Oldenburg) ===");
+            println!(
+                "{:<9} {:>8} {:>8} {:>11} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9} {:>8} {:>10}",
+                "sessions",
+                "threads",
+                "events",
+                "events/s",
+                "p50(us)",
+                "p99(us)",
+                "deferred",
+                "shared",
+                "share%",
+                "speedup",
+                "tables",
+                "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<9} {:>8} {:>8} {:>11.0} {:>10.1} {:>10.1} {:>9} {:>9} {:>7.1}% {:>8.2}x {:>8} {:>10}",
+                    r.sessions,
+                    r.threads,
+                    r.events,
+                    r.events_per_s,
+                    r.p50_us,
+                    r.p99_us,
+                    r.deferred,
+                    r.shared_hits,
+                    r.shared_hit_rate * 100.0,
+                    r.speedup,
+                    r.tables_emitted,
+                    r.identical
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_sessions.json");
+            match write_sessions_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("sessions json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: a session-service run diverged from the single-threaded tables");
+                std::process::exit(1);
+            }
+            let largest = rows.iter().map(|r| r.sessions).max().unwrap_or(0);
+            if !rows.iter().filter(|r| r.sessions == largest).any(|r| r.shared_hits > 0) {
+                eprintln!("ERROR: the largest sweep shared no forecasts across sessions");
                 std::process::exit(1);
             }
         }

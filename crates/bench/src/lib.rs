@@ -17,6 +17,7 @@ pub mod extensions;
 pub mod figures;
 pub mod prune;
 pub mod scaling;
+pub mod sessions;
 pub mod table;
 pub mod validate;
 
@@ -26,5 +27,6 @@ pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, 
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
 pub use prune::{run_prune, write_prune_json, PruneRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
+pub use sessions::{run_sessions, write_sessions_json, SessionsRow};
 pub use table::{print_rows, write_csv};
 pub use validate::{run_validation, Check};

@@ -67,6 +67,32 @@ impl EcoCharge {
         self.stats
     }
 
+    /// The Dynamic Cache behind this instance — the handle serving
+    /// layers read for per-session adaptation accounting (the counters
+    /// of [`EcoCharge::cache_stats`] plus whatever [`DynamicCache`]
+    /// exposes directly).
+    #[must_use]
+    pub const fn dynamic_cache(&self) -> &DynamicCache {
+        &self.cache
+    }
+
+    /// Re-rank entry point for serving layers: exactly
+    /// [`RankingMethod::offering_table`], callable without importing the
+    /// trait. One call = one solve of Algorithm 1 at `(offset_m, now)`
+    /// against this instance's Dynamic Cache.
+    ///
+    /// # Errors
+    /// Propagates provider and configuration failures.
+    pub fn rerank(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &Trip,
+        offset_m: f64,
+        now: SimTime,
+    ) -> Result<OfferingTable, EcError> {
+        self.offering_table(ctx, trip, offset_m, now)
+    }
+
     /// True when this query may take the lazy filter–refine path: pruning
     /// enabled and the availability envelope sound — the server serves
     /// fresh model-backed forecasts with no resilience machinery that

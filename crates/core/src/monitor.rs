@@ -117,6 +117,13 @@ impl<M: RankingMethod> TripMonitor<M> {
     pub fn current_ranking(&self) -> Option<&[ChargerId]> {
         self.last_ranking.as_deref()
     }
+
+    /// The ranking method driving this monitor (e.g. to read an
+    /// [`crate::EcoCharge`]'s Dynamic-Cache counters mid-trip).
+    #[must_use]
+    pub const fn method(&self) -> &M {
+        &self.method
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +216,87 @@ mod tests {
             boundaries
         );
         assert!(mon.current_ranking().is_some());
+    }
+
+    #[test]
+    fn split_list_survives_forecast_window_rollover_mid_segment() {
+        use ec_types::SimDuration;
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let trip = &f.trips[0];
+        let boundaries: Vec<f64> = CknnQuery::new(&ctx, trip)
+            .unwrap()
+            .split_points()
+            .iter()
+            .map(|sp| sp.offset_m)
+            .collect();
+        assert!(boundaries.len() >= 2, "need a second split point");
+        let b1 = boundaries[1];
+
+        let mut mon = TripMonitor::start(&ctx, trip, EcoCharge::new()).unwrap();
+        let e0 = mon.advance(&ctx, trip, 0.0, trip.depart).unwrap();
+        assert!(matches!(e0, MonitorEvent::NewTable(_)), "{e0:?}");
+
+        // Fixes straddling the next 15-minute forecast-window boundary,
+        // both still inside the first segment.
+        let rollover = eis::forecast_window(trip.depart) + eis::FORECAST_TTL;
+        let before_t = std::cmp::max(trip.depart, rollover - SimDuration::from_secs(30));
+        let before = mon.advance(&ctx, trip, b1 * 0.4, before_t).unwrap();
+        let after_t = rollover + SimDuration::from_secs(30);
+        let after = mon.advance(&ctx, trip, b1 * 0.6, after_t).unwrap();
+        assert_ne!(
+            eis::forecast_window(before_t),
+            eis::forecast_window(after_t),
+            "the fixes must straddle a window rollover"
+        );
+        assert_eq!(before, MonitorEvent::WithinSegment);
+        assert_eq!(
+            after,
+            MonitorEvent::WithinSegment,
+            "a rollover mid-segment must not trigger a recompute: the split list alone decides"
+        );
+
+        // The next boundary — now in the new window — still answers from
+        // the split list, and the solve adapts the pre-rollover pool
+        // (moved < Q, well under the 30-min cache horizon).
+        let e1 = mon.advance(&ctx, trip, b1, rollover + SimDuration::from_mins(2)).unwrap();
+        assert!(!matches!(e1, MonitorEvent::WithinSegment), "{e1:?}");
+        assert!(!matches!(e1, MonitorEvent::NoOffers), "{e1:?}");
+        let (hits, _) = mon.method().cache_stats();
+        assert!(hits >= 1, "the post-rollover boundary solve must adapt the cached pool");
+    }
+
+    #[test]
+    fn rollover_replay_is_deterministic() {
+        // Two identical fixtures drive the identical fix stream across at
+        // least one forecast-window rollover: the event streams — tables
+        // included — must match byte for byte, i.e. split-list
+        // maintenance and cache adaptation cannot depend on anything but
+        // the (offset, now) sequence.
+        let run = || {
+            let f = Fixture::new();
+            let ctx = f.ctx();
+            let trip = &f.trips[0];
+            assert_ne!(
+                eis::forecast_window(trip.depart),
+                eis::forecast_window(trip.arrival(&f.graph)),
+                "the drive must cross a rollover"
+            );
+            let mut mon = TripMonitor::start(&ctx, trip, EcoCharge::new()).unwrap();
+            let mut events = Vec::new();
+            let mut offset = 0.0;
+            while offset <= trip.length_m() {
+                let now = trip.eta_at_offset(&f.graph, offset);
+                events.push(mon.advance(&ctx, trip, offset, now).unwrap());
+                offset += 250.0;
+            }
+            (events, mon.stats())
+        };
+        let (events_a, stats_a) = run();
+        let (events_b, stats_b) = run();
+        assert_eq!(events_a, events_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(events_a.iter().any(|e| matches!(e, MonitorEvent::NewTable(_))));
     }
 
     #[test]

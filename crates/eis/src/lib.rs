@@ -25,7 +25,10 @@
 //!   server, edge device) and their request-cost model, including the
 //!   fault-overhead accounting of degraded refreshes;
 //! * [`rpc`] — a minimal crossbeam-channel request/response bus used to
-//!   run an [`InfoServer`] behind a thread boundary in Mode 2.
+//!   run an [`InfoServer`] behind a thread boundary in Mode 2;
+//! * [`share`] — the cross-session forecast-reuse ledger the fleet
+//!   serving layer attaches to measure how much `L`/`A`/`D` work
+//!   co-located sessions inherit from each other through the caches.
 
 pub mod cache;
 pub mod chaos;
@@ -34,6 +37,7 @@ pub mod provider;
 pub mod resilience;
 pub mod rpc;
 pub mod server;
+pub mod share;
 
 pub use cache::TtlCache;
 pub use chaos::{ChaosConfig, ChaosProvider, OutageWindow};
@@ -47,5 +51,6 @@ pub use resilience::{
 };
 pub use server::{
     eta_bucket, forecast_window, staleness_half_width, widen_factor, widen_unit, InfoServer,
-    ServerStats,
+    ServerStats, FORECAST_TTL,
 };
+pub use share::{ForecastShare, SessionScope, ShareSnapshot};

@@ -9,6 +9,7 @@
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -33,7 +34,8 @@ impl<Req, Resp> Clone for ServiceClient<Req, Resp> {
 impl<Req: Send + 'static, Resp: Send + 'static> ServiceClient<Req, Resp> {
     /// Send a request and block for the response.
     ///
-    /// Returns `None` when the server has shut down.
+    /// Returns `None` when the server has shut down, or when the handler
+    /// panicked on *this* request (the service itself survives).
     pub fn call(&self, req: Req) -> Option<Resp> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx.send(Envelope { req, reply: reply_tx }).ok()?;
@@ -62,8 +64,16 @@ impl ServiceBus {
         let (tx, rx): Channel<Req, Resp> = unbounded();
         let handle = std::thread::spawn(move || {
             while let Ok(Envelope { req, reply }) = rx.recv() {
-                // A client that hung up mid-call is not an error.
-                let _ = reply.send(handler(req));
+                // A panicking handler must not take the service down: the
+                // panicked request's caller sees `None` (its reply sender
+                // drops unanswered) and the loop keeps serving the queue.
+                match catch_unwind(AssertUnwindSafe(|| handler(req))) {
+                    // A client that hung up mid-call is not an error.
+                    Ok(resp) => {
+                        let _ = reply.send(resp);
+                    }
+                    Err(_) => drop(reply),
+                }
             }
         });
         (ServiceClient { tx }, ServiceBus { handles: vec![handle] })
@@ -105,7 +115,18 @@ impl ServiceBus {
                     let envelope = rx.lock().recv();
                     match envelope {
                         Ok(Envelope { req, reply }) => {
-                            let _ = reply.send(handler(req));
+                            // A worker that panicked mid-handler used to
+                            // unwind out of this loop; once every worker
+                            // had died, already-queued callers were left
+                            // waiting on a bus nobody drains. Contain the
+                            // panic instead: this caller gets `None`, the
+                            // worker lives on to serve pending requests.
+                            match catch_unwind(AssertUnwindSafe(|| handler(req))) {
+                                Ok(resp) => {
+                                    let _ = reply.send(resp);
+                                }
+                                Err(_) => drop(reply),
+                            }
                         }
                         Err(_) => break, // all clients hung up
                     }
@@ -207,6 +228,54 @@ mod tests {
         let (client, _bus) = ServiceBus::spawn_pool(1, |_w| |x: u32| x + 1);
         assert_eq!(client.call(1), Some(2));
         assert_eq!(client.call(2), Some(3));
+    }
+
+    #[test]
+    fn spawn_survives_handler_panic() {
+        let (client, _bus) = ServiceBus::spawn(|x: u32| {
+            assert!(x.is_multiple_of(2), "injected fault");
+            x / 2
+        });
+        assert_eq!(client.call(8), Some(4));
+        // The poisoned request fails cleanly…
+        assert_eq!(client.call(3), None);
+        // …and the server thread is still alive to answer the next one.
+        assert_eq!(client.call(10), Some(5));
+    }
+
+    #[test]
+    fn pool_survives_worker_panic_and_serves_pending_requests() {
+        // Regression: a handler panic used to unwind the worker loop;
+        // with every worker dead, queued callers blocked on a bus nobody
+        // drains. Every call below must complete — the panicked one as
+        // `None`, the rest answered.
+        let (client, _bus) = ServiceBus::spawn_pool(2, |_w| {
+            |x: u32| {
+                assert!(x != 13, "injected fault");
+                x * 2
+            }
+        });
+        std::thread::scope(|scope| {
+            let bad = {
+                let c = client.clone();
+                scope.spawn(move || c.call(13))
+            };
+            let good: Vec<_> = (0..8u32)
+                .map(|i| {
+                    let c = client.clone();
+                    scope.spawn(move || c.call(i))
+                })
+                .collect();
+            assert_eq!(bad.join().unwrap(), None, "panic propagates as a failed call");
+            let mut got: Vec<u32> =
+                good.into_iter().map(|h| h.join().unwrap().expect("worker survived")).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..8u32).map(|i| i * 2).collect::<Vec<_>>());
+        });
+        // Both workers remain healthy afterwards.
+        assert_eq!(client.call(4), Some(8));
+        assert_eq!(client.call(13), None);
+        assert_eq!(client.call(5), Some(10));
     }
 
     #[test]

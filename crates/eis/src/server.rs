@@ -33,20 +33,24 @@
 use crate::cache::TtlCache;
 use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
 use crate::resilience::{BreakerState, FeedKind, GuardSet, GuardSnapshot, ResiliencePolicy};
+use crate::share::{ForecastShare, ShareSnapshot};
 use chargers::Charger;
 use ec_models::horizon_half_width;
 use ec_types::{EcError, GeoPoint, Interval, SimDuration, SimTime, SourcedInterval};
 use roadnet::RoadClass;
+use std::cell::Cell;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Weather cache cell edge, degrees (matches the simulator's weather-cell
 /// granularity so caching cannot change answers).
 const WEATHER_CELL_DEG: f64 = 0.5;
 
-/// How long a cached forecast stays valid, sim-time.
-const FORECAST_TTL: SimDuration = SimDuration::from_mins(15);
+/// How long a cached forecast stays valid, sim-time. Public because the
+/// fleet serving layer schedules its forecast-window rollover events on
+/// exactly this grid (see [`forecast_window`]).
+pub const FORECAST_TTL: SimDuration = SimDuration::from_mins(15);
 
 /// Quantise a query instant to the start of its forecast window (the
 /// [`FORECAST_TTL`] grid). The window start is part of the fresh-cache
@@ -207,6 +211,9 @@ pub struct InfoServer {
     /// the only case in which the archetype-level truth bounds of
     /// `ec-models` are guaranteed to contain every served forecast.
     avail_model_backed: bool,
+    /// Cross-session reuse ledger, attached lazily by the fleet serving
+    /// layer ([`InfoServer::forecast_share`]); observational only.
+    share: OnceLock<Arc<ForecastShare>>,
 }
 
 impl InfoServer {
@@ -234,7 +241,24 @@ impl InfoServer {
             serve_stale: false,
             guards: None,
             avail_model_backed: false,
+            share: OnceLock::new(),
         }
+    }
+
+    /// The cross-session reuse ledger, attaching one on first call.
+    /// Reads executed under a [`crate::share::SessionScope`] are
+    /// attributed to their session from then on; the ledger never changes
+    /// what any forecast returns. (Stale last-known-good serves are not
+    /// ledgered — only the fresh tier, where cross-session reuse lives.)
+    #[must_use]
+    pub fn forecast_share(&self) -> Arc<ForecastShare> {
+        Arc::clone(self.share.get_or_init(|| Arc::new(ForecastShare::default())))
+    }
+
+    /// Counter snapshot of the attached ledger, if any.
+    #[must_use]
+    pub fn forecast_share_stats(&self) -> Option<ShareSnapshot> {
+        self.share.get().map(|s| s.snapshot())
     }
 
     /// Enable degraded-mode reads: when an upstream provider fails, serve
@@ -354,12 +378,23 @@ impl InfoServer {
         fetch: impl Fn() -> Result<Interval, EcError>,
     ) -> Result<SourcedInterval, EcError> {
         let window = forecast_window(now);
+        let computed = Cell::new(false);
         let fresh =
             cache.get_or_insert_with((key.clone(), window.as_secs()), now, FORECAST_TTL, || {
+                computed.set(true);
                 let v = self.upstream(feed, now, &fetch)?;
                 lkg.put(key.clone(), (v, now), now, LKG_TTL);
                 Ok(v)
             });
+        if fresh.is_ok() {
+            if let Some(share) = self.share.get() {
+                share.observe(
+                    feed,
+                    crate::share::ledger_cell(&key, window.as_secs()),
+                    computed.get(),
+                );
+            }
+        }
         match fresh {
             Ok(v) => Ok(SourcedInterval::fresh(v)),
             Err(e) if self.serve_stale => match lkg.get_allow_stale(&key, now) {
@@ -769,6 +804,35 @@ mod tests {
             forecast_window(now + SimDuration::from_mins(15)),
             "adjacent windows are distinct keys"
         );
+    }
+
+    #[test]
+    fn forecast_share_attributes_cross_session_hits() {
+        use crate::share::SessionScope;
+        let s = server();
+        let share = s.forecast_share();
+        let now = SimTime::at(0, DayOfWeek::Tue, 9, 0);
+        let eta = now + SimDuration::from_mins(30);
+        let ch = charger(5);
+        {
+            let _scope = SessionScope::enter(1);
+            let _ = s.availability_forecast(&ch, now, eta).unwrap(); // miss: session 1 pays
+            let _ = s.availability_forecast(&ch, now, eta).unwrap(); // its own hit
+        }
+        let under_two = {
+            let _scope = SessionScope::enter(2);
+            s.availability_forecast(&ch, now, eta).unwrap() // inherited hit
+        };
+        let snap = s.forecast_share_stats().unwrap();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.self_hits, 1);
+        assert_eq!(snap.shared_hits, 1);
+        assert_eq!(share.snapshot(), snap);
+        // The ledger is observational: an anonymous read still returns
+        // byte-identical data to the attributed ones.
+        let anon = s.availability_forecast(&ch, now, eta).unwrap();
+        assert_eq!(under_two, anon);
+        assert_eq!(s.forecast_share_stats().unwrap().untagged_hits, 1);
     }
 
     #[test]

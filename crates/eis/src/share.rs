@@ -1,0 +1,240 @@
+//! Cross-session forecast sharing: the attribution ledger.
+//!
+//! The [`crate::InfoServer`] already memoizes every forecast by
+//! `(feed key, forecast window)` — and for model-backed providers the
+//! value is a *pure function* of that key (see
+//! [`crate::forecast_window`]), so two trips whose ETAs land in the same
+//! `(feed, window, ETA bucket)` cell physically reuse each other's
+//! `L`/`A`/`D` work through those caches already. What the fleet serving
+//! layer needs on top is *attribution*: of all cache hits, how many
+//! crossed a session boundary — i.e. how much work did session `s`
+//! inherit from some *other* session instead of from its own earlier
+//! segments?
+//!
+//! [`ForecastShare`] is that ledger. The serving layer tags the executing
+//! session on the current thread with a [`SessionScope`] guard; the
+//! server reports every fresh-tier read outcome via
+//! [`ForecastShare::observe`]. The ledger remembers, per cache cell, the
+//! session that paid for the miss, and classifies each later hit as
+//! *shared* (first computed by a different session), *self* (the same
+//! session re-reading its own work), or *untagged* (no session scope on
+//! either side — e.g. standalone solves).
+//!
+//! The ledger is observational only: it never changes what the caches
+//! return, so enabling it cannot perturb a single Offering Table. That is
+//! the same discipline every perf feature in this workspace follows
+//! (threads, CH backend, pruning — all bit-identity preserving).
+
+use crate::resilience::FeedKind;
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// The session whose event is executing on this thread, if any.
+    static CURRENT_SESSION: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// RAII guard tagging forecast reads on the current thread with a session
+/// id (the raw `ec_types::SessionId` index). Nesting restores the outer
+/// tag on drop.
+///
+/// The tag is thread-local: it covers the synchronous solve the serving
+/// layer runs for one event. If that solve fans out further work to inner
+/// worker threads (`EcoChargeConfig::threads > 1`), those reads appear
+/// *untagged* — the serving layer therefore runs inner solves
+/// single-threaded and parallelises across sessions instead.
+#[derive(Debug)]
+pub struct SessionScope {
+    prev: Option<u32>,
+}
+
+impl SessionScope {
+    /// Tag this thread's forecast reads with `session` until drop.
+    #[must_use]
+    pub fn enter(session: u32) -> Self {
+        let prev = CURRENT_SESSION.with(|c| c.replace(Some(session)));
+        Self { prev }
+    }
+}
+
+impl Drop for SessionScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_SESSION.with(|c| c.set(prev));
+    }
+}
+
+/// The session currently tagged on this thread, if any.
+#[must_use]
+pub fn current_session() -> Option<u32> {
+    CURRENT_SESSION.with(Cell::get)
+}
+
+/// Collapse a typed fresh-cache key + forecast window into the ledger's
+/// cell identity. The ledger only needs equality, not the original key,
+/// so a 64-bit hash keeps it feed-agnostic without making the server's
+/// generic read path allocate. (Hash collisions could at worst
+/// misattribute a hit between two cells — they cannot affect values.)
+#[must_use]
+pub fn ledger_cell<K: Hash>(key: &K, window_secs: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    window_secs.hash(&mut h);
+    h.finish()
+}
+
+/// Counter snapshot of a [`ForecastShare`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareSnapshot {
+    /// Fresh-cache hits whose cell was first computed by a *different*
+    /// session — the work the sharing layer saved.
+    pub shared_hits: u64,
+    /// Fresh-cache hits on a cell the same session computed earlier
+    /// (ordinary per-trip cache locality).
+    pub self_hits: u64,
+    /// Hits with no session attribution on either side.
+    pub untagged_hits: u64,
+    /// Fresh-tier misses (the read paid for the upstream computation).
+    pub misses: u64,
+}
+
+impl ShareSnapshot {
+    /// All fresh-tier reads observed.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.shared_hits + self.self_hits + self.untagged_hits + self.misses
+    }
+
+    /// Fraction of reads answered by *another* session's work.
+    #[must_use]
+    pub fn shared_hit_rate(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-session reuse ledger (see the module docs). Cheap enough to
+/// leave attached: one `RwLock<HashMap>` write per miss, one read per
+/// hit.
+#[derive(Debug, Default)]
+pub struct ForecastShare {
+    /// Cell → the session that paid for its upstream computation
+    /// (`None` = computed outside any session scope).
+    owners: RwLock<HashMap<(FeedKind, u64), Option<u32>>>,
+    shared_hits: AtomicU64,
+    self_hits: AtomicU64,
+    untagged_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ForecastShare {
+    /// Record one fresh-tier read of `cell` ([`ledger_cell`]) on `feed`.
+    /// `computed` is true when the read missed and ran the upstream
+    /// producer.
+    pub fn observe(&self, feed: FeedKind, cell: u64, computed: bool) {
+        let tag = current_session();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.owners.write().insert((feed, cell), tag);
+            return;
+        }
+        let owner = self.owners.read().get(&(feed, cell)).copied();
+        match owner {
+            // Both sides attributed to the same session: plain locality.
+            Some(o) if o.is_some() && o == tag => {
+                self.self_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Known owner differing from the reader (either side may be
+            // an anonymous scope): the cell's work crossed a session
+            // boundary.
+            Some(_) if tag.is_some() => {
+                self.shared_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Untagged reader, or a hit on a cell cached before the
+            // ledger attached.
+            _ => {
+                self.untagged_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ShareSnapshot {
+        ShareSnapshot {
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            self_hits: self.self_hits.load(Ordering::Relaxed),
+            untagged_hits: self.untagged_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current_session(), None);
+        {
+            let _outer = SessionScope::enter(7);
+            assert_eq!(current_session(), Some(7));
+            {
+                let _inner = SessionScope::enter(9);
+                assert_eq!(current_session(), Some(9));
+            }
+            assert_eq!(current_session(), Some(7));
+        }
+        assert_eq!(current_session(), None);
+    }
+
+    #[test]
+    fn classifies_miss_self_and_shared() {
+        let ledger = ForecastShare::default();
+        let cell = ledger_cell(&(3u32, 1_800u64), 900);
+        {
+            let _s = SessionScope::enter(1);
+            ledger.observe(FeedKind::Availability, cell, true); // session 1 pays
+            ledger.observe(FeedKind::Availability, cell, false); // …re-reads its own
+        }
+        {
+            let _s = SessionScope::enter(2);
+            ledger.observe(FeedKind::Availability, cell, false); // session 2 inherits
+        }
+        ledger.observe(FeedKind::Availability, cell, false); // anonymous read
+        let snap = ledger.snapshot();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.self_hits, 1);
+        assert_eq!(snap.shared_hits, 1);
+        assert_eq!(snap.untagged_hits, 1);
+        assert_eq!(snap.total_reads(), 4);
+        assert!((snap.shared_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feeds_do_not_alias() {
+        let ledger = ForecastShare::default();
+        let cell = ledger_cell(&1u32, 900);
+        let _a = SessionScope::enter(1);
+        ledger.observe(FeedKind::Weather, cell, true);
+        // Same cell value on a different feed is a distinct ledger entry:
+        // this read has no recorded owner, so it cannot count as shared.
+        ledger.observe(FeedKind::Traffic, cell, false);
+        let snap = ledger.snapshot();
+        assert_eq!(snap.shared_hits, 0);
+        assert_eq!(snap.untagged_hits, 1);
+    }
+
+    #[test]
+    fn distinct_windows_are_distinct_cells() {
+        assert_ne!(ledger_cell(&(1u32, 1_800u64), 900), ledger_cell(&(1u32, 1_800u64), 1_800));
+    }
+}

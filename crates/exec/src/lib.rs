@@ -73,6 +73,75 @@ where
     slots.into_iter().map(|r| r.expect("every slot computed exactly once")).collect()
 }
 
+/// Map `f` over `items` **by mutable reference** on up to `threads`
+/// workers, preserving order — the fan-out the session service uses to
+/// execute one batch of events, each against its own session's mutable
+/// state (Dynamic Cache, search engine).
+///
+/// Items must be distinct objects (a `&mut [T]` guarantees it), so no
+/// two workers can ever touch the same state: each index is claimed by
+/// exactly one worker via the shared counter, and the per-item mutex
+/// exists only to make `&mut T` reachable from scoped threads without
+/// `unsafe` — every lock is taken exactly once, uncontended.
+///
+/// With `threads <= 1` (or fewer than two items) this is the exact
+/// sequential loop, byte for byte, same as [`parallel_map`].
+pub fn parallel_map_mut<T, S, R, FS, F>(
+    threads: usize,
+    items: &mut [T],
+    mut scratch: FS,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    FS: FnMut(usize) -> S,
+    F: Fn(&mut S, usize, &mut T) -> R + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut s = scratch(0);
+        return items.iter_mut().enumerate().map(|(i, t)| f(&mut s, i, t)).collect();
+    }
+
+    let cells: Vec<parking_lot::Mutex<&mut T>> =
+        items.iter_mut().map(parking_lot::Mutex::new).collect();
+    let n = cells.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let mut s = scratch(w);
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            let cells = &cells;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut item = cells[i].lock();
+                let r = f(&mut s, i, &mut **item);
+                drop(item);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx.iter() {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots.into_iter().map(|r| r.expect("every slot computed exactly once")).collect()
+}
+
 /// Fallible [`parallel_map`]: `f` returns `Result<R, E>` and the first
 /// error **by item index** (not by completion time) is returned, making
 /// the error value deterministic.
@@ -192,6 +261,53 @@ mod tests {
         let empty: Vec<u8> = vec![];
         assert!(parallel_map(8, &empty, |_| (), |_, _, &x| x).is_empty());
         assert_eq!(parallel_map(8, &[9u8], |_| (), |_, _, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_every_item_and_matches_sequential() {
+        let mut seq_items: Vec<(u64, u64)> = (0..311).map(|i| (i, 0)).collect();
+        let mut par_items = seq_items.clone();
+        let run = |threads: usize, items: &mut [(u64, u64)]| {
+            parallel_map_mut(
+                threads,
+                items,
+                |_| 0u64,
+                |calls, i, item| {
+                    *calls += 1;
+                    item.1 = item.0 * 7 + i as u64;
+                    item.1
+                },
+            )
+        };
+        let seq_out = run(1, &mut seq_items);
+        for threads in [2, 4, 8] {
+            let mut items = (0..311).map(|i| (i, 0)).collect::<Vec<_>>();
+            let out = run(threads, &mut items);
+            assert_eq!(out, seq_out, "threads={threads}");
+            assert_eq!(items, seq_items, "threads={threads}: in-place mutations must match");
+        }
+        let _ = run(4, &mut par_items);
+        assert!(par_items.iter().all(|&(i, v)| v != 0 || i == 0), "every item visited");
+    }
+
+    #[test]
+    fn parallel_map_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u8> = vec![];
+        assert!(parallel_map_mut(8, &mut empty, |_| (), |_, _, x| *x).is_empty());
+        let mut one = [9u8];
+        assert_eq!(
+            parallel_map_mut(
+                8,
+                &mut one,
+                |_| (),
+                |_, _, x| {
+                    *x += 1;
+                    *x
+                }
+            ),
+            vec![10]
+        );
+        assert_eq!(one, [10]);
     }
 
     #[test]

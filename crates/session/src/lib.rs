@@ -1,0 +1,63 @@
+//! # `ecocharge-session` — the fleet-scale serving layer.
+//!
+//! Every crate below this one makes a *single* trip's CkNN-EC solve fast
+//! or robust. This crate is the layer the ROADMAP's "heavy traffic from
+//! millions of users" needs above that: a multi-tenant continuous-query
+//! service that owns N concurrent trips end-to-end and multiplexes their
+//! work instead of looping over them.
+//!
+//! * [`registry`] — per-session lifecycle (register trip → segment →
+//!   re-rank → advance → retire) with the session's full solve record;
+//! * [`scheduler`] — the deterministic virtual-time event scheduler: a
+//!   binary-heap queue keyed `(event_time, session_id, event_kind)`
+//!   interleaving segment-boundary re-ranks, 15-minute forecast-window
+//!   rollovers and Dynamic-Cache adaptations across all sessions in one
+//!   total order;
+//! * [`service`] — [`SessionService`]: admission control, batched event
+//!   execution fanned out through `ec-exec` (bit-identical Offering
+//!   Tables at any thread count), bounded per-tick event budgets with
+//!   deterministic overflow deferral, and graceful session shedding when
+//!   the InfoServer is degraded;
+//! * [`stats`] — [`SessionStats`], the service-wide counters including
+//!   the cross-session forecast-sharing hit rates measured by
+//!   [`eis::ForecastShare`].
+//!
+//! ## The determinism argument
+//!
+//! The service promises: *for every trip, the sequence of Offering
+//! Tables produced through the service is bit-identical to replaying the
+//! same `(offset, time)` solves through a standalone
+//! [`ecocharge_core::EcoCharge`] on a fresh server — at any thread
+//! count, any batch budget, any registration order.* Three properties
+//! carry it:
+//!
+//! 1. **The heap holds the whole future.** Every event a session will
+//!    ever need is queued at registration, so the heap's pop order *is*
+//!    the global `(time, session, kind)` total order — independent of
+//!    tick budget and thread count. A batch is a prefix of that order
+//!    capped at one event per session, so batch items touch disjoint
+//!    mutable state (`ec_exec::parallel_map_mut` cannot reorder anything
+//!    a session observes) and each session's events execute strictly in
+//!    itinerary order.
+//! 2. **Virtual times never bend.** An event's `(offset_m, time)` come
+//!    from the trip's precomputed itinerary; backpressure defers *real*
+//!    execution to a later tick but never rewrites the virtual instant a
+//!    solve is evaluated at.
+//! 3. **Forecast purity per window.** For model-backed servers a
+//!    forecast is a pure function of `(feed key, forecast window)`
+//!    ([`eis::forecast_window`]), so whichever session warms a cache
+//!    cell, every later reader gets byte-identical values — sharing
+//!    changes cost, never answers. Against servers without that
+//!    guarantee the service falls back to sequential batch execution.
+
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+pub mod stats;
+
+pub use registry::{
+    build_itinerary, PlannedStop, SessionPhase, SessionState, SolveOutcome, SolvedTable,
+};
+pub use scheduler::{Batch, Event, EventKind, EventScheduler};
+pub use service::{RegisterError, ServiceConfig, SessionService};
+pub use stats::SessionStats;

@@ -1,0 +1,264 @@
+//! Per-session lifecycle and the precomputed event itinerary.
+//!
+//! A session is one trip served end-to-end: **register** (segment the
+//! trip, precompute every event the trip will ever need) → **advance**
+//! (execute itinerary stops in order: segment-boundary re-ranks,
+//! forecast-window rollovers, cache adaptations) → **retire** at
+//! arrival. Because trips are scheduled (§II-A: the route is known), the
+//! whole itinerary is a pure function of `(trip, config)` computed at
+//! registration — there is nothing event execution can discover that
+//! would change *which* events exist, which is what lets the scheduler
+//! promise one total order up front.
+
+use crate::scheduler::{Event, EventKind};
+use ec_types::{ChargerId, EcError, SessionId, SimDuration, SimTime};
+use ecocharge_core::{CknnQuery, EcoCharge, OfferingTable, QueryCtx};
+use trajgen::Trip;
+
+/// One precomputed itinerary stop: the virtual instant, trip offset and
+/// kind of one future event of this session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedStop {
+    /// What happens.
+    pub kind: EventKind,
+    /// When (virtual time).
+    pub time: SimTime,
+    /// Where along the trip, metres.
+    pub offset_m: f64,
+}
+
+/// Precompute a trip's full event itinerary:
+///
+/// * a [`EventKind::Rerank`] at every split point of the CkNN split list
+///   (offset and free-flow ETA straight from [`CknnQuery`]);
+/// * a [`EventKind::Rollover`] at every 15-minute forecast-window
+///   boundary ([`eis::forecast_window`] grid) strictly inside the trip;
+/// * an [`EventKind::Adapt`] every `adapt_every` (skipped when another
+///   stop already lands on the same second; `SimDuration::ZERO`
+///   disables the cadence);
+/// * one [`EventKind::Retire`] at arrival.
+///
+/// Stops are sorted by `(time, kind)`; offsets for time-driven stops
+/// come from the deterministic inverse ETA ([`Trip::offset_at_time`]).
+///
+/// # Errors
+/// Propagates trip-segmentation failures from [`CknnQuery::new`].
+pub fn build_itinerary(
+    ctx: &QueryCtx<'_>,
+    trip: &Trip,
+    adapt_every: SimDuration,
+) -> Result<Vec<PlannedStop>, EcError> {
+    let query = CknnQuery::new(ctx, trip)?;
+    let mut stops: Vec<PlannedStop> = query
+        .split_points()
+        .iter()
+        .map(|sp| PlannedStop { kind: EventKind::Rerank, time: sp.eta, offset_m: sp.offset_m })
+        .collect();
+    let arrival = trip.arrival(ctx.graph);
+
+    let mut window = eis::forecast_window(trip.depart) + eis::FORECAST_TTL;
+    while window < arrival {
+        if window > trip.depart {
+            stops.push(PlannedStop {
+                kind: EventKind::Rollover,
+                time: window,
+                offset_m: trip.offset_at_time(ctx.graph, window),
+            });
+        }
+        window = window + eis::FORECAST_TTL;
+    }
+
+    if adapt_every > SimDuration::ZERO {
+        let taken: std::collections::HashSet<u64> =
+            stops.iter().map(|s| s.time.as_secs()).collect();
+        let mut t = trip.depart + adapt_every;
+        while t < arrival {
+            if !taken.contains(&t.as_secs()) {
+                stops.push(PlannedStop {
+                    kind: EventKind::Adapt,
+                    time: t,
+                    offset_m: trip.offset_at_time(ctx.graph, t),
+                });
+            }
+            t = t + adapt_every;
+        }
+    }
+
+    stops.push(PlannedStop { kind: EventKind::Retire, time: arrival, offset_m: trip.length_m() });
+    stops.sort_by_key(|s| (s.time, s.kind));
+    Ok(stops)
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Events remain in its itinerary.
+    Active,
+    /// Retired at arrival; its solve record is complete.
+    Completed,
+    /// Shed by the service (degraded InfoServer); `shed_reason` carries
+    /// the provenance.
+    Shed,
+}
+
+/// One solve the session performed, with the exact inputs that produced
+/// it — the replay record the identity tests (and any audit) use to
+/// reproduce the table on a standalone [`EcoCharge`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedTable {
+    /// Which event asked for it.
+    pub kind: EventKind,
+    /// Virtual solve instant.
+    pub time: SimTime,
+    /// Trip offset, metres.
+    pub offset_m: f64,
+    /// The Offering Table.
+    pub table: OfferingTable,
+    /// True when the ranking changed against the session's previous
+    /// solve (a table push to the driver); false for heartbeats.
+    pub emitted: bool,
+}
+
+/// What executing one event observed.
+#[derive(Debug)]
+pub enum SolveOutcome {
+    /// A table was produced; `emitted` as in [`SolvedTable`].
+    Table {
+        /// Ranking changed vs the previous solve.
+        emitted: bool,
+    },
+    /// No chargers in range at this stop.
+    NoOffers,
+    /// The session retired (trip complete).
+    Retired,
+    /// The solve failed (provider/config error) — the service decides
+    /// between shedding the session and propagating.
+    Failed(EcError),
+}
+
+/// One registered session: the trip, its private ranking state (own
+/// Dynamic Cache and search engine — never shared across sessions), the
+/// precomputed itinerary and the cursor into it, and the full solve
+/// record.
+#[derive(Debug)]
+pub struct SessionState {
+    /// Stable id (the trip's id — registration-order independent).
+    pub id: SessionId,
+    /// The trip being served.
+    pub trip: Trip,
+    method: EcoCharge,
+    itinerary: Vec<PlannedStop>,
+    next_stop: usize,
+    last_ranking: Option<Vec<ChargerId>>,
+    /// Lifecycle phase.
+    pub phase: SessionPhase,
+    /// Every solve, in execution order.
+    pub solves: Vec<SolvedTable>,
+    /// Why the session was shed, when it was.
+    pub shed_reason: Option<String>,
+}
+
+impl SessionState {
+    /// A freshly admitted session.
+    #[must_use]
+    pub fn new(id: SessionId, trip: Trip, itinerary: Vec<PlannedStop>) -> Self {
+        Self {
+            id,
+            trip,
+            method: EcoCharge::new(),
+            itinerary,
+            next_stop: 0,
+            last_ranking: None,
+            phase: SessionPhase::Active,
+            solves: Vec::new(),
+            shed_reason: None,
+        }
+    }
+
+    /// The precomputed itinerary.
+    #[must_use]
+    pub fn itinerary(&self) -> &[PlannedStop] {
+        &self.itinerary
+    }
+
+    /// Every itinerary stop as a schedulable event, in itinerary order.
+    /// The service queues all of them at registration — the heap then
+    /// holds the complete future, so its pop order *is* the global
+    /// total order.
+    pub fn planned_events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.itinerary.iter().map(|s| Event {
+            time: s.time,
+            session: self.id,
+            kind: s.kind,
+            offset_m: s.offset_m,
+        })
+    }
+
+    /// The next unexecuted stop, if the session is still active —
+    /// the sequencing check [`SessionState::execute`] asserts against.
+    #[must_use]
+    pub fn next_event(&self) -> Option<Event> {
+        if self.phase != SessionPhase::Active {
+            return None;
+        }
+        self.itinerary.get(self.next_stop).map(|s| Event {
+            time: s.time,
+            session: self.id,
+            kind: s.kind,
+            offset_m: s.offset_m,
+        })
+    }
+
+    /// Execute `event` (which must be this session's current stop):
+    /// advance the cursor and, for solve events, run one re-rank of
+    /// Algorithm 1 at the stop's `(offset, time)` against the session's
+    /// private Dynamic Cache.
+    pub fn execute(&mut self, ctx: &QueryCtx<'_>, event: &Event) -> SolveOutcome {
+        debug_assert_eq!(Some(event.key()), self.next_event().map(|e| e.key()));
+        self.next_stop += 1;
+        if event.kind == EventKind::Retire {
+            self.phase = SessionPhase::Completed;
+            return SolveOutcome::Retired;
+        }
+        match self.method.rerank(ctx, &self.trip, event.offset_m, event.time) {
+            Ok(table) => {
+                let ranking = table.charger_ids();
+                let emitted = self.last_ranking.as_deref() != Some(&ranking[..]);
+                if emitted {
+                    self.last_ranking = Some(ranking);
+                }
+                self.solves.push(SolvedTable {
+                    kind: event.kind,
+                    time: event.time,
+                    offset_m: event.offset_m,
+                    table,
+                    emitted,
+                });
+                SolveOutcome::Table { emitted }
+            }
+            Err(EcError::NoCandidates) => {
+                self.last_ranking = None;
+                SolveOutcome::NoOffers
+            }
+            Err(e) => SolveOutcome::Failed(e),
+        }
+    }
+
+    /// Mark the session shed with its provenance string.
+    pub fn shed(&mut self, reason: String) {
+        self.phase = SessionPhase::Shed;
+        self.shed_reason = Some(reason);
+    }
+
+    /// The session's Dynamic-Cache `(hits, misses)`.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.method.cache_stats()
+    }
+
+    /// The latest ranking shown to this session's driver.
+    #[must_use]
+    pub fn current_ranking(&self) -> Option<&[ChargerId]> {
+        self.last_ranking.as_deref()
+    }
+}

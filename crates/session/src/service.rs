@@ -1,0 +1,505 @@
+//! The multi-tenant session service.
+//!
+//! [`SessionService`] owns the registry, the scheduler and the batched
+//! execution loop:
+//!
+//! * **admission** — a hard session cap and one-live-session-per-trip
+//!   keying (so session ids — hence the scheduler's total order — do not
+//!   depend on registration order);
+//! * **ticks** — every session's whole itinerary is queued at
+//!   registration, so the heap's pop order *is* the global total order;
+//!   each [`SessionService::tick`] pops one bounded batch — a prefix of
+//!   that order holding at most one event per session (enforced by
+//!   [`EventScheduler::pop_batch`]) — and fans it out through
+//!   [`ec_exec::parallel_map_mut`]; distinct sessions means parallel
+//!   execution touches disjoint mutable state, and the per-session cap
+//!   means a session's events execute strictly in itinerary order;
+//! * **backpressure** — events due beyond the per-tick budget stay
+//!   queued (counted in [`SessionStats::events_deferred`]); their
+//!   virtual times are never rewritten, so deferral delays wall-clock
+//!   latency only, never changes a table;
+//! * **shedding** — when a solve fails against a degraded InfoServer,
+//!   the session is retired gracefully with an `eis`-provenance reason
+//!   string (breaker states, stale tier) instead of poisoning the tick.
+
+use crate::registry::{build_itinerary, SessionPhase, SessionState, SolveOutcome};
+use crate::scheduler::{Event, EventScheduler};
+use crate::stats::SessionStats;
+use ec_types::{EcError, SessionId, SimDuration};
+use ecocharge_core::QueryCtx;
+use eis::{FeedKind, ForecastShare, InfoServer, SessionScope};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Serving-layer knobs (the per-trip ranking knobs stay on
+/// [`ecocharge_core::EcoChargeConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Admission cap: concurrent *active* sessions.
+    pub max_sessions: usize,
+    /// Backpressure budget: events executed per tick (min 1).
+    pub events_per_tick: usize,
+    /// Mid-segment Dynamic-Cache adaptation cadence
+    /// (`SimDuration::ZERO` disables the extra events; segment re-ranks
+    /// and rollovers still run).
+    pub adapt_every: SimDuration,
+    /// Shed a session whose solve fails (degraded InfoServer) instead of
+    /// failing the tick.
+    pub shed_degraded: bool,
+    /// Worker threads for batch fan-out. Sessions are the unit of
+    /// parallelism; each solve runs single-threaded inside its session
+    /// scope so forecast reads stay attributed (see [`eis::share`]).
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 10_000,
+            events_per_tick: 64,
+            adapt_every: SimDuration::from_mins(5),
+            shed_degraded: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Why an admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The service is at its session cap.
+    Full {
+        /// The configured cap.
+        max_sessions: usize,
+    },
+    /// The trip already has a live or finished session this service
+    /// remembers.
+    Duplicate(SessionId),
+    /// Trip segmentation failed.
+    Planning(EcError),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Full { max_sessions } => {
+                write!(f, "admission refused: {max_sessions} active sessions")
+            }
+            Self::Duplicate(id) => write!(f, "trip already registered as session {id}"),
+            Self::Planning(e) => write!(f, "trip could not be segmented: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// The fleet-scale serving layer (see the module docs).
+#[derive(Debug)]
+pub struct SessionService {
+    config: ServiceConfig,
+    scheduler: EventScheduler,
+    slots: Vec<Option<SessionState>>,
+    index: BTreeMap<SessionId, usize>,
+    active: usize,
+    stats: SessionStats,
+    event_log: Vec<Event>,
+    latencies_us: Vec<f64>,
+    share: Option<Arc<ForecastShare>>,
+}
+
+impl SessionService {
+    /// An empty service.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            config,
+            scheduler: EventScheduler::new(),
+            slots: Vec::new(),
+            index: BTreeMap::new(),
+            active: 0,
+            stats: SessionStats::default(),
+            event_log: Vec::new(),
+            latencies_us: Vec::new(),
+            share: None,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub const fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Admit `trip` as a session: segment it, precompute its itinerary
+    /// and queue every event of it. The session id is the trip id, so
+    /// the scheduler's total order is invariant under registration
+    /// order.
+    ///
+    /// # Errors
+    /// [`RegisterError::Full`] at the admission cap,
+    /// [`RegisterError::Duplicate`] for an already-served trip,
+    /// [`RegisterError::Planning`] when segmentation fails.
+    pub fn register(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &trajgen::Trip,
+    ) -> Result<SessionId, RegisterError> {
+        let id = SessionId(trip.id.0);
+        if self.index.contains_key(&id) {
+            self.stats.rejected += 1;
+            return Err(RegisterError::Duplicate(id));
+        }
+        if self.active >= self.config.max_sessions {
+            self.stats.rejected += 1;
+            return Err(RegisterError::Full { max_sessions: self.config.max_sessions });
+        }
+        let itinerary = build_itinerary(ctx, trip, self.config.adapt_every).map_err(|e| {
+            self.stats.rejected += 1;
+            RegisterError::Planning(e)
+        })?;
+        if self.share.is_none() {
+            self.share = Some(ctx.server.forecast_share());
+        }
+        let state = SessionState::new(id, trip.clone(), itinerary);
+        for event in state.planned_events() {
+            self.scheduler.push(event);
+        }
+        let slot = self.slots.len();
+        self.slots.push(Some(state));
+        self.index.insert(id, slot);
+        self.active += 1;
+        self.stats.registered += 1;
+        Ok(id)
+    }
+
+    /// Whether parallel batch execution is allowed against `server`:
+    /// only when forecasts are pure per `(key, window)` — the
+    /// model-backed, no-resilience, no-stale configuration (the same
+    /// test the lazy filter–refine engine applies). Otherwise cache
+    /// *values* could depend on which concurrent solve populated them,
+    /// and the service degrades to sequential batches to keep the total
+    /// order the only source of truth.
+    fn parallel_ok(server: &InfoServer) -> bool {
+        server.availability_model_backed() && !server.serves_stale() && !server.resilience_enabled()
+    }
+
+    /// Execute one batch of due events. Returns the number executed
+    /// (zero when the queue is drained).
+    ///
+    /// # Errors
+    /// With `shed_degraded` off, the first failing solve (in total
+    /// order) is propagated after the batch completes.
+    pub fn tick(&mut self, ctx: &QueryCtx<'_>) -> Result<usize, EcError> {
+        let (index, slots) = (&self.index, &self.slots);
+        let batch = self.scheduler.pop_batch(self.config.events_per_tick, |sid| {
+            slots[index[&sid]].as_ref().is_none_or(|s| s.phase != SessionPhase::Active)
+        });
+        if batch.events.is_empty() {
+            return Ok(0);
+        }
+        self.stats.events_deferred += batch.deferred;
+
+        let mut work: Vec<(Event, SessionState)> = batch
+            .events
+            .into_iter()
+            .map(|ev| {
+                let slot = self.index[&ev.session];
+                let state = self.slots[slot].take().expect("scheduled session present");
+                (ev, state)
+            })
+            .collect();
+
+        let threads = if Self::parallel_ok(ctx.server) { self.config.threads } else { 1 };
+        let outcomes = ec_exec::parallel_map_mut(
+            threads,
+            &mut work,
+            |_| (),
+            |_scratch, _, item| {
+                let (ev, state) = item;
+                let _scope = SessionScope::enter(state.id.0);
+                let start = std::time::Instant::now();
+                let outcome = state.execute(ctx, ev);
+                (outcome, start.elapsed().as_secs_f64() * 1e6)
+            },
+        );
+
+        let executed = work.len();
+        let mut first_failure: Option<EcError> = None;
+        for ((ev, state), (outcome, micros)) in work.into_iter().zip(outcomes) {
+            self.event_log.push(ev);
+            self.latencies_us.push(micros);
+            self.stats.events_executed += 1;
+            let mut state = state;
+            match outcome {
+                SolveOutcome::Table { emitted: true } => self.stats.tables_emitted += 1,
+                SolveOutcome::Table { emitted: false } => self.stats.heartbeats += 1,
+                SolveOutcome::NoOffers => self.stats.no_offer_solves += 1,
+                SolveOutcome::Retired => {
+                    self.stats.sessions_completed += 1;
+                    self.active -= 1;
+                }
+                SolveOutcome::Failed(e) => {
+                    if self.config.shed_degraded {
+                        state.shed(shed_provenance(ctx.server, &e));
+                        self.stats.sessions_shed += 1;
+                        self.active -= 1;
+                    } else if first_failure.is_none() {
+                        first_failure = Some(e);
+                    }
+                }
+            }
+            let slot = self.index[&state.id];
+            self.slots[slot] = Some(state);
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(executed),
+        }
+    }
+
+    /// Tick until the queue drains (every session completed or shed).
+    ///
+    /// # Errors
+    /// As [`SessionService::tick`].
+    pub fn run_to_completion(&mut self, ctx: &QueryCtx<'_>) -> Result<(), EcError> {
+        while !self.scheduler.is_empty() {
+            self.tick(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Counter snapshot, forecast-sharing ledger folded in.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let mut s = self.stats;
+        if let Some(share) = &self.share {
+            s.absorb_share(share.snapshot());
+        }
+        s
+    }
+
+    /// Live sessions (registered, not yet retired or shed).
+    #[must_use]
+    pub const fn active_sessions(&self) -> usize {
+        self.active
+    }
+
+    /// Events still queued.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// Every executed event, in execution order — which, by the
+    /// determinism argument, *is* the scheduler's total order whatever
+    /// the thread count or tick budget.
+    #[must_use]
+    pub fn event_log(&self) -> &[Event] {
+        &self.event_log
+    }
+
+    /// Per-event wall-clock execution latencies, microseconds, in
+    /// execution order (measurement only — not deterministic).
+    #[must_use]
+    pub fn event_latencies_us(&self) -> &[f64] {
+        &self.latencies_us
+    }
+
+    /// One session by id.
+    #[must_use]
+    pub fn session(&self, id: SessionId) -> Option<&SessionState> {
+        self.index.get(&id).and_then(|&slot| self.slots[slot].as_ref())
+    }
+
+    /// All sessions in id order (the registry keeps retired and shed
+    /// sessions so their solve records stay auditable).
+    pub fn sessions(&self) -> impl Iterator<Item = &SessionState> {
+        self.index.values().filter_map(|&slot| self.slots[slot].as_ref())
+    }
+}
+
+/// Build the shed-reason provenance: the failing error plus whatever the
+/// server's resilience layer knows (breaker states per feed, stale
+/// tier) — the same provenance surface `eis::resilience` exposes to the
+/// ranking layer.
+fn shed_provenance(server: &InfoServer, e: &EcError) -> String {
+    let mut parts = vec![format!("solve failed: {e}")];
+    for feed in [FeedKind::Weather, FeedKind::Wind, FeedKind::Availability, FeedKind::Traffic] {
+        if let Some(state) = server.breaker_state(feed) {
+            parts.push(format!("{feed:?} breaker {state:?}"));
+        }
+    }
+    if server.serves_stale() {
+        parts.push(format!("stale tier on ({} served)", server.stats().stale_served()));
+    }
+    parts.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chargers::{synth_fleet, FleetParams};
+    use ecocharge_core::{DegradedPolicy, EcoChargeConfig};
+    use eis::SimProviders;
+    use roadnet::{urban_grid, UrbanGridParams};
+    use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+    struct Fixture {
+        graph: roadnet::RoadGraph,
+        fleet: chargers::ChargerFleet,
+        sims: SimProviders,
+        trips: Vec<Trip>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let graph = urban_grid(&UrbanGridParams::default());
+            let fleet =
+                synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+            let sims = SimProviders::new(9);
+            let trips = generate_trips(
+                &graph,
+                &BrinkhoffParams {
+                    trips: 3,
+                    min_trip_m: 10_000.0,
+                    max_trip_m: 18_000.0,
+                    ..Default::default()
+                },
+            );
+            Self { graph, fleet, sims, trips }
+        }
+
+        fn server(&self) -> InfoServer {
+            InfoServer::from_sims(self.sims.clone())
+        }
+
+        fn ctx<'a>(&'a self, server: &'a InfoServer) -> QueryCtx<'a> {
+            QueryCtx::new(&self.graph, &self.fleet, server, &self.sims, EcoChargeConfig::default())
+        }
+    }
+
+    fn run_service(f: &Fixture, config: ServiceConfig) -> SessionService {
+        let server = f.server();
+        let ctx = f.ctx(&server);
+        let mut svc = SessionService::new(config);
+        for trip in &f.trips {
+            svc.register(&ctx, trip).unwrap();
+        }
+        svc.run_to_completion(&ctx).unwrap();
+        svc
+    }
+
+    #[test]
+    fn serves_sessions_to_completion() {
+        let f = Fixture::new();
+        let svc = run_service(&f, ServiceConfig::default());
+        let stats = svc.stats();
+        assert_eq!(stats.registered, f.trips.len() as u64);
+        assert_eq!(stats.sessions_completed, f.trips.len() as u64);
+        assert_eq!(svc.active_sessions(), 0);
+        assert_eq!(svc.pending_events(), 0);
+        let planned: usize = svc.sessions().map(|s| s.itinerary().len()).sum();
+        assert_eq!(stats.events_executed, planned as u64);
+        assert!(stats.tables_emitted >= f.trips.len() as u64, "every trip opens with a table");
+        for s in svc.sessions() {
+            assert_eq!(s.phase, SessionPhase::Completed);
+            assert!(!s.solves.is_empty());
+            assert!(s.solves[0].emitted, "first solve is always a push");
+        }
+        // The executed log is the scheduler's total order.
+        let log = svc.event_log();
+        assert_eq!(log.len(), planned);
+        assert!(log.windows(2).all(|w| w[0].key() <= w[1].key()), "log must be sorted by key");
+        assert_eq!(svc.event_latencies_us().len(), log.len());
+    }
+
+    #[test]
+    fn admission_cap_and_duplicate_trips_are_refused() {
+        let f = Fixture::new();
+        let server = f.server();
+        let ctx = f.ctx(&server);
+        let mut svc =
+            SessionService::new(ServiceConfig { max_sessions: 1, ..ServiceConfig::default() });
+        let id = svc.register(&ctx, &f.trips[0]).unwrap();
+        assert_eq!(svc.register(&ctx, &f.trips[1]), Err(RegisterError::Full { max_sessions: 1 }));
+        svc.run_to_completion(&ctx).unwrap();
+        // Capacity freed by retirement…
+        svc.register(&ctx, &f.trips[1]).unwrap();
+        // …but a finished trip stays registered (its record is kept).
+        assert_eq!(svc.register(&ctx, &f.trips[0]), Err(RegisterError::Duplicate(id)));
+        assert_eq!(svc.stats().rejected, 2);
+    }
+
+    #[test]
+    fn backpressure_defers_without_changing_any_table() {
+        let f = Fixture::new();
+        let wide = run_service(&f, ServiceConfig::default());
+        let tight =
+            run_service(&f, ServiceConfig { events_per_tick: 1, ..ServiceConfig::default() });
+        assert!(tight.stats().events_deferred > 0, "a 1-event budget must defer");
+        assert_eq!(tight.event_log(), wide.event_log(), "deferral cannot reorder execution");
+        for (a, b) in tight.sessions().zip(wide.sessions()) {
+            assert_eq!(a.solves, b.solves, "deferral cannot change a single table");
+        }
+    }
+
+    #[test]
+    fn parallel_batches_are_bit_identical_to_sequential() {
+        let f = Fixture::new();
+        let seq = run_service(&f, ServiceConfig { threads: 1, ..ServiceConfig::default() });
+        for threads in [2, 4, 8] {
+            let par = run_service(&f, ServiceConfig { threads, ..ServiceConfig::default() });
+            assert_eq!(par.event_log(), seq.event_log(), "threads={threads}");
+            // Forecast-share attribution is observational (which session
+            // gets credited a hit depends on wall-clock interleaving);
+            // everything else must match exactly.
+            let scrub = |mut s: SessionStats| {
+                s.forecast_shared_hits = 0;
+                s.forecast_self_hits = 0;
+                s.forecast_misses = 0;
+                s
+            };
+            assert_eq!(scrub(par.stats()), scrub(seq.stats()), "threads={threads}");
+            for (a, b) in par.sessions().zip(seq.sessions()) {
+                assert_eq!(a.solves, b.solves, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_server_sheds_sessions_with_provenance() {
+        use eis::FlakyProvider;
+        let f = Fixture::new();
+        // Every upstream call fails, and component fallbacks are off, so
+        // every first solve errors.
+        let flaky = Arc::new(FlakyProvider::new(f.sims.clone(), 1, "bundle"));
+        let server = InfoServer::new(flaky.clone(), flaky.clone(), flaky)
+            .with_resilience(eis::ResiliencePolicy::default(), 7);
+        let config =
+            EcoChargeConfig { degraded: DegradedPolicy::disabled(), ..EcoChargeConfig::default() };
+        let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, config);
+
+        let mut svc = SessionService::new(ServiceConfig::default());
+        for trip in &f.trips {
+            svc.register(&ctx, trip).unwrap();
+        }
+        svc.run_to_completion(&ctx).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.sessions_shed, f.trips.len() as u64);
+        assert_eq!(stats.sessions_completed, 0);
+        assert_eq!(svc.active_sessions(), 0);
+        for s in svc.sessions() {
+            assert_eq!(s.phase, SessionPhase::Shed);
+            let reason = s.shed_reason.as_deref().unwrap();
+            assert!(reason.contains("solve failed"), "{reason}");
+            assert!(reason.contains("breaker"), "resilience provenance missing: {reason}");
+        }
+
+        // Without shedding, the same failure surfaces as a tick error.
+        let mut strict =
+            SessionService::new(ServiceConfig { shed_degraded: false, ..ServiceConfig::default() });
+        strict.register(&ctx, &f.trips[0]).unwrap();
+        assert!(strict.run_to_completion(&ctx).is_err());
+    }
+}

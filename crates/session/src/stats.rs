@@ -1,0 +1,56 @@
+//! Service-wide counters.
+
+use eis::ShareSnapshot;
+
+/// Everything the serving layer counts, in one snapshot. The forecast
+/// counters come from the [`eis::ForecastShare`] ledger the service
+/// attaches to its InfoServer; the rest are maintained by
+/// [`crate::SessionService`] as events execute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions admitted.
+    pub registered: u64,
+    /// Registration attempts refused (admission cap or duplicate trip).
+    pub rejected: u64,
+    /// Events executed, all kinds.
+    pub events_executed: u64,
+    /// Runnable events pushed past their tick by the backpressure
+    /// budget (one count per event per deferring tick).
+    pub events_deferred: u64,
+    /// Solves whose ranking changed — tables pushed to drivers.
+    pub tables_emitted: u64,
+    /// Solves that repeated the previous ranking (heartbeats).
+    pub heartbeats: u64,
+    /// Solves that found no charger in range.
+    pub no_offer_solves: u64,
+    /// Sessions that retired at arrival.
+    pub sessions_completed: u64,
+    /// Sessions shed on a degraded InfoServer.
+    pub sessions_shed: u64,
+    /// Fresh-forecast hits inherited from *another* session.
+    pub forecast_shared_hits: u64,
+    /// Fresh-forecast hits on the session's own earlier work.
+    pub forecast_self_hits: u64,
+    /// Fresh-forecast misses (upstream work paid for).
+    pub forecast_misses: u64,
+}
+
+impl SessionStats {
+    /// Fold a ledger snapshot into the forecast counters.
+    pub(crate) fn absorb_share(&mut self, share: ShareSnapshot) {
+        self.forecast_shared_hits = share.shared_hits;
+        self.forecast_self_hits = share.self_hits;
+        self.forecast_misses = share.misses;
+    }
+
+    /// Fraction of forecast reads answered by another session's work.
+    #[must_use]
+    pub fn shared_hit_rate(&self) -> f64 {
+        let total = self.forecast_shared_hits + self.forecast_self_hits + self.forecast_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.forecast_shared_hits as f64 / total as f64
+        }
+    }
+}

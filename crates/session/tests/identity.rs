@@ -1,0 +1,115 @@
+//! The tentpole acceptance test: Offering Tables served through the
+//! multi-tenant [`SessionService`] are **bit-identical** to replaying
+//! the same `(offset, time)` solves through a standalone
+//! [`EcoCharge`] against a fresh InfoServer — swept across session
+//! counts, worker thread counts and detour backends.
+//!
+//! This is the end-to-end form of the determinism argument in the crate
+//! docs: multiplexing N trips through one scheduler, sharing forecast
+//! cache cells across sessions, batching through `ec-exec`, none of it
+//! may change a single byte of any ranking.
+
+use chargers::{synth_fleet, ChargerFleet, FleetParams};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx};
+use ecocharge_session::{ServiceConfig, SessionService};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, DetourBackend, RoadGraph, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+struct World {
+    graph: RoadGraph,
+    fleet: ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+}
+
+impl World {
+    fn new() -> Self {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+        let sims = SimProviders::new(9);
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 6,
+                min_trip_m: 8_000.0,
+                max_trip_m: 16_000.0,
+                ..Default::default()
+            },
+        );
+        Self { graph, fleet, sims, trips }
+    }
+
+    fn config(&self, backend: DetourBackend) -> EcoChargeConfig {
+        EcoChargeConfig { detour_backend: backend, ..EcoChargeConfig::default() }
+    }
+}
+
+/// Serve `count` trips through the service and return it for audit.
+fn serve(world: &World, count: usize, threads: usize, backend: DetourBackend) -> SessionService {
+    let server = InfoServer::from_sims(world.sims.clone());
+    let ctx =
+        QueryCtx::new(&world.graph, &world.fleet, &server, &world.sims, world.config(backend));
+    let mut svc = SessionService::new(ServiceConfig { threads, ..ServiceConfig::default() });
+    for trip in &world.trips[..count] {
+        svc.register(&ctx, trip).expect("admission");
+    }
+    svc.run_to_completion(&ctx).expect("serving");
+    svc
+}
+
+#[test]
+fn served_tables_are_bit_identical_to_standalone_solves() {
+    let world = World::new();
+    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+        for count in [1, 3, 6] {
+            for threads in [1, 2, 8] {
+                let svc = serve(&world, count, threads, backend);
+                let stats = svc.stats();
+                assert_eq!(stats.sessions_completed, count as u64, "{backend:?}/{count}/{threads}");
+                assert_eq!(
+                    stats.no_offer_solves, 0,
+                    "fixture must keep every solve in range so the replay below is exact"
+                );
+
+                // Replay every session's recorded solves on a standalone
+                // EcoCharge against its own fresh server: same component
+                // evaluations, no scheduler, no sharing, no batching.
+                for session in svc.sessions() {
+                    let server = InfoServer::from_sims(world.sims.clone());
+                    let ctx = QueryCtx::new(
+                        &world.graph,
+                        &world.fleet,
+                        &server,
+                        &world.sims,
+                        world.config(backend),
+                    );
+                    let mut standalone = EcoCharge::new();
+                    for solve in &session.solves {
+                        let table = standalone
+                            .rerank(&ctx, &session.trip, solve.offset_m, solve.time)
+                            .expect("standalone replay");
+                        assert_eq!(
+                            table, solve.table,
+                            "table diverged: {backend:?} sessions={count} threads={threads} \
+                             session={} {:?}@{}",
+                            session.id, solve.kind, solve.time
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_log_is_invariant_across_threads_and_backends() {
+    let world = World::new();
+    let reference = serve(&world, 6, 1, DetourBackend::Dijkstra);
+    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+        for threads in [2, 8] {
+            let other = serve(&world, 6, threads, backend);
+            assert_eq!(other.event_log(), reference.event_log(), "{backend:?}/{threads}");
+        }
+    }
+}

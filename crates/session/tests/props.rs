@@ -1,0 +1,159 @@
+//! Property tests for the scheduler's total-order promise.
+//!
+//! Two layers: a proptest over the heap itself (arbitrary event sets,
+//! arbitrary push orders, arbitrary budget sequences must all replay one
+//! total order), and a seeded service-level check that registration
+//! order and thread count leave the executed event log — and every
+//! table — untouched.
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::{SessionId, SimTime, SplitMix64};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{Event, EventKind, EventScheduler, ServiceConfig, SessionService};
+use eis::{InfoServer, SimProviders};
+use proptest::prelude::*;
+use roadnet::{urban_grid, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams};
+
+const KINDS: [EventKind; 4] =
+    [EventKind::Rerank, EventKind::Rollover, EventKind::Adapt, EventKind::Retire];
+
+fn event_set() -> impl Strategy<Value = Vec<Event>> {
+    // Draw raw (time, session, kind) triples and dedup by key: the
+    // scheduler's contract assumes keys are unique (itineraries never
+    // produce two events with the same key).
+    prop::collection::vec((0u64..50, 0u32..8, 0usize..4), 1..60).prop_map(|raw| {
+        let mut events: Vec<Event> = raw
+            .into_iter()
+            .map(|(t, s, k)| Event {
+                time: SimTime::from_secs(t),
+                session: SessionId(s),
+                kind: KINDS[k],
+                offset_m: 0.0,
+            })
+            .collect();
+        events.sort();
+        events.dedup();
+        events
+    })
+}
+
+/// Drain a scheduler with per-pop budgets from `budgets` (cycled),
+/// returning the concatenated pop order.
+fn drain(q: &mut EventScheduler, budgets: &[usize]) -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while !q.is_empty() {
+        let budget = budgets[i % budgets.len()];
+        i += 1;
+        out.extend(q.pop_batch(budget, |_| false).events);
+    }
+    out
+}
+
+proptest! {
+    /// Whatever the push order, the drain replays the key-sorted order.
+    #[test]
+    fn drain_is_the_sorted_order_for_any_push_order(
+        events in event_set(),
+        shuffle_seed in 0u64..1000,
+    ) {
+        let mut shuffled = events.clone();
+        let mut rng = SplitMix64::new(shuffle_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut q = EventScheduler::new();
+        for e in &shuffled {
+            q.push(*e);
+        }
+        let drained = drain(&mut q, &[usize::MAX]);
+        prop_assert_eq!(drained, events, "events was built key-sorted");
+    }
+
+    /// Whatever the budget sequence, batching replays the same total
+    /// order — budgets move tick boundaries, never events.
+    #[test]
+    fn budgets_never_reorder_the_drain(
+        events in event_set(),
+        budgets in prop::collection::vec(1usize..7, 1..5),
+    ) {
+        let mut a = EventScheduler::new();
+        let mut b = EventScheduler::new();
+        for e in &events {
+            a.push(*e);
+            b.push(*e);
+        }
+        let unbounded = drain(&mut a, &[usize::MAX]);
+        let budgeted = drain(&mut b, &budgets);
+        prop_assert_eq!(budgeted, unbounded);
+    }
+
+    /// Every batch holds at most one event per session.
+    #[test]
+    fn batches_never_hold_two_events_of_one_session(
+        events in event_set(),
+        budget in 1usize..10,
+    ) {
+        let mut q = EventScheduler::new();
+        for e in &events {
+            q.push(*e);
+        }
+        while !q.is_empty() {
+            let batch = q.pop_batch(budget, |_| false).events;
+            let mut sessions: Vec<SessionId> = batch.iter().map(|e| e.session).collect();
+            sessions.sort();
+            sessions.dedup();
+            prop_assert_eq!(sessions.len(), batch.len(), "duplicate session in one batch");
+        }
+    }
+}
+
+/// Service level: registration-order permutations × thread counts all
+/// produce the identical executed log and identical per-session solves.
+#[test]
+fn service_total_order_is_invariant_under_registration_order_and_threads() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+    let sims = SimProviders::new(9);
+    let trips = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 4,
+            min_trip_m: 8_000.0,
+            max_trip_m: 14_000.0,
+            ..Default::default()
+        },
+    );
+
+    let run = |order: &[usize], threads: usize| -> SessionService {
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let mut svc = SessionService::new(ServiceConfig { threads, ..ServiceConfig::default() });
+        for &i in order {
+            svc.register(&ctx, &trips[i]).expect("admission");
+        }
+        svc.run_to_completion(&ctx).expect("serving");
+        svc
+    };
+
+    let reference = run(&[0, 1, 2, 3], 1);
+    let mut rng = SplitMix64::new(2024);
+    let mut order: Vec<usize> = (0..trips.len()).collect();
+    for threads in [1, 2, 8] {
+        for _ in 0..3 {
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let svc = run(&order, threads);
+            assert_eq!(svc.event_log(), reference.event_log(), "order={order:?} threads={threads}");
+            // sessions() iterates in id order, so records align pairwise.
+            for (a, b) in svc.sessions().zip(reference.sessions()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.solves, b.solves, "order={order:?} threads={threads}");
+            }
+        }
+    }
+}

@@ -19,14 +19,19 @@
 //! * [`occupancy`] — charger busy-interval bookkeeping;
 //! * [`engine`] — the event loop and [`DayOutcome`] metrics;
 //! * [`policy`] — pluggable charging policies (EcoCharge, nearest,
-//!   random).
+//!   random);
+//! * [`service`] — the serving-loop bridge: every leg of every schedule
+//!   becomes one session in the fleet-scale
+//!   [`ecocharge_session::SessionService`].
 
 pub mod engine;
 pub mod occupancy;
 pub mod policy;
 pub mod schedule;
+pub mod service;
 
 pub use engine::{simulate_day, DayOutcome, FleetSimConfig};
 pub use occupancy::OccupancyBook;
 pub use policy::Policy;
 pub use schedule::{build_schedules, DaySchedule, ScheduleParams};
+pub use service::{serve_fleet, ServeError};

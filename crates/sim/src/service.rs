@@ -1,0 +1,113 @@
+//! Fleet-day serving through the multi-tenant session service.
+//!
+//! [`crate::engine`] closes the physical loop (vehicles drive, occupy
+//! chargers, hoard solar); this module closes the *serving* loop: every
+//! leg of every vehicle's [`DaySchedule`] becomes one continuous-query
+//! session in an [`ecocharge_session::SessionService`], and the whole
+//! fleet's day is multiplexed through the deterministic event scheduler
+//! instead of looping vehicle-by-vehicle. This is the workload shape the
+//! bench's `sessions` series measures at scale.
+
+use crate::schedule::DaySchedule;
+use ec_types::EcError;
+use ecocharge_core::QueryCtx;
+use ecocharge_session::{RegisterError, ServiceConfig, SessionService};
+use std::fmt;
+
+/// Why a fleet day could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A leg was refused at admission.
+    Admission(RegisterError),
+    /// A tick failed (only possible with `shed_degraded` off).
+    Serving(EcError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Admission(e) => write!(f, "leg refused at admission: {e}"),
+            Self::Serving(e) => write!(f, "serving failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serve every leg of every schedule to completion through one
+/// [`SessionService`] and return the service for audit (stats, event
+/// log, per-session solve records).
+///
+/// Legs keep the unique trip ids [`crate::build_schedules`] dealt them,
+/// so sessions are keyed per leg and the scheduler interleaves the whole
+/// fleet — a vehicle's second leg simply has later virtual times than
+/// its first.
+///
+/// # Errors
+/// [`ServeError::Admission`] when a leg is refused (cap too small for
+/// the fleet, or segmentation fails); [`ServeError::Serving`] when a
+/// solve fails and shedding is disabled.
+pub fn serve_fleet(
+    ctx: &QueryCtx<'_>,
+    schedules: &[DaySchedule],
+    config: ServiceConfig,
+) -> Result<SessionService, ServeError> {
+    let mut svc = SessionService::new(config);
+    for schedule in schedules {
+        for leg in &schedule.legs {
+            svc.register(ctx, leg).map_err(ServeError::Admission)?;
+        }
+    }
+    svc.run_to_completion(ctx).map_err(ServeError::Serving)?;
+    Ok(svc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{build_schedules, ScheduleParams};
+    use chargers::{synth_fleet, FleetParams};
+    use ecocharge_core::EcoChargeConfig;
+    use eis::{InfoServer, SimProviders};
+    use roadnet::{urban_grid, UrbanGridParams};
+
+    #[test]
+    fn a_fleet_day_is_served_leg_per_session() {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: 4, ..Default::default() });
+        let sims = SimProviders::new(11);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let schedules =
+            build_schedules(&graph, &ScheduleParams { vehicles: 6, ..Default::default() });
+        let legs: usize = schedules.iter().map(|s| s.legs.len()).sum();
+
+        let svc = serve_fleet(&ctx, &schedules, ServiceConfig::default()).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.registered, legs as u64);
+        assert_eq!(stats.sessions_completed, legs as u64);
+        assert_eq!(svc.active_sessions(), 0);
+        assert!(svc.sessions().all(|s| !s.solves.is_empty() || s.itinerary().len() == 1));
+        // Vehicles idle 1–3 h between legs, so a fleet of 6 spans
+        // multiple forecast windows and sessions overlap: sharing shows.
+        assert!(stats.forecast_misses > 0);
+    }
+
+    #[test]
+    fn admission_cap_surfaces_as_serve_error() {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: 4, ..Default::default() });
+        let sims = SimProviders::new(11);
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let schedules =
+            build_schedules(&graph, &ScheduleParams { vehicles: 4, ..Default::default() });
+        let err = serve_fleet(
+            &ctx,
+            &schedules,
+            ServiceConfig { max_sessions: 1, ..ServiceConfig::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Admission(RegisterError::Full { .. })), "{err}");
+    }
+}

@@ -37,6 +37,33 @@ impl Trip {
         self.depart + self.duration(g)
     }
 
+    /// Inverse of [`Trip::eta_at_offset`]: how far (metres) the vehicle
+    /// has driven by instant `t` under free flow, clamped to
+    /// `[0, length]` outside the trip's time span. Deterministic
+    /// bisection over the monotone ETA curve (48 fixed halvings —
+    /// sub-millimetre on any realistic trip), so every caller asking the
+    /// same `t` reconstructs the identical offset.
+    #[must_use]
+    pub fn offset_at_time(&self, g: &RoadGraph, t: SimTime) -> f64 {
+        if t <= self.depart {
+            return 0.0;
+        }
+        let len = self.length_m();
+        if t >= self.arrival(g) {
+            return len;
+        }
+        let (mut lo, mut hi) = (0.0_f64, len);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.eta_at_offset(g, mid) <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// Vehicle position at `offset_m` into the trip.
     #[must_use]
     pub fn position_at_offset(&self, g: &RoadGraph, offset_m: f64) -> GeoPoint {
@@ -92,6 +119,28 @@ mod tests {
         // 3 km of Primary at 60 km/h ≈ 180 s.
         let d = t.duration(&g).as_secs();
         assert!((d as f64 - 180.0).abs() < 3.0, "duration {d}");
+    }
+
+    #[test]
+    fn offset_at_time_inverts_eta() {
+        let (g, t) = trip();
+        // ETAs have one-second granularity, so the inverse is exact to
+        // within one second of travel (≈ 17 m at 60 km/h).
+        let per_sec = t.length_m() / t.duration(&g).as_secs() as f64;
+        for offset in [0.0, 400.0, 1_500.0, 2_700.0, t.length_m()] {
+            let eta = t.eta_at_offset(&g, offset);
+            let back = t.offset_at_time(&g, eta);
+            assert!(
+                (back - offset).abs() <= per_sec + 1e-6,
+                "offset {offset} → eta {eta:?} → {back}"
+            );
+        }
+        // Outside the span: clamped.
+        assert_eq!(t.offset_at_time(&g, t.depart - SimDuration::from_mins(5)), 0.0);
+        assert_eq!(t.offset_at_time(&g, t.arrival(&g) + SimDuration::from_mins(5)), t.length_m());
+        // Deterministic: the same instant always reconstructs bit-equal.
+        let mid = t.depart + SimDuration::from_secs_f64(90.0);
+        assert_eq!(t.offset_at_time(&g, mid).to_bits(), t.offset_at_time(&g, mid).to_bits());
     }
 
     #[test]

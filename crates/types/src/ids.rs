@@ -77,6 +77,14 @@ define_id!(
     SegmentId,
     "p"
 );
+define_id!(
+    /// A continuous-query session in the fleet serving layer. Sessions
+    /// are keyed by the trip they serve (one live session per trip), so
+    /// the id is stable across registration orders — the property the
+    /// deterministic event scheduler's total order relies on.
+    SessionId,
+    "S"
+);
 
 #[cfg(test)]
 mod tests {

@@ -32,7 +32,7 @@ pub mod units;
 
 pub use error::EcError;
 pub use geo::{BoundingBox, GeoPoint, EARTH_RADIUS_M};
-pub use ids::{ChargerId, EdgeId, NodeId, SegmentId, TripId, VehicleId};
+pub use ids::{ChargerId, EdgeId, NodeId, SegmentId, SessionId, TripId, VehicleId};
 pub use interval::{Interval, RawInterval};
 pub use quality::{ComponentQuality, Provenance, SourcedInterval};
 pub use rng::SplitMix64;

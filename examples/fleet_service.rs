@@ -1,0 +1,86 @@
+//! Fleet-scale serving: 100 concurrent trips multiplexed through the
+//! multi-tenant session service.
+//!
+//! Every trip becomes one continuous-query session; the deterministic
+//! event scheduler interleaves all their segment re-ranks, 15-minute
+//! forecast-window rollovers and Dynamic-Cache adaptations in one total
+//! order, batching each tick through the parallel executor. The run
+//! prints the service-wide counters — including how often one session's
+//! forecast work answered another session's read.
+//!
+//! ```text
+//! cargo run --example fleet_service --release
+//! ```
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{ServiceConfig, SessionService};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams};
+
+fn main() {
+    let graph = urban_grid(&UrbanGridParams::default());
+    let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: 5, ..Default::default() });
+    let sims = SimProviders::new(5);
+    let server = InfoServer::from_sims(sims.clone());
+    let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+
+    let trips = generate_trips(
+        &graph,
+        &BrinkhoffParams {
+            trips: 100,
+            min_trip_m: 6_000.0,
+            max_trip_m: 16_000.0,
+            seed: 12,
+            ..Default::default()
+        },
+    );
+
+    let mut service = SessionService::new(ServiceConfig::default());
+    for trip in &trips {
+        service.register(&ctx, trip).expect("admission");
+    }
+    println!(
+        "registered {} sessions ({} scheduled events); serving…\n",
+        service.active_sessions(),
+        service.pending_events()
+    );
+
+    let started = std::time::Instant::now();
+    service.run_to_completion(&ctx).expect("serving");
+    let wall = started.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    println!("fleet served in {wall:.2}s wall-clock");
+    println!("  sessions completed   {:>8}", stats.sessions_completed);
+    println!("  sessions shed        {:>8}", stats.sessions_shed);
+    println!("  events executed      {:>8}", stats.events_executed);
+    println!("  events deferred      {:>8}", stats.events_deferred);
+    println!("  tables emitted       {:>8}", stats.tables_emitted);
+    println!("  heartbeats           {:>8}", stats.heartbeats);
+    println!("  forecast misses      {:>8}", stats.forecast_misses);
+    println!("  forecast self hits   {:>8}", stats.forecast_self_hits);
+    println!("  forecast shared hits {:>8}", stats.forecast_shared_hits);
+    println!("  shared-forecast rate {:>7.1}%", stats.shared_hit_rate() * 100.0);
+
+    // One session's story, end to end.
+    let sample = service.sessions().next().expect("sessions exist");
+    println!(
+        "\nsession {} ({:.1} km trip): {} solves, final top offer {:?}",
+        sample.id,
+        sample.trip.length_m() / 1_000.0,
+        sample.solves.len(),
+        sample.current_ranking().and_then(|r| r.first().copied()),
+    );
+    for solve in sample.solves.iter().take(5) {
+        println!(
+            "  {:>8} @ {} offset {:>6.0} m — top {:?}{}",
+            solve.kind.label(),
+            solve.time,
+            solve.offset_m,
+            solve.table.charger_ids().first().copied(),
+            if solve.emitted { " (pushed)" } else { " (heartbeat)" }
+        );
+    }
+}
