@@ -11,9 +11,9 @@
 
 use ecocharge_bench::{
     print_rows, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7, run_fig8,
-    run_fig9, run_modes, run_prune, run_regret, run_scaling, run_sessions, run_throughput,
-    run_validation, write_csv, write_detour_json, write_prune_json, write_scaling_json,
-    write_sessions_json, HarnessConfig,
+    run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret, run_scaling,
+    run_sessions, run_throughput, run_validation, write_csv, write_detour_json, write_prune_json,
+    write_recovery_json, write_scaling_json, write_sessions_json, HarnessConfig,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -21,7 +21,7 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|sessions> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|sessions|recovery> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
         [--detour-backend dijkstra|ch] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
@@ -45,6 +45,13 @@ fn usage() -> ! {
               event latency and the cross-session forecast-sharing hit rate, with a\n\
               bit-identity check per cell; writes BENCH_sessions.json (exits non-zero\n\
               when any cell diverges or the largest sweep shares no forecasts)\n\
+  recovery    crash-recovery fidelity: seeded crashes (clean kills at record/tick\n\
+              boundaries, torn tails mid-record) x recovery threads (1,4,8) over a\n\
+              journaled fleet, asserting the recovered Offering Tables are\n\
+              bit-identical to the uninterrupted run, plus a deterministic chaos\n\
+              soak (journal-append failures, worker panics, snapshot corruption);\n\
+              writes BENCH_recovery.json (exits non-zero on any divergence or any\n\
+              fault that escapes containment)\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
   --threads N worker threads for ranking / rep fan-out (default 1)\n\
@@ -392,6 +399,56 @@ fn main() {
             let largest = rows.iter().map(|r| r.sessions).max().unwrap_or(0);
             if !rows.iter().filter(|r| r.sessions == largest).any(|r| r.shared_hits > 0) {
                 eprintln!("ERROR: the largest sweep shared no forecasts across sessions");
+                std::process::exit(1);
+            }
+        }
+        "recovery" => {
+            let rows = run_recovery(&harness, 100, &[1, 4, 8], 3);
+            println!("\n=== Recovery: crash-point x thread sweep (Oldenburg, journaled) ===");
+            println!(
+                "{:<9} {:>8} {:>9} {:>6} {:>9} {:>9} {:>11} {:>10} {:>10}",
+                "sessions",
+                "threads",
+                "records",
+                "torn",
+                "snapshot",
+                "replayed",
+                "recover(s)",
+                "resume(s)",
+                "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<9} {:>8} {:>9} {:>6} {:>9} {:>9} {:>11.3} {:>10.3} {:>10}",
+                    r.sessions,
+                    r.threads,
+                    r.surviving_records,
+                    r.torn,
+                    r.from_snapshot,
+                    r.events_replayed,
+                    r.recover_s,
+                    r.resume_s,
+                    r.identical
+                );
+            }
+            let chaos = run_recovery_chaos(&harness, 100);
+            println!("\n=== Recovery: deterministic chaos soak ===");
+            println!("{:<32} {:>10} {:>20}", "scenario", "contained", "recovered identical");
+            for c in &chaos {
+                println!("{:<32} {:>10} {:>20}", c.scenario, c.contained, c.recovered_identical);
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_recovery.json");
+            match write_recovery_json(&path, &rows, &chaos) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("recovery json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: a recovered run diverged from the uninterrupted tables");
+                std::process::exit(1);
+            }
+            if chaos.iter().any(|c| !c.contained || !c.recovered_identical) {
+                eprintln!("ERROR: an injected fault escaped containment or corrupted recovery");
                 std::process::exit(1);
             }
         }

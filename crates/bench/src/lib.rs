@@ -16,6 +16,7 @@ pub mod env;
 pub mod extensions;
 pub mod figures;
 pub mod prune;
+pub mod recovery;
 pub mod scaling;
 pub mod sessions;
 pub mod table;
@@ -26,6 +27,7 @@ pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
 pub use prune::{run_prune, write_prune_json, PruneRow};
+pub use recovery::{run_recovery, run_recovery_chaos, write_recovery_json, ChaosRow, RecoveryRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
 pub use sessions::{run_sessions, write_sessions_json, SessionsRow};
 pub use table::{print_rows, write_csv};

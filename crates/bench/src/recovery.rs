@@ -1,0 +1,522 @@
+//! The `repro recovery` series — crash-recovery fidelity at fleet scale.
+//!
+//! Serves a journaled fleet once (the uninterrupted reference), then
+//! simulates crashes at seeded points — clean kills at tick/record
+//! boundaries and torn tails mid-record (a crash in the middle of a
+//! batch's commit `write`) — recovers each from snapshot + journal tail
+//! at 1/4/8 worker threads, resumes to completion, and verifies the
+//! recovered Offering Tables are **bit-identical** to the reference
+//! (suffix-compared per session, f64s and all). A deterministic chaos
+//! soak rides along: injected journal-append failures, worker panics
+//! mid-batch and corrupted snapshot files must all be *contained*
+//! (quarantine + read-only serving, typed errors, no unwinds) and must
+//! leave a journal the recovery path still restores exactly. Written as
+//! `BENCH_recovery.json`; `repro recovery` exits non-zero when any cell
+//! diverges or any fault escapes containment.
+
+use crate::env::ExperimentEnv;
+use crate::figures::HarnessConfig;
+use ec_types::{SessionId, SplitMix64, TripId};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{
+    read_journal, recover, JournalConfig, Record, ServiceChaos, ServiceConfig, ServiceHealth,
+    SessionService, SinkChaos,
+};
+use eis::InfoServer;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use trajgen::{DatasetKind, Trip};
+
+/// One simulated crash + recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Worker threads used for the recovery replay and resume.
+    pub threads: usize,
+    /// Journal records that survived the crash.
+    pub surviving_records: usize,
+    /// True when the crash tore the tail mid-record (vs a clean kill at
+    /// a record boundary).
+    pub torn: bool,
+    /// True when recovery restored from a snapshot (false = full-log
+    /// replay).
+    pub from_snapshot: bool,
+    /// Events re-executed from the journal tail during recovery.
+    pub events_replayed: u64,
+    /// Wall-clock recovery time (read + restore + verified replay), s.
+    pub recover_s: f64,
+    /// Wall-clock time to finish the interrupted fleet after recovery, s.
+    pub resume_s: f64,
+    /// Recovered tables are bit-identical to the uninterrupted run.
+    pub identical: bool,
+}
+
+/// One chaos-soak scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// The fault was contained: typed error, quarantine where promised,
+    /// no panic escaped, reads kept answering.
+    pub contained: bool,
+    /// Recovering from whatever the fault left on disk reproduced the
+    /// reference bit-exactly.
+    pub recovered_identical: bool,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecocharge-recovery-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn session_trips(env: &ExperimentEnv, count: usize) -> Vec<Trip> {
+    let pool = &env.dataset.trips;
+    (0..count)
+        .map(|i| {
+            let mut trip = pool[i % pool.len()].clone();
+            trip.id = TripId(i as u32);
+            trip
+        })
+        .collect()
+}
+
+fn ctx_for<'a>(
+    env: &'a ExperimentEnv,
+    harness: &HarnessConfig,
+    server: &'a InfoServer,
+    threads: usize,
+) -> QueryCtx<'a> {
+    let config =
+        EcoChargeConfig { detour_backend: harness.detour_backend, ..EcoChargeConfig::default() };
+    let ctx = QueryCtx::new(&env.dataset.graph, &env.fleet, server, &env.sims, config);
+    if harness.detour_backend == ecocharge_core::DetourBackend::Ch {
+        ctx.adopt_detour_ch(env.shared_detour_ch(threads));
+    }
+    ctx
+}
+
+fn service_config(threads: usize, chaos: ServiceChaos) -> ServiceConfig {
+    ServiceConfig { events_per_tick: 8, threads, chaos, ..ServiceConfig::default() }
+}
+
+/// Per-session `(id, solves)` audit trail.
+type Trail = Vec<(u32, Vec<ecocharge_session::SolvedTable>)>;
+
+fn trail(svc: &SessionService) -> Trail {
+    svc.sessions().map(|s| (s.id.0, s.solves.clone())).collect()
+}
+
+/// Recovered solves must be exactly the tail of the reference record.
+fn suffix_identical(reference: &Trail, recovered: &SessionService) -> bool {
+    let rec = trail(recovered);
+    rec.len() == reference.len()
+        && rec.iter().zip(reference).all(|((id_a, solves_a), (id_b, solves_b))| {
+            id_a == id_b
+                && solves_a.len() <= solves_b.len()
+                && solves_a[..] == solves_b[solves_b.len() - solves_a.len()..]
+        })
+}
+
+/// The journaled reference run, into `dir`.
+fn reference_run(
+    env: &ExperimentEnv,
+    harness: &HarnessConfig,
+    trips: &[Trip],
+    dir: &Path,
+    sink_chaos: Option<SinkChaos>,
+    chaos: ServiceChaos,
+) -> Result<SessionService, ecocharge_session::SessionError> {
+    let server = InfoServer::from_sims(env.sims.clone());
+    let ctx = ctx_for(env, harness, &server, 1);
+    let journal = JournalConfig {
+        snapshot_every_ticks: 4,
+        sink_chaos,
+        ..JournalConfig::new(dir.to_path_buf())
+    };
+    let mut svc = SessionService::with_journal(service_config(1, chaos), journal)?;
+    for trip in trips {
+        // The bench never exceeds the cap or duplicates trips; the only
+        // admission failure chaos can provoke is a refused journal append.
+        svc.register(&ctx, trip).map_err(|e| match e {
+            ecocharge_session::RegisterError::Journal(j) => {
+                ecocharge_session::SessionError::Journal(j)
+            }
+            other => panic!("bench admission refused: {other}"),
+        })?;
+    }
+    svc.run_to_completion(&ctx)?;
+    Ok(svc)
+}
+
+/// Recover `dir` at `threads`, re-register any trips whose admission the
+/// crash cut off, resume to completion, and suffix-compare.
+fn recover_and_check(
+    env: &ExperimentEnv,
+    harness: &HarnessConfig,
+    trips: &[Trip],
+    reference: &Trail,
+    dir: &Path,
+    threads: usize,
+) -> (bool, bool, u64, f64, f64) {
+    let server = InfoServer::from_sims(env.sims.clone());
+    let ctx = ctx_for(env, harness, &server, threads);
+    let started = std::time::Instant::now();
+    let (mut svc, report) = match recover(
+        &ctx,
+        service_config(threads, ServiceChaos::default()),
+        JournalConfig::new(dir.to_path_buf()),
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("recovery failed in {}: {e}", dir.display());
+            return (false, false, 0, started.elapsed().as_secs_f64(), 0.0);
+        }
+    };
+    let recover_s = started.elapsed().as_secs_f64();
+    for trip in trips {
+        if svc.session(SessionId(trip.id.0)).is_none() {
+            if let Err(e) = svc.register(&ctx, trip) {
+                eprintln!("re-registration failed: {e}");
+                return (false, report.snapshot_watermark.is_some(), 0, recover_s, 0.0);
+            }
+        }
+    }
+    let started = std::time::Instant::now();
+    if let Err(e) = svc.run_to_completion(&ctx) {
+        eprintln!("post-recovery serving failed: {e}");
+        return (false, report.snapshot_watermark.is_some(), 0, recover_s, 0.0);
+    }
+    let resume_s = started.elapsed().as_secs_f64();
+    (
+        suffix_identical(reference, &svc),
+        report.snapshot_watermark.is_some(),
+        report.events_replayed,
+        recover_s,
+        resume_s,
+    )
+}
+
+/// Run the crash-point × thread sweep. `crashes_per_mode` seeded crash
+/// points are drawn for each mode (clean boundary kill, torn mid-record
+/// tail), all at or after the first committed batch so every crash lands
+/// in serving, not admission.
+#[must_use]
+pub fn run_recovery(
+    harness: &HarnessConfig,
+    sessions: usize,
+    thread_counts: &[usize],
+    crashes_per_mode: usize,
+) -> Vec<RecoveryRow> {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+    let trips = session_trips(&env, sessions);
+    let ref_dir = bench_dir("reference");
+    let reference = reference_run(&env, harness, &trips, &ref_dir, None, ServiceChaos::default())
+        .expect("reference run serves cleanly");
+    let ref_trail = trail(&reference);
+    drop(reference);
+
+    let full = read_journal(&ref_dir.join("journal.ecj")).expect("reference journal reads");
+    assert!(full.tail_defect.is_none(), "reference journal must end cleanly");
+    let first_commit = full
+        .records
+        .iter()
+        .position(|r| matches!(r, Record::Commit { .. }))
+        .expect("reference run committed at least one batch");
+    let n = full.offsets.len();
+    let mut ends: Vec<u64> = full.offsets[1..].to_vec();
+    ends.push(full.valid_len);
+
+    let mut rng = SplitMix64::new(harness.seed ^ 0xEC0C);
+    let mut rows = Vec::new();
+    for torn in [false, true] {
+        for _ in 0..crashes_per_mode {
+            // A record index in the serving region; clean kills cut at
+            // its end (a tick boundary), torn kills cut inside it (a
+            // crash mid-commit-write).
+            let k = first_commit + (rng.next_u64() as usize) % (n - first_commit);
+            let (cut, surviving) = if torn {
+                let frame = ends[k] - full.offsets[k];
+                (full.offsets[k] + 1 + rng.next_u64() % (frame - 1), k)
+            } else {
+                (ends[k], k + 1)
+            };
+            for &threads in thread_counts {
+                let dir = bench_dir(&format!("crash-{torn}-{k}-{threads}"));
+                copy_dir(&ref_dir, &dir);
+                let file =
+                    fs::OpenOptions::new().write(true).open(dir.join("journal.ecj")).unwrap();
+                file.set_len(cut).unwrap();
+                drop(file);
+                let (identical, from_snapshot, events_replayed, recover_s, resume_s) =
+                    recover_and_check(&env, harness, &trips, &ref_trail, &dir, threads);
+                rows.push(RecoveryRow {
+                    sessions,
+                    threads,
+                    surviving_records: surviving,
+                    torn,
+                    from_snapshot,
+                    events_replayed,
+                    recover_s,
+                    resume_s,
+                    identical,
+                });
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&ref_dir);
+    rows
+}
+
+/// The deterministic chaos soak: every injected fault must be contained
+/// (typed error + quarantine + read-only serving where promised) and
+/// must leave a journal recovery still restores bit-exactly.
+#[must_use]
+pub fn run_recovery_chaos(harness: &HarnessConfig, sessions: usize) -> Vec<ChaosRow> {
+    let env = ExperimentEnv::build(DatasetKind::Oldenburg, harness.scale, harness.seed);
+    let trips = session_trips(&env, sessions);
+    let ref_dir = bench_dir("chaos-reference");
+    let reference = reference_run(&env, harness, &trips, &ref_dir, None, ServiceChaos::default())
+        .expect("reference run serves cleanly");
+    let ref_trail = trail(&reference);
+    drop(reference);
+    let mut rows = Vec::new();
+
+    // 1. Journal-append failure mid-serving: the sink dies at a fixed
+    // record; the service must quarantine (JRN-007) and the durable
+    // prefix must recover.
+    {
+        let dir = bench_dir("chaos-sink");
+        let sink = SinkChaos { seed: harness.seed, fail_rate: 0.0, fail_from_record: Some(8) };
+        let outcome =
+            reference_run(&env, harness, &trips, &dir, Some(sink), ServiceChaos::default());
+        let contained = matches!(outcome, Err(ref e) if e.code() == "SES-002");
+        let (identical, ..) = recover_and_check(&env, harness, &trips, &ref_trail, &dir, 4);
+        rows.push(ChaosRow {
+            scenario: "journal append failure",
+            contained,
+            recovered_identical: identical,
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 2. Intermittent sink failures: a 30% drop rate — the very first
+    // refused append must quarantine; nothing may be half-journaled.
+    {
+        let dir = bench_dir("chaos-flaky");
+        let sink =
+            SinkChaos { seed: harness.seed ^ 0xF1A6, fail_rate: 0.3, fail_from_record: None };
+        let outcome =
+            reference_run(&env, harness, &trips, &dir, Some(sink), ServiceChaos::default());
+        let contained = outcome.is_err();
+        let (identical, ..) = recover_and_check(&env, harness, &trips, &ref_trail, &dir, 1);
+        rows.push(ChaosRow {
+            scenario: "intermittent sink failures",
+            contained,
+            recovered_identical: identical,
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 3. Worker panic mid-batch: the panic must not unwind out of
+    // tick(); the batch is shed, the service quarantined, and the
+    // journal (which committed everything *before* the poisoned batch)
+    // must recover.
+    {
+        let dir = bench_dir("chaos-panic");
+        let chaos = ServiceChaos { panic_at_event: Some(10) };
+        let outcome = reference_run(&env, harness, &trips, &dir, None, chaos);
+        let contained = matches!(outcome, Err(ref e) if e.code() == "SES-004");
+        let (identical, ..) = recover_and_check(&env, harness, &trips, &ref_trail, &dir, 4);
+        rows.push(ChaosRow {
+            scenario: "worker panic mid-batch",
+            contained,
+            recovered_identical: identical,
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 4. Snapshot corruption: flip a byte in every snapshot of a clean
+    // journal dir; recovery must skip them all (JRN-008) and fall back
+    // to full-log replay without losing identity.
+    {
+        let dir = bench_dir("chaos-snapcorrupt");
+        copy_dir(&ref_dir, &dir);
+        let mut contained = true;
+        for entry in fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "ecsnap") {
+                let mut bytes = fs::read(&p).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+                fs::write(&p, bytes).unwrap();
+            }
+        }
+        let server = InfoServer::from_sims(env.sims.clone());
+        let ctx = ctx_for(&env, harness, &server, 1);
+        let identical = match recover(
+            &ctx,
+            service_config(1, ServiceChaos::default()),
+            JournalConfig::new(dir.clone()),
+        ) {
+            Ok((svc, report)) => {
+                contained = report.snapshot_watermark.is_none()
+                    && report.snapshots_skipped.iter().all(|(_, e)| e.code() == "JRN-008");
+                suffix_identical(&ref_trail, &svc)
+            }
+            Err(e) => {
+                eprintln!("snapshot-corruption recovery failed: {e}");
+                false
+            }
+        };
+        rows.push(ChaosRow {
+            scenario: "snapshot corruption",
+            contained,
+            recovered_identical: identical,
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 5. Quarantine degradation contract: after a worker panic the
+    // service keeps answering reads and refuses mutations typed.
+    {
+        let dir = bench_dir("chaos-quarantine");
+        let server = InfoServer::from_sims(env.sims.clone());
+        let ctx = ctx_for(&env, harness, &server, 1);
+        let journal = JournalConfig::new(dir.clone());
+        let mut svc = SessionService::with_journal(
+            service_config(1, ServiceChaos { panic_at_event: Some(0) }),
+            journal,
+        )
+        .unwrap();
+        for trip in &trips {
+            svc.register(&ctx, trip).unwrap();
+        }
+        let erred = svc.run_to_completion(&ctx).is_err();
+        let quarantined = svc.health() == ServiceHealth::Quarantined { cause: "SES-004" };
+        let reads_ok = svc.sessions().count() == trips.len() && svc.stats().sessions_shed > 0;
+        let mutations_refused = svc.tick(&ctx).is_err() && svc.register(&ctx, &trips[0]).is_err();
+        rows.push(ChaosRow {
+            scenario: "quarantine read-only serving",
+            contained: erred && quarantined && reads_ok && mutations_refused,
+            recovered_identical: true, // no recovery leg in this scenario
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    rows
+}
+
+/// Write both sweeps as `BENCH_recovery.json`.
+pub fn write_recovery_json(
+    path: &Path,
+    rows: &[RecoveryRow],
+    chaos: &[ChaosRow],
+) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"series\": \"recovery\",")?;
+    writeln!(f, "  \"dataset\": \"Oldenburg\",")?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"sessions\": {}, \"threads\": {}, \"surviving_records\": {}, \
+             \"torn\": {}, \"from_snapshot\": {}, \"events_replayed\": {}, \
+             \"recover_s\": {:.4}, \"resume_s\": {:.4}, \"identical\": {}}}{sep}",
+            r.sessions,
+            r.threads,
+            r.surviving_records,
+            r.torn,
+            r.from_snapshot,
+            r.events_replayed,
+            r.recover_s,
+            r.resume_s,
+            r.identical
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"chaos\": [")?;
+    for (i, c) in chaos.iter().enumerate() {
+        let sep = if i + 1 < chaos.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"scenario\": \"{}\", \"contained\": {}, \"recovered_identical\": {}}}{sep}",
+            c.scenario, c.contained, c.recovered_identical
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgen::DatasetScale;
+
+    #[test]
+    fn tiny_recovery_sweep_is_identical() {
+        let harness =
+            HarnessConfig { scale: DatasetScale::smoke(), seed: 7, ..HarnessConfig::default() };
+        let rows = run_recovery(&harness, 4, &[1, 2], 1);
+        assert_eq!(rows.len(), 4, "{rows:?}");
+        assert!(rows.iter().all(|r| r.identical), "{rows:?}");
+        assert!(rows.iter().any(|r| r.torn) && rows.iter().any(|r| !r.torn));
+    }
+
+    #[test]
+    fn tiny_chaos_soak_is_contained() {
+        let harness =
+            HarnessConfig { scale: DatasetScale::smoke(), seed: 7, ..HarnessConfig::default() };
+        let rows = run_recovery_chaos(&harness, 4);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.contained, "{}: fault escaped containment", r.scenario);
+            assert!(r.recovered_identical, "{}: recovery diverged", r.scenario);
+        }
+    }
+
+    #[test]
+    fn json_writer_emits_rows_and_chaos() {
+        let rows = vec![RecoveryRow {
+            sessions: 4,
+            threads: 2,
+            surviving_records: 9,
+            torn: true,
+            from_snapshot: true,
+            events_replayed: 12,
+            recover_s: 0.1,
+            resume_s: 0.2,
+            identical: true,
+        }];
+        let chaos = vec![ChaosRow {
+            scenario: "journal append failure",
+            contained: true,
+            recovered_identical: true,
+        }];
+        let dir = std::env::temp_dir().join("ecocharge_recovery_json_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_recovery.json");
+        write_recovery_json(&path, &rows, &chaos).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"torn\": true"));
+        assert!(text.contains("\"scenario\": \"journal append failure\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -76,6 +76,16 @@ impl EcoCharge {
         &self.cache
     }
 
+    /// Rebuild a solver from crash-recovery state: a restored Dynamic
+    /// Cache and the cumulative pruning counters. The search engine and
+    /// scoring buffers are scratch — they influence cost, never values —
+    /// so a restored instance answers every future query bit-identically
+    /// to the instance it was snapshotted from.
+    #[must_use]
+    pub fn from_parts(cache: DynamicCache, stats: PruneStats) -> Self {
+        Self { cache, stats, ..Self::default() }
+    }
+
     /// Re-rank entry point for serving layers: exactly
     /// [`RankingMethod::offering_table`], callable without importing the
     /// trait. One call = one solve of Algorithm 1 at `(offset_m, now)`

@@ -44,7 +44,7 @@ pub struct ShadowComponent {
 }
 
 /// A cached full solution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CachedSolution {
     /// Vehicle position the candidates were pulled for.
     pub origin: GeoPoint,
@@ -233,6 +233,28 @@ impl DynamicCache {
     #[must_use]
     pub const fn is_populated(&self) -> bool {
         self.slot.is_some()
+    }
+
+    /// The stored solution, if any — read by the session journal when it
+    /// snapshots a serving session (adapted tables depend on the cached
+    /// pool, so crash recovery must restore it bit-exactly).
+    #[must_use]
+    pub const fn slot(&self) -> Option<&CachedSolution> {
+        self.slot.as_ref()
+    }
+
+    /// Rebuild a cache from snapshotted parts: the stored solution and
+    /// the `(hits, misses, empty_probes)` counters. Inverse of reading
+    /// [`DynamicCache::slot`] + [`DynamicCache::stats`] +
+    /// [`DynamicCache::empty_probes`].
+    #[must_use]
+    pub const fn from_parts(
+        slot: Option<CachedSolution>,
+        hits: u64,
+        misses: u64,
+        empty_probes: u64,
+    ) -> Self {
+        Self { slot, hits, misses, empty_probes }
     }
 }
 

@@ -50,7 +50,7 @@ pub mod vehicle;
 pub use algorithm::EcoCharge;
 pub use balance::{BalancedEcoCharge, LoadTracker};
 pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
-pub use cache::{cache_max_age, DynamicCache, ShadowComponent};
+pub use cache::{cache_max_age, CachedSolution, DynamicCache, ShadowComponent};
 pub use cknn::{CknnQuery, SplitPoint};
 pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
 pub use detour::{detour_batch, dominant_class, DetourBatch};

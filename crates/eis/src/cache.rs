@@ -269,6 +269,32 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        // A producer that panics while `get_or_insert_with` holds the
+        // write lock poisons the underlying std lock. The serving loop
+        // must survive that: the vendored `parking_lot` shim recovers
+        // poisoned guards, so every later cache call keeps working
+        // instead of cascading panics through the scheduler.
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 11, t(0), SimDuration::from_mins(30));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<u64, ()> =
+                c.get_or_insert_with(2, t(0), SimDuration::from_mins(5), || {
+                    panic!("injected producer panic while holding the write lock")
+                });
+        }));
+        assert!(panicked.is_err(), "the injected panic must surface to its own caller");
+        // …but the cache is still fully usable afterwards.
+        assert_eq!(c.get(&1, t(1)), Some(11), "read path survives poisoning");
+        c.put(3, 33, t(1), SimDuration::from_mins(5));
+        assert_eq!(c.get(&3, t(2)), Some(33), "write path survives poisoning");
+        let r: Result<u64, ()> =
+            c.get_or_insert_with(2, t(1), SimDuration::from_mins(5), || Ok(22));
+        assert_eq!(r, Ok(22), "fetch-through survives poisoning");
+        assert!(c.evict_expired(t(2)) == 0);
+    }
+
+    #[test]
     fn overwrite_extends_lifetime() {
         let c: TtlCache<u32, u64> = TtlCache::new();
         c.put(1, 1, t(0), SimDuration::from_mins(5));

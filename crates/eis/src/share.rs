@@ -102,10 +102,14 @@ pub struct ShareSnapshot {
 }
 
 impl ShareSnapshot {
-    /// All fresh-tier reads observed.
+    /// All fresh-tier reads observed. Saturating, like the counters
+    /// themselves: four pinned counters must not overflow the total.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.shared_hits + self.self_hits + self.untagged_hits + self.misses
+        self.shared_hits
+            .saturating_add(self.self_hits)
+            .saturating_add(self.untagged_hits)
+            .saturating_add(self.misses)
     }
 
     /// Fraction of reads answered by *another* session's work.
@@ -134,6 +138,15 @@ pub struct ForecastShare {
     misses: AtomicU64,
 }
 
+/// Saturating counter bump: a ledger attached to a long soak must never
+/// wrap (a wrapped counter silently corrupts every derived rate) and
+/// must never panic — it just pins at `u64::MAX`.
+fn saturating_inc(counter: &AtomicU64) {
+    // `fetch_update` retries on contention; the closure is pure.
+    let _ =
+        counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
+}
+
 impl ForecastShare {
     /// Record one fresh-tier read of `cell` ([`ledger_cell`]) on `feed`.
     /// `computed` is true when the read missed and ran the upstream
@@ -141,7 +154,7 @@ impl ForecastShare {
     pub fn observe(&self, feed: FeedKind, cell: u64, computed: bool) {
         let tag = current_session();
         if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            saturating_inc(&self.misses);
             self.owners.write().insert((feed, cell), tag);
             return;
         }
@@ -149,18 +162,18 @@ impl ForecastShare {
         match owner {
             // Both sides attributed to the same session: plain locality.
             Some(o) if o.is_some() && o == tag => {
-                self.self_hits.fetch_add(1, Ordering::Relaxed);
+                saturating_inc(&self.self_hits);
             }
             // Known owner differing from the reader (either side may be
             // an anonymous scope): the cell's work crossed a session
             // boundary.
             Some(_) if tag.is_some() => {
-                self.shared_hits.fetch_add(1, Ordering::Relaxed);
+                saturating_inc(&self.shared_hits);
             }
             // Untagged reader, or a hit on a cell cached before the
             // ledger attached.
             _ => {
-                self.untagged_hits.fetch_add(1, Ordering::Relaxed);
+                saturating_inc(&self.untagged_hits);
             }
         }
     }
@@ -174,6 +187,18 @@ impl ForecastShare {
             untagged_hits: self.untagged_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Overwrite the counters from a snapshot — the crash-recovery path
+    /// re-seeding a fresh server's ledger with the journaled totals.
+    /// Cell ownership is *not* restorable (it is observational wall-clock
+    /// state); post-recovery hits on pre-crash cells therefore count as
+    /// untagged, which under-reports sharing but never mis-reports it.
+    pub fn restore(&self, snap: ShareSnapshot) {
+        self.shared_hits.store(snap.shared_hits, Ordering::Relaxed);
+        self.self_hits.store(snap.self_hits, Ordering::Relaxed);
+        self.untagged_hits.store(snap.untagged_hits, Ordering::Relaxed);
+        self.misses.store(snap.misses, Ordering::Relaxed);
     }
 }
 
@@ -236,5 +261,51 @@ mod tests {
     #[test]
     fn distinct_windows_are_distinct_cells() {
         assert_ne!(ledger_cell(&(1u32, 1_800u64), 900), ledger_cell(&(1u32, 1_800u64), 1_800));
+    }
+
+    #[test]
+    fn counters_saturate_at_u64_max_instead_of_wrapping() {
+        let ledger = ForecastShare::default();
+        // Park every counter one tick below the ceiling — the state a
+        // multi-year soak would eventually reach.
+        ledger.restore(ShareSnapshot {
+            shared_hits: u64::MAX - 1,
+            self_hits: u64::MAX - 1,
+            untagged_hits: u64::MAX - 1,
+            misses: u64::MAX - 1,
+        });
+        let cell = ledger_cell(&(1u32, 900u64), 900);
+        // Two observations per class: the first lands exactly on MAX,
+        // the second must pin there (no wrap to 0, no panic).
+        for _ in 0..2 {
+            ledger.observe(FeedKind::Weather, cell, true); // miss
+            ledger.observe(FeedKind::Weather, cell, false); // untagged hit
+            let _s = SessionScope::enter(1);
+            ledger.observe(FeedKind::Weather, cell, false); // shared (owner None ≠ tag)
+        }
+        {
+            let _s = SessionScope::enter(9);
+            let own = ledger_cell(&(2u32, 900u64), 900);
+            for _ in 0..2 {
+                ledger.observe(FeedKind::Wind, own, true);
+                ledger.observe(FeedKind::Wind, own, false); // self hit
+            }
+        }
+        let snap = ledger.snapshot();
+        assert_eq!(snap.misses, u64::MAX);
+        assert_eq!(snap.untagged_hits, u64::MAX);
+        assert_eq!(snap.shared_hits, u64::MAX);
+        assert_eq!(snap.self_hits, u64::MAX);
+        // The derived rate stays a sane fraction — no wrapped-counter
+        // garbage like shared_hits > total.
+        assert!(snap.shared_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn restore_reseeds_counters_exactly() {
+        let ledger = ForecastShare::default();
+        let snap = ShareSnapshot { shared_hits: 5, self_hits: 4, untagged_hits: 3, misses: 2 };
+        ledger.restore(snap);
+        assert_eq!(ledger.snapshot(), snap);
     }
 }

@@ -1,0 +1,431 @@
+//! The serving layer's unified error taxonomy.
+//!
+//! Every failure the session/journal/recovery stack can surface is a
+//! typed variant with a **stable code** (`SES-*`, `JRN-*`, `REC-*`;
+//! `EC-*` codes come from [`EcError::code`]). Codes are part of the
+//! public contract: operators alert on them, the chaos harness asserts
+//! on them, and they never change meaning across versions (new codes may
+//! be added, existing ones are never reused). Display strings are
+//! human-facing and may evolve; match on variants or codes, not text.
+//!
+//! The style is deliberately `thiserror`-shaped — one enum per failure
+//! domain, `Display` + `std::error::Error` + `From` impls — written by
+//! hand because this workspace vendors its few dependencies and an error
+//! taxonomy is not worth a vendored proc-macro.
+
+use ec_types::EcError;
+use std::fmt;
+
+/// Why an admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The service is at its session cap.
+    Full {
+        /// The configured cap.
+        max_sessions: usize,
+    },
+    /// The trip already has a live or finished session this service
+    /// remembers.
+    Duplicate(ec_types::SessionId),
+    /// Trip segmentation failed.
+    Planning(EcError),
+    /// The admission could not be made durable: the write-ahead journal
+    /// refused the `Register` record. The service quarantines itself.
+    Journal(JournalError),
+    /// The service is quarantined (read-only); no admissions until it is
+    /// rebuilt via recovery.
+    Quarantined {
+        /// Stable code of the failure that triggered the quarantine.
+        cause: &'static str,
+    },
+}
+
+impl RegisterError {
+    /// Stable, never-reused error code.
+    #[must_use]
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Self::Full { .. } => "SES-101",
+            Self::Duplicate(_) => "SES-102",
+            Self::Planning(_) => "SES-103",
+            Self::Journal(_) => "SES-104",
+            Self::Quarantined { .. } => "SES-105",
+        }
+    }
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Self::Full { max_sessions } => {
+                write!(f, "admission refused: {max_sessions} active sessions")
+            }
+            Self::Duplicate(id) => write!(f, "trip already registered as session {id}"),
+            Self::Planning(e) => write!(f, "trip could not be segmented: {e}"),
+            Self::Journal(e) => write!(f, "admission could not be journaled: {e}"),
+            Self::Quarantined { cause } => {
+                write!(f, "service quarantined (cause {cause}): admissions refused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Planning(e) => Some(e),
+            Self::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for RegisterError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+/// A defect in the write-ahead journal or a snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An OS-level I/O failure (open, create, read, sync, …).
+    Io {
+        /// The operation that failed.
+        op: &'static str,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The file does not start with the journal magic.
+    BadMagic,
+    /// The journal was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        found: u32,
+    },
+    /// The final record is incomplete — the classic crash signature
+    /// (power lost mid-`write`). Recovery truncates to the last valid
+    /// record boundary and resumes there.
+    TornTail {
+        /// Byte offset where the torn record starts.
+        offset: u64,
+    },
+    /// A record frame failed its CRC — bytes were corrupted in place.
+    BadChecksum {
+        /// Byte offset of the failing record.
+        offset: u64,
+    },
+    /// A CRC-valid record did not decode (unknown kind, short payload).
+    BadRecord {
+        /// Byte offset of the failing record.
+        offset: u64,
+        /// What the decoder expected.
+        what: &'static str,
+    },
+    /// The sink refused an append — the chaos harness's injected disk
+    /// failure, or a real `write` error. The record was **not** made
+    /// durable; the service quarantines.
+    WriteFailed {
+        /// Index of the record that failed (0-based since creation).
+        record: u64,
+        /// Failure detail.
+        detail: String,
+    },
+    /// A snapshot file failed its checksum or did not decode. Recovery
+    /// falls back to an earlier snapshot or a full-log replay.
+    SnapshotCorrupt {
+        /// The snapshot file.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl JournalError {
+    /// Stable, never-reused error code.
+    #[must_use]
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Self::Io { .. } => "JRN-001",
+            Self::BadMagic => "JRN-002",
+            Self::UnsupportedVersion { .. } => "JRN-003",
+            Self::TornTail { .. } => "JRN-004",
+            Self::BadChecksum { .. } => "JRN-005",
+            Self::BadRecord { .. } => "JRN-006",
+            Self::WriteFailed { .. } => "JRN-007",
+            Self::SnapshotCorrupt { .. } => "JRN-008",
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Self::Io { op, detail } => write!(f, "journal I/O failed during {op}: {detail}"),
+            Self::BadMagic => write!(f, "not a session journal (bad magic)"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "unsupported journal version {found}")
+            }
+            Self::TornTail { offset } => {
+                write!(f, "torn record at byte {offset} (crash mid-write)")
+            }
+            Self::BadChecksum { offset } => write!(f, "checksum mismatch at byte {offset}"),
+            Self::BadRecord { offset, what } => {
+                write!(f, "undecodable record at byte {offset}: expected {what}")
+            }
+            Self::WriteFailed { record, detail } => {
+                write!(f, "journal append of record {record} failed: {detail}")
+            }
+            Self::SnapshotCorrupt { path, detail } => {
+                write!(f, "snapshot {path} is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Why crash recovery could not rebuild a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No journal file in the configured directory.
+    MissingJournal {
+        /// The directory probed.
+        dir: String,
+    },
+    /// The journal was written under a different configuration than the
+    /// one recovery was asked to resume with — replaying would produce
+    /// different itineraries, silently diverging from the journal.
+    ConfigMismatch {
+        /// Which knob disagrees.
+        what: &'static str,
+        /// The value recorded in the journal header.
+        journal: u64,
+        /// The value in the recovery config.
+        config: u64,
+    },
+    /// Re-executing the journal tail produced different events or
+    /// outcomes than the journal recorded — the determinism promise was
+    /// violated (or the journal belongs to different world data).
+    ReplayDivergence {
+        /// What diverged, with both sides.
+        detail: String,
+    },
+    /// Rebuilding a session's itinerary from its journaled route failed.
+    Planning(EcError),
+    /// The journal itself was unreadable (header-level defect).
+    Journal(JournalError),
+}
+
+impl RecoveryError {
+    /// Stable, never-reused error code.
+    #[must_use]
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Self::MissingJournal { .. } => "REC-001",
+            Self::ConfigMismatch { .. } => "REC-002",
+            Self::ReplayDivergence { .. } => "REC-003",
+            Self::Planning(_) => "REC-004",
+            Self::Journal(_) => "REC-005",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Self::MissingJournal { dir } => write!(f, "no session journal in {dir}"),
+            Self::ConfigMismatch { what, journal, config } => {
+                write!(f, "config mismatch on {what}: journal has {journal}, config has {config}")
+            }
+            Self::ReplayDivergence { detail } => write!(f, "replay divergence: {detail}"),
+            Self::Planning(e) => write!(f, "could not rebuild a journaled session: {e}"),
+            Self::Journal(e) => write!(f, "journal unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Planning(e) => Some(e),
+            Self::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for RecoveryError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+/// A serving-time failure of the [`crate::SessionService`]. This is the
+/// error type of [`crate::SessionService::tick`] — everything the event
+/// loop can refuse to do, with the journal/recovery domains nested as
+/// sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A solve failed and shedding was disabled (`shed_degraded: false`):
+    /// the first failure in total order is propagated after the batch.
+    Solve(EcError),
+    /// A journal append failed; the service is now quarantined.
+    Journal(JournalError),
+    /// Recovery failed; no service was built.
+    Recovery(RecoveryError),
+    /// A worker panicked mid-batch. The batch's sessions were shed, the
+    /// service quarantined — the panic is contained, never propagated.
+    WorkerPanic {
+        /// Events in the batch whose execution was abandoned.
+        batch_events: usize,
+    },
+    /// Mutation refused: the service is quarantined (read-only). Reads —
+    /// [`crate::SessionService::sessions`], stats, the event log — keep
+    /// working.
+    Quarantined {
+        /// Stable code of the failure that triggered the quarantine.
+        cause: &'static str,
+    },
+    /// An internal invariant broke (e.g. the scheduler referenced an
+    /// unknown session). The service quarantines instead of panicking.
+    Internal {
+        /// The violated invariant.
+        what: &'static str,
+    },
+}
+
+impl SessionError {
+    /// Stable, never-reused error code.
+    #[must_use]
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Self::Solve(_) => "SES-001",
+            Self::Journal(_) => "SES-002",
+            Self::Recovery(_) => "SES-003",
+            Self::WorkerPanic { .. } => "SES-004",
+            Self::Quarantined { .. } => "SES-005",
+            Self::Internal { .. } => "SES-006",
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Self::Solve(e) => write!(f, "solve failed with shedding disabled: {e}"),
+            Self::Journal(e) => write!(f, "journaling failed, service quarantined: {e}"),
+            Self::Recovery(e) => write!(f, "recovery failed: {e}"),
+            Self::WorkerPanic { batch_events } => {
+                write!(f, "worker panic mid-batch ({batch_events} events shed), quarantined")
+            }
+            Self::Quarantined { cause } => {
+                write!(f, "service quarantined (cause {cause}): serving read-only")
+            }
+            Self::Internal { what } => write!(f, "internal invariant broken: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Solve(e) => Some(e),
+            Self::Journal(e) => Some(e),
+            Self::Recovery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EcError> for SessionError {
+    fn from(e: EcError) -> Self {
+        Self::Solve(e)
+    }
+}
+
+impl From<JournalError> for SessionError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+impl From<RecoveryError> for SessionError {
+    fn from(e: RecoveryError) -> Self {
+        Self::Recovery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        // The taxonomy's contract: every code is unique across all four
+        // serving-layer enums and never changes. This list is the frozen
+        // registry — extend it, never edit it.
+        let codes = [
+            RegisterError::Full { max_sessions: 1 }.code(),
+            RegisterError::Duplicate(ec_types::SessionId(0)).code(),
+            RegisterError::Planning(EcError::NoCandidates).code(),
+            RegisterError::Journal(JournalError::BadMagic).code(),
+            RegisterError::Quarantined { cause: "JRN-007" }.code(),
+            JournalError::Io { op: "open", detail: String::new() }.code(),
+            JournalError::BadMagic.code(),
+            JournalError::UnsupportedVersion { found: 9 }.code(),
+            JournalError::TornTail { offset: 0 }.code(),
+            JournalError::BadChecksum { offset: 0 }.code(),
+            JournalError::BadRecord { offset: 0, what: "kind" }.code(),
+            JournalError::WriteFailed { record: 0, detail: String::new() }.code(),
+            JournalError::SnapshotCorrupt { path: String::new(), detail: String::new() }.code(),
+            RecoveryError::MissingJournal { dir: String::new() }.code(),
+            RecoveryError::ConfigMismatch { what: "adapt_every", journal: 0, config: 1 }.code(),
+            RecoveryError::ReplayDivergence { detail: String::new() }.code(),
+            RecoveryError::Planning(EcError::NoCandidates).code(),
+            RecoveryError::Journal(JournalError::BadMagic).code(),
+            SessionError::Solve(EcError::NoCandidates).code(),
+            SessionError::Journal(JournalError::BadMagic).code(),
+            SessionError::Recovery(RecoveryError::MissingJournal { dir: String::new() }).code(),
+            SessionError::WorkerPanic { batch_events: 1 }.code(),
+            SessionError::Quarantined { cause: "SES-004" }.code(),
+            SessionError::Internal { what: "x" }.code(),
+        ];
+        let expected = [
+            "SES-101", "SES-102", "SES-103", "SES-104", "SES-105", "JRN-001", "JRN-002", "JRN-003",
+            "JRN-004", "JRN-005", "JRN-006", "JRN-007", "JRN-008", "REC-001", "REC-002", "REC-003",
+            "REC-004", "REC-005", "SES-001", "SES-002", "SES-003", "SES-004", "SES-005", "SES-006",
+        ];
+        assert_eq!(codes, expected);
+        let mut unique: Vec<&str> = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must never collide");
+    }
+
+    #[test]
+    fn display_leads_with_the_code() {
+        // Log lines and shed reasons are grepped by code; the code is
+        // always the first bracketed token.
+        assert!(SessionError::WorkerPanic { batch_events: 3 }.to_string().starts_with("[SES-004]"));
+        assert!(JournalError::TornTail { offset: 17 }.to_string().starts_with("[JRN-004]"));
+        let nested = SessionError::Journal(JournalError::WriteFailed {
+            record: 5,
+            detail: "injected".into(),
+        });
+        let s = nested.to_string();
+        assert!(s.starts_with("[SES-002]") && s.contains("[JRN-007]"), "{s}");
+    }
+
+    #[test]
+    fn sources_chain_through_the_taxonomy() {
+        use std::error::Error as _;
+        let e = SessionError::Recovery(RecoveryError::Planning(EcError::NoCandidates));
+        let src = e.source().expect("recovery source");
+        assert!(src.to_string().contains("REC-004"));
+    }
+}

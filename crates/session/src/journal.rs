@@ -1,0 +1,1324 @@
+//! The write-ahead event journal and snapshot store (DESIGN.md §4i).
+//!
+//! The journal is the durable form of the scheduler's total order: a
+//! compact, versioned, checksummed binary log of every **committed state
+//! transition** of a [`crate::SessionService`] — admissions and executed
+//! batches — plus periodic snapshots of the full service image. Crash
+//! recovery ([`crate::recovery`]) restores the latest valid snapshot and
+//! re-executes the log tail; because every solve is a pure function of
+//! `(session state, offset, time)` against a model-backed server, the
+//! replayed service continues with **bit-identical Offering Tables**.
+//!
+//! ## File format
+//!
+//! One journal file `journal.ecj` per service:
+//!
+//! ```text
+//! header  := magic "ECJL" | version u32 | adapt_every_secs u64 | crc32(prev 16 bytes)
+//! record  := kind u8 | len u32 | payload[len] | crc32(kind ‖ len ‖ payload)
+//! ```
+//!
+//! All integers little-endian; `f64` as IEEE-754 bit patterns
+//! ([`f64::to_bits`]) so round-trips are bit-exact. A record's CRC covers
+//! its frame *and* payload, so a torn write (crash mid-append) or a
+//! flipped byte is detected at the exact record; [`read_journal`] returns
+//! the longest valid prefix and the defect, and [`Journal::resume`]
+//! truncates the tail before appending — torn tails heal, they never
+//! poison the log.
+//!
+//! Snapshot files `snap-<watermark>.ecsnap` (watermark = events executed
+//! when the image was taken) are whole-file checksummed the same way. A
+//! corrupt snapshot is *not* fatal: recovery falls back to the previous
+//! snapshot, or to a full-log replay.
+
+use crate::error::JournalError;
+use crate::scheduler::EventKind;
+use crate::stats::SessionStats;
+use ec_types::{
+    ChargerId, ComponentQuality, GeoPoint, Interval, Provenance, SessionId, SimDuration, SimTime,
+};
+use ecocharge_core::objectives::Components;
+use ecocharge_core::{CachedSolution, PruneStats, ShadowComponent};
+use eis::ShareSnapshot;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// First four bytes of a journal file.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"ECJL";
+/// First four bytes of a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ECSN";
+/// Current format version (journal and snapshots move together).
+pub const FORMAT_VERSION: u32 = 1;
+/// The journal file name inside [`JournalConfig::dir`].
+pub const JOURNAL_FILE: &str = "journal.ecj";
+
+// ---------------------------------------------------------------- CRC32
+
+/// IEEE CRC-32 lookup table, built at compile time (reflected polynomial
+/// `0xEDB8_8320` — the zlib/PNG one, so external tools can verify).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------- codec
+
+/// Little-endian append-only encoder.
+#[derive(Debug, Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn interval(&mut self, v: &Interval) {
+        self.f64(v.lo());
+        self.f64(v.hi());
+    }
+    fn quality(&mut self, q: ComponentQuality) {
+        match q {
+            ComponentQuality::Fresh => self.u8(0),
+            ComponentQuality::Stale { age } => {
+                self.u8(1);
+                self.u64(age.as_secs());
+            }
+            ComponentQuality::Fallback => self.u8(2),
+        }
+    }
+    fn components(&mut self, c: &Components) {
+        self.u32(c.charger.0);
+        self.interval(&c.l);
+        self.interval(&c.clean_kw);
+        self.interval(&c.a);
+        self.interval(&c.d);
+        self.interval(&c.detour_kwh);
+        self.u64(c.eta.as_secs());
+        self.quality(c.quality.l);
+        self.quality(c.quality.a);
+        self.quality(c.quality.d);
+    }
+}
+
+/// Bounds-checked little-endian decoder over one payload. Every method
+/// fails typed (never panics) so corrupt bytes surface as
+/// [`JournalError::BadRecord`]-style defects, not crashes.
+#[derive(Debug)]
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// File offset of the payload start, for error reporting.
+    base: u64,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8], base: u64) -> Self {
+        Self { buf, pos: 0, base }
+    }
+
+    fn fail(&self, what: &'static str) -> JournalError {
+        JournalError::BadRecord { offset: self.base, what }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], JournalError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.fail(what))?;
+        if end > self.buf.len() {
+            return Err(self.fail(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, JournalError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, JournalError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, JournalError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn f64(&mut self, what: &'static str) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn str(&mut self, what: &'static str) -> Result<String, JournalError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.fail(what))
+    }
+    fn interval(&mut self, what: &'static str) -> Result<Interval, JournalError> {
+        let lo = self.f64(what)?;
+        let hi = self.f64(what)?;
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(self.fail(what));
+        }
+        Ok(Interval::new(lo, hi))
+    }
+    fn quality(&mut self, what: &'static str) -> Result<ComponentQuality, JournalError> {
+        match self.u8(what)? {
+            0 => Ok(ComponentQuality::Fresh),
+            1 => Ok(ComponentQuality::Stale { age: SimDuration::from_secs(self.u64(what)?) }),
+            2 => Ok(ComponentQuality::Fallback),
+            _ => Err(self.fail(what)),
+        }
+    }
+    fn components(&mut self, what: &'static str) -> Result<Components, JournalError> {
+        Ok(Components {
+            charger: ChargerId(self.u32(what)?),
+            l: self.interval(what)?,
+            clean_kw: self.interval(what)?,
+            a: self.interval(what)?,
+            d: self.interval(what)?,
+            detour_kwh: self.interval(what)?,
+            eta: SimTime::from_secs(self.u64(what)?),
+            quality: Provenance {
+                l: self.quality(what)?,
+                a: self.quality(what)?,
+                d: self.quality(what)?,
+            },
+        })
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// -------------------------------------------------------------- records
+
+/// What executing one event produced — the compact per-event outcome the
+/// journal records and recovery verifies against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeTag {
+    /// A table whose ranking changed (pushed to the driver).
+    Emitted,
+    /// A table repeating the previous ranking (heartbeat).
+    Heartbeat,
+    /// No chargers in range.
+    NoOffers,
+    /// The session retired at arrival.
+    Retired,
+    /// The solve failed and the session was shed.
+    Shed,
+    /// The solve failed with shedding disabled (strict mode); the
+    /// session stayed registered and the tick surfaced the error.
+    Failed,
+}
+
+impl OutcomeTag {
+    const fn to_u8(self) -> u8 {
+        match self {
+            Self::Emitted => 0,
+            Self::Heartbeat => 1,
+            Self::NoOffers => 2,
+            Self::Retired => 3,
+            Self::Shed => 4,
+            Self::Failed => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::Emitted),
+            1 => Some(Self::Heartbeat),
+            2 => Some(Self::NoOffers),
+            3 => Some(Self::Retired),
+            4 => Some(Self::Shed),
+            5 => Some(Self::Failed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OutcomeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+const fn kind_to_u8(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Rerank => 0,
+        EventKind::Rollover => 1,
+        EventKind::Adapt => 2,
+        EventKind::Retire => 3,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Option<EventKind> {
+    match v {
+        0 => Some(EventKind::Rerank),
+        1 => Some(EventKind::Rollover),
+        2 => Some(EventKind::Adapt),
+        3 => Some(EventKind::Retire),
+        _ => None,
+    }
+}
+
+/// One executed event inside a [`Record::Commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Virtual instant of the event.
+    pub time: SimTime,
+    /// The session it advanced.
+    pub session: SessionId,
+    /// What it did.
+    pub kind: EventKind,
+    /// What came out.
+    pub outcome: OutcomeTag,
+}
+
+/// One journaled state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A session was admitted. The route is stored as node ids and
+    /// rebuilt deterministically via `Route::from_nodes`; the itinerary
+    /// is a pure function of `(trip, adapt_every)` and is recomputed, not
+    /// stored.
+    Register {
+        /// The session id (also the trip id).
+        session: SessionId,
+        /// The vehicle driving it.
+        vehicle: u32,
+        /// Departure instant.
+        depart: SimTime,
+        /// Route node ids, in path order.
+        nodes: Vec<u32>,
+    },
+    /// One executed batch — a distinct-session prefix of the total order.
+    Commit {
+        /// `events_executed` after this batch (the watermark).
+        after: u64,
+        /// Budget deferrals counted when the batch was popped (stored so
+        /// replay reproduces the counter without re-running the
+        /// deferral lookahead).
+        deferred: u64,
+        /// The executed events with their outcomes, in batch order.
+        entries: Vec<CommitEntry>,
+    },
+}
+
+const KIND_REGISTER: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// Frame `record` for appending: `kind | len | payload | crc`.
+#[must_use]
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    let mut e = Enc::default();
+    let kind = match record {
+        Record::Register { session, vehicle, depart, nodes } => {
+            e.u32(session.0);
+            e.u32(*vehicle);
+            e.u64(depart.as_secs());
+            e.u32(u32::try_from(nodes.len()).unwrap_or(u32::MAX));
+            for &n in nodes {
+                e.u32(n);
+            }
+            KIND_REGISTER
+        }
+        Record::Commit { after, deferred, entries } => {
+            e.u64(*after);
+            e.u64(*deferred);
+            e.u32(u32::try_from(entries.len()).unwrap_or(u32::MAX));
+            for entry in entries {
+                e.u64(entry.time.as_secs());
+                e.u32(entry.session.0);
+                e.u8(kind_to_u8(entry.kind));
+                e.u8(entry.outcome.to_u8());
+            }
+            KIND_COMMIT
+        }
+    };
+    let payload = e.buf;
+    let mut frame = Vec::with_capacity(payload.len() + 9);
+    frame.push(kind);
+    frame.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+fn decode_payload(kind: u8, payload: &[u8], offset: u64) -> Result<Record, JournalError> {
+    let mut d = Dec::new(payload, offset);
+    let record = match kind {
+        KIND_REGISTER => {
+            let session = SessionId(d.u32("register.session")?);
+            let vehicle = d.u32("register.vehicle")?;
+            let depart = SimTime::from_secs(d.u64("register.depart")?);
+            let n = d.u32("register.nodes.len")? as usize;
+            let mut nodes = Vec::with_capacity(n.min(payload.len() / 4 + 1));
+            for _ in 0..n {
+                nodes.push(d.u32("register.node")?);
+            }
+            Record::Register { session, vehicle, depart, nodes }
+        }
+        KIND_COMMIT => {
+            let after = d.u64("commit.after")?;
+            let deferred = d.u64("commit.deferred")?;
+            let n = d.u32("commit.entries.len")? as usize;
+            let mut entries = Vec::with_capacity(n.min(payload.len() / 14 + 1));
+            for _ in 0..n {
+                let time = SimTime::from_secs(d.u64("commit.entry.time")?);
+                let session = SessionId(d.u32("commit.entry.session")?);
+                let kind = kind_from_u8(d.u8("commit.entry.kind")?)
+                    .ok_or(JournalError::BadRecord { offset, what: "commit.entry.kind" })?;
+                let outcome = OutcomeTag::from_u8(d.u8("commit.entry.outcome")?)
+                    .ok_or(JournalError::BadRecord { offset, what: "commit.entry.outcome" })?;
+                entries.push(CommitEntry { time, session, kind, outcome });
+            }
+            Record::Commit { after, deferred, entries }
+        }
+        _ => return Err(JournalError::BadRecord { offset, what: "record kind" }),
+    };
+    if !d.finished() {
+        return Err(JournalError::BadRecord { offset, what: "trailing payload bytes" });
+    }
+    Ok(record)
+}
+
+// ------------------------------------------------------------- the file
+
+/// File header: magic, version, the `adapt_every` the itineraries were
+/// planned under (recovery refuses a mismatching config), CRC.
+const HEADER_LEN: u64 = 4 + 4 + 8 + 4;
+
+fn encode_header(adapt_every: SimDuration) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..4].copy_from_slice(&JOURNAL_MAGIC);
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&adapt_every.as_secs().to_le_bytes());
+    let crc = crc32(&h[0..16]);
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Everything [`read_journal`] learned from one journal file.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// Format version from the header.
+    pub version: u32,
+    /// The `adapt_every` the journal's itineraries were planned under.
+    pub adapt_every: SimDuration,
+    /// Every valid record, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset where each record of `records` starts.
+    pub offsets: Vec<u64>,
+    /// File length of the valid prefix (`header + records`). A resumed
+    /// journal truncates to this before appending.
+    pub valid_len: u64,
+    /// The defect that ended the scan early, if the file did not end
+    /// cleanly (torn tail, bad checksum, undecodable record). Bytes past
+    /// `valid_len` are unrecoverable and will be truncated on resume.
+    pub tail_defect: Option<JournalError>,
+}
+
+/// Read a journal file, validating every frame. Header-level defects are
+/// hard errors (there is nothing to recover); record-level defects end
+/// the scan and are reported in [`JournalRead::tail_defect`] — the
+/// records before the defect are still good.
+///
+/// # Errors
+/// [`JournalError::Io`] when the file cannot be read,
+/// [`JournalError::BadMagic`] / [`JournalError::UnsupportedVersion`] /
+/// [`JournalError::BadChecksum`] for a damaged header.
+pub fn read_journal(path: &Path) -> Result<JournalRead, JournalError> {
+    let bytes = fs::read(path)
+        .map_err(|e| JournalError::Io { op: "read journal", detail: e.to_string() })?;
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(JournalError::BadMagic);
+    }
+    if bytes[0..4] != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(JournalError::UnsupportedVersion { found: version });
+    }
+    let stored = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+    if crc32(&bytes[0..16]) != stored {
+        return Err(JournalError::BadChecksum { offset: 0 });
+    }
+    let adapt_every = SimDuration::from_secs(u64::from_le_bytes([
+        bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+    ]));
+
+    let mut records = Vec::new();
+    let mut offsets = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut tail_defect = None;
+    while pos < bytes.len() {
+        let offset = pos as u64;
+        // Frame head: kind + len.
+        if pos + 5 > bytes.len() {
+            tail_defect = Some(JournalError::TornTail { offset });
+            break;
+        }
+        let kind = bytes[pos];
+        let len =
+            u32::from_le_bytes([bytes[pos + 1], bytes[pos + 2], bytes[pos + 3], bytes[pos + 4]])
+                as usize;
+        let Some(frame_end) = pos.checked_add(5 + len + 4) else {
+            tail_defect = Some(JournalError::TornTail { offset });
+            break;
+        };
+        if frame_end > bytes.len() {
+            tail_defect = Some(JournalError::TornTail { offset });
+            break;
+        }
+        let stored =
+            u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().expect("4 bytes"));
+        if crc32(&bytes[pos..frame_end - 4]) != stored {
+            tail_defect = Some(JournalError::BadChecksum { offset });
+            break;
+        }
+        match decode_payload(kind, &bytes[pos + 5..frame_end - 4], offset) {
+            Ok(record) => {
+                records.push(record);
+                offsets.push(offset);
+                pos = frame_end;
+            }
+            Err(e) => {
+                tail_defect = Some(e);
+                break;
+            }
+        }
+    }
+    Ok(JournalRead { version, adapt_every, records, offsets, valid_len: pos as u64, tail_defect })
+}
+
+// ---------------------------------------------------------------- sinks
+
+/// Where journal bytes go. The production sink is a file; the chaos
+/// harness wraps it to inject write failures at seeded records.
+pub trait JournalSink: Send + fmt::Debug {
+    /// Append `bytes` durably (append-only; one call per record).
+    ///
+    /// # Errors
+    /// [`JournalError::WriteFailed`] / [`JournalError::Io`] when the
+    /// bytes were not made durable. The caller must assume nothing was
+    /// written and quarantine.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError>;
+}
+
+/// The production sink: an append-mode file handle.
+#[derive(Debug)]
+pub struct FileSink {
+    file: fs::File,
+}
+
+impl JournalSink for FileSink {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        self.file
+            .write_all(bytes)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| JournalError::Io { op: "append record", detail: e.to_string() })
+    }
+}
+
+/// Seeded write-failure injection for the chaos harness: record `n`
+/// fails when the per-record coin (`mix(seed, n)`) lands under
+/// `fail_rate`, or unconditionally from `fail_from_record` on.
+/// Deterministic per seed, so chaos runs are replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkChaos {
+    /// Seed for the per-record coin.
+    pub seed: u64,
+    /// Probability a given append fails (0.0 = never).
+    pub fail_rate: f64,
+    /// First record index that always fails, if any.
+    pub fail_from_record: Option<u64>,
+}
+
+impl Default for SinkChaos {
+    fn default() -> Self {
+        Self { seed: 0, fail_rate: 0.0, fail_from_record: None }
+    }
+}
+
+impl SinkChaos {
+    fn fails(&self, record: u64) -> bool {
+        if self.fail_from_record.is_some_and(|from| record >= from) {
+            return true;
+        }
+        if self.fail_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = ec_types::SplitMix64::new(ec_types::rng::mix(self.seed, record));
+        rng.next_f64() < self.fail_rate
+    }
+}
+
+/// A [`JournalSink`] wrapper that drops appends per a [`SinkChaos`] plan.
+/// A failed append does **not** reach the inner sink — modeling a disk
+/// that refused the write outright.
+#[derive(Debug)]
+pub struct ChaosSink<S> {
+    inner: S,
+    plan: SinkChaos,
+    record: u64,
+}
+
+impl<S: JournalSink> ChaosSink<S> {
+    /// Wrap `inner` with the given failure plan.
+    pub fn new(inner: S, plan: SinkChaos) -> Self {
+        Self { inner, plan, record: 0 }
+    }
+}
+
+impl<S: JournalSink> JournalSink for ChaosSink<S> {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        let record = self.record;
+        self.record += 1;
+        if self.plan.fails(record) {
+            return Err(JournalError::WriteFailed {
+                record,
+                detail: format!("chaos sink dropped append (seed {})", self.plan.seed),
+            });
+        }
+        self.inner.append(bytes)
+    }
+}
+
+// -------------------------------------------------------------- journal
+
+/// Where and how often to journal.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding `journal.ecj` and `snap-*.ecsnap`.
+    pub dir: PathBuf,
+    /// Take a snapshot every this many committed ticks (0 = never; the
+    /// log alone still recovers, snapshots only bound replay time).
+    pub snapshot_every_ticks: u64,
+    /// Injected sink failures (chaos harness); `None` in production.
+    pub sink_chaos: Option<SinkChaos>,
+}
+
+impl JournalConfig {
+    /// Plain journaling into `dir`, snapshot every 8 ticks.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), snapshot_every_ticks: 8, sink_chaos: None }
+    }
+
+    /// Path of the journal file under this config.
+    #[must_use]
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+}
+
+/// An open, appendable journal.
+#[derive(Debug)]
+pub struct Journal {
+    config: JournalConfig,
+    sink: Box<dyn JournalSink>,
+    ticks_since_snapshot: u64,
+    /// Records appended through this handle.
+    pub records_written: u64,
+}
+
+impl Journal {
+    fn open_sink(config: &JournalConfig, file: fs::File) -> Box<dyn JournalSink> {
+        let sink = FileSink { file };
+        match config.sink_chaos {
+            Some(plan) => Box::new(ChaosSink::new(sink, plan)),
+            None => Box::new(sink),
+        }
+    }
+
+    /// Create a fresh journal (truncating any previous one in `dir`) and
+    /// write the header. `adapt_every` is pinned in the header so
+    /// recovery can refuse a mismatching config.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] when the directory or file cannot be created.
+    pub fn create(config: JournalConfig, adapt_every: SimDuration) -> Result<Self, JournalError> {
+        fs::create_dir_all(&config.dir)
+            .map_err(|e| JournalError::Io { op: "create journal dir", detail: e.to_string() })?;
+        let mut file = fs::File::create(config.journal_path())
+            .map_err(|e| JournalError::Io { op: "create journal", detail: e.to_string() })?;
+        file.write_all(&encode_header(adapt_every))
+            .map_err(|e| JournalError::Io { op: "write header", detail: e.to_string() })?;
+        Ok(Self {
+            sink: Self::open_sink(&config, file),
+            config,
+            ticks_since_snapshot: 0,
+            records_written: 0,
+        })
+    }
+
+    /// Reopen an existing journal for appending, truncating to
+    /// `valid_len` first (healing a torn tail — see [`read_journal`]).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] when the file cannot be reopened.
+    pub fn resume(config: JournalConfig, valid_len: u64) -> Result<Self, JournalError> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(config.journal_path())
+            .map_err(|e| JournalError::Io { op: "reopen journal", detail: e.to_string() })?;
+        file.set_len(valid_len)
+            .map_err(|e| JournalError::Io { op: "truncate torn tail", detail: e.to_string() })?;
+        use std::io::Seek as _;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| JournalError::Io { op: "seek to tail", detail: e.to_string() })?;
+        Ok(Self {
+            sink: Self::open_sink(&config, file),
+            config,
+            ticks_since_snapshot: 0,
+            records_written: 0,
+        })
+    }
+
+    /// The config this journal runs under.
+    #[must_use]
+    pub const fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    /// Append one record.
+    ///
+    /// # Errors
+    /// Sink failures propagate; the record must be assumed lost.
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        self.sink.append(&encode_record(record))?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Count one committed tick; true when the snapshot cadence is due.
+    pub fn tick_snapshot_due(&mut self) -> bool {
+        if self.config.snapshot_every_ticks == 0 {
+            return false;
+        }
+        self.ticks_since_snapshot += 1;
+        if self.ticks_since_snapshot >= self.config.snapshot_every_ticks {
+            self.ticks_since_snapshot = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ------------------------------------------------------------ snapshots
+
+/// A session's Dynamic-Cache state, bit-exact. Adapted solves reuse the
+/// cached `L`/`A` components and refresh only `D`, so the cache is
+/// *value-bearing* state — recovery without it would produce different
+/// (cold-solve) tables at the next Adapt event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheImage {
+    /// The stored solution, if any.
+    pub slot: Option<CachedSolution>,
+    /// Dynamic-cache `(hits, misses)`.
+    pub hits: u64,
+    /// Dynamic-cache misses.
+    pub misses: u64,
+    /// Probes of an empty cache.
+    pub empty_probes: u64,
+    /// Cumulative lazy filter–refine counters.
+    pub prune: PruneStats,
+}
+
+/// One session inside a [`ServiceImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionImage {
+    /// The session id (also the trip id).
+    pub id: SessionId,
+    /// The vehicle driving the trip.
+    pub vehicle: u32,
+    /// Departure instant.
+    pub depart: SimTime,
+    /// Route node ids in path order (itinerary is recomputed from them).
+    pub nodes: Vec<u32>,
+    /// Itinerary cursor: index of the next unexecuted stop.
+    pub next_stop: u32,
+    /// Lifecycle: 0 = active, 1 = completed, 2 = shed.
+    pub phase: u8,
+    /// Shed provenance, when phase = 2: `(code, detail)`.
+    pub shed: Option<(String, String)>,
+    /// The last ranking shown to the driver (`None` after `NoOffers`).
+    pub last_ranking: Option<Vec<u32>>,
+    /// Solves recorded before the snapshot (audit count; the tables
+    /// themselves live in the sessions, not the journal).
+    pub solves_before: u64,
+    /// The solver's value-bearing state.
+    pub cache: CacheImage,
+}
+
+/// A full service state image at a watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceImage {
+    /// `events_executed` when the image was taken. Recovery replays
+    /// commits with `after > watermark`.
+    pub watermark: u64,
+    /// The service's own counters (forecast fields excluded — those live
+    /// in `share`).
+    pub stats: SessionStats,
+    /// The cross-session forecast-sharing ledger counters.
+    pub share: ShareSnapshot,
+    /// Every registered session, in id order.
+    pub sessions: Vec<SessionImage>,
+}
+
+fn encode_stats(e: &mut Enc, s: &SessionStats) {
+    for v in [
+        s.registered,
+        s.rejected,
+        s.events_executed,
+        s.events_deferred,
+        s.tables_emitted,
+        s.heartbeats,
+        s.no_offer_solves,
+        s.sessions_completed,
+        s.sessions_shed,
+        s.journal_records,
+        s.snapshots_written,
+        s.journal_defects,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn decode_stats(d: &mut Dec<'_>) -> Result<SessionStats, JournalError> {
+    Ok(SessionStats {
+        registered: d.u64("stats")?,
+        rejected: d.u64("stats")?,
+        events_executed: d.u64("stats")?,
+        events_deferred: d.u64("stats")?,
+        tables_emitted: d.u64("stats")?,
+        heartbeats: d.u64("stats")?,
+        no_offer_solves: d.u64("stats")?,
+        sessions_completed: d.u64("stats")?,
+        sessions_shed: d.u64("stats")?,
+        journal_records: d.u64("stats")?,
+        snapshots_written: d.u64("stats")?,
+        journal_defects: d.u64("stats")?,
+        ..SessionStats::default()
+    })
+}
+
+fn encode_session_image(e: &mut Enc, s: &SessionImage) {
+    e.u32(s.id.0);
+    e.u32(s.vehicle);
+    e.u64(s.depart.as_secs());
+    e.u32(u32::try_from(s.nodes.len()).unwrap_or(u32::MAX));
+    for &n in &s.nodes {
+        e.u32(n);
+    }
+    e.u32(s.next_stop);
+    e.u8(s.phase);
+    match &s.shed {
+        None => e.u8(0),
+        Some((code, detail)) => {
+            e.u8(1);
+            e.str(code);
+            e.str(detail);
+        }
+    }
+    match &s.last_ranking {
+        None => e.u8(0),
+        Some(ids) => {
+            e.u8(1);
+            e.u32(u32::try_from(ids.len()).unwrap_or(u32::MAX));
+            for &id in ids {
+                e.u32(id);
+            }
+        }
+    }
+    e.u64(s.solves_before);
+    e.u64(s.cache.hits);
+    e.u64(s.cache.misses);
+    e.u64(s.cache.empty_probes);
+    e.u64(s.cache.prune.pool);
+    e.u64(s.cache.prune.exact_evals);
+    e.u64(s.cache.prune.pruned);
+    e.u64(s.cache.prune.streamed_out);
+    match &s.cache.slot {
+        None => e.u8(0),
+        Some(sol) => {
+            e.u8(1);
+            e.f64(sol.origin.lon);
+            e.f64(sol.origin.lat);
+            e.u64(sol.computed_at.as_secs());
+            e.f64(sol.radius_km);
+            e.u32(u32::try_from(sol.components.len()).unwrap_or(u32::MAX));
+            for c in sol.components.iter() {
+                e.components(c);
+            }
+            e.u32(u32::try_from(sol.shadows.len()).unwrap_or(u32::MAX));
+            for sh in sol.shadows.iter() {
+                e.u32(sh.pool_pos);
+                e.interval(&sh.a_env);
+                e.components(&sh.comp);
+            }
+        }
+    }
+}
+
+fn decode_session_image(d: &mut Dec<'_>) -> Result<SessionImage, JournalError> {
+    let id = SessionId(d.u32("session.id")?);
+    let vehicle = d.u32("session.vehicle")?;
+    let depart = SimTime::from_secs(d.u64("session.depart")?);
+    let n = d.u32("session.nodes.len")? as usize;
+    let mut nodes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        nodes.push(d.u32("session.node")?);
+    }
+    let next_stop = d.u32("session.next_stop")?;
+    let phase = d.u8("session.phase")?;
+    if phase > 2 {
+        return Err(d.fail("session.phase"));
+    }
+    let shed = match d.u8("session.shed.tag")? {
+        0 => None,
+        1 => Some((d.str("session.shed.code")?, d.str("session.shed.detail")?)),
+        _ => return Err(d.fail("session.shed.tag")),
+    };
+    let last_ranking = match d.u8("session.ranking.tag")? {
+        0 => None,
+        1 => {
+            let n = d.u32("session.ranking.len")? as usize;
+            let mut ids = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                ids.push(d.u32("session.ranking.id")?);
+            }
+            Some(ids)
+        }
+        _ => return Err(d.fail("session.ranking.tag")),
+    };
+    let solves_before = d.u64("session.solves")?;
+    let hits = d.u64("session.cache.hits")?;
+    let misses = d.u64("session.cache.misses")?;
+    let empty_probes = d.u64("session.cache.empty_probes")?;
+    let prune = PruneStats {
+        pool: d.u64("session.prune.pool")?,
+        exact_evals: d.u64("session.prune.exact")?,
+        pruned: d.u64("session.prune.pruned")?,
+        streamed_out: d.u64("session.prune.streamed")?,
+    };
+    let slot = match d.u8("session.slot.tag")? {
+        0 => None,
+        1 => {
+            let lon = d.f64("session.slot.lon")?;
+            let lat = d.f64("session.slot.lat")?;
+            let computed_at = SimTime::from_secs(d.u64("session.slot.at")?);
+            let radius_km = d.f64("session.slot.radius")?;
+            let nc = d.u32("session.slot.components.len")? as usize;
+            let mut components = Vec::with_capacity(nc.min(1 << 20));
+            for _ in 0..nc {
+                components.push(d.components("session.slot.component")?);
+            }
+            let ns = d.u32("session.slot.shadows.len")? as usize;
+            let mut shadows = Vec::with_capacity(ns.min(1 << 20));
+            for _ in 0..ns {
+                shadows.push(ShadowComponent {
+                    pool_pos: d.u32("session.slot.shadow.pos")?,
+                    a_env: d.interval("session.slot.shadow.env")?,
+                    comp: d.components("session.slot.shadow.comp")?,
+                });
+            }
+            Some(CachedSolution {
+                origin: GeoPoint { lon, lat },
+                computed_at,
+                components: Arc::from(components),
+                shadows: Arc::from(shadows),
+                radius_km,
+            })
+        }
+        _ => return Err(d.fail("session.slot.tag")),
+    };
+    Ok(SessionImage {
+        id,
+        vehicle,
+        depart,
+        nodes,
+        next_stop,
+        phase,
+        shed,
+        last_ranking,
+        solves_before,
+        cache: CacheImage { slot, hits, misses, empty_probes, prune },
+    })
+}
+
+/// Encode a full snapshot file (magic, version, payload, whole-file CRC).
+#[must_use]
+pub fn encode_snapshot(image: &ServiceImage) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    e.u32(FORMAT_VERSION);
+    e.u64(image.watermark);
+    encode_stats(&mut e, &image.stats);
+    e.u64(image.share.shared_hits);
+    e.u64(image.share.self_hits);
+    e.u64(image.share.untagged_hits);
+    e.u64(image.share.misses);
+    e.u32(u32::try_from(image.sessions.len()).unwrap_or(u32::MAX));
+    for s in &image.sessions {
+        encode_session_image(&mut e, s);
+    }
+    let crc = crc32(&e.buf);
+    e.u32(crc);
+    e.buf
+}
+
+/// Decode a snapshot file.
+///
+/// # Errors
+/// [`JournalError::SnapshotCorrupt`] for any defect — magic, version,
+/// checksum or payload (the caller falls back to an older snapshot or a
+/// full-log replay; corruption here is never fatal to recovery).
+pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<ServiceImage, JournalError> {
+    let corrupt = |detail: &str| JournalError::SnapshotCorrupt {
+        path: path.display().to_string(),
+        detail: detail.to_string(),
+    };
+    if bytes.len() < 12 || bytes[0..4] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut d = Dec::new(&body[8..], 8);
+    let mut inner = || -> Result<ServiceImage, JournalError> {
+        let watermark = d.u64("snapshot.watermark")?;
+        let stats = decode_stats(&mut d)?;
+        let share = ShareSnapshot {
+            shared_hits: d.u64("snapshot.share")?,
+            self_hits: d.u64("snapshot.share")?,
+            untagged_hits: d.u64("snapshot.share")?,
+            misses: d.u64("snapshot.share")?,
+        };
+        let n = d.u32("snapshot.sessions.len")? as usize;
+        let mut sessions = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            sessions.push(decode_session_image(&mut d)?);
+        }
+        if !d.finished() {
+            return Err(JournalError::BadRecord { offset: 8, what: "trailing snapshot bytes" });
+        }
+        Ok(ServiceImage { watermark, stats, share, sessions })
+    };
+    inner().map_err(|e| corrupt(&e.to_string()))
+}
+
+/// Snapshot file name for a watermark — zero-padded so lexicographic
+/// order is watermark order.
+#[must_use]
+pub fn snapshot_name(watermark: u64) -> String {
+    format!("snap-{watermark:020}.ecsnap")
+}
+
+/// Write a snapshot file next to the journal.
+///
+/// # Errors
+/// [`JournalError::Io`] when the file cannot be written. The caller
+/// treats this as **non-fatal**: serving degrades to journal-only (replay
+/// just gets longer).
+pub fn write_snapshot(dir: &Path, image: &ServiceImage) -> Result<PathBuf, JournalError> {
+    let path = dir.join(snapshot_name(image.watermark));
+    fs::write(&path, encode_snapshot(image))
+        .map_err(|e| JournalError::Io { op: "write snapshot", detail: e.to_string() })?;
+    Ok(path)
+}
+
+/// All snapshot files in `dir`, newest (highest watermark) first.
+/// Unreadable directory = no snapshots (recovery falls back to the log).
+#[must_use]
+pub fn list_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "ecsnap")
+                && p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("snap-"))
+        })
+        .collect();
+    paths.sort();
+    paths.reverse();
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values (zlib-compatible).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Register {
+                session: SessionId(3),
+                vehicle: 7,
+                depart: SimTime::from_secs(1_000),
+                nodes: vec![1, 2, 9, 4],
+            },
+            Record::Commit {
+                after: 2,
+                deferred: 1,
+                entries: vec![
+                    CommitEntry {
+                        time: SimTime::from_secs(1_000),
+                        session: SessionId(3),
+                        kind: EventKind::Rerank,
+                        outcome: OutcomeTag::Emitted,
+                    },
+                    CommitEntry {
+                        time: SimTime::from_secs(1_300),
+                        session: SessionId(3),
+                        kind: EventKind::Adapt,
+                        outcome: OutcomeTag::Heartbeat,
+                    },
+                ],
+            },
+        ]
+    }
+
+    fn write_file(dir: &Path, records: &[Record]) -> PathBuf {
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = encode_header(SimDuration::from_mins(5)).to_vec();
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecj-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let records = sample_records();
+        let path = write_file(&dir, &records);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.records, records);
+        assert_eq!(read.adapt_every, SimDuration::from_mins(5));
+        assert!(read.tail_defect.is_none());
+        assert_eq!(read.offsets.len(), records.len());
+        assert_eq!(read.offsets[0], HEADER_LEN);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let dir = tmpdir("torn");
+        let records = sample_records();
+        let path = write_file(&dir, &records);
+        let full = fs::read(&path).unwrap();
+        let read = read_journal(&path).unwrap();
+        let second_start = read.offsets[1];
+        // Cut mid-way through the second record: only the first survives.
+        fs::write(&path, &full[..second_start as usize + 3]).unwrap();
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.valid_len, second_start);
+        assert!(
+            matches!(read.tail_defect, Some(JournalError::TornTail { offset }) if offset == second_start)
+        );
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_defect() {
+        let dir = tmpdir("flip");
+        let records = sample_records();
+        let path = write_file(&dir, &records);
+        let mut bytes = fs::read(&path).unwrap();
+        let read = read_journal(&path).unwrap();
+        let corrupt_at = read.offsets[1] as usize + 7;
+        bytes[corrupt_at] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.records.len(), 1, "records before the flip stay valid");
+        assert!(matches!(read.tail_defect, Some(JournalError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn header_defects_are_hard_errors() {
+        let dir = tmpdir("header");
+        let path = write_file(&dir, &[]);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_journal(&path).unwrap_err(), JournalError::BadMagic);
+
+        let mut bytes = encode_header(SimDuration::ZERO).to_vec();
+        bytes[4] = 99; // version
+                       // Recompute nothing: version check fires before CRC.
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_journal(&path).unwrap_err(),
+            JournalError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn resume_heals_a_torn_tail_and_appends() {
+        let dir = tmpdir("resume");
+        let records = sample_records();
+        let path = write_file(&dir, &records);
+        let full = fs::read(&path).unwrap();
+        let offsets = read_journal(&path).unwrap().offsets;
+        fs::write(&path, &full[..offsets[1] as usize + 6]).unwrap();
+
+        let read = read_journal(&path).unwrap();
+        let config = JournalConfig::new(&dir);
+        let mut journal = Journal::resume(config, read.valid_len).unwrap();
+        let appended = Record::Commit { after: 9, deferred: 0, entries: vec![] };
+        journal.append(&appended).unwrap();
+
+        let read = read_journal(&path).unwrap();
+        assert!(read.tail_defect.is_none(), "tail healed");
+        assert_eq!(read.records, vec![records[0].clone(), appended]);
+    }
+
+    #[test]
+    fn chaos_sink_fails_deterministically() {
+        #[derive(Debug, Default)]
+        struct Counting(u64);
+        impl JournalSink for Counting {
+            fn append(&mut self, _b: &[u8]) -> Result<(), JournalError> {
+                self.0 += 1;
+                Ok(())
+            }
+        }
+        let plan = SinkChaos { seed: 42, fail_rate: 0.5, fail_from_record: None };
+        let run = || {
+            let mut sink = ChaosSink::new(Counting::default(), plan);
+            (0..32).map(|_| sink.append(b"x").is_ok()).collect::<Vec<bool>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same failure pattern");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok), "rate 0.5 mixes both");
+
+        let mut sink = ChaosSink::new(
+            Counting::default(),
+            SinkChaos { seed: 0, fail_rate: 0.0, fail_from_record: Some(2) },
+        );
+        assert!(sink.append(b"x").is_ok());
+        assert!(sink.append(b"x").is_ok());
+        let err = sink.append(b"x").unwrap_err();
+        assert_eq!(err.code(), "JRN-007");
+        assert_eq!(sink.inner.0, 2, "failed append never reaches the file");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_detects_corruption() {
+        let image = ServiceImage {
+            watermark: 17,
+            stats: SessionStats { registered: 3, events_executed: 17, ..Default::default() },
+            share: ShareSnapshot { shared_hits: 5, self_hits: 2, untagged_hits: 1, misses: 4 },
+            sessions: vec![SessionImage {
+                id: SessionId(3),
+                vehicle: 7,
+                depart: SimTime::from_secs(60),
+                nodes: vec![1, 2, 3],
+                next_stop: 2,
+                phase: 0,
+                shed: None,
+                last_ranking: Some(vec![9, 4]),
+                solves_before: 2,
+                cache: CacheImage {
+                    slot: Some(CachedSolution {
+                        origin: GeoPoint::new(8.1234567, 53.7654321),
+                        computed_at: SimTime::from_secs(55),
+                        components: Arc::from(Vec::new()),
+                        shadows: Arc::from(Vec::new()),
+                        radius_km: 50.0,
+                    }),
+                    hits: 1,
+                    misses: 2,
+                    empty_probes: 1,
+                    prune: PruneStats { pool: 10, exact_evals: 6, pruned: 4, streamed_out: 0 },
+                },
+            }],
+        };
+        let bytes = encode_snapshot(&image);
+        let path = Path::new("snap-test.ecsnap");
+        let decoded = decode_snapshot(&bytes, path).unwrap();
+        assert_eq!(decoded, image);
+
+        let mut bad = bytes.clone();
+        bad[20] ^= 1;
+        let err = decode_snapshot(&bad, path).unwrap_err();
+        assert_eq!(err.code(), "JRN-008");
+    }
+
+    #[test]
+    fn snapshot_names_sort_by_watermark() {
+        let dir = tmpdir("snaps");
+        for w in [3u64, 400, 27] {
+            let image = ServiceImage {
+                watermark: w,
+                stats: SessionStats::default(),
+                share: ShareSnapshot::default(),
+                sessions: vec![],
+            };
+            write_snapshot(&dir, &image).unwrap();
+        }
+        let names: Vec<String> = list_snapshots(&dir)
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![snapshot_name(400), snapshot_name(27), snapshot_name(3)]);
+    }
+}

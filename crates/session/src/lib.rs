@@ -20,7 +20,37 @@
 //!   the InfoServer is degraded;
 //! * [`stats`] — [`SessionStats`], the service-wide counters including
 //!   the cross-session forecast-sharing hit rates measured by
-//!   [`eis::ForecastShare`].
+//!   [`eis::ForecastShare`];
+//! * [`error`] — the unified error taxonomy: every failure the serving
+//!   stack can surface, as typed variants with stable codes (`SES-*`,
+//!   `JRN-*`, `REC-*` here; `EC-*` from the core);
+//! * [`journal`] — the write-ahead event journal: committed transitions
+//!   in a compact, versioned, checksummed binary log with periodic
+//!   whole-service snapshots;
+//! * [`recovery`] — crash recovery: newest usable snapshot + journal
+//!   tail replay, verified record-by-record against what the journal
+//!   says happened.
+//!
+//! ## Crash safety
+//!
+//! A journaled service ([`SessionService::with_journal`]) appends every
+//! committed transition — admissions and executed batches — to the
+//! write-ahead journal *before* acknowledging it, and snapshots the
+//! full service image (registry, cursors, per-session Dynamic Caches,
+//! forecast-share ledger) on a tick cadence. After a crash,
+//! [`recovery::recover`] rebuilds the service from the newest usable
+//! snapshot and re-executes the journal tail with the original batch
+//! boundaries; because execution is deterministic (below), the replayed
+//! events, outcomes and Offering Tables are **bit-identical** to the
+//! uninterrupted run — and the replay *verifies* that, record by
+//! record, failing loudly ([`error::RecoveryError::ReplayDivergence`])
+//! rather than diverging silently.
+//!
+//! Faults degrade, they do not cascade: a refused journal append or a
+//! worker panic **quarantines** the service (reads keep answering,
+//! mutations return typed errors, nothing panics outward); a failed
+//! snapshot write degrades to journal-only operation; a torn journal
+//! tail or corrupt snapshot file is healed or skipped by recovery.
 //!
 //! ## The determinism argument
 //!
@@ -50,14 +80,23 @@
 //!    changes cost, never answers. Against servers without that
 //!    guarantee the service falls back to sequential batch execution.
 
+pub mod error;
+pub mod journal;
+pub mod recovery;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod stats;
 
+pub use error::{JournalError, RecoveryError, RegisterError, SessionError};
+pub use journal::{
+    read_journal, CommitEntry, Journal, JournalConfig, JournalRead, OutcomeTag, Record,
+    ServiceImage, SessionImage, SinkChaos,
+};
+pub use recovery::{recover, RecoveryReport};
 pub use registry::{
-    build_itinerary, PlannedStop, SessionPhase, SessionState, SolveOutcome, SolvedTable,
+    build_itinerary, PlannedStop, SessionPhase, SessionState, ShedReason, SolveOutcome, SolvedTable,
 };
 pub use scheduler::{Batch, Event, EventKind, EventScheduler};
-pub use service::{RegisterError, ServiceConfig, SessionService};
+pub use service::{ServiceChaos, ServiceConfig, ServiceHealth, SessionService};
 pub use stats::SessionStats;

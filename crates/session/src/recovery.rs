@@ -1,0 +1,269 @@
+//! Crash recovery: rebuild a [`SessionService`] from the newest usable
+//! snapshot plus the journal tail, and resume serving — with tables
+//! bit-identical to a run that never crashed.
+//!
+//! The recovery pipeline:
+//!
+//! 1. **Read the journal** ([`crate::journal::read_journal`]): validate
+//!    every frame, stop at the first defect, remember the valid prefix.
+//!    A torn tail is the expected crash signature, not an error — the
+//!    bytes past the last valid record were never acknowledged, so
+//!    truncating them loses nothing the service promised.
+//! 2. **Check the config**: the header pins `adapt_every`; itineraries
+//!    are a pure function of `(trip, adapt_every)`, so resuming under a
+//!    different cadence would replay different events than the journal
+//!    recorded. Refused up front ([`RecoveryError::ConfigMismatch`]).
+//! 3. **Pick a snapshot**: newest first; a snapshot that fails its
+//!    checksum, does not decode, or sits *ahead* of the journal's last
+//!    commit (it survived a crash that took journal records with it) is
+//!    skipped — recovery degrades to an older snapshot and finally to a
+//!    full-log replay. Snapshot loss costs replay time, never
+//!    correctness.
+//! 4. **Restore** sessions from the snapshot image: routes are rebuilt
+//!    from journaled node ids, itineraries recomputed (pure), and each
+//!    session's Dynamic Cache restored bit-exactly — adapted solves
+//!    reuse cached `L`/`A` components, so without the cache image the
+//!    first post-recovery Adapt would produce a (valid but) *different*
+//!    table than the uninterrupted run.
+//! 5. **Replay the tail**: journal records after the snapshot watermark
+//!    re-execute in order with the same batch boundaries
+//!    ([`SessionService::replay_commit`]); popped event keys, outcome
+//!    tags and the watermark are all verified against the record —
+//!    any disagreement is [`RecoveryError::ReplayDivergence`], never a
+//!    silent divergence.
+//! 6. **Resume**: the journal reopens truncated to its valid prefix and
+//!    the service continues appending where the crash interrupted it.
+
+use crate::error::{JournalError, RecoveryError};
+use crate::journal::{
+    decode_snapshot, list_snapshots, read_journal, Journal, JournalConfig, Record, SessionImage,
+};
+use crate::registry::{build_itinerary, SessionPhase, SessionRestore, SessionState, ShedReason};
+use crate::service::{ServiceConfig, SessionService};
+use crate::stats::SessionStats;
+use ec_types::{ChargerId, NodeId, SessionId, TripId, VehicleId};
+use ecocharge_core::{DynamicCache, EcoCharge, QueryCtx};
+use roadnet::Route;
+use std::path::PathBuf;
+
+/// What recovery did — the audit trail the `repro recovery` series and
+/// the chaos harness assert on.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Watermark of the snapshot recovery restored from (`None` = no
+    /// usable snapshot, full-log replay).
+    pub snapshot_watermark: Option<u64>,
+    /// Snapshots that existed but were skipped, with the defect that
+    /// disqualified each (corruption, or a watermark ahead of the
+    /// journal).
+    pub snapshots_skipped: Vec<(PathBuf, JournalError)>,
+    /// Sessions rebuilt directly from the snapshot image.
+    pub sessions_restored: usize,
+    /// `Register` records re-applied from the journal tail.
+    pub registers_replayed: usize,
+    /// `Commit` records re-executed from the journal tail.
+    pub commits_replayed: usize,
+    /// Events re-executed across those commits.
+    pub events_replayed: u64,
+    /// The defect that ended the journal scan, when the file did not end
+    /// cleanly (torn tail after a crash mid-write). Healed by truncation
+    /// on resume.
+    pub tail_defect: Option<JournalError>,
+    /// Journal length after healing — the resume point.
+    pub healed_len: u64,
+}
+
+/// Rebuild a service from `journal.dir` and reopen the journal for
+/// appending. See the module docs for the pipeline.
+///
+/// # Errors
+/// [`RecoveryError::MissingJournal`] when there is nothing to recover,
+/// [`RecoveryError::ConfigMismatch`] on an `adapt_every` disagreement,
+/// [`RecoveryError::Journal`] on a header-level defect,
+/// [`RecoveryError::Planning`] when a journaled route no longer builds,
+/// [`RecoveryError::ReplayDivergence`] when re-execution disagrees with
+/// the journal.
+pub fn recover(
+    ctx: &QueryCtx<'_>,
+    service: ServiceConfig,
+    journal: JournalConfig,
+) -> Result<(SessionService, RecoveryReport), RecoveryError> {
+    let path = journal.journal_path();
+    if !path.exists() {
+        return Err(RecoveryError::MissingJournal { dir: journal.dir.display().to_string() });
+    }
+    let read = read_journal(&path)?;
+    if read.adapt_every != service.adapt_every {
+        return Err(RecoveryError::ConfigMismatch {
+            what: "adapt_every",
+            journal: read.adapt_every.as_secs(),
+            config: service.adapt_every.as_secs(),
+        });
+    }
+
+    let mut report = RecoveryReport {
+        tail_defect: read.tail_defect.clone(),
+        healed_len: read.valid_len,
+        ..RecoveryReport::default()
+    };
+
+    // The journal's own horizon: a snapshot claiming a watermark past
+    // the last valid commit outlived records the crash destroyed, and
+    // restoring it would silently skip the replay verification of the
+    // gap. Older snapshots (or the full log) cover it instead.
+    let last_watermark = read
+        .records
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            Record::Commit { after, .. } => Some(*after),
+            Record::Register { .. } => None,
+        })
+        .unwrap_or(0);
+
+    let mut image = None;
+    for snap_path in list_snapshots(&journal.dir) {
+        let bytes = match std::fs::read(&snap_path) {
+            Ok(b) => b,
+            Err(e) => {
+                report.snapshots_skipped.push((
+                    snap_path.clone(),
+                    JournalError::Io { op: "read snapshot", detail: e.to_string() },
+                ));
+                continue;
+            }
+        };
+        match decode_snapshot(&bytes, &snap_path) {
+            Ok(img) if img.watermark <= last_watermark => {
+                report.snapshot_watermark = Some(img.watermark);
+                image = Some(img);
+                break;
+            }
+            Ok(img) => report.snapshots_skipped.push((
+                snap_path.clone(),
+                JournalError::SnapshotCorrupt {
+                    path: snap_path.display().to_string(),
+                    detail: format!(
+                        "watermark {} is ahead of the journal's last commit {last_watermark}",
+                        img.watermark
+                    ),
+                },
+            )),
+            Err(e) => report.snapshots_skipped.push((snap_path, e)),
+        }
+    }
+
+    let share = ctx.server.forecast_share();
+    let snapshot_watermark = report.snapshot_watermark.unwrap_or(0);
+    let mut svc = match &image {
+        Some(img) => {
+            share.restore(img.share);
+            let mut states = Vec::with_capacity(img.sessions.len());
+            for s in &img.sessions {
+                states.push(restore_session(ctx, s, service.adapt_every)?);
+            }
+            report.sessions_restored = states.len();
+            SessionService::from_recovery(service, img.stats, states)
+        }
+        None => SessionService::from_recovery(service, SessionStats::default(), Vec::new()),
+    };
+    svc.attach_share(share);
+
+    for record in &read.records {
+        match record {
+            Record::Register { session, vehicle, depart, nodes } => {
+                if svc.session(*session).is_some() {
+                    continue; // already inside the snapshot image
+                }
+                let trip = rebuild_trip(ctx, session.0, *vehicle, *depart, nodes)?;
+                svc.replay_register(ctx, &trip)?;
+                report.registers_replayed += 1;
+            }
+            Record::Commit { after, deferred, entries } => {
+                if *after <= snapshot_watermark {
+                    continue; // already inside the snapshot image
+                }
+                svc.replay_commit(ctx, entries, *deferred, *after).map_err(|e| match e {
+                    crate::error::SessionError::Recovery(r) => r,
+                    other => RecoveryError::ReplayDivergence { detail: other.to_string() },
+                })?;
+                report.commits_replayed += 1;
+                report.events_replayed += entries.len() as u64;
+            }
+        }
+    }
+
+    let resumed = Journal::resume(journal, read.valid_len)?;
+    svc.attach_journal(resumed);
+    Ok((svc, report))
+}
+
+/// Rebuild a [`trajgen::Trip`] from its journaled identity: the route is
+/// re-derived from node ids (pure in the graph), so the trip — and every
+/// itinerary computed from it — reproduces the original exactly.
+fn rebuild_trip(
+    ctx: &QueryCtx<'_>,
+    trip_id: u32,
+    vehicle: u32,
+    depart: ec_types::SimTime,
+    nodes: &[u32],
+) -> Result<trajgen::Trip, RecoveryError> {
+    let route = Route::from_nodes(ctx.graph, nodes.iter().map(|&n| NodeId(n)).collect())
+        .map_err(RecoveryError::Planning)?;
+    Ok(trajgen::Trip { id: TripId(trip_id), vehicle: VehicleId(vehicle), route, depart })
+}
+
+/// Rebuild one session from its snapshot image (see
+/// [`SessionState::restore`]): identity and cursor from the image,
+/// itinerary recomputed, Dynamic Cache restored bit-exactly.
+fn restore_session(
+    ctx: &QueryCtx<'_>,
+    img: &SessionImage,
+    adapt_every: ec_types::SimDuration,
+) -> Result<SessionState, RecoveryError> {
+    let trip = rebuild_trip(ctx, img.id.0, img.vehicle, img.depart, &img.nodes)?;
+    let itinerary = build_itinerary(ctx, &trip, adapt_every).map_err(RecoveryError::Planning)?;
+    let phase = match img.phase {
+        0 => SessionPhase::Active,
+        1 => SessionPhase::Completed,
+        2 => SessionPhase::Shed,
+        other => {
+            return Err(RecoveryError::Journal(JournalError::SnapshotCorrupt {
+                path: String::new(),
+                detail: format!("session {} has unknown phase {other}", img.id),
+            }))
+        }
+    };
+    let next_stop = img.next_stop as usize;
+    if next_stop > itinerary.len() {
+        return Err(RecoveryError::ReplayDivergence {
+            detail: format!(
+                "session {} snapshot cursor {next_stop} is past its {}-stop itinerary",
+                img.id,
+                itinerary.len()
+            ),
+        });
+    }
+    let cache = DynamicCache::from_parts(
+        img.cache.slot.clone(),
+        img.cache.hits,
+        img.cache.misses,
+        img.cache.empty_probes,
+    );
+    Ok(SessionState::restore(SessionRestore {
+        id: SessionId(img.id.0),
+        trip,
+        itinerary,
+        next_stop,
+        last_ranking: img
+            .last_ranking
+            .as_ref()
+            .map(|ids| ids.iter().map(|&c| ChargerId(c)).collect()),
+        phase,
+        shed_reason: img
+            .shed
+            .as_ref()
+            .map(|(code, detail)| ShedReason { code: code.clone(), detail: detail.clone() }),
+        solver: EcoCharge::from_parts(cache, img.cache.prune),
+    }))
+}

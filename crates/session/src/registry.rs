@@ -13,6 +13,7 @@
 use crate::scheduler::{Event, EventKind};
 use ec_types::{ChargerId, EcError, SessionId, SimDuration, SimTime};
 use ecocharge_core::{CknnQuery, EcoCharge, OfferingTable, QueryCtx};
+use std::fmt;
 use trajgen::Trip;
 
 /// One precomputed itinerary stop: the virtual instant, trip offset and
@@ -136,6 +137,26 @@ pub enum SolveOutcome {
     Failed(EcError),
 }
 
+/// Why a session was shed, in typed form: a stable error code from the
+/// taxonomy (`crate::error`) plus the human-facing provenance detail
+/// (breaker states, stale tier). Alert on `code`; read `detail`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedReason {
+    /// Stable code of the underlying failure: the failing solve's
+    /// [`EcError::code`], or `SES-004` when a worker panic shed the
+    /// whole batch.
+    pub code: String,
+    /// Human provenance: the error text plus whatever the InfoServer's
+    /// resilience layer knew at shed time.
+    pub detail: String,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.detail)
+    }
+}
+
 /// One registered session: the trip, its private ranking state (own
 /// Dynamic Cache and search engine — never shared across sessions), the
 /// precomputed itinerary and the cursor into it, and the full solve
@@ -152,10 +173,37 @@ pub struct SessionState {
     last_ranking: Option<Vec<ChargerId>>,
     /// Lifecycle phase.
     pub phase: SessionPhase,
-    /// Every solve, in execution order.
+    /// Every solve, in execution order. After crash recovery this holds
+    /// only post-recovery solves (tables are not journaled; the journal
+    /// records outcomes, not payloads).
     pub solves: Vec<SolvedTable>,
     /// Why the session was shed, when it was.
-    pub shed_reason: Option<String>,
+    pub shed_reason: Option<ShedReason>,
+}
+
+/// The pieces [`SessionState::restore`] rebuilds a session from — what a
+/// snapshot stores (plus the deterministically recomputed itinerary).
+#[derive(Debug)]
+pub struct SessionRestore {
+    /// Stable id.
+    pub id: SessionId,
+    /// The trip, rebuilt from journaled route node ids.
+    pub trip: Trip,
+    /// The itinerary, recomputed via [`build_itinerary`] (pure in
+    /// `(trip, config)`, so recomputing reproduces the original exactly).
+    pub itinerary: Vec<PlannedStop>,
+    /// Cursor: stops before this index already executed pre-crash.
+    pub next_stop: usize,
+    /// The last ranking shown to the driver (drives `emitted` flags of
+    /// post-recovery solves, so it must be restored exactly).
+    pub last_ranking: Option<Vec<ChargerId>>,
+    /// Lifecycle phase at snapshot time.
+    pub phase: SessionPhase,
+    /// Shed provenance, when phase is [`SessionPhase::Shed`].
+    pub shed_reason: Option<ShedReason>,
+    /// The solver with its Dynamic Cache restored bit-exactly (adapted
+    /// solves reuse cached components — value-bearing state).
+    pub solver: EcoCharge,
 }
 
 impl SessionState {
@@ -175,10 +223,42 @@ impl SessionState {
         }
     }
 
+    /// Rebuild a session from crash-recovery state. The inverse of the
+    /// snapshot image: everything value-bearing is restored exactly; the
+    /// solve record restarts empty (see [`SessionState::solves`]).
+    #[must_use]
+    pub fn restore(parts: SessionRestore) -> Self {
+        Self {
+            id: parts.id,
+            trip: parts.trip,
+            method: parts.solver,
+            itinerary: parts.itinerary,
+            next_stop: parts.next_stop,
+            last_ranking: parts.last_ranking,
+            phase: parts.phase,
+            solves: Vec::new(),
+            shed_reason: parts.shed_reason,
+        }
+    }
+
     /// The precomputed itinerary.
     #[must_use]
     pub fn itinerary(&self) -> &[PlannedStop] {
         &self.itinerary
+    }
+
+    /// Index of the next unexecuted itinerary stop (== number of events
+    /// already executed for this session).
+    #[must_use]
+    pub const fn next_stop(&self) -> usize {
+        self.next_stop
+    }
+
+    /// The session's solver — read by the journal when snapshotting (the
+    /// Dynamic Cache inside is value-bearing state).
+    #[must_use]
+    pub const fn solver(&self) -> &EcoCharge {
+        &self.method
     }
 
     /// Every itinerary stop as a schedulable event, in itinerary order.
@@ -187,6 +267,19 @@ impl SessionState {
     /// total order.
     pub fn planned_events(&self) -> impl Iterator<Item = Event> + '_ {
         self.itinerary.iter().map(|s| Event {
+            time: s.time,
+            session: self.id,
+            kind: s.kind,
+            offset_m: s.offset_m,
+        })
+    }
+
+    /// The not-yet-executed tail of the itinerary as schedulable events —
+    /// what recovery re-queues for a restored active session (the heap
+    /// then holds the session's complete remaining future, exactly as if
+    /// the executed prefix had run in this process).
+    pub fn pending_events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.itinerary.get(self.next_stop..).unwrap_or(&[]).iter().map(|s| Event {
             time: s.time,
             session: self.id,
             kind: s.kind,
@@ -244,8 +337,8 @@ impl SessionState {
         }
     }
 
-    /// Mark the session shed with its provenance string.
-    pub fn shed(&mut self, reason: String) {
+    /// Mark the session shed with its typed provenance.
+    pub fn shed(&mut self, reason: ShedReason) {
         self.phase = SessionPhase::Shed;
         self.shed_reason = Some(reason);
     }

@@ -199,6 +199,37 @@ impl EventScheduler {
         }
         Batch { events, deferred }
     }
+
+    /// Pop exactly the next `n` runnable events of the total order —
+    /// the replay form of [`EventScheduler::pop_batch`]. Crash recovery
+    /// re-executes journaled batches whose sizes are already known, so
+    /// there is no budget decision to make and, crucially, **no deferral
+    /// lookahead**: the journaled `Commit` record carries the deferral
+    /// count the original run observed, and re-counting here would
+    /// double-book it. Stops early (returning fewer than `n`) only when
+    /// the heap runs dry — the caller treats that as replay divergence.
+    ///
+    /// `cancelled` filters dead sessions exactly as in `pop_batch`.
+    #[must_use]
+    pub fn pop_exact(
+        &mut self,
+        n: usize,
+        mut cancelled: impl FnMut(SessionId) -> bool,
+    ) -> Vec<Event> {
+        let mut events = Vec::with_capacity(n);
+        while events.len() < n {
+            let Some(std::cmp::Reverse(next)) = self.heap.peek() else {
+                break;
+            };
+            if cancelled(next.session) {
+                let _ = self.heap.pop();
+                continue;
+            }
+            let std::cmp::Reverse(e) = self.heap.pop().expect("peeked");
+            events.push(e);
+        }
+        events
+    }
 }
 
 #[cfg(test)]

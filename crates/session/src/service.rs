@@ -19,18 +19,46 @@
 //!   virtual times are never rewritten, so deferral delays wall-clock
 //!   latency only, never changes a table;
 //! * **shedding** — when a solve fails against a degraded InfoServer,
-//!   the session is retired gracefully with an `eis`-provenance reason
-//!   string (breaker states, stale tier) instead of poisoning the tick.
+//!   the session is retired gracefully with a typed [`ShedReason`]
+//!   (stable error code + `eis` provenance) instead of poisoning the
+//!   tick;
+//! * **journaling** — with [`SessionService::with_journal`], every
+//!   committed transition (admission, executed batch) is appended to the
+//!   write-ahead journal before the next tick may run, and the full
+//!   service image is snapshotted on a tick cadence — the basis of crash
+//!   recovery ([`crate::recovery`]);
+//! * **containment** — a journal append failure or a worker panic
+//!   mid-batch **quarantines** the service: mutations return typed
+//!   errors ([`SessionError::Quarantined`]) while reads (sessions,
+//!   stats, event log) keep answering. A quarantined service never
+//!   panics outward and never executes another event — the journal on
+//!   disk stays the source of truth for recovery.
 
-use crate::registry::{build_itinerary, SessionPhase, SessionState, SolveOutcome};
+use crate::error::{JournalError, RegisterError, SessionError};
+use crate::journal::{
+    write_snapshot, CacheImage, CommitEntry, Journal, JournalConfig, OutcomeTag, Record,
+    ServiceImage, SessionImage,
+};
+use crate::registry::{build_itinerary, SessionPhase, SessionState, ShedReason, SolveOutcome};
 use crate::scheduler::{Event, EventScheduler};
 use crate::stats::SessionStats;
 use ec_types::{EcError, SessionId, SimDuration};
 use ecocharge_core::QueryCtx;
 use eis::{FeedKind, ForecastShare, InfoServer, SessionScope};
 use std::collections::BTreeMap;
-use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Fault injection for the service-level chaos harness. Deterministic
+/// (keyed on the global event index), so chaos runs are replayable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceChaos {
+    /// Panic inside the worker executing the event with this 0-based
+    /// global index (the Nth event the service executes). Exercises the
+    /// worker-panic containment path: batch shed, service quarantined,
+    /// no panic escapes [`SessionService::tick`].
+    pub panic_at_event: Option<u64>,
+}
 
 /// Serving-layer knobs (the per-trip ranking knobs stay on
 /// [`ecocharge_core::EcoChargeConfig`]).
@@ -51,6 +79,8 @@ pub struct ServiceConfig {
     /// parallelism; each solve runs single-threaded inside its session
     /// scope so forecast reads stay attributed (see [`eis::share`]).
     pub threads: usize,
+    /// Injected faults (chaos harness); default = none.
+    pub chaos: ServiceChaos,
 }
 
 impl Default for ServiceConfig {
@@ -61,38 +91,24 @@ impl Default for ServiceConfig {
             adapt_every: SimDuration::from_mins(5),
             shed_degraded: true,
             threads: 1,
+            chaos: ServiceChaos::default(),
         }
     }
 }
 
-/// Why an admission was refused.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RegisterError {
-    /// The service is at its session cap.
-    Full {
-        /// The configured cap.
-        max_sessions: usize,
+/// Whether the service is serving or has contained a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceHealth {
+    /// Normal operation.
+    Serving,
+    /// A fault was contained: the service is read-only. `cause` is the
+    /// stable code of the triggering failure (e.g. `JRN-007` for a
+    /// refused journal append, `SES-004` for a worker panic).
+    Quarantined {
+        /// Stable code of the failure that triggered the quarantine.
+        cause: &'static str,
     },
-    /// The trip already has a live or finished session this service
-    /// remembers.
-    Duplicate(SessionId),
-    /// Trip segmentation failed.
-    Planning(EcError),
 }
-
-impl fmt::Display for RegisterError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Full { max_sessions } => {
-                write!(f, "admission refused: {max_sessions} active sessions")
-            }
-            Self::Duplicate(id) => write!(f, "trip already registered as session {id}"),
-            Self::Planning(e) => write!(f, "trip could not be segmented: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for RegisterError {}
 
 /// The fleet-scale serving layer (see the module docs).
 #[derive(Debug)]
@@ -106,10 +122,13 @@ pub struct SessionService {
     event_log: Vec<Event>,
     latencies_us: Vec<f64>,
     share: Option<Arc<ForecastShare>>,
+    journal: Option<Journal>,
+    health: ServiceHealth,
+    last_defect: Option<JournalError>,
 }
 
 impl SessionService {
-    /// An empty service.
+    /// An empty, unjournaled service.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         Self {
@@ -122,7 +141,61 @@ impl SessionService {
             event_log: Vec::new(),
             latencies_us: Vec::new(),
             share: None,
+            journal: None,
+            health: ServiceHealth::Serving,
+            last_defect: None,
         }
+    }
+
+    /// An empty service writing a fresh write-ahead journal (truncating
+    /// any previous one in the journal directory).
+    ///
+    /// # Errors
+    /// [`SessionError::Journal`] when the journal cannot be created.
+    pub fn with_journal(
+        config: ServiceConfig,
+        journal: JournalConfig,
+    ) -> Result<Self, SessionError> {
+        let journal = Journal::create(journal, config.adapt_every)?;
+        let mut svc = Self::new(config);
+        svc.journal = Some(journal);
+        Ok(svc)
+    }
+
+    /// Rebuild a service skeleton from recovered sessions — the recovery
+    /// module's constructor. Queues every active session's remaining
+    /// itinerary; the caller then replays the journal tail on top.
+    pub(crate) fn from_recovery(
+        config: ServiceConfig,
+        stats: SessionStats,
+        states: Vec<SessionState>,
+    ) -> Self {
+        let mut svc = Self::new(config);
+        svc.stats = stats;
+        for state in states {
+            if state.phase == SessionPhase::Active {
+                for event in state.pending_events() {
+                    svc.scheduler.push(event);
+                }
+                svc.active += 1;
+            }
+            let id = state.id;
+            let slot = svc.slots.len();
+            svc.slots.push(Some(state));
+            svc.index.insert(id, slot);
+        }
+        svc
+    }
+
+    /// Attach the forecast-share ledger (recovery path; the normal path
+    /// attaches lazily at first registration).
+    pub(crate) fn attach_share(&mut self, share: Arc<ForecastShare>) {
+        self.share = Some(share);
+    }
+
+    /// Attach an open journal for post-recovery appends.
+    pub(crate) fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
     }
 
     /// The configuration in force.
@@ -131,20 +204,44 @@ impl SessionService {
         &self.config
     }
 
+    /// Serving or quarantined.
+    #[must_use]
+    pub const fn health(&self) -> ServiceHealth {
+        self.health
+    }
+
+    /// The last *non-fatal* journal-layer defect tolerated while serving
+    /// (a failed snapshot write — see [`SessionStats::journal_defects`]).
+    #[must_use]
+    pub const fn last_journal_defect(&self) -> Option<&JournalError> {
+        self.last_defect.as_ref()
+    }
+
+    fn quarantine(&mut self, cause: &'static str) {
+        self.health = ServiceHealth::Quarantined { cause };
+    }
+
     /// Admit `trip` as a session: segment it, precompute its itinerary
     /// and queue every event of it. The session id is the trip id, so
     /// the scheduler's total order is invariant under registration
-    /// order.
+    /// order. Journaled services write the `Register` record **before**
+    /// mutating the registry — an admission that is not durable does not
+    /// happen.
     ///
     /// # Errors
     /// [`RegisterError::Full`] at the admission cap,
     /// [`RegisterError::Duplicate`] for an already-served trip,
-    /// [`RegisterError::Planning`] when segmentation fails.
+    /// [`RegisterError::Planning`] when segmentation fails,
+    /// [`RegisterError::Journal`] when the WAL refused the record (the
+    /// service quarantines), [`RegisterError::Quarantined`] afterwards.
     pub fn register(
         &mut self,
         ctx: &QueryCtx<'_>,
         trip: &trajgen::Trip,
     ) -> Result<SessionId, RegisterError> {
+        if let ServiceHealth::Quarantined { cause } = self.health {
+            return Err(RegisterError::Quarantined { cause });
+        }
         let id = SessionId(trip.id.0);
         if self.index.contains_key(&id) {
             self.stats.rejected += 1;
@@ -158,6 +255,20 @@ impl SessionService {
             self.stats.rejected += 1;
             RegisterError::Planning(e)
         })?;
+        if let Some(journal) = self.journal.as_mut() {
+            let record = Record::Register {
+                session: id,
+                vehicle: trip.vehicle.0,
+                depart: trip.depart,
+                nodes: trip.route.nodes().iter().map(|n| n.0).collect(),
+            };
+            if let Err(e) = journal.append(&record) {
+                self.stats.rejected += 1;
+                self.quarantine(e.code());
+                return Err(RegisterError::Journal(e));
+            }
+            self.stats.journal_records += 1;
+        }
         if self.share.is_none() {
             self.share = Some(ctx.server.forecast_share());
         }
@@ -184,89 +295,372 @@ impl SessionService {
         server.availability_model_backed() && !server.serves_stale() && !server.resilience_enabled()
     }
 
+    /// The cancellation filter `pop_batch`/`pop_exact` use: a session is
+    /// dead when it is unknown or no longer active. Unknown ids are
+    /// treated as cancelled (defensive: the scheduler never invents ids,
+    /// but a map miss must drop the event, not panic the serving loop).
+    fn is_cancelled<'a>(
+        index: &'a BTreeMap<SessionId, usize>,
+        slots: &'a [Option<SessionState>],
+    ) -> impl Fn(SessionId) -> bool + 'a {
+        move |sid| {
+            index.get(&sid).is_none_or(|&slot| {
+                slots
+                    .get(slot)
+                    .and_then(|s| s.as_ref())
+                    .is_none_or(|s| s.phase != SessionPhase::Active)
+            })
+        }
+    }
+
+    /// Execute `events` (already popped, distinct sessions) and fold the
+    /// outcomes into registry + stats. Returns the journalable commit
+    /// entries and, in strict mode, the first failing solve.
+    ///
+    /// Worker panics (real or chaos-injected) are contained here: the
+    /// batch's sessions are shed with a `SES-004` reason, the service is
+    /// quarantined, and a typed error is returned — a panic below the
+    /// service boundary never unwinds through it.
+    fn execute_batch(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        events: Vec<Event>,
+    ) -> Result<(Vec<CommitEntry>, Option<EcError>), SessionError> {
+        // Take the batch's session states out of their slots. A missing
+        // state is an internal invariant violation — contained by
+        // restoring what was taken and quarantining, never by panicking.
+        let mut work: Vec<(Event, SessionState)> = Vec::with_capacity(events.len());
+        for ev in events {
+            let taken = self
+                .index
+                .get(&ev.session)
+                .copied()
+                .and_then(|slot| self.slots.get_mut(slot).and_then(Option::take));
+            match taken {
+                Some(state) => work.push((ev, state)),
+                None => {
+                    self.restore_states(work);
+                    self.quarantine("SES-006");
+                    return Err(SessionError::Internal {
+                        what: "scheduled event for a session absent from the registry",
+                    });
+                }
+            }
+        }
+
+        let threads = if Self::parallel_ok(ctx.server) { self.config.threads } else { 1 };
+        let base = self.stats.events_executed;
+        let panic_at = self
+            .config
+            .chaos
+            .panic_at_event
+            .and_then(|t| t.checked_sub(base))
+            .and_then(|rel| usize::try_from(rel).ok())
+            .filter(|&rel| rel < work.len());
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            ec_exec::parallel_map_mut(
+                threads,
+                &mut work,
+                |_| (),
+                |_scratch, i, item| {
+                    let (ev, state) = item;
+                    if panic_at == Some(i) {
+                        panic!("injected worker panic at global event {}", base + i as u64);
+                    }
+                    let _scope = SessionScope::enter(state.id.0);
+                    let start = std::time::Instant::now();
+                    let outcome = state.execute(ctx, ev);
+                    (outcome, start.elapsed().as_secs_f64() * 1e6)
+                },
+            )
+        }));
+
+        let outcomes = match ran {
+            Ok(outcomes) => outcomes,
+            Err(_panic) => {
+                // Panic containment: per-session state in this batch may
+                // be partially mutated and can no longer be trusted —
+                // shed the whole batch, quarantine, surface typed.
+                let batch_events = work.len();
+                for (ev, state) in &mut work {
+                    if state.phase == SessionPhase::Active {
+                        state.shed(ShedReason {
+                            code: "SES-004".to_string(),
+                            detail: format!(
+                                "worker panic while executing {:?}@{}",
+                                ev.kind,
+                                ev.time.as_secs()
+                            ),
+                        });
+                        self.stats.sessions_shed += 1;
+                        self.active -= 1;
+                    }
+                }
+                self.restore_states(work);
+                self.quarantine("SES-004");
+                return Err(SessionError::WorkerPanic { batch_events });
+            }
+        };
+
+        let mut entries = Vec::with_capacity(work.len());
+        let mut first_failure: Option<EcError> = None;
+        for ((ev, mut state), (outcome, micros)) in work.into_iter().zip(outcomes) {
+            self.event_log.push(ev);
+            self.latencies_us.push(micros);
+            self.stats.events_executed += 1;
+            let tag = match outcome {
+                SolveOutcome::Table { emitted: true } => {
+                    self.stats.tables_emitted += 1;
+                    OutcomeTag::Emitted
+                }
+                SolveOutcome::Table { emitted: false } => {
+                    self.stats.heartbeats += 1;
+                    OutcomeTag::Heartbeat
+                }
+                SolveOutcome::NoOffers => {
+                    self.stats.no_offer_solves += 1;
+                    OutcomeTag::NoOffers
+                }
+                SolveOutcome::Retired => {
+                    self.stats.sessions_completed += 1;
+                    self.active -= 1;
+                    OutcomeTag::Retired
+                }
+                SolveOutcome::Failed(e) => {
+                    if self.config.shed_degraded {
+                        state.shed(ShedReason {
+                            code: e.code().to_string(),
+                            detail: shed_provenance(ctx.server, &e),
+                        });
+                        self.stats.sessions_shed += 1;
+                        self.active -= 1;
+                        OutcomeTag::Shed
+                    } else {
+                        if first_failure.is_none() {
+                            first_failure = Some(e);
+                        }
+                        OutcomeTag::Failed
+                    }
+                }
+            };
+            entries.push(CommitEntry {
+                time: ev.time,
+                session: ev.session,
+                kind: ev.kind,
+                outcome: tag,
+            });
+            self.restore_states(std::iter::once((ev, state)));
+        }
+        Ok((entries, first_failure))
+    }
+
+    /// Put taken states back into their slots, dropping any whose slot
+    /// vanished (cannot happen; defensive against panicking in cleanup).
+    fn restore_states(&mut self, work: impl IntoIterator<Item = (Event, SessionState)>) {
+        for (_, state) in work {
+            if let Some(&slot) = self.index.get(&state.id) {
+                if let Some(s) = self.slots.get_mut(slot) {
+                    *s = Some(state);
+                }
+            }
+        }
+    }
+
     /// Execute one batch of due events. Returns the number executed
-    /// (zero when the queue is drained).
+    /// (zero when the queue is drained). Journaled services append the
+    /// batch's `Commit` record and take snapshots on the configured
+    /// cadence before returning.
     ///
     /// # Errors
-    /// With `shed_degraded` off, the first failing solve (in total
-    /// order) is propagated after the batch completes.
-    pub fn tick(&mut self, ctx: &QueryCtx<'_>) -> Result<usize, EcError> {
-        let (index, slots) = (&self.index, &self.slots);
-        let batch = self.scheduler.pop_batch(self.config.events_per_tick, |sid| {
-            slots[index[&sid]].as_ref().is_none_or(|s| s.phase != SessionPhase::Active)
-        });
+    /// * [`SessionError::Quarantined`] — the service contained an
+    ///   earlier fault and is read-only;
+    /// * [`SessionError::WorkerPanic`] — a worker panicked in this batch
+    ///   (batch shed, now quarantined);
+    /// * [`SessionError::Journal`] — the WAL refused the commit record
+    ///   (now quarantined; the in-memory state advanced but is no longer
+    ///   authoritative — recover from the journal);
+    /// * [`SessionError::Solve`] — `shed_degraded` off and a solve
+    ///   failed: the first failure in total order, after the batch
+    ///   completes and commits.
+    pub fn tick(&mut self, ctx: &QueryCtx<'_>) -> Result<usize, SessionError> {
+        if let ServiceHealth::Quarantined { cause } = self.health {
+            return Err(SessionError::Quarantined { cause });
+        }
+        let batch = {
+            let cancelled = Self::is_cancelled(&self.index, &self.slots);
+            self.scheduler.pop_batch(self.config.events_per_tick, &cancelled)
+        };
         if batch.events.is_empty() {
             return Ok(0);
         }
         self.stats.events_deferred += batch.deferred;
+        let (entries, first_failure) = self.execute_batch(ctx, batch.events)?;
+        let executed = entries.len();
 
-        let mut work: Vec<(Event, SessionState)> = batch
-            .events
-            .into_iter()
-            .map(|ev| {
-                let slot = self.index[&ev.session];
-                let state = self.slots[slot].take().expect("scheduled session present");
-                (ev, state)
-            })
-            .collect();
-
-        let threads = if Self::parallel_ok(ctx.server) { self.config.threads } else { 1 };
-        let outcomes = ec_exec::parallel_map_mut(
-            threads,
-            &mut work,
-            |_| (),
-            |_scratch, _, item| {
-                let (ev, state) = item;
-                let _scope = SessionScope::enter(state.id.0);
-                let start = std::time::Instant::now();
-                let outcome = state.execute(ctx, ev);
-                (outcome, start.elapsed().as_secs_f64() * 1e6)
-            },
-        );
-
-        let executed = work.len();
-        let mut first_failure: Option<EcError> = None;
-        for ((ev, state), (outcome, micros)) in work.into_iter().zip(outcomes) {
-            self.event_log.push(ev);
-            self.latencies_us.push(micros);
-            self.stats.events_executed += 1;
-            let mut state = state;
-            match outcome {
-                SolveOutcome::Table { emitted: true } => self.stats.tables_emitted += 1,
-                SolveOutcome::Table { emitted: false } => self.stats.heartbeats += 1,
-                SolveOutcome::NoOffers => self.stats.no_offer_solves += 1,
-                SolveOutcome::Retired => {
-                    self.stats.sessions_completed += 1;
-                    self.active -= 1;
-                }
-                SolveOutcome::Failed(e) => {
-                    if self.config.shed_degraded {
-                        state.shed(shed_provenance(ctx.server, &e));
-                        self.stats.sessions_shed += 1;
-                        self.active -= 1;
-                    } else if first_failure.is_none() {
-                        first_failure = Some(e);
+        if let Some(journal) = self.journal.as_mut() {
+            let record = Record::Commit {
+                after: self.stats.events_executed,
+                deferred: batch.deferred,
+                entries,
+            };
+            if let Err(e) = journal.append(&record) {
+                self.quarantine(e.code());
+                return Err(SessionError::Journal(e));
+            }
+            self.stats.journal_records += 1;
+            if journal.tick_snapshot_due() {
+                let dir = journal.config().dir.clone();
+                let image = self.image();
+                match write_snapshot(&dir, &image) {
+                    Ok(_) => self.stats.snapshots_written += 1,
+                    Err(e) => {
+                        // Non-fatal: serving degrades to journal-only
+                        // (recovery replays a longer tail).
+                        self.stats.journal_defects += 1;
+                        self.last_defect = Some(e);
                     }
                 }
             }
-            let slot = self.index[&state.id];
-            self.slots[slot] = Some(state);
         }
         match first_failure {
-            Some(e) => Err(e),
+            Some(e) => Err(SessionError::Solve(e)),
             None => Ok(executed),
         }
+    }
+
+    /// Re-apply one journaled `Register` record during recovery: the
+    /// admission already happened (only successful admissions are
+    /// journaled), so cap and duplicate checks become divergence checks.
+    pub(crate) fn replay_register(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &trajgen::Trip,
+    ) -> Result<(), crate::error::RecoveryError> {
+        use crate::error::RecoveryError;
+        let id = SessionId(trip.id.0);
+        if self.index.contains_key(&id) {
+            return Err(RecoveryError::ReplayDivergence {
+                detail: format!("journal registers session {id} twice"),
+            });
+        }
+        let itinerary =
+            build_itinerary(ctx, trip, self.config.adapt_every).map_err(RecoveryError::Planning)?;
+        if self.share.is_none() {
+            self.share = Some(ctx.server.forecast_share());
+        }
+        let state = SessionState::new(id, trip.clone(), itinerary);
+        for event in state.planned_events() {
+            self.scheduler.push(event);
+        }
+        let slot = self.slots.len();
+        self.slots.push(Some(state));
+        self.index.insert(id, slot);
+        self.active += 1;
+        self.stats.registered += 1;
+        self.stats.journal_records += 1;
+        Ok(())
+    }
+
+    /// Re-execute one journaled batch during recovery: pop exactly the
+    /// recorded events (no budget decision, no deferral lookahead — the
+    /// recorded `deferred` count is credited as-is) and verify both the
+    /// popped keys and the produced outcomes against the record.
+    ///
+    /// # Errors
+    /// [`SessionError::Recovery`] with
+    /// [`crate::error::RecoveryError::ReplayDivergence`] when replay
+    /// produces different events or outcomes than the journal recorded.
+    pub(crate) fn replay_commit(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        entries: &[CommitEntry],
+        deferred: u64,
+        after: u64,
+    ) -> Result<(), SessionError> {
+        use crate::error::RecoveryError;
+        let events = {
+            let cancelled = Self::is_cancelled(&self.index, &self.slots);
+            self.scheduler.pop_exact(entries.len(), &cancelled)
+        };
+        if events.len() != entries.len() {
+            return Err(RecoveryError::ReplayDivergence {
+                detail: format!(
+                    "journal commits {} events but the scheduler could replay only {}",
+                    entries.len(),
+                    events.len()
+                ),
+            }
+            .into());
+        }
+        for (ev, want) in events.iter().zip(entries) {
+            if ev.time != want.time || ev.session != want.session || ev.kind != want.kind {
+                return Err(RecoveryError::ReplayDivergence {
+                    detail: format!(
+                        "replayed event {:?}@{} for session {} where the journal recorded \
+                         {:?}@{} for session {}",
+                        ev.kind,
+                        ev.time.as_secs(),
+                        ev.session,
+                        want.kind,
+                        want.time.as_secs(),
+                        want.session
+                    ),
+                }
+                .into());
+            }
+        }
+        self.stats.events_deferred += deferred;
+        let (replayed, _strict_failure) = self.execute_batch(ctx, events)?;
+        for (got, want) in replayed.iter().zip(entries) {
+            if got.outcome != want.outcome {
+                return Err(RecoveryError::ReplayDivergence {
+                    detail: format!(
+                        "event {:?}@{} for session {} replayed as {} but the journal recorded {}",
+                        got.kind,
+                        got.time.as_secs(),
+                        got.session,
+                        got.outcome,
+                        want.outcome
+                    ),
+                }
+                .into());
+            }
+        }
+        if self.stats.events_executed != after {
+            return Err(RecoveryError::ReplayDivergence {
+                detail: format!(
+                    "watermark after replayed batch is {} but the journal recorded {after}",
+                    self.stats.events_executed
+                ),
+            }
+            .into());
+        }
+        self.stats.journal_records += 1;
+        Ok(())
     }
 
     /// Tick until the queue drains (every session completed or shed).
     ///
     /// # Errors
     /// As [`SessionService::tick`].
-    pub fn run_to_completion(&mut self, ctx: &QueryCtx<'_>) -> Result<(), EcError> {
+    pub fn run_to_completion(&mut self, ctx: &QueryCtx<'_>) -> Result<(), SessionError> {
         while !self.scheduler.is_empty() {
             self.tick(ctx)?;
         }
         Ok(())
+    }
+
+    /// The full service image at the current watermark — what a snapshot
+    /// stores.
+    pub(crate) fn image(&self) -> ServiceImage {
+        let share = self.share.as_ref().map(|s| s.snapshot()).unwrap_or_default();
+        let sessions = self
+            .index
+            .values()
+            .filter_map(|&slot| self.slots.get(slot).and_then(|s| s.as_ref()))
+            .map(session_image)
+            .collect();
+        ServiceImage { watermark: self.stats.events_executed, stats: self.stats, share, sessions }
     }
 
     /// Counter snapshot, forecast-sharing ledger folded in.
@@ -293,7 +687,9 @@ impl SessionService {
 
     /// Every executed event, in execution order — which, by the
     /// determinism argument, *is* the scheduler's total order whatever
-    /// the thread count or tick budget.
+    /// the thread count or tick budget. A recovered service's log covers
+    /// replayed and post-recovery events (the pre-snapshot prefix lives
+    /// only in the journal).
     #[must_use]
     pub fn event_log(&self) -> &[Event] {
         &self.event_log
@@ -309,20 +705,49 @@ impl SessionService {
     /// One session by id.
     #[must_use]
     pub fn session(&self, id: SessionId) -> Option<&SessionState> {
-        self.index.get(&id).and_then(|&slot| self.slots[slot].as_ref())
+        self.index.get(&id).and_then(|&slot| self.slots.get(slot).and_then(|s| s.as_ref()))
     }
 
     /// All sessions in id order (the registry keeps retired and shed
     /// sessions so their solve records stay auditable).
     pub fn sessions(&self) -> impl Iterator<Item = &SessionState> {
-        self.index.values().filter_map(|&slot| self.slots[slot].as_ref())
+        self.index.values().filter_map(|&slot| self.slots.get(slot).and_then(|s| s.as_ref()))
     }
 }
 
-/// Build the shed-reason provenance: the failing error plus whatever the
-/// server's resilience layer knows (breaker states per feed, stale
-/// tier) — the same provenance surface `eis::resilience` exposes to the
-/// ranking layer.
+/// Snapshot one session (see [`SessionImage`]).
+fn session_image(s: &SessionState) -> SessionImage {
+    let cache = s.solver().dynamic_cache();
+    let (hits, misses) = cache.stats();
+    SessionImage {
+        id: s.id,
+        vehicle: s.trip.vehicle.0,
+        depart: s.trip.depart,
+        nodes: s.trip.route.nodes().iter().map(|n| n.0).collect(),
+        next_stop: u32::try_from(s.next_stop()).unwrap_or(u32::MAX),
+        phase: match s.phase {
+            SessionPhase::Active => 0,
+            SessionPhase::Completed => 1,
+            SessionPhase::Shed => 2,
+        },
+        shed: s.shed_reason.as_ref().map(|r| (r.code.clone(), r.detail.clone())),
+        last_ranking: s.current_ranking().map(|ids| ids.iter().map(|c| c.0).collect()),
+        solves_before: s.solves.len() as u64,
+        cache: CacheImage {
+            slot: cache.slot().cloned(),
+            hits,
+            misses,
+            empty_probes: cache.empty_probes(),
+            prune: s.solver().prune_stats(),
+        },
+    }
+}
+
+/// Build the shed-reason provenance detail: the failing error plus
+/// whatever the server's resilience layer knows (breaker states per
+/// feed, stale tier) — the same provenance surface `eis::resilience`
+/// exposes to the ranking layer. The stable code travels separately in
+/// [`ShedReason::code`].
 fn shed_provenance(server: &InfoServer, e: &EcError) -> String {
     let mut parts = vec![format!("solve failed: {e}")];
     for feed in [FeedKind::Weather, FeedKind::Wind, FeedKind::Availability, FeedKind::Traffic] {
@@ -399,6 +824,7 @@ mod tests {
         assert_eq!(stats.sessions_completed, f.trips.len() as u64);
         assert_eq!(svc.active_sessions(), 0);
         assert_eq!(svc.pending_events(), 0);
+        assert_eq!(svc.health(), ServiceHealth::Serving);
         let planned: usize = svc.sessions().map(|s| s.itinerary().len()).sum();
         assert_eq!(stats.events_executed, planned as u64);
         assert!(stats.tables_emitted >= f.trips.len() as u64, "every trip opens with a table");
@@ -457,6 +883,7 @@ mod tests {
             let scrub = |mut s: SessionStats| {
                 s.forecast_shared_hits = 0;
                 s.forecast_self_hits = 0;
+                s.forecast_untagged_hits = 0;
                 s.forecast_misses = 0;
                 s
             };
@@ -491,15 +918,53 @@ mod tests {
         assert_eq!(svc.active_sessions(), 0);
         for s in svc.sessions() {
             assert_eq!(s.phase, SessionPhase::Shed);
-            let reason = s.shed_reason.as_deref().unwrap();
-            assert!(reason.contains("solve failed"), "{reason}");
-            assert!(reason.contains("breaker"), "resilience provenance missing: {reason}");
+            let reason = s.shed_reason.as_ref().unwrap();
+            assert!(
+                reason.code.starts_with("EC-"),
+                "shed reason must carry the solve's stable code: {reason}"
+            );
+            assert!(reason.detail.contains("solve failed"), "{reason}");
+            assert!(reason.detail.contains("breaker"), "resilience provenance missing: {reason}");
         }
 
-        // Without shedding, the same failure surfaces as a tick error.
+        // Without shedding, the same failure surfaces as a typed tick
+        // error carrying the solve's code.
         let mut strict =
             SessionService::new(ServiceConfig { shed_degraded: false, ..ServiceConfig::default() });
         strict.register(&ctx, &f.trips[0]).unwrap();
-        assert!(strict.run_to_completion(&ctx).is_err());
+        let err = strict.run_to_completion(&ctx).unwrap_err();
+        assert!(matches!(err, SessionError::Solve(_)), "{err}");
+        assert_eq!(err.code(), "SES-001");
+    }
+
+    #[test]
+    fn worker_panic_is_contained_sheds_batch_and_quarantines() {
+        let f = Fixture::new();
+        let server = f.server();
+        let ctx = f.ctx(&server);
+        for threads in [1, 4] {
+            let mut svc = SessionService::new(ServiceConfig {
+                threads,
+                chaos: ServiceChaos { panic_at_event: Some(0) },
+                ..ServiceConfig::default()
+            });
+            for trip in &f.trips {
+                svc.register(&ctx, trip).unwrap();
+            }
+            // The panic must surface as a typed error, not an unwind.
+            let err = svc.run_to_completion(&ctx).unwrap_err();
+            assert!(matches!(err, SessionError::WorkerPanic { .. }), "{err}");
+            assert_eq!(svc.health(), ServiceHealth::Quarantined { cause: "SES-004" });
+            // Degradation contract: reads still work…
+            assert!(svc.stats().sessions_shed > 0);
+            assert!(svc
+                .sessions()
+                .any(|s| { s.shed_reason.as_ref().is_some_and(|r| r.code == "SES-004") }));
+            // …mutations are refused typed.
+            let err = svc.tick(&ctx).unwrap_err();
+            assert_eq!(err.code(), "SES-005");
+            let err = svc.register(&ctx, &f.trips[0]).unwrap_err();
+            assert_eq!(err.code(), "SES-105");
+        }
     }
 }

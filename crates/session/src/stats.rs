@@ -25,14 +25,28 @@ pub struct SessionStats {
     pub no_offer_solves: u64,
     /// Sessions that retired at arrival.
     pub sessions_completed: u64,
-    /// Sessions shed on a degraded InfoServer.
+    /// Sessions shed on a degraded InfoServer (or by worker-panic
+    /// containment).
     pub sessions_shed: u64,
     /// Fresh-forecast hits inherited from *another* session.
     pub forecast_shared_hits: u64,
     /// Fresh-forecast hits on the session's own earlier work.
     pub forecast_self_hits: u64,
+    /// Fresh-forecast hits with no session attribution on either side
+    /// (standalone solves, or cells whose ownership predates a crash —
+    /// recovery restores counters but not cell ownership).
+    pub forecast_untagged_hits: u64,
     /// Fresh-forecast misses (upstream work paid for).
     pub forecast_misses: u64,
+    /// Records appended to the write-ahead journal (0 when the service
+    /// runs unjournaled).
+    pub journal_records: u64,
+    /// Snapshot files written on the journal cadence.
+    pub snapshots_written: u64,
+    /// Non-fatal journal-layer defects tolerated while serving (failed
+    /// snapshot writes — serving degraded to journal-only). Fatal
+    /// defects quarantine the service instead of counting here.
+    pub journal_defects: u64,
 }
 
 impl SessionStats {
@@ -40,17 +54,52 @@ impl SessionStats {
     pub(crate) fn absorb_share(&mut self, share: ShareSnapshot) {
         self.forecast_shared_hits = share.shared_hits;
         self.forecast_self_hits = share.self_hits;
+        self.forecast_untagged_hits = share.untagged_hits;
         self.forecast_misses = share.misses;
     }
 
-    /// Fraction of forecast reads answered by another session's work.
+    /// Fraction of attributed forecast reads answered by another
+    /// session's work. Saturating arithmetic: counters pinned at
+    /// `u64::MAX` by a long soak must not overflow the denominator.
     #[must_use]
     pub fn shared_hit_rate(&self) -> f64 {
-        let total = self.forecast_shared_hits + self.forecast_self_hits + self.forecast_misses;
+        let total = self
+            .forecast_shared_hits
+            .saturating_add(self.forecast_self_hits)
+            .saturating_add(self.forecast_misses);
         if total == 0 {
             0.0
         } else {
             self.forecast_shared_hits as f64 / total as f64
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_share_carries_untagged_hits() {
+        let mut s = SessionStats::default();
+        s.absorb_share(ShareSnapshot { shared_hits: 4, self_hits: 3, untagged_hits: 2, misses: 1 });
+        assert_eq!(s.forecast_untagged_hits, 2);
+        assert!((s.shared_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_hit_rate_survives_pinned_counters() {
+        // A ledger saturated by a long soak (see eis::share) pins all
+        // four counters at u64::MAX; the derived rate must stay a sane
+        // fraction instead of overflowing the sum.
+        let mut s = SessionStats::default();
+        s.absorb_share(ShareSnapshot {
+            shared_hits: u64::MAX,
+            self_hits: u64::MAX,
+            untagged_hits: u64::MAX,
+            misses: u64::MAX,
+        });
+        let rate = s.shared_hit_rate();
+        assert!(rate.is_finite() && (0.0..=1.0).contains(&rate));
     }
 }

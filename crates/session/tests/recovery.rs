@@ -1,0 +1,321 @@
+//! Crash-recovery integration: a journaled service killed at an
+//! arbitrary point and recovered must finish with **bit-identical**
+//! Offering Tables to the run that never crashed — whatever the crash
+//! point (tick boundary or mid-record torn tail), the thread count, or
+//! the snapshot situation (fresh, stale, corrupt, missing).
+
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{
+    read_journal, recover, JournalConfig, RecoveryError, ServiceConfig, ServiceHealth,
+    SessionService, SinkChaos,
+};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use std::fs;
+use std::path::{Path, PathBuf};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+struct Fixture {
+    graph: roadnet::RoadGraph,
+    fleet: chargers::ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+        let sims = SimProviders::new(9);
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 3,
+                min_trip_m: 10_000.0,
+                max_trip_m: 18_000.0,
+                ..Default::default()
+            },
+        );
+        Self { graph, fleet, sims, trips }
+    }
+}
+
+fn service_config(threads: usize) -> ServiceConfig {
+    ServiceConfig { events_per_tick: 4, threads, ..ServiceConfig::default() }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecj-recovery-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The audit trail a run leaves: per-session `(id, phase flag, solves)`.
+type Trail = Vec<(u32, bool, Vec<ecocharge_session::SolvedTable>)>;
+
+fn trail(svc: &SessionService) -> Trail {
+    svc.sessions()
+        .map(|s| (s.id.0, s.phase == ecocharge_session::SessionPhase::Completed, s.solves.clone()))
+        .collect()
+}
+
+/// Run the whole fleet journaled into `dir` and return the finished
+/// service (the uninterrupted reference).
+fn reference_run(f: &Fixture, dir: &Path, threads: usize) -> SessionService {
+    let server = InfoServer::from_sims(f.sims.clone());
+    let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+    let journal =
+        JournalConfig { snapshot_every_ticks: 3, ..JournalConfig::new(dir.to_path_buf()) };
+    let mut svc = SessionService::with_journal(service_config(threads), journal).unwrap();
+    for trip in &f.trips {
+        svc.register(&ctx, trip).unwrap();
+    }
+    svc.run_to_completion(&ctx).unwrap();
+    svc
+}
+
+/// Assert the recovered run reproduced the reference bit-exactly: each
+/// session's post-recovery solves are exactly the tail of the
+/// reference's solve record (recovery restarts the in-memory record at
+/// the snapshot; tables are compared structurally, f64s and all).
+fn assert_suffix_identical(reference: &Trail, recovered: &SessionService, what: &str) {
+    let rec = trail(recovered);
+    assert_eq!(rec.len(), reference.len(), "{what}: session count");
+    for ((id_a, done_a, solves_a), (id_b, done_b, solves_b)) in rec.iter().zip(reference) {
+        assert_eq!(id_a, id_b, "{what}: session ids");
+        assert_eq!(done_a, done_b, "{what}: session {id_a} phase");
+        assert!(
+            solves_a.len() <= solves_b.len(),
+            "{what}: session {id_a} replayed more solves than the reference ever made"
+        );
+        let tail = &solves_b[solves_b.len() - solves_a.len()..];
+        assert_eq!(solves_a, tail, "{what}: session {id_a} tables diverged");
+    }
+}
+
+#[test]
+fn recovery_is_bit_identical_across_crash_points_and_threads() {
+    let f = Fixture::new();
+    let ref_dir = tmpdir("ref");
+    let reference = reference_run(&f, &ref_dir, 1);
+    let ref_trail = trail(&reference);
+    let ref_log = reference.event_log().to_vec();
+
+    let full = read_journal(&ref_dir.join("journal.ecj")).unwrap();
+    assert!(full.tail_defect.is_none());
+    let n = full.offsets.len();
+    assert!(n > 8, "fixture must journal enough records to crash inside");
+
+    // Crash points: early, mid and late record boundaries (clean crash
+    // at a tick/commit boundary), plus torn tails 5 bytes into the next
+    // record (crash mid-write).
+    let boundaries = [full.offsets[1], full.offsets[n / 2], full.offsets[n - 1], full.valid_len];
+    for (case, &cut) in boundaries.iter().enumerate() {
+        for torn in [false, true] {
+            let cut = if torn { cut + 5 } else { cut };
+            if cut > full.valid_len {
+                continue; // no bytes to tear past the clean end
+            }
+            for threads in [1, 4, 8] {
+                let what = format!("case={case} torn={torn} threads={threads}");
+                let dir = tmpdir(&format!("crash-{case}-{torn}-{threads}"));
+                copy_dir(&ref_dir, &dir);
+                let file =
+                    fs::OpenOptions::new().write(true).open(dir.join("journal.ecj")).unwrap();
+                file.set_len(cut).unwrap();
+                drop(file);
+
+                let server = InfoServer::from_sims(f.sims.clone());
+                let ctx =
+                    QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+                let (mut svc, report) =
+                    recover(&ctx, service_config(threads), JournalConfig::new(dir.clone()))
+                        .unwrap_or_else(|e| panic!("{what}: recovery failed: {e}"));
+                assert_eq!(report.tail_defect.is_some(), torn, "{what}: tail defect flag");
+                // An admission the crash cut off before its Register
+                // record became durable never happened — the client
+                // re-submits it, exactly as after a refused register.
+                for trip in &f.trips {
+                    if svc.session(ec_types::SessionId(trip.id.0)).is_none() {
+                        svc.register(&ctx, trip).unwrap();
+                    }
+                }
+                svc.run_to_completion(&ctx).unwrap();
+                assert_eq!(svc.health(), ServiceHealth::Serving, "{what}");
+                assert_suffix_identical(&ref_trail, &svc, &what);
+                // The replayed + post-recovery events are exactly the
+                // reference log's suffix from the snapshot watermark.
+                let w = report.snapshot_watermark.unwrap_or(0) as usize;
+                assert_eq!(svc.event_log(), &ref_log[w..], "{what}: event order");
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn snapshot_plus_tail_equals_full_log_replay() {
+    let f = Fixture::new();
+    let ref_dir = tmpdir("fullvs-ref");
+    let reference = reference_run(&f, &ref_dir, 1);
+    let ref_trail = trail(&reference);
+
+    // Recover the complete journal twice: once with snapshots, once with
+    // every snapshot deleted (pure log replay). Both must land on the
+    // same final state — snapshots are a replay-time optimisation, never
+    // a semantic input.
+    let server = InfoServer::from_sims(f.sims.clone());
+    let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+    let with_dir = tmpdir("fullvs-snap");
+    copy_dir(&ref_dir, &with_dir);
+    let (with_snap, report) =
+        recover(&ctx, service_config(1), JournalConfig::new(with_dir.clone())).unwrap();
+    assert!(report.snapshot_watermark.is_some(), "fixture must have written a snapshot");
+    assert!(report.sessions_restored > 0);
+
+    let server2 = InfoServer::from_sims(f.sims.clone());
+    let ctx2 = QueryCtx::new(&f.graph, &f.fleet, &server2, &f.sims, EcoChargeConfig::default());
+    let bare_dir = tmpdir("fullvs-bare");
+    copy_dir(&ref_dir, &bare_dir);
+    for entry in fs::read_dir(&bare_dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "ecsnap") {
+            fs::remove_file(p).unwrap();
+        }
+    }
+    let (full_log, report2) =
+        recover(&ctx2, service_config(1), JournalConfig::new(bare_dir.clone())).unwrap();
+    assert_eq!(report2.snapshot_watermark, None);
+    assert_eq!(report2.registers_replayed, f.trips.len());
+
+    // Full-log replay re-solves everything, so its in-memory record is
+    // the whole reference; snapshot recovery only holds the tail. Both
+    // are suffixes of the same reference — and the full-log one is the
+    // entire thing.
+    assert_suffix_identical(&ref_trail, &with_snap, "snapshot+tail");
+    assert_suffix_identical(&ref_trail, &full_log, "full-log");
+    let rec = trail(&full_log);
+    for ((_, _, solves), (_, _, ref_solves)) in rec.iter().zip(&ref_trail) {
+        assert_eq!(solves.len(), ref_solves.len(), "full-log replay covers every solve");
+    }
+    for d in [ref_dir, with_dir, bare_dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_without_losing_identity() {
+    let f = Fixture::new();
+    let ref_dir = tmpdir("corrupt-ref");
+    let reference = reference_run(&f, &ref_dir, 1);
+    let ref_trail = trail(&reference);
+
+    let dir = tmpdir("corrupt-snap");
+    copy_dir(&ref_dir, &dir);
+    // Flip one byte in the middle of every snapshot: recovery must skip
+    // them all and degrade to a full-log replay, loudly but correctly.
+    let mut corrupted = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "ecsnap") {
+            let mut bytes = fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&p, bytes).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "fixture must have snapshots to corrupt");
+
+    let server = InfoServer::from_sims(f.sims.clone());
+    let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+    let (svc, report) = recover(&ctx, service_config(1), JournalConfig::new(dir.clone())).unwrap();
+    assert_eq!(report.snapshot_watermark, None, "all snapshots were corrupt");
+    assert_eq!(report.snapshots_skipped.len(), corrupted);
+    for (_, defect) in &report.snapshots_skipped {
+        assert_eq!(defect.code(), "JRN-008", "skips must be snapshot-corrupt coded: {defect}");
+    }
+    assert_suffix_identical(&ref_trail, &svc, "corrupt-snapshot fallback");
+    for d in [ref_dir, dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn journal_write_failure_quarantines_and_the_prefix_recovers() {
+    let f = Fixture::new();
+    let server = InfoServer::from_sims(f.sims.clone());
+    let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+
+    // The sink refuses every append from record 6 on — a disk that dies
+    // mid-serving.
+    let dir = tmpdir("sink-chaos");
+    let journal = JournalConfig {
+        snapshot_every_ticks: 2,
+        sink_chaos: Some(SinkChaos { seed: 1, fail_rate: 0.0, fail_from_record: Some(6) }),
+        ..JournalConfig::new(dir.clone())
+    };
+    let mut svc = SessionService::with_journal(service_config(1), journal).unwrap();
+    for trip in &f.trips {
+        svc.register(&ctx, trip).unwrap();
+    }
+    let err = svc.run_to_completion(&ctx).unwrap_err();
+    assert_eq!(err.code(), "SES-002", "refused append must surface as a journal error: {err}");
+    assert_eq!(svc.health(), ServiceHealth::Quarantined { cause: "JRN-007" });
+    // Degradation contract: reads keep answering, mutations refuse typed.
+    assert!(svc.stats().events_executed > 0);
+    assert!(svc.sessions().count() > 0);
+    assert_eq!(svc.tick(&ctx).unwrap_err().code(), "SES-005");
+    assert_eq!(svc.register(&ctx, &f.trips[0]).unwrap_err().code(), "SES-105");
+    drop(svc);
+
+    // The durable prefix (records 0..6) recovers cleanly — without the
+    // chaos sink — and serves the rest of the fleet to completion,
+    // matching an uninterrupted run's suffix.
+    let ref_dir = tmpdir("sink-chaos-ref");
+    let reference = reference_run(&f, &ref_dir, 1);
+    let ref_trail = trail(&reference);
+    let server2 = InfoServer::from_sims(f.sims.clone());
+    let ctx2 = QueryCtx::new(&f.graph, &f.fleet, &server2, &f.sims, EcoChargeConfig::default());
+    let (mut rec, _) = recover(&ctx2, service_config(1), JournalConfig::new(dir.clone())).unwrap();
+    rec.run_to_completion(&ctx2).unwrap();
+    assert_suffix_identical(&ref_trail, &rec, "post-chaos recovery");
+    for d in [dir, ref_dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn recovery_refuses_a_config_mismatch_and_a_missing_journal() {
+    let f = Fixture::new();
+    let server = InfoServer::from_sims(f.sims.clone());
+    let ctx = QueryCtx::new(&f.graph, &f.fleet, &server, &f.sims, EcoChargeConfig::default());
+
+    let empty = tmpdir("missing");
+    let err = recover(&ctx, service_config(1), JournalConfig::new(empty.clone())).unwrap_err();
+    assert!(matches!(err, RecoveryError::MissingJournal { .. }), "{err}");
+    assert_eq!(err.code(), "REC-001");
+
+    let dir = tmpdir("mismatch");
+    let _ = reference_run(&f, &dir, 1);
+    let wrong =
+        ServiceConfig { adapt_every: ec_types::SimDuration::from_mins(7), ..service_config(1) };
+    let err = recover(&ctx, wrong, JournalConfig::new(dir.clone())).unwrap_err();
+    assert!(matches!(err, RecoveryError::ConfigMismatch { what: "adapt_every", .. }), "{err}");
+    assert_eq!(err.code(), "REC-002");
+    for d in [empty, dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -9,18 +9,26 @@
 //! bench's `sessions` series measures at scale.
 
 use crate::schedule::DaySchedule;
-use ec_types::EcError;
 use ecocharge_core::QueryCtx;
-use ecocharge_session::{RegisterError, ServiceConfig, SessionService};
+use ecocharge_session::{
+    recover, JournalConfig, RecoveryError, RecoveryReport, RegisterError, ServiceConfig,
+    SessionError, SessionService,
+};
 use std::fmt;
 
-/// Why a fleet day could not be served.
+/// Why a fleet day could not be served. Both variants carry typed
+/// serving-layer errors with stable codes (`SES-*`, `JRN-*`, `REC-*` —
+/// see `ecocharge_session::error`).
 #[derive(Debug)]
 pub enum ServeError {
     /// A leg was refused at admission.
     Admission(RegisterError),
-    /// A tick failed (only possible with `shed_degraded` off).
-    Serving(EcError),
+    /// A tick failed: a solve error with `shed_degraded` off, a refused
+    /// journal append, a contained worker panic, or a quarantined
+    /// service.
+    Serving(SessionError),
+    /// Crash recovery could not rebuild the service.
+    Recovery(RecoveryError),
 }
 
 impl fmt::Display for ServeError {
@@ -28,11 +36,20 @@ impl fmt::Display for ServeError {
         match self {
             Self::Admission(e) => write!(f, "leg refused at admission: {e}"),
             Self::Serving(e) => write!(f, "serving failed: {e}"),
+            Self::Recovery(e) => write!(f, "fleet recovery failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Admission(e) => Some(e),
+            Self::Serving(e) => Some(e),
+            Self::Recovery(e) => Some(e),
+        }
+    }
+}
 
 /// Serve every leg of every schedule to completion through one
 /// [`SessionService`] and return the service for audit (stats, event
@@ -60,6 +77,50 @@ pub fn serve_fleet(
     }
     svc.run_to_completion(ctx).map_err(ServeError::Serving)?;
     Ok(svc)
+}
+
+/// [`serve_fleet`] with a write-ahead journal: every admission and every
+/// committed batch is made durable before it is acknowledged, with
+/// periodic snapshots, so a crash at any point is recoverable via
+/// [`recover_fleet`].
+///
+/// # Errors
+/// As [`serve_fleet`], plus [`ServeError::Serving`] with a `JRN-*`-coded
+/// source when the journal cannot be created or refuses an append.
+pub fn serve_fleet_journaled(
+    ctx: &QueryCtx<'_>,
+    schedules: &[DaySchedule],
+    config: ServiceConfig,
+    journal: JournalConfig,
+) -> Result<SessionService, ServeError> {
+    let mut svc = SessionService::with_journal(config, journal).map_err(ServeError::Serving)?;
+    for schedule in schedules {
+        for leg in &schedule.legs {
+            svc.register(ctx, leg).map_err(ServeError::Admission)?;
+        }
+    }
+    svc.run_to_completion(ctx).map_err(ServeError::Serving)?;
+    Ok(svc)
+}
+
+/// Rebuild a crashed fleet service from its journal directory and run
+/// the remaining events to completion. The recovered service's tables
+/// are bit-identical to the uninterrupted run's (verified record-by-
+/// record during replay); the returned [`RecoveryReport`] says which
+/// snapshot was used and how much tail was replayed.
+///
+/// # Errors
+/// [`ServeError::Recovery`] when the journal is missing/unreadable or
+/// replay diverges; [`ServeError::Serving`] when post-recovery serving
+/// fails.
+pub fn recover_fleet(
+    ctx: &QueryCtx<'_>,
+    config: ServiceConfig,
+    journal: JournalConfig,
+) -> Result<(SessionService, RecoveryReport), ServeError> {
+    let (mut svc, report) = recover(ctx, config, journal).map_err(ServeError::Recovery)?;
+    svc.run_to_completion(ctx).map_err(ServeError::Serving)?;
+    Ok((svc, report))
 }
 
 #[cfg(test)]

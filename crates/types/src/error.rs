@@ -36,6 +36,29 @@ pub enum EcError {
     NoCandidates,
 }
 
+impl EcError {
+    /// The stable, machine-matchable error code of this variant.
+    ///
+    /// Codes are part of the public contract: monitoring, the session
+    /// journal and the chaos harness count and match on them, so a
+    /// variant's code never changes once released (new variants append
+    /// new codes). The human-readable `Display` text, by contrast, may
+    /// be reworded freely.
+    #[must_use]
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Self::UnknownNode(_) => "EC-001",
+            Self::UnknownCharger(_) => "EC-002",
+            Self::Unreachable { .. } => "EC-003",
+            Self::DegenerateTrip(_) => "EC-004",
+            Self::InvalidConfig(_) => "EC-005",
+            Self::ProviderUnavailable(_) => "EC-006",
+            Self::OutOfCoverage(_) => "EC-007",
+            Self::NoCandidates => "EC-008",
+        }
+    }
+}
+
 impl fmt::Display for EcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -65,6 +88,29 @@ mod tests {
         assert_eq!(EcError::Unreachable { from: 1, to: 2 }.to_string(), "no route from v1 to v2");
         assert!(EcError::ProviderUnavailable("weather").to_string().contains("weather"));
         assert_eq!(EcError::NoCandidates.to_string(), "no candidate chargers within radius");
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            EcError::UnknownNode(0),
+            EcError::UnknownCharger(0),
+            EcError::Unreachable { from: 0, to: 1 },
+            EcError::DegenerateTrip(String::new()),
+            EcError::InvalidConfig(String::new()),
+            EcError::ProviderUnavailable("x"),
+            EcError::OutOfCoverage(String::new()),
+            EcError::NoCandidates,
+        ];
+        let codes: Vec<&str> = all.iter().map(EcError::code).collect();
+        assert_eq!(codes[0], "EC-001");
+        assert_eq!(codes[7], "EC-008");
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "codes must be distinct");
+        // Payload never changes the code.
+        assert_eq!(EcError::UnknownNode(7).code(), EcError::UnknownNode(9).code());
     }
 
     #[test]
