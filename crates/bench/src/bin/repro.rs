@@ -10,10 +10,11 @@
 //! `--scale F` fraction of the paper's trajectory cardinality, `--seed N`.
 
 use ecocharge_bench::{
-    print_rows, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7, run_fig8,
-    run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret, run_scaling,
-    run_sessions, run_throughput, run_validation, write_csv, write_detour_json, write_prune_json,
-    write_recovery_json, write_scaling_json, write_sessions_json, HarnessConfig,
+    print_rows, run_adaptive, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7,
+    run_fig8, run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret,
+    run_scaling, run_sessions, run_throughput, run_validation, write_adaptive_json, write_csv,
+    write_detour_json, write_prune_json, write_recovery_json, write_scaling_json,
+    write_sessions_json, HarnessConfig, MetroTier,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -21,9 +22,9 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|sessions|recovery> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|recovery> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
-        [--detour-backend dijkstra|ch] [--csv DIR]\n\
+        [--detour-backend dijkstra|ch|auto] [--metro off|small|full] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
   all         all four paper figures\n\
   regret      extension: forecast-vs-ground-truth referee\n\
@@ -40,6 +41,12 @@ fn usage() -> ! {
               exact-EC evaluations avoided, with bit-identity check; writes\n\
               BENCH_prune.json (exits non-zero when any pruned table diverges or\n\
               the largest fleet avoids no evaluations)\n\
+  adaptive    cost-model-driven selection: Auto vs both static choices per decision\n\
+              dimension (detour backend, pruning) on every world — paper datasets,\n\
+              a sparse-fleet grid and metro-class substrates (--metro full adds a\n\
+              1M+-node grid with 100k chargers); writes BENCH_adaptive.json (exits\n\
+              non-zero when Auto loses to the best static choice on any row, or any\n\
+              table diverges)\n\
   sessions    fleet-scale serving: sessions (10,100,1000) x service threads (1,4,8)\n\
               through the multi-tenant SessionService, measuring throughput, p50/p99\n\
               event latency and the cross-session forecast-sharing hit rate, with a\n\
@@ -55,8 +62,9 @@ fn usage() -> ! {
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
   --threads N worker threads for ranking / rep fan-out (default 1)\n\
-  --detour-backend B  detour engine for every ranking in the run (default dijkstra);\n\
-              bit-identical results either way, only the speed changes"
+  --detour-backend B  detour engine for every ranking in the run (default auto:\n\
+              the calibrated cost model picks per graph); bit-identical results\n\
+              either way, only the speed changes"
     );
     std::process::exit(2);
 }
@@ -160,6 +168,7 @@ fn main() {
     let which = args[0].as_str();
     let mut harness = HarnessConfig::default();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut metro = MetroTier::Small;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -180,6 +189,7 @@ fn main() {
             "--detour-backend" => {
                 harness.detour_backend = DetourBackend::parse(val).unwrap_or_else(|| usage());
             }
+            "--metro" => metro = MetroTier::parse(val).unwrap_or_else(|| usage()),
             "--csv" => csv_dir = Some(PathBuf::from(val)),
             _ => usage(),
         }
@@ -348,6 +358,58 @@ fn main() {
                 .any(|r| r.exact_pruned < r.exact_unpruned)
             {
                 eprintln!("ERROR: pruning avoided no exact evaluations on the largest fleet");
+                std::process::exit(1);
+            }
+        }
+        "adaptive" => {
+            let rows = run_adaptive(&harness, &DatasetKind::ALL, metro);
+            println!(
+                "\n=== Adaptive selection: Auto vs static per decision dimension \
+                 (tolerance {:.2}x best static) ===",
+                ecocharge_bench::adaptive::TOLERANCE
+            );
+            println!(
+                "{:<19} {:>9} {:>9} {:>7} {:<8} {:>13} {:>13} {:>11} {:>7} {:>8} {:>10}",
+                "world",
+                "nodes",
+                "edges",
+                "fleet",
+                "dim",
+                "staticA(us)",
+                "staticB(us)",
+                "auto(us)",
+                "pick",
+                "auto_ok",
+                "identical"
+            );
+            for r in &rows {
+                println!(
+                    "{:<19} {:>9} {:>9} {:>7} {:<8} {:>13.1} {:>13.1} {:>11.1} {:>7} {:>8} {:>10}",
+                    r.world,
+                    r.nodes,
+                    r.edges,
+                    r.fleet,
+                    r.dim,
+                    r.static_a_us,
+                    r.static_b_us,
+                    r.auto_us,
+                    r.auto_choice,
+                    r.auto_ok,
+                    r.identical
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_adaptive.json");
+            match write_adaptive_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("adaptive json write failed: {e}"),
+            }
+            if rows.iter().any(|r| !r.identical) {
+                eprintln!("ERROR: an adaptive run diverged from the static tables");
+                std::process::exit(1);
+            }
+            if rows.iter().any(|r| !r.auto_ok) {
+                eprintln!("ERROR: Auto lost to the best static choice on a row");
                 std::process::exit(1);
             }
         }

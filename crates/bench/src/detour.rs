@@ -193,6 +193,10 @@ fn time_backends(
 struct PairMeta<'a> {
     name: &'a str,
     nodes: usize,
+    /// The network itself plus the candidate fan-out, for checking the
+    /// `Auto` default's pick against the measured pair.
+    graph: &'a RoadGraph,
+    fanout: usize,
     preprocess_ms: f64,
     shortcuts: usize,
     /// Dijkstra row's extra identity evidence (parallel Offering Tables
@@ -202,12 +206,39 @@ struct PairMeta<'a> {
     ch_identical: bool,
 }
 
+/// Regression net for the [`DetourBackend::Auto`] default: on every row
+/// pair the backend the cost model would pick (prebuilt-style, the way
+/// the experiment environments resolve it) must not be decisively the
+/// slower of the two. The 2× slack absorbs micro-timing noise on small
+/// graphs where both backends finish in a few µs; what this catches is
+/// the original regression class — the model sending a city-scale graph
+/// to CH (or a metro-scale one to Dijkstra) and losing big.
+fn assert_default_not_slowest(meta: &PairMeta<'_>, dij: &BackendSample, ch: &BackendSample) {
+    // Full-settle fraction: this series' workload is the raw batch over
+    // the whole candidate list, with no wider fleet the sweeps could
+    // terminate early against.
+    let pick = roadnet::resolve_backend(DetourBackend::Auto, meta.graph, meta.fanout, true, 1.0);
+    let (picked_us, other_us) = match pick {
+        DetourBackend::Dijkstra => (dij.median_us, ch.median_us),
+        DetourBackend::Ch => (ch.median_us, dij.median_us),
+        DetourBackend::Auto => unreachable!("resolution returns a concrete backend"),
+    };
+    assert!(
+        picked_us <= other_us * 2.0,
+        "Auto default picked the slowest backend on {}: chose {} ({picked_us:.1}us) \
+         over the alternative ({other_us:.1}us)",
+        meta.name,
+        pick.name()
+    );
+}
+
 fn push_pair(
     rows: &mut Vec<DetourRow>,
     meta: &PairMeta<'_>,
     dij: &BackendSample,
     ch: &BackendSample,
 ) {
+    assert_default_not_slowest(meta, dij, ch);
     rows.push(DetourRow {
         dataset: meta.name.to_string(),
         nodes: meta.nodes,
@@ -317,6 +348,8 @@ pub fn run_detour(harness: &HarnessConfig, kinds: &[DatasetKind]) -> Vec<DetourR
             &PairMeta {
                 name: env.dataset.name(),
                 nodes: g.num_nodes(),
+                graph: g,
+                fanout: cands.len(),
                 preprocess_ms,
                 shortcuts,
                 dij_identical: dij_par_ok,
@@ -361,6 +394,8 @@ pub fn run_detour(harness: &HarnessConfig, kinds: &[DatasetKind]) -> Vec<DetourR
             &PairMeta {
                 name: &format!("urban-grid {side}x{side}"),
                 nodes: g.num_nodes(),
+                graph: &g,
+                fanout: cands.len(),
                 preprocess_ms,
                 shortcuts,
                 dij_identical: true,

@@ -53,13 +53,23 @@ impl ExperimentEnv {
         )
     }
 
-    /// A query context over this world with `config`. Contexts configured
-    /// for the CH backend adopt the environment's shared index instead of
-    /// each building their own.
+    /// A query context over this world with `config`. Contexts that
+    /// resolve to the CH backend — statically configured or chosen by
+    /// [`DetourBackend::Auto`] — adopt the environment's shared index
+    /// instead of each building their own. Because the environment
+    /// amortises the build across every context it hands out, `Auto` is
+    /// resolved prebuilt-style (preprocessing is a sunk cost).
     #[must_use]
     pub fn ctx(&self, config: EcoChargeConfig) -> QueryCtx<'_> {
         let ctx = QueryCtx::new(&self.dataset.graph, &self.fleet, &self.server, &self.sims, config);
-        if config.detour_backend == DetourBackend::Ch {
+        let resolved = roadnet::resolve_backend(
+            config.detour_backend,
+            &self.dataset.graph,
+            self.fleet.len(),
+            true,
+            1.0,
+        );
+        if resolved == DetourBackend::Ch {
             ctx.adopt_detour_ch(self.shared_detour_ch(config.threads));
         }
         ctx

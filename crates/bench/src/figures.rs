@@ -41,7 +41,7 @@ impl Default for HarnessConfig {
             trips_per_rep: 4,
             seed: 42,
             threads: 1,
-            detour_backend: DetourBackend::Dijkstra,
+            detour_backend: DetourBackend::Auto,
         }
     }
 }
@@ -128,7 +128,14 @@ where
                 &env.sims,
                 config,
             );
-            if config.detour_backend == DetourBackend::Ch {
+            let resolved = roadnet::resolve_backend(
+                config.detour_backend,
+                &env.dataset.graph,
+                env.fleet.len(),
+                true,
+                1.0,
+            );
+            if resolved == DetourBackend::Ch {
                 ctx.adopt_detour_ch(env.shared_detour_ch(config.threads));
             }
             let mut method = make_method(rep);

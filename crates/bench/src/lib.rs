@@ -11,6 +11,7 @@
 //! the reproduction target. EXPERIMENTS.md records paper-vs-measured for
 //! every series.
 
+pub mod adaptive;
 pub mod detour;
 pub mod env;
 pub mod extensions;
@@ -22,6 +23,7 @@ pub mod sessions;
 pub mod table;
 pub mod validate;
 
+pub use adaptive::{run_adaptive, write_adaptive_json, AdaptiveRow, MetroTier};
 pub use detour::{run_detour, write_detour_json, DetourRow};
 pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};

@@ -19,7 +19,8 @@
 use crate::figures::HarnessConfig;
 use chargers::{synth_fleet, ChargerFleet, FleetParams};
 use ecocharge_core::{
-    DetourBackend, EcoCharge, EcoChargeConfig, OfferingTable, PruneStats, QueryCtx, RankingMethod,
+    DetourBackend, EcoCharge, EcoChargeConfig, OfferingTable, PruneStats, PruningMode, QueryCtx,
+    RankingMethod,
 };
 use eis::{InfoServer, SimProviders};
 use roadnet::{urban_grid, DetourCh, RoadGraph, UrbanGridParams};
@@ -113,7 +114,14 @@ impl PruneWorld<'_> {
         for rep in 0..reps.max(1) {
             let server = InfoServer::from_sims(self.sims.clone());
             let ctx = QueryCtx::new(self.graph, &self.fleet, &server, &self.sims, config);
-            if config.detour_backend == DetourBackend::Ch {
+            let resolved = roadnet::resolve_backend(
+                config.detour_backend,
+                self.graph,
+                self.fleet.len(),
+                true,
+                1.0,
+            );
+            if resolved == DetourBackend::Ch {
                 let ch = self
                     .detour_ch
                     .get_or_init(|| Arc::new(DetourCh::build(self.graph, self.threads.max(1))));
@@ -204,10 +212,10 @@ pub fn run_prune(harness: &HarnessConfig) -> Vec<PruneRow> {
                 radius_km,
                 ..EcoChargeConfig::default()
             };
-            let mut eager =
-                world.run(cfg(false, harness.threads, DetourBackend::Dijkstra), harness.reps);
-            let mut lazy =
-                world.run(cfg(true, harness.threads, DetourBackend::Dijkstra), harness.reps);
+            let mut eager = world
+                .run(cfg(PruningMode::Off, harness.threads, DetourBackend::Dijkstra), harness.reps);
+            let mut lazy = world
+                .run(cfg(PruningMode::On, harness.threads, DetourBackend::Dijkstra), harness.reps);
             let mut identical = lazy.tables == eager.tables;
             if count == largest {
                 // Acceptance: bit-identity across backend × thread count
@@ -219,7 +227,8 @@ pub fn run_prune(harness: &HarnessConfig) -> Vec<PruneRow> {
                     (1, DetourBackend::Ch),
                     (threads_hi, DetourBackend::Ch),
                 ] {
-                    identical &= world.run(cfg(true, threads, backend), 1).tables == eager.tables;
+                    identical &=
+                        world.run(cfg(PruningMode::On, threads, backend), 1).tables == eager.tables;
                 }
             }
             let median_unpruned_us = median_us(&mut eager.times_us);

@@ -102,7 +102,14 @@ fn ctx_for<'a>(
     let config =
         EcoChargeConfig { detour_backend: harness.detour_backend, ..EcoChargeConfig::default() };
     let ctx = QueryCtx::new(&env.dataset.graph, &env.fleet, server, &env.sims, config);
-    if harness.detour_backend == ecocharge_core::DetourBackend::Ch {
+    let resolved = roadnet::resolve_backend(
+        harness.detour_backend,
+        &env.dataset.graph,
+        env.fleet.len(),
+        true,
+        1.0,
+    );
+    if resolved == ecocharge_core::DetourBackend::Ch {
         ctx.adopt_detour_ch(env.shared_detour_ch(threads));
     }
     ctx

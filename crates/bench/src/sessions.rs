@@ -86,7 +86,14 @@ fn replay_matches(
 ) -> bool {
     let server = InfoServer::from_sims(env.sims.clone());
     let ctx = QueryCtx::new(&env.dataset.graph, &env.fleet, &server, &env.sims, config);
-    if config.detour_backend == ecocharge_core::DetourBackend::Ch {
+    let resolved = roadnet::resolve_backend(
+        config.detour_backend,
+        &env.dataset.graph,
+        env.fleet.len(),
+        true,
+        1.0,
+    );
+    if resolved == ecocharge_core::DetourBackend::Ch {
         ctx.adopt_detour_ch(env.shared_detour_ch(1));
     }
     let mut standalone = EcoCharge::new();
@@ -108,7 +115,14 @@ fn serve_cell(
     let config =
         EcoChargeConfig { detour_backend: harness.detour_backend, ..EcoChargeConfig::default() };
     let ctx = QueryCtx::new(&env.dataset.graph, &env.fleet, &server, &env.sims, config);
-    if harness.detour_backend == ecocharge_core::DetourBackend::Ch {
+    let resolved = roadnet::resolve_backend(
+        harness.detour_backend,
+        &env.dataset.graph,
+        env.fleet.len(),
+        true,
+        1.0,
+    );
+    if resolved == ecocharge_core::DetourBackend::Ch {
         ctx.adopt_detour_ch(env.shared_detour_ch(threads));
     }
     let mut svc = SessionService::new(ServiceConfig { threads, ..ServiceConfig::default() });

@@ -103,15 +103,32 @@ impl EcoCharge {
         self.offering_table(ctx, trip, offset_m, now)
     }
 
-    /// True when this query may take the lazy filter–refine path: pruning
-    /// enabled and the availability envelope sound — the server serves
-    /// fresh model-backed forecasts with no resilience machinery that
-    /// could substitute stale or fallback values.
+    /// The server-side guard that makes availability envelopes unsound,
+    /// if any: stale serving, resilience fallbacks, or a non-model
+    /// availability feed could all substitute values outside the
+    /// envelope's bounds.
+    fn envelope_unsound(ctx: &QueryCtx<'_>) -> Option<&'static str> {
+        if ctx.server.serves_stale() {
+            Some("stale serving")
+        } else if ctx.server.resilience_enabled() {
+            Some("resilience guards")
+        } else if !ctx.server.availability_model_backed() {
+            Some("non-model availability feed")
+        } else {
+            None
+        }
+    }
+
+    /// True when this query may take the lazy filter–refine path: the
+    /// configured [`crate::context::PruningMode`] wants pruning for this
+    /// pool size ([`crate::adaptive::pruning_pays`]) and the availability
+    /// envelope is sound — the server serves fresh model-backed forecasts
+    /// with no resilience machinery that could substitute stale or
+    /// fallback values. (An explicit `On` against an unsound server never
+    /// reaches this check: [`Self::offering_table`] refuses it with
+    /// [`EcError::PruningUnsound`].)
     fn lazy_ok(ctx: &QueryCtx<'_>) -> bool {
-        ctx.config.pruning
-            && !ctx.server.serves_stale()
-            && !ctx.server.resilience_enabled()
-            && ctx.server.availability_model_backed()
+        crate::adaptive::pruning_pays(ctx) && Self::envelope_unsound(ctx).is_none()
     }
 }
 
@@ -128,6 +145,14 @@ impl RankingMethod for EcoCharge {
         now: SimTime,
     ) -> Result<OfferingTable, EcError> {
         ctx.config.validate()?;
+        // Forced pruning against a degraded server is a configuration
+        // pathology, not a condition to silently bypass: the caller asked
+        // for envelope bounds the server cannot honour.
+        if ctx.config.pruning == crate::context::PruningMode::On {
+            if let Some(guard) = Self::envelope_unsound(ctx) {
+                return Err(EcError::PruningUnsound(guard));
+            }
+        }
         let pos = trip.position_at_offset(ctx.graph, offset_m);
         let node = trip.route.nearest_node_at(offset_m);
         let rejoin_offset = (offset_m + ctx.config.segment_km * 1_000.0).min(trip.length_m());

@@ -82,6 +82,59 @@ impl DegradedPolicy {
     }
 }
 
+/// Whether the bound-driven lazy filter–refine engine ([`crate::lazy`],
+/// DESIGN.md §4g) runs for a query.
+///
+/// Pruning trades a per-candidate envelope computation for skipped exact
+/// availability evaluations — a trade that only pays above a minimum
+/// candidate-pool size (the prune benchmarks measured ≤ 1× median latency
+/// on small fleets despite 48–89 % skipped evaluations). `Auto`, the
+/// default, enables pruning only when the pool clears the calibrated
+/// threshold of [`crate::adaptive::PruneCostModel`]; either setting
+/// produces bit-identical Offering Tables — only the evaluation count and
+/// the latency change.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruningMode {
+    /// Prune only when the candidate pool is large enough that the
+    /// envelope overhead is predicted to pay for itself.
+    #[default]
+    Auto,
+    /// Always prune. Refused with [`EcError::PruningUnsound`] when the
+    /// information server runs degraded (stale serving, resilience
+    /// fallbacks, or a non-model availability feed): the envelopes would
+    /// be unsound, and silently bypassing an explicit `On` would
+    /// misreport how the table was computed.
+    On,
+    /// Never prune (the eager path for every query).
+    Off,
+}
+
+impl PruningMode {
+    /// Every mode, the default first.
+    pub const ALL: [Self; 3] = [Self::Auto, Self::On, Self::Off];
+
+    /// CLI/JSON label.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::On => "on",
+            Self::Off => "off",
+        }
+    }
+
+    /// Parse a CLI label (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(Self::Auto),
+            "on" | "true" => Some(Self::On),
+            "off" | "false" => Some(Self::Off),
+            _ => None,
+        }
+    }
+}
+
 /// User-facing configuration of the EcoCharge framework.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EcoChargeConfig {
@@ -117,9 +170,12 @@ pub struct EcoChargeConfig {
     /// model").
     pub threads: usize,
     /// Which engine answers the derouting searches: batched Dijkstra
-    /// sweeps, or the precomputed Contraction-Hierarchy index. Either
-    /// backend produces bit-identical Offering Tables (see DESIGN.md §4f,
-    /// "Detour engine").
+    /// sweeps, the precomputed Contraction-Hierarchy index, or (the
+    /// default) [`DetourBackend::Auto`] — resolved per batched query
+    /// point from the calibrated [`roadnet::BackendCostModel`] over the
+    /// graph size, the actual candidate-pool fan-out and the sweeps'
+    /// early-termination estimate. Every choice produces bit-identical
+    /// Offering Tables (see DESIGN.md §4f/§4j).
     #[serde(default)]
     pub detour_backend: DetourBackend,
     /// Bound-driven lazy filter–refine (DESIGN.md §4g): stream candidates
@@ -127,13 +183,15 @@ pub struct EcoChargeConfig {
     /// Score with the availability envelope, and run the exact (per-
     /// charger) availability evaluation only for candidates whose
     /// optimistic score can still reach the top-k. Offering Tables are
-    /// bit-identical with pruning on or off — only the evaluation count
-    /// changes. Automatically bypassed whenever the information server
-    /// runs degraded (stale serving or resilience guards) or its
-    /// availability feed is not the in-tree model, where the envelope
-    /// bounds would be unsound.
+    /// bit-identical across every [`PruningMode`] — only the evaluation
+    /// count changes. `Auto` (the default) additionally bypasses pruning
+    /// whenever the information server runs degraded (stale serving or
+    /// resilience guards) or its availability feed is not the in-tree
+    /// model, where the envelope bounds would be unsound; an explicit
+    /// [`PruningMode::On`] against such a server is refused with
+    /// [`EcError::PruningUnsound`].
     #[serde(default)]
-    pub pruning: bool,
+    pub pruning: PruningMode,
 }
 
 impl Default for EcoChargeConfig {
@@ -150,7 +208,7 @@ impl Default for EcoChargeConfig {
             degraded: DegradedPolicy::default(),
             threads: 1,
             detour_backend: DetourBackend::default(),
-            pruning: true,
+            pruning: PruningMode::default(),
         }
     }
 }
@@ -281,6 +339,9 @@ pub struct QueryCtx<'a> {
     /// Lazily built (or adopted) Contraction-Hierarchy detour index,
     /// shared read-only across workers and derived contexts.
     detour_ch: OnceLock<Arc<DetourCh>>,
+    /// The concrete engine [`DetourBackend::Auto`] resolved to for this
+    /// context's graph/fleet shape (static choices pass through).
+    resolved_backend: OnceLock<DetourBackend>,
 }
 
 impl<'a> QueryCtx<'a> {
@@ -303,6 +364,7 @@ impl<'a> QueryCtx<'a> {
             config,
             engines: roadnet::SearchPool::new(),
             detour_ch: OnceLock::new(),
+            resolved_backend: OnceLock::new(),
         }
     }
 
@@ -324,6 +386,60 @@ impl<'a> QueryCtx<'a> {
             config,
             engines: roadnet::SearchPool::new(),
             detour_ch,
+            resolved_backend: OnceLock::new(),
+        }
+    }
+
+    /// The concrete detour engine for this context's *coarse* shape:
+    /// static configurations pass through, [`DetourBackend::Auto`] is
+    /// resolved once per context by the calibrated
+    /// [`roadnet::BackendCostModel`] over the graph size and the fleet
+    /// fan-out (the candidate pool is at most the fleet). A context that
+    /// already holds (or adopted) a CH index treats preprocessing as
+    /// sunk; a cold context charges the CH side its amortized build cost.
+    /// Never returns [`DetourBackend::Auto`]; the resolution affects
+    /// latency only — both engines produce bit-identical Offering Tables.
+    ///
+    /// Callers that know the actual candidate pool should prefer
+    /// [`Self::resolved_backend_for`]: the fleet size is only an upper
+    /// bound on the fan-out, and on city graphs with tight radii the
+    /// radius-filtered pool can be small enough to flip the economics.
+    #[must_use]
+    pub fn resolved_backend(&self) -> DetourBackend {
+        *self.resolved_backend.get_or_init(|| {
+            roadnet::resolve_backend(
+                self.config.detour_backend,
+                self.graph,
+                self.fleet.len(),
+                self.detour_ch.get().is_some(),
+                1.0,
+            )
+        })
+    }
+
+    /// The concrete detour engine for one batched query point at its
+    /// *actual* fan-out — the per-batch refinement of
+    /// [`Self::resolved_backend`]. The fan-out is the radius-filtered
+    /// candidate pool, so `fanout / fleet` also estimates how early the
+    /// batched sweeps terminate
+    /// ([`roadnet::BackendCostModel::settle_fraction`]). Re-resolving per
+    /// batch is free (a handful of multiplications against the memoized
+    /// cost model) and safe: both engines are bit-identical, so solves
+    /// within one context may mix engines without any result byte
+    /// changing. A cold context that resolves to CH here builds the index
+    /// on first use; every later batch sees it as sunk and judges only
+    /// the (antitone-in-fan-out) warm-query economics.
+    #[must_use]
+    pub fn resolved_backend_for(&self, fanout: usize) -> DetourBackend {
+        match self.config.detour_backend {
+            DetourBackend::Auto => roadnet::resolve_backend(
+                DetourBackend::Auto,
+                self.graph,
+                fanout,
+                self.detour_ch.get().is_some(),
+                roadnet::BackendCostModel::settle_fraction(fanout, self.fleet.len()),
+            ),
+            concrete => concrete,
         }
     }
 

@@ -103,7 +103,8 @@ pub fn detour_batch(
     with_time: bool,
 ) -> DetourBatch {
     let threads = ctx.config.threads;
-    match ctx.config.detour_backend {
+    match ctx.resolved_backend_for(nodes.len()) {
+        DetourBackend::Auto => unreachable!("resolved_backend_for never returns Auto"),
         DetourBackend::Dijkstra => {
             let (secs, fwd, ret) = if threads > 1 {
                 if with_time {

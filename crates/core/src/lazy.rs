@@ -89,10 +89,10 @@ impl PruneStats {
 }
 
 /// First evaluation wave: enough to seed a meaningful threshold.
-const SEED_WAVE_MIN: usize = 16;
+pub(crate) const SEED_WAVE_MIN: usize = 16;
 /// Follow-up wave size; the threshold is recomputed only at wave
 /// boundaries, keeping the schedule independent of thread count.
-const WAVE: usize = 32;
+pub(crate) const WAVE: usize = 32;
 
 /// Outcome of a lazy cold solve.
 pub(crate) enum LazyCold {
@@ -127,23 +127,60 @@ fn min_kwh_per_km() -> f64 {
 /// reproduces the exact instants the server evaluates at (forecast window
 /// and hourly ETA bucket) and widens the archetype's truth bounds by the
 /// worst-case forecast half-width plus skew.
-fn availability_envelope(charger: &chargers::Charger, now: SimTime, eta: SimTime) -> Interval {
-    let window = eis::forecast_window(now);
-    let bucket = eis::eta_bucket(eta);
-    let horizon_h = bucket.saturating_since(window).as_hours_f64();
-    let (t_lo, t_hi) = ec_models::availability_truth_bounds(charger.archetype, bucket);
-    ec_models::forecast_envelope(t_lo, t_hi, horizon_h)
+pub(crate) fn availability_envelope(
+    charger: &chargers::Charger,
+    now: SimTime,
+    eta: SimTime,
+) -> Interval {
+    EnvelopeMemo::new(now).envelope(charger.archetype, eta)
+}
+
+/// Per-solve envelope computer: the forecast window depends only on the
+/// query's `now`, and the envelope itself only on `(archetype, ETA
+/// bucket)` — a handful of distinct pairs across a pool whose ETAs span
+/// at most a few hours. Hoisting the window and memoising the pairs turns
+/// the per-candidate envelope into (mostly) one small linear probe.
+/// Purely a latency optimisation: every hit returns the exact `Interval`
+/// the direct computation produces.
+struct EnvelopeMemo {
+    window: SimTime,
+    memo: Vec<(u8, u64, Interval)>,
+}
+
+impl EnvelopeMemo {
+    fn new(now: SimTime) -> Self {
+        Self { window: eis::forecast_window(now), memo: Vec::with_capacity(8) }
+    }
+
+    fn envelope(&mut self, arch: ec_models::SiteArchetype, eta: SimTime) -> Interval {
+        let bucket = eis::eta_bucket(eta);
+        let tag = arch as u8;
+        if let Some(&(_, _, e)) =
+            self.memo.iter().find(|&&(t, b, _)| t == tag && b == bucket.as_secs())
+        {
+            return e;
+        }
+        let horizon_h = bucket.saturating_since(self.window).as_hours_f64();
+        let (t_lo, t_hi) = ec_models::availability_truth_bounds(arch, bucket);
+        let e = ec_models::forecast_envelope(t_lo, t_hi, horizon_h);
+        self.memo.push((tag, bucket.as_secs(), e));
+        e
+    }
 }
 
 /// The k-th largest value in `lows` (`-∞` with fewer than `k` values) —
 /// the pessimistic score every pruned candidate must fail to beat.
-fn kth_largest(lows: &[f64], k: usize) -> f64 {
+/// `scratch` is reused across waves to keep the selection allocation-free
+/// after the first call; selection (not a full sort) suffices because
+/// only the k-th order statistic is consumed.
+fn kth_largest(lows: &[f64], k: usize, scratch: &mut Vec<f64>) -> f64 {
     if lows.len() < k || k == 0 {
         return f64::NEG_INFINITY;
     }
-    let mut sorted = lows.to_vec();
-    sorted.sort_by(|a, b| b.total_cmp(a));
-    sorted[k - 1]
+    scratch.clear();
+    scratch.extend_from_slice(lows);
+    let (_, kth, _) = scratch.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *kth
 }
 
 /// Stream the candidate pool for a cold solve: every charger within
@@ -235,8 +272,11 @@ pub(crate) fn lazy_cold_solve(
     normalize_clean_power(&mut proto);
 
     let n = proto.len();
-    let env: Vec<Interval> =
-        proto.iter().map(|c| availability_envelope(ctx.fleet.get(c.charger), now, c.eta)).collect();
+    let mut env_memo = EnvelopeMemo::new(now);
+    let env: Vec<Interval> = proto
+        .iter()
+        .map(|c| env_memo.envelope(ctx.fleet.get(c.charger).archetype, c.eta))
+        .collect();
     let bound: Vec<f64> = proto
         .iter()
         .zip(&env)
@@ -252,6 +292,7 @@ pub(crate) fn lazy_cold_solve(
     let k = ctx.config.k;
     let mut a_vals: Vec<Option<(Interval, ComponentQuality)>> = vec![None; n];
     let mut evaluated_lo: Vec<f64> = Vec::with_capacity(n.min(4 * WAVE));
+    let mut sel_scratch: Vec<f64> = Vec::new();
     let mut threshold = f64::NEG_INFINITY;
     let mut cursor = 0usize;
     let mut wave_cap = k.max(SEED_WAVE_MIN);
@@ -288,7 +329,7 @@ pub(crate) fn lazy_cold_solve(
             a_vals[idx] = Some((a, q));
         }
         cursor = wave_end;
-        threshold = kth_largest(&evaluated_lo, k);
+        threshold = kth_largest(&evaluated_lo, k, &mut sel_scratch);
         wave_cap = WAVE;
     }
 
@@ -399,7 +440,7 @@ pub(crate) fn lazy_adapt(
         .filter(|&(_, &m)| members[m].0.is_none())
         .map(|(c, _)| ctx.config.weights.interval_score(c.l, c.a, c.d).lo())
         .collect();
-    let threshold = kth_largest(&exact_lo, ctx.config.k);
+    let threshold = kth_largest(&exact_lo, ctx.config.k, &mut Vec::new());
 
     // Decide materialisation per reachable shadow by re-bounding with the
     // refreshed `D` and the stored cold-time envelope.

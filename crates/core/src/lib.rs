@@ -31,6 +31,7 @@
 //! * [`monitor`] — the app-facing continuous loop: feed GPS progress,
 //!   receive tables only when the ranking changes.
 
+pub mod adaptive;
 pub mod algorithm;
 pub mod balance;
 pub mod baselines;
@@ -47,12 +48,13 @@ pub mod oracle;
 pub mod score;
 pub mod vehicle;
 
+pub use adaptive::PruneCostModel;
 pub use algorithm::EcoCharge;
 pub use balance::{BalancedEcoCharge, LoadTracker};
 pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
 pub use cache::{cache_max_age, CachedSolution, DynamicCache, ShadowComponent};
 pub use cknn::{CknnQuery, SplitPoint};
-pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, QueryCtx, RankingMethod};
+pub use context::{DegradedPolicy, EcoChargeConfig, NormEnv, PruningMode, QueryCtx, RankingMethod};
 pub use detour::{detour_batch, dominant_class, DetourBatch};
 pub use eval::{evaluate_method, EvalOutcome};
 pub use lazy::PruneStats;

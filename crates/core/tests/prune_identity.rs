@@ -1,11 +1,14 @@
 //! The load-bearing property of the lazy filter–refine engine
-//! (DESIGN.md §4g): with pruning on, every Offering Table — cold solves
-//! and cache-adapted solves alike — is **bit-identical** to the unpruned
-//! path's, across fleet seeds, thread counts and detour backends. Only
-//! the number of exact availability evaluations may differ.
+//! (DESIGN.md §4g) and of the adaptive selection layer (§4j): every
+//! Offering Table — cold solves and cache-adapted solves alike — is
+//! **bit-identical** across pruning modes (auto/on/off), detour backends
+//! (auto/dijkstra/ch) and thread counts. Only the number of exact
+//! availability evaluations and the latency may differ.
 
 use chargers::{synth_fleet, FleetParams};
-use ecocharge_core::{EcoCharge, EcoChargeConfig, OfferingTable, QueryCtx, RankingMethod};
+use ecocharge_core::{
+    EcoCharge, EcoChargeConfig, OfferingTable, PruningMode, QueryCtx, RankingMethod,
+};
 use eis::{InfoServer, SimProviders};
 use roadnet::{urban_grid, DetourBackend, UrbanGridParams};
 use trajgen::{generate_trips, BrinkhoffParams, Trip};
@@ -39,7 +42,12 @@ impl Env {
 /// One engine lifetime over both trips: a cold solve, an in-range
 /// adaptation, a beyond-`Q` re-solve, and a second adaptation over the
 /// (possibly shadow-bearing) re-solved cache.
-fn tables(env: &Env, pruning: bool, threads: usize, backend: DetourBackend) -> Vec<OfferingTable> {
+fn tables(
+    env: &Env,
+    pruning: PruningMode,
+    threads: usize,
+    backend: DetourBackend,
+) -> Vec<OfferingTable> {
     let server = InfoServer::from_sims(env.sims.clone());
     let config =
         EcoChargeConfig { pruning, threads, detour_backend: backend, ..Default::default() };
@@ -58,20 +66,34 @@ fn tables(env: &Env, pruning: bool, threads: usize, backend: DetourBackend) -> V
 }
 
 #[test]
-fn pruned_tables_bit_identical_across_seeds_threads_backends() {
-    for fleet_seed in [3, 11] {
-        let env = Env::new(fleet_seed);
-        let baseline = tables(&env, false, 1, DetourBackend::Dijkstra);
-        for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
-            for threads in [1, 2, 4] {
-                let pruned = tables(&env, true, threads, backend);
+fn tables_bit_identical_across_backends_pruning_modes_and_threads() {
+    let env = Env::new(3);
+    let baseline = tables(&env, PruningMode::Off, 1, DetourBackend::Dijkstra);
+    for backend in [DetourBackend::Auto, DetourBackend::Dijkstra, DetourBackend::Ch] {
+        for pruning in PruningMode::ALL {
+            for threads in [1, 4, 8] {
+                let run = tables(&env, pruning, threads, backend);
                 // PartialEq over every f64 field: bit-identical, not
                 // "close".
                 assert_eq!(
-                    pruned, baseline,
-                    "seed={fleet_seed} backend={backend:?} threads={threads}"
+                    run, baseline,
+                    "backend={backend:?} pruning={pruning:?} threads={threads}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn pruned_tables_bit_identical_across_fleet_seeds() {
+    // A second fleet seed on the corners of the matrix (the full cross
+    // product above already covers one seed).
+    let env = Env::new(11);
+    let baseline = tables(&env, PruningMode::Off, 1, DetourBackend::Dijkstra);
+    for backend in [DetourBackend::Auto, DetourBackend::Dijkstra, DetourBackend::Ch] {
+        for threads in [1, 4] {
+            let pruned = tables(&env, PruningMode::On, threads, backend);
+            assert_eq!(pruned, baseline, "backend={backend:?} threads={threads}");
         }
     }
 }
@@ -80,7 +102,7 @@ fn pruned_tables_bit_identical_across_seeds_threads_backends() {
 fn pruning_skips_exact_evaluations() {
     let env = Env::new(3);
     let server = InfoServer::from_sims(env.sims.clone());
-    let run = |pruning: bool| {
+    let run = |pruning: PruningMode| {
         let config = EcoChargeConfig { pruning, ..Default::default() };
         let ctx = QueryCtx::new(&env.graph, &env.fleet, &server, &env.sims, config);
         let mut m = EcoCharge::new();
@@ -93,8 +115,8 @@ fn pruning_skips_exact_evaluations() {
         }
         m.prune_stats()
     };
-    let on = run(true);
-    let off = run(false);
+    let on = run(PruningMode::On);
+    let off = run(PruningMode::Off);
     assert_eq!(on.pool, off.pool, "pruning must not change the candidate pool");
     assert_eq!(off.exact_evals, off.pool, "unpruned path evaluates the whole pool");
     assert!(
@@ -108,4 +130,27 @@ fn pruning_skips_exact_evaluations() {
     // even counting adapted-query materialisations the pruned path never
     // exceeds the eager evaluation count.
     assert!(on.exact_evals <= on.pool, "{} evals for a pool of {}", on.exact_evals, on.pool);
+}
+
+#[test]
+fn auto_pruning_follows_the_calibrated_threshold() {
+    use ecocharge_core::PruneCostModel;
+    let env = Env::new(3);
+    let server = InfoServer::from_sims(env.sims.clone());
+    let config = EcoChargeConfig::default(); // pruning: Auto
+    assert_eq!(config.pruning, PruningMode::Auto);
+    let ctx = QueryCtx::new(&env.graph, &env.fleet, &server, &env.sims, config);
+    let mut m = EcoCharge::new();
+    let trip = &env.trips[0];
+    m.offering_table(&ctx, trip, 0.0, trip.eta_at_offset(&env.graph, 0.0)).expect("table");
+    let stats = m.prune_stats();
+    let threshold = PruneCostModel::calibrated().pool_threshold(config.k);
+    if env.fleet.len() >= threshold {
+        assert_eq!(stats.pool, stats.exact_evals + stats.pruned, "lazy path accounting");
+    } else {
+        // Below the break-even pool size Auto takes the eager path:
+        // every pool member is evaluated exactly, nothing is pruned.
+        assert_eq!(stats.pruned, 0, "Auto must not prune below the threshold");
+        assert_eq!(stats.exact_evals, stats.pool);
+    }
 }

@@ -55,9 +55,12 @@ impl Mode {
                 compute_scale: 1.0,
                 result_bytes: 2_048,
                 threads: 1,
-                // The server amortises one CH build across every vehicle
-                // it serves — precomputation is the whole point of Mode 2.
-                detour_backend: DetourBackend::Ch,
+                // The server sizes its engine to the deployment: the
+                // cost-model resolution picks CH on networks big enough
+                // to repay the (amortised) build and the plain sweeps on
+                // city-scale graphs, where the detour benchmarks measured
+                // CH slower.
+                detour_backend: DetourBackend::Auto,
             },
             // The phone fetches data like Mode 1 but over a faster link,
             // and talks to the head unit over a negligible local hop.
@@ -205,11 +208,12 @@ mod tests {
     }
 
     #[test]
-    fn only_the_server_precomputes_hierarchies() {
+    fn only_the_server_adapts_its_engine() {
         // Modes 1 and 3 run on battery/phone hardware — they keep the
-        // zero-preprocessing backend. Mode 2 amortises the CH build.
+        // zero-preprocessing backend unconditionally. Mode 2 lets the
+        // cost model decide whether a CH build would repay itself.
         assert_eq!(Mode::Embedded.costs().detour_backend, DetourBackend::Dijkstra);
-        assert_eq!(Mode::Server.costs().detour_backend, DetourBackend::Ch);
+        assert_eq!(Mode::Server.costs().detour_backend, DetourBackend::Auto);
         assert_eq!(Mode::Edge.costs().detour_backend, DetourBackend::Dijkstra);
         // The override knob works and is const-friendly.
         const EDGE_CH: ModeCosts = Mode::Edge.costs().with_detour_backend(DetourBackend::Ch);

@@ -41,18 +41,30 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which engine answers detour (derouting) queries.
+///
+/// `Auto` is the default: neither static choice wins everywhere (CH loses
+/// on the small paper graphs where the sweeps settle the whole network
+/// faster than the bucket scans pay off, and wins by large factors on
+/// metro-scale grids), so the backend is resolved once per query context
+/// from the [`crate::adaptive::BackendCostModel`] over the graph size and
+/// the candidate fan-out. Both concrete engines are bit-identical, so the
+/// resolution affects latency only, never Offering-Table bytes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DetourBackend {
     /// Batched plain Dijkstra sweeps (no preprocessing, lowest memory).
-    #[default]
     Dijkstra,
     /// Contraction-Hierarchy index (preprocessing once per graph, then
     /// microsecond queries; results bit-identical to Dijkstra).
     Ch,
+    /// Pick per graph/query shape from the calibrated cost model.
+    #[default]
+    Auto,
 }
 
 impl DetourBackend {
-    /// Both backends, Dijkstra (the reference) first.
+    /// The concrete engines `Auto` resolves between, Dijkstra (the
+    /// reference) first. Sweeps that time or cross-check backends iterate
+    /// this pair; `Auto` is a selection policy, not a third engine.
     pub const ALL: [Self; 2] = [Self::Dijkstra, Self::Ch];
 
     /// CLI/JSON label.
@@ -61,6 +73,7 @@ impl DetourBackend {
         match self {
             Self::Dijkstra => "dijkstra",
             Self::Ch => "ch",
+            Self::Auto => "auto",
         }
     }
 
@@ -70,6 +83,7 @@ impl DetourBackend {
         match s.to_ascii_lowercase().as_str() {
             "dijkstra" => Some(Self::Dijkstra),
             "ch" => Some(Self::Ch),
+            "auto" => Some(Self::Auto),
             _ => None,
         }
     }

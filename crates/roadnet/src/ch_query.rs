@@ -38,10 +38,15 @@ use std::collections::BinaryHeap;
 
 const NO_ENTRY: u32 = u32::MAX;
 
-/// Cached bucket fills kept per scratch (per pooled worker). The CkNN
-/// loop alternates between at most a couple of candidate sets per
-/// metric, so a tiny cache captures effectively all refills.
-const BUCKET_CACHE_CAP: usize = 4;
+/// Cached bucket fills kept per scratch (per pooled worker). One detour
+/// batch needs **three** fills — time-index Down, energy-index Down,
+/// energy-index Up — and a serving worker interleaves several trips,
+/// each with its own radius-filtered candidate set. A cap of 4 thrashed
+/// as soon as two pools alternated (6 distinct fills), silently turning
+/// every warm query back into `fanout` upward searches; this cap holds
+/// four pools' worth. Fills are pure functions of `(index, direction,
+/// targets)`, so capacity affects latency only, never results.
+const BUCKET_CACHE_CAP: usize = 12;
 
 /// Cost of one unpacked shortest path: the re-summed metric cost plus
 /// the per-[`RoadClass`](crate::edge::RoadClass) metre histogram

@@ -19,6 +19,7 @@
 //! * [`io`] — the Brinkhoff node/edge file format, so the reproduction can
 //!   ingest the real evaluation networks when a copy is available.
 
+pub mod adaptive;
 pub mod bidirectional;
 pub mod ch;
 pub mod ch_query;
@@ -30,6 +31,7 @@ pub mod path;
 pub mod pool;
 pub mod search;
 
+pub use adaptive::{resolve_backend, BackendCostModel};
 pub use bidirectional::BidiEngine;
 pub use ch::{ChIndex, DetourBackend, DetourCh};
 pub use ch_query::{ChCost, ChScratch};

@@ -61,7 +61,10 @@ fn serve(world: &World, count: usize, threads: usize, backend: DetourBackend) ->
 #[test]
 fn served_tables_are_bit_identical_to_standalone_solves() {
     let world = World::new();
-    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+    // `Auto` resolves per context from the calibrated cost model — the
+    // sweep must hold whichever engine it lands on, on this build, on
+    // this machine.
+    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch, DetourBackend::Auto] {
         for count in [1, 3, 6] {
             for threads in [1, 2, 8] {
                 let svc = serve(&world, count, threads, backend);
@@ -106,7 +109,7 @@ fn served_tables_are_bit_identical_to_standalone_solves() {
 fn event_log_is_invariant_across_threads_and_backends() {
     let world = World::new();
     let reference = serve(&world, 6, 1, DetourBackend::Dijkstra);
-    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+    for backend in [DetourBackend::Dijkstra, DetourBackend::Ch, DetourBackend::Auto] {
         for threads in [2, 8] {
             let other = serve(&world, 6, threads, backend);
             assert_eq!(other.event_log(), reference.event_log(), "{backend:?}/{threads}");

@@ -102,7 +102,8 @@ fn detour_for(
     node: NodeId,
 ) -> Option<(f64, f64, f64)> {
     let g = ctx.graph;
-    match ctx.config.detour_backend {
+    match ctx.resolved_backend() {
+        roadnet::DetourBackend::Auto => unreachable!("resolved_backend never returns Auto"),
         roadnet::DetourBackend::Dijkstra => {
             let (secs, _) = engine.point_to_point(g, dest, node, metric_cost(CostMetric::Time))?;
             let (e_fwd, _) =

@@ -34,6 +34,12 @@ pub enum EcError {
     /// The charger set relevant to a query was empty (e.g. radius too
     /// small); the caller may retry with a larger radius.
     NoCandidates,
+    /// Envelope pruning was forced on (`PruningMode::On`) while the
+    /// information server runs degraded (stale serving, resilience
+    /// fallbacks, or a non-model availability feed) — the availability
+    /// envelopes would be unsound there, so the combination is refused
+    /// instead of silently bypassed; carries the guard that tripped.
+    PruningUnsound(&'static str),
 }
 
 impl EcError {
@@ -55,6 +61,7 @@ impl EcError {
             Self::ProviderUnavailable(_) => "EC-006",
             Self::OutOfCoverage(_) => "EC-007",
             Self::NoCandidates => "EC-008",
+            Self::PruningUnsound(_) => "EC-009",
         }
     }
 }
@@ -72,6 +79,9 @@ impl fmt::Display for EcError {
             Self::ProviderUnavailable(name) => write!(f, "provider unavailable: {name}"),
             Self::OutOfCoverage(what) => write!(f, "out of coverage: {what}"),
             Self::NoCandidates => write!(f, "no candidate chargers within radius"),
+            Self::PruningUnsound(guard) => {
+                write!(f, "pruning forced on against a degraded server ({guard})")
+            }
         }
     }
 }
@@ -101,10 +111,12 @@ mod tests {
             EcError::ProviderUnavailable("x"),
             EcError::OutOfCoverage(String::new()),
             EcError::NoCandidates,
+            EcError::PruningUnsound("stale serving"),
         ];
         let codes: Vec<&str> = all.iter().map(EcError::code).collect();
         assert_eq!(codes[0], "EC-001");
         assert_eq!(codes[7], "EC-008");
+        assert_eq!(codes[8], "EC-009");
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
