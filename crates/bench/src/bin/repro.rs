@@ -12,9 +12,9 @@
 use ecocharge_bench::{
     print_rows, run_adaptive, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7,
     run_fig8, run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret,
-    run_scaling, run_sessions, run_throughput, run_validation, write_adaptive_json, write_csv,
-    write_detour_json, write_prune_json, write_recovery_json, write_scaling_json,
-    write_sessions_json, HarnessConfig, MetroTier,
+    run_scaling, run_sessions, run_shard, run_throughput, run_validation, shard_gate_failures,
+    write_adaptive_json, write_csv, write_detour_json, write_prune_json, write_recovery_json,
+    write_scaling_json, write_sessions_json, write_shard_json, HarnessConfig, MetroTier,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -22,8 +22,8 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|recovery> \
-        [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|shard|recovery> \
+        [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] [--sessions N] \
         [--detour-backend dijkstra|ch|auto] [--metro off|small|full] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
   all         all four paper figures\n\
@@ -52,6 +52,18 @@ fn usage() -> ! {
               event latency and the cross-session forecast-sharing hit rate, with a\n\
               bit-identity check per cell; writes BENCH_sessions.json (exits non-zero\n\
               when any cell diverges or the largest sweep shares no forecasts)\n\
+  shard       geographic sharding: shards (1,2,4,8) x front threads (1,4,8) over a\n\
+              metro-tier grid city (--sessions trips, default 1000) through the\n\
+              sharded front, measuring cross-shard hand-offs, the per-shard\n\
+              breakdown and the federated shared-hit rate, with a bit-identity\n\
+              check against the unsharded run per cell. events/s is critical-path\n\
+              throughput: per-tick lane costs are measured in isolation and\n\
+              LPT-scheduled onto the row's worker count, so the number is\n\
+              independent of this host's core count (span(s) is that critical\n\
+              path; serve(s) the serial wall clock); writes BENCH_shard.json\n\
+              (exits non-zero when any cell diverges, 4 shards sustain < 3x the\n\
+              critical-path events/s of 1 shard at >= 4 threads, or the federated\n\
+              hit rate drifts more than 5 points)\n\
   recovery    crash-recovery fidelity: seeded crashes (clean kills at record/tick\n\
               boundaries, torn tails mid-record) x recovery threads (1,4,8) over a\n\
               journaled fleet, asserting the recovered Offering Tables are\n\
@@ -169,6 +181,7 @@ fn main() {
     let mut harness = HarnessConfig::default();
     let mut csv_dir: Option<PathBuf> = None;
     let mut metro = MetroTier::Small;
+    let mut shard_sessions = 1000usize;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -190,6 +203,12 @@ fn main() {
                 harness.detour_backend = DetourBackend::parse(val).unwrap_or_else(|| usage());
             }
             "--metro" => metro = MetroTier::parse(val).unwrap_or_else(|| usage()),
+            "--sessions" => {
+                shard_sessions = val.parse().unwrap_or_else(|_| usage());
+                if shard_sessions == 0 {
+                    usage();
+                }
+            }
             "--csv" => csv_dir = Some(PathBuf::from(val)),
             _ => usage(),
         }
@@ -461,6 +480,64 @@ fn main() {
             let largest = rows.iter().map(|r| r.sessions).max().unwrap_or(0);
             if !rows.iter().filter(|r| r.sessions == largest).any(|r| r.shared_hits > 0) {
                 eprintln!("ERROR: the largest sweep shared no forecasts across sessions");
+                std::process::exit(1);
+            }
+        }
+        "shard" => {
+            let rows = run_shard(&harness, metro, shard_sessions, &[1, 2, 4, 8], &[1, 4, 8]);
+            println!(
+                "\n=== Sharding: geographic partition x front threads ({}) ===",
+                rows.first().map_or("?", |r| r.world.as_str())
+            );
+            println!(
+                "{:<7} {:>8} {:>9} {:>9} {:>9} {:>8} {:>11} {:>9} {:>8} {:>8} {:>10} {:<24}",
+                "shards",
+                "threads",
+                "events",
+                "handoffs",
+                "serve(s)",
+                "span(s)",
+                "events/s",
+                "speedup",
+                "share%",
+                "drift",
+                "identical",
+                "per-shard events"
+            );
+            for r in &rows {
+                let per_shard = r
+                    .per_shard_events
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/");
+                println!(
+                    "{:<7} {:>8} {:>9} {:>9} {:>9.2} {:>8.2} {:>11.0} {:>8.2}x {:>7.1}% {:>+8.3} {:>10} {:<24}",
+                    r.shards,
+                    r.threads,
+                    r.events,
+                    r.handoffs,
+                    r.serve_s,
+                    r.span_s,
+                    r.events_per_s,
+                    r.speedup,
+                    r.shared_hit_rate * 100.0,
+                    r.hit_rate_delta,
+                    r.identical,
+                    per_shard
+                );
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_shard.json");
+            match write_shard_json(&path, &rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("shard json write failed: {e}"),
+            }
+            let failures = shard_gate_failures(&rows);
+            if !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("ERROR: {f}");
+                }
                 std::process::exit(1);
             }
         }

@@ -20,6 +20,7 @@ pub mod prune;
 pub mod recovery;
 pub mod scaling;
 pub mod sessions;
+pub mod shard;
 pub mod table;
 pub mod validate;
 
@@ -32,5 +33,6 @@ pub use prune::{run_prune, write_prune_json, PruneRow};
 pub use recovery::{run_recovery, run_recovery_chaos, write_recovery_json, ChaosRow, RecoveryRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
 pub use sessions::{run_sessions, write_sessions_json, SessionsRow};
+pub use shard::{run_shard, shard_gate_failures, write_shard_json, ShardRow};
 pub use table::{print_rows, write_csv};
 pub use validate::{run_validation, Check};

@@ -1,0 +1,518 @@
+//! The `repro shard` series — geographic sharding throughput + identity.
+//!
+//! Sweeps shard count × front threads over one metro-tier world through
+//! [`ShardedService`], against a single unsharded [`SessionService`]
+//! reference run. Three claims are measured, and two of them are gated
+//! (the `repro` binary exits non-zero via [`shard_gate_failures`]):
+//!
+//! * **identity** — every cell's merged event log and every session's
+//!   solve record are bit-identical to the unsharded run, including the
+//!   sessions that crossed shard boundaries mid-flight;
+//! * **scaling** — with enough front threads to run the lanes
+//!   concurrently, four shards sustain at least 3× the events/s of one
+//!   shard on the identical workload (lanes are single-threaded by
+//!   design — the shard is the unit of parallelism, see
+//!   [`ecocharge_session::ShardConfig`]);
+//! * **federation** — the federated shared-hit rate stays within five
+//!   points of the unsharded ledger's (partitioning the fleet must not
+//!   destroy cross-session forecast sharing).
+//!
+//! ## How throughput is measured
+//!
+//! Each cell drives the front through
+//! [`ShardedService::tick_timed`], which executes the lanes serially
+//! and reports each lane's isolated cost. The row's `events_per_s`
+//! divides the flat-equivalent events by the **critical path**
+//! (`span_s`): per tick, the lane timings are LPT-scheduled onto
+//! `threads` single-core workers — exactly the greedy schedule the
+//! parallel front runs — plus the tick's serial coordination tail
+//! (hand-off delivery + federation). This prices the parallel schedule
+//! from real measurements while staying independent of the benchmark
+//! host's core count: wall-clocking the parallel tick on a machine with
+//! fewer cores than lanes would only measure time-slicing, and a gate
+//! on it would report the host, not the partition. On a host with
+//! `threads` free cores the parallel front's wall clock converges to
+//! `span_s` (same schedule, same work). The serial wall clock of the
+//! whole run is still reported per row as `serve_s`.
+//!
+//! What the scaling gate therefore judges is the genuine algorithmic
+//! content of geographic sharding: does the LPT charger partition keep
+//! the per-tick lane loads balanced enough — and the serial
+//! coordination tail small enough — that four shards do ≥3× the work
+//! of one per unit of critical-path time? A hot shard or a fat serial
+//! tail fails it on any machine.
+//!
+//! Each row also reports the per-shard event breakdown, so a pathological
+//! partition (one hot shard serving everything) is visible in the table
+//! and in `BENCH_shard.json` rather than hiding inside an aggregate.
+
+use crate::adaptive::MetroTier;
+use crate::figures::HarnessConfig;
+use chargers::{synth_fleet, ChargerFleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{
+    ServiceConfig, SessionService, ShardConfig, ShardEnv, ShardedService,
+};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, DetourCh, RoadGraph, UrbanGridParams};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+/// Four shards must reach this multiple of one shard's critical-path
+/// events/s wherever the front has at least [`GATE_MIN_THREADS`]
+/// threads. Near-linear would be 4×; 3× leaves room for hand-off
+/// delivery, the federation round, and imbalance between the
+/// LPT-balanced shards.
+pub const SPEEDUP_GATE: f64 = 3.0;
+
+/// The scaling gate only judges rows whose worker count lets all four
+/// lanes run concurrently in the modelled schedule.
+pub const GATE_MIN_THREADS: usize = 4;
+
+/// The federated shared-hit rate may drift at most this much (absolute)
+/// from the unsharded run's.
+pub const HIT_RATE_TOLERANCE: f64 = 0.05;
+
+/// One cell of the shard sweep.
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// World label.
+    pub world: String,
+    /// Sessions registered.
+    pub sessions: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// `ShardConfig::threads` — lanes ticked concurrently.
+    pub threads: usize,
+    /// Flat-equivalent events executed (hand-off markers discounted).
+    pub events: u64,
+    /// Cross-shard session hand-offs delivered.
+    pub handoffs: u64,
+    /// Wall-clock registration time (itinerary planning + admission), s.
+    pub register_s: f64,
+    /// Wall-clock serving time of the serial timed drive, s (≈ total
+    /// single-core work).
+    pub serve_s: f64,
+    /// Critical-path serving time at `threads` workers, s: per tick the
+    /// measured lane costs LPT-scheduled onto the workers, plus the
+    /// serial coordination tail (see the module docs).
+    pub span_s: f64,
+    /// `events / span_s` — sustained throughput at `threads` workers.
+    pub events_per_s: f64,
+    /// Events executed per shard, shard order (hand-offs included —
+    /// this is each lane's actual workload).
+    pub per_shard_events: Vec<u64>,
+    /// Federated share of forecast reads answered by another session.
+    pub shared_hit_rate: f64,
+    /// `shared_hit_rate − unsharded shared_hit_rate`.
+    pub hit_rate_delta: f64,
+    /// `events_per_s(this) / events_per_s(first shard count, same threads)`.
+    pub speedup: f64,
+    /// Merged event log and every session's solves equal the unsharded
+    /// reference bit-for-bit.
+    pub identical: bool,
+}
+
+/// The sweep's world: a generated metro substrate the series owns
+/// outright (the shard plan partitions real geography, so the world is
+/// a grid city, not a dataset preset).
+struct World {
+    name: String,
+    graph: RoadGraph,
+    fleet: ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+    tile_depth: u32,
+    detour_ch: OnceLock<Arc<DetourCh>>,
+}
+
+impl World {
+    /// Build the tier's world with `sessions` boundary-crossing trips
+    /// (10–18 km — long enough to cross tiles at the tier's depth).
+    fn build(metro: MetroTier, seed: u64, sessions: usize) -> Self {
+        // Deeper tiles on the metro substrates: a 288 km-wide world at
+        // depth 3 would make tiles no 18 km trip ever leaves.
+        let (name, side, fleet_n, tile_depth) = match metro {
+            MetroTier::Off => ("urban-grid 40x32", (40, 32), 120, 3),
+            MetroTier::Small => ("metro 320x300", (320, 300), 10_000, 5),
+            MetroTier::Full => ("metro 1024x1024", (1024, 1024), 100_000, 6),
+        };
+        let graph = urban_grid(&UrbanGridParams {
+            cols: side.0,
+            rows: side.1,
+            seed,
+            ..UrbanGridParams::default()
+        });
+        let fleet = synth_fleet(
+            &graph,
+            &FleetParams {
+                count: fleet_n.min(graph.num_nodes() / 2).max(4),
+                seed,
+                ..Default::default()
+            },
+        );
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: sessions.max(1),
+                min_trip_m: 10_000.0,
+                max_trip_m: 18_000.0,
+                seed,
+                ..BrinkhoffParams::default()
+            },
+        );
+        Self {
+            name: name.to_string(),
+            graph,
+            fleet,
+            sims: SimProviders::new(seed),
+            trips,
+            tile_depth,
+            detour_ch: OnceLock::new(),
+        }
+    }
+
+    fn shared_detour_ch(&self, threads: usize) -> Arc<DetourCh> {
+        Arc::clone(
+            self.detour_ch.get_or_init(|| Arc::new(DetourCh::build(&self.graph, threads.max(1)))),
+        )
+    }
+
+    fn wants_ch(&self, config: EcoChargeConfig) -> bool {
+        roadnet::resolve_backend(
+            config.detour_backend,
+            &self.graph,
+            self.fleet.len(),
+            true,
+            1.0,
+        ) == ecocharge_core::DetourBackend::Ch
+    }
+}
+
+/// Makespan of greedy LPT scheduling of `lane_s` onto `workers`
+/// single-core workers — the per-tick critical path of the parallel
+/// front (its executor work-claims greedily, so this is the schedule it
+/// actually runs, modulo claim order on equal loads).
+fn makespan(lane_s: &[f64], workers: usize) -> f64 {
+    let workers = workers.min(lane_s.len()).max(1);
+    let mut sorted = lane_s.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut loads = vec![0.0f64; workers];
+    for t in sorted {
+        let least = (0..workers)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("workers >= 1");
+        loads[least] += t;
+    }
+    loads.iter().copied().fold(0.0, f64::max)
+}
+
+/// The unsharded reference run: identity and hit-rate anchor.
+fn serve_flat(world: &World, config: EcoChargeConfig) -> SessionService {
+    let server = InfoServer::from_sims(world.sims.clone());
+    let ctx = QueryCtx::new(&world.graph, &world.fleet, &server, &world.sims, config);
+    if world.wants_ch(config) {
+        ctx.adopt_detour_ch(world.shared_detour_ch(1));
+    }
+    let mut svc = SessionService::new(ServiceConfig::default());
+    for trip in &world.trips {
+        svc.register(&ctx, trip).expect("bench trips admit cleanly");
+    }
+    svc.run_to_completion(&ctx).expect("bench serving");
+    svc
+}
+
+/// Run the shards × threads sweep on the tier's world. Within each
+/// thread count, the first entry of `shard_counts` (conventionally 1)
+/// is the speedup baseline; identity is always judged against the one
+/// unsharded reference run.
+#[must_use]
+pub fn run_shard(
+    harness: &HarnessConfig,
+    metro: MetroTier,
+    sessions: usize,
+    shard_counts: &[usize],
+    thread_counts: &[usize],
+) -> Vec<ShardRow> {
+    let world = World::build(metro, harness.seed, sessions);
+    let config =
+        EcoChargeConfig { detour_backend: harness.detour_backend, ..EcoChargeConfig::default() };
+    let flat = serve_flat(&world, config);
+    let flat_log = flat.event_log();
+    let flat_sessions: Vec<_> = flat.sessions().collect();
+    let flat_rate = flat.stats().shared_hit_rate();
+
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let mut base_eps: Option<f64> = None;
+        for &shards in shard_counts {
+            let env = ShardEnv::new(&world.sims, shards);
+            let mut front = ShardedService::new(
+                &env,
+                &world.graph,
+                &world.fleet,
+                &world.sims,
+                config,
+                ShardConfig {
+                    shards,
+                    tile_depth: world.tile_depth,
+                    threads,
+                    service: ServiceConfig::default(),
+                },
+            );
+            if world.wants_ch(config) {
+                front.adopt_detour_ch(&world.shared_detour_ch(threads));
+            }
+            let started = std::time::Instant::now();
+            for trip in &world.trips {
+                front.register(trip).expect("bench trips admit cleanly");
+            }
+            let register_s = started.elapsed().as_secs_f64();
+            let started = std::time::Instant::now();
+            let mut span_s = 0.0;
+            while front.pending_events() > 0 {
+                let tick_started = std::time::Instant::now();
+                let (_, lane_s) = front.tick_timed().expect("bench serving");
+                // Critical path of this tick: the LPT schedule of the
+                // lane costs, plus whatever the front spent outside the
+                // lanes (hand-off delivery + federation — serial).
+                let coordination =
+                    (tick_started.elapsed().as_secs_f64() - lane_s.iter().sum::<f64>()).max(0.0);
+                span_s += makespan(&lane_s, threads) + coordination;
+            }
+            let serve_s = started.elapsed().as_secs_f64();
+
+            let stats = front.stats();
+            let events = stats.events_executed - stats.handoffs;
+            let events_per_s = events as f64 / span_s.max(1e-9);
+            let speedup = match base_eps {
+                None => 1.0,
+                Some(base) => events_per_s / base.max(1e-9),
+            };
+            if base_eps.is_none() {
+                base_eps = Some(events_per_s);
+            }
+            let sharded = front.sessions();
+            let identical = front.event_log() == flat_log
+                && sharded.len() == flat_sessions.len()
+                && sharded
+                    .iter()
+                    .zip(&flat_sessions)
+                    .all(|(a, b)| a.id == b.id && a.solves == b.solves);
+            let shared_hit_rate = stats.shared_hit_rate();
+            rows.push(ShardRow {
+                world: world.name.clone(),
+                sessions: world.trips.len(),
+                shards,
+                threads,
+                events,
+                handoffs: stats.handoffs,
+                register_s,
+                serve_s,
+                span_s,
+                events_per_s,
+                per_shard_events: front
+                    .per_shard_stats()
+                    .iter()
+                    .map(|s| s.events_executed)
+                    .collect(),
+                shared_hit_rate,
+                hit_rate_delta: shared_hit_rate - flat_rate,
+                speedup,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Every gated claim a finished sweep violates, as printable findings —
+/// empty means the run passes. The scaling gate fires only where the
+/// sweep actually produced the comparable pair (a 1-shard and a 4-shard
+/// row at the same ≥[`GATE_MIN_THREADS`] thread count).
+#[must_use]
+pub fn shard_gate_failures(rows: &[ShardRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        if !r.identical {
+            failures.push(format!(
+                "shards={} threads={}: tables diverged from the unsharded run",
+                r.shards, r.threads
+            ));
+        }
+        if r.hit_rate_delta.abs() > HIT_RATE_TOLERANCE {
+            failures.push(format!(
+                "shards={} threads={}: federated shared-hit rate drifted {:+.3} from the \
+                 unsharded run (tolerance {HIT_RATE_TOLERANCE})",
+                r.shards, r.threads, r.hit_rate_delta
+            ));
+        }
+    }
+    let thread_counts: BTreeSet<usize> = rows.iter().map(|r| r.threads).collect();
+    for t in thread_counts.into_iter().filter(|&t| t >= GATE_MIN_THREADS) {
+        let at = |s: usize| rows.iter().find(|r| r.shards == s && r.threads == t);
+        if let (Some(one), Some(four)) = (at(1), at(4)) {
+            let ratio = four.events_per_s / one.events_per_s.max(1e-9);
+            if ratio < SPEEDUP_GATE {
+                failures.push(format!(
+                    "threads={t}: 4 shards sustain only {ratio:.2}x the events/s of 1 shard \
+                     (gate {SPEEDUP_GATE}x)"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// Write the sweep as `BENCH_shard.json`.
+pub fn write_shard_json(path: &Path, rows: &[ShardRow]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"series\": \"shard\",")?;
+    writeln!(f, "  \"world\": \"{}\",", rows.first().map_or("", |r| r.world.as_str()))?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let per_shard = r
+            .per_shard_events
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(
+            f,
+            "    {{\"sessions\": {}, \"shards\": {}, \"threads\": {}, \"events\": {}, \
+             \"handoffs\": {}, \"register_s\": {:.4}, \"serve_s\": {:.4}, \
+             \"span_s\": {:.4}, \"events_per_s\": {:.1}, \"per_shard_events\": [{per_shard}], \
+             \"shared_hit_rate\": {:.4}, \"hit_rate_delta\": {:.4}, \"speedup\": {:.4}, \
+             \"identical\": {}}}{sep}",
+            r.sessions,
+            r.shards,
+            r.threads,
+            r.events,
+            r.handoffs,
+            r.register_s,
+            r.serve_s,
+            r.span_s,
+            r.events_per_s,
+            r.shared_hit_rate,
+            r.hit_rate_delta,
+            r.speedup,
+            r.identical
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_identical_and_crosses_boundaries() {
+        let harness = HarnessConfig { seed: 7, ..HarnessConfig::default() };
+        let rows = run_shard(&harness, MetroTier::Off, 5, &[1, 2], &[1, 2]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.identical), "{rows:?}");
+        assert!(rows.iter().all(|r| r.events > 0));
+        assert!(
+            rows.iter().filter(|r| r.shards == 2).all(|r| r.handoffs > 0),
+            "10–18 km trips must cross shard boundaries: {rows:?}"
+        );
+        assert!(rows.iter().filter(|r| r.shards == 1).all(|r| r.handoffs == 0));
+        for r in &rows {
+            assert!(r.span_s > 0.0, "critical path must be measured: {r:?}");
+            assert!(
+                r.span_s <= r.serve_s * 1.05 + 0.01,
+                "the critical path cannot exceed the serial wall clock: {r:?}"
+            );
+        }
+        for r in &rows {
+            assert_eq!(r.per_shard_events.len(), r.shards);
+            assert_eq!(r.per_shard_events.iter().sum::<u64>(), r.events + r.handoffs);
+            if r.shards == 1 {
+                assert!((r.speedup - 1.0).abs() < 1e-9);
+            }
+        }
+        // No identity or federation finding; the scaling gate has no
+        // 4-shard row to judge here.
+        assert!(shard_gate_failures(&rows).is_empty(), "{:?}", shard_gate_failures(&rows));
+    }
+
+    #[test]
+    fn makespan_models_the_greedy_schedule() {
+        // Perfect balance at full width; serial pile-up at one worker.
+        assert!((makespan(&[1.0, 1.0, 1.0, 1.0], 4) - 1.0).abs() < 1e-12);
+        assert!((makespan(&[1.0, 1.0, 1.0, 1.0], 1) - 4.0).abs() < 1e-12);
+        // A hot lane dominates regardless of worker count.
+        assert!((makespan(&[3.0, 1.0, 1.0, 1.0], 2) - 3.0).abs() < 1e-12);
+        // LPT packs heaviest-first: {2,1} and {2,1}, makespan 3.
+        assert!((makespan(&[2.0, 2.0, 1.0, 1.0], 2) - 3.0).abs() < 1e-12);
+        // More workers than lanes changes nothing; no lanes costs nothing.
+        assert!((makespan(&[0.5], 8) - 0.5).abs() < 1e-12);
+        assert!(makespan(&[], 4).abs() < 1e-12);
+    }
+
+    fn row(shards: usize, threads: usize, eps: f64) -> ShardRow {
+        ShardRow {
+            world: "test".into(),
+            sessions: 10,
+            shards,
+            threads,
+            events: 100,
+            handoffs: 0,
+            register_s: 0.1,
+            serve_s: 1.0,
+            span_s: 1.0,
+            events_per_s: eps,
+            per_shard_events: vec![100; shards],
+            shared_hit_rate: 0.4,
+            hit_rate_delta: 0.0,
+            speedup: 1.0,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn gates_catch_divergence_drift_and_flat_scaling() {
+        // A clean sweep passes.
+        let clean = vec![row(1, 4, 100.0), row(4, 4, 350.0)];
+        assert!(shard_gate_failures(&clean).is_empty());
+
+        // 4 shards at only 2x: the scaling gate fires.
+        let slow = vec![row(1, 4, 100.0), row(4, 4, 200.0)];
+        let f = shard_gate_failures(&slow);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("4 shards"), "{f:?}");
+
+        // Same ratio at threads=1: below GATE_MIN_THREADS, not judged.
+        let serial = vec![row(1, 1, 100.0), row(4, 1, 200.0)];
+        assert!(shard_gate_failures(&serial).is_empty());
+
+        // Divergence and hit-rate drift each produce a finding.
+        let mut bad = row(4, 4, 350.0);
+        bad.identical = false;
+        bad.hit_rate_delta = -0.2;
+        let f = shard_gate_failures(&[row(1, 4, 100.0), bad]);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn json_writer_emits_every_row() {
+        let rows = vec![row(4, 8, 420.0)];
+        let dir = std::env::temp_dir().join("ecocharge_shard_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_shard.json");
+        write_shard_json(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"shards\": 4"));
+        assert!(text.contains("\"per_shard_events\": [100, 100, 100, 100]"));
+        assert!(text.contains("\"identical\": true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

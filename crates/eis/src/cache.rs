@@ -31,6 +31,12 @@ pub struct TtlCache<K, V> {
     map: RwLock<HashMap<K, (V, SimTime)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When attached ([`TtlCache::enable_fresh_log`]), the key of every
+    /// *locally computed* insert is logged so a federation layer can
+    /// drain just the cells new since its last round
+    /// ([`TtlCache::drain_fresh`]). Installed cells are never logged —
+    /// they already made the rounds.
+    fresh_log: RwLock<Option<Vec<K>>>,
 }
 
 impl<K, V> Default for TtlCache<K, V> {
@@ -39,6 +45,7 @@ impl<K, V> Default for TtlCache<K, V> {
             map: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fresh_log: RwLock::new(None),
         }
     }
 }
@@ -66,7 +73,57 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
 
     /// Insert `value` valid until `now + ttl`.
     pub fn put(&self, key: K, value: V, now: SimTime, ttl: SimDuration) {
-        self.map.write().insert(key, (value, now + ttl));
+        self.map.write().insert(key.clone(), (value, now + ttl));
+        self.log_fresh(key);
+    }
+
+    /// Start logging locally computed inserts for federation export.
+    /// Idempotent; a cache without the log pays nothing on its write
+    /// path.
+    pub fn enable_fresh_log(&self) {
+        let mut log = self.fresh_log.write();
+        if log.is_none() {
+            *log = Some(Vec::new());
+        }
+    }
+
+    fn log_fresh(&self, key: K) {
+        if let Some(log) = self.fresh_log.write().as_mut() {
+            log.push(key);
+        }
+    }
+
+    /// Drain the cells computed here since the last drain: every logged
+    /// key still present in the map, with its value and absolute expiry.
+    /// Empty when the log was never enabled. Keys evicted or expired
+    /// away between computation and drain are silently skipped — a peer
+    /// would evict them too.
+    #[must_use]
+    pub fn drain_fresh(&self) -> Vec<(K, V, SimTime)> {
+        let keys = match self.fresh_log.write().as_mut() {
+            Some(log) if !log.is_empty() => std::mem::take(log),
+            _ => return Vec::new(),
+        };
+        let map = self.map.read();
+        keys.into_iter()
+            .filter_map(|k| map.get(&k).map(|(v, exp)| (k.clone(), v.clone(), *exp)))
+            .collect()
+    }
+
+    /// Install federated cells verbatim (value + absolute expiry).
+    /// A key already present keeps its local entry — for the pure
+    /// forecast caches both copies are byte-identical anyway, and
+    /// keeping the local one makes installation idempotent. Installed
+    /// cells are *not* logged as fresh, so they never ping-pong back out
+    /// through [`TtlCache::drain_fresh`].
+    pub fn install(&self, cells: &[(K, V, SimTime)]) {
+        if cells.is_empty() {
+            return;
+        }
+        let mut map = self.map.write();
+        for (k, v, exp) in cells {
+            map.entry(k.clone()).or_insert_with(|| (v.clone(), *exp));
+        }
     }
 
     /// Last stored value for `key` regardless of expiry, with a staleness
@@ -110,7 +167,9 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = produce()?;
-        map.insert(key, (v.clone(), now + ttl));
+        map.insert(key.clone(), (v.clone(), now + ttl));
+        drop(map); // never hold the map and the fresh log together
+        self.log_fresh(key);
         Ok(v)
     }
 

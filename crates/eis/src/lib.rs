@@ -50,7 +50,7 @@ pub use resilience::{
     ResilientProvider, RetryPolicy,
 };
 pub use server::{
-    eta_bucket, forecast_window, staleness_half_width, widen_factor, widen_unit, InfoServer,
-    ServerStats, FORECAST_TTL,
+    eta_bucket, forecast_window, staleness_half_width, widen_factor, widen_unit, ForecastCells,
+    InfoServer, ServerStats, FORECAST_TTL,
 };
-pub use share::{ForecastShare, SessionScope, ShareSnapshot};
+pub use share::{ForecastShare, Ledger, SessionScope, ShareSnapshot};

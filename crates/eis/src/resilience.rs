@@ -29,7 +29,7 @@ use roadnet::RoadClass;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The four upstream feeds the EIS fronts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FeedKind {
     /// Solar / weather forecasts.
     Weather,

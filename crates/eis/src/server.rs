@@ -183,6 +183,43 @@ impl ServerStats {
     }
 }
 
+/// A federation bundle: the fresh-tier forecast cells one server
+/// computed since its last export, with values, absolute expiries, and
+/// the share ledger's ownership claims for those cells. Produced by
+/// [`InfoServer::export_fresh_cells`], consumed by
+/// [`InfoServer::install_fresh_cells`] on peer servers.
+///
+/// Installing a bundle cannot change what any forecast returns: for
+/// model-backed providers a fresh-tier value is a pure function of
+/// `(feed key, forecast window)` ([`forecast_window`]), so the installed
+/// bytes are exactly what the peer would have computed itself. What
+/// changes is the *cost* — the peer's read becomes a cache hit instead
+/// of an upstream call — and, through the adopted ownership claims, the
+/// attribution: the hit counts as *shared* with the session that paid
+/// for the cell on the exporting server.
+#[derive(Debug, Default, Clone)]
+pub struct ForecastCells {
+    sun: Vec<(((i64, i64, u64), u64), Interval, SimTime)>,
+    wind: Vec<(((i64, i64, u64), u64), Interval, SimTime)>,
+    avail: Vec<(((u32, u64), u64), Interval, SimTime)>,
+    traffic: Vec<(((u8, u64, bool), u64), Interval, SimTime)>,
+    owners: Vec<(FeedKind, u64, Option<u32>)>,
+}
+
+impl ForecastCells {
+    /// True when nothing was computed since the last export.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sun.is_empty() && self.wind.is_empty() && self.avail.is_empty() && self.traffic.is_empty()
+    }
+
+    /// Cells carried, all feeds.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.sun.len() + self.wind.len() + self.avail.len() + self.traffic.len()
+    }
+}
+
 /// The EcoCharge Information Server: cached, counted provider access with
 /// optional retry/circuit-breaker and stale-with-widened-uncertainty
 /// tiers (see the module docs).
@@ -546,6 +583,66 @@ impl InfoServer {
         let (h2, m2) = self.avail_cache.stats();
         let (h3, m3) = self.traffic_cache.stats();
         (h1 + h2 + h3, m1 + m2 + m3)
+    }
+
+    /// Start logging fresh-tier computations for federation export.
+    /// Idempotent; a server that never federates pays nothing.
+    pub fn enable_federation(&self) {
+        self.sun_cache.enable_fresh_log();
+        self.wind_cache.enable_fresh_log();
+        self.avail_cache.enable_fresh_log();
+        self.traffic_cache.enable_fresh_log();
+    }
+
+    /// Drain the fresh-tier cells computed here since the last export,
+    /// with the share ledger's ownership claims for them (empty claims
+    /// when no ledger is attached). Requires [`InfoServer::enable_federation`]
+    /// — without it the bundle is always empty.
+    #[must_use]
+    pub fn export_fresh_cells(&self) -> ForecastCells {
+        let sun = self.sun_cache.drain_fresh();
+        let wind = self.wind_cache.drain_fresh();
+        let avail = self.avail_cache.drain_fresh();
+        let traffic = self.traffic_cache.drain_fresh();
+        let mut owners = Vec::new();
+        if let Some(share) = self.share.get() {
+            let mut claim = |feed: FeedKind, cell: u64| {
+                if let Some(owner) = share.owner_of(feed, cell) {
+                    owners.push((feed, cell, owner));
+                }
+            };
+            for (k, _, _) in &sun {
+                claim(FeedKind::Weather, crate::share::ledger_cell(&k.0, k.1));
+            }
+            for (k, _, _) in &wind {
+                claim(FeedKind::Wind, crate::share::ledger_cell(&k.0, k.1));
+            }
+            for (k, _, _) in &avail {
+                claim(FeedKind::Availability, crate::share::ledger_cell(&k.0, k.1));
+            }
+            for (k, _, _) in &traffic {
+                claim(FeedKind::Traffic, crate::share::ledger_cell(&k.0, k.1));
+            }
+        }
+        ForecastCells { sun, wind, avail, traffic, owners }
+    }
+
+    /// Install a peer's exported cells into this server's fresh tier and
+    /// adopt its ownership claims into the attached share ledger.
+    /// Existing local entries (cache cells and claims) always win —
+    /// installation is idempotent and, by forecast purity, value-neutral
+    /// (see [`ForecastCells`]).
+    pub fn install_fresh_cells(&self, cells: &ForecastCells) {
+        self.sun_cache.install(&cells.sun);
+        self.wind_cache.install(&cells.wind);
+        self.avail_cache.install(&cells.avail);
+        self.traffic_cache.install(&cells.traffic);
+        if !cells.owners.is_empty() {
+            let share = self.forecast_share();
+            for &(feed, cell, owner) in &cells.owners {
+                share.adopt_owner(feed, cell, owner);
+            }
+        }
     }
 
     /// Drop expired entries from every cache (the last-known-good tier

@@ -28,7 +28,7 @@
 use crate::resilience::FeedKind;
 use parking_lot::RwLock;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -178,6 +178,23 @@ impl ForecastShare {
         }
     }
 
+    /// The recorded owner of `cell` on `feed`: `Some(None)` = computed
+    /// outside any session scope, `None` = never computed here.
+    #[must_use]
+    pub fn owner_of(&self, feed: FeedKind, cell: u64) -> Option<Option<u32>> {
+        self.owners.read().get(&(feed, cell)).copied()
+    }
+
+    /// Adopt a peer ledger's ownership claim for a federated cell, so a
+    /// later local hit on the installed cell is attributed *shared*
+    /// exactly as it would be on the computing shard. A cell this ledger
+    /// already claims keeps its local owner (installation keeps the
+    /// local cache entry too — the claims describe the same pure value).
+    /// Pure bookkeeping: no counter moves.
+    pub fn adopt_owner(&self, feed: FeedKind, cell: u64, owner: Option<u32>) {
+        self.owners.write().entry((feed, cell)).or_insert(owner);
+    }
+
     /// Current counters.
     #[must_use]
     pub fn snapshot(&self) -> ShareSnapshot {
@@ -187,6 +204,16 @@ impl ForecastShare {
             untagged_hits: self.untagged_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Export this ledger's current state as a mergeable [`Ledger`],
+    /// attributing the counters to `source` (the exporting shard's id).
+    #[must_use]
+    pub fn export(&self, source: u32) -> Ledger {
+        let owners = self.owners.read().iter().map(|(&k, &v)| (k, v)).collect();
+        let mut counts = BTreeMap::new();
+        counts.insert(source, self.snapshot());
+        Ledger { owners, counts }
     }
 
     /// Overwrite the counters from a snapshot — the crash-recovery path
@@ -199,6 +226,106 @@ impl ForecastShare {
         self.self_hits.store(snap.self_hits, Ordering::Relaxed);
         self.untagged_hits.store(snap.untagged_hits, Ordering::Relaxed);
         self.misses.store(snap.misses, Ordering::Relaxed);
+    }
+}
+
+/// Canonical join of two ownership claims for the same cell.
+///
+/// Concurrent shards can both pay for the same `(feed, window, ETA
+/// bucket)` cell before federation; the merged ledger must credit exactly
+/// one owner, and must credit the *same* one regardless of merge order.
+/// The canonical order is: a tagged owner beats an anonymous one, and
+/// among tagged owners the smaller session id wins. This is a pure
+/// min-join, so it is commutative, associative and idempotent by
+/// construction.
+fn join_owner(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// Pointwise maximum of two counter snapshots — the G-counter join for
+/// one source's counters (each source's counters only ever grow, so the
+/// later of two exports dominates the earlier pointwise).
+fn join_counts(a: &ShareSnapshot, b: &ShareSnapshot) -> ShareSnapshot {
+    ShareSnapshot {
+        shared_hits: a.shared_hits.max(b.shared_hits),
+        self_hits: a.self_hits.max(b.self_hits),
+        untagged_hits: a.untagged_hits.max(b.untagged_hits),
+        misses: a.misses.max(b.misses),
+    }
+}
+
+/// A mergeable, order-independent image of one or more [`ForecastShare`]
+/// ledgers — the federation primitive for sharded serving.
+///
+/// Two components, each a join-semilattice, so [`Ledger::merge`] is
+/// **commutative, associative and idempotent** (proptested in
+/// `tests/ledger_props.rs`):
+///
+/// * `owners` — cell → owning session, joined pointwise by
+///   [`join_owner`]'s canonical order;
+/// * `counts` — per-*source* counter snapshots (a G-counter: each
+///   exporting shard owns its own slot, merge is pointwise max per slot),
+///   totalled across sources by [`Ledger::totals`].
+///
+/// Because merge order cannot change the result, shards can federate at
+/// tick boundaries by pure pairwise joins — no global lock, no
+/// coordination protocol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ledger {
+    owners: BTreeMap<(FeedKind, u64), Option<u32>>,
+    counts: BTreeMap<u32, ShareSnapshot>,
+}
+
+impl Ledger {
+    /// Join `other` into `self`.
+    pub fn merge(&mut self, other: &Ledger) {
+        for (&cell, &owner) in &other.owners {
+            self.owners
+                .entry(cell)
+                .and_modify(|mine| *mine = join_owner(*mine, owner))
+                .or_insert(owner);
+        }
+        for (&source, counts) in &other.counts {
+            self.counts
+                .entry(source)
+                .and_modify(|mine| *mine = join_counts(mine, counts))
+                .or_insert(*counts);
+        }
+    }
+
+    /// Counter totals across every contributing source (saturating — a
+    /// federation of pinned ledgers must not wrap).
+    #[must_use]
+    pub fn totals(&self) -> ShareSnapshot {
+        self.counts.values().fold(ShareSnapshot::default(), |acc, s| ShareSnapshot {
+            shared_hits: acc.shared_hits.saturating_add(s.shared_hits),
+            self_hits: acc.self_hits.saturating_add(s.self_hits),
+            untagged_hits: acc.untagged_hits.saturating_add(s.untagged_hits),
+            misses: acc.misses.saturating_add(s.misses),
+        })
+    }
+
+    /// Number of distinct ledger cells with a recorded owner.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Number of sources that have contributed counters.
+    #[must_use]
+    pub fn num_sources(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The recorded owner of `cell` on `feed`, if any claim was exported
+    /// (`Some(None)` = computed outside any session scope).
+    #[must_use]
+    pub fn owner(&self, feed: FeedKind, cell: u64) -> Option<Option<u32>> {
+        self.owners.get(&(feed, cell)).copied()
     }
 }
 
@@ -307,5 +434,66 @@ mod tests {
         let snap = ShareSnapshot { shared_hits: 5, self_hits: 4, untagged_hits: 3, misses: 2 };
         ledger.restore(snap);
         assert_eq!(ledger.snapshot(), snap);
+    }
+
+    #[test]
+    fn export_carries_owners_and_counters() {
+        let share = ForecastShare::default();
+        let cell = ledger_cell(&(1u32, 900u64), 900);
+        {
+            let _s = SessionScope::enter(4);
+            share.observe(FeedKind::Wind, cell, true);
+        }
+        let exported = share.export(7);
+        assert_eq!(exported.num_cells(), 1);
+        assert_eq!(exported.owner(FeedKind::Wind, cell), Some(Some(4)));
+        assert_eq!(exported.num_sources(), 1);
+        assert_eq!(exported.totals().misses, 1);
+    }
+
+    #[test]
+    fn merge_joins_owners_canonically_and_counts_per_source() {
+        let cell = ledger_cell(&(9u32, 900u64), 900);
+        // Shard 0: session 5 pays for the cell. Shard 1: session 2 pays
+        // for the same cell concurrently.
+        let (a, b) = (ForecastShare::default(), ForecastShare::default());
+        {
+            let _s = SessionScope::enter(5);
+            a.observe(FeedKind::Traffic, cell, true);
+        }
+        {
+            let _s = SessionScope::enter(2);
+            b.observe(FeedKind::Traffic, cell, true);
+        }
+        let (ea, eb) = (a.export(0), b.export(1));
+        let mut ab = ea.clone();
+        ab.merge(&eb);
+        let mut ba = eb.clone();
+        ba.merge(&ea);
+        // Merge order is invisible; the smaller session id wins the claim.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.owner(FeedKind::Traffic, cell), Some(Some(2)));
+        // Counters federate per source: both shards' misses survive.
+        assert_eq!(ab.totals().misses, 2);
+        assert_eq!(ab.num_sources(), 2);
+        // Re-merging the same export is a no-op (idempotent), unlike
+        // naive counter addition which would double-count.
+        let again = ab.clone();
+        ab.merge(&eb);
+        assert_eq!(ab, again);
+    }
+
+    #[test]
+    fn tagged_owner_beats_anonymous_on_merge() {
+        let cell = ledger_cell(&(3u32, 900u64), 900);
+        let (a, b) = (ForecastShare::default(), ForecastShare::default());
+        a.observe(FeedKind::Weather, cell, true); // anonymous miss
+        {
+            let _s = SessionScope::enter(11);
+            b.observe(FeedKind::Weather, cell, true);
+        }
+        let mut m = a.export(0);
+        m.merge(&b.export(1));
+        assert_eq!(m.owner(FeedKind::Weather, cell), Some(Some(11)));
     }
 }

@@ -1,0 +1,95 @@
+//! Property tests for the federation primitive: `Ledger::merge` must be
+//! a join-semilattice operation — commutative, associative, idempotent —
+//! so that sharded serving can federate forecast ledgers at tick
+//! boundaries by pure pairwise joins, in any order, without a global
+//! lock changing the result.
+
+use eis::resilience::FeedKind;
+use eis::share::{ForecastShare, Ledger, SessionScope};
+use proptest::prelude::*;
+
+/// One synthetic observation: `(feed index, cell, session tag, computed)`
+/// — `tag` 0 means an anonymous read, `n > 0` means session `n - 1`.
+type Obs = (u8, u64, u32, bool);
+
+/// Replay a script of observations into a fresh share and export it under
+/// `source`. Observations go through the real `observe` path (scopes and
+/// all), so the exported ledgers have realistic owner/counter shapes.
+fn build(obs: &[Obs], source: u32) -> Ledger {
+    let share = ForecastShare::default();
+    for &(feed, cell, tag, computed) in obs {
+        let feed = FeedKind::ALL[feed as usize % FeedKind::ALL.len()];
+        // Keep the cell space small so scripts actually collide.
+        let cell = cell % 8;
+        if tag == 0 {
+            share.observe(feed, cell, computed);
+        } else {
+            let _s = SessionScope::enter(tag - 1);
+            share.observe(feed, cell, computed);
+        }
+    }
+    share.export(source)
+}
+
+fn obs_strategy() -> impl Strategy<Value = Vec<Obs>> {
+    prop::collection::vec((any::<u8>(), any::<u64>(), 0u32..5, any::<bool>()), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    #[test]
+    fn merge_is_commutative(a in obs_strategy(), b in obs_strategy()) {
+        let (la, lb) = (build(&a, 0), build(&b, 1));
+        let mut ab = la.clone();
+        ab.merge(&lb);
+        let mut ba = lb.clone();
+        ba.merge(&la);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in obs_strategy(),
+        b in obs_strategy(),
+        c in obs_strategy(),
+    ) {
+        let (la, lb, lc) = (build(&a, 0), build(&b, 1), build(&c, 2));
+        // (a ⊔ b) ⊔ c
+        let mut left = la.clone();
+        left.merge(&lb);
+        left.merge(&lc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = lb.clone();
+        bc.merge(&lc);
+        let mut right = la.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in obs_strategy(), b in obs_strategy()) {
+        let (la, lb) = (build(&a, 0), build(&b, 1));
+        let mut once = la.clone();
+        once.merge(&lb);
+        let mut twice = once.clone();
+        twice.merge(&lb);
+        twice.merge(&lb);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Totals federate without loss: distinct sources' counters add up,
+    /// and re-merging never double-counts.
+    #[test]
+    fn totals_sum_distinct_sources(a in obs_strategy(), b in obs_strategy()) {
+        let (la, lb) = (build(&a, 0), build(&b, 1));
+        let mut merged = la.clone();
+        merged.merge(&lb);
+        merged.merge(&lb); // idempotent — must not inflate totals
+        let (ta, tb, tm) = (la.totals(), lb.totals(), merged.totals());
+        prop_assert_eq!(tm.misses, ta.misses + tb.misses);
+        prop_assert_eq!(tm.shared_hits, ta.shared_hits + tb.shared_hits);
+        prop_assert_eq!(tm.self_hits, ta.self_hits + tb.self_hits);
+        prop_assert_eq!(tm.untagged_hits, ta.untagged_hits + tb.untagged_hits);
+    }
+}

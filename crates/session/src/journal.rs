@@ -243,6 +243,10 @@ pub enum OutcomeTag {
     /// The solve failed with shedding disabled (strict mode); the
     /// session stayed registered and the tick surfaced the error.
     Failed,
+    /// The session left this shard at a `Handoff` stop (sharded serving
+    /// only). The destination shard's journal does *not* record the
+    /// arrival — adoption is re-derived during lockstep replay.
+    Handoff,
 }
 
 impl OutcomeTag {
@@ -254,6 +258,7 @@ impl OutcomeTag {
             Self::Retired => 3,
             Self::Shed => 4,
             Self::Failed => 5,
+            Self::Handoff => 6,
         }
     }
 
@@ -265,6 +270,7 @@ impl OutcomeTag {
             3 => Some(Self::Retired),
             4 => Some(Self::Shed),
             5 => Some(Self::Failed),
+            6 => Some(Self::Handoff),
             _ => None,
         }
     }
@@ -276,12 +282,16 @@ impl fmt::Display for OutcomeTag {
     }
 }
 
+// Explicit wire tags, frozen independently of the enum's declaration
+// order (`Handoff` sorts first in EventKind but was added after the
+// format shipped, so it takes the next free tag).
 const fn kind_to_u8(kind: EventKind) -> u8 {
     match kind {
         EventKind::Rerank => 0,
         EventKind::Rollover => 1,
         EventKind::Adapt => 2,
         EventKind::Retire => 3,
+        EventKind::Handoff => 4,
     }
 }
 
@@ -291,6 +301,7 @@ fn kind_from_u8(v: u8) -> Option<EventKind> {
         1 => Some(EventKind::Rollover),
         2 => Some(EventKind::Adapt),
         3 => Some(EventKind::Retire),
+        4 => Some(EventKind::Handoff),
         _ => None,
     }
 }

@@ -29,7 +29,12 @@
 //!   whole-service snapshots;
 //! * [`recovery`] — crash recovery: newest usable snapshot + journal
 //!   tail replay, verified record-by-record against what the journal
-//!   says happened.
+//!   says happened;
+//! * [`shard`] — geographic sharding: [`ShardedService`] partitions the
+//!   world into balanced quadtree tiles, runs one serving stack per
+//!   shard with deterministic cross-shard session hand-off, and
+//!   federates the per-shard forecast ledgers with a pure CRDT join —
+//!   bit-identical Offering Tables at any shard count.
 //!
 //! ## Crash safety
 //!
@@ -86,6 +91,7 @@ pub mod recovery;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod shard;
 pub mod stats;
 
 pub use error::{JournalError, RecoveryError, RegisterError, SessionError};
@@ -99,4 +105,7 @@ pub use registry::{
 };
 pub use scheduler::{Batch, Event, EventKind, EventScheduler};
 pub use service::{ServiceChaos, ServiceConfig, ServiceHealth, SessionService};
+pub use shard::{
+    build_sharded_itinerary, recover_sharded, ShardConfig, ShardEnv, ShardPlan, ShardedService,
+};
 pub use stats::SessionStats;

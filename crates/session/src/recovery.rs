@@ -201,7 +201,7 @@ pub fn recover(
 /// Rebuild a [`trajgen::Trip`] from its journaled identity: the route is
 /// re-derived from node ids (pure in the graph), so the trip — and every
 /// itinerary computed from it — reproduces the original exactly.
-fn rebuild_trip(
+pub(crate) fn rebuild_trip(
     ctx: &QueryCtx<'_>,
     trip_id: u32,
     vehicle: u32,

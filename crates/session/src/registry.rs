@@ -132,6 +132,10 @@ pub enum SolveOutcome {
     NoOffers,
     /// The session retired (trip complete).
     Retired,
+    /// The session left this shard at a [`EventKind::Handoff`] stop; the
+    /// service extracts it for delivery to the destination shard. Only
+    /// sharded itineraries produce this.
+    HandedOff,
     /// The solve failed (provider/config error) — the service decides
     /// between shedding the session and propagating.
     Failed(EcError),
@@ -261,12 +265,31 @@ impl SessionState {
         &self.method
     }
 
-    /// Every itinerary stop as a schedulable event, in itinerary order.
-    /// The service queues all of them at registration — the heap then
-    /// holds the complete future, so its pop order *is* the global
-    /// total order.
+    /// Index one past the first [`EventKind::Handoff`] at or after
+    /// `from` — the **local-prefix horizon**. A scheduler only ever holds
+    /// a session's stops up to (and including) its next departure: the
+    /// stops beyond it belong to another shard's scheduler and are pushed
+    /// there by `adopt_session` when the hand-off is delivered. Pushing
+    /// past the horizon would leave stale duplicates in the origin shard's
+    /// heap when a trip later re-enters it (A→B→A). Unsharded itineraries
+    /// have no Handoff stops, so the horizon is the itinerary end and
+    /// this is a no-op.
+    fn event_horizon(&self, from: usize) -> usize {
+        self.itinerary
+            .get(from..)
+            .unwrap_or(&[])
+            .iter()
+            .position(|s| s.kind == EventKind::Handoff)
+            .map_or(self.itinerary.len(), |i| from + i + 1)
+    }
+
+    /// Every itinerary stop up to the local-prefix horizon as a
+    /// schedulable event, in itinerary order. The service queues all of
+    /// them at registration — the heap then holds the session's complete
+    /// local future, so its pop order *is* the shard's total order. (For
+    /// unsharded itineraries the horizon is the whole itinerary.)
     pub fn planned_events(&self) -> impl Iterator<Item = Event> + '_ {
-        self.itinerary.iter().map(|s| Event {
+        self.itinerary[..self.event_horizon(0)].iter().map(|s| Event {
             time: s.time,
             session: self.id,
             kind: s.kind,
@@ -274,17 +297,21 @@ impl SessionState {
         })
     }
 
-    /// The not-yet-executed tail of the itinerary as schedulable events —
-    /// what recovery re-queues for a restored active session (the heap
-    /// then holds the session's complete remaining future, exactly as if
-    /// the executed prefix had run in this process).
+    /// The not-yet-executed tail of the itinerary — up to the next
+    /// local-prefix horizon — as schedulable events: what recovery
+    /// re-queues for a restored active session, and what `adopt_session`
+    /// queues when a hand-off arrives (the heap then holds the session's
+    /// complete remaining local future, exactly as if the executed prefix
+    /// had run in this scheduler).
     pub fn pending_events(&self) -> impl Iterator<Item = Event> + '_ {
-        self.itinerary.get(self.next_stop..).unwrap_or(&[]).iter().map(|s| Event {
-            time: s.time,
-            session: self.id,
-            kind: s.kind,
-            offset_m: s.offset_m,
-        })
+        self.itinerary[self.next_stop.min(self.itinerary.len())..self.event_horizon(self.next_stop)]
+            .iter()
+            .map(|s| Event {
+                time: s.time,
+                session: self.id,
+                kind: s.kind,
+                offset_m: s.offset_m,
+            })
     }
 
     /// The next unexecuted stop, if the session is still active —
@@ -312,6 +339,12 @@ impl SessionState {
         if event.kind == EventKind::Retire {
             self.phase = SessionPhase::Completed;
             return SolveOutcome::Retired;
+        }
+        if event.kind == EventKind::Handoff {
+            // No solve: the stop only marks the departure point. The
+            // session object (solver cache, cursor, ranking — everything)
+            // travels to the destination shard as-is.
+            return SolveOutcome::HandedOff;
         }
         match self.method.rerank(ctx, &self.trip, event.offset_m, event.time) {
             Ok(table) => {

@@ -21,6 +21,13 @@ use std::collections::BinaryHeap;
 /// heap replays exactly the itinerary order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
+    /// Shard hand-off: the trip's next stop belongs to another shard, so
+    /// the session leaves this scheduler here and its itinerary tail
+    /// (starting with the stop this event fronts, at the same virtual
+    /// time) continues on the destination shard. First in the kind order
+    /// so the departure sorts before the work it precedes; only sharded
+    /// itineraries ever contain one.
+    Handoff,
     /// Segment-boundary re-rank: the vehicle reached a split point of
     /// `SL` and Algorithm 1 answers for the new segment.
     Rerank,
@@ -39,6 +46,7 @@ impl EventKind {
     #[must_use]
     pub const fn label(self) -> &'static str {
         match self {
+            Self::Handoff => "handoff",
             Self::Rerank => "rerank",
             Self::Rollover => "rollover",
             Self::Adapt => "adapt",
@@ -104,6 +112,10 @@ pub struct Batch {
 #[derive(Debug, Default)]
 pub struct EventScheduler {
     heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    /// Deferral-lookahead scratch, kept across ticks so steady-state
+    /// batching allocates nothing (serving pops a batch every tick for
+    /// the lifetime of the service — per-tick buffers were measurable).
+    lookahead: Vec<Event>,
 }
 
 impl EventScheduler {
@@ -155,10 +167,28 @@ impl EventScheduler {
     pub fn pop_batch(
         &mut self,
         budget: usize,
-        mut cancelled: impl FnMut(SessionId) -> bool,
+        cancelled: impl FnMut(SessionId) -> bool,
     ) -> Batch {
+        let mut events = Vec::new();
+        let deferred = self.pop_batch_into(budget, cancelled, &mut events);
+        Batch { events, deferred }
+    }
+
+    /// [`EventScheduler::pop_batch`] into a caller-owned buffer: `events`
+    /// is cleared and filled with the batch, the deferral count is
+    /// returned. Steady-state serving calls this every tick with the same
+    /// buffer (and the deferral lookahead reuses scratch held on the
+    /// scheduler), so a warmed tick loop performs **zero allocations**
+    /// here — pinned by the `pop_batch_steady_state_does_not_allocate`
+    /// regression check in the bench crate.
+    pub fn pop_batch_into(
+        &mut self,
+        budget: usize,
+        mut cancelled: impl FnMut(SessionId) -> bool,
+        events: &mut Vec<Event>,
+    ) -> u64 {
         let budget = budget.max(1);
-        let mut events: Vec<Event> = Vec::new();
+        events.clear();
         let mut barriered = false;
         while events.len() < budget {
             let Some(std::cmp::Reverse(next)) = self.heap.peek() else {
@@ -177,10 +207,12 @@ impl EventScheduler {
         }
         // Look ahead past a pure budget cut: how much further the
         // distinct-session prefix would have run. The peeked events are
-        // pushed straight back; the heap is unchanged.
+        // pushed straight back; the heap is unchanged. (The scratch is
+        // taken off `self` for the duration so the heap stays borrowable.)
         let mut deferred = 0u64;
         if events.len() == budget && !barriered {
-            let mut lookahead: Vec<Event> = Vec::new();
+            let mut lookahead = std::mem::take(&mut self.lookahead);
+            debug_assert!(lookahead.is_empty());
             while let Some(std::cmp::Reverse(next)) = self.heap.peek() {
                 let repeat =
                     events.iter().chain(lookahead.iter()).any(|e| e.session == next.session);
@@ -193,11 +225,12 @@ impl EventScheduler {
                 }
                 lookahead.push(e);
             }
-            for e in lookahead {
+            for e in lookahead.drain(..) {
                 self.heap.push(std::cmp::Reverse(e));
             }
+            self.lookahead = lookahead;
         }
-        Batch { events, deferred }
+        deferred
     }
 
     /// Pop exactly the next `n` runnable events of the total order —
@@ -279,6 +312,7 @@ mod tests {
 
     #[test]
     fn kind_breaks_ties_after_time_and_session() {
+        assert!(ev(10, 0, EventKind::Handoff) < ev(10, 0, EventKind::Rerank));
         assert!(ev(10, 0, EventKind::Rerank) < ev(10, 0, EventKind::Rollover));
         assert!(ev(10, 0, EventKind::Rollover) < ev(10, 0, EventKind::Adapt));
         assert!(ev(10, 0, EventKind::Adapt) < ev(10, 0, EventKind::Retire));
@@ -334,6 +368,36 @@ mod tests {
         let b = q.pop_batch(10, |_| false);
         assert_eq!(b.events, vec![ev(51, 0, EventKind::Adapt), ev(100, 1, EventKind::Rerank)]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_into_matches_pop_batch_and_reuses_capacity() {
+        let fill = |q: &mut EventScheduler| {
+            for s in 0..6 {
+                q.push(ev(100, s, EventKind::Rerank));
+            }
+            q.push(ev(200, 0, EventKind::Adapt));
+        };
+        let (mut a, mut b) = (EventScheduler::new(), EventScheduler::new());
+        fill(&mut a);
+        fill(&mut b);
+        let mut buf = Vec::new();
+        loop {
+            let want = a.pop_batch(4, |_| false);
+            let deferred = b.pop_batch_into(4, |_| false, &mut buf);
+            assert_eq!(buf, want.events);
+            assert_eq!(deferred, want.deferred);
+            if want.events.is_empty() {
+                break;
+            }
+        }
+        // A warmed buffer keeps its capacity across ticks: refilling and
+        // re-popping the same shape must not need to regrow it.
+        let cap = buf.capacity();
+        assert!(cap >= 4);
+        fill(&mut b);
+        let _ = b.pop_batch_into(4, |_| false, &mut buf);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

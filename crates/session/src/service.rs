@@ -39,7 +39,9 @@ use crate::journal::{
     write_snapshot, CacheImage, CommitEntry, Journal, JournalConfig, OutcomeTag, Record,
     ServiceImage, SessionImage,
 };
-use crate::registry::{build_itinerary, SessionPhase, SessionState, ShedReason, SolveOutcome};
+use crate::registry::{
+    build_itinerary, PlannedStop, SessionPhase, SessionState, ShedReason, SolveOutcome,
+};
 use crate::scheduler::{Event, EventScheduler};
 use crate::stats::SessionStats;
 use ec_types::{EcError, SessionId, SimDuration};
@@ -125,6 +127,14 @@ pub struct SessionService {
     journal: Option<Journal>,
     health: ServiceHealth,
     last_defect: Option<JournalError>,
+    /// Tick batch buffer, reused across ticks (with the scheduler's own
+    /// lookahead scratch this makes the warmed pop path allocation-free).
+    batch_scratch: Vec<Event>,
+    /// Sessions that executed a [`crate::EventKind::Handoff`] stop this
+    /// tick and left the registry — the sharded front collects them via
+    /// [`SessionService::take_departures`] and delivers each to its
+    /// destination shard. Always empty in unsharded serving.
+    departures: Vec<SessionState>,
 }
 
 impl SessionService {
@@ -144,6 +154,8 @@ impl SessionService {
             journal: None,
             health: ServiceHealth::Serving,
             last_defect: None,
+            batch_scratch: Vec::new(),
+            departures: Vec::new(),
         }
     }
 
@@ -239,6 +251,20 @@ impl SessionService {
         ctx: &QueryCtx<'_>,
         trip: &trajgen::Trip,
     ) -> Result<SessionId, RegisterError> {
+        self.register_planned(ctx, trip, None)
+    }
+
+    /// [`SessionService::register`] with an optional pre-planned
+    /// itinerary — the sharded front registers sessions with itineraries
+    /// carrying [`crate::EventKind::Handoff`] stops (still a pure
+    /// function of `(trip, config, shard plan)`, so the journal keeps
+    /// recording only the trip and recovery recomputes the plan).
+    pub(crate) fn register_planned(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &trajgen::Trip,
+        itinerary: Option<Vec<PlannedStop>>,
+    ) -> Result<SessionId, RegisterError> {
         if let ServiceHealth::Quarantined { cause } = self.health {
             return Err(RegisterError::Quarantined { cause });
         }
@@ -251,10 +277,13 @@ impl SessionService {
             self.stats.rejected += 1;
             return Err(RegisterError::Full { max_sessions: self.config.max_sessions });
         }
-        let itinerary = build_itinerary(ctx, trip, self.config.adapt_every).map_err(|e| {
-            self.stats.rejected += 1;
-            RegisterError::Planning(e)
-        })?;
+        let itinerary = match itinerary {
+            Some(planned) => planned,
+            None => build_itinerary(ctx, trip, self.config.adapt_every).map_err(|e| {
+                self.stats.rejected += 1;
+                RegisterError::Planning(e)
+            })?,
+        };
         if let Some(journal) = self.journal.as_mut() {
             let record = Record::Register {
                 session: id,
@@ -324,13 +353,13 @@ impl SessionService {
     fn execute_batch(
         &mut self,
         ctx: &QueryCtx<'_>,
-        events: Vec<Event>,
+        events: &[Event],
     ) -> Result<(Vec<CommitEntry>, Option<EcError>), SessionError> {
         // Take the batch's session states out of their slots. A missing
         // state is an internal invariant violation — contained by
         // restoring what was taken and quarantining, never by panicking.
         let mut work: Vec<(Event, SessionState)> = Vec::with_capacity(events.len());
-        for ev in events {
+        for &ev in events {
             let taken = self
                 .index
                 .get(&ev.session)
@@ -426,6 +455,11 @@ impl SessionService {
                     self.active -= 1;
                     OutcomeTag::Retired
                 }
+                SolveOutcome::HandedOff => {
+                    self.stats.handoffs += 1;
+                    self.active -= 1;
+                    OutcomeTag::Handoff
+                }
                 SolveOutcome::Failed(e) => {
                     if self.config.shed_degraded {
                         state.shed(ShedReason {
@@ -449,7 +483,16 @@ impl SessionService {
                 kind: ev.kind,
                 outcome: tag,
             });
-            self.restore_states(std::iter::once((ev, state)));
+            if tag == OutcomeTag::Handoff {
+                // The session leaves this shard: drop it from the
+                // registry (its remaining heap entries die lazily via the
+                // cancellation filter — an unknown id is cancelled) and
+                // stage the state for delivery to the destination shard.
+                self.index.remove(&state.id);
+                self.departures.push(state);
+            } else {
+                self.restore_states(std::iter::once((ev, state)));
+            }
         }
         Ok((entries, first_failure))
     }
@@ -486,23 +529,29 @@ impl SessionService {
         if let ServiceHealth::Quarantined { cause } = self.health {
             return Err(SessionError::Quarantined { cause });
         }
-        let batch = {
+        // The batch buffer is taken off `self` for the tick (the
+        // cancellation filter borrows the registry) and put back after —
+        // steady-state ticking reuses its capacity and allocates nothing
+        // on the pop path.
+        let mut events = std::mem::take(&mut self.batch_scratch);
+        let deferred = {
             let cancelled = Self::is_cancelled(&self.index, &self.slots);
-            self.scheduler.pop_batch(self.config.events_per_tick, &cancelled)
+            self.scheduler.pop_batch_into(self.config.events_per_tick, &cancelled, &mut events)
         };
-        if batch.events.is_empty() {
+        if events.is_empty() {
+            self.batch_scratch = events;
             return Ok(0);
         }
-        self.stats.events_deferred += batch.deferred;
-        let (entries, first_failure) = self.execute_batch(ctx, batch.events)?;
+        self.stats.events_deferred += deferred;
+        let executed_result = self.execute_batch(ctx, &events);
+        events.clear();
+        self.batch_scratch = events;
+        let (entries, first_failure) = executed_result?;
         let executed = entries.len();
 
         if let Some(journal) = self.journal.as_mut() {
-            let record = Record::Commit {
-                after: self.stats.events_executed,
-                deferred: batch.deferred,
-                entries,
-            };
+            let record =
+                Record::Commit { after: self.stats.events_executed, deferred, entries };
             if let Err(e) = journal.append(&record) {
                 self.quarantine(e.code());
                 return Err(SessionError::Journal(e));
@@ -536,6 +585,19 @@ impl SessionService {
         ctx: &QueryCtx<'_>,
         trip: &trajgen::Trip,
     ) -> Result<(), crate::error::RecoveryError> {
+        self.replay_register_planned(ctx, trip, None)
+    }
+
+    /// [`SessionService::replay_register`] with an optional pre-planned
+    /// (sharded) itinerary — sharded recovery recomputes the shard plan
+    /// and hands each shard the itinerary its journal's admissions were
+    /// built from.
+    pub(crate) fn replay_register_planned(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        trip: &trajgen::Trip,
+        itinerary: Option<Vec<PlannedStop>>,
+    ) -> Result<(), crate::error::RecoveryError> {
         use crate::error::RecoveryError;
         let id = SessionId(trip.id.0);
         if self.index.contains_key(&id) {
@@ -543,8 +605,11 @@ impl SessionService {
                 detail: format!("journal registers session {id} twice"),
             });
         }
-        let itinerary =
-            build_itinerary(ctx, trip, self.config.adapt_every).map_err(RecoveryError::Planning)?;
+        let itinerary = match itinerary {
+            Some(planned) => planned,
+            None => build_itinerary(ctx, trip, self.config.adapt_every)
+                .map_err(RecoveryError::Planning)?,
+        };
         if self.share.is_none() {
             self.share = Some(ctx.server.forecast_share());
         }
@@ -610,7 +675,7 @@ impl SessionService {
             }
         }
         self.stats.events_deferred += deferred;
-        let (replayed, _strict_failure) = self.execute_batch(ctx, events)?;
+        let (replayed, _strict_failure) = self.execute_batch(ctx, &events)?;
         for (got, want) in replayed.iter().zip(entries) {
             if got.outcome != want.outcome {
                 return Err(RecoveryError::ReplayDivergence {
@@ -671,6 +736,38 @@ impl SessionService {
             s.absorb_share(share.snapshot());
         }
         s
+    }
+
+    /// Sessions that crossed a shard boundary this tick: each executed
+    /// its [`crate::EventKind::Handoff`] stop and left this service's
+    /// registry with its full state (solver cache, cursor, ranking,
+    /// solve record) intact. The sharded front delivers each to
+    /// [`SessionService::adopt_session`] on the destination shard.
+    /// Always empty in unsharded serving.
+    pub fn take_departures(&mut self) -> Vec<SessionState> {
+        std::mem::take(&mut self.departures)
+    }
+
+    /// Adopt a session handed off from another shard: queue its
+    /// remaining itinerary tail (starting with the stop its `Handoff`
+    /// event fronted, at the same virtual time) and register its state.
+    /// The session keeps its id, Dynamic-Cache slot, cursor and solve
+    /// record — adoption is pure transfer, never a re-plan.
+    pub fn adopt_session(&mut self, state: SessionState) {
+        debug_assert!(
+            !self.index.contains_key(&state.id),
+            "session {} adopted twice",
+            state.id
+        );
+        debug_assert_eq!(state.phase, SessionPhase::Active);
+        for event in state.pending_events() {
+            self.scheduler.push(event);
+        }
+        let id = state.id;
+        let slot = self.slots.len();
+        self.slots.push(Some(state));
+        self.index.insert(id, slot);
+        self.active += 1;
     }
 
     /// Live sessions (registered, not yet retired or shed).

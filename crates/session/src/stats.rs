@@ -47,6 +47,9 @@ pub struct SessionStats {
     /// snapshot writes — serving degraded to journal-only). Fatal
     /// defects quarantine the service instead of counting here.
     pub journal_defects: u64,
+    /// Sessions handed off to another shard (sharded serving only; a
+    /// session crossing `n` shard boundaries counts `n` times).
+    pub handoffs: u64,
 }
 
 impl SessionStats {
@@ -56,6 +59,54 @@ impl SessionStats {
         self.forecast_self_hits = share.self_hits;
         self.forecast_untagged_hits = share.untagged_hits;
         self.forecast_misses = share.misses;
+    }
+
+    /// Fold another service's counters into this one — the cross-shard
+    /// aggregation the sharded front uses to present fleet-wide totals.
+    /// Every field adds **saturating**: a fleet of shards each pinned
+    /// near `u64::MAX` by a long soak must aggregate to the pin, not
+    /// wrap back through zero (a wrapped total silently corrupts every
+    /// derived rate).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        let Self {
+            registered,
+            rejected,
+            events_executed,
+            events_deferred,
+            tables_emitted,
+            heartbeats,
+            no_offer_solves,
+            sessions_completed,
+            sessions_shed,
+            forecast_shared_hits,
+            forecast_self_hits,
+            forecast_untagged_hits,
+            forecast_misses,
+            journal_records,
+            snapshots_written,
+            journal_defects,
+            handoffs,
+        } = self;
+        // Destructured so adding a counter without aggregating it is a
+        // compile error, not a silently-dropped column.
+        *registered = registered.saturating_add(other.registered);
+        *rejected = rejected.saturating_add(other.rejected);
+        *events_executed = events_executed.saturating_add(other.events_executed);
+        *events_deferred = events_deferred.saturating_add(other.events_deferred);
+        *tables_emitted = tables_emitted.saturating_add(other.tables_emitted);
+        *heartbeats = heartbeats.saturating_add(other.heartbeats);
+        *no_offer_solves = no_offer_solves.saturating_add(other.no_offer_solves);
+        *sessions_completed = sessions_completed.saturating_add(other.sessions_completed);
+        *sessions_shed = sessions_shed.saturating_add(other.sessions_shed);
+        *forecast_shared_hits = forecast_shared_hits.saturating_add(other.forecast_shared_hits);
+        *forecast_self_hits = forecast_self_hits.saturating_add(other.forecast_self_hits);
+        *forecast_untagged_hits =
+            forecast_untagged_hits.saturating_add(other.forecast_untagged_hits);
+        *forecast_misses = forecast_misses.saturating_add(other.forecast_misses);
+        *journal_records = journal_records.saturating_add(other.journal_records);
+        *snapshots_written = snapshots_written.saturating_add(other.snapshots_written);
+        *journal_defects = journal_defects.saturating_add(other.journal_defects);
+        *handoffs = handoffs.saturating_add(other.handoffs);
     }
 
     /// Fraction of attributed forecast reads answered by another
@@ -85,6 +136,55 @@ mod tests {
         s.absorb_share(ShareSnapshot { shared_hits: 4, self_hits: 3, untagged_hits: 2, misses: 1 });
         assert_eq!(s.forecast_untagged_hits, 2);
         assert!((s.shared_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_adds_every_counter() {
+        let mut a = SessionStats { registered: 1, events_executed: 10, handoffs: 2, ..Default::default() };
+        let b = SessionStats {
+            registered: 3,
+            events_executed: 5,
+            handoffs: 1,
+            sessions_completed: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.registered, 4);
+        assert_eq!(a.events_executed, 15);
+        assert_eq!(a.handoffs, 3);
+        assert_eq!(a.sessions_completed, 4);
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        // Two shards each one tick below the ceiling: the fleet total
+        // must pin at u64::MAX, not wrap to small garbage.
+        let near = SessionStats {
+            registered: u64::MAX - 1,
+            rejected: u64::MAX - 1,
+            events_executed: u64::MAX - 1,
+            events_deferred: u64::MAX - 1,
+            tables_emitted: u64::MAX - 1,
+            heartbeats: u64::MAX - 1,
+            no_offer_solves: u64::MAX - 1,
+            sessions_completed: u64::MAX - 1,
+            sessions_shed: u64::MAX - 1,
+            forecast_shared_hits: u64::MAX - 1,
+            forecast_self_hits: u64::MAX - 1,
+            forecast_untagged_hits: u64::MAX - 1,
+            forecast_misses: u64::MAX - 1,
+            journal_records: u64::MAX - 1,
+            snapshots_written: u64::MAX - 1,
+            journal_defects: u64::MAX - 1,
+            handoffs: u64::MAX - 1,
+        };
+        let mut total = near;
+        total.absorb(&near);
+        assert_eq!(total.registered, u64::MAX);
+        assert_eq!(total.handoffs, u64::MAX);
+        assert_eq!(total.journal_defects, u64::MAX);
+        let rate = total.shared_hit_rate();
+        assert!(rate.is_finite() && (0.0..=1.0).contains(&rate));
     }
 
     #[test]

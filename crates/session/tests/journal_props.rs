@@ -12,15 +12,21 @@ use proptest::prelude::*;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-const KINDS: [EventKind; 4] =
-    [EventKind::Rerank, EventKind::Rollover, EventKind::Adapt, EventKind::Retire];
-const OUTCOMES: [OutcomeTag; 6] = [
+const KINDS: [EventKind; 5] = [
+    EventKind::Rerank,
+    EventKind::Rollover,
+    EventKind::Adapt,
+    EventKind::Retire,
+    EventKind::Handoff,
+];
+const OUTCOMES: [OutcomeTag; 7] = [
     OutcomeTag::Emitted,
     OutcomeTag::Heartbeat,
     OutcomeTag::NoOffers,
     OutcomeTag::Retired,
     OutcomeTag::Shed,
     OutcomeTag::Failed,
+    OutcomeTag::Handoff,
 ];
 
 fn tmpdir(tag: u64) -> PathBuf {
@@ -40,7 +46,7 @@ fn record_strategy() -> impl Strategy<Value = Record> {
         (
             0u64..1_000_000,
             0u64..64,
-            prop::collection::vec((0u64..1_000_000, 0u32..100, 0usize..4, 0usize..6), 0..10),
+            prop::collection::vec((0u64..1_000_000, 0u32..100, 0usize..5, 0usize..7), 0..10),
         ),
     )
         .prop_map(|(pick, (session, vehicle, depart, nodes), (after, deferred, raw))| {

@@ -1,0 +1,230 @@
+//! The sharded acceptance matrix: Offering Tables served through
+//! [`ShardedService`] are **bit-identical** to the unsharded
+//! [`SessionService`] at every shard count × thread count — including
+//! trips that cross shard boundaries mid-flight — and a sharded front
+//! recovered from its per-shard journals reproduces the uninterrupted
+//! run exactly.
+
+use chargers::{synth_fleet, ChargerFleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{
+    recover_sharded, ServiceConfig, SessionService, ShardConfig, ShardEnv, ShardedService,
+};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, RoadGraph, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+struct World {
+    graph: RoadGraph,
+    fleet: ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+}
+
+impl World {
+    fn new() -> Self {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
+        let sims = SimProviders::new(9);
+        // Long trips so boundary crossings are guaranteed at depth 3.
+        let trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 6,
+                min_trip_m: 10_000.0,
+                max_trip_m: 18_000.0,
+                ..Default::default()
+            },
+        );
+        Self { graph, fleet, sims, trips }
+    }
+
+    fn shard_config(&self, shards: usize, threads: usize) -> ShardConfig {
+        ShardConfig { shards, threads, ..ShardConfig::default() }
+    }
+}
+
+/// The unsharded reference run.
+fn serve_flat(world: &World) -> SessionService {
+    let server = InfoServer::from_sims(world.sims.clone());
+    let ctx = QueryCtx::new(
+        &world.graph,
+        &world.fleet,
+        &server,
+        &world.sims,
+        EcoChargeConfig::default(),
+    );
+    let mut svc = SessionService::new(ServiceConfig::default());
+    for trip in &world.trips {
+        svc.register(&ctx, trip).expect("admission");
+    }
+    svc.run_to_completion(&ctx).expect("serving");
+    svc
+}
+
+fn serve_sharded(world: &World, env: &ShardEnv, shards: usize, threads: usize, flat: &SessionService) -> u64 {
+    let mut front = ShardedService::new(
+        env,
+        &world.graph,
+        &world.fleet,
+        &world.sims,
+        EcoChargeConfig::default(),
+        world.shard_config(shards, threads),
+    );
+    for trip in &world.trips {
+        front.register(trip).expect("admission");
+    }
+    front.run_to_completion().expect("serving");
+    audit(&front, flat);
+    front.stats().handoffs
+}
+
+/// Assert the front reproduces the unsharded reference bit-exactly.
+fn audit(front: &ShardedService<'_>, flat: &SessionService) {
+    assert_eq!(
+        front.event_log(),
+        flat.event_log(),
+        "the merged sharded log must be the unsharded total order"
+    );
+    let sharded = front.sessions();
+    let flat_sessions: Vec<_> = flat.sessions().collect();
+    assert_eq!(sharded.len(), flat_sessions.len());
+    for (a, b) in sharded.iter().zip(&flat_sessions) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.phase, b.phase);
+        assert_eq!(a.solves, b.solves, "session {}: sharding changed a table byte", a.id);
+    }
+    // Counters: everything deterministic matches once the Handoff markers
+    // are discounted (forecast attribution is observational).
+    let fs = front.stats();
+    let us = flat.stats();
+    assert_eq!(fs.registered, us.registered);
+    assert_eq!(fs.sessions_completed, us.sessions_completed);
+    assert_eq!(fs.tables_emitted, us.tables_emitted);
+    assert_eq!(fs.heartbeats, us.heartbeats);
+    assert_eq!(fs.no_offer_solves, us.no_offer_solves);
+    assert_eq!(fs.events_executed, us.events_executed + fs.handoffs);
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_across_the_matrix() {
+    let world = World::new();
+    let flat = serve_flat(&world);
+    let mut handoffs_at = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 4, 8] {
+            let env = ShardEnv::new(&world.sims, shards);
+            let h = serve_sharded(&world, &env, shards, threads, &flat);
+            handoffs_at.push((shards, threads, h));
+        }
+    }
+    // Boundary crossings actually happened at shard counts > 1.
+    assert!(
+        handoffs_at.iter().any(|&(s, _, h)| s > 1 && h > 0),
+        "no trip ever crossed a shard boundary: {handoffs_at:?}"
+    );
+    // Hand-off count is a function of the plan, not the thread count.
+    for w in handoffs_at.chunks(3) {
+        assert!(
+            w.iter().all(|&(_, _, h)| h == w[0].2),
+            "hand-offs must not depend on threads: {w:?}"
+        );
+    }
+}
+
+#[test]
+fn federated_hit_rate_tracks_the_unsharded_ledger() {
+    let world = World::new();
+    let flat = serve_flat(&world);
+    let flat_rate = flat.stats().shared_hit_rate();
+
+    let env = ShardEnv::new(&world.sims, 4);
+    let mut front = ShardedService::new(
+        &env,
+        &world.graph,
+        &world.fleet,
+        &world.sims,
+        EcoChargeConfig::default(),
+        world.shard_config(4, 4),
+    );
+    for trip in &world.trips {
+        front.register(trip).expect("admission");
+    }
+    front.run_to_completion().expect("serving");
+
+    let ledger = front.federated_ledger();
+    assert_eq!(ledger.num_sources(), 4, "every shard exports into the federation");
+    let totals = ledger.totals();
+    let fed = front.stats();
+    // The aggregated per-shard counters and the federated ledger are two
+    // views of the same observations.
+    assert_eq!(
+        totals.shared_hits + totals.self_hits + totals.untagged_hits + totals.misses,
+        fed.forecast_shared_hits
+            + fed.forecast_self_hits
+            + fed.forecast_untagged_hits
+            + fed.forecast_misses
+    );
+    let fed_rate = fed.shared_hit_rate();
+    assert!(
+        (fed_rate - flat_rate).abs() <= 0.05,
+        "federated shared-hit rate {fed_rate:.3} drifted more than 5 points from the \
+         unsharded {flat_rate:.3}"
+    );
+}
+
+#[test]
+fn sharded_recovery_reproduces_the_uninterrupted_run() {
+    let world = World::new();
+    let dir = std::env::temp_dir().join(format!("ec-shard-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let shards = 4;
+    let config = world.shard_config(shards, 2);
+
+    // The uninterrupted journaled run, for reference.
+    let env = ShardEnv::new(&world.sims, shards);
+    let mut full = ShardedService::with_journal(
+        &env,
+        &world.graph,
+        &world.fleet,
+        &world.sims,
+        EcoChargeConfig::default(),
+        config,
+        &dir,
+    )
+    .expect("journal");
+    for trip in &world.trips {
+        full.register(trip).expect("admission");
+    }
+    // "Crash" partway: run a bounded number of global ticks, drop the
+    // front mid-flight (journals stay on disk), then recover and finish.
+    for _ in 0..5 {
+        full.tick().expect("tick");
+    }
+    let mid_active = full.active_sessions();
+    drop(full);
+
+    let env2 = ShardEnv::new(&world.sims, shards);
+    let (mut recovered, reports) = recover_sharded(
+        &env2,
+        &world.graph,
+        &world.fleet,
+        &world.sims,
+        EcoChargeConfig::default(),
+        config,
+        &dir,
+    )
+    .expect("recovery");
+    assert_eq!(reports.len(), shards);
+    assert!(
+        reports.iter().map(|r| r.registers_replayed).sum::<usize>() >= world.trips.len(),
+        "every admission must replay on some shard"
+    );
+    assert_eq!(recovered.active_sessions(), mid_active, "recovery lands at the crash point");
+    recovered.run_to_completion().expect("post-recovery serving");
+    audit(&recovered, &serve_flat(&world));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -34,4 +34,6 @@ pub use engine::{simulate_day, DayOutcome, FleetSimConfig};
 pub use occupancy::OccupancyBook;
 pub use policy::Policy;
 pub use schedule::{build_schedules, DaySchedule, ScheduleParams};
-pub use service::{recover_fleet, serve_fleet, serve_fleet_journaled, ServeError};
+pub use service::{
+    recover_fleet, serve_fleet, serve_fleet_journaled, serve_fleet_sharded, ServeError,
+};

@@ -9,10 +9,10 @@
 //! bench's `sessions` series measures at scale.
 
 use crate::schedule::DaySchedule;
-use ecocharge_core::QueryCtx;
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
 use ecocharge_session::{
     recover, JournalConfig, RecoveryError, RecoveryReport, RegisterError, ServiceConfig,
-    SessionError, SessionService,
+    SessionError, SessionService, ShardConfig, ShardEnv, ShardedService,
 };
 use std::fmt;
 
@@ -103,6 +103,34 @@ pub fn serve_fleet_journaled(
     Ok(svc)
 }
 
+/// [`serve_fleet`] across geographic shards: every leg registers on the
+/// shard under its departure position, crosses shard boundaries via
+/// deterministic hand-off, and the whole fleet's day runs shard-parallel
+/// through one [`ShardedService`] — with Offering Tables bit-identical
+/// to the unsharded run (the `shard_identity` suite and the bench's
+/// `shard` series verify this end to end).
+///
+/// # Errors
+/// As [`serve_fleet`].
+pub fn serve_fleet_sharded<'a>(
+    env: &'a ShardEnv,
+    graph: &'a roadnet::RoadGraph,
+    fleet: &'a chargers::ChargerFleet,
+    sims: &'a eis::SimProviders,
+    config: EcoChargeConfig,
+    shard: ShardConfig,
+    schedules: &[DaySchedule],
+) -> Result<ShardedService<'a>, ServeError> {
+    let mut front = ShardedService::new(env, graph, fleet, sims, config, shard);
+    for schedule in schedules {
+        for leg in &schedule.legs {
+            front.register(leg).map_err(ServeError::Admission)?;
+        }
+    }
+    front.run_to_completion().map_err(ServeError::Serving)?;
+    Ok(front)
+}
+
 /// Rebuild a crashed fleet service from its journal directory and run
 /// the remaining events to completion. The recovered service's tables
 /// are bit-identical to the uninterrupted run's (verified record-by-
@@ -152,6 +180,35 @@ mod tests {
         // Vehicles idle 1–3 h between legs, so a fleet of 6 spans
         // multiple forecast windows and sessions overlap: sharing shows.
         assert!(stats.forecast_misses > 0);
+    }
+
+    #[test]
+    fn a_sharded_fleet_day_matches_the_unsharded_one() {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 150, seed: 4, ..Default::default() });
+        let sims = SimProviders::new(11);
+        let schedules =
+            build_schedules(&graph, &ScheduleParams { vehicles: 4, ..Default::default() });
+
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let flat = serve_fleet(&ctx, &schedules, ServiceConfig::default()).unwrap();
+
+        let env = ShardEnv::new(&sims, 4);
+        let front = serve_fleet_sharded(
+            &env,
+            &graph,
+            &fleet,
+            &sims,
+            EcoChargeConfig::default(),
+            ShardConfig { shards: 4, threads: 2, ..ShardConfig::default() },
+            &schedules,
+        )
+        .unwrap();
+        assert_eq!(front.event_log(), flat.event_log());
+        for (a, b) in front.sessions().iter().zip(flat.sessions()) {
+            assert_eq!(a.solves, b.solves);
+        }
     }
 
     #[test]

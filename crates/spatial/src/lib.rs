@@ -32,7 +32,7 @@ pub use brute::{knn_scan, range_scan};
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use ordf64::OrdF64;
-pub use quadtree::{KnnIter, QuadTree};
+pub use quadtree::{tiles_at_depth, KnnIter, QuadTree, TileGrid, TileId, MAX_TILE_DEPTH};
 
 use ec_types::GeoPoint;
 

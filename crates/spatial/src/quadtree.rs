@@ -296,6 +296,136 @@ impl<'a, T> Iterator for KnnIter<'a, T> {
     }
 }
 
+/// Identifier of a tile in a [`TileGrid`]: the row-major index
+/// `iy * side + ix`, with tile `(0, 0)` at the south-west corner.
+pub type TileId = u32;
+
+/// Deepest tiling [`TileGrid`] accepts (`4096 × 4096` tiles). Beyond this
+/// the double-precision centre arithmetic stops subdividing meaningfully
+/// and enumeration becomes pathological.
+pub const MAX_TILE_DEPTH: u32 = 12;
+
+/// A fixed-depth quadtree tiling of a bounding box.
+///
+/// Depth `d` slices the box into a `2^d × 2^d` grid whose cells are exactly
+/// the depth-`d` nodes a [`QuadTree`] over the same bounds would create:
+/// tile membership descends by the same `>=`-centre quadrant arithmetic as
+/// quadtree insertion, and a tile's box is produced by the same recursive
+/// [`BoundingBox::quadrants`] subdivision. Membership and geometry therefore
+/// agree *by construction* — a point's assigned tile always contains it,
+/// with no epsilon reasoning at shared edges.
+///
+/// ```
+/// use ec_types::{BoundingBox, GeoPoint};
+/// use spatial_index::TileGrid;
+///
+/// let grid = TileGrid::new(
+///     BoundingBox::new(GeoPoint::new(8.0, 53.0), GeoPoint::new(9.0, 54.0)),
+///     2,
+/// );
+/// assert_eq!(grid.num_tiles(), 16);
+/// let p = GeoPoint::new(8.1, 53.9);
+/// assert!(grid.tile_box(grid.tile_of(&p)).contains(&p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileGrid {
+    bounds: BoundingBox,
+    depth: u32,
+}
+
+impl TileGrid {
+    /// A tiling of `bounds` at `depth` (a `2^depth × 2^depth` grid).
+    ///
+    /// # Panics
+    /// Panics when `depth > MAX_TILE_DEPTH`.
+    #[must_use]
+    pub fn new(bounds: BoundingBox, depth: u32) -> Self {
+        assert!(depth <= MAX_TILE_DEPTH, "tile depth {depth} exceeds {MAX_TILE_DEPTH}");
+        Self { bounds, depth }
+    }
+
+    /// The tiled region.
+    #[must_use]
+    pub const fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// The subdivision depth.
+    #[must_use]
+    pub const fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Tiles per axis (`2^depth`).
+    #[must_use]
+    pub const fn side(&self) -> u32 {
+        1 << self.depth
+    }
+
+    /// Total tile count (`4^depth`).
+    #[must_use]
+    pub const fn num_tiles(&self) -> u32 {
+        self.side() * self.side()
+    }
+
+    /// The tile `pos` belongs to.
+    ///
+    /// Points outside the bounds are clamped onto the boundary first, so
+    /// every query has a home tile (trips may start just outside the tiled
+    /// region); inside the bounds, descent uses the quadtree's `>=`-centre
+    /// rule, so edge points deterministically go to the north/east side.
+    #[must_use]
+    pub fn tile_of(&self, pos: &GeoPoint) -> TileId {
+        let p = GeoPoint {
+            lon: pos.lon.clamp(self.bounds.min.lon, self.bounds.max.lon),
+            lat: pos.lat.clamp(self.bounds.min.lat, self.bounds.max.lat),
+        };
+        let mut node = self.bounds;
+        let (mut ix, mut iy) = (0u32, 0u32);
+        for _ in 0..self.depth {
+            let c = node.center();
+            // Same arithmetic as QuadTree::pick_quadrant; quadrants() is
+            // laid out [sw, se, nw, ne].
+            let east = u32::from(p.lon >= c.lon);
+            let north = u32::from(p.lat >= c.lat);
+            node = node.quadrants()[(north * 2 + east) as usize];
+            ix = ix * 2 + east;
+            iy = iy * 2 + north;
+        }
+        iy * self.side() + ix
+    }
+
+    /// The bounding box of tile `id`.
+    ///
+    /// # Panics
+    /// Panics when `id >= num_tiles()`.
+    #[must_use]
+    pub fn tile_box(&self, id: TileId) -> BoundingBox {
+        assert!(id < self.num_tiles(), "tile id {id} out of range");
+        let side = self.side();
+        let (ix, iy) = (id % side, id / side);
+        let mut node = self.bounds;
+        for level in (0..self.depth).rev() {
+            let east = (ix >> level) & 1;
+            let north = (iy >> level) & 1;
+            node = node.quadrants()[(north * 2 + east) as usize];
+        }
+        node
+    }
+
+    /// Every tile with its box, in id order.
+    pub fn tiles(&self) -> impl Iterator<Item = (TileId, BoundingBox)> + '_ {
+        (0..self.num_tiles()).map(|id| (id, self.tile_box(id)))
+    }
+}
+
+/// Enumerate the tiles of `bounds` at `depth`, in id order — convenience
+/// over [`TileGrid::tiles`] for one-shot callers.
+#[must_use]
+pub fn tiles_at_depth(bounds: BoundingBox, depth: u32) -> Vec<(TileId, BoundingBox)> {
+    TileGrid::new(bounds, depth).tiles().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +545,60 @@ mod tests {
         let tree = QuadTree::bulk(items.clone());
         let collected: Vec<u32> = tree.iter().map(|(_, i)| *i).collect();
         assert_eq!(collected, (0..10).collect::<Vec<u32>>());
+    }
+
+    fn unit_box() -> BoundingBox {
+        BoundingBox::new(GeoPoint::new(8.0, 53.0), GeoPoint::new(9.0, 54.0))
+    }
+
+    #[test]
+    fn depth_zero_grid_is_one_tile_equal_to_bounds() {
+        let grid = TileGrid::new(unit_box(), 0);
+        assert_eq!(grid.num_tiles(), 1);
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.4, 53.7)), 0);
+        assert_eq!(grid.tile_box(0), unit_box());
+    }
+
+    #[test]
+    fn tile_ids_are_row_major_from_southwest() {
+        let grid = TileGrid::new(unit_box(), 1);
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.2, 53.2)), 0); // sw
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.8, 53.2)), 1); // se
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.2, 53.8)), 2); // nw
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.8, 53.8)), 3); // ne
+    }
+
+    #[test]
+    fn centre_points_break_toward_north_east() {
+        // `>=` on both axes, exactly like QuadTree::pick_quadrant.
+        let grid = TileGrid::new(unit_box(), 1);
+        assert_eq!(grid.tile_of(&GeoPoint::new(8.5, 53.5)), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp_onto_the_boundary() {
+        let grid = TileGrid::new(unit_box(), 2);
+        assert_eq!(grid.tile_of(&GeoPoint::new(7.0, 52.0)), 0);
+        assert_eq!(grid.tile_of(&GeoPoint::new(10.0, 55.0)), grid.num_tiles() - 1);
+        assert_eq!(grid.tile_of(&GeoPoint::new(7.0, 55.0)), 12); // nw corner tile
+    }
+
+    #[test]
+    fn grid_corners_reproduce_the_bounds_exactly() {
+        // Quadrant subdivision propagates the outer corners verbatim, so
+        // the extreme tiles' corners equal the grid bounds bit-for-bit.
+        let grid = TileGrid::new(unit_box(), 3);
+        assert_eq!(grid.tile_box(0).min, unit_box().min);
+        assert_eq!(grid.tile_box(grid.num_tiles() - 1).max, unit_box().max);
+    }
+
+    #[test]
+    fn tiles_at_depth_enumerates_in_id_order() {
+        let tiles = tiles_at_depth(unit_box(), 2);
+        assert_eq!(tiles.len(), 16);
+        for (i, (id, bx)) in tiles.iter().enumerate() {
+            assert_eq!(*id, u32::try_from(i).unwrap());
+            assert_eq!(*bx, TileGrid::new(unit_box(), 2).tile_box(*id));
+        }
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests: the indexes must agree with the linear scan for any
 //! point cloud, any tuning, any query.
 
-use ec_types::{GeoPoint, SplitMix64};
+use ec_types::{BoundingBox, GeoPoint, SplitMix64};
 use proptest::prelude::*;
-use spatial_index::{brute, GridIndex, KdTree, QuadTree};
+use spatial_index::{brute, GridIndex, KdTree, QuadTree, TileGrid};
 
 fn cloud(seed: u64, n: usize, extent_m: f64) -> Vec<(GeoPoint, usize)> {
     let mut rng = SplitMix64::new(seed);
@@ -152,5 +152,73 @@ proptest! {
         let got: Vec<usize> = tree.knn(&q, 7).iter().map(|h| *h.item).collect();
         let want: Vec<usize> = brute::knn_scan(&items, &q, 7).iter().map(|h| *h.item).collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Every point maps to exactly one tile: the assigned tile's box
+    /// contains the point, and no other tile's *interior* does.
+    #[test]
+    fn tile_membership_is_unique_and_geometric(
+        depth in 0u32..5,
+        w in 0.01..3.0f64, h in 0.01..3.0f64,
+        fx in -0.3..1.3f64, fy in -0.3..1.3f64,
+    ) {
+        let bounds = BoundingBox::new(
+            GeoPoint::new(8.0, 53.0),
+            GeoPoint::new(8.0 + w, 53.0 + h),
+        );
+        let grid = TileGrid::new(bounds, depth);
+        let p = GeoPoint::new(8.0 + fx * w, 53.0 + fy * h);
+        let id = grid.tile_of(&p);
+        prop_assert!(id < grid.num_tiles());
+        let clamped = GeoPoint::new(
+            p.lon.clamp(bounds.min.lon, bounds.max.lon),
+            p.lat.clamp(bounds.min.lat, bounds.max.lat),
+        );
+        prop_assert!(grid.tile_box(id).contains(&clamped));
+        // Strict-interior membership is exclusive: at most the assigned
+        // tile can claim the point away from shared edges.
+        for (other, bx) in grid.tiles() {
+            let strictly_inside = bx.min.lon < clamped.lon
+                && clamped.lon < bx.max.lon
+                && bx.min.lat < clamped.lat
+                && clamped.lat < bx.max.lat;
+            if strictly_inside {
+                prop_assert_eq!(other, id);
+            }
+        }
+    }
+
+    /// The tiles cover the bounding box: every tile box nests inside the
+    /// bounds, the outer corners are reproduced exactly, each tile's
+    /// centre round-trips through membership, and the per-row / per-column
+    /// extents chain seamlessly (no gaps, no overlap beyond shared edges).
+    #[test]
+    fn tiles_cover_the_bounding_box(
+        depth in 0u32..5,
+        w in 0.01..3.0f64, h in 0.01..3.0f64,
+    ) {
+        let bounds = BoundingBox::new(
+            GeoPoint::new(8.0, 53.0),
+            GeoPoint::new(8.0 + w, 53.0 + h),
+        );
+        let grid = TileGrid::new(bounds, depth);
+        let side = grid.side();
+        prop_assert_eq!(grid.num_tiles(), side * side);
+        for (id, bx) in grid.tiles() {
+            prop_assert!(bounds.contains(&bx.min));
+            prop_assert!(bounds.contains(&bx.max));
+            prop_assert_eq!(grid.tile_of(&bx.center()), id);
+            let (ix, iy) = (id % side, id / side);
+            // Seamless tiling: each tile starts exactly where its west /
+            // south neighbour ends.
+            if ix > 0 {
+                prop_assert_eq!(bx.min.lon, grid.tile_box(id - 1).max.lon);
+            }
+            if iy > 0 {
+                prop_assert_eq!(bx.min.lat, grid.tile_box(id - side).max.lat);
+            }
+        }
+        prop_assert_eq!(grid.tile_box(0).min, bounds.min);
+        prop_assert_eq!(grid.tile_box(grid.num_tiles() - 1).max, bounds.max);
     }
 }
