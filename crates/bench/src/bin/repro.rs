@@ -12,9 +12,10 @@
 use ecocharge_bench::{
     print_rows, run_adaptive, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7,
     run_fig8, run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret,
-    run_scaling, run_sessions, run_shard, run_throughput, run_validation, shard_gate_failures,
-    write_adaptive_json, write_csv, write_detour_json, write_prune_json, write_recovery_json,
-    write_scaling_json, write_sessions_json, write_shard_json, HarnessConfig, MetroTier,
+    run_scaling, run_serve, run_sessions, run_shard, run_throughput, run_validation,
+    serve_gate_failures, shard_gate_failures, write_adaptive_json, write_csv, write_detour_json,
+    write_prune_json, write_recovery_json, write_scaling_json, write_serve_json,
+    write_sessions_json, write_shard_json, HarnessConfig, MetroTier,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -22,7 +23,7 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|shard|recovery> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|shard|serve|recovery> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] [--sessions N] \
         [--detour-backend dijkstra|ch|auto] [--metro off|small|full] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
@@ -64,6 +65,15 @@ fn usage() -> ! {
               (exits non-zero when any cell diverges, 4 shards sustain < 3x the\n\
               critical-path events/s of 1 shard at >= 4 threads, or the federated\n\
               hit rate drifts more than 5 points)\n\
+  serve       tiered Offering-Table cache under closed-loop Zipf load: deterministic\n\
+              virtual clients (skew 0/0.8/1.2 x 1k/10k/50k sessions, or --sessions N\n\
+              for a single fleet size) hammer a 2-shard front cache-off then\n\
+              cache-on, measuring sustained events/s, p50/p99/p999 latency and\n\
+              per-tier hit rates, with a bit-identity check per cell plus an\n\
+              identity matrix across shard x thread counts on the smallest\n\
+              high-skew cell; writes BENCH_serve.json (exits non-zero when any\n\
+              cell diverges, a high-skew cell never hits the cache, or cache-on\n\
+              falls below the throughput gate: 1.5x at >=10k sessions, 1.0x below)\n\
   recovery    crash-recovery fidelity: seeded crashes (clean kills at record/tick\n\
               boundaries, torn tails mid-record) x recovery threads (1,4,8) over a\n\
               journaled fleet, asserting the recovered Offering Tables are\n\
@@ -181,7 +191,7 @@ fn main() {
     let mut harness = HarnessConfig::default();
     let mut csv_dir: Option<PathBuf> = None;
     let mut metro = MetroTier::Small;
-    let mut shard_sessions = 1000usize;
+    let mut sessions_override: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -204,10 +214,11 @@ fn main() {
             }
             "--metro" => metro = MetroTier::parse(val).unwrap_or_else(|| usage()),
             "--sessions" => {
-                shard_sessions = val.parse().unwrap_or_else(|_| usage());
-                if shard_sessions == 0 {
+                let n: usize = val.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
                     usage();
                 }
+                sessions_override = Some(n);
             }
             "--csv" => csv_dir = Some(PathBuf::from(val)),
             _ => usage(),
@@ -484,7 +495,13 @@ fn main() {
             }
         }
         "shard" => {
-            let rows = run_shard(&harness, metro, shard_sessions, &[1, 2, 4, 8], &[1, 4, 8]);
+            let rows = run_shard(
+                &harness,
+                metro,
+                sessions_override.unwrap_or(1000),
+                &[1, 2, 4, 8],
+                &[1, 4, 8],
+            );
             println!(
                 "\n=== Sharding: geographic partition x front threads ({}) ===",
                 rows.first().map_or("?", |r| r.world.as_str())
@@ -534,6 +551,67 @@ fn main() {
                 Err(e) => eprintln!("shard json write failed: {e}"),
             }
             let failures = shard_gate_failures(&rows);
+            if !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("ERROR: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        "serve" => {
+            let session_counts: Vec<usize> =
+                sessions_override.map_or_else(|| vec![1000, 10_000, 50_000], |n| vec![n]);
+            let report = run_serve(&harness, &session_counts, &[0.0, 0.8, 1.2]);
+            println!(
+                "\n=== Serve: tiered table cache under Zipf load ({}, {} shards) ===",
+                report.rows.first().map_or("?", |r| r.world.as_str()),
+                2
+            );
+            println!(
+                "{:<9} {:>6} {:>8} {:>9} {:>11} {:>11} {:>8} {:>9} {:>9} {:>9} {:>7} {:>7} {:>10}",
+                "sessions",
+                "skew",
+                "shapes",
+                "events",
+                "off ev/s",
+                "on ev/s",
+                "speedup",
+                "p50(us)",
+                "p99(us)",
+                "p999(us)",
+                "L1%",
+                "L2%",
+                "identical"
+            );
+            for r in &report.rows {
+                println!(
+                    "{:<9} {:>6.1} {:>8} {:>9} {:>11.0} {:>11.0} {:>7.2}x {:>9.1} {:>9.1} {:>9.1} {:>6.1}% {:>6.1}% {:>10}",
+                    r.sessions,
+                    r.skew,
+                    r.shapes,
+                    r.events,
+                    r.off_events_per_s,
+                    r.on_events_per_s,
+                    r.speedup,
+                    r.p50_us,
+                    r.p99_us,
+                    r.p999_us,
+                    r.l1_hit_rate * 100.0,
+                    r.l2_hit_rate * 100.0,
+                    r.identical
+                );
+            }
+            println!("\nidentity matrix (smallest high-skew cell, cached, vs flat uncached):");
+            for c in &report.identity {
+                println!("  shards={} threads={} identical={}", c.shards, c.threads, c.identical);
+            }
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_serve.json");
+            match write_serve_json(&path, &report) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("serve json write failed: {e}"),
+            }
+            let failures = serve_gate_failures(&report);
             if !failures.is_empty() {
                 for f in &failures {
                     eprintln!("ERROR: {f}");

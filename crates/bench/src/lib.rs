@@ -19,6 +19,7 @@ pub mod figures;
 pub mod prune;
 pub mod recovery;
 pub mod scaling;
+pub mod serve;
 pub mod sessions;
 pub mod shard;
 pub mod table;
@@ -32,6 +33,9 @@ pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
 pub use prune::{run_prune, write_prune_json, PruneRow};
 pub use recovery::{run_recovery, run_recovery_chaos, write_recovery_json, ChaosRow, RecoveryRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};
+pub use serve::{
+    run_serve, serve_gate_failures, write_serve_json, IdentityCell, ServeReport, ServeRow,
+};
 pub use sessions::{run_sessions, write_sessions_json, SessionsRow};
 pub use shard::{run_shard, shard_gate_failures, write_shard_json, ShardRow};
 pub use table::{print_rows, write_csv};

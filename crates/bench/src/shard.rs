@@ -50,9 +50,7 @@ use crate::adaptive::MetroTier;
 use crate::figures::HarnessConfig;
 use chargers::{synth_fleet, ChargerFleet, FleetParams};
 use ecocharge_core::{EcoChargeConfig, QueryCtx};
-use ecocharge_session::{
-    ServiceConfig, SessionService, ShardConfig, ShardEnv, ShardedService,
-};
+use ecocharge_session::{ServiceConfig, SessionService, ShardConfig, ShardEnv, ShardedService};
 use eis::{InfoServer, SimProviders};
 use roadnet::{urban_grid, DetourCh, RoadGraph, UrbanGridParams};
 use std::collections::BTreeSet;
@@ -182,13 +180,8 @@ impl World {
     }
 
     fn wants_ch(&self, config: EcoChargeConfig) -> bool {
-        roadnet::resolve_backend(
-            config.detour_backend,
-            &self.graph,
-            self.fleet.len(),
-            true,
-            1.0,
-        ) == ecocharge_core::DetourBackend::Ch
+        roadnet::resolve_backend(config.detour_backend, &self.graph, self.fleet.len(), true, 1.0)
+            == ecocharge_core::DetourBackend::Ch
     }
 }
 
@@ -376,12 +369,8 @@ pub fn write_shard_json(path: &Path, rows: &[ShardRow]) -> std::io::Result<()> {
     writeln!(f, "  \"rows\": [")?;
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
-        let per_shard = r
-            .per_shard_events
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(", ");
+        let per_shard =
+            r.per_shard_events.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
         writeln!(
             f,
             "    {{\"sessions\": {}, \"shards\": {}, \"threads\": {}, \"events\": {}, \

@@ -37,6 +37,28 @@ pub struct EcoCharge {
     pruned_buf: Vec<(usize, Interval)>,
 }
 
+/// A solver's complete value-bearing state at one instant: the Dynamic
+/// Cache slot plus every counter observable from outside
+/// ([`EcoCharge::cache_stats`], [`DynamicCache::empty_probes`],
+/// [`EcoCharge::prune_stats`]). Because a serving session's solve
+/// sequence is a deterministic function of its trip and configuration,
+/// the snapshot taken after solve *n* is itself a pure function of
+/// `(trip, config, n)` — which is what lets the tiered Offering-Table
+/// cache replay it under any session whose key matches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverSnapshot {
+    /// The cached solution, if one was stored.
+    pub slot: Option<CachedSolution>,
+    /// Dynamic-cache hits so far.
+    pub hits: u64,
+    /// Dynamic-cache invalidation misses so far.
+    pub misses: u64,
+    /// Probes of an empty cache so far.
+    pub empty_probes: u64,
+    /// Cumulative lazy filter–refine counters.
+    pub prune: PruneStats,
+}
+
 /// How one query resolves against the Dynamic Cache, decided while the
 /// cache borrow is live; promotions and stores happen after it ends.
 enum Plan {
@@ -84,6 +106,35 @@ impl EcoCharge {
     #[must_use]
     pub fn from_parts(cache: DynamicCache, stats: PruneStats) -> Self {
         Self { cache, stats, ..Self::default() }
+    }
+
+    /// Capture this solver's complete value-bearing state — the Dynamic
+    /// Cache slot and every counter a journal or serving layer reads
+    /// back. Search engine and scoring buffers are scratch (cost, never
+    /// values), so restoring a snapshot reproduces the instance exactly
+    /// as far as any observer is concerned.
+    #[must_use]
+    pub fn snapshot(&self) -> SolverSnapshot {
+        let (hits, misses) = self.cache.stats();
+        SolverSnapshot {
+            slot: self.cache.slot().cloned(),
+            hits,
+            misses,
+            empty_probes: self.cache.empty_probes(),
+            prune: self.stats,
+        }
+    }
+
+    /// Overwrite this solver's value-bearing state with `snap` — the
+    /// in-place form of [`EcoCharge::from_parts`], used by the
+    /// Offering-Table cache to replay a memoised solve: the snapshot was
+    /// taken right after the original solve, so restoring it leaves the
+    /// solver bit-identical to having run that solve here (counters
+    /// included, which keeps journal `CacheImage`s byte-stable).
+    pub fn restore_snapshot(&mut self, snap: &SolverSnapshot) {
+        self.cache =
+            DynamicCache::from_parts(snap.slot.clone(), snap.hits, snap.misses, snap.empty_probes);
+        self.stats = snap.prune;
     }
 
     /// Re-rank entry point for serving layers: exactly

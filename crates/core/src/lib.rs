@@ -49,7 +49,7 @@ pub mod score;
 pub mod vehicle;
 
 pub use adaptive::PruneCostModel;
-pub use algorithm::EcoCharge;
+pub use algorithm::{EcoCharge, SolverSnapshot};
 pub use balance::{BalancedEcoCharge, LoadTracker};
 pub use baselines::{BruteForce, IndexQuadtree, RandomPick};
 pub use cache::{cache_max_age, CachedSolution, DynamicCache, ShadowComponent};

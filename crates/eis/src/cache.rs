@@ -1,363 +1,11 @@
-//! A TTL cache keyed on the simulation clock.
+//! TTL caching — re-exported from the [`servecache`] substrate.
 //!
-//! The paper's *Dynamic Caching* stores "solutions (i.e., Offering Tables)
-//! and API responses in a table" and notes that "a solution will naturally
-//! be invalidated after a certain time point (t) as L, A, D objectives
-//! will naturally be invalid after t" (§IV-C). [`TtlCache`] is the API-
-//! response half of that design: entries expire at a simulation instant,
-//! not a wall-clock one, so cached forecasts age at simulated speed and
-//! experiments stay reproducible.
+//! The sim-clock [`TtlCache`] used to live here; it moved to
+//! `servecache::ttl` when the serving stack's caches were unified behind
+//! one crate (DESIGN.md §4l), gaining entry/byte budgets
+//! ([`TtlBudget`]) and the shared [`servecache::CacheMetrics`]
+//! accounting on the way. This module stays as the compatibility path —
+//! `eis::TtlCache` and `eis::cache::TtlCache` keep resolving — so the
+//! move is invisible to callers.
 
-use ec_types::{SimDuration, SimTime};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A concurrent map whose entries expire at a [`SimTime`].
-///
-/// ```
-/// use ec_types::{DayOfWeek, SimDuration, SimTime};
-/// use eis::TtlCache;
-///
-/// let cache: TtlCache<&str, u32> = TtlCache::new();
-/// let now = SimTime::at(0, DayOfWeek::Mon, 9, 0);
-/// cache.put("sun", 42, now, SimDuration::from_mins(15));
-/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(10)), Some(42));
-/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(20)), None); // expired
-/// ```
-#[derive(Debug)]
-pub struct TtlCache<K, V> {
-    map: RwLock<HashMap<K, (V, SimTime)>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    /// When attached ([`TtlCache::enable_fresh_log`]), the key of every
-    /// *locally computed* insert is logged so a federation layer can
-    /// drain just the cells new since its last round
-    /// ([`TtlCache::drain_fresh`]). Installed cells are never logged —
-    /// they already made the rounds.
-    fresh_log: RwLock<Option<Vec<K>>>,
-}
-
-impl<K, V> Default for TtlCache<K, V> {
-    fn default() -> Self {
-        Self {
-            map: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            fresh_log: RwLock::new(None),
-        }
-    }
-}
-
-impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
-    /// An empty cache.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current live value for `key` at sim-instant `now`, if any.
-    pub fn get(&self, key: &K, now: SimTime) -> Option<V> {
-        let hit = {
-            let map = self.map.read();
-            map.get(key).and_then(|(v, exp)| (now < *exp).then(|| v.clone()))
-        };
-        if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
-    }
-
-    /// Insert `value` valid until `now + ttl`.
-    pub fn put(&self, key: K, value: V, now: SimTime, ttl: SimDuration) {
-        self.map.write().insert(key.clone(), (value, now + ttl));
-        self.log_fresh(key);
-    }
-
-    /// Start logging locally computed inserts for federation export.
-    /// Idempotent; a cache without the log pays nothing on its write
-    /// path.
-    pub fn enable_fresh_log(&self) {
-        let mut log = self.fresh_log.write();
-        if log.is_none() {
-            *log = Some(Vec::new());
-        }
-    }
-
-    fn log_fresh(&self, key: K) {
-        if let Some(log) = self.fresh_log.write().as_mut() {
-            log.push(key);
-        }
-    }
-
-    /// Drain the cells computed here since the last drain: every logged
-    /// key still present in the map, with its value and absolute expiry.
-    /// Empty when the log was never enabled. Keys evicted or expired
-    /// away between computation and drain are silently skipped — a peer
-    /// would evict them too.
-    #[must_use]
-    pub fn drain_fresh(&self) -> Vec<(K, V, SimTime)> {
-        let keys = match self.fresh_log.write().as_mut() {
-            Some(log) if !log.is_empty() => std::mem::take(log),
-            _ => return Vec::new(),
-        };
-        let map = self.map.read();
-        keys.into_iter()
-            .filter_map(|k| map.get(&k).map(|(v, exp)| (k.clone(), v.clone(), *exp)))
-            .collect()
-    }
-
-    /// Install federated cells verbatim (value + absolute expiry).
-    /// A key already present keeps its local entry — for the pure
-    /// forecast caches both copies are byte-identical anyway, and
-    /// keeping the local one makes installation idempotent. Installed
-    /// cells are *not* logged as fresh, so they never ping-pong back out
-    /// through [`TtlCache::drain_fresh`].
-    pub fn install(&self, cells: &[(K, V, SimTime)]) {
-        if cells.is_empty() {
-            return;
-        }
-        let mut map = self.map.write();
-        for (k, v, exp) in cells {
-            map.entry(k.clone()).or_insert_with(|| (v.clone(), *exp));
-        }
-    }
-
-    /// Last stored value for `key` regardless of expiry, with a staleness
-    /// flag — the degraded-mode read used when the upstream provider is
-    /// down ("better a 40-minute-old forecast than no Offering Table").
-    pub fn get_allow_stale(&self, key: &K, now: SimTime) -> Option<(V, bool)> {
-        let map = self.map.read();
-        map.get(key).map(|(v, exp)| (v.clone(), now >= *exp))
-    }
-
-    /// Fetch-through: return the live value, or compute, store and return
-    /// it. Exactly one caller computes per (key, expiry window), even
-    /// under concurrency: after the read-probe misses, the key is
-    /// re-checked under the write lock, so a racing filler's value is
-    /// observed instead of recomputed. This keeps upstream API-call
-    /// accounting exact — N concurrent misses on one key are 1 miss +
-    /// (N − 1) hits and a single producer run. The producer runs while
-    /// the write lock is held, so it must not call back into this cache.
-    /// Producer errors are not cached (the miss still counts).
-    pub fn get_or_insert_with<E>(
-        &self,
-        key: K,
-        now: SimTime,
-        ttl: SimDuration,
-        produce: impl FnOnce() -> Result<V, E>,
-    ) -> Result<V, E> {
-        let live = |entry: Option<&(V, SimTime)>| {
-            entry.and_then(|(v, exp)| (now < *exp).then(|| v.clone()))
-        };
-        // Fast path: live value under the shared read lock.
-        if let Some(v) = live(self.map.read().get(&key)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v);
-        }
-        // Slow path: a concurrent filler may have inserted while we
-        // waited for the write lock — re-check before computing.
-        let mut map = self.map.write();
-        if let Some(v) = live(map.get(&key)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = produce()?;
-        map.insert(key.clone(), (v.clone(), now + ttl));
-        drop(map); // never hold the map and the fresh log together
-        self.log_fresh(key);
-        Ok(v)
-    }
-
-    /// Drop every entry that has expired by `now`; returns how many were
-    /// evicted.
-    pub fn evict_expired(&self, now: SimTime) -> usize {
-        let mut map = self.map.write();
-        let before = map.len();
-        map.retain(|_, (_, exp)| now < *exp);
-        before - map.len()
-    }
-
-    /// Number of stored entries (live or not-yet-evicted).
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.map.read().len()
-    }
-
-    /// True when nothing is stored.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
-    }
-
-    /// `(hits, misses)` counters since construction.
-    #[must_use]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
-    }
-
-    /// Clear all entries and counters.
-    pub fn clear(&self) {
-        self.map.write().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ec_types::DayOfWeek;
-
-    fn t(min: u64) -> SimTime {
-        SimTime::at(0, DayOfWeek::Mon, 10, 0) + SimDuration::from_mins(min)
-    }
-
-    #[test]
-    fn hit_within_ttl_miss_after() {
-        let c: TtlCache<u32, String> = TtlCache::new();
-        c.put(1, "a".into(), t(0), SimDuration::from_mins(10));
-        assert_eq!(c.get(&1, t(5)), Some("a".into()));
-        assert_eq!(c.get(&1, t(10)), None); // expiry is exclusive
-        assert_eq!(c.get(&1, t(15)), None);
-    }
-
-    #[test]
-    fn get_or_insert_computes_once_within_ttl() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        let mut calls = 0;
-        for _ in 0..3 {
-            let v: Result<u64, ()> =
-                c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
-                    calls += 1;
-                    Ok(42)
-                });
-            assert_eq!(v, Ok(42));
-        }
-        assert_eq!(calls, 1);
-        // After expiry the producer runs again.
-        let _: Result<u64, ()> = c.get_or_insert_with(7, t(6), SimDuration::from_mins(5), || {
-            calls += 1;
-            Ok(43)
-        });
-        assert_eq!(calls, 2);
-    }
-
-    #[test]
-    fn concurrent_misses_compute_exactly_once() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        let calls = AtomicU64::new(0);
-        let workers = 8;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let v: Result<u64, ()> =
-                        c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
-                            calls.fetch_add(1, Ordering::Relaxed);
-                            // Widen the race window: keep the write lock
-                            // busy while the other threads pile up.
-                            std::thread::sleep(std::time::Duration::from_millis(20));
-                            Ok(42)
-                        });
-                    assert_eq!(v, Ok(42));
-                });
-            }
-        });
-        // The call-economy invariant the parallel engine relies on: one
-        // upstream call, one miss, everyone else a hit.
-        assert_eq!(calls.load(Ordering::Relaxed), 1, "double-computed on concurrent miss");
-        assert_eq!(c.stats(), (workers - 1, 1));
-    }
-
-    #[test]
-    fn producer_errors_are_not_cached() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        let r: Result<u64, &str> =
-            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Err("boom"));
-        assert_eq!(r, Err("boom"));
-        let r: Result<u64, &str> =
-            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Ok(9));
-        assert_eq!(r, Ok(9));
-    }
-
-    #[test]
-    fn stats_count_hits_and_misses() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        c.put(1, 1, t(0), SimDuration::from_mins(10));
-        let _ = c.get(&1, t(1)); // hit
-        let _ = c.get(&2, t(1)); // miss
-        let _ = c.get(&1, t(11)); // expired -> miss
-        assert_eq!(c.stats(), (1, 2));
-    }
-
-    #[test]
-    fn evict_expired_removes_dead_entries() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        c.put(1, 1, t(0), SimDuration::from_mins(5));
-        c.put(2, 2, t(0), SimDuration::from_mins(50));
-        assert_eq!(c.evict_expired(t(10)), 1);
-        assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&2, t(10)), Some(2));
-    }
-
-    #[test]
-    fn clear_resets_everything() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        c.put(1, 1, t(0), SimDuration::from_mins(5));
-        let _ = c.get(&1, t(0));
-        c.clear();
-        assert!(c.is_empty());
-        assert_eq!(c.stats(), (0, 0));
-    }
-
-    #[test]
-    fn get_allow_stale_flags_expiry() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        assert_eq!(c.get_allow_stale(&1, t(0)), None);
-        c.put(1, 9, t(0), SimDuration::from_mins(5));
-        assert_eq!(c.get_allow_stale(&1, t(3)), Some((9, false)));
-        assert_eq!(c.get_allow_stale(&1, t(30)), Some((9, true)));
-        // Eviction removes even stale values.
-        c.evict_expired(t(30));
-        assert_eq!(c.get_allow_stale(&1, t(30)), None);
-    }
-
-    #[test]
-    fn poisoned_lock_is_recovered_not_propagated() {
-        // A producer that panics while `get_or_insert_with` holds the
-        // write lock poisons the underlying std lock. The serving loop
-        // must survive that: the vendored `parking_lot` shim recovers
-        // poisoned guards, so every later cache call keeps working
-        // instead of cascading panics through the scheduler.
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        c.put(1, 11, t(0), SimDuration::from_mins(30));
-        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _: Result<u64, ()> =
-                c.get_or_insert_with(2, t(0), SimDuration::from_mins(5), || {
-                    panic!("injected producer panic while holding the write lock")
-                });
-        }));
-        assert!(panicked.is_err(), "the injected panic must surface to its own caller");
-        // …but the cache is still fully usable afterwards.
-        assert_eq!(c.get(&1, t(1)), Some(11), "read path survives poisoning");
-        c.put(3, 33, t(1), SimDuration::from_mins(5));
-        assert_eq!(c.get(&3, t(2)), Some(33), "write path survives poisoning");
-        let r: Result<u64, ()> =
-            c.get_or_insert_with(2, t(1), SimDuration::from_mins(5), || Ok(22));
-        assert_eq!(r, Ok(22), "fetch-through survives poisoning");
-        assert!(c.evict_expired(t(2)) == 0);
-    }
-
-    #[test]
-    fn overwrite_extends_lifetime() {
-        let c: TtlCache<u32, u64> = TtlCache::new();
-        c.put(1, 1, t(0), SimDuration::from_mins(5));
-        c.put(1, 2, t(4), SimDuration::from_mins(5));
-        assert_eq!(c.get(&1, t(8)), Some(2));
-    }
-}
+pub use servecache::{TtlBudget, TtlCache};

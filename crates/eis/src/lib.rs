@@ -11,7 +11,8 @@
 //! * [`provider`] — trait-typed data feeds (weather / availability /
 //!   traffic) with simulator-backed implementations and a failure-
 //!   injection wrapper for resilience tests;
-//! * [`cache`] — a sim-clock TTL cache with hit/miss accounting;
+//! * [`cache`] — the sim-clock TTL cache (now the bounded
+//!   `servecache::TtlCache`, re-exported for compatibility);
 //! * [`server`] — [`InfoServer`], the consolidated feed with per-provider
 //!   call counters that the evaluation reads back, a last-known-good tier
 //!   that serves outages with staleness-widened intervals, and provenance
@@ -39,7 +40,7 @@ pub mod rpc;
 pub mod server;
 pub mod share;
 
-pub use cache::TtlCache;
+pub use cache::{TtlBudget, TtlCache};
 pub use chaos::{ChaosConfig, ChaosProvider, OutageWindow};
 pub use mode::{Mode, ModeCosts};
 pub use provider::{

@@ -30,7 +30,7 @@
 //! [`EcError::ProviderUnavailable`] — and the ranking layer above may then
 //! still substitute a configured fallback interval (see `ec-core`).
 
-use crate::cache::TtlCache;
+use crate::cache::{TtlBudget, TtlCache};
 use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
 use crate::resilience::{BreakerState, FeedKind, GuardSet, GuardSnapshot, ResiliencePolicy};
 use crate::share::{ForecastShare, ShareSnapshot};
@@ -38,6 +38,7 @@ use chargers::Charger;
 use ec_models::horizon_half_width;
 use ec_types::{EcError, GeoPoint, Interval, SimDuration, SimTime, SourcedInterval};
 use roadnet::RoadClass;
+use servecache::CacheMetrics;
 use std::cell::Cell;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +73,20 @@ pub fn forecast_window(now: SimTime) -> SimTime {
 /// How long the last-known-good tier remembers a value past its fetch.
 /// Beyond this a forecast is considered too old to widen honestly.
 const LKG_TTL: SimDuration = SimDuration::from_hours(6);
+
+/// Capacity budget per fresh forecast cache. The key space is (spatial
+/// bucket × forecast window), so residency is naturally bounded between
+/// expiry sweeps — but nothing *forced* a bound before this budget, and
+/// a server that never calls [`InfoServer::evict_expired`] would grow
+/// forever. 256k entries per feed is far above any metro-scale working
+/// set (a 1M-node grid serves from tens of thousands of buckets) while
+/// capping worst-case residency at ~5 MB per feed.
+const FRESH_BUDGET: TtlBudget = TtlBudget::entries(1 << 18);
+
+/// Capacity budget per last-known-good cache — one entry per spatial
+/// bucket (no window component), so a quarter of the fresh budget is
+/// already generous.
+const LKG_BUDGET: TtlBudget = TtlBudget::entries(1 << 16);
 
 /// Quantise an ETA to its cache bucket's representative instant (the
 /// middle of the hour). Together with [`forecast_window`], the *inputs*
@@ -197,12 +212,15 @@ impl ServerStats {
 /// of an upstream call — and, through the adopted ownership claims, the
 /// attribution: the hit counts as *shared* with the session that paid
 /// for the cell on the exporting server.
+/// One exported fresh-tier cell: `((feed key, window), value, computed_at)`.
+type ExportedCell<K> = ((K, u64), Interval, SimTime);
+
 #[derive(Debug, Default, Clone)]
 pub struct ForecastCells {
-    sun: Vec<(((i64, i64, u64), u64), Interval, SimTime)>,
-    wind: Vec<(((i64, i64, u64), u64), Interval, SimTime)>,
-    avail: Vec<(((u32, u64), u64), Interval, SimTime)>,
-    traffic: Vec<(((u8, u64, bool), u64), Interval, SimTime)>,
+    sun: Vec<ExportedCell<(i64, i64, u64)>>,
+    wind: Vec<ExportedCell<(i64, i64, u64)>>,
+    avail: Vec<ExportedCell<(u32, u64)>>,
+    traffic: Vec<ExportedCell<(u8, u64, bool)>>,
     owners: Vec<(FeedKind, u64, Option<u32>)>,
 }
 
@@ -210,7 +228,10 @@ impl ForecastCells {
     /// True when nothing was computed since the last export.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sun.is_empty() && self.wind.is_empty() && self.avail.is_empty() && self.traffic.is_empty()
+        self.sun.is_empty()
+            && self.wind.is_empty()
+            && self.avail.is_empty()
+            && self.traffic.is_empty()
     }
 
     /// Cells carried, all feeds.
@@ -266,14 +287,14 @@ impl InfoServer {
             availability,
             traffic,
             wind: None,
-            sun_cache: TtlCache::new(),
-            wind_cache: TtlCache::new(),
-            avail_cache: TtlCache::new(),
-            traffic_cache: TtlCache::new(),
-            sun_lkg: TtlCache::new(),
-            wind_lkg: TtlCache::new(),
-            avail_lkg: TtlCache::new(),
-            traffic_lkg: TtlCache::new(),
+            sun_cache: TtlCache::bounded(FRESH_BUDGET),
+            wind_cache: TtlCache::bounded(FRESH_BUDGET),
+            avail_cache: TtlCache::bounded(FRESH_BUDGET),
+            traffic_cache: TtlCache::bounded(FRESH_BUDGET),
+            sun_lkg: TtlCache::bounded(LKG_BUDGET),
+            wind_lkg: TtlCache::bounded(LKG_BUDGET),
+            avail_lkg: TtlCache::bounded(LKG_BUDGET),
+            traffic_lkg: TtlCache::bounded(LKG_BUDGET),
             stats: ServerStats::default(),
             serve_stale: false,
             guards: None,
@@ -583,6 +604,31 @@ impl InfoServer {
         let (h2, m2) = self.avail_cache.stats();
         let (h3, m3) = self.traffic_cache.stats();
         (h1 + h2 + h3, m1 + m2 + m3)
+    }
+
+    /// Unified accounting for every cache this server owns: the four
+    /// fresh forecast caches folded into the `eis.fresh` tier and the
+    /// four last-known-good caches into `eis.lkg`. Unlike the legacy
+    /// [`InfoServer::cache_stats`] pair (which predates the wind feed
+    /// and ignores it), this covers all eight maps.
+    #[must_use]
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        let mut m = CacheMetrics::new();
+        let fresh = self
+            .sun_cache
+            .snapshot()
+            .merge(self.wind_cache.snapshot())
+            .merge(self.avail_cache.snapshot())
+            .merge(self.traffic_cache.snapshot());
+        let lkg = self
+            .sun_lkg
+            .snapshot()
+            .merge(self.wind_lkg.snapshot())
+            .merge(self.avail_lkg.snapshot())
+            .merge(self.traffic_lkg.snapshot());
+        m.record("eis.fresh", fresh);
+        m.record("eis.lkg", lkg);
+        m
     }
 
     /// Start logging fresh-tier computations for federation export.

@@ -1,0 +1,152 @@
+//! The shared-process cache tier: N lock-sharded [`Lru`]s.
+//!
+//! Lanes (shard workers, service threads) consult this L2 on an L1
+//! miss. Sharding by a run-stable FNV of the key keeps lock contention
+//! off the hot path without giving up determinism of *values*: every
+//! run maps a key to the same shard, and — because values stored under
+//! one key are bit-identical by construction in this codebase — insert
+//! races between lanes can only change *which lane pays the solve*,
+//! never what any lookup returns.
+
+use crate::fnv::fnv64;
+use crate::lru::Lru;
+use crate::metrics::TierSnapshot;
+use parking_lot::Mutex;
+use std::hash::Hash;
+
+/// A concurrent, byte-budgeted cache shared by every lane of a process.
+#[derive(Debug)]
+pub struct SharedTier<K, V> {
+    shards: Box<[Mutex<Lru<K, V>>]>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SharedTier<K, V> {
+    /// A tier of `shards` locks, splitting `max_entries` / `max_bytes`
+    /// evenly (each budget floor-divided, minimum one per shard).
+    #[must_use]
+    pub fn new(shards: usize, max_entries: usize, max_bytes: usize) -> Self {
+        let shards = shards.max(1);
+        let per_entries = (max_entries / shards).max(1);
+        let per_bytes = (max_bytes / shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Lru::new(per_entries, per_bytes)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Lru<K, V>> {
+        let i = (fnv64(key) as usize) % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Look up `key`, cloning the value out (the lock is not held past
+    /// the call). Promotes on hit.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Insert `key` weighted at `bytes`, evicting LRU entries of its
+    /// shard as needed.
+    pub fn insert(&self, key: K, value: V, bytes: usize) {
+        self.shard(&key).lock().insert(key, value, bytes);
+    }
+
+    /// Evict every entry matching `stale`, across all shards; returns
+    /// how many were dropped.
+    pub fn evict_where(&self, mut stale: impl FnMut(&K) -> bool) -> usize {
+        self.shards.iter().map(|s| s.lock().evict_where(&mut stale)).sum()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+
+    /// Resident entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Unified accounting snapshot, folded over the shards.
+    #[must_use]
+    pub fn snapshot(&self) -> TierSnapshot {
+        self.shards.iter().fold(TierSnapshot::default(), |acc, s| acc.merge(s.lock().snapshot()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip_across_shards() {
+        let tier: SharedTier<u32, String> = SharedTier::new(4, 100, 10_000);
+        for i in 0..50 {
+            tier.insert(i, format!("v{i}"), 10);
+        }
+        assert_eq!(tier.len(), 50);
+        for i in 0..50 {
+            assert_eq!(tier.get(&i), Some(format!("v{i}")));
+        }
+        assert_eq!(tier.get(&999), None);
+        let s = tier.snapshot();
+        assert_eq!(s.hits, 50);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 50);
+        assert_eq!(s.bytes, 500);
+    }
+
+    #[test]
+    fn budgets_split_per_shard_and_bound_growth() {
+        let tier: SharedTier<u32, u32> = SharedTier::new(2, 8, usize::MAX);
+        for i in 0..1000 {
+            tier.insert(i, i, 1);
+        }
+        assert!(tier.len() <= 8, "tier grew to {} entries over the budget", tier.len());
+        assert!(tier.snapshot().evictions >= 992);
+    }
+
+    #[test]
+    fn evict_where_and_clear_span_shards() {
+        let tier: SharedTier<(u32, u64), u32> = SharedTier::new(4, 100, 10_000);
+        for i in 0..20 {
+            tier.insert((i, u64::from(i % 2)), i, 1);
+        }
+        assert_eq!(tier.evict_where(|&(_, w)| w == 0), 10);
+        assert_eq!(tier.len(), 10);
+        tier.clear();
+        assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_values_consistent() {
+        let tier: SharedTier<u32, u64> = SharedTier::new(4, 1024, usize::MAX);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..200u32 {
+                        // Every writer stores the same value per key — the
+                        // bit-identical discipline the serving caches rely on.
+                        tier.insert(i, u64::from(i) * 3, 8);
+                        if let Some(v) = tier.get(&i) {
+                            assert_eq!(v, u64::from(i) * 3);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(tier.len(), 200);
+    }
+}

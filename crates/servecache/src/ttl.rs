@@ -1,0 +1,613 @@
+//! A bounded TTL cache keyed on the simulation clock.
+//!
+//! The paper's *Dynamic Caching* stores "solutions (i.e., Offering Tables)
+//! and API responses in a table" and notes that "a solution will naturally
+//! be invalidated after a certain time point (t) as L, A, D objectives
+//! will naturally be invalid after t" (§IV-C). [`TtlCache`] is the API-
+//! response half of that design: entries expire at a simulation instant,
+//! not a wall-clock one, so cached forecasts age at simulated speed and
+//! experiments stay reproducible.
+//!
+//! Unlike its predecessor (which lived in `eis::cache` and grew without
+//! bound), the cache takes a [`TtlBudget`]: when entry or byte budgets
+//! are exceeded, entries are evicted in **insertion order** (FIFO, with
+//! lazily skipped stale queue records for overwritten keys) — a
+//! deterministic order that needs no recency bookkeeping on the
+//! read-heavy fast path. TTL caches skew toward "newest entries are the
+//! live window", so FIFO here approximates expiry order anyway.
+
+use crate::metrics::TierSnapshot;
+use ec_types::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Capacity budget for a [`TtlCache`]. `None` means unbounded on that
+/// axis; the byte budget is enforced through a per-entry weight derived
+/// from `size_of::<K>() + size_of::<V>()` plus map/queue overhead
+/// (values here are fixed-size forecast intervals, so a static weight
+/// is exact enough for capacity planning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TtlBudget {
+    /// Maximum resident entries.
+    pub max_entries: Option<usize>,
+    /// Maximum estimated resident bytes.
+    pub max_bytes: Option<usize>,
+}
+
+impl TtlBudget {
+    /// No bounds — the legacy behaviour, for caches whose key space is
+    /// already bounded by construction.
+    #[must_use]
+    pub const fn unbounded() -> Self {
+        Self { max_entries: None, max_bytes: None }
+    }
+
+    /// Entry-count bound only.
+    #[must_use]
+    pub const fn entries(max: usize) -> Self {
+        Self { max_entries: Some(max), max_bytes: None }
+    }
+
+    /// Byte bound only.
+    #[must_use]
+    pub const fn bytes(max: usize) -> Self {
+        Self { max_entries: None, max_bytes: Some(max) }
+    }
+}
+
+/// Per-entry bookkeeping overhead estimate (hash-map slot + eviction
+/// queue record), on top of the key/value payload.
+const ENTRY_OVERHEAD: usize = 48;
+
+#[derive(Debug)]
+struct Stored<V> {
+    value: V,
+    expires: SimTime,
+    /// Insertion sequence — matches the queue record that may evict it.
+    /// Overwrites bump the sequence, orphaning the old queue record.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    map: HashMap<K, Stored<V>>,
+    /// Insertion-order eviction queue, lazily deduplicated: a record
+    /// whose `seq` no longer matches the map entry is skipped on pop.
+    queue: VecDeque<(u64, K)>,
+    next_seq: u64,
+}
+
+impl<K, V> Default for Inner<K, V> {
+    fn default() -> Self {
+        Self { map: HashMap::new(), queue: VecDeque::new(), next_seq: 0 }
+    }
+}
+
+/// A concurrent map whose entries expire at a [`SimTime`].
+///
+/// ```
+/// use ec_types::{DayOfWeek, SimDuration, SimTime};
+/// use servecache::TtlCache;
+///
+/// let cache: TtlCache<&str, u32> = TtlCache::new();
+/// let now = SimTime::at(0, DayOfWeek::Mon, 9, 0);
+/// cache.put("sun", 42, now, SimDuration::from_mins(15));
+/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(10)), Some(42));
+/// assert_eq!(cache.get(&"sun", now + SimDuration::from_mins(20)), None); // expired
+/// ```
+#[derive(Debug)]
+pub struct TtlCache<K, V> {
+    inner: RwLock<Inner<K, V>>,
+    budget: TtlBudget,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    /// When attached ([`TtlCache::enable_fresh_log`]), the key of every
+    /// *locally computed* insert is logged so a federation layer can
+    /// drain just the cells new since its last round
+    /// ([`TtlCache::drain_fresh`]). Installed cells are never logged —
+    /// they already made the rounds.
+    fresh_log: RwLock<Option<Vec<K>>>,
+}
+
+impl<K, V> Default for TtlCache<K, V> {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::new(Inner::default()),
+            budget: TtlBudget::unbounded(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            fresh_log: RwLock::new(None),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
+    /// An empty, unbounded cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache enforcing `budget` with FIFO insertion-order
+    /// eviction.
+    #[must_use]
+    pub fn bounded(budget: TtlBudget) -> Self {
+        Self { budget, ..Self::default() }
+    }
+
+    /// Estimated bytes one resident entry costs.
+    const fn entry_bytes() -> usize {
+        std::mem::size_of::<K>() + std::mem::size_of::<V>() + ENTRY_OVERHEAD
+    }
+
+    /// The entry cap both budget axes reduce to (`None` = unbounded).
+    fn entry_cap(&self) -> Option<usize> {
+        let by_bytes = self.budget.max_bytes.map(|b| (b / Self::entry_bytes()).max(1));
+        match (self.budget.max_entries, by_bytes) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Evict oldest-inserted entries until the budget holds. Caller
+    /// holds the write lock.
+    fn enforce_budget(&self, inner: &mut Inner<K, V>) {
+        let Some(cap) = self.entry_cap() else { return };
+        while inner.map.len() > cap {
+            let Some((seq, key)) = inner.queue.pop_front() else { break };
+            // Skip orphaned records: the key was overwritten (new seq)
+            // or removed since this record was queued.
+            let live = inner.map.get(&key).is_some_and(|s| s.seq == seq);
+            if live {
+                inner.map.remove(&key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record an insert under the write lock: stamp a sequence, queue
+    /// the eviction record (bounded caches only — an unbounded cache
+    /// never pops the queue, so keeping one would itself be unbounded
+    /// growth), enforce the budget.
+    fn record_insert(&self, inner: &mut Inner<K, V>, key: K, value: V, expires: SimTime) {
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let bounded = self.entry_cap().is_some();
+        inner.map.insert(key.clone(), Stored { value, expires, seq });
+        if bounded {
+            inner.queue.push_back((seq, key));
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if bounded {
+            self.enforce_budget(inner);
+            // Lazy queue compaction: overwrites and expiry sweeps orphan
+            // queue records faster than budget evictions pop them, so
+            // shed leading orphans once the queue dwarfs the map.
+            while inner.queue.len() > inner.map.len().saturating_mul(2) + 16 {
+                match inner.queue.front() {
+                    Some((seq, key)) if inner.map.get(key).is_none_or(|s| s.seq != *seq) => {
+                        inner.queue.pop_front();
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Current live value for `key` at sim-instant `now`, if any.
+    pub fn get(&self, key: &K, now: SimTime) -> Option<V> {
+        let hit = {
+            let inner = self.inner.read();
+            inner.map.get(key).and_then(|s| (now < s.expires).then(|| s.value.clone()))
+        };
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Insert `value` valid until `now + ttl`.
+    pub fn put(&self, key: K, value: V, now: SimTime, ttl: SimDuration) {
+        {
+            let mut inner = self.inner.write();
+            self.record_insert(&mut inner, key.clone(), value, now + ttl);
+        }
+        self.log_fresh(key);
+    }
+
+    /// Start logging locally computed inserts for federation export.
+    /// Idempotent; a cache without the log pays nothing on its write
+    /// path.
+    pub fn enable_fresh_log(&self) {
+        let mut log = self.fresh_log.write();
+        if log.is_none() {
+            *log = Some(Vec::new());
+        }
+    }
+
+    fn log_fresh(&self, key: K) {
+        if let Some(log) = self.fresh_log.write().as_mut() {
+            log.push(key);
+        }
+    }
+
+    /// Drain the cells computed here since the last drain: every logged
+    /// key still present in the map, with its value and absolute expiry.
+    /// Empty when the log was never enabled. Keys evicted or expired
+    /// away between computation and drain are silently skipped — a peer
+    /// would evict them too.
+    #[must_use]
+    pub fn drain_fresh(&self) -> Vec<(K, V, SimTime)> {
+        let keys = match self.fresh_log.write().as_mut() {
+            Some(log) if !log.is_empty() => std::mem::take(log),
+            _ => return Vec::new(),
+        };
+        let inner = self.inner.read();
+        keys.into_iter()
+            .filter_map(|k| inner.map.get(&k).map(|s| (k.clone(), s.value.clone(), s.expires)))
+            .collect()
+    }
+
+    /// Install federated cells verbatim (value + absolute expiry).
+    /// A key already present keeps its local entry — for the pure
+    /// forecast caches both copies are byte-identical anyway, and
+    /// keeping the local one makes installation idempotent. Installed
+    /// cells are *not* logged as fresh, so they never ping-pong back out
+    /// through [`TtlCache::drain_fresh`].
+    pub fn install(&self, cells: &[(K, V, SimTime)]) {
+        if cells.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        for (k, v, exp) in cells {
+            if !inner.map.contains_key(k) {
+                self.record_insert(&mut inner, k.clone(), v.clone(), *exp);
+            }
+        }
+    }
+
+    /// Last stored value for `key` regardless of expiry, with a staleness
+    /// flag — the degraded-mode read used when the upstream provider is
+    /// down ("better a 40-minute-old forecast than no Offering Table").
+    pub fn get_allow_stale(&self, key: &K, now: SimTime) -> Option<(V, bool)> {
+        let inner = self.inner.read();
+        inner.map.get(key).map(|s| (s.value.clone(), now >= s.expires))
+    }
+
+    /// Fetch-through: return the live value, or compute, store and return
+    /// it. Exactly one caller computes per (key, expiry window), even
+    /// under concurrency: after the read-probe misses, the key is
+    /// re-checked under the write lock, so a racing filler's value is
+    /// observed instead of recomputed. This keeps upstream API-call
+    /// accounting exact — N concurrent misses on one key are 1 miss +
+    /// (N − 1) hits and a single producer run. The producer runs while
+    /// the write lock is held, so it must not call back into this cache.
+    /// Producer errors are not cached (the miss still counts).
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: K,
+        now: SimTime,
+        ttl: SimDuration,
+        produce: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let live = |entry: Option<&Stored<V>>| {
+            entry.and_then(|s| (now < s.expires).then(|| s.value.clone()))
+        };
+        // Fast path: live value under the shared read lock.
+        if let Some(v) = live(self.inner.read().map.get(&key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        // Slow path: a concurrent filler may have inserted while we
+        // waited for the write lock — re-check before computing.
+        let mut inner = self.inner.write();
+        if let Some(v) = live(inner.map.get(&key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = produce()?;
+        self.record_insert(&mut inner, key.clone(), v.clone(), now + ttl);
+        drop(inner); // never hold the map and the fresh log together
+        self.log_fresh(key);
+        Ok(v)
+    }
+
+    /// Drop every entry that has expired by `now`; returns how many were
+    /// evicted.
+    pub fn evict_expired(&self, now: SimTime) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.map.len();
+        inner.map.retain(|_, s| now < s.expires);
+        let dropped = before - inner.map.len();
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Number of stored entries (live or not-yet-evicted).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().map.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction — the legacy
+    /// accounting surface; prefer [`TtlCache::snapshot`].
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Estimated resident bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.len() * Self::entry_bytes()
+    }
+
+    /// Unified accounting snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            bytes: self.bytes() as u64,
+        }
+    }
+
+    /// Clear all entries and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.map.clear();
+        inner.queue.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::DayOfWeek;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::at(0, DayOfWeek::Mon, 10, 0) + SimDuration::from_mins(min)
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let c: TtlCache<u32, String> = TtlCache::new();
+        c.put(1, "a".into(), t(0), SimDuration::from_mins(10));
+        assert_eq!(c.get(&1, t(5)), Some("a".into()));
+        assert_eq!(c.get(&1, t(10)), None); // expiry is exclusive
+        assert_eq!(c.get(&1, t(15)), None);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once_within_ttl() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: Result<u64, ()> =
+                c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
+                    calls += 1;
+                    Ok(42)
+                });
+            assert_eq!(v, Ok(42));
+        }
+        assert_eq!(calls, 1);
+        // After expiry the producer runs again.
+        let _: Result<u64, ()> = c.get_or_insert_with(7, t(6), SimDuration::from_mins(5), || {
+            calls += 1;
+            Ok(43)
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let calls = AtomicU64::new(0);
+        let workers = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let v: Result<u64, ()> =
+                        c.get_or_insert_with(7, t(0), SimDuration::from_mins(5), || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window: keep the write lock
+                            // busy while the other threads pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(42)
+                        });
+                    assert_eq!(v, Ok(42));
+                });
+            }
+        });
+        // The call-economy invariant the parallel engine relies on: one
+        // upstream call, one miss, everyone else a hit.
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "double-computed on concurrent miss");
+        assert_eq!(c.stats(), (workers - 1, 1));
+    }
+
+    #[test]
+    fn producer_errors_are_not_cached() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        let r: Result<u64, &str> =
+            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Err("boom"));
+        assert_eq!(r, Err("boom"));
+        let r: Result<u64, &str> =
+            c.get_or_insert_with(1, t(0), SimDuration::from_mins(5), || Ok(9));
+        assert_eq!(r, Ok(9));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(10));
+        let _ = c.get(&1, t(1)); // hit
+        let _ = c.get(&2, t(1)); // miss
+        let _ = c.get(&1, t(11)); // expired -> miss
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    fn evict_expired_removes_dead_entries() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        c.put(2, 2, t(0), SimDuration::from_mins(50));
+        assert_eq!(c.evict_expired(t(10)), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2, t(10)), Some(2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        let _ = c.get(&1, t(0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.snapshot(), TierSnapshot::default());
+    }
+
+    #[test]
+    fn get_allow_stale_flags_expiry() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        assert_eq!(c.get_allow_stale(&1, t(0)), None);
+        c.put(1, 9, t(0), SimDuration::from_mins(5));
+        assert_eq!(c.get_allow_stale(&1, t(3)), Some((9, false)));
+        assert_eq!(c.get_allow_stale(&1, t(30)), Some((9, true)));
+        // Eviction removes even stale values.
+        c.evict_expired(t(30));
+        assert_eq!(c.get_allow_stale(&1, t(30)), None);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        // A producer that panics while `get_or_insert_with` holds the
+        // write lock poisons the underlying std lock. The serving loop
+        // must survive that: the vendored `parking_lot` shim recovers
+        // poisoned guards, so every later cache call keeps working
+        // instead of cascading panics through the scheduler.
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 11, t(0), SimDuration::from_mins(30));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<u64, ()> =
+                c.get_or_insert_with(2, t(0), SimDuration::from_mins(5), || {
+                    panic!("injected producer panic while holding the write lock")
+                });
+        }));
+        assert!(panicked.is_err(), "the injected panic must surface to its own caller");
+        // …but the cache is still fully usable afterwards.
+        assert_eq!(c.get(&1, t(1)), Some(11), "read path survives poisoning");
+        c.put(3, 33, t(1), SimDuration::from_mins(5));
+        assert_eq!(c.get(&3, t(2)), Some(33), "write path survives poisoning");
+        let r: Result<u64, ()> =
+            c.get_or_insert_with(2, t(1), SimDuration::from_mins(5), || Ok(22));
+        assert_eq!(r, Ok(22), "fetch-through survives poisoning");
+        assert!(c.evict_expired(t(2)) == 0);
+    }
+
+    #[test]
+    fn overwrite_extends_lifetime() {
+        let c: TtlCache<u32, u64> = TtlCache::new();
+        c.put(1, 1, t(0), SimDuration::from_mins(5));
+        c.put(1, 2, t(4), SimDuration::from_mins(5));
+        assert_eq!(c.get(&1, t(8)), Some(2));
+    }
+
+    // ---- capacity budgets (the bound the old eis cache lacked) ----
+
+    #[test]
+    fn entry_budget_evicts_in_insertion_order() {
+        let c: TtlCache<u32, u64> = TtlCache::bounded(TtlBudget::entries(3));
+        for i in 0..5 {
+            c.put(i, u64::from(i), t(0), SimDuration::from_mins(60));
+        }
+        assert_eq!(c.len(), 3);
+        // Oldest inserts (0, 1) went first; the newest three remain.
+        assert_eq!(c.get(&0, t(1)), None);
+        assert_eq!(c.get(&1, t(1)), None);
+        for i in 2..5 {
+            assert_eq!(c.get(&i, t(1)), Some(u64::from(i)), "entry {i} should survive");
+        }
+        assert_eq!(c.snapshot().evictions, 2);
+    }
+
+    #[test]
+    fn overwrite_orphans_old_queue_record() {
+        let c: TtlCache<u32, u64> = TtlCache::bounded(TtlBudget::entries(2));
+        c.put(1, 1, t(0), SimDuration::from_mins(60));
+        c.put(2, 2, t(0), SimDuration::from_mins(60));
+        // Overwriting key 1 re-queues it as newest; its stale record
+        // must not count against key 1 when the budget bites.
+        c.put(1, 10, t(1), SimDuration::from_mins(60));
+        c.put(3, 3, t(1), SimDuration::from_mins(60));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2, t(2)), None, "key 2 is now the oldest live insert");
+        assert_eq!(c.get(&1, t(2)), Some(10));
+        assert_eq!(c.get(&3, t(2)), Some(3));
+    }
+
+    #[test]
+    fn byte_budget_bounds_unbounded_growth_workload() {
+        // Regression for the unbounded-growth defect: hammer a bounded
+        // cache with an ever-fresh key stream and assert residency never
+        // exceeds the byte budget.
+        let budget = TtlBudget::bytes(4096);
+        let c: TtlCache<u64, u64> = TtlCache::bounded(budget);
+        let cap = 4096 / (std::mem::size_of::<u64>() * 2 + 48);
+        for i in 0..10_000u64 {
+            c.put(i, i, t(0), SimDuration::from_mins(60));
+            assert!(c.bytes() <= 4096, "resident bytes {} exceeded the budget", c.bytes());
+        }
+        assert_eq!(c.len(), cap);
+        let s = c.snapshot();
+        assert_eq!(s.insertions, 10_000);
+        assert_eq!(s.evictions, 10_000 - cap as u64);
+    }
+
+    #[test]
+    fn budget_applies_to_fetch_through_and_install() {
+        let c: TtlCache<u32, u64> = TtlCache::bounded(TtlBudget::entries(2));
+        for i in 0..4 {
+            let _: Result<u64, ()> =
+                c.get_or_insert_with(i, t(0), SimDuration::from_mins(60), || Ok(u64::from(i)));
+        }
+        assert_eq!(c.len(), 2);
+        c.install(&[(10, 10, t(60)), (11, 11, t(60)), (12, 12, t(60))]);
+        assert_eq!(c.len(), 2, "installed cells respect the budget too");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_for_capacity() {
+        let c: TtlCache<u64, u64> = TtlCache::new();
+        for i in 0..1000 {
+            c.put(i, i, t(0), SimDuration::from_mins(60));
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.snapshot().evictions, 0);
+    }
+}

@@ -1,0 +1,462 @@
+//! Tiered Offering-Table caching for the serving layer.
+//!
+//! The serving stack's determinism argument makes a rendered Offering
+//! Table *addressable*: under the purity gate (model-backed forecasts,
+//! no stale tier, no resilience — the same test batch parallelism
+//! uses), a session's n-th solve is a pure function of
+//! `(trip shape, solve index, config, forecast window)`. Two sessions
+//! driving the same route with the same vehicle and departure produce
+//! bit-identical solve sequences — so the table, *and the full
+//! post-solve solver state*, computed by one session can be replayed
+//! into another without running Algorithm 1 at all.
+//!
+//! Two tiers serve that reuse:
+//!
+//! * **L1** — a per-lane [`servecache::Lru`] behind one mutex, owned by
+//!   a single [`crate::SessionService`]. Per-lane, so sharded lanes
+//!   never contend on it.
+//! * **L2** — an optional shared-process [`servecache::SharedTier`]
+//!   (sharded-lock LRU) one [`crate::ShardedService`] hands to every
+//!   lane; an L2 hit is promoted into the probing lane's L1.
+//!
+//! ## The key
+//!
+//! [`TableKey`] is `(trip_digest, stop_index, config_hash, window)`:
+//!
+//! * `trip_digest` hashes the trip's *shape* — vehicle, departure and
+//!   route nodes but **not** the trip id — so fleet workloads where many
+//!   drivers follow the same popular route (the Zipf skew the serve
+//!   bench hammers) collapse onto shared entries;
+//! * `stop_index` is the session's solve cursor. Solves are
+//!   path-dependent (adapted solves reuse the private Dynamic Cache),
+//!   so the index pins the *entire solve history*, making the cached
+//!   post-solve [`ecocharge_core::SolverSnapshot`] exact;
+//! * `config_hash` digests every [`EcoChargeConfig`] field (weights via
+//!   [`ecocharge_core::RawWeights`], floats bit-cast, enums by name);
+//! * `window` is the [`eis::forecast_window`] bucket of the solve
+//!   instant: redundant for correctness (the itinerary pins the time)
+//!   but it gives rollover invalidation a deterministic predicate —
+//!   executing a [`crate::EventKind::Rollover`] evicts every entry of
+//!   an older window from the L1 ([`TableCache::roll_window`]).
+//!
+//! Dynamic-Cache *adaptation* needs no invalidation: an
+//! [`crate::EventKind::Adapt`] event is itself a solve, so the state it
+//! leaves behind is captured by the next stop's snapshot under the next
+//! `stop_index`.
+//!
+//! ## What a hit restores
+//!
+//! A [`SolveArtifact`] carries the outcome (table or no-offers) *and*
+//! the absolute post-solve [`ecocharge_core::SolverSnapshot`] (Dynamic
+//! Cache slot + counters + prune totals). A hit replays both, so
+//! journal snapshots, `CacheImage`s and later *adapted* solves are
+//! bit-identical to the uncached run — the identity tests sweep cache
+//! on/off across threads × shards to prove it. Failed solves are never
+//! cached (errors must re-observe the server).
+//!
+//! Hit/miss counters live in the cache tiers (surfaced through
+//! [`servecache::CacheMetrics`]), **not** in
+//! [`crate::SessionStats`]: which concurrent session wins the insert
+//! race is wall-clock dependent, and the stats struct is part of the
+//! determinism contract.
+
+use crate::scheduler::Event;
+use ecocharge_core::{EcoChargeConfig, OfferingEntry, OfferingTable, RawWeights, SolverSnapshot};
+use parking_lot::Mutex;
+use servecache::{CacheMetrics, Fnv64, Lru, SharedTier, TierSnapshot};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use trajgen::Trip;
+
+/// The address of one rendered solve (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableKey {
+    /// FNV-1a digest of the trip *shape* (vehicle, departure, route
+    /// nodes — not the id).
+    pub trip_digest: u64,
+    /// The session's solve cursor at this stop — pins the whole solve
+    /// history under path-dependent Dynamic Caching.
+    pub stop_index: u32,
+    /// Digest of the full [`EcoChargeConfig`].
+    pub config_hash: u64,
+    /// [`eis::forecast_window`] bucket of the solve instant, seconds.
+    pub window: u64,
+}
+
+impl TableKey {
+    /// The key of `event` for a session serving `trip` with the cursor
+    /// at `stop_index`, under the pre-digested config.
+    #[must_use]
+    pub fn of(trip_digest: u64, stop_index: usize, config_hash: u64, event: &Event) -> Self {
+        Self {
+            trip_digest,
+            stop_index: u32::try_from(stop_index).unwrap_or(u32::MAX),
+            config_hash,
+            window: eis::forecast_window(event.time).as_secs(),
+        }
+    }
+}
+
+/// Digest the trip's shape: vehicle, departure second and route nodes.
+/// The trip *id* is deliberately excluded — sessions are keyed by trip
+/// id, but two ids over the same shape solve identically, and that
+/// collapse is the whole point of the shared tier.
+#[must_use]
+pub fn trip_digest(trip: &Trip) -> u64 {
+    let mut h = Fnv64::default();
+    trip.vehicle.0.hash(&mut h);
+    trip.depart.as_secs().hash(&mut h);
+    for node in trip.route.nodes() {
+        node.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Digest every field of the config. Exhaustive destructuring (no `..`)
+/// so adding a field to [`EcoChargeConfig`] refuses to compile until
+/// this digest learns about it — a silently unkeyed knob would alias
+/// distinct solves.
+#[must_use]
+pub fn config_digest(config: &EcoChargeConfig) -> u64 {
+    let EcoChargeConfig {
+        k,
+        radius_km,
+        range_km,
+        segment_km,
+        weights,
+        charge_window_h,
+        quadtree_fraction,
+        vehicle,
+        degraded,
+        threads,
+        detour_backend,
+        pruning,
+    } = *config;
+    let mut h = Fnv64::default();
+    k.hash(&mut h);
+    radius_km.to_bits().hash(&mut h);
+    range_km.to_bits().hash(&mut h);
+    segment_km.to_bits().hash(&mut h);
+    let raw = RawWeights::from(weights);
+    raw.w1.to_bits().hash(&mut h);
+    raw.w2.to_bits().hash(&mut h);
+    raw.w3.to_bits().hash(&mut h);
+    charge_window_h.to_bits().hash(&mut h);
+    quadtree_fraction.to_bits().hash(&mut h);
+    match vehicle {
+        None => 0u8.hash(&mut h),
+        Some(v) => {
+            1u8.hash(&mut h);
+            v.id.0.hash(&mut h);
+            v.battery_kwh.to_bits().hash(&mut h);
+            v.soc.to_bits().hash(&mut h);
+            v.max_ac_kw.to_bits().hash(&mut h);
+            v.max_dc_kw.to_bits().hash(&mut h);
+            v.reserve_soc.to_bits().hash(&mut h);
+        }
+    }
+    degraded.fallback_enabled.hash(&mut h);
+    for iv in [
+        degraded.sun_fallback,
+        degraded.wind_fallback,
+        degraded.availability_fallback,
+        degraded.traffic_fallback,
+    ] {
+        iv.lo().to_bits().hash(&mut h);
+        iv.hi().to_bits().hash(&mut h);
+    }
+    threads.hash(&mut h);
+    detour_backend.name().hash(&mut h);
+    pruning.name().hash(&mut h);
+    h.finish()
+}
+
+/// What one cached solve produced — the [`crate::SolveOutcome`] shapes
+/// a solve event can take, minus failures (never cached).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactOutcome {
+    /// A table was rendered.
+    Table(OfferingTable),
+    /// No chargers in range at this stop.
+    NoOffers,
+}
+
+/// One cached solve: the outcome plus the absolute post-solve solver
+/// state a hit must replay (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveArtifact {
+    /// Table or no-offers.
+    pub outcome: ArtifactOutcome,
+    /// The solver's state *after* this solve, restored verbatim on hit.
+    pub post: SolverSnapshot,
+}
+
+impl SolveArtifact {
+    /// Deterministic byte estimate for budget accounting: key + struct
+    /// + the table's entry payload + a flat allowance for the snapshot's
+    ///   cached components (which live behind `Arc`s of varying length —
+    ///   an estimate keyed on the table is stable across runs, which is
+    ///   what a deterministic eviction order needs).
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        const SNAPSHOT_SLOP: usize = 256;
+        let table_entries = match &self.outcome {
+            ArtifactOutcome::Table(t) => t.len(),
+            ArtifactOutcome::NoOffers => 0,
+        };
+        std::mem::size_of::<TableKey>()
+            + std::mem::size_of::<Self>()
+            + table_entries * std::mem::size_of::<OfferingEntry>()
+            + SNAPSHOT_SLOP
+    }
+}
+
+/// Capacity knobs for the two tiers. `Default` is **disabled**: table
+/// caching is opt-in because it only applies under the purity gate and
+/// the serve bench is its proving ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableCacheConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// L1 (per-lane) entry budget.
+    pub l1_entries: usize,
+    /// L1 (per-lane) byte budget (estimated bytes, see
+    /// [`SolveArtifact::weight_bytes`]).
+    pub l1_bytes: usize,
+    /// L2 (shared tier) entry budget, whole tier.
+    pub l2_entries: usize,
+    /// L2 (shared tier) byte budget, whole tier.
+    pub l2_bytes: usize,
+    /// L2 lock shards.
+    pub l2_shards: usize,
+}
+
+impl Default for TableCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            l1_entries: 1 << 14,
+            l1_bytes: 64 << 20,
+            l2_entries: 1 << 16,
+            l2_bytes: 256 << 20,
+            l2_shards: 16,
+        }
+    }
+}
+
+impl TableCacheConfig {
+    /// The default knobs with the master switch on.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
+/// The shared tier type both fronts pass around.
+pub type TableTier = SharedTier<TableKey, Arc<SolveArtifact>>;
+
+/// One lane's view of the tiered table cache: its private L1 plus an
+/// optional handle on the process-wide L2. Interior mutability because
+/// batch workers probe it through a shared reference.
+#[derive(Debug)]
+pub struct TableCache {
+    l1: Mutex<Lru<TableKey, Arc<SolveArtifact>>>,
+    l2: Option<Arc<TableTier>>,
+    /// Highest forecast window (seconds) this lane has swept — gates
+    /// [`TableCache::roll_window`] to one sweep per window per lane.
+    swept: std::sync::atomic::AtomicU64,
+}
+
+impl TableCache {
+    /// A lane cache under `config`, optionally attached to a shared L2.
+    #[must_use]
+    pub fn new(config: &TableCacheConfig, l2: Option<Arc<TableTier>>) -> Self {
+        Self {
+            l1: Mutex::new(Lru::new(config.l1_entries, config.l1_bytes)),
+            l2,
+            swept: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide L2 tier `config` asks for (the sharded front
+    /// builds one and attaches it to every lane).
+    #[must_use]
+    pub fn shared_tier(config: &TableCacheConfig) -> Arc<TableTier> {
+        Arc::new(SharedTier::new(config.l2_shards, config.l2_entries, config.l2_bytes))
+    }
+
+    /// Attach (or replace) the shared L2 handle.
+    pub fn attach_l2(&mut self, l2: Arc<TableTier>) {
+        self.l2 = Some(l2);
+    }
+
+    /// Probe L1 then L2; an L2 hit is promoted into L1 so the lane's
+    /// next probe stays local.
+    #[must_use]
+    pub fn lookup(&self, key: &TableKey) -> Option<Arc<SolveArtifact>> {
+        if let Some(hit) = self.l1.lock().get(key) {
+            return Some(Arc::clone(hit));
+        }
+        let from_l2 = self.l2.as_ref().and_then(|tier| tier.get(key))?;
+        let bytes = from_l2.weight_bytes();
+        self.l1.lock().insert(*key, Arc::clone(&from_l2), bytes);
+        Some(from_l2)
+    }
+
+    /// Publish a freshly computed artifact to both tiers.
+    pub fn insert(&self, key: TableKey, artifact: Arc<SolveArtifact>) {
+        let bytes = artifact.weight_bytes();
+        self.l1.lock().insert(key, Arc::clone(&artifact), bytes);
+        if let Some(tier) = &self.l2 {
+            tier.insert(key, artifact, bytes);
+        }
+    }
+
+    /// Forecast-window rollover invalidation: drop every **L1** entry
+    /// of a window before `window_secs`. Keys pin their window, so
+    /// stale entries could never be *wrongly* hit — eviction reclaims
+    /// their budget the moment this lane's virtual clock has provably
+    /// passed them. Guarded to one sweep per window per lane (rollover
+    /// events arrive once per session; sweeping on each would rescan
+    /// the tier thousands of times per window).
+    ///
+    /// Deliberately L1-only: lanes advance their virtual clocks
+    /// independently, so a lane racing ahead must not sweep the shared
+    /// L2 out from under a lane still serving an older window — there,
+    /// old-window entries simply age out of the LRU once nothing probes
+    /// them.
+    pub fn roll_window(&self, window_secs: u64) {
+        use std::sync::atomic::Ordering;
+        let prev = self.swept.load(Ordering::Relaxed);
+        if window_secs > prev
+            && self
+                .swept
+                .compare_exchange(prev, window_secs, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.l1.lock().evict_where(|k| k.window < window_secs);
+        }
+    }
+
+    /// The L1 tier counters.
+    #[must_use]
+    pub fn l1_snapshot(&self) -> TierSnapshot {
+        self.l1.lock().snapshot()
+    }
+
+    /// The attached L2's counters (whole tier, shared across lanes).
+    #[must_use]
+    pub fn l2_snapshot(&self) -> Option<TierSnapshot> {
+        self.l2.as_ref().map(|tier| tier.snapshot())
+    }
+
+    /// This lane's metrics: its private L1 always, the shared L2 only
+    /// for callers that own a single lane (the sharded front reports
+    /// the L2 once itself — see [`crate::ShardedService`]).
+    #[must_use]
+    pub fn metrics(&self, include_l2: bool) -> CacheMetrics {
+        let mut m = CacheMetrics::default();
+        m.record("session.l1", self.l1_snapshot());
+        if include_l2 {
+            if let Some(snap) = self.l2_snapshot() {
+                m.record("session.l2", snap);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_types::{SimTime, TripId, VehicleId};
+    use ecocharge_core::Weights;
+
+    fn fixture_trip(id: u32) -> Trip {
+        let graph = roadnet::urban_grid(&roadnet::UrbanGridParams::default());
+        let trips = trajgen::generate_trips(
+            &graph,
+            &trajgen::BrinkhoffParams { trips: 1, ..Default::default() },
+        );
+        let mut trip = trips[0].clone();
+        trip.id = TripId(id);
+        trip
+    }
+
+    #[test]
+    fn trip_digest_ignores_id_but_sees_shape() {
+        let a = fixture_trip(1);
+        let b = fixture_trip(2);
+        assert_eq!(trip_digest(&a), trip_digest(&b), "clones of one route share a digest");
+        let mut c = a.clone();
+        c.vehicle = VehicleId(999);
+        assert_ne!(trip_digest(&a), trip_digest(&c), "vehicle is part of the shape");
+        let mut d = a.clone();
+        d.depart = SimTime::from_secs(a.depart.as_secs() + 1);
+        assert_ne!(trip_digest(&a), trip_digest(&d), "departure is part of the shape");
+    }
+
+    #[test]
+    fn config_digest_sees_every_knob_it_claims_to() {
+        let base = EcoChargeConfig::default();
+        let same = EcoChargeConfig::default();
+        assert_eq!(config_digest(&base), config_digest(&same));
+        let k = EcoChargeConfig { k: base.k + 1, ..base };
+        assert_ne!(config_digest(&base), config_digest(&k));
+        let w = EcoChargeConfig { weights: Weights::new(0.9, 0.05, 0.05), ..base };
+        assert_ne!(config_digest(&base), config_digest(&w));
+        let p = EcoChargeConfig { pruning: ecocharge_core::PruningMode::Off, ..base };
+        assert_ne!(config_digest(&base), config_digest(&p));
+        let d = EcoChargeConfig { detour_backend: roadnet::DetourBackend::Dijkstra, ..base };
+        assert_ne!(config_digest(&base), config_digest(&d));
+    }
+
+    #[test]
+    fn l2_hits_promote_into_l1() {
+        let config = TableCacheConfig::enabled();
+        let tier = TableCache::shared_tier(&config);
+        let a = TableCache::new(&config, Some(Arc::clone(&tier)));
+        let b = TableCache::new(&config, Some(Arc::clone(&tier)));
+        let key = TableKey { trip_digest: 7, stop_index: 0, config_hash: 9, window: 0 };
+        let artifact = Arc::new(SolveArtifact {
+            outcome: ArtifactOutcome::NoOffers,
+            post: SolverSnapshot::default(),
+        });
+        a.insert(key, Arc::clone(&artifact));
+        // b has never seen the key: first probe is an L1 miss answered
+        // by the shared tier, second is a local L1 hit.
+        assert!(b.lookup(&key).is_some());
+        let l1 = b.l1_snapshot();
+        assert_eq!((l1.hits, l1.misses), (0, 1));
+        assert!(b.lookup(&key).is_some());
+        assert_eq!(b.l1_snapshot().hits, 1);
+        let l2 = b.l2_snapshot().unwrap();
+        assert_eq!(l2.hits, 1, "exactly one probe reached the shared tier");
+    }
+
+    #[test]
+    fn roll_window_evicts_only_older_windows() {
+        let config = TableCacheConfig::enabled();
+        let cache = TableCache::new(&config, None);
+        let artifact = Arc::new(SolveArtifact {
+            outcome: ArtifactOutcome::NoOffers,
+            post: SolverSnapshot::default(),
+        });
+        for window in [0u64, 900, 1800] {
+            let key = TableKey { trip_digest: 1, stop_index: 0, config_hash: 1, window };
+            cache.insert(key, Arc::clone(&artifact));
+        }
+        cache.roll_window(1800);
+        let old = TableKey { trip_digest: 1, stop_index: 0, config_hash: 1, window: 900 };
+        let live = TableKey { trip_digest: 1, stop_index: 0, config_hash: 1, window: 1800 };
+        assert!(cache.lookup(&old).is_none());
+        assert!(cache.lookup(&live).is_some());
+        assert_eq!(cache.l1_snapshot().evictions, 2);
+    }
+
+    #[test]
+    fn default_config_is_disabled() {
+        assert!(!TableCacheConfig::default().enabled);
+        assert!(TableCacheConfig::enabled().enabled);
+    }
+}

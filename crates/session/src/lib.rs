@@ -6,6 +6,10 @@
 //! service that owns N concurrent trips end-to-end and multiplexes their
 //! work instead of looping over them.
 //!
+//! * [`cache`] — the tiered Offering-Table cache: a per-lane L1 LRU of
+//!   rendered solves plus an optional shared-process L2 tier, keyed so
+//!   sessions sharing a trip shape replay each other's solves with
+//!   bit-identical results (cache on/off is sweep-tested);
 //! * [`registry`] — per-session lifecycle (register trip → segment →
 //!   re-rank → advance → retire) with the session's full solve record;
 //! * [`scheduler`] — the deterministic virtual-time event scheduler: a
@@ -85,6 +89,7 @@
 //!    changes cost, never answers. Against servers without that
 //!    guarantee the service falls back to sequential batch execution.
 
+pub mod cache;
 pub mod error;
 pub mod journal;
 pub mod recovery;
@@ -94,6 +99,10 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 
+pub use cache::{
+    config_digest, trip_digest, ArtifactOutcome, SolveArtifact, TableCache, TableCacheConfig,
+    TableKey, TableTier,
+};
 pub use error::{JournalError, RecoveryError, RegisterError, SessionError};
 pub use journal::{
     read_journal, CommitEntry, Journal, JournalConfig, JournalRead, OutcomeTag, Record,

@@ -10,10 +10,12 @@
 //! would change *which* events exist, which is what lets the scheduler
 //! promise one total order up front.
 
+use crate::cache::{trip_digest, ArtifactOutcome, SolveArtifact, TableCache, TableKey};
 use crate::scheduler::{Event, EventKind};
 use ec_types::{ChargerId, EcError, SessionId, SimDuration, SimTime};
 use ecocharge_core::{CknnQuery, EcoCharge, OfferingTable, QueryCtx};
 use std::fmt;
+use std::sync::Arc;
 use trajgen::Trip;
 
 /// One precomputed itinerary stop: the virtual instant, trip offset and
@@ -306,12 +308,7 @@ impl SessionState {
     pub fn pending_events(&self) -> impl Iterator<Item = Event> + '_ {
         self.itinerary[self.next_stop.min(self.itinerary.len())..self.event_horizon(self.next_stop)]
             .iter()
-            .map(|s| Event {
-                time: s.time,
-                session: self.id,
-                kind: s.kind,
-                offset_m: s.offset_m,
-            })
+            .map(|s| Event { time: s.time, session: self.id, kind: s.kind, offset_m: s.offset_m })
     }
 
     /// The next unexecuted stop, if the session is still active —
@@ -368,6 +365,75 @@ impl SessionState {
             }
             Err(e) => SolveOutcome::Failed(e),
         }
+    }
+
+    /// [`SessionState::execute`] through the tiered Offering-Table
+    /// cache (see [`crate::cache`]). Only solve events are keyed;
+    /// `Retire`/`Handoff` stops delegate unchanged. A hit advances the
+    /// cursor, restores the cached absolute post-solve solver snapshot,
+    /// and replays the outcome against this session's *own* ranking
+    /// history (`emitted` is per-driver state, never cached). A miss
+    /// runs the normal path and publishes the artifact — unless the
+    /// solve failed, which must re-observe the server every time.
+    ///
+    /// The caller is responsible for only passing a cache under the
+    /// purity gate (model-backed forecasts, no stale tier, no
+    /// resilience) — the same precondition batch parallelism has.
+    pub fn execute_cached(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        event: &Event,
+        cache: &TableCache,
+        config_hash: u64,
+    ) -> SolveOutcome {
+        if event.kind == EventKind::Retire || event.kind == EventKind::Handoff {
+            return self.execute(ctx, event);
+        }
+        let key = TableKey::of(trip_digest(&self.trip), self.next_stop, config_hash, event);
+        if event.kind == EventKind::Rollover {
+            cache.roll_window(key.window);
+        }
+        if let Some(artifact) = cache.lookup(&key) {
+            debug_assert_eq!(Some(event.key()), self.next_event().map(|e| e.key()));
+            self.next_stop += 1;
+            self.method.restore_snapshot(&artifact.post);
+            return match &artifact.outcome {
+                ArtifactOutcome::Table(table) => {
+                    let ranking = table.charger_ids();
+                    let emitted = self.last_ranking.as_deref() != Some(&ranking[..]);
+                    if emitted {
+                        self.last_ranking = Some(ranking);
+                    }
+                    self.solves.push(SolvedTable {
+                        kind: event.kind,
+                        time: event.time,
+                        offset_m: event.offset_m,
+                        table: table.clone(),
+                        emitted,
+                    });
+                    SolveOutcome::Table { emitted }
+                }
+                ArtifactOutcome::NoOffers => {
+                    self.last_ranking = None;
+                    SolveOutcome::NoOffers
+                }
+            };
+        }
+        let outcome = self.execute(ctx, event);
+        let cached_outcome = match &outcome {
+            SolveOutcome::Table { .. } => Some(ArtifactOutcome::Table(
+                self.solves.last().expect("a Table outcome pushes a solve").table.clone(),
+            )),
+            SolveOutcome::NoOffers => Some(ArtifactOutcome::NoOffers),
+            _ => None,
+        };
+        if let Some(cached) = cached_outcome {
+            cache.insert(
+                key,
+                Arc::new(SolveArtifact { outcome: cached, post: self.method.snapshot() }),
+            );
+        }
+        outcome
     }
 
     /// Mark the session shed with its typed provenance.

@@ -164,11 +164,7 @@ impl EventScheduler {
     /// later tick. Zero whenever the batch stopped for ordering rather
     /// than budget.
     #[must_use]
-    pub fn pop_batch(
-        &mut self,
-        budget: usize,
-        cancelled: impl FnMut(SessionId) -> bool,
-    ) -> Batch {
+    pub fn pop_batch(&mut self, budget: usize, cancelled: impl FnMut(SessionId) -> bool) -> Batch {
         let mut events = Vec::new();
         let deferred = self.pop_batch_into(budget, cancelled, &mut events);
         Batch { events, deferred }

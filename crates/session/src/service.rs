@@ -34,6 +34,7 @@
 //!   panics outward and never executes another event — the journal on
 //!   disk stays the source of truth for recovery.
 
+use crate::cache::{config_digest, TableCache, TableCacheConfig};
 use crate::error::{JournalError, RegisterError, SessionError};
 use crate::journal::{
     write_snapshot, CacheImage, CommitEntry, Journal, JournalConfig, OutcomeTag, Record,
@@ -47,6 +48,7 @@ use crate::stats::SessionStats;
 use ec_types::{EcError, SessionId, SimDuration};
 use ecocharge_core::QueryCtx;
 use eis::{FeedKind, ForecastShare, InfoServer, SessionScope};
+use servecache::CacheMetrics;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -83,6 +85,11 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Injected faults (chaos harness); default = none.
     pub chaos: ServiceChaos,
+    /// Tiered Offering-Table caching (L1 per lane, optional shared L2 —
+    /// see [`crate::cache`]). Default **off**; when on it engages only
+    /// under the purity gate batch parallelism already requires, and
+    /// cached solves are bit-identical to uncached ones.
+    pub table_cache: TableCacheConfig,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +101,7 @@ impl Default for ServiceConfig {
             shed_degraded: true,
             threads: 1,
             chaos: ServiceChaos::default(),
+            table_cache: TableCacheConfig::default(),
         }
     }
 }
@@ -130,6 +138,9 @@ pub struct SessionService {
     /// Tick batch buffer, reused across ticks (with the scheduler's own
     /// lookahead scratch this makes the warmed pop path allocation-free).
     batch_scratch: Vec<Event>,
+    /// The lane's tiered Offering-Table cache, when
+    /// [`ServiceConfig::table_cache`] enables it.
+    table_cache: Option<TableCache>,
     /// Sessions that executed a [`crate::EventKind::Handoff`] stop this
     /// tick and left the registry — the sharded front collects them via
     /// [`SessionService::take_departures`] and delivers each to its
@@ -155,6 +166,10 @@ impl SessionService {
             health: ServiceHealth::Serving,
             last_defect: None,
             batch_scratch: Vec::new(),
+            table_cache: config
+                .table_cache
+                .enabled
+                .then(|| TableCache::new(&config.table_cache, None)),
             departures: Vec::new(),
         }
     }
@@ -208,6 +223,30 @@ impl SessionService {
     /// Attach an open journal for post-recovery appends.
     pub(crate) fn attach_journal(&mut self, journal: Journal) {
         self.journal = Some(journal);
+    }
+
+    /// Attach the process-wide shared L2 table tier (sharded front).
+    /// No-op when table caching is disabled.
+    pub(crate) fn attach_table_l2(&mut self, tier: Arc<crate::cache::TableTier>) {
+        if let Some(cache) = &mut self.table_cache {
+            cache.attach_l2(tier);
+        }
+    }
+
+    /// The lane's table cache, when enabled.
+    #[must_use]
+    pub fn table_cache(&self) -> Option<&TableCache> {
+        self.table_cache.as_ref()
+    }
+
+    /// Unified cache metrics for this lane's table-cache tiers
+    /// (`session.l1`, and `session.l2` when a shared tier is attached).
+    /// Counters are observational — which concurrent solve wins an
+    /// insert race is wall-clock dependent — which is why they live
+    /// here and not in [`SessionStats`].
+    #[must_use]
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.table_cache.as_ref().map(|c| c.metrics(true)).unwrap_or_default()
     }
 
     /// The configuration in force.
@@ -377,7 +416,14 @@ impl SessionService {
             }
         }
 
-        let threads = if Self::parallel_ok(ctx.server) { self.config.threads } else { 1 };
+        // Both batch parallelism and table caching require forecast
+        // purity: against a server without it, execution degrades to
+        // sequential *uncached* batches (a cached table could otherwise
+        // embed whichever degraded answer happened to be live).
+        let pure = Self::parallel_ok(ctx.server);
+        let threads = if pure { self.config.threads } else { 1 };
+        let table_cache = if pure { self.table_cache.as_ref() } else { None };
+        let config_hash = config_digest(&ctx.config);
         let base = self.stats.events_executed;
         let panic_at = self
             .config
@@ -398,7 +444,10 @@ impl SessionService {
                     }
                     let _scope = SessionScope::enter(state.id.0);
                     let start = std::time::Instant::now();
-                    let outcome = state.execute(ctx, ev);
+                    let outcome = match table_cache {
+                        Some(cache) => state.execute_cached(ctx, ev, cache, config_hash),
+                        None => state.execute(ctx, ev),
+                    };
                     (outcome, start.elapsed().as_secs_f64() * 1e6)
                 },
             )
@@ -550,8 +599,7 @@ impl SessionService {
         let executed = entries.len();
 
         if let Some(journal) = self.journal.as_mut() {
-            let record =
-                Record::Commit { after: self.stats.events_executed, deferred, entries };
+            let record = Record::Commit { after: self.stats.events_executed, deferred, entries };
             if let Err(e) = journal.append(&record) {
                 self.quarantine(e.code());
                 return Err(SessionError::Journal(e));
@@ -754,11 +802,7 @@ impl SessionService {
     /// The session keeps its id, Dynamic-Cache slot, cursor and solve
     /// record — adoption is pure transfer, never a re-plan.
     pub fn adopt_session(&mut self, state: SessionState) {
-        debug_assert!(
-            !self.index.contains_key(&state.id),
-            "session {} adopted twice",
-            state.id
-        );
+        debug_assert!(!self.index.contains_key(&state.id), "session {} adopted twice", state.id);
         debug_assert_eq!(state.phase, SessionPhase::Active);
         for event in state.pending_events() {
             self.scheduler.push(event);
@@ -1032,6 +1076,99 @@ mod tests {
         let err = strict.run_to_completion(&ctx).unwrap_err();
         assert!(matches!(err, SessionError::Solve(_)), "{err}");
         assert_eq!(err.code(), "SES-001");
+    }
+
+    /// Duplicate each fixture trip under a fresh id: sessions sharing a
+    /// trip *shape* are exactly what the table-cache key collapses.
+    fn with_clones(trips: &[Trip]) -> Vec<Trip> {
+        let mut all = trips.to_vec();
+        for (i, t) in trips.iter().enumerate() {
+            let mut clone = t.clone();
+            clone.id = ec_types::TripId(1000 + i as u32);
+            all.push(clone);
+        }
+        all
+    }
+
+    fn scrub_share(mut s: SessionStats) -> SessionStats {
+        // Forecast-share attribution is observational, and a cached
+        // solve never touches the server at all, so these counters
+        // legitimately differ between cached and uncached runs.
+        s.forecast_shared_hits = 0;
+        s.forecast_self_hits = 0;
+        s.forecast_untagged_hits = 0;
+        s.forecast_misses = 0;
+        s
+    }
+
+    #[test]
+    fn table_cache_is_bit_identical_and_replays_clone_sessions() {
+        let f = Fixture::new();
+        let trips = with_clones(&f.trips);
+        let run = |threads: usize, table_cache: crate::TableCacheConfig| {
+            let server = f.server();
+            let ctx = f.ctx(&server);
+            let mut svc = SessionService::new(ServiceConfig {
+                threads,
+                table_cache,
+                ..ServiceConfig::default()
+            });
+            for trip in &trips {
+                svc.register(&ctx, trip).unwrap();
+            }
+            svc.run_to_completion(&ctx).unwrap();
+            svc
+        };
+        let off = run(1, crate::TableCacheConfig::default());
+        assert!(off.cache_metrics().tiers().is_empty(), "cache off reports no tiers");
+        for threads in [1, 2, 8] {
+            let on = run(threads, crate::TableCacheConfig::enabled());
+            assert_eq!(on.event_log(), off.event_log(), "threads={threads}");
+            for (a, b) in on.sessions().zip(off.sessions()) {
+                assert_eq!(a.solves, b.solves, "threads={threads}");
+                assert_eq!(a.cache_stats(), b.cache_stats(), "restored solver counters");
+                assert_eq!(a.solver().prune_stats(), b.solver().prune_stats());
+                assert_eq!(a.current_ranking(), b.current_ranking());
+            }
+            assert_eq!(scrub_share(on.stats()), scrub_share(off.stats()), "threads={threads}");
+            let metrics = on.cache_metrics();
+            let l1 = metrics.get("session.l1").expect("cache on reports its L1");
+            assert!(l1.hits > 0, "clone sessions must replay cached solves: {l1:?}");
+            assert!(l1.insertions > 0);
+        }
+    }
+
+    #[test]
+    fn impure_servers_bypass_the_table_cache() {
+        // A resilience-wrapped server fails the purity gate even while
+        // healthy: cached tables could embed degraded answers, so the
+        // service must serve uncached (and sequential) — with identical
+        // solves to a plain run.
+        let f = Fixture::new();
+        let run = |server: &InfoServer, table_cache: crate::TableCacheConfig| {
+            let ctx = f.ctx(server);
+            let mut svc =
+                SessionService::new(ServiceConfig { table_cache, ..ServiceConfig::default() });
+            for trip in &f.trips {
+                svc.register(&ctx, trip).unwrap();
+            }
+            svc.run_to_completion(&ctx).unwrap();
+            svc
+        };
+        let plain_server = f.server();
+        let plain = run(&plain_server, crate::TableCacheConfig::default());
+        let guarded_server = f.server().with_resilience(eis::ResiliencePolicy::default(), 7);
+        let guarded = run(&guarded_server, crate::TableCacheConfig::enabled());
+        assert_eq!(guarded.event_log(), plain.event_log());
+        for (a, b) in guarded.sessions().zip(plain.sessions()) {
+            assert_eq!(a.solves, b.solves);
+        }
+        let l1 = guarded.cache_metrics().get("session.l1").expect("tier exists, idle");
+        assert_eq!(
+            (l1.hits, l1.misses, l1.insertions),
+            (0, 0, 0),
+            "the purity gate must keep the cache untouched: {l1:?}"
+        );
     }
 
     #[test]

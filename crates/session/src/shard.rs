@@ -84,6 +84,7 @@
 //! itinerary is a pure function of `(trip, config, shard plan)` and is
 //! recomputed, never journaled).
 
+use crate::cache::{TableCache, TableTier};
 use crate::error::{RecoveryError, RegisterError, SessionError};
 use crate::journal::{read_journal, Journal, JournalConfig, Record};
 use crate::recovery::{rebuild_trip, RecoveryReport};
@@ -312,6 +313,9 @@ pub struct ShardedService<'a> {
     graph: &'a roadnet::RoadGraph,
     adapt_every: SimDuration,
     tick_workers: usize,
+    /// The process-wide L2 Offering-Table tier every lane shares, when
+    /// [`crate::TableCacheConfig`] enables caching.
+    table_l2: Option<Arc<TableTier>>,
 }
 
 impl<'a> ShardedService<'a> {
@@ -364,17 +368,24 @@ impl<'a> ShardedService<'a> {
         );
         let plan = ShardPlan::build(graph, fleet, shard.shards, shard.tile_depth);
         let lane_config = shard.lane_config();
+        let table_l2 = shard
+            .service
+            .table_cache
+            .enabled
+            .then(|| TableCache::shared_tier(&shard.service.table_cache));
         let mut lanes = Vec::with_capacity(shard.shards);
         for (i, server) in env.servers.iter().enumerate() {
             let mut service = match &journal_dir {
-                Some(dir) => SessionService::with_journal(
-                    lane_config,
-                    shard_journal_config(dir, i),
-                )?,
+                Some(dir) => {
+                    SessionService::with_journal(lane_config, shard_journal_config(dir, i))?
+                }
                 None => SessionService::new(lane_config),
             };
             let ctx = QueryCtx::new(graph, fleet, server, sims, config);
             service.attach_share(server.forecast_share());
+            if let Some(tier) = &table_l2 {
+                service.attach_table_l2(Arc::clone(tier));
+            }
             lanes.push(Lane { service, ctx });
         }
         Ok(Self {
@@ -384,6 +395,7 @@ impl<'a> ShardedService<'a> {
             graph,
             adapt_every: shard.service.adapt_every,
             tick_workers: shard.tick_workers(),
+            table_l2,
         })
     }
 
@@ -491,7 +503,8 @@ impl<'a> ShardedService<'a> {
                 let next = state
                     .next_event()
                     .expect("a Handoff stop always fronts at least one more stop");
-                let dest = self.plan.shard_of(&state.trip.position_at_offset(self.graph, next.offset_m));
+                let dest =
+                    self.plan.shard_of(&state.trip.position_at_offset(self.graph, next.offset_m));
                 moves.push((dest, state));
             }
         }
@@ -576,6 +589,36 @@ impl<'a> ShardedService<'a> {
         self.lanes.iter().map(|l| l.service.stats()).collect()
     }
 
+    /// The unified cache-metrics registry across the whole front: every
+    /// lane's `session.l1` merged, the shared `session.l2` reported
+    /// once, and the per-shard InfoServer forecast tiers (`eis.fresh`,
+    /// `eis.lkg`) merged. Observational counters — never part of the
+    /// identity contract.
+    #[must_use]
+    pub fn cache_metrics(&self) -> servecache::CacheMetrics {
+        let mut metrics = servecache::CacheMetrics::default();
+        for lane in &self.lanes {
+            if let Some(cache) = lane.service.table_cache() {
+                metrics.record("session.l1", cache.l1_snapshot());
+            }
+            metrics.absorb(&lane.ctx.server.cache_metrics());
+        }
+        if let Some(tier) = &self.table_l2 {
+            metrics.record("session.l2", tier.snapshot());
+        }
+        metrics
+    }
+
+    /// Per-event execution latencies across every lane, µs. Lane order,
+    /// not execution order — use for percentiles, not for sequencing.
+    #[must_use]
+    pub fn event_latencies_us(&self) -> Vec<f64> {
+        self.lanes
+            .iter()
+            .flat_map(|lane| lane.service.event_latencies_us().iter().copied())
+            .collect()
+    }
+
     /// The federated forecast ledger as of the last join, re-joined
     /// fresh so late observations are visible without waiting a tick.
     #[must_use]
@@ -620,7 +663,10 @@ impl<'a> ShardedService<'a> {
 
 /// The journal layout of shard `i` under the front's journal directory.
 fn shard_journal_config(dir: &Path, shard: usize) -> JournalConfig {
-    JournalConfig { snapshot_every_ticks: 0, ..JournalConfig::new(dir.join(format!("shard-{shard}"))) }
+    JournalConfig {
+        snapshot_every_ticks: 0,
+        ..JournalConfig::new(dir.join(format!("shard-{shard}")))
+    }
 }
 
 /// Rebuild a sharded front from its per-shard journals (see the module
@@ -666,12 +712,21 @@ pub fn recover_sharded<'a>(
     }
 
     let lane_config = shard.lane_config();
+    let table_l2 = shard
+        .service
+        .table_cache
+        .enabled
+        .then(|| TableCache::shared_tier(&shard.service.table_cache));
     let mut lanes: Vec<Lane<'a>> = env
         .servers
         .iter()
-        .map(|server| Lane {
-            service: SessionService::from_recovery(lane_config, SessionStats::default(), Vec::new()),
-            ctx: QueryCtx::new(graph, fleet, server, sims, config),
+        .map(|server| {
+            let mut service =
+                SessionService::from_recovery(lane_config, SessionStats::default(), Vec::new());
+            if let Some(tier) = &table_l2 {
+                service.attach_table_l2(Arc::clone(tier));
+            }
+            Lane { service, ctx: QueryCtx::new(graph, fleet, server, sims, config) }
         })
         .collect();
     let mut reports: Vec<RecoveryReport> = reads
@@ -701,9 +756,13 @@ pub fn recover_sharded<'a>(
                     Record::Register { session, vehicle, depart, nodes } => {
                         let trip =
                             rebuild_trip(&lanes[i].ctx, session.0, *vehicle, *depart, nodes)?;
-                        let (itinerary, home) =
-                            build_sharded_itinerary(&lanes[i].ctx, &trip, shard.service.adapt_every, &plan)
-                                .map_err(RecoveryError::Planning)?;
+                        let (itinerary, home) = build_sharded_itinerary(
+                            &lanes[i].ctx,
+                            &trip,
+                            shard.service.adapt_every,
+                            &plan,
+                        )
+                        .map_err(RecoveryError::Planning)?;
                         if home != i {
                             return Err(RecoveryError::ReplayDivergence {
                                 detail: format!(
@@ -781,6 +840,7 @@ pub fn recover_sharded<'a>(
         graph,
         adapt_every: shard.service.adapt_every,
         tick_workers: shard.tick_workers(),
+        table_l2,
     };
     front.federate();
     Ok((front, reports))
@@ -793,8 +853,7 @@ mod tests {
     use roadnet::{urban_grid, UrbanGridParams};
     use trajgen::{generate_trips, BrinkhoffParams};
 
-    fn fixture() -> (roadnet::RoadGraph, chargers::ChargerFleet, SimProviders, Vec<trajgen::Trip>)
-    {
+    fn fixture() -> (roadnet::RoadGraph, chargers::ChargerFleet, SimProviders, Vec<trajgen::Trip>) {
         let graph = urban_grid(&UrbanGridParams::default());
         let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed: 3, ..Default::default() });
         let sims = SimProviders::new(9);
@@ -882,6 +941,75 @@ mod tests {
             }
         }
         assert!(saw_handoff, "10–18 km urban trips at depth 3 must cross shard boundaries");
+    }
+
+    #[test]
+    fn sharded_table_cache_is_bit_identical_and_feeds_the_shared_tier() {
+        let (graph, fleet, sims, mut trips) = fixture();
+        // Align departures so every session interleaves at the shared
+        // rollover/adapt instants (staggered trips would keep each
+        // shape's sessions adjacent in every batch, and even a one-entry
+        // L1 would absorb all collisions), then clone every trip under a
+        // fresh id so the key space collides.
+        for t in &mut trips {
+            t.depart = ec_types::SimTime::from_secs(600);
+        }
+        let mut all = trips.clone();
+        for (i, t) in trips.iter().enumerate() {
+            let mut clone = t.clone();
+            clone.id = ec_types::TripId(1000 + i as u32);
+            all.push(clone);
+        }
+
+        // Uncached, unsharded reference.
+        let server = InfoServer::from_sims(sims.clone());
+        let ctx = QueryCtx::new(&graph, &fleet, &server, &sims, EcoChargeConfig::default());
+        let mut flat = SessionService::new(ServiceConfig::default());
+        for trip in &all {
+            flat.register(&ctx, trip).unwrap();
+        }
+        flat.run_to_completion(&ctx).unwrap();
+
+        for shards in [2, 4] {
+            let env = ShardEnv::new(&sims, shards);
+            // A one-entry L1 forces real fall-through to the shared tier.
+            let table_cache = crate::TableCacheConfig {
+                enabled: true,
+                l1_entries: 1,
+                ..crate::TableCacheConfig::default()
+            };
+            let mut front = ShardedService::new(
+                &env,
+                &graph,
+                &fleet,
+                &sims,
+                EcoChargeConfig::default(),
+                ShardConfig {
+                    shards,
+                    threads: 2,
+                    service: ServiceConfig { table_cache, ..ServiceConfig::default() },
+                    ..ShardConfig::default()
+                },
+            );
+            for trip in &all {
+                front.register(trip).unwrap();
+            }
+            front.run_to_completion().unwrap();
+
+            assert_eq!(front.event_log(), flat.event_log(), "shards={shards}");
+            for (a, b) in front.sessions().iter().zip(flat.sessions()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.solves, b.solves, "shards={shards}");
+                assert_eq!(a.cache_stats(), b.cache_stats(), "restored solver counters");
+            }
+            let metrics = front.cache_metrics();
+            let l1 = metrics.get("session.l1").expect("lanes report their L1s merged");
+            assert!(l1.insertions > 0, "{l1:?}");
+            let l2 = metrics.get("session.l2").expect("the front reports the shared tier once");
+            assert!(l2.insertions > 0, "lanes must publish to the shared tier: {l2:?}");
+            assert!(l2.hits > 0, "a one-entry L1 must fall through to the shared tier: {l2:?}");
+            assert!(metrics.get("eis.fresh").is_some(), "forecast tiers ride along");
+        }
     }
 
     #[test]

@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn absorb_adds_every_counter() {
-        let mut a = SessionStats { registered: 1, events_executed: 10, handoffs: 2, ..Default::default() };
+        let mut a =
+            SessionStats { registered: 1, events_executed: 10, handoffs: 2, ..Default::default() };
         let b = SessionStats {
             registered: 3,
             events_executed: 5,

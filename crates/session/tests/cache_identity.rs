@@ -1,0 +1,177 @@
+//! The tiered-cache acceptance matrix: serving with the Offering-Table
+//! cache enabled is **bit-identical** to serving with it disabled —
+//! swept across provider seeds × detour backends × worker thread counts
+//! × shard counts, on a workload where half the fleet are clones of the
+//! other half so the key space actually collides.
+//!
+//! A cache hit replays a rendered table *and* restores the recorded
+//! post-solve Dynamic-Cache snapshot, so everything downstream of a hit
+//! (later adapted solves, journal images, rankings) must match the
+//! uncached run byte for byte. This sweep is the end-to-end form of
+//! that claim; the in-crate tests cover the mechanics tier by tier.
+
+use chargers::{synth_fleet, ChargerFleet, FleetParams};
+use ecocharge_core::{EcoChargeConfig, QueryCtx};
+use ecocharge_session::{
+    ServiceConfig, SessionService, SessionStats, ShardConfig, ShardEnv, ShardedService,
+    TableCacheConfig,
+};
+use eis::{InfoServer, SimProviders};
+use roadnet::{urban_grid, DetourBackend, RoadGraph, UrbanGridParams};
+use trajgen::{generate_trips, BrinkhoffParams, Trip};
+
+struct World {
+    graph: RoadGraph,
+    fleet: ChargerFleet,
+    sims: SimProviders,
+    trips: Vec<Trip>,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        let graph = urban_grid(&UrbanGridParams::default());
+        let fleet = synth_fleet(&graph, &FleetParams { count: 120, seed, ..Default::default() });
+        let sims = SimProviders::new(seed + 6);
+        let mut trips = generate_trips(
+            &graph,
+            &BrinkhoffParams {
+                trips: 3,
+                min_trip_m: 8_000.0,
+                max_trip_m: 14_000.0,
+                ..Default::default()
+            },
+        );
+        // Align departures so clone sessions interleave with their
+        // originals at the shared rollover/adapt instants, then clone
+        // every trip under a fresh id so the cache key space collides.
+        for t in &mut trips {
+            t.depart = ec_types::SimTime::from_secs(600);
+        }
+        let mut all = trips.clone();
+        for (i, t) in trips.iter().enumerate() {
+            let mut clone = t.clone();
+            clone.id = ec_types::TripId(1000 + i as u32);
+            all.push(clone);
+        }
+        Self { graph, fleet, sims, trips: all }
+    }
+
+    fn config(&self, backend: DetourBackend) -> EcoChargeConfig {
+        EcoChargeConfig { detour_backend: backend, ..EcoChargeConfig::default() }
+    }
+}
+
+fn scrub_share(mut s: SessionStats) -> SessionStats {
+    // A cached solve never touches the InfoServer, so the observational
+    // forecast-share attribution legitimately differs across runs.
+    s.forecast_shared_hits = 0;
+    s.forecast_self_hits = 0;
+    s.forecast_untagged_hits = 0;
+    s.forecast_misses = 0;
+    s
+}
+
+fn serve_flat(
+    world: &World,
+    backend: DetourBackend,
+    threads: usize,
+    cached: bool,
+) -> SessionService {
+    let server = InfoServer::from_sims(world.sims.clone());
+    let ctx =
+        QueryCtx::new(&world.graph, &world.fleet, &server, &world.sims, world.config(backend));
+    let table_cache =
+        if cached { TableCacheConfig::enabled() } else { TableCacheConfig::default() };
+    let mut svc =
+        SessionService::new(ServiceConfig { threads, table_cache, ..ServiceConfig::default() });
+    for trip in &world.trips {
+        svc.register(&ctx, trip).expect("admission");
+    }
+    svc.run_to_completion(&ctx).expect("serving");
+    svc
+}
+
+fn solves_of(
+    svc: &SessionService,
+) -> Vec<(ec_types::SessionId, Vec<ecocharge_session::SolvedTable>)> {
+    svc.sessions().map(|s| (s.id, s.solves.clone())).collect()
+}
+
+#[test]
+fn cached_serving_is_bit_identical_across_seeds_backends_threads() {
+    for seed in [3u64, 11] {
+        let world = World::new(seed);
+        for backend in [DetourBackend::Dijkstra, DetourBackend::Ch] {
+            let reference = serve_flat(&world, backend, 1, false);
+            let ref_solves = solves_of(&reference);
+            assert!(
+                reference.stats().tables_emitted > 0,
+                "seed {seed} {backend:?}: fixture produced no tables"
+            );
+            for threads in [1usize, 4] {
+                let cached = serve_flat(&world, backend, threads, true);
+                let label = format!("seed={seed} backend={backend:?} threads={threads}");
+                assert_eq!(
+                    cached.event_log(),
+                    reference.event_log(),
+                    "{label}: cache changed the event log"
+                );
+                assert_eq!(solves_of(&cached), ref_solves, "{label}: cache changed a table byte");
+                assert_eq!(
+                    scrub_share(cached.stats()),
+                    scrub_share(reference.stats()),
+                    "{label}: cache changed the deterministic counters"
+                );
+                let l1 =
+                    cached.table_cache().expect("cache-on service exposes its cache").l1_snapshot();
+                assert!(l1.hits > 0, "{label}: clone workload never hit the cache: {l1:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_sharded_serving_matches_the_uncached_flat_reference() {
+    for seed in [3u64, 11] {
+        let world = World::new(seed);
+        let backend = DetourBackend::Dijkstra;
+        let reference = serve_flat(&world, backend, 1, false);
+        let ref_solves = solves_of(&reference);
+        for shards in [2usize, 4] {
+            let env = ShardEnv::new(&world.sims, shards);
+            let mut front = ShardedService::new(
+                &env,
+                &world.graph,
+                &world.fleet,
+                &world.sims,
+                world.config(backend),
+                ShardConfig {
+                    shards,
+                    threads: 2,
+                    service: ServiceConfig {
+                        table_cache: TableCacheConfig::enabled(),
+                        ..ServiceConfig::default()
+                    },
+                    ..ShardConfig::default()
+                },
+            );
+            for trip in &world.trips {
+                front.register(trip).expect("admission");
+            }
+            front.run_to_completion().expect("serving");
+
+            let label = format!("seed={seed} shards={shards}");
+            assert_eq!(
+                front.event_log(),
+                reference.event_log(),
+                "{label}: cache changed the merged shard log"
+            );
+            let sharded: Vec<_> =
+                front.sessions().iter().map(|s| (s.id, s.solves.clone())).collect();
+            assert_eq!(sharded, ref_solves, "{label}: cache changed a table byte across shards");
+            let metrics = front.cache_metrics();
+            let l1 = metrics.get("session.l1").expect("per-lane tier reported");
+            assert!(l1.insertions > 0, "{label}: no lane ever populated its L1: {l1:?}");
+        }
+    }
+}

@@ -47,13 +47,8 @@ impl World {
 /// The unsharded reference run.
 fn serve_flat(world: &World) -> SessionService {
     let server = InfoServer::from_sims(world.sims.clone());
-    let ctx = QueryCtx::new(
-        &world.graph,
-        &world.fleet,
-        &server,
-        &world.sims,
-        EcoChargeConfig::default(),
-    );
+    let ctx =
+        QueryCtx::new(&world.graph, &world.fleet, &server, &world.sims, EcoChargeConfig::default());
     let mut svc = SessionService::new(ServiceConfig::default());
     for trip in &world.trips {
         svc.register(&ctx, trip).expect("admission");
@@ -62,7 +57,13 @@ fn serve_flat(world: &World) -> SessionService {
     svc
 }
 
-fn serve_sharded(world: &World, env: &ShardEnv, shards: usize, threads: usize, flat: &SessionService) -> u64 {
+fn serve_sharded(
+    world: &World,
+    env: &ShardEnv,
+    shards: usize,
+    threads: usize,
+    flat: &SessionService,
+) -> u64 {
     let mut front = ShardedService::new(
         env,
         &world.graph,
