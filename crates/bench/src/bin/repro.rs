@@ -10,12 +10,13 @@
 //! `--scale F` fraction of the paper's trajectory cardinality, `--seed N`.
 
 use ecocharge_bench::{
-    print_rows, run_adaptive, run_balance, run_cache, run_dayrun, run_detour, run_fig6, run_fig7,
-    run_fig8, run_fig9, run_modes, run_prune, run_recovery, run_recovery_chaos, run_regret,
-    run_scaling, run_serve, run_sessions, run_shard, run_throughput, run_validation,
-    serve_gate_failures, shard_gate_failures, write_adaptive_json, write_csv, write_detour_json,
-    write_prune_json, write_recovery_json, write_scaling_json, write_serve_json,
-    write_sessions_json, write_shard_json, HarnessConfig, MetroTier,
+    outcomes_gate_failures, print_rows, run_adaptive, run_balance, run_cache, run_dayrun,
+    run_detour, run_fig6, run_fig7, run_fig8, run_fig9, run_modes, run_outcomes_series, run_prune,
+    run_recovery, run_recovery_chaos, run_regret, run_scaling, run_serve, run_sessions, run_shard,
+    run_throughput, run_validation, serve_gate_failures, shard_gate_failures, write_adaptive_json,
+    write_csv, write_detour_json, write_outcomes_json, write_prune_json, write_recovery_json,
+    write_scaling_json, write_serve_json, write_sessions_json, write_shard_json, HarnessConfig,
+    MetroTier,
 };
 use ecocharge_core::DetourBackend;
 use std::path::PathBuf;
@@ -23,7 +24,7 @@ use trajgen::{DatasetKind, DatasetScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|shard|serve|recovery> \
+        "usage: repro <fig6|fig7|fig8|fig9|all|regret|cache|modes|balance|ext|scaling|detour|prune|adaptive|sessions|shard|serve|recovery|outcomes> \
         [--reps N] [--trips N] [--scale F] [--seed N] [--threads N] [--sessions N] \
         [--detour-backend dijkstra|ch|auto] [--metro off|small|full] [--csv DIR]\n\
   fig6..fig9  the paper's evaluation figures\n\
@@ -81,6 +82,17 @@ fn usage() -> ! {
               soak (journal-append failures, worker panics, snapshot corruption);\n\
               writes BENCH_recovery.json (exits non-zero on any divergence or any\n\
               fault that escapes containment)\n\
+  outcomes    closed-loop realized outcomes: driver policies (Nearest, CommitTop1,\n\
+              HedgeTopK, ReQueryOnFull) x fleet sizes x demand intensities through\n\
+              the stochastic-occupancy simulator, measuring realized wait, strand\n\
+              rate, queue depth, detour energy and realized-vs-predicted EC error,\n\
+              with a per-cell determinism matrix (solver threads 1/4/8 + reversed\n\
+              registration must be bit-identical) and a feedback on/off probe;\n\
+              --sessions N runs a single fleet of N vehicles (CI smoke); writes\n\
+              BENCH_outcomes.json (exits non-zero when any cell diverges, a table\n\
+              policy fails to beat Nearest on strand rate AND mean wait at the\n\
+              highest intensity, ReQueryOnFull strands more than CommitTop1 on any\n\
+              cell, or observed-full feedback fails to alter realized outcomes)\n\
   validate    self-check: assert every headline shape claim (exits non-zero on failure)\n\
   ext         all four extensions\n\
   --threads N worker threads for ranking / rep fan-out (default 1)\n\
@@ -666,6 +678,65 @@ fn main() {
             }
             if chaos.iter().any(|c| !c.contained || !c.recovered_identical) {
                 eprintln!("ERROR: an injected fault escaped containment or corrupted recovery");
+                std::process::exit(1);
+            }
+        }
+        "outcomes" => {
+            let fleets: Vec<usize> = sessions_override.map_or_else(|| vec![16, 32], |n| vec![n]);
+            let intensities = [0.5, 1.5, 3.0];
+            let report = run_outcomes_series(&harness, &fleets, &intensities);
+            println!(
+                "\n=== Outcomes: closed-loop realized outcomes ({}, {} chargers) ===",
+                report.world, report.chargers
+            );
+            println!(
+                "{:<14} {:>8} {:>9} {:>8} {:>7} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>10}",
+                "policy",
+                "vehicles",
+                "intensity",
+                "attempts",
+                "strand",
+                "wait(s)",
+                "queue",
+                "divert",
+                "requery",
+                "detour kWh",
+                "EC MAE",
+                "identical"
+            );
+            for r in &report.rows {
+                println!(
+                    "{:<14} {:>8} {:>9.1} {:>8} {:>6.1}% {:>7.0} {:>9.2} {:>8} {:>9} {:>10.1} {:>9.2} {:>10}",
+                    r.policy,
+                    r.vehicles,
+                    r.intensity,
+                    r.attempts,
+                    r.strand_rate * 100.0,
+                    r.mean_wait_s,
+                    r.mean_queue_len,
+                    r.diversions,
+                    r.re_queries,
+                    r.detour_kwh,
+                    r.ec_mae_kwh,
+                    r.identical
+                );
+            }
+            let fb = &report.feedback;
+            println!(
+                "\nfeedback probe ({}, {} vehicles, intensity {}): observed_full={} diverged={}",
+                fb.policy, fb.vehicles, fb.intensity, fb.observed_full, fb.diverged
+            );
+            let path =
+                csv_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_outcomes.json");
+            match write_outcomes_json(&path, &report) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("outcomes json write failed: {e}"),
+            }
+            let failures = outcomes_gate_failures(&report);
+            if !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("ERROR: {f}");
+                }
                 std::process::exit(1);
             }
         }

@@ -209,10 +209,13 @@ struct PairMeta<'a> {
 /// Regression net for the [`DetourBackend::Auto`] default: on every row
 /// pair the backend the cost model would pick (prebuilt-style, the way
 /// the experiment environments resolve it) must not be decisively the
-/// slower of the two. The 2× slack absorbs micro-timing noise on small
-/// graphs where both backends finish in a few µs; what this catches is
-/// the original regression class — the model sending a city-scale graph
-/// to CH (or a metro-scale one to Dijkstra) and losing big.
+/// slower of the two. The 2× relative slack plus a 1 ms absolute floor
+/// absorbs micro-timing noise on small graphs where both backends
+/// finish in a few hundred µs (a loaded test runner can double those
+/// numbers on scheduler jitter alone); what this catches is the
+/// original regression class — the model sending a city-scale graph to
+/// CH (or a metro-scale one to Dijkstra) and losing big, i.e. by tens
+/// of milliseconds.
 fn assert_default_not_slowest(meta: &PairMeta<'_>, dij: &BackendSample, ch: &BackendSample) {
     // Full-settle fraction: this series' workload is the raw batch over
     // the whole candidate list, with no wider fleet the sweeps could
@@ -224,7 +227,7 @@ fn assert_default_not_slowest(meta: &PairMeta<'_>, dij: &BackendSample, ch: &Bac
         DetourBackend::Auto => unreachable!("resolution returns a concrete backend"),
     };
     assert!(
-        picked_us <= other_us * 2.0,
+        picked_us <= other_us.mul_add(2.0, 1_000.0),
         "Auto default picked the slowest backend on {}: chose {} ({picked_us:.1}us) \
          over the alternative ({other_us:.1}us)",
         meta.name,

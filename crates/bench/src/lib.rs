@@ -16,6 +16,7 @@ pub mod detour;
 pub mod env;
 pub mod extensions;
 pub mod figures;
+pub mod outcomes;
 pub mod prune;
 pub mod recovery;
 pub mod scaling;
@@ -30,6 +31,10 @@ pub use detour::{run_detour, write_detour_json, DetourRow};
 pub use env::ExperimentEnv;
 pub use extensions::{run_balance, run_cache, run_dayrun, run_modes, run_regret, run_throughput};
 pub use figures::{run_fig6, run_fig7, run_fig8, run_fig9, HarnessConfig, Row};
+pub use outcomes::{
+    outcomes_gate_failures, run_outcomes_series, write_outcomes_json, FeedbackProbe,
+    OutcomesReport, OutcomesRow,
+};
 pub use prune::{run_prune, write_prune_json, PruneRow};
 pub use recovery::{run_recovery, run_recovery_chaos, write_recovery_json, ChaosRow, RecoveryRow};
 pub use scaling::{run_scaling, write_scaling_json, ScalingRow};

@@ -1,0 +1,525 @@
+//! `repro outcomes` — realized-outcome benchmark for the closed loop.
+//!
+//! Every other series in this harness scores the serving stack on its own
+//! predictions. This one scores it on what a simulated world *delivered*:
+//! each `(policy, fleet, intensity)` cell runs a full closed-loop day
+//! through [`ecocharge_outcomes::run_outcomes`] — stochastic background
+//! occupancy, FIFO queues, arrival-discovery, observed-full feedback —
+//! and records the realized wait, strand rate, queue depth, detour
+//! energy, and realized-vs-predicted clean-energy error.
+//!
+//! Three gate families (all enforced by [`outcomes_gate_failures`]; the
+//! `repro` binary exits non-zero when any fires):
+//!
+//! 1. **determinism** — every cell's ledger digest is bit-identical
+//!    across solver thread counts 1/4/8 *and* across session registration
+//!    order;
+//! 2. **value of information** — at the highest demand intensity, every
+//!    Offering-Table policy strictly beats the [`NearestBaseline`] on
+//!    both strand rate and mean wait (pooled over fleet sizes);
+//! 3. **re-query dominance** — [`ReQueryOnFull`] never strands more
+//!    drivers than [`CommitTop1`] on any cell: learning at the curb and
+//!    re-ranking must not be worse than stubbornly waiting.
+//!
+//! Plus a feedback probe on the hottest cell: the same run with the
+//! observation feed detached must realize a *different* outcome digest
+//! once a full charger has been observed — proof the corrections flow
+//! all the way back into the tables the drivers act on.
+
+use crate::HarnessConfig;
+use chargers::{synth_fleet, FleetParams};
+use ecocharge_outcomes::{
+    run_outcomes, CommitTop1, DriverPolicy, HedgeTopK, NearestBaseline, OutcomeConfig,
+    ReQueryOnFull,
+};
+use eis::SimProviders;
+use roadnet::{urban_grid, UrbanGridParams};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Charger-fleet size for the outcome world. Deliberately small relative
+/// to the vehicle fleets: contention is the phenomenon under test.
+const CHARGERS: usize = 6;
+
+/// Solver thread counts every cell must be bit-identical across.
+const THREAD_AXIS: [usize; 3] = [1, 4, 8];
+
+/// One `(policy, vehicles, intensity)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct OutcomesRow {
+    /// Driver policy name.
+    pub policy: &'static str,
+    /// Vehicles following day schedules.
+    pub vehicles: usize,
+    /// Background demand-intensity multiplier.
+    pub intensity: f64,
+    /// Whether the observation feedback loop was attached.
+    pub feedback: bool,
+    /// Charge attempts started.
+    pub attempts: u64,
+    /// Attempts that ended plugged in.
+    pub charges: u64,
+    /// Attempts that ended the day uncharged.
+    pub strands: u64,
+    /// Attempts that spent time in a line.
+    pub waits: u64,
+    /// Arrivals that refused a hopeless line.
+    pub balks: u64,
+    /// Drives to a kept alternative after an observed-full charger.
+    pub diversions: u64,
+    /// En-route re-ranks after an observed-full charger.
+    pub re_queries: u64,
+    /// Waits abandoned at the patience limit.
+    pub timeouts: u64,
+    /// Mean wait per attempt, seconds.
+    pub mean_wait_s: f64,
+    /// Fraction of attempts stranded.
+    pub strand_rate: f64,
+    /// Mean line length observed at fleet arrivals.
+    pub mean_queue_len: f64,
+    /// Total out-and-back detour energy, kWh.
+    pub detour_kwh: f64,
+    /// Mean |realized − predicted| clean energy per table-backed charge.
+    pub ec_mae_kwh: f64,
+    /// Clean energy actually harvested, kWh.
+    pub clean_kwh: f64,
+    /// Grid energy topped up, kWh.
+    pub grid_kwh: f64,
+    /// Bit-exact ledger digest of the reference (1-thread) run.
+    pub digest: u64,
+    /// Digest identical across [`THREAD_AXIS`] and reversed registration.
+    pub identical: bool,
+    /// Whether a full charger was ever observed this cell.
+    pub observed_full: bool,
+}
+
+/// The feedback on/off probe on the hottest cell.
+#[derive(Debug, Clone)]
+pub struct FeedbackProbe {
+    /// Policy the probe ran.
+    pub policy: &'static str,
+    /// Vehicles in the probe cell.
+    pub vehicles: usize,
+    /// Demand intensity of the probe cell.
+    pub intensity: f64,
+    /// Ledger digest with the observation feed attached.
+    pub digest_on: u64,
+    /// Ledger digest with the feed detached.
+    pub digest_off: u64,
+    /// Whether the feedback run observed a full charger (the premise).
+    pub observed_full: bool,
+    /// `digest_on != digest_off` — corrections changed realized outcomes.
+    pub diverged: bool,
+}
+
+/// Everything `repro outcomes` measured.
+#[derive(Debug, Clone)]
+pub struct OutcomesReport {
+    /// World label.
+    pub world: String,
+    /// Chargers in the world.
+    pub chargers: usize,
+    /// The sweep, policy-major.
+    pub rows: Vec<OutcomesRow>,
+    /// Feedback on/off probe.
+    pub feedback: FeedbackProbe,
+}
+
+/// The policy roster every cell sweeps, table policies first.
+fn policies() -> [&'static dyn DriverPolicy; 4] {
+    [&NearestBaseline, &CommitTop1, &HedgeTopK, &ReQueryOnFull]
+}
+
+/// Run the realized-outcome sweep: `policies x fleets x intensities`,
+/// with a 4-run determinism matrix (threads 1/4/8 + reversed
+/// registration) behind every cell.
+#[must_use]
+pub fn run_outcomes_series(
+    harness: &HarnessConfig,
+    fleets: &[usize],
+    intensities: &[f64],
+) -> OutcomesReport {
+    let g = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+    let fleet =
+        synth_fleet(&g, &FleetParams { count: CHARGERS, seed: harness.seed, ..Default::default() });
+    let sims = SimProviders::new(harness.seed);
+
+    let mut rows = Vec::new();
+    for policy in policies() {
+        for &vehicles in fleets {
+            for &intensity in intensities {
+                let mut cfg = OutcomeConfig {
+                    vehicles,
+                    intensity,
+                    seed: harness.seed,
+                    ..OutcomeConfig::default()
+                };
+                cfg.ecocharge.detour_backend = harness.detour_backend;
+                cfg.ecocharge.threads = THREAD_AXIS[0];
+                let base = run_outcomes(&g, &fleet, &sims, policy, &cfg);
+
+                let mut identical = true;
+                for &threads in &THREAD_AXIS[1..] {
+                    let mut c = cfg.clone();
+                    c.ecocharge.threads = threads;
+                    identical &= run_outcomes(&g, &fleet, &sims, policy, &c).digest == base.digest;
+                }
+                let reversed = OutcomeConfig { reverse_registration: true, ..cfg.clone() };
+                identical &=
+                    run_outcomes(&g, &fleet, &sims, policy, &reversed).digest == base.digest;
+
+                let s = base.stats;
+                rows.push(OutcomesRow {
+                    policy: base.policy,
+                    vehicles,
+                    intensity,
+                    feedback: base.feedback,
+                    attempts: s.attempts,
+                    charges: s.charges,
+                    strands: s.strands,
+                    waits: s.waits,
+                    balks: s.balks,
+                    diversions: s.diversions,
+                    re_queries: s.re_queries,
+                    timeouts: s.timeouts,
+                    mean_wait_s: base.mean_wait_s,
+                    strand_rate: base.strand_rate,
+                    mean_queue_len: base.mean_queue_len,
+                    detour_kwh: base.detour_kwh,
+                    ec_mae_kwh: base.ec_mae_kwh,
+                    clean_kwh: base.clean_kwh,
+                    grid_kwh: base.grid_kwh,
+                    digest: base.digest,
+                    identical,
+                    observed_full: base.first_full_observation.is_some(),
+                });
+            }
+        }
+    }
+
+    // Feedback probe: hottest cell (largest fleet, highest intensity),
+    // the policy that exercises the loop hardest.
+    let vehicles = fleets.iter().copied().max().unwrap_or(16);
+    let intensity = intensities.iter().copied().fold(0.0_f64, f64::max);
+    let mut cfg =
+        OutcomeConfig { vehicles, intensity, seed: harness.seed, ..OutcomeConfig::default() };
+    cfg.ecocharge.detour_backend = harness.detour_backend;
+    let on = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &cfg);
+    let off =
+        run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &OutcomeConfig { feedback: false, ..cfg });
+    let feedback = FeedbackProbe {
+        policy: on.policy,
+        vehicles,
+        intensity,
+        digest_on: on.digest,
+        digest_off: off.digest,
+        observed_full: on.first_full_observation.is_some(),
+        diverged: on.digest != off.digest,
+    };
+
+    OutcomesReport { world: "urban-grid-12x12".to_string(), chargers: CHARGERS, rows, feedback }
+}
+
+/// Pooled (attempt-weighted) strand rate and mean wait for one policy at
+/// one intensity, across fleet sizes.
+fn pooled(rows: &[OutcomesRow], policy: &str, intensity: f64) -> Option<(f64, f64)> {
+    let cells: Vec<&OutcomesRow> =
+        rows.iter().filter(|r| r.policy == policy && r.intensity == intensity).collect();
+    let attempts: u64 = cells.iter().map(|r| r.attempts).sum();
+    if attempts == 0 {
+        return None;
+    }
+    let strands: u64 = cells.iter().map(|r| r.strands).sum();
+    let wait: f64 = cells.iter().map(|r| r.mean_wait_s * r.attempts as f64).sum();
+    Some((strands as f64 / attempts as f64, wait / attempts as f64))
+}
+
+/// Every gate violation in the report (empty = pass).
+#[must_use]
+pub fn outcomes_gate_failures(report: &OutcomesReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let rows = &report.rows;
+
+    // Gate 1: determinism per cell.
+    for r in rows {
+        if !r.identical {
+            failures.push(format!(
+                "cell ({}, {} vehicles, intensity {}) diverged across threads or \
+                 registration order",
+                r.policy, r.vehicles, r.intensity
+            ));
+        }
+    }
+
+    // Gate 2: at the highest intensity, table policies strictly beat
+    // Nearest on strand rate AND mean wait (pooled over fleet sizes).
+    let max_intensity = rows.iter().map(|r| r.intensity).fold(f64::NEG_INFINITY, f64::max);
+    if let Some((near_strand, near_wait)) = pooled(rows, "Nearest", max_intensity) {
+        for policy in ["CommitTop1", "HedgeTopK", "ReQueryOnFull"] {
+            match pooled(rows, policy, max_intensity) {
+                Some((strand, wait)) => {
+                    if strand >= near_strand {
+                        failures.push(format!(
+                            "{policy} strand rate {strand:.4} does not beat Nearest \
+                             {near_strand:.4} at intensity {max_intensity}"
+                        ));
+                    }
+                    if wait >= near_wait {
+                        failures.push(format!(
+                            "{policy} mean wait {wait:.1}s does not beat Nearest \
+                             {near_wait:.1}s at intensity {max_intensity}"
+                        ));
+                    }
+                }
+                None => failures.push(format!("{policy} recorded no attempts")),
+            }
+        }
+    } else if !rows.is_empty() {
+        failures.push("Nearest baseline recorded no attempts".to_string());
+    }
+
+    // Gate 3: ReQueryOnFull never strands more than CommitTop1, any cell.
+    for rq in rows.iter().filter(|r| r.policy == "ReQueryOnFull") {
+        if let Some(c1) = rows.iter().find(|r| {
+            r.policy == "CommitTop1" && r.vehicles == rq.vehicles && r.intensity == rq.intensity
+        }) {
+            if rq.strands > c1.strands {
+                failures.push(format!(
+                    "ReQueryOnFull strands {} > CommitTop1 {} at ({} vehicles, intensity {})",
+                    rq.strands, c1.strands, rq.vehicles, rq.intensity
+                ));
+            }
+        }
+    }
+
+    // Feedback probe: corrections must demonstrably reach realized
+    // outcomes on the hottest cell.
+    let fb = &report.feedback;
+    if !fb.observed_full {
+        failures.push(format!(
+            "feedback probe ({} vehicles, intensity {}) never observed a full charger",
+            fb.vehicles, fb.intensity
+        ));
+    } else if !fb.diverged {
+        failures.push(format!(
+            "feedback on/off digests identical ({:016x}) despite a full-charger observation",
+            fb.digest_on
+        ));
+    }
+
+    failures
+}
+
+/// Write the report as `BENCH_outcomes.json`.
+pub fn write_outcomes_json(path: &Path, report: &OutcomesReport) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"series\": \"outcomes\",")?;
+    writeln!(f, "  \"world\": \"{}\",", report.world)?;
+    writeln!(f, "  \"chargers\": {},", report.chargers)?;
+    writeln!(f, "  \"thread_axis\": [1, 4, 8],")?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, r) in report.rows.iter().enumerate() {
+        let comma = if i + 1 == report.rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"policy\": \"{}\", \"vehicles\": {}, \"intensity\": {}, \
+             \"feedback\": {}, \"attempts\": {}, \"charges\": {}, \"strands\": {}, \
+             \"waits\": {}, \"balks\": {}, \"diversions\": {}, \"re_queries\": {}, \
+             \"timeouts\": {}, \"mean_wait_s\": {:.3}, \"strand_rate\": {:.6}, \
+             \"mean_queue_len\": {:.4}, \"detour_kwh\": {:.4}, \"ec_mae_kwh\": {:.4}, \
+             \"clean_kwh\": {:.4}, \"grid_kwh\": {:.4}, \"digest\": \"{:016x}\", \
+             \"identical\": {}, \"observed_full\": {}}}{}",
+            r.policy,
+            r.vehicles,
+            r.intensity,
+            r.feedback,
+            r.attempts,
+            r.charges,
+            r.strands,
+            r.waits,
+            r.balks,
+            r.diversions,
+            r.re_queries,
+            r.timeouts,
+            r.mean_wait_s,
+            r.strand_rate,
+            r.mean_queue_len,
+            r.detour_kwh,
+            r.ec_mae_kwh,
+            r.clean_kwh,
+            r.grid_kwh,
+            r.digest,
+            r.identical,
+            r.observed_full,
+            comma
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    let fb = &report.feedback;
+    writeln!(
+        f,
+        "  \"feedback_probe\": {{\"policy\": \"{}\", \"vehicles\": {}, \"intensity\": {}, \
+         \"digest_on\": \"{:016x}\", \"digest_off\": \"{:016x}\", \"observed_full\": {}, \
+         \"diverged\": {}}},",
+        fb.policy,
+        fb.vehicles,
+        fb.intensity,
+        fb.digest_on,
+        fb.digest_off,
+        fb.observed_full,
+        fb.diverged
+    )?;
+    let failures = outcomes_gate_failures(report);
+    writeln!(f, "  \"gates_passed\": {},", failures.is_empty())?;
+    writeln!(f, "  \"gate_failures\": [")?;
+    for (i, msg) in failures.iter().enumerate() {
+        let comma = if i + 1 == failures.len() { "" } else { "," };
+        writeln!(f, "    \"{}\"{}", msg.replace('"', "'"), comma)?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(policy: &'static str, vehicles: usize, intensity: f64) -> OutcomesRow {
+        OutcomesRow {
+            policy,
+            vehicles,
+            intensity,
+            feedback: policy != "Nearest",
+            attempts: 20,
+            charges: 18,
+            strands: 2,
+            waits: 5,
+            balks: 1,
+            diversions: 2,
+            re_queries: 1,
+            timeouts: 1,
+            mean_wait_s: 100.0,
+            strand_rate: 0.1,
+            mean_queue_len: 0.5,
+            detour_kwh: 4.0,
+            ec_mae_kwh: 0.5,
+            clean_kwh: 30.0,
+            grid_kwh: 12.0,
+            digest: 0xABCD,
+            identical: true,
+            observed_full: true,
+        }
+    }
+
+    fn probe() -> FeedbackProbe {
+        FeedbackProbe {
+            policy: "ReQueryOnFull",
+            vehicles: 16,
+            intensity: 3.0,
+            digest_on: 1,
+            digest_off: 2,
+            observed_full: true,
+            diverged: true,
+        }
+    }
+
+    /// A synthetic report where every gate passes.
+    fn passing_report() -> OutcomesReport {
+        let mut near = row("Nearest", 16, 3.0);
+        near.strands = 8;
+        near.strand_rate = 0.4;
+        near.mean_wait_s = 400.0;
+        let rows = vec![
+            near,
+            row("CommitTop1", 16, 3.0),
+            row("HedgeTopK", 16, 3.0),
+            row("ReQueryOnFull", 16, 3.0),
+        ];
+        OutcomesReport { world: "t".into(), chargers: 6, rows, feedback: probe() }
+    }
+
+    #[test]
+    fn passing_report_has_no_failures() {
+        assert!(outcomes_gate_failures(&passing_report()).is_empty());
+    }
+
+    #[test]
+    fn divergent_cell_fails_the_determinism_gate() {
+        let mut r = passing_report();
+        r.rows[1].identical = false;
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("diverged across threads")), "{f:?}");
+    }
+
+    #[test]
+    fn table_policy_losing_to_nearest_fails() {
+        let mut r = passing_report();
+        r.rows[3].strands = 9; // worse than Nearest's 8 of 20
+        r.rows[3].strand_rate = 0.45;
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("ReQueryOnFull strand rate")), "{f:?}");
+        // Losing on strands also violates the re-query dominance gate.
+        assert!(f.iter().any(|m| m.contains("> CommitTop1")), "{f:?}");
+    }
+
+    #[test]
+    fn equal_wait_is_not_strictly_better() {
+        let mut r = passing_report();
+        r.rows[2].mean_wait_s = 400.0; // ties Nearest
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("HedgeTopK mean wait")), "{f:?}");
+    }
+
+    #[test]
+    fn requery_dominance_is_checked_per_cell() {
+        let mut r = passing_report();
+        // Add a low-intensity pair where re-query strands more.
+        let mut c1 = row("CommitTop1", 16, 0.5);
+        c1.strands = 1;
+        let mut rq = row("ReQueryOnFull", 16, 0.5);
+        rq.strands = 2;
+        r.rows.push(c1);
+        r.rows.push(rq);
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("intensity 0.5")), "{f:?}");
+    }
+
+    #[test]
+    fn undiverged_feedback_probe_fails() {
+        let mut r = passing_report();
+        r.feedback.diverged = false;
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("digests identical")), "{f:?}");
+        r.feedback.observed_full = false;
+        let f = outcomes_gate_failures(&r);
+        assert!(f.iter().any(|m| m.contains("never observed a full charger")), "{f:?}");
+    }
+
+    #[test]
+    fn json_writer_round_trips_the_shape() {
+        let path = std::env::temp_dir().join("bench_outcomes_test.json");
+        write_outcomes_json(&path, &passing_report()).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("\"series\": \"outcomes\""));
+        assert!(text.contains("\"policy\": \"Nearest\""));
+        assert!(text.contains("\"feedback_probe\""));
+        assert!(text.contains("\"gates_passed\": true"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A real (tiny) sweep: one fleet size, one intensity, all four
+    /// policies, with the full determinism matrix behind each cell.
+    #[test]
+    fn tiny_sweep_is_deterministic_and_accounts_attempts() {
+        let harness = HarnessConfig { seed: 7, ..HarnessConfig::default() };
+        let report = run_outcomes_series(&harness, &[6], &[2.0]);
+        assert_eq!(report.rows.len(), 4);
+        for r in &report.rows {
+            assert!(r.identical, "{} diverged", r.policy);
+            assert!(r.attempts > 0, "{} made no attempts", r.policy);
+            assert_eq!(r.charges + r.strands, r.attempts, "{} lost an attempt", r.policy);
+        }
+    }
+}

@@ -34,10 +34,15 @@ pub struct OfferingEntry {
 }
 
 impl OfferingEntry {
-    /// True when any component of this row came from a degraded source.
+    /// True when any component of this row came from a degraded source
+    /// (stale or fallback). An observation-corrected component does not
+    /// count — the correction carries *more* information than the pure
+    /// model value, so it must not trip the honesty banner.
     #[must_use]
     pub fn is_degraded(&self) -> bool {
-        !self.provenance.is_fully_fresh()
+        self.provenance.l.is_degraded()
+            || self.provenance.a.is_degraded()
+            || self.provenance.d.is_degraded()
     }
 }
 

@@ -25,6 +25,10 @@
 //! * [`mode`] — the three operating modes (§IV: in-vehicle, central
 //!   server, edge device) and their request-cost model, including the
 //!   fault-overhead accounting of degraded refreshes;
+//! * [`observe`] — the arrival-discovery occupancy feed: the closed-loop
+//!   outcome simulator records what drivers actually see at chargers, and
+//!   servers built `with_observations` blend those observations into
+//!   subsequent availability forecasts (tagged `Corrected`);
 //! * [`rpc`] — a minimal crossbeam-channel request/response bus used to
 //!   run an [`InfoServer`] behind a thread boundary in Mode 2;
 //! * [`share`] — the cross-session forecast-reuse ledger the fleet
@@ -34,6 +38,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod mode;
+pub mod observe;
 pub mod provider;
 pub mod resilience;
 pub mod rpc;
@@ -43,6 +48,7 @@ pub mod share;
 pub use cache::{TtlBudget, TtlCache};
 pub use chaos::{ChaosConfig, ChaosProvider, OutageWindow};
 pub use mode::{Mode, ModeCosts};
+pub use observe::{ObservationFeed, ObservationStats, OccupancyObservation, OBSERVATION_TTL};
 pub use provider::{
     AvailabilityProvider, FlakyProvider, SimProviders, TrafficProvider, WeatherProvider,
 };

@@ -1,0 +1,261 @@
+//! Real-world occupancy observations feeding back into availability.
+//!
+//! The paper's availability component `A` is a *forecast*; the closed-loop
+//! outcome simulator (`ecocharge-outcomes`) adds the missing other half:
+//! when a driver arrives at a charger they *see* the true plug occupancy.
+//! That observation is worth more than the model for a short while — the
+//! plugs that were full at 09:12 are probably still full at 09:20 — and
+//! decays toward worthless as sessions turn over.
+//!
+//! [`ObservationFeed`] is the channel: the outcome world records one
+//! [`OccupancyObservation`] per driver arrival, and an [`crate::InfoServer`]
+//! built with [`crate::InfoServer::with_observations`] blends the latest
+//! observation into every subsequent availability forecast for that
+//! charger. The blend is applied *post-fetch* — the fresh/LKG caches only
+//! ever store pure model values, so detaching the feed restores the exact
+//! uncorrected server, and the correction itself is a pure function of
+//! `(cached value, latest observation, now)`.
+//!
+//! Corrected values are tagged [`ComponentQuality::Corrected`], which is
+//! *not* degraded (the correction carries strictly more information than
+//! the bare forecast) but is also not `Fresh` — so the purity gates that
+//! key on `availability_model_backed()` (lazy pruning, offering-table
+//! caching, parallel serving) all disable themselves automatically when a
+//! feed is attached. See `DESIGN.md` §4m.
+
+use ec_types::{ChargerId, ComponentQuality, Interval, SimDuration, SimTime, SourcedInterval};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How long an occupancy observation keeps influencing forecasts. At this
+/// age its blend weight has decayed to zero and the forecast is the pure
+/// model value again. Half an hour spans one to two typical AC session
+/// turnovers — beyond that, who was plugged in when the driver looked
+/// says little.
+pub const OBSERVATION_TTL: SimDuration = SimDuration::from_mins(30);
+
+/// Minimum half-width of a corrected interval. A fresh observation pins
+/// the blend at the observed fraction; without a floor the interval would
+/// collapse to a point and claim certainty no snapshot of a queue can
+/// honestly deliver (a car may leave the second the driver looks away).
+const CORRECTION_FLOOR: f64 = 0.05;
+
+/// One arrival-discovery snapshot: what a driver saw at a charger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyObservation {
+    /// When the driver looked.
+    pub at: SimTime,
+    /// Plugs free at that instant.
+    pub free: u32,
+    /// Total plugs at the site.
+    pub plugs: u32,
+}
+
+impl OccupancyObservation {
+    /// The observed availability fraction in `[0,1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.plugs == 0 {
+            return 0.0;
+        }
+        f64::from(self.free.min(self.plugs)) / f64::from(self.plugs)
+    }
+}
+
+/// Counters for the observation channel, snapshot-style like
+/// [`crate::ServerStats`].
+#[derive(Debug, Default)]
+pub struct ObservationStats {
+    /// Observations recorded (arrivals that looked at a plug bank).
+    pub recorded: AtomicU64,
+    /// Forecasts that were blended with an observation.
+    pub corrections: AtomicU64,
+    /// Forecasts that found only an expired observation (older than
+    /// [`OBSERVATION_TTL`]) and passed through unchanged.
+    pub expired: AtomicU64,
+}
+
+impl ObservationStats {
+    /// Snapshot `(recorded, corrections, expired)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.recorded.load(Ordering::Relaxed),
+            self.corrections.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Latest-observation store, one slot per charger. Shared between the
+/// outcome world (writer) and an [`crate::InfoServer`] (reader) via `Arc`.
+///
+/// Determinism: the map is keyed and iterated in `ChargerId` order, and
+/// the serving layer runs sequentially whenever a feed is attached (the
+/// feed disables `availability_model_backed()`, which gates parallel
+/// serving) — so reads always see a well-defined prefix of writes.
+#[derive(Debug, Default)]
+pub struct ObservationFeed {
+    latest: Mutex<BTreeMap<ChargerId, OccupancyObservation>>,
+    stats: ObservationStats,
+}
+
+impl ObservationFeed {
+    /// Record what a driver saw on arrival. Keeps the newest observation
+    /// per charger (ties by `at` overwrite — the later recording wins,
+    /// and the outcome world records in virtual-time order).
+    pub fn record(&self, charger: ChargerId, obs: OccupancyObservation) {
+        let mut map = self.latest.lock();
+        let keep = match map.get(&charger) {
+            Some(prev) => obs.at >= prev.at,
+            None => true,
+        };
+        if keep {
+            map.insert(charger, obs);
+        }
+        self.stats.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The newest observation for `charger`, if any was ever recorded.
+    #[must_use]
+    pub fn latest(&self, charger: ChargerId) -> Option<OccupancyObservation> {
+        self.latest.lock().get(&charger).copied()
+    }
+
+    /// Chargers with at least one recorded observation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latest.lock().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latest.lock().is_empty()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> &ObservationStats {
+        &self.stats
+    }
+
+    /// Blend the latest observation for `charger` into a model forecast.
+    ///
+    /// With an unexpired observation of age `a`: the interval bounds are
+    /// pulled toward the observed fraction by weight `w = 1 − a/TTL`
+    /// (a fresh observation dominates, an old one barely nudges), then
+    /// re-widened by the same staleness growth the last-known-good tier
+    /// uses plus a small floor — the observation is a point sample, not a
+    /// forecast, and its certainty decays the same way. The result is
+    /// tagged [`ComponentQuality::Corrected`] (or the base quality if
+    /// that was already worse). Without a usable observation the base
+    /// passes through untouched.
+    #[must_use]
+    pub fn correct(
+        &self,
+        charger: ChargerId,
+        base: SourcedInterval,
+        now: SimTime,
+    ) -> SourcedInterval {
+        let Some(obs) = self.latest(charger) else {
+            return base;
+        };
+        let age = now.saturating_since(obs.at);
+        if age > OBSERVATION_TTL || obs.plugs == 0 {
+            self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            return base;
+        }
+        let w = 1.0 - age.as_secs() as f64 / OBSERVATION_TTL.as_secs() as f64;
+        let o = obs.fraction();
+        let lo = base.value.lo() + (o - base.value.lo()) * w;
+        let hi = base.value.hi() + (o - base.value.hi()) * w;
+        let shifted = Interval::new(lo.min(hi), lo.max(hi));
+        let half = crate::server::staleness_half_width(age) + CORRECTION_FLOOR;
+        let value = crate::server::widen_unit(shifted, half);
+        self.stats.corrections.fetch_add(1, Ordering::Relaxed);
+        SourcedInterval { value, quality: base.quality.worst(ComponentQuality::Corrected { age }) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SourcedInterval {
+        SourcedInterval::fresh(Interval::new(0.6, 0.9))
+    }
+
+    #[test]
+    fn no_observation_passes_through() {
+        let feed = ObservationFeed::default();
+        let now = SimTime::from_secs(9 * 3600);
+        assert_eq!(feed.correct(ChargerId(3), base(), now), base());
+        assert!(feed.is_empty());
+    }
+
+    #[test]
+    fn fresh_observation_pins_the_interval_near_the_observed_fraction() {
+        let feed = ObservationFeed::default();
+        let now = SimTime::from_secs(9 * 3600);
+        feed.record(ChargerId(3), OccupancyObservation { at: now, free: 0, plugs: 2 });
+        let c = feed.correct(ChargerId(3), base(), now);
+        // Observed full → blended to 0.0, floor-widened.
+        assert!(c.value.hi() <= CORRECTION_FLOOR + 1e-9, "hi {} near zero", c.value.hi());
+        assert_eq!(c.quality, ComponentQuality::Corrected { age: SimDuration::ZERO });
+        assert!(!c.quality.is_degraded());
+        assert_eq!(feed.stats().snapshot(), (1, 1, 0));
+    }
+
+    #[test]
+    fn correction_decays_with_observation_age() {
+        let feed = ObservationFeed::default();
+        let seen = SimTime::from_secs(9 * 3600);
+        feed.record(ChargerId(7), OccupancyObservation { at: seen, free: 0, plugs: 4 });
+        let soon = feed.correct(ChargerId(7), base(), seen + SimDuration::from_mins(2));
+        let late = feed.correct(ChargerId(7), base(), seen + SimDuration::from_mins(25));
+        // The older the observation, the closer the blend stays to the model.
+        assert!(late.value.mid() > soon.value.mid());
+        // Past the TTL the model value returns untouched.
+        let gone = feed.correct(ChargerId(7), base(), seen + SimDuration::from_mins(31));
+        assert_eq!(gone, base());
+        assert_eq!(feed.stats().snapshot().2, 1, "one expired pass-through");
+    }
+
+    #[test]
+    fn newer_observation_wins_older_recording_is_ignored() {
+        let feed = ObservationFeed::default();
+        let t0 = SimTime::from_secs(9 * 3600);
+        let t1 = t0 + SimDuration::from_mins(5);
+        feed.record(ChargerId(1), OccupancyObservation { at: t1, free: 2, plugs: 2 });
+        feed.record(ChargerId(1), OccupancyObservation { at: t0, free: 0, plugs: 2 });
+        assert_eq!(feed.latest(ChargerId(1)).unwrap().free, 2, "stale write ignored");
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn corrected_interval_reflects_partial_occupancy() {
+        let feed = ObservationFeed::default();
+        let now = SimTime::from_secs(12 * 3600);
+        feed.record(ChargerId(9), OccupancyObservation { at: now, free: 1, plugs: 4 });
+        let c = feed.correct(ChargerId(9), SourcedInterval::fresh(Interval::new(0.7, 0.8)), now);
+        assert!(c.value.contains(0.25), "interval {} should cover the observed 1/4", c.value);
+        assert!(c.value.hi() < 0.7, "pulled well below the model's optimistic range");
+    }
+
+    #[test]
+    fn quality_keeps_the_worse_of_base_and_correction() {
+        let feed = ObservationFeed::default();
+        let now = SimTime::from_secs(12 * 3600);
+        feed.record(ChargerId(2), OccupancyObservation { at: now, free: 1, plugs: 2 });
+        let stale_base =
+            SourcedInterval::stale(Interval::new(0.4, 0.9), SimDuration::from_mins(40));
+        let c = feed.correct(ChargerId(2), stale_base, now);
+        assert_eq!(
+            c.quality,
+            ComponentQuality::Stale { age: SimDuration::from_mins(40) },
+            "staleness dominates a correction in the badge"
+        );
+    }
+}

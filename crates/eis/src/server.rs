@@ -31,6 +31,7 @@
 //! still substitute a configured fallback interval (see `ec-core`).
 
 use crate::cache::{TtlBudget, TtlCache};
+use crate::observe::ObservationFeed;
 use crate::provider::{AvailabilityProvider, TrafficProvider, WeatherProvider, WindProvider};
 use crate::resilience::{BreakerState, FeedKind, GuardSet, GuardSnapshot, ResiliencePolicy};
 use crate::share::{ForecastShare, ShareSnapshot};
@@ -272,6 +273,13 @@ pub struct InfoServer {
     /// Cross-session reuse ledger, attached lazily by the fleet serving
     /// layer ([`InfoServer::forecast_share`]); observational only.
     share: OnceLock<Arc<ForecastShare>>,
+    /// Arrival-discovery occupancy observations blended into every
+    /// availability forecast post-fetch (see [`crate::observe`]). When
+    /// attached, [`InfoServer::availability_model_backed`] reports
+    /// `false`: corrected forecasts are no longer pure functions of
+    /// `(feed key, window)`, so the purity-gated fast paths must stand
+    /// down.
+    observations: Option<Arc<ObservationFeed>>,
 }
 
 impl InfoServer {
@@ -300,6 +308,7 @@ impl InfoServer {
             guards: None,
             avail_model_backed: false,
             share: OnceLock::new(),
+            observations: None,
         }
     }
 
@@ -381,13 +390,36 @@ impl InfoServer {
         s
     }
 
-    /// Whether the availability feed is the in-tree simulation model.
-    /// Clients that bound availability with the `ec-models` archetype
-    /// envelopes (the lazy filter–refine engine) must check this: an
-    /// externally wired provider makes those bounds meaningless.
+    /// Whether every availability forecast is the pure in-tree simulation
+    /// model. Clients that bound availability with the `ec-models`
+    /// archetype envelopes (the lazy filter–refine engine) or cache
+    /// offering tables across solves must check this: an externally wired
+    /// provider makes those bounds meaningless, and an attached
+    /// observation feed ([`InfoServer::with_observations`]) makes
+    /// forecasts depend on what drivers have seen, not just on
+    /// `(feed key, window)`.
     #[must_use]
     pub const fn availability_model_backed(&self) -> bool {
-        self.avail_model_backed
+        self.avail_model_backed && self.observations.is_none()
+    }
+
+    /// Blend real-world occupancy observations into every availability
+    /// forecast (see [`crate::observe`]). Corrections are applied after
+    /// the three-tier read — the caches only ever hold pure model values
+    /// — and tag the result [`ec_types::ComponentQuality::Corrected`].
+    /// Attaching a feed turns [`InfoServer::availability_model_backed`]
+    /// off, which stands down lazy pruning, offering-table caching, and
+    /// parallel serving.
+    #[must_use]
+    pub fn with_observations(mut self, feed: Arc<ObservationFeed>) -> Self {
+        self.observations = Some(feed);
+        self
+    }
+
+    /// The attached observation feed, if any.
+    #[must_use]
+    pub fn observation_feed(&self) -> Option<&Arc<ObservationFeed>> {
+        self.observations.as_ref()
     }
 
     /// Attach a wind feed (stations with zero wind capacity never ask).
@@ -525,7 +557,7 @@ impl InfoServer {
     ) -> Result<SourcedInterval, EcError> {
         let bucket = eta_bucket(eta);
         let key = (charger.id.0, bucket.as_secs());
-        self.fetch(
+        let base = self.fetch(
             FeedKind::Availability,
             &self.avail_cache,
             &self.avail_lkg,
@@ -536,7 +568,11 @@ impl InfoServer {
                 self.stats.availability_calls.fetch_add(1, Ordering::Relaxed);
                 self.availability.forecast_availability(charger, now, bucket)
             },
-        )
+        )?;
+        Ok(match &self.observations {
+            Some(feed) => feed.correct(charger.id, base, now),
+            None => base,
+        })
     }
 
     /// Cached traffic time-factor forecast for `class` at `eta`.

@@ -1,0 +1,128 @@
+//! Exogenous background demand: the drivers who are not in the fleet.
+//!
+//! The availability *forecast* models other people's demand statistically
+//! (`ec-models` archetype busy curves); the closed-loop world needs those
+//! other people to actually show up and take plugs. Each charger gets a
+//! seeded arrival process whose rate follows its site archetype's
+//! time-of-day busy curve scaled by plug count, turnover speed of its
+//! charger kind, and the cell's demand-intensity knob — so a Downtown
+//! DC plaza at 18:00 under intensity 3.0 really is hard to get into,
+//! exactly the situation the forecast claimed was likely.
+//!
+//! Everything here is a pure function of `(charger, time, intensity)`
+//! plus one [`SplitMix64`] stream per charger seeded from
+//! [`chargers::Charger::entity_seed`] — byte-identical across runs,
+//! thread counts and registration orders.
+
+use chargers::{Charger, ChargerKind};
+use ec_types::{SimDuration, SimTime, SplitMix64};
+
+/// Background sessions per plug-hour at peak busyness for each charger
+/// kind — fast DC plugs turn over far more often than overnight AC posts.
+#[must_use]
+pub fn turnover_per_plug_hour(kind: ChargerKind) -> f64 {
+    match kind {
+        ChargerKind::Ac11 => 0.45,
+        ChargerKind::Ac22 => 0.7,
+        ChargerKind::Dc50 => 1.3,
+        ChargerKind::Dc150 => 1.8,
+    }
+}
+
+/// Expected background arrivals per hour at `charger` around instant
+/// `at`, under demand-intensity multiplier `intensity` (1.0 = the
+/// archetype curves as modelled; the bench sweeps this axis).
+#[must_use]
+pub fn arrival_rate_per_hour(charger: &Charger, at: SimTime, intensity: f64) -> f64 {
+    let busy = charger.archetype.base_busy(at.hour_f64(), at.day().is_weekend());
+    let plugs = fleetsim::occupancy::plug_count(charger.kind) as f64;
+    intensity * busy * plugs * turnover_per_plug_hour(charger.kind)
+}
+
+/// Sample the gap to the next background arrival from the exponential
+/// law at the current rate (a piecewise-constant-rate Poisson process:
+/// the rate is re-read at every arrival, which tracks the busy curve on
+/// the scale of the gaps themselves). Clamped to `[1 min, 2 h]` so a
+/// dead overnight rate still advances virtual time and a spike cannot
+/// schedule two arrivals in the same second (event keys stay unique).
+#[must_use]
+pub fn next_arrival_gap(rate_per_hour: f64, rng: &mut SplitMix64) -> SimDuration {
+    let u = rng.next_f64();
+    let secs = if rate_per_hour > 1e-3 {
+        // Inverse-CDF draw; `1 - u` keeps ln away from zero.
+        -(1.0 - u).ln() * 3_600.0 / rate_per_hour
+    } else {
+        f64::from(2 * 3_600)
+    };
+    SimDuration::from_secs_f64(secs.clamp(60.0, 2.0 * 3_600.0))
+}
+
+/// Sample how long a background session holds its plug: AC drivers park
+/// and leave the car, DC drivers wait out a fast charge.
+#[must_use]
+pub fn session_duration(kind: ChargerKind, rng: &mut SplitMix64) -> SimDuration {
+    let mins = match kind {
+        ChargerKind::Ac11 => 50 + rng.below(61),  // 50–110 min
+        ChargerKind::Ac22 => 40 + rng.below(51),  // 40–90 min
+        ChargerKind::Dc50 => 25 + rng.below(26),  // 25–50 min
+        ChargerKind::Dc150 => 15 + rng.below(16), // 15–30 min
+    };
+    SimDuration::from_mins(mins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chargers::Charger;
+    use ec_models::SiteArchetype;
+    use ec_types::{ChargerId, DayOfWeek, GeoPoint, Kilowatts, NodeId};
+
+    fn charger(kind: ChargerKind, archetype: SiteArchetype) -> Charger {
+        Charger {
+            id: ChargerId(0),
+            loc: GeoPoint::new(8.2, 53.1),
+            node: NodeId(0),
+            kind,
+            panel: Kilowatts(20.0),
+            wind: Kilowatts(0.0),
+            archetype,
+        }
+    }
+
+    #[test]
+    fn rate_follows_the_busy_curve_and_intensity() {
+        let c = charger(ChargerKind::Dc50, SiteArchetype::Downtown);
+        let lunch = SimTime::at(0, DayOfWeek::Tue, 12, 30);
+        let night = SimTime::at(0, DayOfWeek::Tue, 3, 0);
+        let r_lunch = arrival_rate_per_hour(&c, lunch, 1.0);
+        let r_night = arrival_rate_per_hour(&c, night, 1.0);
+        assert!(r_lunch > r_night, "downtown lunch beats 03:00");
+        assert!((arrival_rate_per_hour(&c, lunch, 3.0) - 3.0 * r_lunch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_are_clamped_and_deterministic() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..200 {
+            let ga = next_arrival_gap(4.0, &mut a);
+            let gb = next_arrival_gap(4.0, &mut b);
+            assert_eq!(ga, gb);
+            assert!(ga >= SimDuration::from_secs(60) && ga <= SimDuration::from_hours(2));
+        }
+        // A dead rate still advances time.
+        assert_eq!(next_arrival_gap(0.0, &mut a), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn dc_sessions_are_shorter_than_ac() {
+        let mut rng = SplitMix64::new(4);
+        let mut max_dc = SimDuration::ZERO;
+        let mut min_ac = SimDuration::from_hours(10);
+        for _ in 0..100 {
+            max_dc = max_dc.max(session_duration(ChargerKind::Dc150, &mut rng));
+            min_ac = min_ac.min(session_duration(ChargerKind::Ac11, &mut rng));
+        }
+        assert!(max_dc < min_ac, "DC150 ({max_dc:?}) must turn over faster than Ac11 ({min_ac:?})");
+    }
+}

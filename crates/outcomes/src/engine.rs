@@ -1,0 +1,774 @@
+//! The closed-loop event engine.
+//!
+//! [`run_outcomes`] drives one simulated day end to end: fleet vehicles
+//! follow their [`fleetsim::DaySchedule`]s through the *real*
+//! [`SessionService`] (Offering Tables come from the same solver, event
+//! heap and serving stack production queries use — nothing is mocked),
+//! while a seeded background demand process takes and releases plugs at
+//! every charger. At each trip's end the vehicle's [`DriverPolicy`]
+//! commits to ranked candidates and drives there; only on **arrival**
+//! does the driver learn the true occupancy, react (wait in FIFO line,
+//! balk, divert, re-query), and — when feedback is on — report the
+//! observation to the information server, which folds it into later
+//! availability components as [`ComponentQuality::Corrected`] values.
+//!
+//! ## Two heaps, one clock
+//!
+//! The service owns its solve events (re-ranks, rollovers, adaptations,
+//! retirements); the world owns its occupancy events (background
+//! arrivals, plug releases, driver arrivals, patience timeouts). Neither
+//! heap is drained into the other: the engine interleaves them by
+//! peeking both next virtual times and always advancing the earlier one,
+//! world first on ties — so an observation recorded at instant `t` is
+//! visible to every solve evaluated at `t` or later, and never to an
+//! earlier one. Both heaps are deterministic total orders, so the merged
+//! execution is one too: the ledger digest is bit-identical across
+//! solver thread counts and session registration orders (the `repro
+//! outcomes` gates pin this).
+//!
+//! ## Event-key namespaces
+//!
+//! World events ride the same `(time, session, kind)` key as service
+//! events, with [`SessionId`] partitioned by range: real trip ids (small)
+//! carry driver arrivals ([`EventKind::Observe`]) and patience timeouts
+//! ([`EventKind::Occupy`]); `ARRIVAL_NS + charger_index` carries the
+//! per-charger background arrival chain (one pending arrival per charger,
+//! gaps ≥ 60 s, so keys never collide); `RELEASE_NS + lease` carries plug
+//! releases, one fresh lease per plug-in.
+//!
+//! [`ComponentQuality::Corrected`]: ec_types::ComponentQuality::Corrected
+//! [`SessionService`]: ecocharge_session::SessionService
+//! [`DriverPolicy`]: crate::policy::DriverPolicy
+
+use crate::demand;
+use crate::ledger::{OutcomeLedger, OutcomeStats};
+use crate::policy::{ArrivalContext, DriverPolicy, FullReaction};
+use crate::world::ChargerWorld;
+use chargers::ChargerFleet;
+use ec_types::{ChargerId, DayOfWeek, GeoPoint, SessionId, SimDuration, SimTime, SplitMix64};
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use ecocharge_session::{EventKind, EventScheduler, RegisterError, ServiceConfig, SessionService};
+use eis::{InfoServer, ObservationFeed, OccupancyObservation, SimProviders};
+use fleetsim::{build_schedules, ScheduleParams};
+use roadnet::RoadGraph;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Session-id floor for background-arrival events: `ARRIVAL_NS + i`
+/// is charger index `i`'s arrival chain. Trip ids must stay below this.
+pub const ARRIVAL_NS: u32 = 1 << 24;
+/// Session-id floor for plug-release events: `RELEASE_NS + lease`.
+pub const RELEASE_NS: u32 = 1 << 25;
+
+/// Surface-street driving speed for charger detours, m/s (30 km/h).
+const DRIVE_SPEED_MPS: f64 = 8.33;
+/// Fixed park-and-plug overhead per hop, seconds.
+const STOP_OVERHEAD_S: f64 = 60.0;
+/// Consumption while detouring, kWh per km.
+const DRIVE_KWH_PER_KM: f64 = 0.18;
+/// Shortest charge worth plugging in for, hours.
+const MIN_CHARGE_H: f64 = 0.25;
+
+/// Knobs for one outcome cell.
+#[derive(Debug, Clone)]
+pub struct OutcomeConfig {
+    /// Fleet size (vehicles following day schedules).
+    pub vehicles: usize,
+    /// Background demand-intensity multiplier
+    /// ([`demand::arrival_rate_per_hour`]); the bench sweeps this axis.
+    pub intensity: f64,
+    /// Master seed (schedules, background streams).
+    pub seed: u64,
+    /// Day the schedules run on.
+    pub day: DayOfWeek,
+    /// Solver configuration for the serving stack (its `threads` knob is
+    /// the bench's thread-invariance axis; Offering Tables are
+    /// bit-identical at any value by `ec-exec` construction).
+    pub ecocharge: EcoChargeConfig,
+    /// Feed arrival observations back into the information server
+    /// (the closed loop's availability correction path).
+    pub feedback: bool,
+    /// Longest time a driver will sit at a plug, hours.
+    pub max_plug_h: f64,
+    /// Shortest idle window worth attempting a charge in.
+    pub min_idle: SimDuration,
+    /// How long a queued driver waits before giving up.
+    pub patience: SimDuration,
+    /// Line length at or above which arriving drivers balk.
+    pub balk_queue_len: usize,
+    /// En-route re-rank budget per attempt ([`crate::ReQueryOnFull`]).
+    pub max_re_queries: u32,
+    /// Trip-length band for the day schedules, metres.
+    pub trip_band_m: (f64, f64),
+    /// Register fleet sessions in reverse order (the determinism gate
+    /// flips this and requires an identical digest).
+    pub reverse_registration: bool,
+}
+
+impl Default for OutcomeConfig {
+    fn default() -> Self {
+        Self {
+            vehicles: 16,
+            intensity: 1.0,
+            seed: 1,
+            day: DayOfWeek::Tue,
+            ecocharge: EcoChargeConfig::default(),
+            feedback: true,
+            max_plug_h: 2.0,
+            min_idle: SimDuration::from_mins(20),
+            patience: SimDuration::from_mins(30),
+            balk_queue_len: 4,
+            max_re_queries: 3,
+            trip_band_m: (3_000.0, 10_000.0),
+            reverse_registration: false,
+        }
+    }
+}
+
+/// What one `(policy, config)` cell realized.
+#[derive(Debug, Clone)]
+pub struct OutcomeReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Whether the observation feedback loop was on.
+    pub feedback: bool,
+    /// Raw event counters.
+    pub stats: OutcomeStats,
+    /// Mean wait per attempt, seconds.
+    pub mean_wait_s: f64,
+    /// Fraction of attempts that ended uncharged.
+    pub strand_rate: f64,
+    /// Mean line length observed at fleet arrivals.
+    pub mean_queue_len: f64,
+    /// Total out-and-back detour energy, kWh.
+    pub detour_kwh: f64,
+    /// Mean |realized − predicted| clean energy per table-backed charge,
+    /// kWh.
+    pub ec_mae_kwh: f64,
+    /// Clean energy actually harvested, kWh.
+    pub clean_kwh: f64,
+    /// Grid energy topped up, kWh.
+    pub grid_kwh: f64,
+    /// Bit-exact ledger digest (the determinism gates compare this).
+    pub digest: u64,
+    /// When the first full-charger observation happened, if any.
+    pub first_full_observation: Option<SimTime>,
+}
+
+/// One in-flight charge attempt (from commit point to plug-in or strand).
+#[derive(Debug, Clone)]
+struct Attempt {
+    /// Where the driver is headed.
+    target: ChargerId,
+    /// Kept-but-untried alternatives, rank order, with their predicted
+    /// clean kWh for this attempt's window.
+    kept: Vec<(ChargerId, Option<f64>)>,
+    /// Chargers already observed full this attempt.
+    tried: Vec<ChargerId>,
+    /// The trip this attempt follows (re-queries re-rank it).
+    trip: trajgen::Trip,
+    /// Re-queries spent.
+    re_queries: u32,
+    /// Window the driver will actually sit at the plug, hours.
+    charge_h: f64,
+    /// Table-predicted clean kWh for the current target (None for the
+    /// no-information baseline).
+    predicted_kwh: Option<f64>,
+    /// Current position (trip end, then charger to charger).
+    pos: GeoPoint,
+    /// When the driver joined a line, if waiting.
+    queued_at: Option<SimTime>,
+}
+
+/// The mutable world the event loop advances.
+struct Engine<'w> {
+    graph: &'w RoadGraph,
+    fleet: &'w ChargerFleet,
+    sims: &'w SimProviders,
+    policy: &'w dyn DriverPolicy,
+    cfg: &'w OutcomeConfig,
+    /// The observation sink, present only when the feedback loop is on.
+    feed: Option<Arc<ObservationFeed>>,
+    world: ChargerWorld,
+    events: EventScheduler,
+    attempts: BTreeMap<SessionId, Attempt>,
+    /// Active plug leases: release-event session id → charger.
+    releases: BTreeMap<u32, ChargerId>,
+    lease_next: u32,
+    /// One background-arrival RNG per charger (fleet order).
+    bg_rngs: Vec<SplitMix64>,
+    /// Lazily recorded production series per charger (ground truth for
+    /// realized clean energy).
+    series: BTreeMap<ChargerId, ec_models::ProductionSeries>,
+    ledger: OutcomeLedger,
+    /// Past this instant no further background arrivals are scheduled,
+    /// so the heap drains.
+    horizon: SimTime,
+}
+
+impl Engine<'_> {
+    fn schedule(&mut self, time: SimTime, session: u32, kind: EventKind) {
+        self.events.push(ecocharge_session::Event {
+            time,
+            session: SessionId(session),
+            kind,
+            offset_m: 0.0,
+        });
+    }
+
+    /// Seed every charger's background arrival chain from `start`.
+    fn seed_background(&mut self, start: SimTime) {
+        for idx in 0..self.fleet.len() {
+            let charger = &self.fleet.all()[idx];
+            let rate = demand::arrival_rate_per_hour(charger, start, self.cfg.intensity);
+            let gap = demand::next_arrival_gap(rate, &mut self.bg_rngs[idx]);
+            self.schedule(start + gap, ARRIVAL_NS + idx as u32, EventKind::Occupy);
+        }
+    }
+
+    /// Seconds to drive `dist_m` of surface street plus plug-in overhead.
+    fn travel(dist_m: f64) -> SimDuration {
+        SimDuration::from_secs_f64((dist_m / DRIVE_SPEED_MPS + STOP_OVERHEAD_S).max(1.0))
+    }
+
+    /// Commit point: the driver picks their candidates and starts driving
+    /// to the first. `candidates` are `(charger, raw table kWh)` in rank
+    /// order — already cut to the policy's kept count.
+    fn start_attempt(
+        &mut self,
+        sid: SessionId,
+        trip: trajgen::Trip,
+        candidates: &[(ChargerId, Option<f64>)],
+        at: SimTime,
+        idle: SimDuration,
+    ) {
+        debug_assert!(sid.0 < ARRIVAL_NS, "trip ids must stay below the namespace floor");
+        let Some(((first, first_kwh), rest)) = candidates.split_first() else {
+            return;
+        };
+        if idle < self.cfg.min_idle {
+            return;
+        }
+        let dest = trip.position_at_offset(self.graph, trip.length_m());
+        let dist_m = dest.fast_dist_m(&self.fleet.get(*first).loc);
+        let travel = Self::travel(dist_m);
+        // Out and back eats the window twice.
+        let charge_h = (idle.as_hours_f64() - 2.0 * travel.as_hours_f64()).min(self.cfg.max_plug_h);
+        if charge_h < MIN_CHARGE_H {
+            return;
+        }
+        // The table's kWh assume the configured charge window; rescale to
+        // the window this driver actually has.
+        let window = self.cfg.ecocharge.charge_window_h.max(1e-9);
+        let scale = charge_h / window;
+        self.ledger.stats.attempts += 1;
+        self.ledger.add_detour_kwh(2.0 * dist_m / 1_000.0 * DRIVE_KWH_PER_KM);
+        let kept = rest.iter().map(|&(c, kwh)| (c, kwh.map(|v| v * scale))).collect();
+        self.attempts.insert(
+            sid,
+            Attempt {
+                target: *first,
+                kept,
+                tried: Vec::new(),
+                trip,
+                re_queries: 0,
+                charge_h,
+                predicted_kwh: first_kwh.map(|v| v * scale),
+                pos: self.fleet.get(*first).loc,
+                queued_at: None,
+            },
+        );
+        self.schedule(at + travel, sid.0, EventKind::Observe);
+    }
+
+    /// Drive from the current position to another charger (divert or
+    /// re-query pick) and schedule the arrival there.
+    fn hop(&mut self, sid: SessionId, next: ChargerId, predicted: Option<f64>, at: SimTime) {
+        let loc = self.fleet.get(next).loc;
+        let a = self.attempts.get_mut(&sid).expect("hop without an attempt");
+        let dist_m = a.pos.fast_dist_m(&loc);
+        a.target = next;
+        a.pos = loc;
+        a.predicted_kwh = predicted;
+        self.ledger.add_detour_kwh(2.0 * dist_m / 1_000.0 * DRIVE_KWH_PER_KM);
+        self.schedule(at + Self::travel(dist_m), sid.0, EventKind::Observe);
+    }
+
+    /// The attempt ends uncharged.
+    fn strand(&mut self, sid: SessionId) {
+        self.ledger.stats.strands += 1;
+        self.attempts.remove(&sid);
+    }
+
+    /// Join the FIFO line and start the patience clock.
+    fn join_queue(&mut self, sid: SessionId, at: SimTime) {
+        let a = self.attempts.get_mut(&sid).expect("queueing without an attempt");
+        a.queued_at = Some(at);
+        let target = a.target;
+        self.ledger.stats.waits += 1;
+        self.world.bank_mut(target).enqueue(sid, at);
+        self.schedule(at + self.cfg.patience, sid.0, EventKind::Occupy);
+    }
+
+    /// The wait-or-balk tail shared by exhausted diverts and dry
+    /// re-queries (the policy already spent its preferred reaction).
+    fn join_or_balk(&mut self, sid: SessionId, at: SimTime) {
+        let a = &self.attempts[&sid];
+        if self.world.bank(a.target).view().queue_len < self.cfg.balk_queue_len {
+            self.join_queue(sid, at);
+        } else {
+            self.ledger.stats.balks += 1;
+            self.strand(sid);
+        }
+    }
+
+    /// Plug in: record realized energy against the prediction and lease
+    /// the plug until the driver's window ends. `inherited` marks a plug
+    /// handed over by a release (occupancy already counted).
+    fn plug_in(&mut self, sid: SessionId, charger: ChargerId, at: SimTime, inherited: bool) {
+        let a = self.attempts.remove(&sid).expect("plug-in without an attempt");
+        if !inherited {
+            assert!(self.world.bank_mut(charger).occupy(), "plug-in with a full bank");
+        }
+        let c = self.fleet.get(charger);
+        let series = self
+            .series
+            .entry(charger)
+            .or_insert_with(|| c.record_production(&self.sims.weather, 0));
+        let deliverable = c.kind.rate().value() * a.charge_h;
+        let clean = c.exact_clean_energy(series, at, a.charge_h).value().min(deliverable);
+        self.ledger.stats.charges += 1;
+        self.ledger.add_charge(clean, deliverable - clean, a.predicted_kwh);
+        let lease = self.lease_next;
+        self.lease_next += 1;
+        self.releases.insert(RELEASE_NS + lease, charger);
+        let held = SimDuration::from_secs_f64((a.charge_h * 3_600.0).max(1.0));
+        self.schedule(at + held, RELEASE_NS + lease, EventKind::Occupy);
+    }
+
+    /// A fleet driver reaches their target charger and sees the curb.
+    fn on_observe(&mut self, sid: SessionId, at: SimTime, ctx: &QueryCtx<'_>) {
+        let Some(a) = self.attempts.get_mut(&sid) else {
+            return;
+        };
+        let target = a.target;
+        let view = self.world.bank(target).view();
+        self.ledger.stats.observations += 1;
+        self.ledger.sample_queue(view.queue_len);
+        if let Some(feed) = &self.feed {
+            feed.record(
+                target,
+                OccupancyObservation { at, free: view.free as u32, plugs: view.plugs as u32 },
+            );
+        }
+        if view.free > 0 {
+            self.plug_in(sid, target, at, false);
+            return;
+        }
+        self.ledger.note_full_observation(at);
+        let a = self.attempts.get_mut(&sid).expect("checked above");
+        a.tried.push(target);
+        let tried = a.tried.clone();
+        a.kept.retain(|(c, _)| !tried.contains(c));
+        let reaction = self.policy.on_full(&ArrivalContext {
+            queue_len: view.queue_len,
+            plugs: view.plugs,
+            balk_at: self.cfg.balk_queue_len,
+            alternatives_left: a.kept.len(),
+            re_queries_used: a.re_queries,
+            max_re_queries: self.cfg.max_re_queries,
+        });
+        match reaction {
+            FullReaction::Wait => self.join_queue(sid, at),
+            FullReaction::Balk => {
+                self.ledger.stats.balks += 1;
+                self.strand(sid);
+            }
+            FullReaction::Divert => {
+                self.ledger.stats.diversions += 1;
+                let a = self.attempts.get_mut(&sid).expect("checked above");
+                match a.kept.first().copied() {
+                    Some((next, kwh)) => {
+                        a.kept.remove(0);
+                        self.hop(sid, next, kwh, at);
+                    }
+                    None => self.join_or_balk(sid, at),
+                }
+            }
+            FullReaction::ReQuery => self.requery(sid, at, ctx),
+        }
+    }
+
+    /// Re-rank from the curb through a fresh solver. With feedback on,
+    /// the solve already sees the full observation recorded seconds ago
+    /// at this very charger — the correction and the reaction compose.
+    fn requery(&mut self, sid: SessionId, at: SimTime, ctx: &QueryCtx<'_>) {
+        let (trip, tried, scale) = {
+            let a = self.attempts.get_mut(&sid).expect("re-query without an attempt");
+            a.re_queries += 1;
+            let window = self.cfg.ecocharge.charge_window_h.max(1e-9);
+            (a.trip.clone(), a.tried.clone(), a.charge_h / window)
+        };
+        self.ledger.stats.re_queries += 1;
+        let mut solver = EcoCharge::new();
+        let pick = solver.offering_table(ctx, &trip, trip.length_m(), at).ok().and_then(|table| {
+            table
+                .entries
+                .iter()
+                .find(|e| !tried.contains(&e.charger))
+                .map(|e| (e.charger, Some(e.est_clean_kwh.value() * scale)))
+        });
+        match pick {
+            Some((next, kwh)) => self.hop(sid, next, kwh, at),
+            None => self.join_or_balk(sid, at),
+        }
+    }
+
+    /// A queued driver's patience ran out.
+    fn on_timeout(&mut self, sid: SessionId, at: SimTime) {
+        let Some(a) = self.attempts.get_mut(&sid) else {
+            return; // already served or stranded
+        };
+        let Some(queued_at) = a.queued_at else {
+            return;
+        };
+        if at != queued_at + self.cfg.patience {
+            return; // stale timeout from an earlier line
+        }
+        let target = a.target;
+        if self.world.bank_mut(target).abandon(sid) {
+            self.ledger.stats.timeouts += 1;
+            self.ledger.add_wait(self.cfg.patience.as_secs() as f64);
+            self.strand(sid);
+        }
+    }
+
+    /// A plug frees; the line head (if any) inherits it on the spot.
+    fn on_release(&mut self, lease_sid: u32, at: SimTime) {
+        let charger = self.releases.remove(&lease_sid).expect("release without a lease");
+        if let Some((head, since)) = self.world.bank_mut(charger).release() {
+            self.ledger.add_wait(at.saturating_since(since).as_secs() as f64);
+            let a = self.attempts.get_mut(&head).expect("queued driver without an attempt");
+            a.queued_at = None;
+            self.plug_in(head, charger, at, true);
+        }
+    }
+
+    /// A background (non-fleet) driver arrives: take a plug or leave —
+    /// background demand never queues, so lines stay fleet-only and the
+    /// `queue nonempty ⇒ bank full` invariant is cheap to hold.
+    fn on_background(&mut self, idx: usize, at: SimTime) {
+        let charger = &self.fleet.all()[idx];
+        self.ledger.stats.background_arrivals += 1;
+        if self.world.bank_mut(charger.id).occupy() {
+            self.ledger.stats.background_served += 1;
+            let held = demand::session_duration(charger.kind, &mut self.bg_rngs[idx]);
+            let lease = self.lease_next;
+            self.lease_next += 1;
+            self.releases.insert(RELEASE_NS + lease, charger.id);
+            self.schedule(at + held, RELEASE_NS + lease, EventKind::Occupy);
+        } else {
+            self.ledger.stats.background_balked += 1;
+        }
+        // Chain the next arrival at the rate around *now* (piecewise-
+        // constant-rate Poisson), stopping past the horizon so the heap
+        // drains.
+        let rate = demand::arrival_rate_per_hour(charger, at, self.cfg.intensity);
+        let gap = demand::next_arrival_gap(rate, &mut self.bg_rngs[idx]);
+        if at + gap <= self.horizon {
+            self.schedule(at + gap, ARRIVAL_NS + idx as u32, EventKind::Occupy);
+        }
+    }
+
+    /// Execute the single next world event.
+    fn step(&mut self, ctx: &QueryCtx<'_>) {
+        let Some(ev) = self.events.pop_exact(1, |_| false).first().copied() else {
+            return;
+        };
+        let s = ev.session.0;
+        if s >= RELEASE_NS {
+            self.on_release(s, ev.time);
+        } else if s >= ARRIVAL_NS {
+            self.on_background((s - ARRIVAL_NS) as usize, ev.time);
+        } else {
+            match ev.kind {
+                EventKind::Observe => self.on_observe(ev.session, ev.time, ctx),
+                EventKind::Occupy => self.on_timeout(ev.session, ev.time),
+                other => unreachable!("outcome world never schedules {other:?}"),
+            }
+        }
+    }
+}
+
+/// Run one `(policy, config)` cell: build the day's schedules, serve the
+/// fleet through the real session service (policies that read tables),
+/// drive every attempt to a plug-in or a strand, and report what was
+/// realized. Deterministic in `cfg` — bit-identical across
+/// `cfg.ecocharge.threads` and `cfg.reverse_registration`.
+///
+/// # Panics
+/// Panics when the serving stack fails internally (solver errors are
+/// shed per session, not panicked) or when `cfg.vehicles` is zero.
+#[must_use]
+pub fn run_outcomes(
+    graph: &RoadGraph,
+    fleet: &ChargerFleet,
+    sims: &SimProviders,
+    policy: &dyn DriverPolicy,
+    cfg: &OutcomeConfig,
+) -> OutcomeReport {
+    let use_service = policy.uses_offering_tables();
+    let attach_feedback = cfg.feedback && use_service;
+    let feed = Arc::new(ObservationFeed::default());
+    let mut server = InfoServer::from_sims(sims.clone());
+    if attach_feedback {
+        server = server.with_observations(Arc::clone(&feed));
+    }
+    let ctx = QueryCtx::new(graph, fleet, &server, sims, cfg.ecocharge);
+
+    let schedules = build_schedules(
+        graph,
+        &ScheduleParams {
+            vehicles: cfg.vehicles,
+            day: cfg.day,
+            trip_band_m: cfg.trip_band_m,
+            seed: cfg.seed,
+        },
+    );
+    let day_start = SimTime::at(0, cfg.day, 6, 0);
+    let last_arrival = schedules
+        .iter()
+        .filter_map(|s| s.legs.last())
+        .map(|t| t.arrival(graph))
+        .max()
+        .unwrap_or(day_start);
+    let tail = SimDuration::from_hours(1);
+
+    let mut engine = Engine {
+        graph,
+        fleet,
+        sims,
+        policy,
+        cfg,
+        feed: attach_feedback.then(|| Arc::clone(&feed)),
+        world: ChargerWorld::for_fleet(fleet),
+        events: EventScheduler::new(),
+        attempts: BTreeMap::new(),
+        releases: BTreeMap::new(),
+        lease_next: 0,
+        bg_rngs: fleet
+            .iter()
+            .map(|c| {
+                SplitMix64::new(ec_types::rng::mix(
+                    ec_types::rng::subseed(cfg.seed, 0xBA5E),
+                    c.entity_seed(),
+                ))
+            })
+            .collect(),
+        series: BTreeMap::new(),
+        ledger: OutcomeLedger::default(),
+        horizon: last_arrival + SimDuration::from_hours(5),
+    };
+    engine.seed_background(day_start);
+
+    // Per-leg idle windows, keyed by the session id the service will use.
+    let mut idle_of: BTreeMap<SessionId, SimDuration> = BTreeMap::new();
+    let mut trip_of: BTreeMap<SessionId, trajgen::Trip> = BTreeMap::new();
+    for sched in &schedules {
+        for (i, leg) in sched.legs.iter().enumerate() {
+            let sid = SessionId(leg.id.0);
+            idle_of.insert(sid, sched.idle_after(graph, i, tail));
+            trip_of.insert(sid, leg.clone());
+        }
+    }
+
+    let mut service = if use_service {
+        let mut svc = SessionService::new(ServiceConfig {
+            max_sessions: trip_of.len().max(1),
+            events_per_tick: 1,
+            ..ServiceConfig::default()
+        });
+        let mut order: Vec<&trajgen::Trip> = schedules.iter().flat_map(|s| s.legs.iter()).collect();
+        if cfg.reverse_registration {
+            order.reverse();
+        }
+        for trip in order {
+            match svc.register(&ctx, trip) {
+                // A leg the planner cannot segment simply never charges.
+                Ok(_) | Err(RegisterError::Planning(_)) => {}
+                Err(e) => panic!("outcome registration failed: {e:?}"),
+            }
+        }
+        Some(svc)
+    } else {
+        // The no-information baseline never talks to the service: its
+        // decision is the nearest charger to each trip's end, committed
+        // at arrival time.
+        for sched in &schedules {
+            for leg in &sched.legs {
+                let sid = SessionId(leg.id.0);
+                let dest = leg.position_at_offset(graph, leg.length_m());
+                let picks: Vec<(ChargerId, Option<f64>)> =
+                    fleet.knn(&dest, 1).into_iter().map(|(c, _)| (c, None)).collect();
+                engine.start_attempt(sid, leg.clone(), &picks, leg.arrival(graph), idle_of[&sid]);
+            }
+        }
+        None
+    };
+
+    // The merged clock: always advance the earlier heap, world first on
+    // ties so observations at `t` are visible to solves at `t`.
+    loop {
+        let world_next = engine.events.next_time();
+        let service_next = service.as_ref().and_then(SessionService::next_event_time);
+        let run_world = match (world_next, service_next) {
+            (Some(w), Some(s)) => w <= s,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if run_world {
+            engine.step(&ctx);
+            continue;
+        }
+        let svc = service.as_mut().expect("service branch without a service");
+        let before = svc.event_log().len();
+        svc.tick(&ctx).expect("outcome serving tick failed");
+        // A retirement is the trip's commit point: the driver takes the
+        // last Offering Table they were served and starts driving.
+        let retired: Vec<(SessionId, SimTime)> = svc.event_log()[before..]
+            .iter()
+            .filter(|e| e.kind == EventKind::Retire)
+            .map(|e| (e.session, e.time))
+            .collect();
+        for (sid, at) in retired {
+            let Some(state) = svc.session(sid) else {
+                continue;
+            };
+            if state.shed_reason.is_some() {
+                continue;
+            }
+            let Some(solved) = state.solves.iter().rev().find(|s| !s.table.entries.is_empty())
+            else {
+                continue;
+            };
+            let kept = engine.policy.kept_candidates(cfg.ecocharge.k).max(1);
+            let picks: Vec<(ChargerId, Option<f64>)> = solved
+                .table
+                .entries
+                .iter()
+                .take(kept)
+                .map(|e| (e.charger, Some(e.est_clean_kwh.value())))
+                .collect();
+            let trip = trip_of[&sid].clone();
+            engine.start_attempt(sid, trip, &picks, at, idle_of[&sid]);
+        }
+    }
+
+    assert!(engine.attempts.is_empty(), "every attempt must resolve before the heaps drain");
+    let ledger = engine.ledger;
+    let (clean_kwh, grid_kwh) = ledger.energy_kwh();
+    OutcomeReport {
+        policy: policy.name(),
+        feedback: attach_feedback,
+        stats: ledger.stats,
+        mean_wait_s: ledger.mean_wait_secs(),
+        strand_rate: ledger.strand_rate(),
+        mean_queue_len: ledger.mean_queue_len(),
+        detour_kwh: ledger.detour_kwh(),
+        ec_mae_kwh: ledger.ec_mae_kwh(),
+        clean_kwh,
+        grid_kwh,
+        digest: ledger.digest(),
+        first_full_observation: ledger.first_full_observation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CommitTop1, HedgeTopK, NearestBaseline, ReQueryOnFull};
+    use chargers::{synth_fleet, FleetParams};
+    use roadnet::{urban_grid, UrbanGridParams};
+
+    fn world() -> (RoadGraph, ChargerFleet, SimProviders) {
+        let g = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+        let fleet = synth_fleet(&g, &FleetParams { count: 6, seed: 7, ..Default::default() });
+        let sims = SimProviders::new(7);
+        (g, fleet, sims)
+    }
+
+    fn cfg(intensity: f64) -> OutcomeConfig {
+        OutcomeConfig { vehicles: 8, intensity, seed: 3, ..OutcomeConfig::default() }
+    }
+
+    #[test]
+    fn runs_a_cell_and_accounts_every_attempt() {
+        let (g, fleet, sims) = world();
+        let r = run_outcomes(&g, &fleet, &sims, &CommitTop1, &cfg(1.0));
+        assert!(r.stats.attempts > 0, "some vehicle had a usable idle window");
+        assert_eq!(
+            r.stats.charges + r.stats.strands,
+            r.stats.attempts,
+            "every attempt either charged or stranded: {:?}",
+            r.stats
+        );
+        assert!(r.stats.background_arrivals > 0);
+        assert!(r.clean_kwh + r.grid_kwh > 0.0 || r.stats.charges == 0);
+    }
+
+    #[test]
+    fn identical_config_is_bit_identical() {
+        let (g, fleet, sims) = world();
+        let a = run_outcomes(&g, &fleet, &sims, &HedgeTopK, &cfg(2.0));
+        let b = run_outcomes(&g, &fleet, &sims, &HedgeTopK, &cfg(2.0));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn solver_threads_and_registration_order_do_not_change_outcomes() {
+        let (g, fleet, sims) = world();
+        let base = cfg(2.0);
+        let a = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &base);
+        let threaded = OutcomeConfig {
+            ecocharge: EcoChargeConfig { threads: 4, ..base.ecocharge },
+            ..base.clone()
+        };
+        let b = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &threaded);
+        assert_eq!(a.digest, b.digest, "solver thread count leaked into outcomes");
+        let reversed = OutcomeConfig { reverse_registration: true, ..base.clone() };
+        let c = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &reversed);
+        assert_eq!(a.digest, c.digest, "registration order leaked into outcomes");
+    }
+
+    #[test]
+    fn nearest_baseline_runs_without_a_service() {
+        let (g, fleet, sims) = world();
+        let r = run_outcomes(&g, &fleet, &sims, &NearestBaseline, &cfg(1.0));
+        assert!(r.stats.attempts > 0);
+        assert!(!r.feedback, "no tables, no feedback loop");
+        assert_eq!(r.ec_mae_kwh, 0.0, "no predictions to err against");
+    }
+
+    #[test]
+    fn feedback_changes_realized_outcomes_once_a_full_charger_is_seen() {
+        let (g, fleet, sims) = world();
+        // Crank demand so full chargers are observed.
+        let on = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &cfg(4.0));
+        let off = run_outcomes(
+            &g,
+            &fleet,
+            &sims,
+            &ReQueryOnFull,
+            &OutcomeConfig { feedback: false, ..cfg(4.0) },
+        );
+        assert!(on.feedback && !off.feedback);
+        if on.first_full_observation.is_some() {
+            assert_ne!(
+                on.digest, off.digest,
+                "observed-full feedback must alter subsequent tables and thus outcomes"
+            );
+        }
+    }
+}

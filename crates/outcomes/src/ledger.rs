@@ -1,0 +1,298 @@
+//! Realized-outcome accounting.
+//!
+//! What actually happened to every charge attempt: how long the driver
+//! waited, how far they detoured, whether they stranded, and how far the
+//! table's *estimated* clean energy was from what the plug *delivered*.
+//! [`OutcomeStats`] follows the `SessionStats` snapshot pattern (plain
+//! counters, destructuring `absorb` so a new counter cannot silently be
+//! dropped from aggregation); [`OutcomeLedger`] adds the continuous
+//! accumulators and derives the per-cell metrics the `repro outcomes`
+//! gates compare.
+
+use ec_types::{rng, SimTime};
+
+/// Event counters for one outcome run (the stats/metrics snapshot the
+/// repro JSON embeds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeStats {
+    /// Charge attempts started (a driver with a usable idle window and a
+    /// non-empty candidate list).
+    pub attempts: u64,
+    /// Attempts that ended plugged in.
+    pub charges: u64,
+    /// Attempts that spent time in a FIFO line (served or not).
+    pub waits: u64,
+    /// Arrivals that refused a hopeless line outright.
+    pub balks: u64,
+    /// Drives to a kept alternative after an observed-full charger.
+    pub diversions: u64,
+    /// En-route re-ranks after an observed-full charger.
+    pub re_queries: u64,
+    /// Waits abandoned when patience ran out.
+    pub timeouts: u64,
+    /// Attempts that ended the day uncharged.
+    pub strands: u64,
+    /// Arrival-discovery occupancy observations taken.
+    pub observations: u64,
+    /// Background (non-fleet) arrivals generated.
+    pub background_arrivals: u64,
+    /// Background arrivals that found a plug.
+    pub background_served: u64,
+    /// Background arrivals lost to a full bank.
+    pub background_balked: u64,
+}
+
+impl OutcomeStats {
+    /// Fold another snapshot into this one. Destructures `other` so
+    /// adding a counter without aggregating it is a compile error.
+    pub fn absorb(&mut self, other: Self) {
+        let Self {
+            attempts,
+            charges,
+            waits,
+            balks,
+            diversions,
+            re_queries,
+            timeouts,
+            strands,
+            observations,
+            background_arrivals,
+            background_served,
+            background_balked,
+        } = other;
+        self.attempts = self.attempts.saturating_add(attempts);
+        self.charges = self.charges.saturating_add(charges);
+        self.waits = self.waits.saturating_add(waits);
+        self.balks = self.balks.saturating_add(balks);
+        self.diversions = self.diversions.saturating_add(diversions);
+        self.re_queries = self.re_queries.saturating_add(re_queries);
+        self.timeouts = self.timeouts.saturating_add(timeouts);
+        self.strands = self.strands.saturating_add(strands);
+        self.observations = self.observations.saturating_add(observations);
+        self.background_arrivals = self.background_arrivals.saturating_add(background_arrivals);
+        self.background_served = self.background_served.saturating_add(background_served);
+        self.background_balked = self.background_balked.saturating_add(background_balked);
+    }
+}
+
+/// Counters plus continuous accumulators for one run.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeLedger {
+    /// The event counters.
+    pub stats: OutcomeStats,
+    /// Total seconds spent in lines (including abandoned waits).
+    wait_secs: f64,
+    /// Sum of line lengths observed at fleet arrivals.
+    queue_len_sum: u64,
+    /// Out-and-back detour energy burned reaching chargers, kWh.
+    detour_kwh: f64,
+    /// Clean energy actually harvested, kWh.
+    clean_kwh: f64,
+    /// Grid energy topped up, kWh.
+    grid_kwh: f64,
+    /// Sum of |realized − predicted| clean energy over charges with a
+    /// table-backed prediction, kWh.
+    ec_abs_err_kwh: f64,
+    /// Charges contributing to the EC error sum.
+    ec_err_samples: u64,
+    /// When the first full-charger observation was recorded (the instant
+    /// feedback can start altering tables — the regression tests key on
+    /// it).
+    first_full_observation: Option<SimTime>,
+}
+
+impl OutcomeLedger {
+    /// Record time spent waiting in a line.
+    pub fn add_wait(&mut self, secs: f64) {
+        self.wait_secs += secs;
+    }
+
+    /// Record the line length a fleet arrival observed.
+    pub fn sample_queue(&mut self, len: usize) {
+        self.queue_len_sum += len as u64;
+    }
+
+    /// Record out-and-back detour energy.
+    pub fn add_detour_kwh(&mut self, kwh: f64) {
+        self.detour_kwh += kwh;
+    }
+
+    /// Record a completed charge's energy split and, when the attempt
+    /// carried a table prediction, its realized-vs-predicted clean-energy
+    /// error.
+    pub fn add_charge(&mut self, clean_kwh: f64, grid_kwh: f64, predicted_clean_kwh: Option<f64>) {
+        self.clean_kwh += clean_kwh;
+        self.grid_kwh += grid_kwh;
+        if let Some(pred) = predicted_clean_kwh {
+            self.ec_abs_err_kwh += (clean_kwh - pred).abs();
+            self.ec_err_samples += 1;
+        }
+    }
+
+    /// Note a full-charger observation at `at` (keeps the earliest).
+    pub fn note_full_observation(&mut self, at: SimTime) {
+        if self.first_full_observation.is_none() {
+            self.first_full_observation = Some(at);
+        }
+    }
+
+    /// The earliest full-charger observation, if any.
+    #[must_use]
+    pub fn first_full_observation(&self) -> Option<SimTime> {
+        self.first_full_observation
+    }
+
+    /// Mean wait per attempt, seconds (stranded waits included — a
+    /// policy that parks people in hopeless lines pays here).
+    #[must_use]
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.stats.attempts == 0 {
+            0.0
+        } else {
+            self.wait_secs / self.stats.attempts as f64
+        }
+    }
+
+    /// Fraction of attempts that ended uncharged.
+    #[must_use]
+    pub fn strand_rate(&self) -> f64 {
+        if self.stats.attempts == 0 {
+            0.0
+        } else {
+            self.stats.strands as f64 / self.stats.attempts as f64
+        }
+    }
+
+    /// Mean line length observed at fleet arrivals.
+    #[must_use]
+    pub fn mean_queue_len(&self) -> f64 {
+        if self.stats.observations == 0 {
+            0.0
+        } else {
+            self.queue_len_sum as f64 / self.stats.observations as f64
+        }
+    }
+
+    /// Mean |realized − predicted| clean energy per predicted charge,
+    /// kWh.
+    #[must_use]
+    pub fn ec_mae_kwh(&self) -> f64 {
+        if self.ec_err_samples == 0 {
+            0.0
+        } else {
+            self.ec_abs_err_kwh / self.ec_err_samples as f64
+        }
+    }
+
+    /// Total detour energy, kWh.
+    #[must_use]
+    pub fn detour_kwh(&self) -> f64 {
+        self.detour_kwh
+    }
+
+    /// Total `(clean, grid)` energy delivered, kWh.
+    #[must_use]
+    pub fn energy_kwh(&self) -> (f64, f64) {
+        (self.clean_kwh, self.grid_kwh)
+    }
+
+    /// A bit-exact digest of every counter and accumulator — the value
+    /// the determinism gates compare across thread counts and
+    /// registration orders. Any drift in any metric changes it.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xECC0_0C4A_u64;
+        let mut fold = |v: u64| h = rng::mix(h, v);
+        let s = &self.stats;
+        for c in [
+            s.attempts,
+            s.charges,
+            s.waits,
+            s.balks,
+            s.diversions,
+            s.re_queries,
+            s.timeouts,
+            s.strands,
+            s.observations,
+            s.background_arrivals,
+            s.background_served,
+            s.background_balked,
+            self.queue_len_sum,
+            self.ec_err_samples,
+        ] {
+            fold(c);
+        }
+        for f in
+            [self.wait_secs, self.detour_kwh, self.clean_kwh, self.grid_kwh, self.ec_abs_err_kwh]
+        {
+            fold(f.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = OutcomeStats { attempts: 3, strands: 1, ..Default::default() };
+        let b = OutcomeStats { attempts: 2, charges: 2, observations: 5, ..Default::default() };
+        a.absorb(b);
+        assert_eq!(a.attempts, 5);
+        assert_eq!(a.charges, 2);
+        assert_eq!(a.strands, 1);
+        assert_eq!(a.observations, 5);
+    }
+
+    #[test]
+    fn derived_metrics_divide_by_the_right_denominators() {
+        let mut l = OutcomeLedger::default();
+        l.stats.attempts = 4;
+        l.stats.strands = 1;
+        l.stats.observations = 2;
+        l.add_wait(120.0);
+        l.add_wait(60.0);
+        l.sample_queue(3);
+        l.sample_queue(1);
+        l.add_charge(4.0, 2.0, Some(5.0));
+        l.add_charge(3.0, 1.0, None);
+        assert!((l.mean_wait_secs() - 45.0).abs() < 1e-12);
+        assert!((l.strand_rate() - 0.25).abs() < 1e-12);
+        assert!((l.mean_queue_len() - 2.0).abs() < 1e-12);
+        assert!((l.ec_mae_kwh() - 1.0).abs() < 1e-12, "only the predicted charge counts");
+        assert_eq!(l.energy_kwh(), (7.0, 3.0));
+    }
+
+    #[test]
+    fn digest_tracks_every_field() {
+        let mut a = OutcomeLedger::default();
+        let mut b = OutcomeLedger::default();
+        assert_eq!(a.digest(), b.digest());
+        a.add_wait(1.0);
+        assert_ne!(a.digest(), b.digest());
+        b.add_wait(1.0);
+        assert_eq!(a.digest(), b.digest());
+        a.stats.balks += 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn empty_ledger_metrics_are_zero_not_nan() {
+        let l = OutcomeLedger::default();
+        assert_eq!(l.mean_wait_secs(), 0.0);
+        assert_eq!(l.strand_rate(), 0.0);
+        assert_eq!(l.mean_queue_len(), 0.0);
+        assert_eq!(l.ec_mae_kwh(), 0.0);
+    }
+
+    #[test]
+    fn first_full_observation_keeps_the_earliest() {
+        let mut l = OutcomeLedger::default();
+        assert!(l.first_full_observation().is_none());
+        l.note_full_observation(SimTime::from_secs(500));
+        l.note_full_observation(SimTime::from_secs(100));
+        assert_eq!(l.first_full_observation(), Some(SimTime::from_secs(500)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # `ecocharge-outcomes` — closed-loop outcome simulation.
+//!
+//! Every layer below this one measures the serving stack on its own
+//! terms: how fast tables are produced, how tight the intervals are, how
+//! the ranking orders candidates. This crate closes the loop the paper
+//! leaves open — **did the driver actually get a plug?** — by simulating
+//! the world the forecasts are about and letting recommendations feed
+//! back into it:
+//!
+//! * [`world`] — ground-truth plug state per charger: capacity-bounded
+//!   banks, leases, and FIFO wait lines with arrival-discovery semantics;
+//! * [`demand`] — seeded exogenous background arrivals per charger,
+//!   following the site archetype's time-of-day busy curve scaled by a
+//!   demand-intensity knob;
+//! * [`policy`] — the [`DriverPolicy`] reaction spectrum at an
+//!   observed-full charger: [`CommitTop1`] waits, [`HedgeTopK`] falls
+//!   through its kept table entries, [`ReQueryOnFull`] re-ranks from the
+//!   curb, and [`NearestBaseline`] ignores the tables entirely;
+//! * [`ledger`] — realized-outcome accounting: waits, strands, detour
+//!   energy, queue lengths, and realized-vs-predicted clean-energy error,
+//!   with a bit-exact digest the determinism gates compare;
+//! * [`engine`] — [`run_outcomes`]: one simulated day interleaving the
+//!   real [`ecocharge_session::SessionService`] solve heap with the
+//!   occupancy event heap on a single deterministic virtual clock, with
+//!   observed occupancy optionally fed back into the information server
+//!   as availability corrections ([`eis::ObservationFeed`]).
+//!
+//! The endogenous-congestion point is the whole reason this is a *loop*:
+//! when every vehicle is sent to the same "best" charger, that charger
+//! fills up with the fleet's own arrivals — over-recommendation is a
+//! failure mode the open-loop benchmarks cannot see, and exactly what
+//! the `repro outcomes` gates measure policies against.
+
+pub mod demand;
+pub mod engine;
+pub mod ledger;
+pub mod policy;
+pub mod world;
+
+pub use engine::{run_outcomes, OutcomeConfig, OutcomeReport, ARRIVAL_NS, RELEASE_NS};
+pub use ledger::{OutcomeLedger, OutcomeStats};
+pub use policy::{
+    ArrivalContext, CommitTop1, DriverPolicy, FullReaction, HedgeTopK, NearestBaseline,
+    ReQueryOnFull,
+};
+pub use world::{ChargerWorld, CurbView, PlugBank};

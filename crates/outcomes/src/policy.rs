@@ -1,0 +1,221 @@
+//! Driver policies: what to do when the curb disagrees with the table.
+//!
+//! A ranking method answers *where should I go*; a [`DriverPolicy`]
+//! answers the question the paper leaves open — *what do I do when I get
+//! there and it's full?* The engine consults the policy at two moments:
+//! at **commit point** (trip end: how many ranked candidates does the
+//! driver keep reachable) and at every **observed-full arrival** (wait in
+//! line, balk, divert to a kept alternative, or re-query the ranking
+//! service from the curb).
+//!
+//! The three table-consuming policies span the reaction spectrum
+//! Guillet et al. study for stochastic charging search; `Nearest` is the
+//! no-information baseline the outcome gates compare them against.
+
+/// What a driver facing a full charger sees (passed to
+/// [`DriverPolicy::on_full`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalContext {
+    /// Drivers already waiting in line here.
+    pub queue_len: usize,
+    /// Plugs at this site.
+    pub plugs: usize,
+    /// Queue length at or above which waiting is considered hopeless
+    /// (engine knob [`crate::OutcomeConfig::balk_queue_len`]).
+    pub balk_at: usize,
+    /// Kept-but-untried alternatives remaining from the commit-point
+    /// table.
+    pub alternatives_left: usize,
+    /// Re-queries already spent on this attempt.
+    pub re_queries_used: u32,
+    /// Re-query budget per attempt (engine knob).
+    pub max_re_queries: u32,
+}
+
+/// A driver's reaction to an observed-full charger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullReaction {
+    /// Join the FIFO line and wait (bounded by the engine's patience).
+    Wait,
+    /// Give up on charging after this trip (counted as a strand).
+    Balk,
+    /// Drive to the next kept alternative from the commit-point table.
+    Divert,
+    /// Ask the ranking service again from the curb (the re-rank sees the
+    /// just-recorded full observation when feedback is on).
+    ReQuery,
+}
+
+/// The decision interface the outcome engine drives.
+pub trait DriverPolicy: Sync {
+    /// Display name (bench table row).
+    fn name(&self) -> &'static str;
+
+    /// Whether decisions come from the session service's Offering Tables
+    /// (`false` ranks by plain distance — the no-information baseline).
+    fn uses_offering_tables(&self) -> bool {
+        true
+    }
+
+    /// How many ranked candidates the driver keeps reachable at commit
+    /// point, given the table's `k`.
+    fn kept_candidates(&self, k: usize) -> usize;
+
+    /// The reaction to a full charger.
+    fn on_full(&self, ctx: &ArrivalContext) -> FullReaction;
+}
+
+/// Shared wait-or-balk tail: waiting is rational while the line is short
+/// relative to the engine's balk threshold; past it the expected wait
+/// exceeds any plausible patience.
+fn wait_or_balk(ctx: &ArrivalContext) -> FullReaction {
+    if ctx.queue_len < ctx.balk_at {
+        FullReaction::Wait
+    } else {
+        FullReaction::Balk
+    }
+}
+
+/// Commit to the top-ranked charger and stick with it: wait in line when
+/// it is full, give up when the line itself is hopeless. The stubborn
+/// end of the spectrum — and what the `Nearest` baseline does too, so
+/// the gates isolate the value of the *ranking* from the value of the
+/// *reaction*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitTop1;
+
+impl DriverPolicy for CommitTop1 {
+    fn name(&self) -> &'static str {
+        "CommitTop1"
+    }
+
+    fn kept_candidates(&self, _k: usize) -> usize {
+        1
+    }
+
+    fn on_full(&self, ctx: &ArrivalContext) -> FullReaction {
+        wait_or_balk(ctx)
+    }
+}
+
+/// Keep the top-k table entries reachable until commit point; on an
+/// observed-full charger, fall through the kept list in rank order
+/// before resorting to waiting. No new information is used en route —
+/// only the options already on the table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HedgeTopK;
+
+impl DriverPolicy for HedgeTopK {
+    fn name(&self) -> &'static str {
+        "HedgeTopK"
+    }
+
+    fn kept_candidates(&self, k: usize) -> usize {
+        k
+    }
+
+    fn on_full(&self, ctx: &ArrivalContext) -> FullReaction {
+        if ctx.alternatives_left > 0 {
+            FullReaction::Divert
+        } else {
+            wait_or_balk(ctx)
+        }
+    }
+}
+
+/// Re-rank from the curb on every observed-full charger (up to a
+/// per-attempt budget), then fall back to waiting. With the observation
+/// feedback loop on, the re-rank already knows this charger is full —
+/// the en-route reaction and the availability correction compose.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReQueryOnFull;
+
+impl DriverPolicy for ReQueryOnFull {
+    fn name(&self) -> &'static str {
+        "ReQueryOnFull"
+    }
+
+    fn kept_candidates(&self, _k: usize) -> usize {
+        1
+    }
+
+    fn on_full(&self, ctx: &ArrivalContext) -> FullReaction {
+        if ctx.re_queries_used < ctx.max_re_queries {
+            FullReaction::ReQuery
+        } else {
+            wait_or_balk(ctx)
+        }
+    }
+}
+
+/// The no-information baseline: rank purely by distance (never reads a
+/// forecast), then behave like [`CommitTop1`] at the curb. The outcome
+/// gates require every table-consuming policy to beat this on strand
+/// rate and mean wait at the highest demand intensity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NearestBaseline;
+
+impl DriverPolicy for NearestBaseline {
+    fn name(&self) -> &'static str {
+        "Nearest"
+    }
+
+    fn uses_offering_tables(&self) -> bool {
+        false
+    }
+
+    fn kept_candidates(&self, _k: usize) -> usize {
+        1
+    }
+
+    fn on_full(&self, ctx: &ArrivalContext) -> FullReaction {
+        wait_or_balk(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(queue_len: usize, alternatives_left: usize, re_queries_used: u32) -> ArrivalContext {
+        ArrivalContext {
+            queue_len,
+            plugs: 2,
+            balk_at: 3,
+            alternatives_left,
+            re_queries_used,
+            max_re_queries: 3,
+        }
+    }
+
+    #[test]
+    fn commit_top1_waits_short_lines_and_balks_long_ones() {
+        assert_eq!(CommitTop1.kept_candidates(5), 1);
+        assert_eq!(CommitTop1.on_full(&ctx(0, 0, 0)), FullReaction::Wait);
+        assert_eq!(CommitTop1.on_full(&ctx(2, 4, 0)), FullReaction::Wait);
+        assert_eq!(CommitTop1.on_full(&ctx(3, 4, 0)), FullReaction::Balk, "line at threshold");
+    }
+
+    #[test]
+    fn hedge_diverts_while_it_has_options() {
+        assert_eq!(HedgeTopK.kept_candidates(5), 5);
+        assert_eq!(HedgeTopK.on_full(&ctx(0, 3, 0)), FullReaction::Divert);
+        assert_eq!(HedgeTopK.on_full(&ctx(1, 0, 0)), FullReaction::Wait, "options exhausted");
+        assert_eq!(HedgeTopK.on_full(&ctx(5, 0, 0)), FullReaction::Balk);
+    }
+
+    #[test]
+    fn requery_spends_its_budget_then_waits() {
+        assert_eq!(ReQueryOnFull.on_full(&ctx(9, 0, 0)), FullReaction::ReQuery);
+        assert_eq!(ReQueryOnFull.on_full(&ctx(9, 0, 2)), FullReaction::ReQuery);
+        assert_eq!(ReQueryOnFull.on_full(&ctx(1, 0, 3)), FullReaction::Wait);
+        assert_eq!(ReQueryOnFull.on_full(&ctx(4, 0, 3)), FullReaction::Balk);
+    }
+
+    #[test]
+    fn nearest_reads_no_tables() {
+        assert!(!NearestBaseline.uses_offering_tables());
+        assert!(CommitTop1.uses_offering_tables());
+        assert_eq!(NearestBaseline.on_full(&ctx(1, 0, 0)), FullReaction::Wait);
+    }
+}

@@ -1,0 +1,204 @@
+//! Physical plug state: banks, leases, and FIFO wait queues.
+//!
+//! [`ChargerWorld`] is the ground truth the forecasts are *about*: for
+//! every charger, how many plugs exist ([`fleetsim::occupancy::plug_count`]),
+//! how many are taken right now, and who is waiting in line. Fleet
+//! drivers discover this state only on arrival (arrival-discovery
+//! semantics — the Offering Table told them a probability, the curb
+//! tells them the truth), and react through their
+//! [`crate::policy::DriverPolicy`].
+//!
+//! Two invariants the property tests enforce:
+//!
+//! * **capacity** — occupied plugs never exceed the bank's plug count;
+//! * **work conservation + FIFO** — a waiter exists only while every
+//!   plug is taken, and releases serve waiters strictly in arrival
+//!   order.
+
+use chargers::ChargerFleet;
+use ec_types::{ChargerId, SessionId, SimTime};
+use fleetsim::occupancy::plug_count;
+use std::collections::{BTreeMap, VecDeque};
+
+/// What a driver sees when they pull up (the observation the feedback
+/// loop reports to `eis`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurbView {
+    /// Plugs free right now.
+    pub free: usize,
+    /// Total plugs at the site.
+    pub plugs: usize,
+    /// Drivers already waiting in line.
+    pub queue_len: usize,
+}
+
+/// One charger's plug bank and wait line.
+#[derive(Debug, Clone)]
+pub struct PlugBank {
+    /// Total plugs.
+    plugs: usize,
+    /// Plugs currently leased.
+    occupied: usize,
+    /// Fleet drivers waiting, FIFO with their enqueue instants.
+    queue: VecDeque<(SessionId, SimTime)>,
+}
+
+impl PlugBank {
+    /// An empty bank with `plugs` plugs.
+    #[must_use]
+    pub fn new(plugs: usize) -> Self {
+        assert!(plugs > 0, "a charger has at least one plug");
+        Self { plugs, occupied: 0, queue: VecDeque::new() }
+    }
+
+    /// Plugs free right now.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.plugs - self.occupied
+    }
+
+    /// The curb as a driver sees it.
+    #[must_use]
+    pub fn view(&self) -> CurbView {
+        CurbView { free: self.free(), plugs: self.plugs, queue_len: self.queue.len() }
+    }
+
+    /// Take a plug. Returns `false` (bank unchanged) when none is free.
+    pub fn occupy(&mut self) -> bool {
+        if self.occupied < self.plugs {
+            self.occupied += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Join the wait line (only legal while the bank is full — a free
+    /// plug must be taken, not queued behind).
+    pub fn enqueue(&mut self, driver: SessionId, at: SimTime) {
+        debug_assert_eq!(self.free(), 0, "queueing with a free plug violates work conservation");
+        self.queue.push_back((driver, at));
+    }
+
+    /// Release one plug. If someone is waiting, the line head takes the
+    /// freed plug immediately (occupancy stays unchanged) and is
+    /// returned with their enqueue instant; otherwise the plug stays
+    /// free.
+    ///
+    /// # Panics
+    /// Panics when nothing is occupied — a release without a lease is an
+    /// engine bug, not a recoverable state.
+    pub fn release(&mut self) -> Option<(SessionId, SimTime)> {
+        assert!(self.occupied > 0, "release without an active lease");
+        match self.queue.pop_front() {
+            Some(head) => Some(head), // the head inherits the plug
+            None => {
+                self.occupied -= 1;
+                None
+            }
+        }
+    }
+
+    /// Leave the wait line without being served (patience ran out).
+    /// Returns `false` when the driver was not in line (already served).
+    pub fn abandon(&mut self, driver: SessionId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&(d, _)| d != driver);
+        before != self.queue.len()
+    }
+
+    /// Current line, in service order.
+    pub fn waiting(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.queue.iter().map(|&(d, _)| d)
+    }
+}
+
+/// All plug banks, keyed by charger.
+#[derive(Debug, Clone)]
+pub struct ChargerWorld {
+    banks: BTreeMap<ChargerId, PlugBank>,
+}
+
+impl ChargerWorld {
+    /// One bank per charger in `fleet`, sized by kind.
+    #[must_use]
+    pub fn for_fleet(fleet: &ChargerFleet) -> Self {
+        Self { banks: fleet.iter().map(|c| (c.id, PlugBank::new(plug_count(c.kind)))).collect() }
+    }
+
+    /// The bank for `charger`.
+    ///
+    /// # Panics
+    /// Panics for a charger outside the world (engine bug).
+    #[must_use]
+    pub fn bank(&self, charger: ChargerId) -> &PlugBank {
+        self.banks.get(&charger).expect("charger outside the world")
+    }
+
+    /// Mutable access to the bank for `charger`.
+    ///
+    /// # Panics
+    /// Panics for a charger outside the world (engine bug).
+    pub fn bank_mut(&mut self, charger: ChargerId) -> &mut PlugBank {
+        self.banks.get_mut(&charger).expect("charger outside the world")
+    }
+
+    /// Plugs occupied across the whole world (diagnostics).
+    #[must_use]
+    pub fn total_occupied(&self) -> usize {
+        self.banks.values().map(|b| b.plugs - b.free()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn capacity_is_hard() {
+        let mut b = PlugBank::new(2);
+        assert!(b.occupy());
+        assert!(b.occupy());
+        assert!(!b.occupy(), "third car refused");
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.view(), CurbView { free: 0, plugs: 2, queue_len: 0 });
+    }
+
+    #[test]
+    fn release_hands_the_plug_to_the_line_head_fifo() {
+        let mut b = PlugBank::new(1);
+        assert!(b.occupy());
+        b.enqueue(SessionId(10), t(100));
+        b.enqueue(SessionId(11), t(150));
+        let (first, since) = b.release().unwrap();
+        assert_eq!((first, since), (SessionId(10), t(100)));
+        assert_eq!(b.free(), 0, "the head inherited the plug");
+        assert_eq!(b.release().unwrap().0, SessionId(11));
+        assert!(b.release().is_none(), "line empty: the plug actually frees");
+        assert_eq!(b.free(), 1);
+    }
+
+    #[test]
+    fn abandon_removes_from_anywhere_in_line() {
+        let mut b = PlugBank::new(1);
+        assert!(b.occupy());
+        b.enqueue(SessionId(1), t(10));
+        b.enqueue(SessionId(2), t(20));
+        b.enqueue(SessionId(3), t(30));
+        assert!(b.abandon(SessionId(2)));
+        assert!(!b.abandon(SessionId(2)), "already gone");
+        let order: Vec<SessionId> = b.waiting().collect();
+        assert_eq!(order, vec![SessionId(1), SessionId(3)], "FIFO of the remainder preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "without an active lease")]
+    fn release_without_lease_panics() {
+        let mut b = PlugBank::new(1);
+        let _ = b.release();
+    }
+}

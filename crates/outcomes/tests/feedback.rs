@@ -1,0 +1,127 @@
+//! Regression: observed-full feedback demonstrably alters subsequent
+//! Offering Tables.
+//!
+//! Two layers. The component-level test drives the exact mechanism: one
+//! trip solved against two servers — identical except that one carries an
+//! [`eis::ObservationFeed`] — produces identical tables *before* the
+//! first full-charger observation and diverging tables *after* it, with
+//! the availability component's provenance recording the correction. The
+//! engine-level test closes the loop end to end: the same outcome cell
+//! run with feedback on and off diverges in realized outcomes once a full
+//! charger has been observed.
+
+use chargers::{synth_fleet, FleetParams};
+use ec_types::SimDuration;
+use ecocharge_core::{EcoCharge, EcoChargeConfig, QueryCtx, RankingMethod};
+use ecocharge_outcomes::{run_outcomes, OutcomeConfig, ReQueryOnFull};
+use eis::{InfoServer, ObservationFeed, OccupancyObservation, SimProviders};
+use roadnet::{urban_grid, UrbanGridParams};
+use std::sync::Arc;
+use trajgen::{generate_trips, BrinkhoffParams};
+
+#[test]
+fn tables_diverge_only_after_the_first_full_observation() {
+    let g = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+    let fleet = synth_fleet(&g, &FleetParams { count: 8, seed: 11, ..Default::default() });
+    let sims = SimProviders::new(11);
+    let trip =
+        generate_trips(&g, &BrinkhoffParams { trips: 1, seed: 11, ..Default::default() }).remove(0);
+
+    let feed = Arc::new(ObservationFeed::default());
+    let plain = InfoServer::from_sims(sims.clone());
+    let fed = InfoServer::from_sims(sims.clone()).with_observations(Arc::clone(&feed));
+    let config = EcoChargeConfig::default();
+    let ctx_plain = QueryCtx::new(&g, &fleet, &plain, &sims, config);
+    let ctx_fed = QueryCtx::new(&g, &fleet, &fed, &sims, config);
+
+    let solve = |ctx: &QueryCtx<'_>, at| {
+        EcoCharge::new().offering_table(ctx, &trip, trip.length_m(), at).expect("solve")
+    };
+
+    // Before any observation the feed is pass-through: same trip, same
+    // instant, bit-identical tables.
+    let t0 = trip.depart;
+    let before_plain = solve(&ctx_plain, t0);
+    let before_fed = solve(&ctx_fed, t0);
+    assert_eq!(
+        before_plain.charger_ids(),
+        before_fed.charger_ids(),
+        "an empty feed must not alter rankings"
+    );
+    for (p, f) in before_plain.entries.iter().zip(&before_fed.entries) {
+        assert_eq!(p.a, f.a, "an empty feed must not alter availability intervals");
+        assert!(!f.provenance.a.is_corrected(), "nothing observed yet");
+    }
+
+    // A driver arrives at the top-ranked charger and finds it full.
+    let observed = before_plain.entries[0].charger;
+    let t1 = t0 + SimDuration::from_mins(5);
+    let plugs = fleetsim::occupancy::plug_count(fleet.get(observed).kind) as u32;
+    feed.record(observed, OccupancyObservation { at: t1, free: 0, plugs });
+
+    // Every later solve sees the correction: the observed charger's
+    // availability is pulled toward zero, the provenance says so, and the
+    // plain server — same trip, same instant — disagrees.
+    let t2 = t1 + SimDuration::from_mins(2);
+    let after_plain = solve(&ctx_plain, t2);
+    let after_fed = solve(&ctx_fed, t2);
+    let fed_entry = after_fed
+        .entries
+        .iter()
+        .find(|e| e.charger == observed)
+        .expect("observed charger stays in radius");
+    let plain_entry = after_plain
+        .entries
+        .iter()
+        .find(|e| e.charger == observed)
+        .expect("observed charger stays in radius");
+    assert!(
+        fed_entry.provenance.a.is_corrected(),
+        "the correction must be recorded in provenance, got {:?}",
+        fed_entry.provenance.a
+    );
+    assert!(!plain_entry.provenance.a.is_corrected());
+    assert_ne!(
+        plain_entry.a, fed_entry.a,
+        "a fresh full observation must move the availability interval"
+    );
+    assert!(
+        fed_entry.a.lo() <= plain_entry.a.lo(),
+        "full observation cannot raise the availability floor: {:?} vs {:?}",
+        fed_entry.a,
+        plain_entry.a
+    );
+    // The correction is honest, not punitive: corrected components do not
+    // trip the degraded-row banner.
+    assert!(!fed_entry.is_degraded(), "Corrected is better information, not worse");
+}
+
+#[test]
+fn closed_loop_feedback_diverges_after_first_full_observation() {
+    let g = urban_grid(&UrbanGridParams { cols: 12, rows: 12, ..Default::default() });
+    let fleet = synth_fleet(&g, &FleetParams { count: 5, seed: 7, ..Default::default() });
+    let sims = SimProviders::new(7);
+    // A small fleet of chargers under heavy background demand: full
+    // chargers are guaranteed, so the feedback path must engage.
+    let cell = OutcomeConfig { vehicles: 10, intensity: 4.0, seed: 3, ..OutcomeConfig::default() };
+    let on = run_outcomes(&g, &fleet, &sims, &ReQueryOnFull, &cell);
+    let off = run_outcomes(
+        &g,
+        &fleet,
+        &sims,
+        &ReQueryOnFull,
+        &OutcomeConfig { feedback: false, ..cell.clone() },
+    );
+    assert!(on.feedback && !off.feedback);
+    assert!(
+        on.first_full_observation.is_some(),
+        "at intensity 4 a full charger must be observed: {:?}",
+        on.stats
+    );
+    assert_ne!(
+        on.digest, off.digest,
+        "feedback on vs off must realize different outcomes once a full charger was seen \
+         (on: {:?}, off: {:?})",
+        on.stats, off.stats
+    );
+}

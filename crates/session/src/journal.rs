@@ -122,6 +122,10 @@ impl Enc {
                 self.u64(age.as_secs());
             }
             ComponentQuality::Fallback => self.u8(2),
+            ComponentQuality::Corrected { age } => {
+                self.u8(3);
+                self.u64(age.as_secs());
+            }
         }
     }
     fn components(&mut self, c: &Components) {
@@ -200,6 +204,7 @@ impl<'a> Dec<'a> {
             0 => Ok(ComponentQuality::Fresh),
             1 => Ok(ComponentQuality::Stale { age: SimDuration::from_secs(self.u64(what)?) }),
             2 => Ok(ComponentQuality::Fallback),
+            3 => Ok(ComponentQuality::Corrected { age: SimDuration::from_secs(self.u64(what)?) }),
             _ => Err(self.fail(what)),
         }
     }
@@ -292,6 +297,8 @@ const fn kind_to_u8(kind: EventKind) -> u8 {
         EventKind::Adapt => 2,
         EventKind::Retire => 3,
         EventKind::Handoff => 4,
+        EventKind::Occupy => 5,
+        EventKind::Observe => 6,
     }
 }
 
@@ -302,6 +309,8 @@ fn kind_from_u8(v: u8) -> Option<EventKind> {
         2 => Some(EventKind::Adapt),
         3 => Some(EventKind::Retire),
         4 => Some(EventKind::Handoff),
+        5 => Some(EventKind::Occupy),
+        6 => Some(EventKind::Observe),
         _ => None,
     }
 }

@@ -39,6 +39,20 @@ pub enum EventKind {
     Adapt,
     /// Trip complete: retire the session.
     Retire,
+    /// A plug-state transition in the closed-loop outcome world: a
+    /// background (non-fleet) arrival occupying a plug, or a charging
+    /// vehicle releasing one. Carried on the same total order as the
+    /// solve events so occupancy is causally consistent with the tables
+    /// being served; only the outcome simulator (`ecocharge-outcomes`)
+    /// schedules these, never [`crate::build_itinerary`].
+    Occupy,
+    /// Arrival-discovery: a fleet driver reaches their chosen charger and
+    /// learns the *true* occupancy (the paper's availability component is
+    /// an estimate; this is the ground truth it is scored against). The
+    /// driver's wait/balk/divert reaction and the observation fed back to
+    /// the information server both hang off this event. Outcome-simulator
+    /// only, like [`EventKind::Occupy`].
+    Observe,
 }
 
 impl EventKind {
@@ -51,6 +65,8 @@ impl EventKind {
             Self::Rollover => "rollover",
             Self::Adapt => "adapt",
             Self::Retire => "retire",
+            Self::Occupy => "occupy",
+            Self::Observe => "observe",
         }
     }
 }
@@ -312,6 +328,8 @@ mod tests {
         assert!(ev(10, 0, EventKind::Rerank) < ev(10, 0, EventKind::Rollover));
         assert!(ev(10, 0, EventKind::Rollover) < ev(10, 0, EventKind::Adapt));
         assert!(ev(10, 0, EventKind::Adapt) < ev(10, 0, EventKind::Retire));
+        assert!(ev(10, 0, EventKind::Retire) < ev(10, 0, EventKind::Occupy));
+        assert!(ev(10, 0, EventKind::Occupy) < ev(10, 0, EventKind::Observe));
         assert!(ev(10, 0, EventKind::Retire) < ev(10, 1, EventKind::Rerank));
         assert!(ev(10, 9, EventKind::Retire) < ev(11, 0, EventKind::Rerank));
     }

@@ -45,7 +45,7 @@ use crate::registry::{
 };
 use crate::scheduler::{Event, EventScheduler};
 use crate::stats::SessionStats;
-use ec_types::{EcError, SessionId, SimDuration};
+use ec_types::{EcError, SessionId, SimDuration, SimTime};
 use ecocharge_core::QueryCtx;
 use eis::{FeedKind, ForecastShare, InfoServer, SessionScope};
 use servecache::CacheMetrics;
@@ -826,6 +826,14 @@ impl SessionService {
         self.scheduler.len()
     }
 
+    /// Virtual time of the next queued event, if any. Lets an outer
+    /// loop (e.g. the closed-loop outcome engine) interleave its own
+    /// virtual-time heap with this service's without draining either.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.scheduler.next_time()
+    }
+
     /// Every executed event, in execution order — which, by the
     /// determinism argument, *is* the scheduler's total order whatever
     /// the thread count or tick budget. A recovered service's log covers
@@ -1133,8 +1141,14 @@ mod tests {
             assert_eq!(scrub_share(on.stats()), scrub_share(off.stats()), "threads={threads}");
             let metrics = on.cache_metrics();
             let l1 = metrics.get("session.l1").expect("cache on reports its L1");
-            assert!(l1.hits > 0, "clone sessions must replay cached solves: {l1:?}");
             assert!(l1.insertions > 0);
+            // Hit counters are deliberately outside the determinism
+            // contract (§4l): two lanes solving the same shape in one
+            // parallel batch may both miss and both insert. Only the
+            // sequential run promises every clone after the first hits.
+            if threads == 1 {
+                assert!(l1.hits > 0, "clone sessions must replay cached solves: {l1:?}");
+            }
         }
     }
 

@@ -167,6 +167,11 @@ pub fn simulate_day(g: &RoadGraph, policy: &mut Policy, config: &FleetSimConfig)
         let sched = &schedules[s];
         let trip = &sched.legs[l];
         let arrive = trip.arrival(g);
+        // Events run in arrival order and every reservation starts at or
+        // after its event's arrival, so intervals fully behind the clock
+        // can never block a later query — drop them to keep the ledger
+        // bounded by concurrent demand, not day length.
+        book.compact(arrive);
         let idle = sched.idle_after(g, l, SimDuration::from_hours(1));
         if idle.as_secs() < 20 * 60 {
             continue; // too short to bother plugging in

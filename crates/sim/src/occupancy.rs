@@ -75,6 +75,29 @@ impl OccupancyBook {
         self.reservations.values().map(Vec::len).sum()
     }
 
+    /// Drop every reservation that ended at or before `watermark` and
+    /// return how many were removed. Callers that only ever query windows
+    /// at or after their current virtual time (the day-simulation engine
+    /// and the closed-loop outcome world both advance monotonically) can
+    /// compact behind that time without changing any answer: an interval
+    /// with `end <= watermark` can never overlap a `[start, end)` query
+    /// with `start >= watermark`. Keeps the per-charger ledgers bounded
+    /// by *concurrent* demand instead of growing with the whole day's
+    /// history. Note [`OccupancyBook::peak`] and
+    /// [`OccupancyBook::total_reservations`] then report the compacted
+    /// suffix only — take those readings before compacting past the
+    /// window of interest.
+    pub fn compact(&mut self, watermark: SimTime) -> usize {
+        let mut removed = 0;
+        self.reservations.retain(|_, v| {
+            let before = v.len();
+            v.retain(|&(_, end)| end > watermark);
+            removed += before - v.len();
+            !v.is_empty()
+        });
+        removed
+    }
+
     /// Peak simultaneous occupancy observed for `charger`.
     #[must_use]
     pub fn peak(&self, charger: ChargerId) -> usize {
@@ -151,5 +174,50 @@ mod tests {
     fn zero_length_reservation_panics() {
         let mut book = OccupancyBook::new();
         book.reserve(ChargerId(0), t(10, 0), t(10, 0));
+    }
+
+    #[test]
+    fn compact_drops_expired_and_preserves_future_answers() {
+        let mut book = OccupancyBook::new();
+        let b = ChargerId(4);
+        book.reserve(b, t(8, 0), t(9, 0)); // fully past the watermark
+        book.reserve(b, t(9, 30), t(10, 30)); // straddles it
+        book.reserve(b, t(11, 0), t(12, 0)); // fully after
+        book.reserve(ChargerId(5), t(7, 0), t(8, 0)); // whole charger expires
+        let removed = book.compact(t(10, 0));
+        assert_eq!(removed, 2);
+        assert_eq!(book.total_reservations(), 2);
+        // Queries at or after the watermark are unchanged: the straddling
+        // interval still blocks, the expired ones never could.
+        assert!(!book.is_free(b, ChargerKind::Ac11, t(10, 0), t(10, 15)));
+        assert!(book.is_free(b, ChargerKind::Ac11, t(10, 30), t(11, 0)));
+        assert_eq!(book.concurrent(ChargerId(5), t(10, 0), t(23, 0)), 0);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_periodic_compaction() {
+        // Regression: the ledger used to grow with the whole history. A
+        // rolling load of back-to-back one-hour sessions on one charger
+        // must leave at most the currently-live interval behind once
+        // compaction follows the clock.
+        let mut book = OccupancyBook::new();
+        let b = ChargerId(1);
+        let mut high_water = 0;
+        for hour in 0..2_000u64 {
+            let s = SimTime::from_secs(hour * 3_600);
+            let e = SimTime::from_secs((hour + 1) * 3_600);
+            book.reserve(b, s, e);
+            book.compact(s);
+            high_water = high_water.max(book.total_reservations());
+        }
+        assert!(high_water <= 2, "ledger grew to {high_water} entries under compaction");
+        // And without compaction it really does grow — the condition the
+        // watermark exists to prevent.
+        let mut unbounded = OccupancyBook::new();
+        for hour in 0..100u64 {
+            let s = SimTime::from_secs(hour * 3_600);
+            unbounded.reserve(b, s, SimTime::from_secs((hour + 1) * 3_600));
+        }
+        assert_eq!(unbounded.total_reservations(), 100);
     }
 }

@@ -131,7 +131,7 @@ mod tests {
             ranked.iter().map(|&c| dest.fast_dist_m(&fleet.get(c).loc)).collect();
         let sorted = {
             let mut d = dists.clone();
-            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d.sort_by(f64::total_cmp);
             d
         };
         assert_eq!(dists, sorted, "nearest policy must rank by distance");

@@ -15,14 +15,24 @@ use std::fmt;
 
 /// How the data behind one estimated component was obtained.
 ///
-/// Ordered by degradation: `Fresh < Stale{..} < Fallback`, with staler
-/// entries ordering above fresher ones. [`ComponentQuality::worst`]
-/// combines the qualities of multiple feeds contributing to one component
-/// (e.g. sun + wind into `L`).
+/// Ordered by degradation: `Fresh < Corrected{..} < Stale{..} <
+/// Fallback`, with staler entries ordering above fresher ones.
+/// [`ComponentQuality::worst`] combines the qualities of multiple feeds
+/// contributing to one component (e.g. sun + wind into `L`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ComponentQuality {
     /// Served from a live upstream call or an unexpired cache entry.
     Fresh,
+    /// A fresh model value adjusted by a real-world observation (e.g. a
+    /// driver arrived and saw the true plug occupancy); `age` is how old
+    /// the observation was when the forecast was served. Not *degraded* —
+    /// the correction carries strictly more information than the bare
+    /// forecast — but no longer the pure model output either, so pruning
+    /// envelopes and table caches must not treat it as `Fresh`.
+    Corrected {
+        /// Time since the observation behind the correction was made.
+        age: SimDuration,
+    },
     /// Served from the last-known-good tier past its TTL; `age` is how
     /// long past issue the value was when served. Its interval has been
     /// widened as a function of `age`.
@@ -42,10 +52,19 @@ impl ComponentQuality {
         matches!(self, Self::Fresh)
     }
 
-    /// True for any degraded source (stale or fallback).
+    /// True only for [`ComponentQuality::Corrected`].
+    #[must_use]
+    pub const fn is_corrected(self) -> bool {
+        matches!(self, Self::Corrected { .. })
+    }
+
+    /// True for a degraded source (stale or fallback). An
+    /// observation-corrected value is *not* degraded: the driver-facing
+    /// honesty banner is about missing data, and a correction has more
+    /// data behind it than the model alone.
     #[must_use]
     pub const fn is_degraded(self) -> bool {
-        !self.is_fresh()
+        matches!(self, Self::Stale { .. } | Self::Fallback)
     }
 
     /// The worse of two qualities — what a component inherits when it is
@@ -60,6 +79,7 @@ impl fmt::Display for ComponentQuality {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Fresh => f.write_str("fresh"),
+            Self::Corrected { age } => write!(f, "corr+{}m", age.as_secs() / 60),
             Self::Stale { age } => write!(f, "stale+{}m", age.as_secs() / 60),
             Self::Fallback => f.write_str("fallback"),
         }
@@ -88,6 +108,12 @@ impl SourcedInterval {
     #[must_use]
     pub const fn stale(value: Interval, age: SimDuration) -> Self {
         Self { value, quality: ComponentQuality::Stale { age } }
+    }
+
+    /// A model value corrected by an observation of the given age.
+    #[must_use]
+    pub const fn corrected(value: Interval, age: SimDuration) -> Self {
+        Self { value, quality: ComponentQuality::Corrected { age } }
     }
 
     /// A configured fallback value.
@@ -154,13 +180,16 @@ mod tests {
     #[test]
     fn quality_orders_by_degradation() {
         let fresh = ComponentQuality::Fresh;
+        let corr = ComponentQuality::Corrected { age: SimDuration::from_mins(2) };
         let young = ComponentQuality::Stale { age: SimDuration::from_mins(5) };
         let old = ComponentQuality::Stale { age: SimDuration::from_mins(50) };
         let fb = ComponentQuality::Fallback;
-        assert!(fresh < young && young < old && old < fb);
+        assert!(fresh < corr && corr < young && young < old && old < fb);
         assert_eq!(fresh.worst(old), old);
         assert_eq!(old.worst(fb), fb);
         assert_eq!(fresh.worst(fresh), fresh);
+        assert_eq!(fresh.worst(corr), corr, "a correction shows in the row badge");
+        assert_eq!(corr.worst(young), young, "staleness dominates a correction");
     }
 
     #[test]
@@ -168,6 +197,10 @@ mod tests {
         assert!(ComponentQuality::Fresh.is_fresh());
         assert!(ComponentQuality::Fallback.is_degraded());
         assert!(ComponentQuality::Stale { age: SimDuration::ZERO }.is_degraded());
+        let corr = ComponentQuality::Corrected { age: SimDuration::from_mins(3) };
+        assert!(corr.is_corrected());
+        assert!(!corr.is_fresh(), "corrected is not the pure model output");
+        assert!(!corr.is_degraded(), "corrected carries more data, not less");
     }
 
     #[test]
@@ -193,6 +226,8 @@ mod tests {
         assert_eq!(Provenance::FRESH.to_string(), "fresh");
         let p = Provenance { d: ComponentQuality::Fallback, ..Provenance::FRESH };
         assert_eq!(p.to_string(), "L:fresh A:fresh D:fallback");
+        let corr = ComponentQuality::Corrected { age: SimDuration::from_mins(7) };
+        assert_eq!(corr.to_string(), "corr+7m");
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub use chargers;
 pub use ec_models;
 pub use ec_types;
 pub use ecocharge_core as core;
+pub use ecocharge_outcomes as outcomes;
 pub use ecocharge_session as session;
 pub use eis;
 pub use fleetsim;
